@@ -1,0 +1,69 @@
+// Shared plumbing for the paper-reproduction bench binaries: environment
+// knobs so a full run can be scaled up or down without recompiling.
+//
+//   BPW_BENCH_MS       per-cell measurement window in ms (default 300)
+//   BPW_MAX_THREADS    cap on the thread-count axis (default 16)
+//   BPW_QUICK=1        shorthand: 120 ms cells, thread axis capped at 8
+//
+// Every binary prints the table/figure id it reproduces, the substitution
+// caveats that apply (see DESIGN.md §2), and CSV-ready tables.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "harness/driver.h"
+#include "harness/reporter.h"
+#include "harness/systems.h"
+
+namespace bpw {
+namespace bench {
+
+inline uint64_t EnvU64(const char* name, uint64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::strtoull(value, nullptr, 10);
+}
+
+inline bool Quick() { return EnvU64("BPW_QUICK", 0) != 0; }
+
+inline uint64_t CellMillis() {
+  return EnvU64("BPW_BENCH_MS", Quick() ? 120 : 300);
+}
+
+inline uint32_t MaxThreads() {
+  return static_cast<uint32_t>(
+      EnvU64("BPW_MAX_THREADS", Quick() ? 8 : 16));
+}
+
+/// Thread axis {1,2,4,...,limit}, as in Figs. 6-7.
+inline std::vector<uint32_t> ThreadAxis(uint32_t limit) {
+  std::vector<uint32_t> axis;
+  for (uint32_t t = 1; t <= limit; t *= 2) axis.push_back(t);
+  return axis;
+}
+
+inline void PrintHeader(const char* experiment, const char* description) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n%s\n", experiment, description);
+  std::printf("Host substitution: the paper's multiprocessor runs map to a\n");
+  std::printf("thread-count sweep on this machine (over-committed, as the\n");
+  std::printf("paper itself does); compare *shapes*, not absolute numbers.\n");
+  std::printf("==============================================================\n\n");
+}
+
+/// Fails the whole binary on the first experiment error.
+template <typename T>
+T MustOk(StatusOr<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "FATAL: %s: %s\n", what,
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+}  // namespace bench
+}  // namespace bpw

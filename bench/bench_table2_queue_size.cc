@@ -1,0 +1,67 @@
+// Table II reproduction: throughput and average lock contention of
+// pgBatPre as the per-thread FIFO queue size grows 1..64 with
+// batch_threshold = queue_size / 2, on all three workloads at the largest
+// thread count.
+//
+// Expected shape (paper §IV-E): contention falls by orders of magnitude
+// between size 1 and 16; beyond ~16, further growth keeps reducing
+// contention but no longer buys throughput ("the improvement can hardly be
+// translated into throughput improvement").
+#include "bench_common.h"
+
+using namespace bpw;
+using namespace bpw::bench;
+
+int main() {
+  PrintHeader("Table II — pgBatPre sensitivity to FIFO queue size",
+              "threshold = queue/2; 16 threads; zero-miss runs");
+
+  const std::vector<size_t> queue_sizes = {1, 2, 4, 8, 16, 32, 64};
+  const uint32_t threads = MaxThreads();
+
+  struct WorkloadRow {
+    const char* name;
+    uint64_t footprint;
+    uint64_t sim_access_work;
+  };
+  const WorkloadRow workloads[] = {
+      {"dbt1", 8192, 3000},
+      {"dbt2", 8192, 3500},
+      {"tablescan", 2048, 1500},
+  };
+
+  std::vector<std::string> header{"queue size"};
+  for (const auto& w : workloads) {
+    header.push_back(std::string(w.name) + " tps");
+  }
+  for (const auto& w : workloads) {
+    header.push_back(std::string(w.name) + " cont/1M");
+  }
+
+  TableReporter table(header);
+  for (size_t queue : queue_sizes) {
+    std::vector<std::string> row{std::to_string(queue)};
+    std::vector<std::string> contention;
+    for (const WorkloadRow& workload : workloads) {
+      DriverConfig config = ScalabilityRunConfig(
+          workload.name, workload.footprint, /*duration_ms=*/100);
+      config.warmup_ms = 20;
+      config.num_threads = threads;
+      config.system = MustOk(PaperSystemConfig("pgBatPre"), "system");
+      config.system.queue_size = queue;
+      config.system.batch_threshold = std::max<size_t>(1, queue / 2);
+      SimCosts costs;
+      costs.access_work = workload.sim_access_work;
+      DriverResult result =
+          MustOk(RunSimulation(config, costs), "table2 cell");
+      row.push_back(FormatDouble(result.throughput_tps, 0));
+      contention.push_back(FormatDouble(result.contentions_per_million, 1));
+    }
+    row.insert(row.end(), contention.begin(), contention.end());
+    table.AddRow(std::move(row));
+  }
+  table.Print("Table II — throughput and average lock contention vs queue "
+              "size (expect contention to collapse by ~queue size 16)");
+  std::printf("CSV:\n%s\n", table.ToCsv().c_str());
+  return 0;
+}

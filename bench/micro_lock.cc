@@ -1,0 +1,83 @@
+// Micro-benchmarks for the synchronization primitives: the uncontended
+// cost of ContentionLock (counted and timed variants), TryLock, and
+// SpinLock. The gap between `kCounts` and `kTiming` shows what the clock
+// reads add — which is why throughput experiments default to kCounts.
+#include <benchmark/benchmark.h>
+
+#include "sync/contention_lock.h"
+#include "sync/spinlock.h"
+
+namespace bpw {
+namespace {
+
+void BM_ContentionLockCounts(benchmark::State& state) {
+  ContentionLock lock(LockInstrumentation::kCounts);
+  for (auto _ : state) {
+    lock.Lock();
+    benchmark::DoNotOptimize(&lock);
+    lock.Unlock();
+  }
+}
+BENCHMARK(BM_ContentionLockCounts);
+
+void BM_ContentionLockTiming(benchmark::State& state) {
+  ContentionLock lock(LockInstrumentation::kTiming);
+  for (auto _ : state) {
+    lock.Lock();
+    benchmark::DoNotOptimize(&lock);
+    lock.Unlock();
+  }
+}
+BENCHMARK(BM_ContentionLockTiming);
+
+void BM_ContentionLockNone(benchmark::State& state) {
+  ContentionLock lock(LockInstrumentation::kNone);
+  for (auto _ : state) {
+    lock.Lock();
+    benchmark::DoNotOptimize(&lock);
+    lock.Unlock();
+  }
+}
+BENCHMARK(BM_ContentionLockNone);
+
+void BM_TryLockSuccess(benchmark::State& state) {
+  ContentionLock lock;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lock.TryLock());
+    lock.Unlock();
+  }
+}
+BENCHMARK(BM_TryLockSuccess);
+
+void BM_TryLockFailure(benchmark::State& state) {
+  ContentionLock lock;
+  lock.Lock();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lock.TryLock());
+  }
+  lock.Unlock();
+}
+BENCHMARK(BM_TryLockFailure);
+
+void BM_SpinLock(benchmark::State& state) {
+  SpinLock lock;
+  for (auto _ : state) {
+    lock.lock();
+    benchmark::DoNotOptimize(&lock);
+    lock.unlock();
+  }
+}
+BENCHMARK(BM_SpinLock);
+
+void BM_ContendedLock(benchmark::State& state) {
+  static ContentionLock lock;
+  for (auto _ : state) {
+    lock.Lock();
+    benchmark::DoNotOptimize(&lock);
+    lock.Unlock();
+  }
+}
+BENCHMARK(BM_ContendedLock)->Threads(1)->Threads(4)->Threads(8);
+
+}  // namespace
+}  // namespace bpw

@@ -1,0 +1,76 @@
+// Micro-benchmarks: per-operation cost of every replacement policy's hit,
+// miss and victim paths. These are the "operations protected by the lock"
+// whose duration the paper's prefetching technique targets — knowing their
+// raw cost puts the lock-time measurements of Fig. 2 in context.
+#include <benchmark/benchmark.h>
+
+#include "policy/policy_factory.h"
+#include "util/random.h"
+
+namespace bpw {
+namespace {
+
+constexpr size_t kFrames = 4096;
+
+std::unique_ptr<ReplacementPolicy> MakeFilled(const std::string& name) {
+  auto policy = CreatePolicy(name, kFrames);
+  for (PageId p = 0; p < kFrames; ++p) {
+    policy.value()->OnMiss(p, static_cast<FrameId>(p));
+  }
+  return std::move(policy).value();
+}
+
+void BM_PolicyHit(benchmark::State& state, const std::string& name) {
+  auto policy = MakeFilled(name);
+  Random rng(1);
+  for (auto _ : state) {
+    const PageId page = rng.Uniform(kFrames);
+    policy->OnHit(page, static_cast<FrameId>(page));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_PolicyMissEvictCycle(benchmark::State& state,
+                             const std::string& name) {
+  auto policy = MakeFilled(name);
+  auto evictable = [](FrameId) { return true; };
+  PageId next = kFrames;
+  for (auto _ : state) {
+    auto victim = policy->ChooseVictim(evictable, next);
+    if (!victim.ok()) state.SkipWithError("no victim");
+    policy->OnMiss(next, victim->frame);
+    ++next;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_PolicyPrefetchHint(benchmark::State& state, const std::string& name) {
+  auto policy = MakeFilled(name);
+  Random rng(2);
+  for (auto _ : state) {
+    policy->PrefetchHint(static_cast<FrameId>(rng.Uniform(kFrames)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void RegisterAll() {
+  for (const auto& name : KnownPolicies()) {
+    benchmark::RegisterBenchmark(("hit/" + name).c_str(),
+                                 [name](benchmark::State& s) {
+                                   BM_PolicyHit(s, name);
+                                 });
+    benchmark::RegisterBenchmark(("miss_evict/" + name).c_str(),
+                                 [name](benchmark::State& s) {
+                                   BM_PolicyMissEvictCycle(s, name);
+                                 });
+    benchmark::RegisterBenchmark(("prefetch_hint/" + name).c_str(),
+                                 [name](benchmark::State& s) {
+                                   BM_PolicyPrefetchHint(s, name);
+                                 });
+  }
+}
+
+const bool registered = (RegisterAll(), true);
+
+}  // namespace
+}  // namespace bpw

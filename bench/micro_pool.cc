@@ -1,0 +1,114 @@
+// Micro-benchmarks for the buffer-pool hot paths: the full FetchPage hit
+// path under each coordinator (hash lookup + pin + bookkeeping), the miss
+// path, and the page-table primitives. These bound what any replacement
+// strategy can cost end-to-end on this host.
+#include <benchmark/benchmark.h>
+
+#include "buffer/buffer_pool.h"
+#include "buffer/page_table.h"
+#include "core/coordinator_factory.h"
+#include "util/random.h"
+
+namespace bpw {
+namespace {
+
+constexpr size_t kPageSize = 512;
+constexpr size_t kFrames = 1024;
+
+void FetchHitLoop(benchmark::State& state, const char* system_name) {
+  StorageEngine storage(kFrames, kPageSize);
+  auto system = PaperSystemConfig(system_name);
+  auto coordinator = CreateCoordinator(system.value(), kFrames);
+  BufferPoolConfig config;
+  config.num_frames = kFrames;
+  config.page_size = kPageSize;
+  BufferPool pool(config, &storage, std::move(coordinator).value());
+  auto session = pool.CreateSession();
+  if (!pool.Prewarm(*session, 0, kFrames).ok()) {
+    state.SkipWithError("prewarm failed");
+    return;
+  }
+  Random rng(7);
+  for (auto _ : state) {
+    auto handle = pool.FetchPage(*session, rng.Uniform(kFrames));
+    benchmark::DoNotOptimize(handle.value().data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_FetchHit_pgClock(benchmark::State& state) {
+  FetchHitLoop(state, "pgClock");
+}
+BENCHMARK(BM_FetchHit_pgClock);
+
+void BM_FetchHit_pg2Q(benchmark::State& state) {
+  FetchHitLoop(state, "pg2Q");
+}
+BENCHMARK(BM_FetchHit_pg2Q);
+
+void BM_FetchHit_pgBatPre(benchmark::State& state) {
+  FetchHitLoop(state, "pgBatPre");
+}
+BENCHMARK(BM_FetchHit_pgBatPre);
+
+void BM_FetchMissEvict(benchmark::State& state) {
+  // Steady-state miss path: every fetch evicts (sequential sweep through a
+  // space twice the pool size, zero storage latency).
+  StorageEngine storage(kFrames * 2, kPageSize);
+  auto system = PaperSystemConfig("pgBatPre");
+  auto coordinator = CreateCoordinator(system.value(), kFrames);
+  BufferPoolConfig config;
+  config.num_frames = kFrames;
+  config.page_size = kPageSize;
+  BufferPool pool(config, &storage, std::move(coordinator).value());
+  auto session = pool.CreateSession();
+  PageId next = 0;
+  for (auto _ : state) {
+    auto handle = pool.FetchPage(*session, next);
+    benchmark::DoNotOptimize(handle.value().data());
+    next = (next + 1) % (kFrames * 2);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FetchMissEvict);
+
+void BM_PageTableLookupHit(benchmark::State& state) {
+  PageTable table(128);
+  for (PageId p = 0; p < 10000; ++p) {
+    table.Insert(p, static_cast<FrameId>(p % 1024));
+  }
+  Random rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.Lookup(rng.Uniform(10000)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PageTableLookupHit);
+
+void BM_PageTableLookupMiss(benchmark::State& state) {
+  PageTable table(128);
+  for (PageId p = 0; p < 10000; ++p) {
+    table.Insert(p, static_cast<FrameId>(p % 1024));
+  }
+  Random rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.Lookup(10000 + rng.Uniform(10000)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PageTableLookupMiss);
+
+void BM_PageTableInsertErase(benchmark::State& state) {
+  PageTable table(128);
+  PageId p = 0;
+  for (auto _ : state) {
+    table.Insert(p, 0);
+    table.Erase(p, 0);
+    ++p;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PageTableInsertErase);
+
+}  // namespace
+}  // namespace bpw

@@ -1,0 +1,66 @@
+// OLTP simulation: a TPC-C-like day in the life of the buffer manager.
+//
+// Runs the DBT-2-like transaction mix against a buffer smaller than the
+// data set with a simulated disk, comparing the paper's three headline
+// systems end-to-end: hit ratio, transaction throughput, response times,
+// and lock behaviour — the Fig. 8 experiment as an interactive program.
+//
+//   $ ./oltp_simulation [threads] [buffer_pages]
+#include <cstdio>
+#include <cstdlib>
+
+#include "harness/driver.h"
+#include "harness/reporter.h"
+
+int main(int argc, char** argv) {
+  using namespace bpw;
+
+  const uint32_t threads =
+      argc > 1 ? static_cast<uint32_t>(std::atoi(argv[1])) : 8;
+  const size_t buffer_pages =
+      argc > 2 ? static_cast<size_t>(std::atoll(argv[2])) : 4096;
+  constexpr uint64_t kDataPages = 16384;
+
+  std::printf("TPC-C-like OLTP: %llu-page data set, %zu-page buffer, "
+              "%u threads, 250us simulated disk.\n\n",
+              static_cast<unsigned long long>(kDataPages), buffer_pages,
+              threads);
+
+  TableReporter table({"system", "tx/sec", "avg resp (ms)", "p95 resp (ms)",
+                       "hit %", "contentions/1M", "evictions"});
+  for (const char* system_name : {"pgClock", "pg2Q", "pgBatPre"}) {
+    DriverConfig config;
+    config.workload.name = "dbt2";
+    config.workload.num_pages = kDataPages;
+    config.num_threads = threads;
+    config.duration_ms = 500;
+    config.warmup_ms = 250;
+    config.num_frames = buffer_pages;
+    config.prewarm = false;  // warm through the workload, like a restart
+    config.think_work = 32;
+    config.storage_latency = StorageLatencyModel::SleepingMicros(250, 250);
+    auto system = PaperSystemConfig(system_name);
+    if (!system.ok()) return 1;
+    config.system = system.value();
+    auto result = RunDriver(config);
+    if (!result.ok()) {
+      std::fprintf(stderr, "run failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    table.AddRow({system_name, FormatDouble(result->throughput_tps, 0),
+                  FormatDouble(result->avg_response_us / 1000.0, 2),
+                  FormatDouble(result->p95_response_us / 1000.0, 2),
+                  FormatDouble(result->hit_ratio * 100, 1),
+                  FormatDouble(result->contentions_per_million, 1),
+                  std::to_string(result->evictions)});
+  }
+  table.Print("Five-transaction TPC-C-like mix (New-Order 45%, Payment 43%, "
+              "Order-Status/Delivery/Stock-Level 4% each)");
+  std::printf(
+      "Expected: the 2Q-based systems out-hit pgClock; pgBatPre keeps that\n"
+      "advantage without pg2Q's lock contention. Try a larger buffer\n"
+      "(e.g. %llu) to watch pg2Q's advantage evaporate into lock waits.\n",
+      static_cast<unsigned long long>(kDataPages));
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Policy comparison: hit ratios of all nine replacement algorithms on the
+// three workload families at several buffer sizes — the "which algorithm
+// should I ship?" tour, and the reason the paper insists on making the
+// advanced ones scalable instead of settling for clock.
+//
+//   $ ./policy_comparison
+#include <cstdio>
+
+#include "buffer/buffer_pool.h"
+#include "core/coordinator_factory.h"
+#include "harness/reporter.h"
+#include "policy/policy_factory.h"
+#include "workload/trace_generator.h"
+
+namespace {
+
+double HitRatio(const std::string& policy, const bpw::WorkloadSpec& workload,
+                size_t frames, int accesses) {
+  using namespace bpw;
+  StorageEngine storage(workload.num_pages, 4096);
+  SystemConfig system;
+  system.policy = policy;
+  // Single-threaded measurement: use the plain serialized coordinator.
+  system.coordinator = "serialized";
+  auto coordinator = CreateCoordinator(system, frames);
+  if (!coordinator.ok()) return -1;
+  BufferPoolConfig config;
+  config.num_frames = frames;
+  config.page_size = 4096;
+  BufferPool pool(config, &storage, std::move(coordinator).value());
+  auto session = pool.CreateSession();
+  auto trace = CreateTrace(workload, 0);
+  if (trace == nullptr) return -1;
+  for (int i = 0; i < accesses; ++i) {
+    auto handle = pool.FetchPage(*session, trace->Next().page);
+    if (!handle.ok()) return -1;
+  }
+  return session->stats().hit_ratio();
+}
+
+}  // namespace
+
+int main() {
+  using namespace bpw;
+
+  struct Scenario {
+    const char* title;
+    WorkloadSpec workload;
+  };
+  std::vector<Scenario> scenarios;
+  {
+    Scenario s{"TPC-W-like browsing (dbt1, 16384 pages)", {}};
+    s.workload.name = "dbt1";
+    s.workload.num_pages = 16384;
+    scenarios.push_back(s);
+  }
+  {
+    Scenario s{"TPC-C-like OLTP (dbt2, 16384 pages)", {}};
+    s.workload.name = "dbt2";
+    s.workload.num_pages = 16384;
+    scenarios.push_back(s);
+  }
+  {
+    Scenario s{"Loop slightly larger than cache (seqloop, 3072 pages)", {}};
+    s.workload.name = "seqloop";
+    s.workload.num_pages = 3072;
+    scenarios.push_back(s);
+  }
+
+  const std::vector<size_t> buffer_sizes = {512, 2048, 8192};
+  constexpr int kAccesses = 150000;
+
+  for (const Scenario& scenario : scenarios) {
+    std::vector<std::string> header{"policy"};
+    for (size_t frames : buffer_sizes) {
+      header.push_back(std::to_string(frames) + " frames");
+    }
+    TableReporter table(header);
+    for (const auto& policy : KnownPolicies()) {
+      std::vector<double> ratios;
+      for (size_t frames : buffer_sizes) {
+        ratios.push_back(
+            HitRatio(policy, scenario.workload, frames, kAccesses) * 100);
+      }
+      table.AddNumericRow(policy, ratios, 1);
+    }
+    table.Print(std::string("Hit ratio (%) — ") + scenario.title);
+  }
+  std::printf(
+      "Note the loop scenario: list-based LRU and clock thrash (≈0%%)\n"
+      "while LIRS/2Q/ARC keep most of the loop resident — history-rich\n"
+      "algorithms earn their locks; BP-Wrapper removes the lock cost.\n");
+  return 0;
+}

@@ -1,0 +1,356 @@
+#include "buffer/buffer_pool.h"
+
+#include <thread>
+
+#include "util/logging.h"
+
+namespace bpw {
+
+// ---------------------------------------------------------------- PageHandle
+
+PageHandle& PageHandle::operator=(PageHandle&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    page_ = other.page_;
+    frame_ = other.frame_;
+    data_ = other.data_;
+    other.pool_ = nullptr;
+  }
+  return *this;
+}
+
+PageHandle::~PageHandle() { Release(); }
+
+void PageHandle::MarkDirty() {
+  if (pool_ != nullptr) {
+    pool_->frames_[frame_].dirty.store(true, std::memory_order_release);
+  }
+}
+
+void PageHandle::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(frame_, /*mark_dirty=*/false);
+    pool_ = nullptr;
+  }
+}
+
+// ---------------------------------------------------------------- BufferPool
+
+BufferPool::BufferPool(const BufferPoolConfig& config, StorageEngine* storage,
+                       std::unique_ptr<Coordinator> coordinator)
+    : config_(config),
+      storage_(storage),
+      coordinator_(std::move(coordinator)),
+      table_(config.table_shards),
+      buffer_(config.num_frames * config.page_size),
+      frames_(config.num_frames),
+      frame_tags_(config.num_frames) {
+  for (auto& tag : frame_tags_) {
+    tag.store(kInvalidPageId, std::memory_order_relaxed);
+  }
+  free_frames_.reserve(config_.num_frames);
+  // Hand frames out in ascending order (pop_back takes the highest first;
+  // order is irrelevant for correctness).
+  for (size_t i = config_.num_frames; i-- > 0;) {
+    free_frames_.push_back(static_cast<FrameId>(i));
+  }
+  coordinator_->BindFrameTags(frame_tags_.data(), frame_tags_.size());
+}
+
+BufferPool::~BufferPool() = default;
+
+std::unique_ptr<BufferPool::Session> BufferPool::CreateSession() {
+  return std::unique_ptr<Session>(
+      new Session(coordinator_->RegisterThread()));
+}
+
+bool BufferPool::TryPin(FrameId frame, PageId page) {
+  FrameMeta& meta = frames_[frame];
+  meta.latch.lock();
+  const bool ok = FrameTag(frame) == page &&
+                  !meta.io_busy.load(std::memory_order_relaxed);
+  if (ok) {
+    meta.pin_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  meta.latch.unlock();
+  return ok;
+}
+
+void BufferPool::Unpin(FrameId frame, bool mark_dirty) {
+  FrameMeta& meta = frames_[frame];
+  if (mark_dirty) {
+    meta.dirty.store(true, std::memory_order_release);
+  }
+  meta.pin_count.fetch_sub(1, std::memory_order_release);
+}
+
+bool BufferPool::BeginLoad(PageId page) {
+  std::unique_lock<std::mutex> lock(pending_mu_);
+  if (pending_loads_.count(page) == 0) {
+    pending_loads_.insert(page);
+    return true;
+  }
+  pending_cv_.wait(lock,
+                   [&] { return pending_loads_.count(page) == 0; });
+  return false;
+}
+
+void BufferPool::FinishLoad(PageId page) {
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    pending_loads_.erase(page);
+  }
+  pending_cv_.notify_all();
+}
+
+StatusOr<FrameId> BufferPool::AcquireFrame(Session& session,
+                                           PageId incoming) {
+  const Coordinator::EvictableFn evictable = [this](FrameId f) {
+    const FrameMeta& meta = frames_[f];
+    return meta.pin_count.load(std::memory_order_relaxed) == 0 &&
+           !meta.io_busy.load(std::memory_order_relaxed);
+  };
+
+  for (int attempt = 0;; ++attempt) {
+    // Fast path: an unused frame.
+    free_lock_.lock();
+    if (!free_frames_.empty()) {
+      const FrameId frame = free_frames_.back();
+      free_frames_.pop_back();
+      free_lock_.unlock();
+      return frame;
+    }
+    free_lock_.unlock();
+
+    auto victim_or = coordinator_->ChooseVictim(session.slot_.get(),
+                                                evictable, incoming);
+    if (!victim_or.ok()) {
+      if (attempt >= config_.eviction_retries) return victim_or.status();
+      // Everything evictable was pinned at sweep time; give pin holders a
+      // chance to release.
+      std::this_thread::yield();
+      continue;
+    }
+    const Coordinator::Victim victim = victim_or.value();
+    FrameMeta& meta = frames_[victim.frame];
+
+    meta.latch.lock();
+    const bool still_ours =
+        FrameTag(victim.frame) == victim.page &&
+        meta.pin_count.load(std::memory_order_relaxed) == 0 &&
+        !meta.io_busy.load(std::memory_order_relaxed);
+    if (!still_ours) {
+      meta.latch.unlock();
+      eviction_races_.fetch_add(1, std::memory_order_relaxed);
+      // The policy already detached the page but someone pinned it between
+      // selection and latching. Re-register it so policy and pool agree,
+      // then retry.
+      if (FrameTag(victim.frame) == victim.page) {
+        coordinator_->CompleteMiss(session.slot_.get(), victim.page,
+                                   victim.frame);
+      }
+      if (attempt >= config_.eviction_retries) {
+        return Status::ResourceExhausted(
+            "buffer pool: eviction kept racing with pinners");
+      }
+      continue;
+    }
+    // Block new pins while we drain the frame.
+    meta.io_busy.store(true, std::memory_order_relaxed);
+    const bool dirty = meta.dirty.load(std::memory_order_relaxed);
+    meta.dirty.store(false, std::memory_order_relaxed);
+    meta.latch.unlock();
+
+    if (dirty) {
+      // The mapping stays in the table during write-back: concurrent
+      // fetches of the victim keep failing TryPin (io_busy) instead of
+      // re-reading a stale version from storage mid-write.
+      Status status = storage_->WritePage(victim.page, FrameData(victim.frame));
+      if (!status.ok()) {
+        BPW_LOG_ERROR << "write-back of page " << victim.page
+                      << " failed: " << status.ToString();
+        // Keep going: the frame is reused, the write is reported lost.
+      }
+      writebacks_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    table_.Erase(victim.page, victim.frame);
+    meta.latch.lock();
+    frame_tags_[victim.frame].store(kInvalidPageId, std::memory_order_release);
+    meta.io_busy.store(false, std::memory_order_relaxed);
+    meta.latch.unlock();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    return victim.frame;
+  }
+}
+
+StatusOr<PageHandle> BufferPool::FetchPage(Session& session, PageId page) {
+  if (page >= storage_->num_pages()) {
+    return Status::InvalidArgument("page id beyond storage");
+  }
+  for (int spin = 0;; ++spin) {
+    const FrameId frame = table_.Lookup(page);
+    if (frame != kInvalidFrameId) {
+      if (TryPin(frame, page)) {
+        ++session.stats_.hits;
+        coordinator_->OnHit(session.slot_.get(), page, frame);
+        return PageHandle(this, page, frame, FrameData(frame));
+      }
+      // Mapped but mid-eviction or re-used: let the evictor finish.
+      std::this_thread::yield();
+      continue;
+    }
+
+    // Miss. Single-flight: only one thread loads a given page.
+    if (!BeginLoad(page)) continue;  // someone else loaded it; retry lookup
+
+    // Re-check under load ownership (the page may have been published
+    // between the lookup and BeginLoad).
+    if (table_.Lookup(page) != kInvalidFrameId) {
+      FinishLoad(page);
+      continue;
+    }
+
+    auto frame_or = AcquireFrame(session, page);
+    if (!frame_or.ok()) {
+      FinishLoad(page);
+      return frame_or.status();
+    }
+    const FrameId new_frame = frame_or.value();
+
+    Status status = storage_->ReadPage(page, FrameData(new_frame));
+    if (!status.ok()) {
+      free_lock_.lock();
+      free_frames_.push_back(new_frame);
+      free_lock_.unlock();
+      FinishLoad(page);
+      return status;
+    }
+
+    // Publish: tag + pin first, then the table mapping, then the policy.
+    FrameMeta& meta = frames_[new_frame];
+    meta.latch.lock();
+    meta.pin_count.store(1, std::memory_order_relaxed);
+    meta.dirty.store(false, std::memory_order_relaxed);
+    meta.io_busy.store(false, std::memory_order_relaxed);
+    frame_tags_[new_frame].store(page, std::memory_order_release);
+    meta.latch.unlock();
+
+    if (!table_.Insert(page, new_frame)) {
+      // Impossible under single-flight; fail loudly in debug builds.
+      BPW_LOG_ERROR << "duplicate mapping for page " << page;
+    }
+    coordinator_->CompleteMiss(session.slot_.get(), page, new_frame);
+    ++session.stats_.misses;
+    FinishLoad(page);
+    return PageHandle(this, page, new_frame, FrameData(new_frame));
+  }
+}
+
+Status BufferPool::DropPage(Session& session, PageId page) {
+  const FrameId frame = table_.Lookup(page);
+  if (frame == kInvalidFrameId) {
+    return Status::NotFound("page not buffered");
+  }
+  FrameMeta& meta = frames_[frame];
+  meta.latch.lock();
+  if (FrameTag(frame) != page) {
+    meta.latch.unlock();
+    return Status::NotFound("page left the buffer concurrently");
+  }
+  if (meta.pin_count.load(std::memory_order_relaxed) != 0) {
+    meta.latch.unlock();
+    return Status::FailedPrecondition("page is pinned");
+  }
+  if (meta.io_busy.load(std::memory_order_relaxed)) {
+    meta.latch.unlock();
+    return Status::FailedPrecondition("page is mid-I/O");
+  }
+  meta.io_busy.store(true, std::memory_order_relaxed);
+  meta.latch.unlock();
+
+  table_.Erase(page, frame);
+  coordinator_->OnErase(session.slot_.get(), page, frame);
+
+  meta.latch.lock();
+  frame_tags_[frame].store(kInvalidPageId, std::memory_order_release);
+  meta.dirty.store(false, std::memory_order_relaxed);
+  meta.io_busy.store(false, std::memory_order_relaxed);
+  meta.latch.unlock();
+
+  free_lock_.lock();
+  free_frames_.push_back(frame);
+  free_lock_.unlock();
+  return Status::OK();
+}
+
+Status BufferPool::FlushAll() {
+  for (FrameId frame = 0; frame < frames_.size(); ++frame) {
+    FrameMeta& meta = frames_[frame];
+    meta.latch.lock();
+    const PageId page = FrameTag(frame);
+    if (page == kInvalidPageId ||
+        !meta.dirty.load(std::memory_order_relaxed) ||
+        meta.io_busy.load(std::memory_order_relaxed)) {
+      meta.latch.unlock();
+      continue;
+    }
+    meta.io_busy.store(true, std::memory_order_relaxed);
+    meta.dirty.store(false, std::memory_order_relaxed);
+    meta.latch.unlock();
+
+    Status status = storage_->WritePage(page, FrameData(frame));
+    writebacks_.fetch_add(1, std::memory_order_relaxed);
+
+    meta.latch.lock();
+    meta.io_busy.store(false, std::memory_order_relaxed);
+    meta.latch.unlock();
+    if (!status.ok()) return status;
+  }
+  return Status::OK();
+}
+
+void BufferPool::FlushSession(Session& session) {
+  coordinator_->FlushSlot(session.slot_.get());
+}
+
+Status BufferPool::Prewarm(Session& session, PageId first_page,
+                           uint64_t count) {
+  for (uint64_t i = 0; i < count; ++i) {
+    auto handle = FetchPage(session, first_page + i);
+    if (!handle.ok()) return handle.status();
+  }
+  return Status::OK();
+}
+
+Status BufferPool::CheckIntegrity() {
+  // Quiesced-only check: no concurrent traffic allowed.
+  size_t mapped = 0;
+  for (FrameId frame = 0; frame < frames_.size(); ++frame) {
+    const PageId page = FrameTag(frame);
+    if (page == kInvalidPageId) continue;
+    ++mapped;
+    if (table_.Lookup(page) != frame) {
+      return Status::Corruption("frame tag not reflected in page table");
+    }
+  }
+  if (mapped != table_.size()) {
+    return Status::Corruption("page table size disagrees with frame tags");
+  }
+  size_t free_count;
+  {
+    free_lock_.lock();
+    free_count = free_frames_.size();
+    free_lock_.unlock();
+  }
+  if (mapped + free_count != config_.num_frames) {
+    return Status::Corruption("mapped + free != total frames");
+  }
+  if (coordinator_->policy().resident_count() != mapped) {
+    return Status::Corruption("policy resident count disagrees with pool");
+  }
+  return coordinator_->policy().CheckInvariants();
+}
+
+}  // namespace bpw

@@ -1,0 +1,216 @@
+// BufferPool: the buffer manager of Fig. 1/3 in the paper.
+//
+// Layout per page request (paper §II):
+//   1. look up the partitioned hash table (scalable, per-bucket locks);
+//   2. on a hit, pin the frame and report the access to the Coordinator —
+//      which is where the paper's lock either does or does not get taken;
+//   3. on a miss, pick a victim through the Coordinator, write it back if
+//      dirty, read the new page from storage, publish the mapping.
+//
+// Concurrency design:
+//   - Each frame has a small latch guarding (tag, pin, io_busy) transitions;
+//     held only for a handful of instructions.
+//   - A miss is "single-flight": concurrent faults on the same page wait on
+//     a condition variable instead of issuing duplicate I/O.
+//   - The frame tag array is atomic and shared with the Coordinator so
+//     BP-Wrapper can re-validate queued accesses at commit time (§IV-B).
+#pragma once
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <unordered_set>
+#include <vector>
+
+#include "buffer/page_table.h"
+#include "core/coordinator.h"
+#include "storage/storage_engine.h"
+#include "sync/spinlock.h"
+#include "util/status.h"
+#include "util/types.h"
+
+namespace bpw {
+
+class BufferPool;
+
+/// RAII pin on a buffer page. While a handle is live the page cannot be
+/// evicted. Move-only.
+class PageHandle {
+ public:
+  PageHandle() = default;
+  PageHandle(PageHandle&& other) noexcept { *this = std::move(other); }
+  PageHandle& operator=(PageHandle&& other) noexcept;
+  ~PageHandle();
+
+  PageHandle(const PageHandle&) = delete;
+  PageHandle& operator=(const PageHandle&) = delete;
+
+  bool valid() const { return pool_ != nullptr; }
+  PageId page() const { return page_; }
+  FrameId frame() const { return frame_; }
+
+  /// The frame's data (page_size bytes). Writable; call MarkDirty() after
+  /// modifying so the pool writes the page back before eviction.
+  uint8_t* data() const { return data_; }
+
+  /// Marks the page dirty; it will be written back on eviction/flush.
+  void MarkDirty();
+
+  /// Releases the pin early (also done by the destructor).
+  void Release();
+
+ private:
+  friend class BufferPool;
+  PageHandle(BufferPool* pool, PageId page, FrameId frame, uint8_t* data)
+      : pool_(pool), page_(page), frame_(frame), data_(data) {}
+
+  BufferPool* pool_ = nullptr;
+  PageId page_ = kInvalidPageId;
+  FrameId frame_ = kInvalidFrameId;
+  uint8_t* data_ = nullptr;
+};
+
+/// Counters a worker accumulates locally (merged by the driver).
+struct AccessStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+
+  uint64_t accesses() const { return hits + misses; }
+  double hit_ratio() const {
+    const uint64_t total = accesses();
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+};
+
+struct BufferPoolConfig {
+  size_t num_frames = 1024;
+  size_t page_size = kDefaultPageSize;
+  size_t table_shards = 128;
+  /// Maximum ChooseVictim retries when races invalidate the chosen victim
+  /// before giving the scheduler a chance to run.
+  int eviction_retries = 64;
+};
+
+class BufferPool {
+ public:
+  /// A per-worker-thread session: wraps the coordinator's thread slot and
+  /// local hit/miss counters. Create one per thread via CreateSession().
+  class Session {
+   public:
+    const AccessStats& stats() const { return stats_; }
+    void ResetStats() { stats_ = AccessStats{}; }
+
+   private:
+    friend class BufferPool;
+    explicit Session(std::unique_ptr<Coordinator::ThreadSlot> slot)
+        : slot_(std::move(slot)) {}
+    std::unique_ptr<Coordinator::ThreadSlot> slot_;
+    AccessStats stats_;
+  };
+
+  /// @param coordinator owns the replacement policy; the pool binds its
+  ///        frame-tag array into it for commit-time re-validation.
+  BufferPool(const BufferPoolConfig& config, StorageEngine* storage,
+             std::unique_ptr<Coordinator> coordinator);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Registers the calling thread.
+  std::unique_ptr<Session> CreateSession();
+
+  /// Fetches `page`, reading it from storage on a miss, and returns a
+  /// pinned handle.
+  StatusOr<PageHandle> FetchPage(Session& session, PageId page);
+
+  /// Drops `page` from the buffer (invalidation). Fails with
+  /// FailedPrecondition if the page is pinned. The page is NOT written
+  /// back: callers invalidating a page are discarding its contents.
+  Status DropPage(Session& session, PageId page);
+
+  /// Writes back every dirty page (quiesced callers only).
+  Status FlushAll();
+
+  /// Commits any accesses buffered in this session's BP-Wrapper queue.
+  void FlushSession(Session& session);
+
+  /// Pre-loads `pages` sequentially (warm-up helper for experiments).
+  Status Prewarm(Session& session, PageId first_page, uint64_t count);
+
+  Coordinator& coordinator() { return *coordinator_; }
+  const Coordinator& coordinator() const { return *coordinator_; }
+  StorageEngine& storage() { return *storage_; }
+  size_t num_frames() const { return config_.num_frames; }
+  size_t page_size() const { return config_.page_size; }
+
+  /// Pool-wide miss-path counters.
+  uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+  uint64_t writebacks() const {
+    return writebacks_.load(std::memory_order_relaxed);
+  }
+  /// Times a chosen victim had to be re-registered because it was pinned
+  /// between selection and latching (rare race; see EvictOne).
+  uint64_t eviction_races() const {
+    return eviction_races_.load(std::memory_order_relaxed);
+  }
+
+  /// Structural integrity check for tests: table/tag/policy agreement.
+  Status CheckIntegrity();
+
+ private:
+  friend class PageHandle;
+
+  struct FrameMeta {
+    SpinLock latch;
+    // Transitions happen under the latch; atomics allow the policy's
+    // evictability probe and Unpin to read/update without it.
+    std::atomic<uint32_t> pin_count{0};
+    std::atomic<bool> dirty{false};
+    std::atomic<bool> io_busy{false};
+  };
+
+  uint8_t* FrameData(FrameId frame) {
+    return buffer_.data() + static_cast<size_t>(frame) * config_.page_size;
+  }
+  PageId FrameTag(FrameId frame) const {
+    return frame_tags_[frame].load(std::memory_order_acquire);
+  }
+
+  /// Attempts to pin `frame` expecting it to hold `page`. Returns false if
+  /// the frame moved on (caller retries the whole fetch).
+  bool TryPin(FrameId frame, PageId page);
+
+  void Unpin(FrameId frame, bool mark_dirty);
+
+  /// Obtains a clean, unmapped frame: from the free list, or by evicting.
+  StatusOr<FrameId> AcquireFrame(Session& session, PageId incoming);
+
+  /// Single-flight guard around the miss path.
+  bool BeginLoad(PageId page);   // true if this thread owns the load
+  void FinishLoad(PageId page);  // wakes waiters
+
+  BufferPoolConfig config_;
+  StorageEngine* storage_;
+  std::unique_ptr<Coordinator> coordinator_;
+
+  PageTable table_;
+  std::vector<uint8_t> buffer_;
+  std::vector<FrameMeta> frames_;
+  std::vector<std::atomic<PageId>> frame_tags_;
+
+  SpinLock free_lock_;
+  std::vector<FrameId> free_frames_;
+
+  std::mutex pending_mu_;
+  std::condition_variable pending_cv_;
+  std::unordered_set<PageId> pending_loads_;
+
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> writebacks_{0};
+  std::atomic<uint64_t> eviction_races_{0};
+};
+
+}  // namespace bpw

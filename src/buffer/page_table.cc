@@ -1,0 +1,54 @@
+#include "buffer/page_table.h"
+
+#include <bit>
+
+namespace bpw {
+
+PageTable::PageTable(size_t num_shards) {
+  if (num_shards == 0) num_shards = 1;
+  num_shards = std::bit_ceil(num_shards);
+  shards_ = std::vector<CacheAligned<Shard>>(num_shards);
+  shard_mask_ = num_shards - 1;
+}
+
+FrameId PageTable::Lookup(PageId page) const {
+  const Shard& shard = ShardFor(page);
+  shard.lock.lock();
+  auto it = shard.map.find(page);
+  const FrameId frame = it == shard.map.end() ? kInvalidFrameId : it->second;
+  shard.lock.unlock();
+  return frame;
+}
+
+bool PageTable::Insert(PageId page, FrameId frame) {
+  Shard& shard = ShardFor(page);
+  shard.lock.lock();
+  const bool inserted = shard.map.try_emplace(page, frame).second;
+  shard.lock.unlock();
+  return inserted;
+}
+
+bool PageTable::Erase(PageId page, FrameId frame) {
+  Shard& shard = ShardFor(page);
+  shard.lock.lock();
+  auto it = shard.map.find(page);
+  bool erased = false;
+  if (it != shard.map.end() && it->second == frame) {
+    shard.map.erase(it);
+    erased = true;
+  }
+  shard.lock.unlock();
+  return erased;
+}
+
+size_t PageTable::size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    shard->lock.lock();
+    total += shard->map.size();
+    shard->lock.unlock();
+  }
+  return total;
+}
+
+}  // namespace bpw

@@ -1,0 +1,66 @@
+// PageTable: the partitioned hash table mapping PageId -> FrameId.
+//
+// Mirrors the paper's Fig. 1 description of why the hash table is *not* the
+// scalability problem: "metadata of buffer pages are evenly distributed
+// into hash buckets. One lock for each bucket, instead of a global lock, is
+// used" (§II). Each shard has its own spinlock; lookups take one shard lock
+// for a few dozen instructions.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "sync/spinlock.h"
+#include "util/cacheline.h"
+#include "util/types.h"
+
+namespace bpw {
+
+class PageTable {
+ public:
+  /// @param num_shards number of independently-locked partitions; rounded
+  ///        up to a power of two. More shards = less lock sharing.
+  explicit PageTable(size_t num_shards = 128);
+
+  PageTable(const PageTable&) = delete;
+  PageTable& operator=(const PageTable&) = delete;
+
+  /// Returns the frame caching `page`, or kInvalidFrameId.
+  FrameId Lookup(PageId page) const;
+
+  /// Maps `page` to `frame`. Returns false (and changes nothing) if the
+  /// page is already mapped.
+  bool Insert(PageId page, FrameId frame);
+
+  /// Removes the mapping for `page`, but only if it currently points at
+  /// `frame` (guards against racing re-insertions). Returns true if
+  /// removed.
+  bool Erase(PageId page, FrameId frame);
+
+  /// Total mapped pages (approximate under concurrency: sums per-shard
+  /// sizes without a global lock).
+  size_t size() const;
+
+  size_t num_shards() const { return shards_.size(); }
+
+ private:
+  struct Shard {
+    mutable SpinLock lock;
+    std::unordered_map<PageId, FrameId> map;
+  };
+
+  const Shard& ShardFor(PageId page) const {
+    // Multiplicative hash to spread sequential page ids across shards.
+    const uint64_t h = page * 0x9E3779B97F4A7C15ULL;
+    return *shards_[(h >> 32) & shard_mask_];
+  }
+  Shard& ShardFor(PageId page) {
+    return const_cast<Shard&>(
+        static_cast<const PageTable*>(this)->ShardFor(page));
+  }
+
+  std::vector<CacheAligned<Shard>> shards_;
+  size_t shard_mask_;
+};
+
+}  // namespace bpw

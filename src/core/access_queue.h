@@ -1,0 +1,55 @@
+// AccessQueue: the per-thread FIFO queue at the heart of BP-Wrapper
+// (paper Fig. 4: `Page *Queue[S]` plus `Tail`). Records page accesses that
+// have happened but whose replacement-algorithm bookkeeping is deferred.
+//
+// Single-producer, single-consumer-is-the-producer: only the owning thread
+// touches it, so no synchronization is needed — that is the entire point
+// ("Recording access information into private FIFO queues incurs the least
+// synchronization and coherence cost", §III-A).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/types.h"
+
+namespace bpw {
+
+class AccessQueue {
+ public:
+  /// One recorded page access: the frame the page was found in plus the
+  /// page id, kept so the commit can re-validate the pair against the
+  /// buffer pool's current tags (paper §IV-B: "we first compare the
+  /// BufferTag in the entry against the BufferTag in the meta-data").
+  struct Entry {
+    PageId page = kInvalidPageId;
+    FrameId frame = kInvalidFrameId;
+  };
+
+  explicit AccessQueue(size_t capacity)
+      : entries_(capacity > 0 ? capacity : 1) {}
+
+  /// Appends an access. Requires !full().
+  void Record(PageId page, FrameId frame) {
+    entries_[tail_] = Entry{page, frame};
+    ++tail_;
+  }
+
+  bool full() const { return tail_ == entries_.size(); }
+  bool empty() const { return tail_ == 0; }
+  size_t size() const { return tail_; }
+  size_t capacity() const { return entries_.size(); }
+
+  /// The recorded entries, in arrival order.
+  const Entry* data() const { return entries_.data(); }
+  const Entry& operator[](size_t i) const { return entries_[i]; }
+
+  /// Empties the queue (after a commit).
+  void Clear() { tail_ = 0; }
+
+ private:
+  std::vector<Entry> entries_;
+  size_t tail_ = 0;
+};
+
+}  // namespace bpw

@@ -1,0 +1,147 @@
+#include "core/bp_wrapper.h"
+
+#include <cassert>
+
+#include "sync/prefetch.h"
+#include "util/logging.h"
+
+namespace bpw {
+
+BpWrapperCoordinator::BpWrapperCoordinator(
+    std::unique_ptr<ReplacementPolicy> policy, Options options)
+    : policy_(std::move(policy)),
+      options_(options),
+      lock_(options.instrumentation) {
+  if (options_.queue_size == 0) options_.queue_size = 1;
+  if (options_.batch_threshold == 0) options_.batch_threshold = 1;
+  if (options_.batch_threshold > options_.queue_size) {
+    options_.batch_threshold = options_.queue_size;
+  }
+}
+
+BpWrapperCoordinator::~BpWrapperCoordinator() {
+  std::lock_guard<std::mutex> guard(slots_mu_);
+  if (!slots_.empty()) {
+    BPW_LOG_ERROR << "BpWrapperCoordinator destroyed with " << slots_.size()
+                  << " live thread slots";
+  }
+}
+
+BpWrapperCoordinator::Slot::~Slot() {
+  // A thread unregistering with queued accesses commits them so no history
+  // is silently lost.
+  if (!queue.empty()) {
+    owner_->FlushSlot(this);
+  }
+  std::lock_guard<std::mutex> guard(owner_->slots_mu_);
+  owner_->slots_.erase(this);
+}
+
+std::unique_ptr<Coordinator::ThreadSlot>
+BpWrapperCoordinator::RegisterThread() {
+  auto slot = std::make_unique<Slot>(this, options_.queue_size);
+  {
+    std::lock_guard<std::mutex> guard(slots_mu_);
+    slots_.insert(slot.get());
+  }
+  return slot;
+}
+
+void BpWrapperCoordinator::PrefetchForCommit(const AccessQueue& queue) const {
+  // Touch the lock word first (it is needed soonest), then the policy node
+  // of every queued frame. All reads; cannot corrupt shared state (§III-B).
+  PrefetchWrite(&lock_);
+  for (size_t i = 0; i < queue.size(); ++i) {
+    policy_->PrefetchHint(queue[i].frame);
+  }
+}
+
+void BpWrapperCoordinator::CommitLocked(AccessQueue& queue) {
+  uint64_t stale = 0;
+  const size_t n = queue.size();
+  for (size_t i = 0; i < n; ++i) {
+    const AccessQueue::Entry& entry = queue[i];
+    // §IV-B: skip entries whose buffer page was invalidated or replaced
+    // between recording and committing.
+    if (!TagStillValid(entry.page, entry.frame)) {
+      ++stale;
+      continue;
+    }
+    policy_->OnHit(entry.page, entry.frame);
+  }
+  queue.Clear();
+  if (n > 0) {
+    commit_batches_.fetch_add(1, std::memory_order_relaxed);
+    committed_entries_.fetch_add(n - stale, std::memory_order_relaxed);
+    if (stale > 0) {
+      stale_commits_.fetch_add(stale, std::memory_order_relaxed);
+    }
+  }
+}
+
+void BpWrapperCoordinator::OnHit(ThreadSlot* base_slot, PageId page,
+                                 FrameId frame) {
+  auto* slot = static_cast<Slot*>(base_slot);
+  AccessQueue& queue = slot->queue;
+  assert(!queue.full());
+  queue.Record(page, frame);
+
+  if (queue.size() < options_.batch_threshold) return;
+
+  // Enough accesses accumulated: try to commit without blocking.
+  if (options_.prefetch) PrefetchForCommit(queue);
+  if (lock_.TryLock()) {
+    CommitLocked(queue);
+    lock_.Unlock();
+    return;
+  }
+  if (!queue.full()) {
+    // Lock busy and there is still room: keep recording (Fig. 4 line 11).
+    return;
+  }
+  // Queue completely full: we must block (Fig. 4 line 13).
+  lock_.Lock();
+  CommitLocked(queue);
+  lock_.Unlock();
+}
+
+StatusOr<Coordinator::Victim> BpWrapperCoordinator::ChooseVictim(
+    ThreadSlot* base_slot, const EvictableFn& evictable, PageId incoming) {
+  auto* slot = static_cast<Slot*>(base_slot);
+  if (options_.prefetch) PrefetchForCommit(slot->queue);
+  lock_.Lock();
+  // A miss commits the pending accesses first so the policy decides with
+  // the freshest history (Fig. 4, replacement_for_page_miss).
+  CommitLocked(slot->queue);
+  auto victim = policy_->ChooseVictim(evictable, incoming);
+  lock_.Unlock();
+  return victim;
+}
+
+void BpWrapperCoordinator::CompleteMiss(ThreadSlot* base_slot, PageId page,
+                                        FrameId frame) {
+  auto* slot = static_cast<Slot*>(base_slot);
+  lock_.Lock();
+  CommitLocked(slot->queue);
+  policy_->OnMiss(page, frame);
+  lock_.Unlock();
+}
+
+void BpWrapperCoordinator::OnErase(ThreadSlot* base_slot, PageId page,
+                                   FrameId frame) {
+  auto* slot = static_cast<Slot*>(base_slot);
+  lock_.Lock();
+  CommitLocked(slot->queue);
+  policy_->OnErase(page, frame);
+  lock_.Unlock();
+}
+
+void BpWrapperCoordinator::FlushSlot(ThreadSlot* base_slot) {
+  auto* slot = static_cast<Slot*>(base_slot);
+  if (slot->queue.empty()) return;
+  lock_.Lock();
+  CommitLocked(slot->queue);
+  lock_.Unlock();
+}
+
+}  // namespace bpw

@@ -1,0 +1,60 @@
+#include "core/clock_coordinator.h"
+
+namespace bpw {
+
+namespace {
+void ClockHit(ReplacementPolicy* policy, PageId page, FrameId frame) {
+  static_cast<ClockPolicy*>(policy)->OnHitLockFree(page, frame);
+}
+void GClockHit(ReplacementPolicy* policy, PageId page, FrameId frame) {
+  static_cast<GClockPolicy*>(policy)->OnHitLockFree(page, frame);
+}
+}  // namespace
+
+ClockCoordinator::ClockCoordinator(std::unique_ptr<ClockPolicy> policy,
+                                   Options options)
+    : policy_(std::move(policy)),
+      hit_fn_(&ClockHit),
+      lock_(options.instrumentation) {}
+
+ClockCoordinator::ClockCoordinator(std::unique_ptr<GClockPolicy> policy,
+                                   Options options)
+    : policy_(std::move(policy)),
+      hit_fn_(&GClockHit),
+      lock_(options.instrumentation) {}
+
+std::unique_ptr<Coordinator::ThreadSlot> ClockCoordinator::RegisterThread() {
+  return std::make_unique<Slot>();
+}
+
+void ClockCoordinator::OnHit(ThreadSlot* /*slot*/, PageId page,
+                             FrameId frame) {
+  // The whole point: no lock, just an atomic reference-bit update.
+  hit_fn_(policy_.get(), page, frame);
+}
+
+StatusOr<Coordinator::Victim> ClockCoordinator::ChooseVictim(
+    ThreadSlot* /*slot*/, const EvictableFn& evictable, PageId incoming) {
+  lock_.Lock();
+  auto victim = policy_->ChooseVictim(evictable, incoming);
+  lock_.Unlock();
+  return victim;
+}
+
+void ClockCoordinator::CompleteMiss(ThreadSlot* /*slot*/, PageId page,
+                                    FrameId frame) {
+  lock_.Lock();
+  policy_->OnMiss(page, frame);
+  lock_.Unlock();
+}
+
+void ClockCoordinator::OnErase(ThreadSlot* /*slot*/, PageId page,
+                               FrameId frame) {
+  lock_.Lock();
+  policy_->OnErase(page, frame);
+  lock_.Unlock();
+}
+
+void ClockCoordinator::FlushSlot(ThreadSlot* /*slot*/) {}
+
+}  // namespace bpw

@@ -1,0 +1,55 @@
+// ClockCoordinator: the paper's scalability yardstick ("pgClock").
+//
+// PostgreSQL 8.1+ adopted the clock algorithm because a hit only sets a
+// reference bit and "does not need a lock upon hit access ... In this
+// sense, it eliminates lock contention and provides optimal scalability"
+// (§IV). This coordinator exploits ClockPolicy/GClockPolicy's atomic
+// reference bits to make OnHit completely lock-free; only the miss path
+// (victim sweep, insertion) takes the lock.
+#pragma once
+
+#include "core/coordinator.h"
+#include "policy/clock.h"
+#include "policy/gclock.h"
+
+namespace bpw {
+
+class ClockCoordinator : public Coordinator {
+ public:
+  struct Options {
+    LockInstrumentation instrumentation = LockInstrumentation::kCounts;
+  };
+
+  /// Accepts a CLOCK or GCLOCK policy (the only algorithms whose hit path
+  /// is a plain bit/counter update).
+  ClockCoordinator(std::unique_ptr<ClockPolicy> policy, Options options);
+  ClockCoordinator(std::unique_ptr<GClockPolicy> policy, Options options);
+  explicit ClockCoordinator(std::unique_ptr<ClockPolicy> policy)
+      : ClockCoordinator(std::move(policy), Options()) {}
+  explicit ClockCoordinator(std::unique_ptr<GClockPolicy> policy)
+      : ClockCoordinator(std::move(policy), Options()) {}
+
+  std::unique_ptr<ThreadSlot> RegisterThread() override;
+  void OnHit(ThreadSlot* slot, PageId page, FrameId frame) override;
+  StatusOr<Victim> ChooseVictim(ThreadSlot* slot, const EvictableFn& evictable,
+                                PageId incoming) override;
+  void CompleteMiss(ThreadSlot* slot, PageId page, FrameId frame) override;
+  void OnErase(ThreadSlot* slot, PageId page, FrameId frame) override;
+  void FlushSlot(ThreadSlot* slot) override;
+  LockStats lock_stats() const override { return lock_.stats(); }
+  void ResetLockStats() override { lock_.ResetStats(); }
+  const ReplacementPolicy& policy() const override { return *policy_; }
+  ReplacementPolicy* mutable_policy() override { return policy_.get(); }
+  std::string name() const override { return "clock-lockfree"; }
+
+ private:
+  class Slot : public ThreadSlot {};
+
+  using LockFreeHitFn = void (*)(ReplacementPolicy*, PageId, FrameId);
+
+  std::unique_ptr<ReplacementPolicy> policy_;
+  LockFreeHitFn hit_fn_;
+  ContentionLock lock_;
+};
+
+}  // namespace bpw

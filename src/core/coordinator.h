@@ -1,0 +1,108 @@
+// Coordinator: the concurrency-control seam between the buffer pool and a
+// replacement policy.
+//
+// The paper's whole contribution lives at this seam. A policy is
+// single-threaded code (see replacement_policy.h); a Coordinator decides
+// *when and under which lock* the policy's bookkeeping runs:
+//
+//   SerializedCoordinator   — lock per access: the conventional DBMS design
+//                             the paper calls "pg2Q" (optionally with the
+//                             prefetch technique: "pgPre").
+//   BpWrapperCoordinator    — the paper's framework: per-thread FIFO queues,
+//                             batched commits via TryLock, optional
+//                             prefetching ("pgBat" / "pgBatPre").
+//   ClockCoordinator        — lock-free reference-bit hits for CLOCK/GCLOCK:
+//                             the paper's scalability yardstick ("pgClock").
+//
+// Thread model: each worker thread registers once and gets a ThreadSlot; all
+// per-thread state (the BP-Wrapper FIFO queue) hangs off the slot, so the
+// coordinator itself stays wait-free on the recording path.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "policy/replacement_policy.h"
+#include "sync/contention_lock.h"
+#include "util/status.h"
+#include "util/types.h"
+
+namespace bpw {
+
+class Coordinator {
+ public:
+  using Victim = ReplacementPolicy::Victim;
+  using EvictableFn = ReplacementPolicy::EvictableFn;
+
+  /// Per-thread state handle. Obtained once per worker thread via
+  /// RegisterThread(); not shareable between threads.
+  class ThreadSlot {
+   public:
+    virtual ~ThreadSlot() = default;
+  };
+
+  virtual ~Coordinator() = default;
+
+  /// Registers the calling worker thread. The returned slot must be passed
+  /// to every subsequent call from that thread.
+  virtual std::unique_ptr<ThreadSlot> RegisterThread() = 0;
+
+  /// Records a buffer hit (page resident in frame). This is the hot path:
+  /// BP-Wrapper makes it lock-free in the common case.
+  virtual void OnHit(ThreadSlot* slot, PageId page, FrameId frame) = 0;
+
+  /// Miss path, phase 1: select and detach a victim. `incoming` is the
+  /// page being faulted in.
+  virtual StatusOr<Victim> ChooseVictim(ThreadSlot* slot,
+                                        const EvictableFn& evictable,
+                                        PageId incoming) = 0;
+
+  /// Miss path, phase 2: after the I/O, register `page` as resident in
+  /// `frame`.
+  virtual void CompleteMiss(ThreadSlot* slot, PageId page, FrameId frame) = 0;
+
+  /// Forced removal (invalidation / drop).
+  virtual void OnErase(ThreadSlot* slot, PageId page, FrameId frame) = 0;
+
+  /// Commits any state buffered in this thread's slot (BP-Wrapper queue).
+  virtual void FlushSlot(ThreadSlot* slot) = 0;
+
+  /// Aggregated statistics of the policy lock (acquisitions, contentions,
+  /// hold/wait time). The paper's "average lock contention" divides
+  /// .contentions by total page accesses.
+  virtual LockStats lock_stats() const = 0;
+  virtual void ResetLockStats() = 0;
+
+  /// The wrapped policy. Non-const access is for tests and quiesced phases
+  /// only; callers must guarantee no concurrent coordinator traffic.
+  virtual const ReplacementPolicy& policy() const = 0;
+  virtual ReplacementPolicy* mutable_policy() = 0;
+
+  /// Human-readable coordinator name ("serialized", "bp-wrapper", ...).
+  virtual std::string name() const = 0;
+
+  /// Binds the frame→page tag array the buffer pool maintains, used by
+  /// BP-Wrapper to re-validate queued accesses at commit time (paper
+  /// §IV-B). Optional: coordinators work (with slightly more stale commits)
+  /// without it.
+  void BindFrameTags(const std::atomic<PageId>* tags, size_t count) {
+    frame_tags_ = tags;
+    frame_tag_count_ = count;
+  }
+
+ protected:
+  /// True if the tag array says `frame` still holds `page` (or no tag array
+  /// is bound, in which case the policy's own staleness check is the only
+  /// filter).
+  bool TagStillValid(PageId page, FrameId frame) const {
+    if (frame_tags_ == nullptr) return true;
+    if (frame >= frame_tag_count_) return false;
+    return frame_tags_[frame].load(std::memory_order_acquire) == page;
+  }
+
+  const std::atomic<PageId>* frame_tags_ = nullptr;
+  size_t frame_tag_count_ = 0;
+};
+
+}  // namespace bpw

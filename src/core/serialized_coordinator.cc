@@ -1,0 +1,57 @@
+#include "core/serialized_coordinator.h"
+
+#include "sync/prefetch.h"
+
+namespace bpw {
+
+SerializedCoordinator::SerializedCoordinator(
+    std::unique_ptr<ReplacementPolicy> policy, Options options)
+    : policy_(std::move(policy)),
+      options_(options),
+      lock_(options.instrumentation) {}
+
+std::unique_ptr<Coordinator::ThreadSlot>
+SerializedCoordinator::RegisterThread() {
+  return std::make_unique<Slot>();
+}
+
+void SerializedCoordinator::OnHit(ThreadSlot* /*slot*/, PageId page,
+                                  FrameId frame) {
+  if (options_.prefetch) {
+    // Warm the processor cache with the lock word and the policy node this
+    // critical section will touch, before acquiring the lock (§III-B).
+    PrefetchWrite(&lock_);
+    policy_->PrefetchHint(frame);
+  }
+  lock_.Lock();
+  policy_->OnHit(page, frame);
+  lock_.Unlock();
+}
+
+StatusOr<Coordinator::Victim> SerializedCoordinator::ChooseVictim(
+    ThreadSlot* /*slot*/, const EvictableFn& evictable, PageId incoming) {
+  lock_.Lock();
+  auto victim = policy_->ChooseVictim(evictable, incoming);
+  lock_.Unlock();
+  return victim;
+}
+
+void SerializedCoordinator::CompleteMiss(ThreadSlot* /*slot*/, PageId page,
+                                         FrameId frame) {
+  lock_.Lock();
+  policy_->OnMiss(page, frame);
+  lock_.Unlock();
+}
+
+void SerializedCoordinator::OnErase(ThreadSlot* /*slot*/, PageId page,
+                                    FrameId frame) {
+  lock_.Lock();
+  policy_->OnErase(page, frame);
+  lock_.Unlock();
+}
+
+void SerializedCoordinator::FlushSlot(ThreadSlot* /*slot*/) {
+  // Nothing buffered: every access was committed eagerly.
+}
+
+}  // namespace bpw

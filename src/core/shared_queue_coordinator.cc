@@ -1,0 +1,97 @@
+#include "core/shared_queue_coordinator.h"
+
+#include <algorithm>
+
+namespace bpw {
+
+SharedQueueCoordinator::SharedQueueCoordinator(
+    std::unique_ptr<ReplacementPolicy> policy, Options options)
+    : policy_(std::move(policy)),
+      options_(options),
+      lock_(options.instrumentation) {
+  if (options_.queue_size == 0) options_.queue_size = 1;
+  options_.batch_threshold =
+      std::clamp<size_t>(options_.batch_threshold, 1, options_.queue_size);
+  queue_.reserve(options_.queue_size);
+}
+
+std::unique_ptr<Coordinator::ThreadSlot>
+SharedQueueCoordinator::RegisterThread() {
+  return std::make_unique<Slot>();
+}
+
+void SharedQueueCoordinator::CommitLocked() {
+  // Swap the shared buffer out under the queue lock, replay outside it
+  // (but under the policy lock held by the caller).
+  std::vector<AccessQueue::Entry> batch;
+  batch.reserve(options_.queue_size);
+  queue_lock_.lock();
+  batch.swap(queue_);
+  queue_lock_.unlock();
+  for (const AccessQueue::Entry& entry : batch) {
+    if (TagStillValid(entry.page, entry.frame)) {
+      policy_->OnHit(entry.page, entry.frame);
+    }
+  }
+}
+
+void SharedQueueCoordinator::OnHit(ThreadSlot* /*slot*/, PageId page,
+                                   FrameId frame) {
+  // The design flaw the paper called out: every hit synchronizes on the
+  // shared queue (and its cache line bounces between processors).
+  size_t size_after;
+  queue_lock_.lock();
+  queue_.push_back(AccessQueue::Entry{page, frame});
+  size_after = queue_.size();
+  queue_lock_.unlock();
+  queue_acquisitions_.fetch_add(1, std::memory_order_relaxed);
+
+  if (size_after < options_.batch_threshold) return;
+  if (lock_.TryLock()) {
+    CommitLocked();
+    lock_.Unlock();
+    return;
+  }
+  if (size_after < options_.queue_size) return;
+  lock_.Lock();
+  CommitLocked();
+  lock_.Unlock();
+}
+
+StatusOr<Coordinator::Victim> SharedQueueCoordinator::ChooseVictim(
+    ThreadSlot* /*slot*/, const EvictableFn& evictable, PageId incoming) {
+  lock_.Lock();
+  CommitLocked();
+  auto victim = policy_->ChooseVictim(evictable, incoming);
+  lock_.Unlock();
+  return victim;
+}
+
+void SharedQueueCoordinator::CompleteMiss(ThreadSlot* /*slot*/, PageId page,
+                                          FrameId frame) {
+  lock_.Lock();
+  CommitLocked();
+  policy_->OnMiss(page, frame);
+  lock_.Unlock();
+}
+
+void SharedQueueCoordinator::OnErase(ThreadSlot* /*slot*/, PageId page,
+                                     FrameId frame) {
+  lock_.Lock();
+  CommitLocked();
+  policy_->OnErase(page, frame);
+  lock_.Unlock();
+}
+
+void SharedQueueCoordinator::FlushSlot(ThreadSlot* /*slot*/) {
+  bool empty;
+  queue_lock_.lock();
+  empty = queue_.empty();
+  queue_lock_.unlock();
+  if (empty) return;
+  lock_.Lock();
+  CommitLocked();
+  lock_.Unlock();
+}
+
+}  // namespace bpw

@@ -1,0 +1,196 @@
+#include "harness/driver.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "buffer/buffer_pool.h"
+#include "util/clock.h"
+#include "util/logging.h"
+
+namespace bpw {
+
+namespace {
+
+enum class Phase : int { kWarmup, kMeasure, kStop };
+
+struct WorkerOutput {
+  Histogram response;   // transaction response times, nanoseconds
+  uint64_t transactions = 0;
+  AccessStats access;
+  uint64_t errors = 0;
+  uint64_t spin_sink = 0;  // keeps SpinWork alive
+};
+
+void WorkerLoop(BufferPool& pool, const DriverConfig& config,
+                uint32_t thread_id, const std::atomic<int>& phase,
+                WorkerOutput& out) {
+  auto session = pool.CreateSession();
+  auto trace = CreateTrace(config.workload, thread_id);
+  if (trace == nullptr) {
+    ++out.errors;
+    return;
+  }
+
+  const bool count_mode = config.transactions_per_thread > 0;
+  int seen_phase = static_cast<int>(Phase::kWarmup);
+  uint64_t tx_start_nanos = 0;
+  bool in_tx = false;
+
+  while (true) {
+    const PageAccess access = trace->Next();
+    if (access.begins_transaction) {
+      const uint64_t now = NowNanos();
+      if (in_tx) {
+        out.response.Record(now - tx_start_nanos);
+        ++out.transactions;
+      }
+      tx_start_nanos = now;
+      in_tx = true;
+
+      if (count_mode) {
+        if (out.transactions >= config.transactions_per_thread) break;
+      } else {
+        const int current = phase.load(std::memory_order_relaxed);
+        if (current == static_cast<int>(Phase::kStop)) break;
+        if (current != seen_phase) {
+          // Warm-up ended: shed everything counted so far.
+          seen_phase = current;
+          out.response.Reset();
+          out.transactions = 0;
+          session->ResetStats();
+        }
+      }
+    }
+
+    auto handle = pool.FetchPage(*session, access.page);
+    if (!handle.ok()) {
+      ++out.errors;
+      continue;
+    }
+    if (access.is_write) handle.value().MarkDirty();
+    handle.value().Release();
+
+    if (config.think_work > 0) {
+      out.spin_sink += SpinWork(config.think_work);
+    }
+  }
+  pool.FlushSession(*session);
+  out.access = session->stats();
+}
+
+}  // namespace
+
+StatusOr<DriverResult> RunDriver(const DriverConfig& config) {
+  if (config.num_threads == 0) {
+    return Status::InvalidArgument("need at least one worker thread");
+  }
+  auto probe = CreateTrace(config.workload, 0);
+  if (probe == nullptr) {
+    return Status::InvalidArgument("unknown workload: " +
+                                   config.workload.name);
+  }
+  const uint64_t footprint = probe->footprint_pages();
+  probe.reset();
+
+  const size_t num_frames =
+      config.num_frames != 0 ? config.num_frames : footprint;
+
+  StorageEngine storage(footprint, config.page_size, config.storage_latency);
+
+  auto coordinator = CreateCoordinator(config.system, num_frames);
+  if (!coordinator.ok()) return coordinator.status();
+
+  BufferPoolConfig pool_config;
+  pool_config.num_frames = num_frames;
+  pool_config.page_size = config.page_size;
+  BufferPool pool(pool_config, &storage, std::move(coordinator).value());
+
+  if (config.prewarm) {
+    auto warm_session = pool.CreateSession();
+    const uint64_t warm_pages = std::min<uint64_t>(footprint, num_frames);
+    auto status = pool.Prewarm(*warm_session, 0, warm_pages);
+    if (!status.ok()) return status;
+    pool.FlushSession(*warm_session);
+  }
+
+  std::atomic<int> phase{static_cast<int>(Phase::kWarmup)};
+  std::vector<WorkerOutput> outputs(config.num_threads);
+  std::vector<std::thread> workers;
+  workers.reserve(config.num_threads);
+  for (uint32_t t = 0; t < config.num_threads; ++t) {
+    workers.emplace_back(WorkerLoop, std::ref(pool), std::cref(config), t,
+                         std::cref(phase), std::ref(outputs[t]));
+  }
+
+  LockStats lock_before;
+  uint64_t measure_start = 0;
+  uint64_t measure_end = 0;
+  const bool count_mode = config.transactions_per_thread > 0;
+  if (count_mode) {
+    measure_start = NowNanos();
+    for (auto& w : workers) w.join();
+    measure_end = NowNanos();
+    lock_before = LockStats{};  // whole run counts
+  } else {
+    std::this_thread::sleep_for(std::chrono::milliseconds(config.warmup_ms));
+    lock_before = pool.coordinator().lock_stats();
+    measure_start = NowNanos();
+    phase.store(static_cast<int>(Phase::kMeasure),
+                std::memory_order_relaxed);
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(config.duration_ms));
+    phase.store(static_cast<int>(Phase::kStop), std::memory_order_relaxed);
+    measure_end = NowNanos();
+    for (auto& w : workers) w.join();
+  }
+
+  const LockStats lock_after = pool.coordinator().lock_stats();
+
+  DriverResult result;
+  result.measure_seconds =
+      static_cast<double>(measure_end - measure_start) / 1e9;
+  for (const auto& out : outputs) {
+    if (out.errors > 0) {
+      return Status::Internal("worker reported errors during the run");
+    }
+    result.transactions += out.transactions;
+    result.hits += out.access.hits;
+    result.misses += out.access.misses;
+    result.response_histogram.Merge(out.response);
+  }
+  result.accesses = result.hits + result.misses;
+  if (result.measure_seconds > 0) {
+    result.throughput_tps =
+        static_cast<double>(result.transactions) / result.measure_seconds;
+    result.accesses_per_sec =
+        static_cast<double>(result.accesses) / result.measure_seconds;
+  }
+  result.avg_response_us = result.response_histogram.Mean() / 1000.0;
+  result.p95_response_us = result.response_histogram.Percentile(95) / 1000.0;
+  result.hit_ratio =
+      result.accesses == 0
+          ? 0.0
+          : static_cast<double>(result.hits) / result.accesses;
+
+  result.lock.acquisitions = lock_after.acquisitions - lock_before.acquisitions;
+  result.lock.contentions = lock_after.contentions - lock_before.contentions;
+  result.lock.trylock_failures =
+      lock_after.trylock_failures - lock_before.trylock_failures;
+  result.lock.hold_nanos = lock_after.hold_nanos - lock_before.hold_nanos;
+  result.lock.wait_nanos = lock_after.wait_nanos - lock_before.wait_nanos;
+  if (result.accesses > 0) {
+    result.contentions_per_million =
+        static_cast<double>(result.lock.contentions) * 1e6 /
+        static_cast<double>(result.accesses);
+    result.lock_nanos_per_access =
+        static_cast<double>(result.lock.hold_nanos +
+                            result.lock.wait_nanos) /
+        static_cast<double>(result.accesses);
+  }
+  result.evictions = pool.evictions();
+  result.writebacks = pool.writebacks();
+  return result;
+}
+
+}  // namespace bpw

@@ -1,0 +1,88 @@
+// Driver: runs one configured system under one workload with N worker
+// threads and measures exactly what the paper reports:
+//   - throughput (transactions per second)
+//   - average (and percentile) transaction response time
+//   - average lock contention (contention events per million page accesses,
+//     the §IV-D definition)
+//   - hit ratio, and lock acquisition+holding time per access (Fig. 2)
+//
+// Run phases: a warm-up (optionally preceded by a sequential pre-warm of
+// the buffer, as the paper does for the zero-miss scalability runs),
+// followed by a timed measurement window. Workers reset their local
+// counters at the warm-up/measure transition; global lock counters are
+// snapshot-subtracted.
+#pragma once
+
+#include <cstdint>
+
+#include "core/coordinator_factory.h"
+#include "storage/storage_engine.h"
+#include "util/histogram.h"
+#include "util/status.h"
+#include "workload/trace_generator.h"
+
+namespace bpw {
+
+struct DriverConfig {
+  uint32_t num_threads = 4;
+
+  /// Measurement window. If transactions_per_thread is non-zero the run is
+  /// count-based instead (each thread executes exactly that many
+  /// transactions, no phases) — used by deterministic tests.
+  uint64_t duration_ms = 400;
+  uint64_t warmup_ms = 100;
+  uint64_t transactions_per_thread = 0;
+
+  WorkloadSpec workload;
+  SystemConfig system;
+
+  /// Buffer size in frames. 0 = the workload's full footprint, i.e. the
+  /// paper's zero-miss scalability setting ("we set the buffer large enough
+  /// to hold the whole working sets ... and pre-warm the buffer").
+  size_t num_frames = 0;
+  size_t page_size = 4096;
+
+  StorageLatencyModel storage_latency;  // default: no latency
+
+  /// Non-critical-section computation per page access (SpinWork
+  /// iterations): the transaction-processing work between buffer requests.
+  /// Larger values shrink the relative weight of the replacement-policy
+  /// critical section (an Altix-like profile); smaller values grow it (the
+  /// PowerEdge profile of §IV-D, where hardware prefetching accelerated
+  /// only the non-critical code).
+  uint64_t think_work = 64;
+
+  /// Sequentially fault in the whole working set before the run.
+  bool prewarm = true;
+};
+
+struct DriverResult {
+  double measure_seconds = 0;
+  uint64_t transactions = 0;
+  uint64_t accesses = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+
+  double throughput_tps = 0;
+  double accesses_per_sec = 0;
+  double avg_response_us = 0;
+  double p95_response_us = 0;
+  double hit_ratio = 0;
+
+  LockStats lock;  // deltas over the measurement window
+  /// The paper's §IV-D metric: blocking lock waits per 1e6 page accesses.
+  double contentions_per_million = 0;
+  /// Fig. 2 metric (timing instrumentation only): (wait + hold) nanoseconds
+  /// averaged per page access.
+  double lock_nanos_per_access = 0;
+
+  uint64_t evictions = 0;
+  uint64_t writebacks = 0;
+  Histogram response_histogram;
+};
+
+/// Runs the experiment described by `config`. Creates storage, pool,
+/// policy, coordinator, workers; returns merged metrics.
+StatusOr<DriverResult> RunDriver(const DriverConfig& config);
+
+}  // namespace bpw

@@ -1,0 +1,114 @@
+#include "harness/reporter.h"
+
+#include <cstdio>
+
+namespace bpw {
+
+TableReporter::TableReporter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TableReporter::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string FormatDouble(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+void TableReporter::AddNumericRow(const std::string& label,
+                                  const std::vector<double>& values,
+                                  int precision) {
+  std::vector<std::string> row;
+  row.reserve(values.size() + 1);
+  row.push_back(label);
+  for (double v : values) row.push_back(FormatDouble(v, precision));
+  rows_.push_back(std::move(row));
+}
+
+void TableReporter::Print(const std::string& title) const {
+  if (!title.empty()) std::printf("%s\n", title.c_str());
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      std::printf("%-*s%s", static_cast<int>(widths[c]), cell.c_str(),
+                  c + 1 == widths.size() ? "\n" : "  ");
+    }
+  };
+  print_row(header_);
+  size_t total = header_.size() > 0 ? (header_.size() - 1) * 2 : 0;
+  for (size_t w : widths) total += w;
+  std::printf("%s\n", std::string(total, '-').c_str());
+  for (const auto& row : rows_) print_row(row);
+  std::printf("\n");
+}
+
+std::string TableReporter::ToCsv() const {
+  std::string out;
+  auto append_row = [&out](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out += row[c];
+      out += c + 1 == row.size() ? '\n' : ',';
+    }
+  };
+  append_row(header_);
+  for (const auto& row : rows_) append_row(row);
+  return out;
+}
+
+void PrintScalabilityTables(const std::string& workload_title,
+                            const std::vector<MatrixCell>& cells,
+                            const std::vector<std::string>& systems,
+                            const std::vector<uint32_t>& thread_counts) {
+  auto find = [&](const std::string& system,
+                  uint32_t threads) -> const DriverResult* {
+    for (const auto& cell : cells) {
+      if (cell.system == system && cell.threads == threads) {
+        return &cell.result;
+      }
+    }
+    return nullptr;
+  };
+
+  std::vector<std::string> header{"system"};
+  for (uint32_t t : thread_counts) {
+    header.push_back(std::to_string(t) + " thr");
+  }
+
+  struct Metric {
+    const char* title;
+    int precision;
+    double (*get)(const DriverResult&);
+  };
+  const Metric metrics[] = {
+      {"Throughput (transactions/sec)", 0,
+       [](const DriverResult& r) { return r.throughput_tps; }},
+      {"Average response time (us)", 1,
+       [](const DriverResult& r) { return r.avg_response_us; }},
+      {"Average lock contention (per 1M accesses)", 1,
+       [](const DriverResult& r) { return r.contentions_per_million; }},
+  };
+  for (const Metric& metric : metrics) {
+    TableReporter table(header);
+    for (const auto& system : systems) {
+      std::vector<double> values;
+      values.reserve(thread_counts.size());
+      for (uint32_t t : thread_counts) {
+        const DriverResult* r = find(system, t);
+        values.push_back(r == nullptr ? 0.0 : metric.get(*r));
+      }
+      table.AddNumericRow(system, values, metric.precision);
+    }
+    table.Print(workload_title + " — " + metric.title);
+  }
+}
+
+}  // namespace bpw

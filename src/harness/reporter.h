@@ -1,0 +1,45 @@
+// Table/CSV rendering of experiment results, so every bench binary prints
+// rows shaped like the paper's figures and tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "harness/systems.h"
+
+namespace bpw {
+
+/// A rendered table: header plus string cells, column-aligned by Print.
+class TableReporter {
+ public:
+  explicit TableReporter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  /// Adds a row from already-formatted doubles with `precision` decimals.
+  void AddNumericRow(const std::string& label,
+                     const std::vector<double>& values, int precision = 1);
+
+  /// Renders to stdout with aligned columns.
+  void Print(const std::string& title) const;
+
+  /// Renders as CSV (for plotting).
+  std::string ToCsv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision.
+std::string FormatDouble(double value, int precision = 1);
+
+/// Renders the standard scalability triple (throughput / response time /
+/// lock contention) the way Figs. 6-7 lay it out: one table per metric,
+/// systems as rows, thread counts as columns.
+void PrintScalabilityTables(const std::string& workload_title,
+                            const std::vector<MatrixCell>& cells,
+                            const std::vector<std::string>& systems,
+                            const std::vector<uint32_t>& thread_counts);
+
+}  // namespace bpw

@@ -1,0 +1,65 @@
+#include "harness/systems.h"
+
+namespace bpw {
+
+StatusOr<std::vector<MatrixCell>> RunSystemMatrix(
+    const DriverConfig& base, const std::vector<std::string>& systems,
+    const std::vector<uint32_t>& thread_counts,
+    const std::function<void(DriverConfig&)>& mutate) {
+  std::vector<MatrixCell> cells;
+  cells.reserve(systems.size() * thread_counts.size());
+  for (const auto& system_name : systems) {
+    auto system = PaperSystemConfig(system_name);
+    if (!system.ok()) return system.status();
+    for (const uint32_t threads : thread_counts) {
+      DriverConfig config = base;
+      config.system = system.value();
+      config.num_threads = threads;
+      if (mutate) mutate(config);
+      auto result = RunDriver(config);
+      if (!result.ok()) return result.status();
+      cells.push_back(
+          MatrixCell{system_name, threads, std::move(result).value()});
+    }
+  }
+  return cells;
+}
+
+StatusOr<std::vector<MatrixCell>> RunSystemMatrixSim(
+    const DriverConfig& base, const std::vector<std::string>& systems,
+    const std::vector<uint32_t>& thread_counts, const SimCosts& costs,
+    const std::function<void(DriverConfig&)>& mutate) {
+  std::vector<MatrixCell> cells;
+  cells.reserve(systems.size() * thread_counts.size());
+  for (const auto& system_name : systems) {
+    auto system = PaperSystemConfig(system_name);
+    if (!system.ok()) return system.status();
+    for (const uint32_t threads : thread_counts) {
+      DriverConfig config = base;
+      config.system = system.value();
+      config.num_threads = threads;
+      if (mutate) mutate(config);
+      auto result = RunSimulation(config, costs);
+      if (!result.ok()) return result.status();
+      cells.push_back(
+          MatrixCell{system_name, threads, std::move(result).value()});
+    }
+  }
+  return cells;
+}
+
+DriverConfig ScalabilityRunConfig(const std::string& workload_name,
+                                  uint64_t footprint_pages,
+                                  uint64_t duration_ms) {
+  DriverConfig config;
+  config.workload.name = workload_name;
+  config.workload.num_pages = footprint_pages;
+  config.duration_ms = duration_ms;
+  config.warmup_ms = duration_ms / 4;
+  config.num_frames = 0;  // buffer >= working set: the zero-miss setting
+  config.prewarm = true;
+  config.storage_latency = StorageLatencyModel::None();
+  return config;
+}
+
+}  // namespace bpw

@@ -1,0 +1,43 @@
+// Experiment matrix helpers: run the paper's five systems across thread
+// counts / parameter sweeps and collect the rows the benches print.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "harness/driver.h"
+#include "sim/sim_driver.h"
+
+namespace bpw {
+
+/// One measured cell of an experiment matrix.
+struct MatrixCell {
+  std::string system;
+  uint32_t threads = 0;
+  DriverResult result;
+};
+
+/// Runs `base` once per (system × thread count). `mutate` (optional) is
+/// applied to the per-cell config after system/thread substitution, for
+/// sweeps that vary more than those two axes. Stops at the first error.
+StatusOr<std::vector<MatrixCell>> RunSystemMatrix(
+    const DriverConfig& base, const std::vector<std::string>& systems,
+    const std::vector<uint32_t>& thread_counts,
+    const std::function<void(DriverConfig&)>& mutate = nullptr);
+
+/// Like RunSystemMatrix, but each cell runs on the multiprocessor
+/// simulator (src/sim) instead of host threads. `threads` is the number of
+/// *simulated processors*; durations are simulated milliseconds.
+StatusOr<std::vector<MatrixCell>> RunSystemMatrixSim(
+    const DriverConfig& base, const std::vector<std::string>& systems,
+    const std::vector<uint32_t>& thread_counts, const SimCosts& costs,
+    const std::function<void(DriverConfig&)>& mutate = nullptr);
+
+/// Convenience: a DriverConfig preset for the paper's scalability runs
+/// (zero-miss, pre-warmed, counted locks) on workload `workload_name`.
+DriverConfig ScalabilityRunConfig(const std::string& workload_name,
+                                  uint64_t footprint_pages,
+                                  uint64_t duration_ms);
+
+}  // namespace bpw

@@ -1,0 +1,37 @@
+// FIFO replacement: evicts pages in arrival order and ignores hits. Included
+// as the simplest correct policy — a useful baseline in tests (its behaviour
+// is exactly predictable) and benchmarks (it has the cheapest possible hit
+// path that still goes through the coordinator).
+#pragma once
+
+#include "policy/intrusive_list.h"
+#include "policy/replacement_policy.h"
+
+namespace bpw {
+
+class FifoPolicy : public ReplacementPolicy {
+ public:
+  explicit FifoPolicy(size_t num_frames);
+
+  void OnHit(PageId page, FrameId frame) override;
+  void OnMiss(PageId page, FrameId frame) override;
+  StatusOr<Victim> ChooseVictim(const EvictableFn& evictable,
+                                PageId incoming) override;
+  void OnErase(PageId page, FrameId frame) override;
+  Status CheckInvariants() const override;
+  size_t resident_count() const override { return list_.size(); }
+  bool IsResident(PageId page) const override;
+  std::string name() const override { return "fifo"; }
+
+ private:
+  struct Node {
+    PageId page = kInvalidPageId;
+    bool resident = false;
+    Link link;
+  };
+
+  std::vector<Node> nodes_;                // indexed by FrameId
+  IntrusiveList<Node, &Node::link> list_;  // front = newest, back = oldest
+};
+
+}  // namespace bpw

@@ -1,0 +1,127 @@
+// A doubly-linked intrusive list with a sentinel, used by every list-based
+// replacement policy. Intrusive linking is what real buffer managers use
+// (PostgreSQL freelist, LIRS stacks): no allocation on the hot path, and
+// O(1) unlink of an arbitrary element.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+
+namespace bpw {
+
+/// Embed one Link per list a node can be on.
+struct Link {
+  Link* prev = nullptr;
+  Link* next = nullptr;
+
+  bool linked() const { return prev != nullptr; }
+};
+
+/// Intrusive list over nodes of type T that embed a `Link` member at
+/// `Member`. Front is the "head" end; policies use front=MRU or front=LRU
+/// per their own convention (documented at each use site).
+template <typename T, Link T::*Member>
+class IntrusiveList {
+ public:
+  IntrusiveList() { Clear(); }
+
+  IntrusiveList(const IntrusiveList&) = delete;
+  IntrusiveList& operator=(const IntrusiveList&) = delete;
+
+  /// Unlinks all elements (does not destroy them).
+  void Clear() {
+    sentinel_.prev = &sentinel_;
+    sentinel_.next = &sentinel_;
+    size_ = 0;
+  }
+
+  bool empty() const { return sentinel_.next == &sentinel_; }
+  size_t size() const { return size_; }
+
+  void PushFront(T* node) { InsertAfter(&sentinel_, node); }
+  void PushBack(T* node) { InsertAfter(sentinel_.prev, node); }
+
+  /// Inserts `node` immediately before `pos` (pos must be linked here).
+  void InsertBefore(T* pos, T* node) { InsertAfter(LinkOf(pos)->prev, node); }
+
+  T* Front() const { return empty() ? nullptr : FromLink(sentinel_.next); }
+  T* Back() const { return empty() ? nullptr : FromLink(sentinel_.prev); }
+
+  /// Removes `node` from the list. Node must be linked in this list.
+  void Remove(T* node) {
+    Link* link = LinkOf(node);
+    assert(link->linked());
+    link->prev->next = link->next;
+    link->next->prev = link->prev;
+    link->prev = nullptr;
+    link->next = nullptr;
+    --size_;
+  }
+
+  T* PopFront() {
+    T* node = Front();
+    if (node != nullptr) Remove(node);
+    return node;
+  }
+
+  T* PopBack() {
+    T* node = Back();
+    if (node != nullptr) Remove(node);
+    return node;
+  }
+
+  /// Moves an already-linked node to the front.
+  void MoveToFront(T* node) {
+    Remove(node);
+    PushFront(node);
+  }
+
+  /// Moves an already-linked node to the back.
+  void MoveToBack(T* node) {
+    Remove(node);
+    PushBack(node);
+  }
+
+  /// Next element after `node`, or nullptr at the end.
+  T* Next(const T* node) const {
+    Link* link = LinkOf(const_cast<T*>(node))->next;
+    return link == &sentinel_ ? nullptr : FromLink(link);
+  }
+
+  /// Previous element before `node`, or nullptr at the front.
+  T* Prev(const T* node) const {
+    Link* link = LinkOf(const_cast<T*>(node))->prev;
+    return link == &sentinel_ ? nullptr : FromLink(link);
+  }
+
+  bool Contains(const T* node) const {
+    for (const T* it = Front(); it != nullptr; it = Next(it)) {
+      if (it == node) return true;
+    }
+    return false;
+  }
+
+ private:
+  static Link* LinkOf(T* node) { return &(node->*Member); }
+  static T* FromLink(Link* link) {
+    // Recover the owning node from the embedded link.
+    const auto offset = reinterpret_cast<size_t>(
+        &(static_cast<T*>(nullptr)->*Member));
+    return reinterpret_cast<T*>(reinterpret_cast<char*>(link) - offset);
+  }
+
+  void InsertAfter(Link* pos, T* node) {
+    Link* link = LinkOf(node);
+    assert(!link->linked());
+    link->prev = pos;
+    link->next = pos->next;
+    pos->next->prev = link;
+    pos->next = link;
+    ++size_;
+  }
+
+  mutable Link sentinel_;
+  size_t size_ = 0;
+};
+
+}  // namespace bpw

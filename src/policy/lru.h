@@ -1,0 +1,38 @@
+// LRU replacement: the canonical list-based algorithm the paper uses as its
+// running example ("the LRU replacement algorithm removes the buffer page
+// from the LRU list and inserts it back to the MRU end", §II). Every access
+// mutates the shared list, which is exactly why it needs a lock per access
+// without BP-Wrapper.
+#pragma once
+
+#include "policy/intrusive_list.h"
+#include "policy/replacement_policy.h"
+
+namespace bpw {
+
+class LruPolicy : public ReplacementPolicy {
+ public:
+  explicit LruPolicy(size_t num_frames);
+
+  void OnHit(PageId page, FrameId frame) override;
+  void OnMiss(PageId page, FrameId frame) override;
+  StatusOr<Victim> ChooseVictim(const EvictableFn& evictable,
+                                PageId incoming) override;
+  void OnErase(PageId page, FrameId frame) override;
+  Status CheckInvariants() const override;
+  size_t resident_count() const override { return list_.size(); }
+  bool IsResident(PageId page) const override;
+  std::string name() const override { return "lru"; }
+
+ private:
+  struct Node {
+    PageId page = kInvalidPageId;
+    bool resident = false;
+    Link link;
+  };
+
+  std::vector<Node> nodes_;                // indexed by FrameId
+  IntrusiveList<Node, &Node::link> list_;  // front = MRU, back = LRU
+};
+
+}  // namespace bpw

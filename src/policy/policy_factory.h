@@ -1,0 +1,23 @@
+// Construction of replacement policies by name, used by the harness,
+// benches, and examples so experiment configs can be plain strings.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "policy/replacement_policy.h"
+
+namespace bpw {
+
+/// Creates the policy named `name` ("lru", "fifo", "clock", "gclock",
+/// "clockpro", "2q", "lirs", "mq", "arc", "car") sized for `num_frames`
+/// frames.
+/// Returns InvalidArgument for unknown names.
+StatusOr<std::unique_ptr<ReplacementPolicy>> CreatePolicy(
+    const std::string& name, size_t num_frames);
+
+/// All registered policy names, in a stable order.
+std::vector<std::string> KnownPolicies();
+
+}  // namespace bpw

@@ -1,0 +1,117 @@
+// ReplacementPolicy: the algorithm-facing interface of the library.
+//
+// A policy is deliberately *single-threaded* code, exactly as the paper
+// assumes: "replacement algorithms carry out their operations ... in a
+// serialized fashion" (§I). All concurrency control lives outside, in a
+// Coordinator (src/core). This is the contract that lets BP-Wrapper claim
+// "no changes to the algorithm": every policy below is written as if it were
+// the only code in the process, and the very same object runs under a
+// lock-per-access coordinator, under BP-Wrapper, or single-threaded in a
+// simulation.
+//
+// Residency model:
+//  - The policy tracks at most `num_frames` *resident* pages, each bound to
+//    a distinct buffer frame. Lookup of a resident page's bookkeeping node
+//    is O(1) by frame id.
+//  - Policies may additionally keep *ghost* (non-resident history) state
+//    keyed by page id (2Q's A1out, ARC's B1/B2, LIRS's non-resident HIRs,
+//    MQ's Qout, CAR's B1/B2).
+//
+// Robustness contract (required by BP-Wrapper's delayed commits):
+//  - OnHit(page, frame) MUST be a no-op if the frame no longer holds `page`
+//    or the page is not resident. With batching, a queued access can be
+//    committed after the page was evicted; the paper's implementation
+//    compares BufferTags and skips stale entries (§IV-B). The coordinator
+//    already filters most stale entries; the policy must tolerate the rest.
+//  - OnMiss(page, frame) is only called for pages that are not resident
+//    (the buffer pool's single-flight miss path guarantees this).
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+#include "util/types.h"
+
+namespace bpw {
+
+class ReplacementPolicy {
+ public:
+  /// The page/frame pair selected for eviction.
+  struct Victim {
+    PageId page = kInvalidPageId;
+    FrameId frame = kInvalidFrameId;
+  };
+
+  /// Predicate: may the page in this frame be evicted right now? (The
+  /// buffer pool answers false for pinned or I/O-busy frames.)
+  using EvictableFn = std::function<bool(FrameId)>;
+
+  /// @param num_frames buffer capacity in frames; the policy will never
+  ///        track more resident pages than this.
+  explicit ReplacementPolicy(size_t num_frames);
+  virtual ~ReplacementPolicy() = default;
+
+  ReplacementPolicy(const ReplacementPolicy&) = delete;
+  ReplacementPolicy& operator=(const ReplacementPolicy&) = delete;
+
+  /// Records a buffer hit on `page` resident in `frame`. Must tolerate
+  /// stale (page, frame) pairs (see robustness contract above).
+  virtual void OnHit(PageId page, FrameId frame) = 0;
+
+  /// Records that `page` has been loaded into `frame` and is now resident.
+  /// Preconditions: `page` not resident; `frame` not bound;
+  /// resident_count() < num_frames().
+  virtual void OnMiss(PageId page, FrameId frame) = 0;
+
+  /// Selects a resident page to evict, removes it from the policy's
+  /// resident bookkeeping (possibly moving it to ghost history), and
+  /// returns it. `incoming` is the page whose miss triggered the eviction
+  /// (ARC/CAR consult their ghost lists for it; others ignore it).
+  /// Returns ResourceExhausted if no frame passes `evictable`.
+  virtual StatusOr<Victim> ChooseVictim(const EvictableFn& evictable,
+                                        PageId incoming) = 0;
+
+  /// Forcibly removes `page` (e.g. table drop / invalidation). No-op if the
+  /// page is not resident. Ghost history for the page is also dropped.
+  virtual void OnErase(PageId page, FrameId frame) = 0;
+
+  /// Structural self-check for tests: list/stack integrity, resident counts,
+  /// capacity bounds, frame-binding consistency.
+  virtual Status CheckInvariants() const = 0;
+
+  /// Number of resident pages currently tracked.
+  virtual size_t resident_count() const = 0;
+
+  /// Whether `page` is tracked as resident (test hook; O(num_frames) worst
+  /// case in some policies).
+  virtual bool IsResident(PageId page) const = 0;
+
+  /// Short algorithm name ("lru", "2q", "lirs", ...).
+  virtual std::string name() const = 0;
+
+  size_t num_frames() const { return num_frames_; }
+
+  // --- Prefetch support (paper §III-B) -----------------------------------
+  // PrefetchHint() is called by coordinators *without holding the policy
+  // lock*, immediately before lock acquisition. It issues non-faulting
+  // prefetches of the bookkeeping node a subsequent OnHit(frame) will touch.
+  // The target registry uses relaxed atomics so the unlocked read is
+  // well-defined; a stale target is harmless (prefetch never faults).
+
+  /// Prefetches the bookkeeping node registered for `frame`, if any.
+  void PrefetchHint(FrameId frame) const;
+
+ protected:
+  /// Registers the cache-line target PrefetchHint(frame) should touch.
+  /// Called by subclasses whenever a frame's node binding changes.
+  void SetPrefetchTarget(FrameId frame, const void* node);
+
+ private:
+  size_t num_frames_;
+  std::vector<std::atomic<const void*>> prefetch_targets_;
+};
+
+}  // namespace bpw

@@ -1,0 +1,126 @@
+// StorageEngine: the simulated disk under the buffer pool.
+//
+// The paper's evaluation ran against real RAID arrays; here the storage is
+// a latency model plus an in-memory "ground truth" so that tests can verify
+// buffer-pool integrity (every read returns the bytes last written for that
+// page). Scalability experiments (Figs 6-7) run with zero misses, so the
+// latency model only matters for the overall-performance experiment
+// (Fig 8), where a miss must cost enough that hit ratio shows up in
+// throughput.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sync/spinlock.h"
+#include "util/cacheline.h"
+#include "util/random.h"
+#include "util/status.h"
+#include "util/types.h"
+
+namespace bpw {
+
+/// How long a simulated I/O takes.
+struct StorageLatencyModel {
+  /// Fixed component, applied to every read/write (nanoseconds).
+  uint64_t read_nanos = 0;
+  uint64_t write_nanos = 0;
+  /// If true, the latency is drawn from an exponential distribution with the
+  /// configured mean instead of being fixed.
+  bool exponential = false;
+  /// If true, latency is modelled with a sleeping wait (the thread yields
+  /// the CPU, as it would blocked on a real disk); if false, a busy-wait
+  /// (models polled/high-speed devices). Sleeping is what the Fig. 8
+  /// experiments need: on an over-committed machine, a thread blocked on a
+  /// miss must let other transactions run.
+  bool use_sleep = false;
+
+  static StorageLatencyModel None() { return {}; }
+  static StorageLatencyModel FixedMicros(uint64_t read_us, uint64_t write_us) {
+    return {read_us * 1000, write_us * 1000, false, false};
+  }
+  static StorageLatencyModel SleepingMicros(uint64_t read_us,
+                                            uint64_t write_us) {
+    return {read_us * 1000, write_us * 1000, false, true};
+  }
+};
+
+/// Per-engine I/O counters.
+struct StorageStats {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t read_nanos = 0;
+  uint64_t write_nanos = 0;
+};
+
+/// A page-granular simulated storage device. Thread-safe: concurrent reads
+/// and writes of distinct pages proceed in parallel (as on a real array);
+/// accesses to the same page are serialized by a striped lock.
+class StorageEngine {
+ public:
+  /// @param num_pages   total pages on the device
+  /// @param page_size   bytes per page
+  /// @param model       latency model applied to each I/O
+  /// @param materialize if true, page contents are stored so reads return
+  ///                    real data; if false (default for big benchmarks),
+  ///                    only a per-page checksum word is kept, which still
+  ///                    lets the buffer pool detect lost updates
+  StorageEngine(uint64_t num_pages, size_t page_size,
+                StorageLatencyModel model = StorageLatencyModel::None(),
+                bool materialize = false);
+
+  /// Reads page `page` into `buf` (page_size bytes). Applies read latency.
+  Status ReadPage(PageId page, void* buf);
+
+  /// Writes page `page` from `buf` (page_size bytes). Applies write latency.
+  Status WritePage(PageId page, const void* buf);
+
+  uint64_t num_pages() const { return num_pages_; }
+  size_t page_size() const { return page_size_; }
+
+  /// Snapshot of I/O counters.
+  StorageStats stats() const;
+  void ResetStats();
+
+  /// Test hook: the verification word currently stored for `page`.
+  uint64_t VerificationWord(PageId page) const;
+
+  /// Fills the first 16 bytes of `buf` with a deterministic header for
+  /// `page` stamped with `version`; used by tests and the integrity checks.
+  static void StampPage(void* buf, size_t page_size, PageId page,
+                        uint64_t version);
+
+  /// Extracts the (page, version) stamp written by StampPage.
+  static std::pair<PageId, uint64_t> ReadStamp(const void* buf);
+
+ private:
+  void ApplyLatency(uint64_t base_nanos, std::atomic<uint64_t>& counter);
+  SpinLock& LockFor(PageId page) {
+    return page_locks_[page % kLockStripes].value;
+  }
+
+  static constexpr size_t kLockStripes = 64;
+
+  uint64_t num_pages_;
+  size_t page_size_;
+  StorageLatencyModel model_;
+  bool materialize_;
+
+  std::vector<uint8_t> data_;           // materialized page contents
+  std::vector<uint64_t> verification_;  // first 16 bytes of each page (2 words)
+  mutable std::vector<CacheAligned<SpinLock>> page_locks_;
+
+  std::atomic<uint64_t> reads_{0};
+  std::atomic<uint64_t> writes_{0};
+  std::atomic<uint64_t> read_nanos_{0};
+  std::atomic<uint64_t> write_nanos_{0};
+
+  // Latency jitter source; protected by its own lock because Random is not
+  // thread-safe. Only used when model_.exponential is set.
+  SpinLock rng_lock_;
+  Random rng_{0xB5D4C1E5u};
+};
+
+}  // namespace bpw

@@ -1,0 +1,75 @@
+#include "sync/contention_lock.h"
+
+#include "util/clock.h"
+
+namespace bpw {
+
+void ContentionLock::Lock() {
+  if (instr_ == LockInstrumentation::kNone) {
+    mu_.lock();
+    return;
+  }
+  if (mu_.try_lock()) {
+    acquisitions_.fetch_add(1, std::memory_order_relaxed);
+    if (instr_ == LockInstrumentation::kTiming) {
+      lock_acquired_nanos_ = NowNanos();
+    }
+    return;
+  }
+  // Immediate acquisition failed: this is the paper's contention event.
+  contentions_.fetch_add(1, std::memory_order_relaxed);
+  if (instr_ == LockInstrumentation::kTiming) {
+    const uint64_t wait_start = NowNanos();
+    mu_.lock();
+    const uint64_t acquired = NowNanos();
+    wait_nanos_.fetch_add(acquired - wait_start, std::memory_order_relaxed);
+    lock_acquired_nanos_ = acquired;
+  } else {
+    mu_.lock();
+  }
+  acquisitions_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool ContentionLock::TryLock() {
+  if (mu_.try_lock()) {
+    if (instr_ != LockInstrumentation::kNone) {
+      acquisitions_.fetch_add(1, std::memory_order_relaxed);
+      if (instr_ == LockInstrumentation::kTiming) {
+        lock_acquired_nanos_ = NowNanos();
+      }
+    }
+    return true;
+  }
+  if (instr_ != LockInstrumentation::kNone) {
+    trylock_failures_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return false;
+}
+
+void ContentionLock::Unlock() {
+  if (instr_ == LockInstrumentation::kTiming) {
+    hold_nanos_.fetch_add(NowNanos() - lock_acquired_nanos_,
+                          std::memory_order_relaxed);
+  }
+  mu_.unlock();
+}
+
+LockStats ContentionLock::stats() const {
+  LockStats s;
+  s.acquisitions = acquisitions_.load(std::memory_order_relaxed);
+  s.contentions = contentions_.load(std::memory_order_relaxed);
+  s.trylock_failures = trylock_failures_.load(std::memory_order_relaxed);
+  s.hold_nanos = hold_nanos_.load(std::memory_order_relaxed);
+  s.wait_nanos = wait_nanos_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void ContentionLock::ResetStats() {
+  acquisitions_.store(0, std::memory_order_relaxed);
+  contentions_.store(0, std::memory_order_relaxed);
+  trylock_failures_.store(0, std::memory_order_relaxed);
+  hold_nanos_.store(0, std::memory_order_relaxed);
+  wait_nanos_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace bpw

@@ -1,0 +1,36 @@
+// Software prefetch wrappers implementing the paper's §III-B technique:
+// reading the data a critical section will touch *before* acquiring the
+// lock moves the processor-cache warm-up misses out of the lock-holding
+// period. A prefetch is a pure read — it cannot corrupt shared state, and
+// cache coherence invalidates it if another thread writes first (paper's
+// correctness argument).
+#pragma once
+
+#include <cstddef>
+
+#include "util/cacheline.h"
+
+namespace bpw {
+
+/// Prefetches the cache line containing `addr` for reading.
+inline void PrefetchRead(const void* addr) {
+  if (addr == nullptr) return;
+  __builtin_prefetch(addr, /*rw=*/0, /*locality=*/3);
+}
+
+/// Prefetches the cache line containing `addr` for writing (exclusive).
+inline void PrefetchWrite(const void* addr) {
+  if (addr == nullptr) return;
+  __builtin_prefetch(addr, /*rw=*/1, /*locality=*/3);
+}
+
+/// Prefetches `bytes` bytes starting at `addr`, one request per cache line.
+inline void PrefetchRange(const void* addr, size_t bytes) {
+  if (addr == nullptr) return;
+  const char* p = static_cast<const char*>(addr);
+  for (size_t off = 0; off < bytes; off += kCacheLineSize) {
+    __builtin_prefetch(p + off, 1, 3);
+  }
+}
+
+}  // namespace bpw

@@ -1,0 +1,41 @@
+// A small test-and-test-and-set spinlock, used for short fixed-length
+// critical sections (page-table buckets) where blocking would cost more
+// than the protected work.
+#pragma once
+
+#include <atomic>
+
+namespace bpw {
+
+/// TTAS spinlock. Suitable only for critical sections of a few dozen
+/// instructions (hash-bucket lookups); longer sections must use
+/// ContentionLock.
+class SpinLock {
+ public:
+  SpinLock() = default;
+  SpinLock(const SpinLock&) = delete;
+  SpinLock& operator=(const SpinLock&) = delete;
+
+  void lock() {
+    while (true) {
+      if (!flag_.exchange(true, std::memory_order_acquire)) return;
+      while (flag_.load(std::memory_order_relaxed)) {
+#if defined(__x86_64__) || defined(__i386__)
+        __builtin_ia32_pause();
+#endif
+      }
+    }
+  }
+
+  bool try_lock() {
+    return !flag_.load(std::memory_order_relaxed) &&
+           !flag_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+}  // namespace bpw

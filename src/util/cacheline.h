@@ -1,0 +1,26 @@
+// Cache-line alignment helpers. The BP-Wrapper per-thread queues and the
+// contention-counting lock rely on padding to avoid false sharing.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace bpw {
+
+// 64 bytes on every mainstream x86/ARM server part; fixed rather than
+// std::hardware_destructive_interference_size so the ABI does not vary with
+// compiler tuning flags.
+inline constexpr size_t kCacheLineSize = 64;
+
+/// Wraps T so that distinct instances in an array never share a cache line.
+template <typename T>
+struct alignas(kCacheLineSize) CacheAligned {
+  T value{};
+
+  T* operator->() { return &value; }
+  const T* operator->() const { return &value; }
+  T& operator*() { return value; }
+  const T& operator*() const { return value; }
+};
+
+}  // namespace bpw

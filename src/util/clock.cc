@@ -1,0 +1,28 @@
+#include "util/clock.h"
+
+namespace bpw {
+
+uint64_t SpinWork(uint64_t iters) {
+  // A dependent multiply-xor chain: one iteration is a handful of cycles and
+  // cannot be vectorized or constant-folded away across the asm barrier.
+  uint64_t x = 0x2545F4914F6CDD1DULL + iters;
+  for (uint64_t i = 0; i < iters; ++i) {
+    x ^= x >> 12;
+    x *= 0x9E6C63D0876A9A75ULL;
+    asm volatile("" : "+r"(x));
+  }
+  return x;
+}
+
+void BusyWaitNanos(uint64_t nanos) {
+  if (nanos == 0) return;
+  const uint64_t deadline = NowNanos() + nanos;
+  while (NowNanos() < deadline) {
+    // Yield pipeline resources politely while spinning.
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#endif
+  }
+}
+
+}  // namespace bpw

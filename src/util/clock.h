@@ -1,0 +1,45 @@
+// Monotonic time sources and a calibrated busy-wait used to simulate
+// CPU work (transaction "think" computation) and storage latency.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace bpw {
+
+/// Nanoseconds from a monotonic clock.
+inline uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Microseconds from a monotonic clock.
+inline uint64_t NowMicros() { return NowNanos() / 1000; }
+
+/// Spins the CPU for approximately `iters` dependent arithmetic operations.
+/// Used to model per-access non-critical-section computation: unlike a
+/// sleep, it consumes CPU the way real transaction-processing code does,
+/// which is what makes lock contention experiments meaningful.
+/// Returns a value that must be consumed to stop the compiler from deleting
+/// the loop.
+uint64_t SpinWork(uint64_t iters);
+
+/// Busy-waits until `nanos` wall-clock nanoseconds have elapsed. Used for
+/// simulated storage latency where wall-clock accuracy matters more than
+/// CPU-cycle accounting.
+void BusyWaitNanos(uint64_t nanos);
+
+/// A scoped stopwatch measuring elapsed nanoseconds.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(NowNanos()) {}
+  uint64_t ElapsedNanos() const { return NowNanos() - start_; }
+  void Restart() { start_ = NowNanos(); }
+
+ private:
+  uint64_t start_;
+};
+
+}  // namespace bpw

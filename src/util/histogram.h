@@ -1,0 +1,57 @@
+// Latency histogram with exponential buckets, used for transaction response
+// times and lock hold/wait measurements.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bpw {
+
+/// Records non-negative values (typically nanoseconds) into
+/// exponentially-sized buckets and answers mean / percentile / max queries.
+/// Not thread-safe: each worker records into its own histogram and the
+/// driver merges them at the end of a run.
+class Histogram {
+ public:
+  Histogram();
+
+  /// Records one observation.
+  void Record(uint64_t value);
+
+  /// Merges another histogram's observations into this one.
+  void Merge(const Histogram& other);
+
+  /// Removes all observations.
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  uint64_t min() const;
+  uint64_t max() const { return max_; }
+  double sum() const { return sum_; }
+  double Mean() const;
+
+  /// Returns the (approximate) value at percentile p in [0, 100].
+  /// Within-bucket interpolation is linear.
+  double Percentile(double p) const;
+
+  /// Multi-line human-readable summary (count/mean/p50/p95/p99/max).
+  std::string ToString() const;
+
+  /// Number of buckets (exposed for tests).
+  static constexpr int kNumBuckets = 64 * 4;
+
+ private:
+  // Bucket i covers [BucketLow(i), BucketLow(i+1)). Buckets are
+  // sub-exponential: 4 linear steps per power of two.
+  static int BucketFor(uint64_t value);
+  static uint64_t BucketLow(int bucket);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_;
+  uint64_t min_;
+  uint64_t max_;
+  double sum_;
+};
+
+}  // namespace bpw

@@ -1,0 +1,43 @@
+// Minimal leveled logging. Database-engine hot paths must never log, so the
+// macros are cheap to skip and used only in setup / teardown / error paths.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace bpw {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the minimum level that is emitted (default: kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Emits one log line to stderr with a level tag. Thread-safe.
+void LogMessage(LogLevel level, const std::string& msg);
+
+namespace internal {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() {
+    if (level_ >= GetLogLevel()) LogMessage(level_, stream_.str());
+  }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    if (level_ >= GetLogLevel()) stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+#define BPW_LOG_DEBUG ::bpw::internal::LogLine(::bpw::LogLevel::kDebug)
+#define BPW_LOG_INFO ::bpw::internal::LogLine(::bpw::LogLevel::kInfo)
+#define BPW_LOG_WARN ::bpw::internal::LogLine(::bpw::LogLevel::kWarn)
+#define BPW_LOG_ERROR ::bpw::internal::LogLine(::bpw::LogLevel::kError)
+
+}  // namespace bpw

@@ -1,0 +1,41 @@
+// Deterministic, fast pseudo-random number generation for workloads and
+// tests. Uses xoshiro256++, which is both faster and of higher quality than
+// std::mt19937_64 for the simulation purposes here.
+#pragma once
+
+#include <cstdint>
+
+namespace bpw {
+
+/// xoshiro256++ PRNG. Deterministic for a given seed; not thread-safe, so
+/// each worker thread owns its own instance (which is exactly what the
+/// workload generators do).
+class Random {
+ public:
+  /// Seeds the generator. The seed is expanded through SplitMix64 so that
+  /// small consecutive seeds produce uncorrelated streams.
+  explicit Random(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Returns the next raw 64-bit value.
+  uint64_t Next();
+
+  /// Returns a value uniformly distributed in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n);
+
+  /// Returns a value uniformly distributed in [lo, hi]. Requires lo <= hi.
+  uint64_t UniformRange(uint64_t lo, uint64_t hi);
+
+  /// Returns a double uniformly distributed in [0, 1).
+  double NextDouble();
+
+  /// Returns true with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Skips ahead: mixes `n` into the state so derived generators diverge.
+  void Reseed(uint64_t seed);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace bpw

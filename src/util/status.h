@@ -1,0 +1,124 @@
+// Status / StatusOr: lightweight error propagation without exceptions,
+// following the Arrow/RocksDB idiom for database-engine code.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+
+namespace bpw {
+
+/// Error categories used across the library.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kCorruption,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kAborted,
+  kOutOfRange,
+  kInternal,
+};
+
+/// A Status encodes the result of an operation that can fail. The OK status
+/// carries no allocation; error statuses carry a code and a message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() noexcept : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+
+  /// Human-readable rendering, e.g. "Corruption: lru list broken".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// StatusOr<T> holds either a value or an error status.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(T value) : status_(), value_(std::move(value)) {}  // NOLINT
+  StatusOr(Status status) : status_(std::move(status)) {      // NOLINT
+    assert(!status_.ok() && "StatusOr constructed from OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return value_;
+  }
+  T& value() & {
+    assert(ok());
+    return value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+/// Propagates a non-OK status to the caller.
+#define BPW_RETURN_IF_ERROR(expr)          \
+  do {                                     \
+    ::bpw::Status _st = (expr);            \
+    if (!_st.ok()) return _st;             \
+  } while (0)
+
+}  // namespace bpw

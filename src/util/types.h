@@ -1,0 +1,26 @@
+// Core identifier types shared across the library.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace bpw {
+
+/// Identifier of a logical data page on storage. Pages are the unit of
+/// caching, replacement, and I/O throughout the library.
+using PageId = uint64_t;
+
+/// Identifier of a buffer frame (a slot in the in-memory buffer pool).
+using FrameId = uint32_t;
+
+/// Sentinel meaning "no page".
+inline constexpr PageId kInvalidPageId = std::numeric_limits<PageId>::max();
+
+/// Sentinel meaning "no frame".
+inline constexpr FrameId kInvalidFrameId = std::numeric_limits<FrameId>::max();
+
+/// Default page size, matching the PostgreSQL default the paper's
+/// implementation used (8 KB).
+inline constexpr size_t kDefaultPageSize = 8192;
+
+}  // namespace bpw

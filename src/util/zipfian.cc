@@ -1,0 +1,63 @@
+#include "util/zipfian.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace bpw {
+
+namespace {
+// Above this size, computing the exact harmonic sum is too slow; switch to
+// the Euler-Maclaurin approximation of the generalized harmonic number.
+constexpr uint64_t kExactZetaLimit = 1 << 20;
+}  // namespace
+
+double ZipfianGenerator::Zeta(uint64_t n, double theta) {
+  if (n <= kExactZetaLimit) {
+    double sum = 0;
+    for (uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(i, theta);
+    return sum;
+  }
+  // Exact prefix + integral approximation of the tail.
+  double sum = Zeta(kExactZetaLimit, theta);
+  double a = static_cast<double>(kExactZetaLimit);
+  double b = static_cast<double>(n);
+  sum += (std::pow(b, 1 - theta) - std::pow(a, 1 - theta)) / (1 - theta);
+  return sum;
+}
+
+ZipfianGenerator::ZipfianGenerator(uint64_t n, double theta)
+    : n_(n), theta_(theta) {
+  assert(n >= 1);
+  assert(theta >= 0 && theta < 1);
+  zetan_ = Zeta(n_, theta_);
+  zeta2theta_ = Zeta(2, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1 - std::pow(2.0 / static_cast<double>(n_), 1 - theta_)) /
+         (1 - zeta2theta_ / zetan_);
+}
+
+uint64_t ZipfianGenerator::Next(Random& rng) {
+  double u = rng.NextDouble();
+  double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  uint64_t v = static_cast<uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1, alpha_));
+  return v >= n_ ? n_ - 1 : v;
+}
+
+uint64_t ScrambledZipfianGenerator::FnvHash64(uint64_t v) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (int i = 0; i < 8; ++i) {
+    hash ^= (v >> (i * 8)) & 0xff;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+uint64_t ScrambledZipfianGenerator::Next(Random& rng) {
+  uint64_t raw = zipf_.Next(rng);
+  return FnvHash64(raw) % zipf_.n();
+}
+
+}  // namespace bpw

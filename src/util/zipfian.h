@@ -1,0 +1,56 @@
+// Zipfian-distributed sampling over [0, n), used by the DBT-1/DBT-2-like
+// workload generators to model skewed page popularity.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+
+namespace bpw {
+
+/// Draws values in [0, n) with probability proportional to 1 / (i+1)^theta.
+/// Uses the Gray et al. rejection-inversion-free method from the YCSB
+/// generator: O(1) per sample after O(1) setup (with an approximation of the
+/// generalized harmonic number that is exact in the limit and accurate to
+/// <0.1% for n >= 100).
+class ZipfianGenerator {
+ public:
+  /// @param n      size of the key space (must be >= 1)
+  /// @param theta  skew parameter in [0, 1); 0 is uniform-ish, 0.99 is the
+  ///               YCSB default "hot" skew
+  ZipfianGenerator(uint64_t n, double theta);
+
+  /// Samples the next value in [0, n). Item 0 is the most popular.
+  uint64_t Next(Random& rng);
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  static double Zeta(uint64_t n, double theta);
+
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2theta_;
+};
+
+/// A scrambled Zipfian: same popularity distribution, but hot items are
+/// scattered across the key space instead of clustered at 0. This models
+/// e.g. hot customer rows spread over a table's pages.
+class ScrambledZipfianGenerator {
+ public:
+  ScrambledZipfianGenerator(uint64_t n, double theta) : zipf_(n, theta) {}
+
+  uint64_t Next(Random& rng);
+
+ private:
+  static uint64_t FnvHash64(uint64_t v);
+
+  ZipfianGenerator zipf_;
+};
+
+}  // namespace bpw

@@ -1,0 +1,90 @@
+#include "workload/dbt1.h"
+
+#include <algorithm>
+
+namespace bpw {
+
+Dbt1Trace::Dbt1Trace(uint64_t num_pages, double item_theta, uint64_t seed)
+    : num_pages_(std::max<uint64_t>(num_pages, 64)),
+      rng_(seed),
+      item_zipf_(std::max<uint64_t>(1, num_pages_ * 59 / 100), item_theta),
+      customer_zipf_(std::max<uint64_t>(1, num_pages_ * 30 / 100),
+                     item_theta) {
+  hot_begin_ = 0;
+  hot_end_ = std::max<uint64_t>(1, num_pages_ / 100);
+  items_begin_ = hot_end_;
+  items_end_ = items_begin_ + num_pages_ * 59 / 100;
+  customers_begin_ = items_end_;
+  customers_end_ = customers_begin_ + num_pages_ * 30 / 100;
+  orders_begin_ = customers_end_;
+  orders_end_ = num_pages_;
+}
+
+PageId Dbt1Trace::HotPage() {
+  return hot_begin_ + rng_.Uniform(hot_end_ - hot_begin_);
+}
+
+PageId Dbt1Trace::ItemPage() {
+  const uint64_t span = items_end_ - items_begin_;
+  return items_begin_ + std::min(item_zipf_.Next(rng_), span - 1);
+}
+
+PageId Dbt1Trace::CustomerPage() {
+  const uint64_t span = customers_end_ - customers_begin_;
+  return customers_begin_ + std::min(customer_zipf_.Next(rng_), span - 1);
+}
+
+PageId Dbt1Trace::OrderPage() {
+  const uint64_t span = orders_end_ - orders_begin_;
+  return orders_begin_ + order_cursor_ % span;
+}
+
+void Dbt1Trace::PlanTransaction() {
+  pending_.clear();
+  pending_pos_ = 0;
+  auto add = [this](PageId page, bool write = false) {
+    pending_.push_back(PageAccess{page, write, pending_.empty()});
+  };
+
+  const uint64_t draw = rng_.Uniform(100);
+  if (draw < 58) {
+    // Item browse: index root, the item, its detail page, related items.
+    add(HotPage());
+    const PageId item = ItemPage();
+    add(item);
+    add(std::min(item + 1, items_end_ - 1));
+    add(ItemPage());
+    add(ItemPage());
+    add(CustomerPage());
+  } else if (draw < 78) {
+    // Search: index root + a short range scan of result pages.
+    add(HotPage());
+    const uint64_t span = items_end_ - items_begin_;
+    const uint64_t scan_len = 8 + rng_.Uniform(8);
+    const PageId start = items_begin_ + rng_.Uniform(span);
+    for (uint64_t i = 0; i < scan_len; ++i) {
+      add(items_begin_ + (start - items_begin_ + i) % span);
+    }
+  } else if (draw < 90) {
+    // Best sellers: re-scan of the hot region plus top items.
+    for (PageId p = hot_begin_; p < hot_end_ && pending_.size() < 24; ++p) {
+      add(p);
+    }
+    for (int i = 0; i < 6; ++i) add(ItemPage());
+  } else {
+    // Buy: customer + cart items, then order insert (the write path).
+    add(CustomerPage());
+    add(HotPage());
+    for (int i = 0; i < 3; ++i) add(ItemPage());
+    add(CustomerPage(), /*write=*/true);
+    add(OrderPage(), /*write=*/true);
+    ++order_cursor_;
+  }
+}
+
+PageAccess Dbt1Trace::Next() {
+  if (pending_pos_ >= pending_.size()) PlanTransaction();
+  return pending_[pending_pos_++];
+}
+
+}  // namespace bpw

@@ -1,0 +1,60 @@
+// Dbt1Trace: a TPC-W-like browsing workload modelled on OSDL DBT-1
+// (paper §IV-C: "simulates the activities of web users who browse and
+// order items from an on-line bookstore").
+//
+// The synthetic reconstruction keeps DBT-1's defining properties:
+//  - read-mostly (the browsing mix dominates; only the buy path writes)
+//  - strong popularity skew on items (best sellers / front page)
+//  - short index-range scans (search results, "new products" lists)
+//  - a small always-hot region (index roots, category pages)
+//
+// Page layout (fractions of the footprint):
+//   [ hot catalog/index 1% | items 59% | customers 30% | orders 10% ]
+//
+// Transaction mix (per the TPC-W browsing mix's spirit):
+//   58% item browse, 20% search scan, 12% best-sellers, 10% buy (writes).
+#pragma once
+
+#include "util/random.h"
+#include "util/zipfian.h"
+#include "workload/trace_generator.h"
+
+namespace bpw {
+
+class Dbt1Trace : public TraceGenerator {
+ public:
+  Dbt1Trace(uint64_t num_pages, double item_theta, uint64_t seed);
+
+  PageAccess Next() override;
+  uint64_t footprint_pages() const override { return num_pages_; }
+  std::string name() const override { return "dbt1"; }
+
+ private:
+  enum class Tx : uint8_t { kBrowse, kSearch, kBestSellers, kBuy };
+
+  /// Plans the accesses of one transaction into pending_.
+  void PlanTransaction();
+
+  PageId HotPage();
+  PageId ItemPage();
+  PageId CustomerPage();
+  PageId OrderPage();
+
+  uint64_t num_pages_;
+  Random rng_;
+  ZipfianGenerator item_zipf_;       // clustered skew: popular items adjoin
+  ScrambledZipfianGenerator customer_zipf_;
+
+  // Region bounds [begin, end)
+  uint64_t hot_begin_, hot_end_;
+  uint64_t items_begin_, items_end_;
+  uint64_t customers_begin_, customers_end_;
+  uint64_t orders_begin_, orders_end_;
+
+  uint64_t order_cursor_ = 0;  // append position for buy transactions
+
+  std::vector<PageAccess> pending_;
+  size_t pending_pos_ = 0;
+};
+
+}  // namespace bpw

@@ -1,0 +1,116 @@
+#include "workload/dbt2.h"
+
+#include <algorithm>
+
+namespace bpw {
+
+Dbt2Trace::Dbt2Trace(uint64_t num_pages, uint32_t warehouses,
+                     uint32_t thread_id, uint64_t seed)
+    : num_pages_(std::max<uint64_t>(num_pages, 256)),
+      warehouses_(std::max<uint32_t>(warehouses, 1)),
+      home_warehouse_(thread_id % std::max<uint32_t>(warehouses, 1)),
+      rng_(seed),
+      item_zipf_(std::max<uint64_t>(1, num_pages_ * 5 / 100), 0.85),
+      customer_zipf_(1024, 0.75),
+      order_cursors_(warehouses_, 0) {
+  wh_begin_ = 0;
+  wh_end_ = warehouses_;
+  items_begin_ = wh_end_;
+  items_end_ = items_begin_ + num_pages_ * 5 / 100;
+  customers_begin_ = items_end_;
+  customers_end_ = customers_begin_ + num_pages_ * 30 / 100;
+  stock_begin_ = customers_end_;
+  stock_end_ = stock_begin_ + num_pages_ * 45 / 100;
+  orders_begin_ = stock_end_;
+  orders_end_ = num_pages_;
+}
+
+uint32_t Dbt2Trace::PickWarehouse() {
+  if (warehouses_ == 1 || rng_.Uniform(100) < 90) return home_warehouse_;
+  return static_cast<uint32_t>(rng_.Uniform(warehouses_));
+}
+
+PageId Dbt2Trace::WarehousePage(uint32_t wh) const { return wh_begin_ + wh; }
+
+PageId Dbt2Trace::ItemPage() {
+  const uint64_t span = items_end_ - items_begin_;
+  return items_begin_ + std::min(item_zipf_.Next(rng_), span - 1);
+}
+
+PageId Dbt2Trace::CustomerPage(uint32_t wh) {
+  // Each warehouse owns an equal slice of the customer region; the page
+  // within the slice is NURand-like (scrambled zipf over 1024 buckets).
+  const uint64_t span = customers_end_ - customers_begin_;
+  const uint64_t slice = std::max<uint64_t>(1, span / warehouses_);
+  const uint64_t offset = customer_zipf_.Next(rng_) % slice;
+  return customers_begin_ + std::min(wh * slice + offset, span - 1);
+}
+
+PageId Dbt2Trace::StockPage(uint32_t wh) {
+  const uint64_t span = stock_end_ - stock_begin_;
+  const uint64_t slice = std::max<uint64_t>(1, span / warehouses_);
+  const uint64_t offset = rng_.Uniform(slice);
+  return stock_begin_ + std::min(wh * slice + offset, span - 1);
+}
+
+PageId Dbt2Trace::OrderPage(uint32_t wh) {
+  const uint64_t span = orders_end_ - orders_begin_;
+  const uint64_t slice = std::max<uint64_t>(1, span / warehouses_);
+  const uint64_t offset = order_cursors_[wh] % slice;
+  return orders_begin_ + std::min(wh * slice + offset, span - 1);
+}
+
+void Dbt2Trace::PlanTransaction() {
+  pending_.clear();
+  pending_pos_ = 0;
+  auto add = [this](PageId page, bool write = false) {
+    pending_.push_back(PageAccess{page, write, pending_.empty()});
+  };
+
+  const uint32_t wh = PickWarehouse();
+  const uint64_t draw = rng_.Uniform(100);
+  if (draw < 45) {
+    // New-Order: warehouse/district reads, customer read, ~10 order lines
+    // (item read + stock write each), order insert.
+    add(WarehousePage(wh));
+    add(WarehousePage(wh), /*write=*/true);  // district next-o-id bump
+    add(CustomerPage(wh));
+    const uint64_t lines = 5 + rng_.Uniform(11);  // 5..15 per TPC-C
+    for (uint64_t i = 0; i < lines; ++i) {
+      add(ItemPage());
+      add(StockPage(wh), /*write=*/true);
+    }
+    add(OrderPage(wh), /*write=*/true);
+    ++order_cursors_[wh];
+  } else if (draw < 88) {
+    // Payment: warehouse + district + customer, all written.
+    add(WarehousePage(wh), /*write=*/true);
+    const uint32_t cust_wh =
+        rng_.Uniform(100) < 85
+            ? wh
+            : static_cast<uint32_t>(rng_.Uniform(warehouses_));
+    add(CustomerPage(cust_wh), /*write=*/true);
+    add(OrderPage(wh), /*write=*/true);  // history append
+  } else if (draw < 92) {
+    // Order-Status: customer read + recent order pages.
+    add(CustomerPage(wh));
+    for (int i = 0; i < 4; ++i) add(OrderPage(wh));
+  } else if (draw < 96) {
+    // Delivery: batch of order updates + customer balance updates.
+    for (int i = 0; i < 10; ++i) {
+      add(OrderPage(wh), /*write=*/true);
+      if (i % 2 == 0) add(CustomerPage(wh), /*write=*/true);
+    }
+  } else {
+    // Stock-Level: district read + a swath of stock reads.
+    add(WarehousePage(wh));
+    for (int i = 0; i < 20; ++i) add(StockPage(wh));
+  }
+}
+
+PageAccess Dbt2Trace::Next() {
+  if (pending_pos_ >= pending_.size()) PlanTransaction();
+  return pending_[pending_pos_++];
+}
+
+}  // namespace bpw

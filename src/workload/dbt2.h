@@ -1,0 +1,67 @@
+// Dbt2Trace: a TPC-C-like OLTP workload modelled on OSDL DBT-2
+// (paper §IV-C: "provides an on-line transaction processing (OLTP)
+// workload ... we set the number of warehouses to 50").
+//
+// The synthetic reconstruction keeps DBT-2's defining properties:
+//  - the five-transaction mix at the standard ratios
+//    (New-Order 45%, Payment 43%, Order-Status 4%, Delivery 4%,
+//     Stock-Level 4%)
+//  - per-thread home-warehouse affinity with occasional remote accesses
+//  - a significant write fraction (New-Order/Payment/Delivery dirty pages)
+//  - very hot tiny tables (warehouse, district) contended by every thread
+//  - skewed customer/item access (TPC-C's NURand is approximated with a
+//    scrambled Zipfian)
+//
+// Page layout (fractions of the footprint):
+//   [ warehouse+district (1 page per warehouse) | items 5% |
+//     customers 30% | stock 45% | orders (append) rest ]
+#pragma once
+
+#include "util/random.h"
+#include "util/zipfian.h"
+#include "workload/trace_generator.h"
+
+namespace bpw {
+
+class Dbt2Trace : public TraceGenerator {
+ public:
+  Dbt2Trace(uint64_t num_pages, uint32_t warehouses, uint32_t thread_id,
+            uint64_t seed);
+
+  PageAccess Next() override;
+  uint64_t footprint_pages() const override { return num_pages_; }
+  std::string name() const override { return "dbt2"; }
+
+ private:
+  void PlanTransaction();
+
+  /// A warehouse for this transaction: the thread's home warehouse 90% of
+  /// the time, remote otherwise (TPC-C's remote payment/order share).
+  uint32_t PickWarehouse();
+
+  PageId WarehousePage(uint32_t wh) const;
+  PageId ItemPage();
+  PageId CustomerPage(uint32_t wh);
+  PageId StockPage(uint32_t wh);
+  PageId OrderPage(uint32_t wh);
+
+  uint64_t num_pages_;
+  uint32_t warehouses_;
+  uint32_t home_warehouse_;
+  Random rng_;
+  ScrambledZipfianGenerator item_zipf_;
+  ScrambledZipfianGenerator customer_zipf_;
+
+  uint64_t wh_begin_, wh_end_;        // 1 page per warehouse
+  uint64_t items_begin_, items_end_;
+  uint64_t customers_begin_, customers_end_;
+  uint64_t stock_begin_, stock_end_;
+  uint64_t orders_begin_, orders_end_;
+
+  std::vector<uint64_t> order_cursors_;  // per warehouse append position
+
+  std::vector<PageAccess> pending_;
+  size_t pending_pos_ = 0;
+};
+
+}  // namespace bpw

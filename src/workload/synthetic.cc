@@ -1,0 +1,50 @@
+#include "workload/synthetic.h"
+
+namespace bpw {
+
+ZipfianTrace::ZipfianTrace(uint64_t num_pages, double theta, uint64_t seed,
+                           uint32_t accesses_per_tx, double write_fraction)
+    : num_pages_(num_pages),
+      rng_(seed),
+      zipf_(num_pages, theta),
+      accesses_per_tx_(accesses_per_tx > 0 ? accesses_per_tx : 1),
+      write_fraction_(write_fraction) {}
+
+PageAccess ZipfianTrace::Next() {
+  PageAccess access;
+  access.begins_transaction = pos_in_tx_ == 0;
+  pos_in_tx_ = (pos_in_tx_ + 1) % accesses_per_tx_;
+  access.page = zipf_.Next(rng_);
+  access.is_write = rng_.Bernoulli(write_fraction_);
+  return access;
+}
+
+UniformTrace::UniformTrace(uint64_t num_pages, uint64_t seed,
+                           uint32_t accesses_per_tx, double write_fraction)
+    : num_pages_(num_pages),
+      rng_(seed),
+      accesses_per_tx_(accesses_per_tx > 0 ? accesses_per_tx : 1),
+      write_fraction_(write_fraction) {}
+
+PageAccess UniformTrace::Next() {
+  PageAccess access;
+  access.begins_transaction = pos_in_tx_ == 0;
+  pos_in_tx_ = (pos_in_tx_ + 1) % accesses_per_tx_;
+  access.page = rng_.Uniform(num_pages_);
+  access.is_write = rng_.Bernoulli(write_fraction_);
+  return access;
+}
+
+SequentialLoopTrace::SequentialLoopTrace(uint64_t num_pages,
+                                         uint64_t start_offset)
+    : num_pages_(num_pages), pos_(start_offset % num_pages) {}
+
+PageAccess SequentialLoopTrace::Next() {
+  PageAccess access;
+  access.begins_transaction = pos_ == 0;
+  access.page = pos_;
+  pos_ = (pos_ + 1) % num_pages_;
+  return access;
+}
+
+}  // namespace bpw

@@ -1,0 +1,66 @@
+// Simple synthetic streams: zipfian, uniform, and a per-thread sequential
+// loop. Used by unit tests, microbenchmarks, and as building blocks of the
+// DBT-like workloads.
+#pragma once
+
+#include "util/random.h"
+#include "util/zipfian.h"
+#include "workload/trace_generator.h"
+
+namespace bpw {
+
+/// Skewed random accesses (scrambled Zipfian), `accesses_per_tx` per
+/// transaction, optional write fraction.
+class ZipfianTrace : public TraceGenerator {
+ public:
+  ZipfianTrace(uint64_t num_pages, double theta, uint64_t seed,
+               uint32_t accesses_per_tx = 10, double write_fraction = 0.0);
+
+  PageAccess Next() override;
+  uint64_t footprint_pages() const override { return num_pages_; }
+  std::string name() const override { return "zipfian"; }
+
+ private:
+  uint64_t num_pages_;
+  Random rng_;
+  ScrambledZipfianGenerator zipf_;
+  uint32_t accesses_per_tx_;
+  double write_fraction_;
+  uint32_t pos_in_tx_ = 0;
+};
+
+/// Uniform random accesses.
+class UniformTrace : public TraceGenerator {
+ public:
+  UniformTrace(uint64_t num_pages, uint64_t seed,
+               uint32_t accesses_per_tx = 10, double write_fraction = 0.0);
+
+  PageAccess Next() override;
+  uint64_t footprint_pages() const override { return num_pages_; }
+  std::string name() const override { return "uniform"; }
+
+ private:
+  uint64_t num_pages_;
+  Random rng_;
+  uint32_t accesses_per_tx_;
+  double write_fraction_;
+  uint32_t pos_in_tx_ = 0;
+};
+
+/// Endless sequential sweep over the whole footprint; one transaction per
+/// full pass. (A single-stream building block; the TableScan workload of
+/// the paper is the multi-threaded use of this over a shared table.)
+class SequentialLoopTrace : public TraceGenerator {
+ public:
+  SequentialLoopTrace(uint64_t num_pages, uint64_t start_offset = 0);
+
+  PageAccess Next() override;
+  uint64_t footprint_pages() const override { return num_pages_; }
+  std::string name() const override { return "seqloop"; }
+
+ private:
+  uint64_t num_pages_;
+  uint64_t pos_;
+};
+
+}  // namespace bpw

@@ -1,0 +1,21 @@
+#include "workload/table_scan.h"
+
+namespace bpw {
+
+TableScanTrace::TableScanTrace(uint64_t table_pages, uint32_t thread_id)
+    : table_pages_(table_pages > 0 ? table_pages : 1),
+      // Spread threads across the table so their scan positions interleave.
+      pos_((static_cast<uint64_t>(thread_id) * 0x9E3779B97F4A7C15ULL) %
+           table_pages_),
+      scanned_in_tx_(0) {}
+
+PageAccess TableScanTrace::Next() {
+  PageAccess access;
+  access.begins_transaction = scanned_in_tx_ == 0;
+  access.page = pos_;
+  pos_ = (pos_ + 1) % table_pages_;
+  scanned_in_tx_ = (scanned_in_tx_ + 1) % table_pages_;
+  return access;
+}
+
+}  // namespace bpw

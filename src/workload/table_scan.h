@@ -1,0 +1,30 @@
+// TableScan: the paper's synthetic sequential-scan benchmark (§IV-C).
+// "It makes concurrent queries, each of which scans an entire table."
+// Every thread repeatedly scans the same shared table; one full scan is one
+// transaction. Sequential scans are the worst case for a lock-per-access
+// policy: every page of the scan is a hit (after warm-up) and every hit
+// takes the lock.
+#pragma once
+
+#include "workload/trace_generator.h"
+
+namespace bpw {
+
+class TableScanTrace : public TraceGenerator {
+ public:
+  /// @param table_pages size of the shared table being scanned
+  /// @param thread_id   staggers the starting offset per thread, as
+  ///        concurrent real queries would be at different scan positions
+  TableScanTrace(uint64_t table_pages, uint32_t thread_id);
+
+  PageAccess Next() override;
+  uint64_t footprint_pages() const override { return table_pages_; }
+  std::string name() const override { return "tablescan"; }
+
+ private:
+  uint64_t table_pages_;
+  uint64_t pos_;
+  uint64_t scanned_in_tx_;
+};
+
+}  // namespace bpw

@@ -1,0 +1,148 @@
+#include "workload/trace_file.h"
+
+#include <cstring>
+
+namespace bpw {
+
+namespace {
+constexpr char kMagic[4] = {'B', 'P', 'W', 'T'};
+constexpr uint32_t kVersion = 1;
+constexpr uint8_t kFlagWrite = 1;
+constexpr uint8_t kFlagTxBegin = 2;
+
+struct Header {
+  char magic[4];
+  uint32_t version;
+  uint64_t num_pages;
+  uint64_t count;
+};
+}  // namespace
+
+TraceWriter::~TraceWriter() {
+  if (file_ != nullptr) Close();
+}
+
+Status TraceWriter::Open(const std::string& path, uint64_t num_pages) {
+  if (file_ != nullptr) {
+    return Status::FailedPrecondition("trace writer already open");
+  }
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    return Status::Internal("cannot create trace file: " + path);
+  }
+  num_pages_ = num_pages;
+  count_ = 0;
+  // Placeholder header; rewritten with the final count on Close().
+  Header header{};
+  std::memcpy(header.magic, kMagic, 4);
+  header.version = kVersion;
+  header.num_pages = num_pages_;
+  header.count = 0;
+  if (std::fwrite(&header, sizeof(header), 1, file_) != 1) {
+    std::fclose(file_);
+    file_ = nullptr;
+    return Status::Internal("cannot write trace header");
+  }
+  return Status::OK();
+}
+
+Status TraceWriter::Append(const PageAccess& access) {
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("trace writer not open");
+  }
+  uint8_t flags = 0;
+  if (access.is_write) flags |= kFlagWrite;
+  if (access.begins_transaction) flags |= kFlagTxBegin;
+  if (std::fwrite(&access.page, sizeof(access.page), 1, file_) != 1 ||
+      std::fwrite(&flags, 1, 1, file_) != 1) {
+    return Status::Internal("short write to trace file");
+  }
+  ++count_;
+  return Status::OK();
+}
+
+Status TraceWriter::Close() {
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("trace writer not open");
+  }
+  Header header{};
+  std::memcpy(header.magic, kMagic, 4);
+  header.version = kVersion;
+  header.num_pages = num_pages_;
+  header.count = count_;
+  Status status = Status::OK();
+  if (std::fseek(file_, 0, SEEK_SET) != 0 ||
+      std::fwrite(&header, sizeof(header), 1, file_) != 1) {
+    status = Status::Internal("cannot finalize trace header");
+  }
+  std::fclose(file_);
+  file_ = nullptr;
+  return status;
+}
+
+StatusOr<TraceFile> TraceFile::Load(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::NotFound("trace file not found: " + path);
+  }
+  Header header{};
+  if (std::fread(&header, sizeof(header), 1, file) != 1) {
+    std::fclose(file);
+    return Status::Corruption("trace file too short for header");
+  }
+  if (std::memcmp(header.magic, kMagic, 4) != 0) {
+    std::fclose(file);
+    return Status::Corruption("bad trace magic");
+  }
+  if (header.version != kVersion) {
+    std::fclose(file);
+    return Status::InvalidArgument("unsupported trace version");
+  }
+  TraceFile trace;
+  trace.num_pages_ = header.num_pages;
+  trace.accesses_.reserve(header.count);
+  for (uint64_t i = 0; i < header.count; ++i) {
+    PageAccess access;
+    uint8_t flags = 0;
+    if (std::fread(&access.page, sizeof(access.page), 1, file) != 1 ||
+        std::fread(&flags, 1, 1, file) != 1) {
+      std::fclose(file);
+      return Status::Corruption("trace file truncated");
+    }
+    access.is_write = (flags & kFlagWrite) != 0;
+    access.begins_transaction = (flags & kFlagTxBegin) != 0;
+    trace.accesses_.push_back(access);
+  }
+  std::fclose(file);
+  if (trace.accesses_.empty()) {
+    return Status::InvalidArgument("empty trace");
+  }
+  return trace;
+}
+
+PageAccess ReplayTrace::Next() {
+  const auto& accesses = file_->accesses();
+  PageAccess access = accesses[pos_];
+  ++pos_;
+  if (pos_ >= accesses.size()) {
+    pos_ = 0;
+    wrapped_ = true;
+  }
+  return access;
+}
+
+Status RecordTrace(const WorkloadSpec& spec, uint64_t count,
+                   const std::string& path) {
+  auto generator = CreateTrace(spec, /*thread_id=*/0);
+  if (generator == nullptr) {
+    return Status::InvalidArgument("unknown workload: " + spec.name);
+  }
+  TraceWriter writer;
+  BPW_RETURN_IF_ERROR(writer.Open(path, generator->footprint_pages()));
+  for (uint64_t i = 0; i < count; ++i) {
+    BPW_RETURN_IF_ERROR(writer.Append(generator->Next()));
+  }
+  return writer.Close();
+}
+
+}  // namespace bpw

@@ -1,0 +1,91 @@
+// Trace capture and replay.
+//
+// Records a page-access stream to a compact binary file and replays it as
+// a TraceGenerator. This is how buffer-replacement research is usually
+// validated (the LIRS/2Q/ARC papers all replay storage traces); here it
+// also lets an interesting generated workload be frozen and re-run
+// bit-identically against every policy/coordinator combination.
+//
+// File format (little-endian):
+//   header:  magic "BPWT", uint32 version, uint64 num_pages, uint64 count
+//   records: count x { uint64 page, uint8 flags }   flags: 1=write, 2=tx
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+#include "workload/trace_generator.h"
+
+namespace bpw {
+
+/// Streams PageAccess records into a trace file.
+class TraceWriter {
+ public:
+  TraceWriter() = default;
+  ~TraceWriter();
+
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  /// Creates/truncates `path`. `num_pages` is the footprint the replayed
+  /// trace will report.
+  Status Open(const std::string& path, uint64_t num_pages);
+
+  /// Appends one access. Must be called between Open and Close.
+  Status Append(const PageAccess& access);
+
+  /// Finalizes the header (record count) and closes the file.
+  Status Close();
+
+  uint64_t count() const { return count_; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  uint64_t num_pages_ = 0;
+  uint64_t count_ = 0;
+};
+
+/// Loads a trace file fully into memory.
+class TraceFile {
+ public:
+  /// Parses `path`; fails on bad magic/version/truncation.
+  static StatusOr<TraceFile> Load(const std::string& path);
+
+  uint64_t num_pages() const { return num_pages_; }
+  const std::vector<PageAccess>& accesses() const { return accesses_; }
+
+ private:
+  uint64_t num_pages_ = 0;
+  std::vector<PageAccess> accesses_;
+};
+
+/// Replays a loaded trace as a TraceGenerator, looping endlessly (the
+/// driver decides run length). Each worker thread should replay its own
+/// recorded stream; `ReplayTrace` is cheap to copy-construct from a shared
+/// TraceFile.
+class ReplayTrace : public TraceGenerator {
+ public:
+  explicit ReplayTrace(const TraceFile& file)
+      : file_(&file) {}
+
+  PageAccess Next() override;
+  uint64_t footprint_pages() const override { return file_->num_pages(); }
+  std::string name() const override { return "replay"; }
+
+  /// True once the replay position has wrapped at least once.
+  bool wrapped() const { return wrapped_; }
+
+ private:
+  const TraceFile* file_;
+  size_t pos_ = 0;
+  bool wrapped_ = false;
+};
+
+/// Convenience: records `count` accesses of `spec`'s thread-0 stream into
+/// `path`.
+Status RecordTrace(const WorkloadSpec& spec, uint64_t count,
+                   const std::string& path);
+
+}  // namespace bpw

@@ -1,0 +1,68 @@
+// TraceGenerator: per-thread page access streams.
+//
+// The paper drives PostgreSQL with DBT-1 (TPC-W-like), DBT-2 (TPC-C-like)
+// and a synthetic TableScan (§IV-C). We cannot run OSDL test kits against a
+// real PostgreSQL here, so each workload is reproduced as a deterministic
+// generator with the same *access-pattern class*: page popularity skew,
+// read/write mix, sequentiality, and transaction grouping. The substitution
+// table in DESIGN.md §2 records the mapping.
+//
+// Each worker thread owns one generator instance seeded with
+// (workload seed, thread id): streams are independent and runs are
+// reproducible.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/types.h"
+
+namespace bpw {
+
+/// One page access in a thread's stream.
+struct PageAccess {
+  PageId page = 0;
+  bool is_write = false;
+  /// True on the first access of a new transaction; the driver uses it for
+  /// transaction throughput and response-time accounting.
+  bool begins_transaction = false;
+};
+
+class TraceGenerator {
+ public:
+  virtual ~TraceGenerator() = default;
+
+  /// Produces the next access of this thread's stream. Infinite.
+  virtual PageAccess Next() = 0;
+
+  /// Number of distinct pages this stream can touch (the data set size).
+  virtual uint64_t footprint_pages() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Declarative workload description used by the factory and the harness.
+struct WorkloadSpec {
+  /// "tablescan" | "dbt1" | "dbt2" | "zipfian" | "uniform" | "seqloop"
+  std::string name = "dbt2";
+  /// Total data set size in pages (the workload's footprint).
+  uint64_t num_pages = 1 << 14;
+  /// Skew for zipfian-flavoured workloads.
+  double zipf_theta = 0.8;
+  /// For "dbt2": number of warehouses (home-warehouse affinity per thread).
+  uint32_t warehouses = 50;
+  /// Base RNG seed; each thread derives its own stream from this.
+  uint64_t seed = 42;
+};
+
+/// Creates thread `thread_id`'s generator for `spec`, or nullptr for an
+/// unknown workload name.
+std::unique_ptr<TraceGenerator> CreateTrace(const WorkloadSpec& spec,
+                                            uint32_t thread_id);
+
+/// All registered workload names.
+std::vector<std::string> KnownWorkloads();
+
+}  // namespace bpw

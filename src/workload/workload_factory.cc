@@ -1,0 +1,48 @@
+// Workload factory: builds per-thread trace generators from a WorkloadSpec.
+#include "workload/dbt1.h"
+#include "workload/dbt2.h"
+#include "workload/synthetic.h"
+#include "workload/table_scan.h"
+#include "workload/trace_generator.h"
+
+namespace bpw {
+
+namespace {
+/// Derives a per-thread seed: distinct streams per thread, reproducible per
+/// (spec.seed, thread_id).
+uint64_t ThreadSeed(const WorkloadSpec& spec, uint32_t thread_id) {
+  return spec.seed * 0x9E3779B97F4A7C15ULL + thread_id + 1;
+}
+}  // namespace
+
+std::unique_ptr<TraceGenerator> CreateTrace(const WorkloadSpec& spec,
+                                            uint32_t thread_id) {
+  const uint64_t seed = ThreadSeed(spec, thread_id);
+  if (spec.name == "tablescan") {
+    return std::make_unique<TableScanTrace>(spec.num_pages, thread_id);
+  }
+  if (spec.name == "dbt1") {
+    return std::make_unique<Dbt1Trace>(spec.num_pages, spec.zipf_theta, seed);
+  }
+  if (spec.name == "dbt2") {
+    return std::make_unique<Dbt2Trace>(spec.num_pages, spec.warehouses,
+                                       thread_id, seed);
+  }
+  if (spec.name == "zipfian") {
+    return std::make_unique<ZipfianTrace>(spec.num_pages, spec.zipf_theta,
+                                          seed);
+  }
+  if (spec.name == "uniform") {
+    return std::make_unique<UniformTrace>(spec.num_pages, seed);
+  }
+  if (spec.name == "seqloop") {
+    return std::make_unique<SequentialLoopTrace>(spec.num_pages, 0);
+  }
+  return nullptr;
+}
+
+std::vector<std::string> KnownWorkloads() {
+  return {"tablescan", "dbt1", "dbt2", "zipfian", "uniform", "seqloop"};
+}
+
+}  // namespace bpw

@@ -1,0 +1,148 @@
+// Behavioural tests for CAR (Clock with Adaptive Replacement).
+#include <gtest/gtest.h>
+
+#include "policy/car.h"
+#include "util/random.h"
+
+namespace bpw {
+namespace {
+
+ReplacementPolicy::EvictableFn All() {
+  return [](FrameId) { return true; };
+}
+
+class CarDriver {
+ public:
+  explicit CarDriver(CarPolicy& car) : car_(car) {
+    for (size_t i = car.num_frames(); i-- > 0;) {
+      free_.push_back(static_cast<FrameId>(i));
+    }
+    frame_of_.resize(car.num_frames(), kInvalidPageId);
+  }
+
+  bool Access(PageId page) {
+    for (FrameId f = 0; f < frame_of_.size(); ++f) {
+      if (frame_of_[f] == page) {
+        car_.OnHit(page, f);
+        return true;
+      }
+    }
+    FrameId frame;
+    if (!free_.empty()) {
+      frame = free_.back();
+      free_.pop_back();
+    } else {
+      auto victim = car_.ChooseVictim(All(), page);
+      EXPECT_TRUE(victim.ok());
+      frame = victim->frame;
+      frame_of_[frame] = kInvalidPageId;
+    }
+    frame_of_[frame] = page;
+    car_.OnMiss(page, frame);
+    return false;
+  }
+
+ private:
+  CarPolicy& car_;
+  std::vector<FrameId> free_;
+  std::vector<PageId> frame_of_;
+};
+
+TEST(CarTest, NewPagesEnterT1WithClearRefBit) {
+  CarPolicy car(4);
+  car.OnMiss(1, 0);
+  EXPECT_EQ(car.t1_size(), 1u);
+  // With ref clear, an immediate eviction takes it.
+  auto victim = car.ChooseVictim(All(), 2);
+  ASSERT_TRUE(victim.ok());
+  EXPECT_EQ(victim->page, 1u);
+}
+
+TEST(CarTest, HitOnlySetsRefBitNoListMovement) {
+  CarPolicy car(4);
+  car.OnMiss(1, 0);
+  car.OnHit(1, 0);
+  // Still in T1: CAR's hit path moves nothing (that is its point).
+  EXPECT_EQ(car.t1_size(), 1u);
+  EXPECT_EQ(car.t2_size(), 0u);
+}
+
+TEST(CarTest, ReferencedT1PageMigratesToT2OnSweep) {
+  CarPolicy car(2);
+  car.OnMiss(1, 0);
+  car.OnMiss(2, 1);
+  car.OnHit(1, 0);  // ref bit set on 1
+  auto victim = car.ChooseVictim(All(), 3);
+  ASSERT_TRUE(victim.ok());
+  EXPECT_EQ(victim->page, 2u) << "unreferenced page must go first";
+  EXPECT_EQ(car.t2_size(), 1u) << "referenced page 1 moved to T2";
+  EXPECT_TRUE(car.CheckInvariants().ok());
+}
+
+TEST(CarTest, GhostHitAdaptsTarget) {
+  // Reference page 1 so the sweep moves it to T2; then the B1 entry for
+  // page 2 survives the next insert's directory trim (|T1|+|B1| < c).
+  CarPolicy car(2);
+  CarDriver driver(car);
+  driver.Access(1);
+  driver.Access(2);
+  driver.Access(1);  // sets 1's ref bit
+  driver.Access(3);  // sweep: 1 -> T2; evicts 2 -> B1
+  ASSERT_EQ(car.b1_size(), 1u);
+  const size_t before = car.target_p();
+  driver.Access(2);  // B1 ghost hit: p grows, page enters T2
+  EXPECT_GT(car.target_p(), before);
+  EXPECT_EQ(car.t2_size(), 2u);
+  EXPECT_TRUE(car.CheckInvariants().ok());
+}
+
+TEST(CarTest, DirectoryBounded) {
+  constexpr size_t kFrames = 16;
+  CarPolicy car(kFrames);
+  CarDriver driver(car);
+  Random rng(11);
+  for (int i = 0; i < 20000; ++i) {
+    PageId page = rng.Bernoulli(0.5) ? rng.Uniform(kFrames)
+                                     : rng.Uniform(kFrames * 16);
+    driver.Access(page);
+    ASSERT_LE(car.t1_size() + car.t2_size() + car.b1_size() + car.b2_size(),
+              2 * kFrames);
+    if (i % 1000 == 0) {
+      ASSERT_TRUE(car.CheckInvariants().ok())
+          << car.CheckInvariants().ToString();
+    }
+  }
+}
+
+TEST(CarTest, HotPagesSurviveColdChurn) {
+  constexpr size_t kFrames = 16;
+  CarPolicy car(kFrames);
+  CarDriver driver(car);
+  // Make pages 0..3 hot (in T2 with ref bits refreshed).
+  for (int round = 0; round < 4; ++round) {
+    for (PageId p = 0; p < 4; ++p) driver.Access(p);
+  }
+  for (PageId p = 100; p < 400; ++p) {
+    driver.Access(p);
+    // Refresh the hot set's bits occasionally, as a real workload would.
+    if (p % 8 == 0) {
+      for (PageId hot = 0; hot < 4; ++hot) driver.Access(hot);
+    }
+  }
+  int survivors = 0;
+  for (PageId p = 0; p < 4; ++p) survivors += car.IsResident(p);
+  EXPECT_EQ(survivors, 4);
+}
+
+TEST(CarTest, AllPinnedReportsExhausted) {
+  CarPolicy car(4);
+  for (PageId p = 0; p < 4; ++p) car.OnMiss(p, static_cast<FrameId>(p));
+  auto victim = car.ChooseVictim([](FrameId) { return false; }, 9);
+  ASSERT_FALSE(victim.ok());
+  EXPECT_EQ(victim.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(car.resident_count(), 4u);
+  EXPECT_TRUE(car.CheckInvariants().ok());
+}
+
+}  // namespace
+}  // namespace bpw

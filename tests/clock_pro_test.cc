@@ -1,0 +1,183 @@
+// Behavioural tests for CLOCK-Pro: hot/cold/test transitions, cold-target
+// adaptation, non-resident bounding, and the LIRS-approximation quality.
+#include <gtest/gtest.h>
+
+#include "policy/clock_pro.h"
+#include "policy/lru.h"
+#include "util/random.h"
+
+namespace bpw {
+namespace {
+
+ReplacementPolicy::EvictableFn All() {
+  return [](FrameId) { return true; };
+}
+
+class ClockProDriver {
+ public:
+  explicit ClockProDriver(ReplacementPolicy& policy) : policy_(policy) {
+    for (size_t i = policy.num_frames(); i-- > 0;) {
+      free_.push_back(static_cast<FrameId>(i));
+    }
+    frame_of_.resize(policy.num_frames(), kInvalidPageId);
+  }
+
+  bool Access(PageId page) {
+    for (FrameId f = 0; f < frame_of_.size(); ++f) {
+      if (frame_of_[f] == page) {
+        policy_.OnHit(page, f);
+        return true;
+      }
+    }
+    FrameId frame;
+    if (!free_.empty()) {
+      frame = free_.back();
+      free_.pop_back();
+    } else {
+      auto victim = policy_.ChooseVictim(All(), page);
+      EXPECT_TRUE(victim.ok()) << victim.status().ToString();
+      frame = victim->frame;
+      frame_of_[frame] = kInvalidPageId;
+    }
+    frame_of_[frame] = page;
+    policy_.OnMiss(page, frame);
+    return false;
+  }
+
+ private:
+  ReplacementPolicy& policy_;
+  std::vector<FrameId> free_;
+  std::vector<PageId> frame_of_;
+};
+
+TEST(ClockProTest, NewPagesAreColdInTest) {
+  ClockProPolicy cp(8);
+  cp.OnMiss(1, 0);
+  cp.OnMiss(2, 1);
+  EXPECT_EQ(cp.cold_count(), 2u);
+  EXPECT_EQ(cp.hot_count(), 0u);
+  EXPECT_TRUE(cp.CheckInvariants().ok());
+}
+
+TEST(ClockProTest, HitOnlySetsRefBit) {
+  ClockProPolicy cp(8);
+  cp.OnMiss(1, 0);
+  cp.OnHit(1, 0);
+  // Still cold: CLOCK-Pro's hit path is a bit set (its whole point as a
+  // clock algorithm).
+  EXPECT_EQ(cp.cold_count(), 1u);
+  EXPECT_EQ(cp.hot_count(), 0u);
+}
+
+TEST(ClockProTest, ReferencedTestPagePromotesToHotOnSweep) {
+  ClockProPolicy cp(4);
+  cp.OnMiss(1, 0);
+  cp.OnMiss(2, 1);
+  cp.OnHit(1, 0);  // page 1 referenced during its test period
+  auto victim = cp.ChooseVictim(All(), 3);
+  ASSERT_TRUE(victim.ok());
+  EXPECT_EQ(victim->page, 2u) << "unreferenced cold page evicted first";
+  EXPECT_EQ(cp.hot_count(), 1u) << "referenced test page became hot";
+  EXPECT_TRUE(cp.CheckInvariants().ok());
+}
+
+TEST(ClockProTest, EvictedTestPageStaysAsNonResident) {
+  ClockProPolicy cp(2);
+  cp.OnMiss(1, 0);
+  cp.OnMiss(2, 1);
+  auto victim = cp.ChooseVictim(All(), 3);
+  ASSERT_TRUE(victim.ok());
+  EXPECT_EQ(cp.nonresident_count(), 1u)
+      << "a test-period page keeps metadata after eviction";
+  EXPECT_FALSE(cp.IsResident(victim->page));
+}
+
+TEST(ClockProTest, ReloadDuringTestGrowsColdTargetAndGoesHot) {
+  ClockProPolicy cp(2);
+  cp.OnMiss(1, 0);
+  cp.OnMiss(2, 1);
+  auto victim = cp.ChooseVictim(All(), 3);
+  ASSERT_TRUE(victim.ok());
+  const PageId evicted = victim->page;
+  cp.OnMiss(3, victim->frame);
+  const size_t target_before = cp.cold_target();
+  // Fault the evicted page back while its test period lives.
+  auto v2 = cp.ChooseVictim(All(), evicted);
+  ASSERT_TRUE(v2.ok());
+  cp.OnMiss(evicted, v2->frame);
+  EXPECT_GE(cp.cold_target(), target_before);
+  EXPECT_EQ(cp.hot_count(), 1u) << "test-period reload becomes hot";
+  EXPECT_TRUE(cp.CheckInvariants().ok());
+}
+
+TEST(ClockProTest, NonResidentMetadataBounded) {
+  constexpr size_t kFrames = 8;
+  ClockProPolicy cp(kFrames);
+  ClockProDriver driver(cp);
+  for (PageId p = 0; p < 500; ++p) {
+    driver.Access(p);
+    ASSERT_LE(cp.nonresident_count(), kFrames);
+    if (p % 50 == 0) {
+      ASSERT_TRUE(cp.CheckInvariants().ok())
+          << cp.CheckInvariants().ToString();
+    }
+  }
+}
+
+TEST(ClockProTest, ColdTargetStaysInRange) {
+  ClockProPolicy cp(16);
+  ClockProDriver driver(cp);
+  Random rng(3);
+  for (int i = 0; i < 20000; ++i) {
+    const PageId page = rng.Bernoulli(0.6) ? rng.Uniform(16)
+                                           : rng.Uniform(256);
+    driver.Access(page);
+    ASSERT_GE(cp.cold_target(), 1u);
+    ASSERT_LE(cp.cold_target(), 16u);
+  }
+  EXPECT_TRUE(cp.CheckInvariants().ok());
+}
+
+TEST(ClockProTest, LoopWorkloadBeatsLru) {
+  // CLOCK-Pro approximates LIRS: on a loop slightly larger than the cache
+  // it must retain a stable subset while LRU gets ~0%.
+  constexpr size_t kFrames = 50;
+  constexpr PageId kLoop = 60;
+  constexpr int kLaps = 40;
+  auto run = [&](ReplacementPolicy& policy) {
+    ClockProDriver driver(policy);
+    uint64_t hits = 0;
+    for (int lap = 0; lap < kLaps; ++lap) {
+      for (PageId p = 0; p < kLoop; ++p) hits += driver.Access(p);
+    }
+    return static_cast<double>(hits) / (kLaps * kLoop);
+  };
+  ClockProPolicy cp(kFrames);
+  LruPolicy lru(kFrames);
+  const double cp_ratio = run(cp);
+  const double lru_ratio = run(lru);
+  EXPECT_LT(lru_ratio, 0.02);
+  EXPECT_GT(cp_ratio, lru_ratio + 0.3)
+      << "CLOCK-Pro must beat LRU clearly on a loop";
+}
+
+TEST(ClockProTest, EraseEveryState) {
+  ClockProPolicy cp(4);
+  ClockProDriver driver(cp);
+  for (PageId p = 0; p < 4; ++p) driver.Access(p);
+  driver.Access(0);   // ref
+  driver.Access(10);  // evicts someone into non-resident test
+  ASSERT_GT(cp.nonresident_count(), 0u);
+  // Erase every non-resident ghost (ids 0..4 were the eviction candidates).
+  for (PageId p = 0; p <= 4; ++p) {
+    if (!cp.IsResident(p)) cp.OnErase(p, kInvalidFrameId);
+  }
+  EXPECT_EQ(cp.nonresident_count(), 0u);
+  EXPECT_TRUE(cp.CheckInvariants().ok()) << cp.CheckInvariants().ToString();
+  // Resident-page erase (frame-validated) is covered by the generic policy
+  // suite; here verify the resident count survives the ghost purge.
+  EXPECT_EQ(cp.resident_count(), 4u);
+}
+
+}  // namespace
+}  // namespace bpw

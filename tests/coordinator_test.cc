@@ -1,0 +1,217 @@
+// Tests for SerializedCoordinator, ClockCoordinator, and the factories
+// (including the paper's five named systems of Table I).
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "core/clock_coordinator.h"
+#include "core/coordinator_factory.h"
+#include "core/serialized_coordinator.h"
+#include "policy/lru.h"
+
+namespace bpw {
+namespace {
+
+TEST(SerializedCoordinatorTest, EveryHitAcquiresTheLock) {
+  SerializedCoordinator coord(std::make_unique<LruPolicy>(8));
+  auto slot = coord.RegisterThread();
+  coord.CompleteMiss(slot.get(), 1, 0);
+  for (int i = 0; i < 10; ++i) coord.OnHit(slot.get(), 1, 0);
+  // 1 miss + 10 hits = 11 acquisitions: the paper's "one lock-acquisition
+  // per page access" baseline behaviour.
+  EXPECT_EQ(coord.lock_stats().acquisitions, 11u);
+}
+
+TEST(SerializedCoordinatorTest, OperationsReachThePolicy) {
+  SerializedCoordinator coord(std::make_unique<LruPolicy>(4));
+  auto slot = coord.RegisterThread();
+  for (PageId p = 0; p < 4; ++p) {
+    coord.CompleteMiss(slot.get(), p, static_cast<FrameId>(p));
+  }
+  EXPECT_EQ(coord.policy().resident_count(), 4u);
+  coord.OnHit(slot.get(), 0, 0);  // 0 becomes MRU
+  auto victim = coord.ChooseVictim(
+      slot.get(), [](FrameId) { return true; }, 9);
+  ASSERT_TRUE(victim.ok());
+  EXPECT_EQ(victim->page, 1u);
+  coord.OnErase(slot.get(), 2, 2);
+  EXPECT_EQ(coord.policy().resident_count(), 2u);
+}
+
+TEST(SerializedCoordinatorTest, PrefetchOptionChangesNameOnly) {
+  SerializedCoordinator::Options options;
+  options.prefetch = true;
+  SerializedCoordinator with(std::make_unique<LruPolicy>(4), options);
+  SerializedCoordinator without(std::make_unique<LruPolicy>(4));
+  EXPECT_EQ(with.name(), "serialized+pre");
+  EXPECT_EQ(without.name(), "serialized");
+  // Behaviour identical.
+  auto sa = with.RegisterThread();
+  auto sb = without.RegisterThread();
+  for (PageId p = 0; p < 4; ++p) {
+    with.CompleteMiss(sa.get(), p, static_cast<FrameId>(p));
+    without.CompleteMiss(sb.get(), p, static_cast<FrameId>(p));
+  }
+  with.OnHit(sa.get(), 2, 2);
+  without.OnHit(sb.get(), 2, 2);
+  auto va = with.ChooseVictim(sa.get(), [](FrameId) { return true; }, 9);
+  auto vb = without.ChooseVictim(sb.get(), [](FrameId) { return true; }, 9);
+  ASSERT_TRUE(va.ok());
+  ASSERT_TRUE(vb.ok());
+  EXPECT_EQ(va->page, vb->page);
+}
+
+TEST(ClockCoordinatorTest, HitsTakeNoLock) {
+  ClockCoordinator coord(std::make_unique<ClockPolicy>(8));
+  auto slot = coord.RegisterThread();
+  coord.CompleteMiss(slot.get(), 1, 0);
+  const uint64_t acq_after_miss = coord.lock_stats().acquisitions;
+  for (int i = 0; i < 1000; ++i) coord.OnHit(slot.get(), 1, 0);
+  EXPECT_EQ(coord.lock_stats().acquisitions, acq_after_miss)
+      << "clock hits must be lock-free (the paper's pgClock property)";
+}
+
+TEST(ClockCoordinatorTest, RefBitProtectsHitPage) {
+  ClockCoordinator coord(std::make_unique<ClockPolicy>(3));
+  auto slot = coord.RegisterThread();
+  for (PageId p = 1; p <= 3; ++p) {
+    coord.CompleteMiss(slot.get(), p, static_cast<FrameId>(p - 1));
+  }
+  // First sweep clears all bits and evicts page 1; the hand rests on
+  // frame 1 (page 2).
+  auto v1 = coord.ChooseVictim(slot.get(), [](FrameId) { return true; }, 4);
+  ASSERT_TRUE(v1.ok());
+  EXPECT_EQ(v1->page, 1u);
+  coord.CompleteMiss(slot.get(), 4, v1->frame);
+  // Page 3 gets referenced; page 2 does not. The next sweep starts at
+  // page 2 (ref clear) and must take it, leaving the hit page 3 alone.
+  coord.OnHit(slot.get(), 3, 2);
+  auto v2 = coord.ChooseVictim(slot.get(), [](FrameId) { return true; }, 5);
+  ASSERT_TRUE(v2.ok());
+  EXPECT_EQ(v2->page, 2u);
+  EXPECT_TRUE(coord.policy().IsResident(3));
+}
+
+TEST(ClockCoordinatorTest, GClockVariantWorks) {
+  ClockCoordinator coord(std::make_unique<GClockPolicy>(4));
+  auto slot = coord.RegisterThread();
+  for (PageId p = 0; p < 4; ++p) {
+    coord.CompleteMiss(slot.get(), p, static_cast<FrameId>(p));
+  }
+  for (int i = 0; i < 10; ++i) coord.OnHit(slot.get(), 2, 2);
+  for (int i = 0; i < 3; ++i) {
+    auto v = coord.ChooseVictim(slot.get(), [](FrameId) { return true; }, 9);
+    ASSERT_TRUE(v.ok());
+    EXPECT_NE(v->page, 2u);
+    coord.CompleteMiss(slot.get(), 100 + i, v->frame);
+  }
+}
+
+TEST(ClockCoordinatorTest, ConcurrentHitsWithEvictions) {
+  ClockCoordinator coord(std::make_unique<ClockPolicy>(32));
+  {
+    auto slot = coord.RegisterThread();
+    for (PageId p = 0; p < 32; ++p) {
+      coord.CompleteMiss(slot.get(), p, static_cast<FrameId>(p));
+    }
+  }
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&coord, &stop] {
+      auto slot = coord.RegisterThread();
+      uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        coord.OnHit(slot.get(), i % 32, static_cast<FrameId>(i % 32));
+        ++i;
+      }
+    });
+  }
+  auto slot = coord.RegisterThread();
+  for (int i = 0; i < 3000; ++i) {
+    auto v = coord.ChooseVictim(slot.get(), [](FrameId) { return true; },
+                                1000 + i);
+    ASSERT_TRUE(v.ok());
+    coord.CompleteMiss(slot.get(), 1000 + i, v->frame);
+  }
+  stop.store(true);
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(coord.policy().resident_count(), 32u);
+  EXPECT_TRUE(coord.policy().CheckInvariants().ok());
+}
+
+TEST(CoordinatorFactoryTest, BuildsAllKinds) {
+  for (const char* kind : {"serialized", "bp-wrapper"}) {
+    SystemConfig config;
+    config.policy = "2q";
+    config.coordinator = kind;
+    auto coord = CreateCoordinator(config, 64);
+    ASSERT_TRUE(coord.ok()) << kind;
+  }
+  SystemConfig clock_config;
+  clock_config.policy = "clock";
+  clock_config.coordinator = "clock-lockfree";
+  EXPECT_TRUE(CreateCoordinator(clock_config, 64).ok());
+  clock_config.policy = "gclock";
+  EXPECT_TRUE(CreateCoordinator(clock_config, 64).ok());
+}
+
+TEST(CoordinatorFactoryTest, ClockLockFreeRequiresClockPolicy) {
+  SystemConfig config;
+  config.policy = "lru";
+  config.coordinator = "clock-lockfree";
+  auto coord = CreateCoordinator(config, 64);
+  ASSERT_FALSE(coord.ok());
+  EXPECT_EQ(coord.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CoordinatorFactoryTest, UnknownCoordinatorRejected) {
+  SystemConfig config;
+  config.coordinator = "magic";
+  EXPECT_FALSE(CreateCoordinator(config, 64).ok());
+}
+
+TEST(PaperSystemsTest, AllFiveConfigsResolve) {
+  const auto names = PaperSystemNames();
+  ASSERT_EQ(names.size(), 5u);
+  for (const auto& name : names) {
+    auto config = PaperSystemConfig(name);
+    ASSERT_TRUE(config.ok()) << name;
+    auto coord = CreateCoordinator(config.value(), 128);
+    ASSERT_TRUE(coord.ok()) << name;
+  }
+}
+
+TEST(PaperSystemsTest, ConfigsMatchTableOne) {
+  auto clock = PaperSystemConfig("pgClock");
+  ASSERT_TRUE(clock.ok());
+  EXPECT_EQ(clock->policy, "clock");
+  EXPECT_EQ(clock->coordinator, "clock-lockfree");
+
+  auto base = PaperSystemConfig("pg2Q");
+  ASSERT_TRUE(base.ok());
+  EXPECT_EQ(base->policy, "2q");
+  EXPECT_EQ(base->coordinator, "serialized");
+  EXPECT_FALSE(base->prefetch);
+
+  auto pre = PaperSystemConfig("pgPre");
+  ASSERT_TRUE(pre.ok());
+  EXPECT_EQ(pre->coordinator, "serialized");
+  EXPECT_TRUE(pre->prefetch);
+
+  auto bat = PaperSystemConfig("pgBat");
+  ASSERT_TRUE(bat.ok());
+  EXPECT_EQ(bat->coordinator, "bp-wrapper");
+  EXPECT_FALSE(bat->prefetch);
+
+  auto batpre = PaperSystemConfig("pgBatPre");
+  ASSERT_TRUE(batpre.ok());
+  EXPECT_EQ(batpre->coordinator, "bp-wrapper");
+  EXPECT_TRUE(batpre->prefetch);
+
+  EXPECT_FALSE(PaperSystemConfig("pgMagic").ok());
+}
+
+}  // namespace
+}  // namespace bpw

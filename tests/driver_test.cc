@@ -1,0 +1,175 @@
+// Tests for the experiment driver (the harness behind every bench).
+#include <gtest/gtest.h>
+
+#include "harness/driver.h"
+#include "harness/reporter.h"
+#include "harness/systems.h"
+
+namespace bpw {
+namespace {
+
+DriverConfig BaseConfig() {
+  DriverConfig config;
+  config.num_threads = 2;
+  config.transactions_per_thread = 200;  // count mode: deterministic tests
+  config.workload.name = "zipfian";
+  config.workload.num_pages = 1024;
+  config.system.policy = "2q";
+  config.system.coordinator = "serialized";
+  config.think_work = 8;
+  config.page_size = 512;
+  return config;
+}
+
+TEST(DriverTest, CountModeRunsExactTransactionCount) {
+  DriverConfig config = BaseConfig();
+  auto result = RunDriver(config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->transactions, 400u);  // 2 threads x 200
+  EXPECT_GT(result->accesses, result->transactions);
+  EXPECT_GT(result->throughput_tps, 0.0);
+  EXPECT_GT(result->avg_response_us, 0.0);
+  EXPECT_GE(result->p95_response_us, 0.0);
+}
+
+TEST(DriverTest, PrewarmedFullBufferHasNoMisses) {
+  // The paper's scalability setting: buffer >= working set, pre-warmed.
+  DriverConfig config = BaseConfig();
+  config.prewarm = true;
+  config.num_frames = 0;  // = footprint
+  auto result = RunDriver(config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->misses, 0u);
+  EXPECT_DOUBLE_EQ(result->hit_ratio, 1.0);
+}
+
+TEST(DriverTest, SmallBufferProducesMisses) {
+  DriverConfig config = BaseConfig();
+  config.num_frames = 64;  // much smaller than the 1024-page footprint
+  auto result = RunDriver(config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->misses, 0u);
+  EXPECT_LT(result->hit_ratio, 1.0);
+  EXPECT_GT(result->evictions, 0u);
+}
+
+TEST(DriverTest, UnknownWorkloadRejected) {
+  DriverConfig config = BaseConfig();
+  config.workload.name = "not-a-workload";
+  EXPECT_FALSE(RunDriver(config).ok());
+}
+
+TEST(DriverTest, UnknownSystemRejected) {
+  DriverConfig config = BaseConfig();
+  config.system.coordinator = "bogus";
+  EXPECT_FALSE(RunDriver(config).ok());
+}
+
+TEST(DriverTest, ZeroThreadsRejected) {
+  DriverConfig config = BaseConfig();
+  config.num_threads = 0;
+  EXPECT_FALSE(RunDriver(config).ok());
+}
+
+TEST(DriverTest, LockStatsReflectCoordinatorKind) {
+  DriverConfig serialized = BaseConfig();
+  auto ser_result = RunDriver(serialized);
+  ASSERT_TRUE(ser_result.ok());
+  // Lock-per-access: at least one acquisition per access (hits + misses).
+  EXPECT_GE(ser_result->lock.acquisitions, ser_result->accesses);
+
+  DriverConfig batched = BaseConfig();
+  batched.system.coordinator = "bp-wrapper";
+  batched.system.queue_size = 64;
+  batched.system.batch_threshold = 32;
+  auto bat_result = RunDriver(batched);
+  ASSERT_TRUE(bat_result.ok());
+  EXPECT_LT(bat_result->lock.acquisitions,
+            ser_result->lock.acquisitions / 4)
+      << "batching must slash lock acquisitions";
+}
+
+TEST(DriverTest, DurationModeProducesMetrics) {
+  DriverConfig config = BaseConfig();
+  config.transactions_per_thread = 0;  // duration mode
+  config.duration_ms = 120;
+  config.warmup_ms = 30;
+  auto result = RunDriver(config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->transactions, 0u);
+  EXPECT_NEAR(result->measure_seconds, 0.12, 0.08);
+  EXPECT_GT(result->throughput_tps, 0.0);
+}
+
+TEST(DriverTest, TimingInstrumentationYieldsLockNanos) {
+  DriverConfig config = BaseConfig();
+  config.system.instrumentation = LockInstrumentation::kTiming;
+  auto result = RunDriver(config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->lock_nanos_per_access, 0.0);
+}
+
+TEST(DriverTest, AllPaperSystemsRunAllWorkloads) {
+  for (const auto& system_name : PaperSystemNames()) {
+    for (const char* workload : {"dbt1", "dbt2", "tablescan"}) {
+      DriverConfig config = BaseConfig();
+      config.workload.name = workload;
+      config.workload.num_pages = 512;
+      config.transactions_per_thread = 50;
+      auto system = PaperSystemConfig(system_name);
+      ASSERT_TRUE(system.ok());
+      config.system = system.value();
+      auto result = RunDriver(config);
+      ASSERT_TRUE(result.ok())
+          << system_name << "/" << workload << ": "
+          << result.status().ToString();
+      EXPECT_EQ(result->transactions, 100u) << system_name << "/" << workload;
+    }
+  }
+}
+
+TEST(SystemMatrixTest, RunsAllCells) {
+  DriverConfig base = BaseConfig();
+  base.transactions_per_thread = 40;
+  auto cells = RunSystemMatrix(base, {"pgClock", "pg2Q"}, {1, 2});
+  ASSERT_TRUE(cells.ok()) << cells.status().ToString();
+  ASSERT_EQ(cells->size(), 4u);
+  for (const auto& cell : cells.value()) {
+    EXPECT_GT(cell.result.transactions, 0u);
+  }
+}
+
+TEST(SystemMatrixTest, MutateHookApplies) {
+  DriverConfig base = BaseConfig();
+  base.transactions_per_thread = 40;
+  auto cells = RunSystemMatrix(
+      base, {"pgBatPre"}, {2},
+      [](DriverConfig& config) { config.system.queue_size = 4; });
+  ASSERT_TRUE(cells.ok());
+  EXPECT_EQ(cells->size(), 1u);
+}
+
+TEST(ScalabilityConfigTest, ZeroMissPreset) {
+  DriverConfig config = ScalabilityRunConfig("dbt2", 2048, 200);
+  EXPECT_EQ(config.workload.name, "dbt2");
+  EXPECT_EQ(config.num_frames, 0u);
+  EXPECT_TRUE(config.prewarm);
+  EXPECT_EQ(config.duration_ms, 200u);
+}
+
+TEST(ReporterTest, TableAlignsAndCsvRoundTrips) {
+  TableReporter table({"system", "a", "b"});
+  table.AddNumericRow("pgClock", {1.5, 2.25}, 2);
+  table.AddRow({"pg2Q", "x", "y"});
+  const std::string csv = table.ToCsv();
+  EXPECT_EQ(csv, "system,a,b\npgClock,1.50,2.25\npg2Q,x,y\n");
+  table.Print("test table");  // must not crash
+}
+
+TEST(ReporterTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(1000.0, 0), "1000");
+}
+
+}  // namespace
+}  // namespace bpw

@@ -1,0 +1,165 @@
+// End-to-end integration tests: the full stack (storage, pool, coordinator,
+// policy, workload) exercised the way a database would use it — data
+// written through the buffer, evicted under pressure, flushed, and read
+// back across a "restart" of the buffer pool.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "buffer/buffer_pool.h"
+#include "core/coordinator_factory.h"
+#include "util/random.h"
+#include "workload/trace_generator.h"
+
+namespace bpw {
+namespace {
+
+constexpr size_t kPageSize = 512;
+
+std::unique_ptr<BufferPool> MakePool(StorageEngine* storage,
+                                     const std::string& system_name,
+                                     size_t frames) {
+  auto system = PaperSystemConfig(system_name);
+  EXPECT_TRUE(system.ok());
+  auto coordinator = CreateCoordinator(system.value(), frames);
+  EXPECT_TRUE(coordinator.ok());
+  BufferPoolConfig config;
+  config.num_frames = frames;
+  config.page_size = kPageSize;
+  return std::make_unique<BufferPool>(config, storage,
+                                      std::move(coordinator).value());
+}
+
+class IntegrationTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(IntegrationTest, DataSurvivesPoolRestart) {
+  StorageEngine storage(512, kPageSize);
+  // Phase 1: write versioned stamps to every 3rd page through a small pool
+  // (forcing evictions + write-backs mid-run), then flush and destroy.
+  {
+    auto pool = MakePool(&storage, GetParam(), 32);
+    auto session = pool->CreateSession();
+    for (PageId p = 0; p < 512; p += 3) {
+      auto handle = pool->FetchPage(*session, p);
+      ASSERT_TRUE(handle.ok());
+      StorageEngine::StampPage(handle.value().data(), kPageSize, p, p + 1000);
+      handle.value().MarkDirty();
+    }
+    pool->FlushSession(*session);
+    ASSERT_TRUE(pool->FlushAll().ok());
+    ASSERT_TRUE(pool->CheckIntegrity().ok());
+  }
+  // Phase 2: a fresh pool (cold cache) must read back every stamp.
+  {
+    auto pool = MakePool(&storage, GetParam(), 32);
+    auto session = pool->CreateSession();
+    for (PageId p = 0; p < 512; ++p) {
+      auto handle = pool->FetchPage(*session, p);
+      ASSERT_TRUE(handle.ok());
+      auto [word, version] = StorageEngine::ReadStamp(handle.value().data());
+      const uint64_t expect_version = p % 3 == 0 ? p + 1000 : 0;
+      ASSERT_EQ(version, expect_version) << "page " << p;
+      ASSERT_EQ(word, p * 0x9E3779B97F4A7C15ULL + expect_version);
+    }
+  }
+}
+
+TEST_P(IntegrationTest, OltpWorkloadEndToEnd) {
+  // A realistic small OLTP run: 4 threads, buffer at 1/4 of the data,
+  // writes and evictions throughout; finishes with a full integrity check
+  // and verified write-back of the final state.
+  StorageEngine storage(2048, kPageSize);
+  auto pool = MakePool(&storage, GetParam(), 512);
+
+  WorkloadSpec spec;
+  spec.name = "dbt2";
+  spec.num_pages = 2048;
+  spec.seed = 31;
+
+  std::vector<std::thread> threads;
+  std::atomic<uint64_t> errors{0};
+  for (uint32_t t = 0; t < 4; ++t) {
+    threads.emplace_back([&pool, &spec, &errors, t] {
+      auto session = pool->CreateSession();
+      auto trace = CreateTrace(spec, t);
+      for (int i = 0; i < 20000; ++i) {
+        const PageAccess access = trace->Next();
+        auto handle = pool->FetchPage(*session, access.page);
+        if (!handle.ok()) {
+          errors.fetch_add(1);
+          continue;
+        }
+        // Verify the page is the one asked for.
+        auto [word, version] = StorageEngine::ReadStamp(handle.value().data());
+        if (word != access.page * 0x9E3779B97F4A7C15ULL + version) {
+          errors.fetch_add(1);
+        }
+        if (access.is_write) {
+          // Refresh the stamp with the same version (content-stable writes
+          // keep cross-thread verification simple).
+          StorageEngine::StampPage(handle.value().data(), kPageSize,
+                                   access.page, version);
+          handle.value().MarkDirty();
+        }
+      }
+      pool->FlushSession(*session);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(errors.load(), 0u);
+  EXPECT_GT(pool->evictions(), 0u) << "test needs eviction pressure";
+  EXPECT_TRUE(pool->CheckIntegrity().ok())
+      << pool->CheckIntegrity().ToString();
+  EXPECT_TRUE(pool->FlushAll().ok());
+}
+
+TEST_P(IntegrationTest, DropAndReloadUnderConcurrency) {
+  StorageEngine storage(256, kPageSize);
+  auto pool = MakePool(&storage, GetParam(), 64);
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> errors{0};
+
+  std::thread dropper([&] {
+    auto session = pool->CreateSession();
+    Random rng(1);
+    while (!stop.load()) {
+      const PageId page = rng.Uniform(256);
+      // Dropping may legitimately fail (pinned / not buffered); only
+      // crashes or corruption count as failures here.
+      (void)pool->DropPage(*session, page);
+    }
+  });
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&, t] {
+      auto session = pool->CreateSession();
+      Random rng(100 + t);
+      for (int i = 0; i < 30000; ++i) {
+        const PageId page = rng.Uniform(256);
+        auto handle = pool->FetchPage(*session, page);
+        if (!handle.ok()) {
+          errors.fetch_add(1);
+          continue;
+        }
+        auto [word, version] = StorageEngine::ReadStamp(handle.value().data());
+        if (word != page * 0x9E3779B97F4A7C15ULL + version) {
+          errors.fetch_add(1);
+        }
+      }
+      pool->FlushSession(*session);
+    });
+  }
+  for (auto& th : readers) th.join();
+  stop.store(true);
+  dropper.join();
+  EXPECT_EQ(errors.load(), 0u);
+  EXPECT_TRUE(pool->CheckIntegrity().ok())
+      << pool->CheckIntegrity().ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSystems, IntegrationTest,
+                         ::testing::Values("pgClock", "pg2Q", "pgBatPre"));
+
+}  // namespace
+}  // namespace bpw

@@ -1,0 +1,190 @@
+// Tests for the intrusive doubly-linked list all policies build on.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "policy/intrusive_list.h"
+
+// GCC 12 flags designated initializers that rely on the remaining members'
+// default initializers; that is exactly the intent here.
+#pragma GCC diagnostic ignored "-Wmissing-field-initializers"
+
+namespace bpw {
+namespace {
+
+struct Node {
+  int id = 0;
+  Link a;
+  Link b;  // second link: a node can be on two lists at once
+};
+
+using ListA = IntrusiveList<Node, &Node::a>;
+using ListB = IntrusiveList<Node, &Node::b>;
+
+TEST(IntrusiveListTest, StartsEmpty) {
+  ListA list;
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.size(), 0u);
+  EXPECT_EQ(list.Front(), nullptr);
+  EXPECT_EQ(list.Back(), nullptr);
+  EXPECT_EQ(list.PopFront(), nullptr);
+  EXPECT_EQ(list.PopBack(), nullptr);
+}
+
+TEST(IntrusiveListTest, PushFrontOrder) {
+  ListA list;
+  Node n1{.id = 1}, n2{.id = 2}, n3{.id = 3};
+  list.PushFront(&n1);
+  list.PushFront(&n2);
+  list.PushFront(&n3);
+  EXPECT_EQ(list.size(), 3u);
+  EXPECT_EQ(list.Front()->id, 3);
+  EXPECT_EQ(list.Back()->id, 1);
+}
+
+TEST(IntrusiveListTest, PushBackOrder) {
+  ListA list;
+  Node n1{.id = 1}, n2{.id = 2};
+  list.PushBack(&n1);
+  list.PushBack(&n2);
+  EXPECT_EQ(list.Front()->id, 1);
+  EXPECT_EQ(list.Back()->id, 2);
+}
+
+TEST(IntrusiveListTest, TraversalBothDirections) {
+  ListA list;
+  Node nodes[5];
+  for (int i = 0; i < 5; ++i) {
+    nodes[i].id = i;
+    list.PushBack(&nodes[i]);
+  }
+  int expect = 0;
+  for (Node* n = list.Front(); n != nullptr; n = list.Next(n)) {
+    EXPECT_EQ(n->id, expect++);
+  }
+  EXPECT_EQ(expect, 5);
+  expect = 4;
+  for (Node* n = list.Back(); n != nullptr; n = list.Prev(n)) {
+    EXPECT_EQ(n->id, expect--);
+  }
+  EXPECT_EQ(expect, -1);
+}
+
+TEST(IntrusiveListTest, RemoveMiddle) {
+  ListA list;
+  Node n1{.id = 1}, n2{.id = 2}, n3{.id = 3};
+  list.PushBack(&n1);
+  list.PushBack(&n2);
+  list.PushBack(&n3);
+  list.Remove(&n2);
+  EXPECT_EQ(list.size(), 2u);
+  EXPECT_EQ(list.Next(&n1)->id, 3);
+  EXPECT_FALSE(n2.a.linked());
+}
+
+TEST(IntrusiveListTest, RemoveOnlyElement) {
+  ListA list;
+  Node n{.id = 9};
+  list.PushFront(&n);
+  list.Remove(&n);
+  EXPECT_TRUE(list.empty());
+}
+
+TEST(IntrusiveListTest, MoveToFrontAndBack) {
+  ListA list;
+  Node n1{.id = 1}, n2{.id = 2}, n3{.id = 3};
+  list.PushBack(&n1);
+  list.PushBack(&n2);
+  list.PushBack(&n3);
+  list.MoveToFront(&n3);
+  EXPECT_EQ(list.Front()->id, 3);
+  list.MoveToBack(&n3);
+  EXPECT_EQ(list.Back()->id, 3);
+  EXPECT_EQ(list.size(), 3u);
+}
+
+TEST(IntrusiveListTest, PopFrontAndBack) {
+  ListA list;
+  Node n1{.id = 1}, n2{.id = 2}, n3{.id = 3};
+  list.PushBack(&n1);
+  list.PushBack(&n2);
+  list.PushBack(&n3);
+  EXPECT_EQ(list.PopFront()->id, 1);
+  EXPECT_EQ(list.PopBack()->id, 3);
+  EXPECT_EQ(list.PopFront()->id, 2);
+  EXPECT_TRUE(list.empty());
+}
+
+TEST(IntrusiveListTest, InsertBefore) {
+  ListA list;
+  Node n1{.id = 1}, n3{.id = 3}, n2{.id = 2};
+  list.PushBack(&n1);
+  list.PushBack(&n3);
+  list.InsertBefore(&n3, &n2);
+  EXPECT_EQ(list.Next(&n1)->id, 2);
+  EXPECT_EQ(list.Next(&n2)->id, 3);
+  EXPECT_EQ(list.size(), 3u);
+}
+
+TEST(IntrusiveListTest, NodeOnTwoListsIndependently) {
+  ListA la;
+  ListB lb;
+  Node n1{.id = 1}, n2{.id = 2};
+  la.PushBack(&n1);
+  la.PushBack(&n2);
+  lb.PushFront(&n1);  // only n1 is on list B
+  EXPECT_EQ(la.size(), 2u);
+  EXPECT_EQ(lb.size(), 1u);
+  la.Remove(&n1);
+  EXPECT_EQ(lb.Front(), &n1);  // removal from A does not disturb B
+  EXPECT_EQ(lb.size(), 1u);
+}
+
+TEST(IntrusiveListTest, ContainsScan) {
+  ListA list;
+  Node in{.id = 1}, out{.id = 2};
+  list.PushBack(&in);
+  EXPECT_TRUE(list.Contains(&in));
+  EXPECT_FALSE(list.Contains(&out));
+}
+
+TEST(IntrusiveListTest, ClearResets) {
+  ListA list;
+  Node n1, n2;
+  list.PushBack(&n1);
+  list.PushBack(&n2);
+  list.Clear();
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.size(), 0u);
+}
+
+TEST(IntrusiveListTest, ReuseAfterRemove) {
+  ListA list;
+  Node n{.id = 5};
+  for (int round = 0; round < 10; ++round) {
+    list.PushFront(&n);
+    EXPECT_EQ(list.size(), 1u);
+    list.Remove(&n);
+    EXPECT_TRUE(list.empty());
+  }
+}
+
+TEST(IntrusiveListTest, LargeListStressOrder) {
+  ListA list;
+  std::vector<Node> nodes(1000);
+  for (int i = 0; i < 1000; ++i) {
+    nodes[i].id = i;
+    list.PushBack(&nodes[i]);
+  }
+  // Remove evens.
+  for (int i = 0; i < 1000; i += 2) list.Remove(&nodes[i]);
+  EXPECT_EQ(list.size(), 500u);
+  int expect = 1;
+  for (Node* n = list.Front(); n != nullptr; n = list.Next(n)) {
+    EXPECT_EQ(n->id, expect);
+    expect += 2;
+  }
+}
+
+}  // namespace
+}  // namespace bpw

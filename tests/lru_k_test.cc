@@ -1,0 +1,145 @@
+// Behavioural tests for LRU-2: backward K-distance eviction, scan
+// resistance, retained history.
+#include <gtest/gtest.h>
+
+#include "policy/lru.h"
+#include "policy/lru_k.h"
+
+namespace bpw {
+namespace {
+
+ReplacementPolicy::EvictableFn All() {
+  return [](FrameId) { return true; };
+}
+
+TEST(LruKTest, SingleReferencePagesEvictedFirstInLruOrder) {
+  LruKPolicy lru2(4);
+  for (PageId p = 0; p < 4; ++p) lru2.OnMiss(p, static_cast<FrameId>(p));
+  // Pages 2 and 3 get a second reference: finite backward-2 distance.
+  lru2.OnHit(2, 2);
+  lru2.OnHit(3, 3);
+  // Pages 0, 1 have infinite distance and go first, LRU among them.
+  auto v1 = lru2.ChooseVictim(All(), 9);
+  ASSERT_TRUE(v1.ok());
+  EXPECT_EQ(v1->page, 0u);
+  auto v2 = lru2.ChooseVictim(All(), 9);
+  ASSERT_TRUE(v2.ok());
+  EXPECT_EQ(v2->page, 1u);
+}
+
+TEST(LruKTest, EvictsOldestSecondReference) {
+  LruKPolicy lru2(3);
+  // Build histories: access order 1,2,3,1,3,2
+  lru2.OnMiss(1, 0);   // t=1
+  lru2.OnMiss(2, 1);   // t=2
+  lru2.OnMiss(3, 2);   // t=3
+  lru2.OnHit(1, 0);    // t=4: page1 t2=1
+  lru2.OnHit(3, 2);    // t=5: page3 t2=3
+  lru2.OnHit(2, 1);    // t=6: page2 t2=2
+  // Backward-2 keys: page1 t2=1 (oldest), page2 t2=2, page3 t2=3.
+  auto v = lru2.ChooseVictim(All(), 9);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->page, 1u) << "oldest second reference must go first";
+  // Plain LRU would have evicted page 3's position... verify the next.
+  v = lru2.ChooseVictim(All(), 9);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->page, 2u);
+}
+
+TEST(LruKTest, HistoryRetainedAcrossEviction) {
+  LruKPolicy lru2(2, LruKPolicy::Params{.history_capacity = 4});
+  lru2.OnMiss(1, 0);  // t=1
+  lru2.OnHit(1, 0);   // t=2: history (1,2)
+  lru2.OnMiss(2, 1);  // t=3
+  auto v = lru2.ChooseVictim(All(), 3);  // evicts 2 (infinite distance)
+  ASSERT_TRUE(v.ok());
+  ASSERT_EQ(v->page, 2u);
+  EXPECT_EQ(lru2.history_size(), 1u);
+  // Evict page 1 too; then reload it: its t2 must come from the ghost.
+  auto v1 = lru2.ChooseVictim(All(), 3);
+  ASSERT_TRUE(v1.ok());
+  ASSERT_EQ(v1->page, 1u);
+  lru2.OnMiss(1, 0);  // t=4
+  auto [t2, t1] = lru2.HistoryOf(1);
+  EXPECT_EQ(t2, 2u) << "retained history chains the references";
+  EXPECT_EQ(t1, 4u);
+  EXPECT_TRUE(lru2.CheckInvariants().ok());
+}
+
+TEST(LruKTest, HistoryCapacityBounded) {
+  LruKPolicy lru2(2, LruKPolicy::Params{.history_capacity = 3});
+  FrameId next = 0;
+  for (PageId p = 0; p < 50; ++p) {
+    FrameId f;
+    if (next < 2) {
+      f = next++;
+    } else {
+      auto v = lru2.ChooseVictim(All(), p);
+      ASSERT_TRUE(v.ok());
+      f = v->frame;
+    }
+    lru2.OnMiss(p, f);
+    ASSERT_LE(lru2.history_size(), 3u);
+  }
+  EXPECT_TRUE(lru2.CheckInvariants().ok());
+}
+
+TEST(LruKTest, ScanResistanceBeatsLru) {
+  // Hot pages with regular re-references survive a one-pass scan under
+  // LRU-2; plain LRU flushes them.
+  constexpr size_t kFrames = 16;
+  auto run = [&](ReplacementPolicy& policy) {
+    std::vector<PageId> frame_of(kFrames, kInvalidPageId);
+    std::vector<FrameId> free;
+    for (size_t i = kFrames; i-- > 0;) free.push_back(static_cast<FrameId>(i));
+    auto access = [&](PageId p) {
+      for (FrameId f = 0; f < kFrames; ++f) {
+        if (frame_of[f] == p) {
+          policy.OnHit(p, f);
+          return true;
+        }
+      }
+      FrameId f;
+      if (!free.empty()) {
+        f = free.back();
+        free.pop_back();
+      } else {
+        auto v = policy.ChooseVictim(All(), p);
+        EXPECT_TRUE(v.ok());
+        f = v->frame;
+        frame_of[f] = kInvalidPageId;
+      }
+      frame_of[f] = p;
+      policy.OnMiss(p, f);
+      return false;
+    };
+    // Establish 8 hot pages with multiple references.
+    for (int round = 0; round < 4; ++round) {
+      for (PageId p = 0; p < 8; ++p) access(p);
+    }
+    // One-pass scan of 64 cold pages.
+    for (PageId p = 100; p < 164; ++p) access(p);
+    int survivors = 0;
+    for (PageId p = 0; p < 8; ++p) survivors += policy.IsResident(p) ? 1 : 0;
+    return survivors;
+  };
+  LruKPolicy lru2(kFrames);
+  LruPolicy lru(kFrames);
+  EXPECT_EQ(run(lru), 0) << "LRU must be flushed by the scan";
+  EXPECT_EQ(run(lru2), 8) << "LRU-2 must keep the twice-referenced set";
+}
+
+TEST(LruKTest, EraseDropsGhostToo) {
+  LruKPolicy lru2(2);
+  lru2.OnMiss(1, 0);
+  lru2.OnMiss(2, 1);
+  auto v = lru2.ChooseVictim(All(), 3);
+  ASSERT_TRUE(v.ok());
+  ASSERT_EQ(lru2.history_size(), 1u);
+  lru2.OnErase(v->page, kInvalidFrameId);
+  EXPECT_EQ(lru2.history_size(), 0u);
+  EXPECT_TRUE(lru2.CheckInvariants().ok());
+}
+
+}  // namespace
+}  // namespace bpw

@@ -1,0 +1,129 @@
+// Exact-behaviour tests for LRU against a reference model: the policy must
+// evict precisely the least-recently-used unpinned page.
+#include <gtest/gtest.h>
+
+#include <list>
+#include <vector>
+
+#include "policy/lru.h"
+#include "util/random.h"
+
+namespace bpw {
+namespace {
+
+ReplacementPolicy::EvictableFn All() {
+  return [](FrameId) { return true; };
+}
+
+TEST(LruTest, EvictsInInsertionOrderWithoutHits) {
+  LruPolicy lru(4);
+  for (PageId p = 0; p < 4; ++p) lru.OnMiss(p, static_cast<FrameId>(p));
+  for (PageId expected = 0; expected < 4; ++expected) {
+    auto victim = lru.ChooseVictim(All(), 100);
+    ASSERT_TRUE(victim.ok());
+    EXPECT_EQ(victim->page, expected);
+  }
+}
+
+TEST(LruTest, HitMovesToMru) {
+  LruPolicy lru(3);
+  lru.OnMiss(10, 0);
+  lru.OnMiss(11, 1);
+  lru.OnMiss(12, 2);
+  lru.OnHit(10, 0);  // 10 becomes MRU; LRU order now 11, 12, 10
+  auto v1 = lru.ChooseVictim(All(), 99);
+  ASSERT_TRUE(v1.ok());
+  EXPECT_EQ(v1->page, 11u);
+  auto v2 = lru.ChooseVictim(All(), 99);
+  ASSERT_TRUE(v2.ok());
+  EXPECT_EQ(v2->page, 12u);
+  auto v3 = lru.ChooseVictim(All(), 99);
+  ASSERT_TRUE(v3.ok());
+  EXPECT_EQ(v3->page, 10u);
+}
+
+TEST(LruTest, RepeatedHitsAreIdempotentForOrder) {
+  LruPolicy lru(3);
+  lru.OnMiss(1, 0);
+  lru.OnMiss(2, 1);
+  lru.OnMiss(3, 2);
+  for (int i = 0; i < 10; ++i) lru.OnHit(1, 0);
+  auto victim = lru.ChooseVictim(All(), 9);
+  ASSERT_TRUE(victim.ok());
+  EXPECT_EQ(victim->page, 2u);
+}
+
+TEST(LruTest, PinnedLruIsSkipped) {
+  LruPolicy lru(3);
+  lru.OnMiss(1, 0);
+  lru.OnMiss(2, 1);
+  lru.OnMiss(3, 2);
+  // Page 1 (frame 0) is the LRU but pinned.
+  auto victim = lru.ChooseVictim([](FrameId f) { return f != 0; }, 9);
+  ASSERT_TRUE(victim.ok());
+  EXPECT_EQ(victim->page, 2u);
+}
+
+// Reference-model fuzz: a std::list-based textbook LRU must agree exactly.
+TEST(LruTest, MatchesReferenceModelExactly) {
+  constexpr size_t kFrames = 16;
+  LruPolicy lru(kFrames);
+
+  std::list<PageId> ref;  // front = MRU
+  std::vector<PageId> frame_page(kFrames, kInvalidPageId);
+  auto ref_touch = [&](PageId p) {
+    ref.remove(p);
+    ref.push_front(p);
+  };
+
+  Random rng(321);
+  for (int i = 0; i < 30000; ++i) {
+    const PageId page = rng.Uniform(64);
+    auto it = std::find(ref.begin(), ref.end(), page);
+    if (it != ref.end()) {
+      // hit
+      FrameId frame = 0;
+      for (FrameId f = 0; f < kFrames; ++f) {
+        if (frame_page[f] == page) frame = f;
+      }
+      lru.OnHit(page, frame);
+      ref_touch(page);
+    } else {
+      if (ref.size() == kFrames) {
+        const PageId expect_victim = ref.back();
+        auto victim = lru.ChooseVictim(All(), page);
+        ASSERT_TRUE(victim.ok());
+        ASSERT_EQ(victim->page, expect_victim) << "at step " << i;
+        ref.pop_back();
+        frame_page[victim->frame] = kInvalidPageId;
+      }
+      FrameId free = kInvalidFrameId;
+      for (FrameId f = 0; f < kFrames; ++f) {
+        if (frame_page[f] == kInvalidPageId) {
+          free = f;
+          break;
+        }
+      }
+      ASSERT_NE(free, kInvalidFrameId);
+      frame_page[free] = page;
+      lru.OnMiss(page, free);
+      ref.push_front(page);
+    }
+  }
+  EXPECT_TRUE(lru.CheckInvariants().ok());
+}
+
+TEST(LruTest, EraseMiddleKeepsOrder) {
+  LruPolicy lru(4);
+  for (PageId p = 0; p < 4; ++p) lru.OnMiss(p, static_cast<FrameId>(p));
+  lru.OnErase(1, 1);
+  auto v = lru.ChooseVictim(All(), 9);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->page, 0u);
+  v = lru.ChooseVictim(All(), 9);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->page, 2u);
+}
+
+}  // namespace
+}  // namespace bpw

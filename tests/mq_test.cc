@@ -1,0 +1,125 @@
+// Behavioural tests for the Multi-Queue (MQ) policy.
+#include <gtest/gtest.h>
+
+#include "policy/mq.h"
+
+namespace bpw {
+namespace {
+
+ReplacementPolicy::EvictableFn All() {
+  return [](FrameId) { return true; };
+}
+
+TEST(MqTest, DefaultsDeriveFromFrames) {
+  MqPolicy mq(64);
+  EXPECT_EQ(mq.num_queues(), 8u);
+  EXPECT_EQ(mq.life_time(), 128u);
+}
+
+TEST(MqTest, NewPageStartsInQ0) {
+  MqPolicy mq(8);
+  mq.OnMiss(1, 0);
+  EXPECT_EQ(mq.queue_size(0), 1u);
+  EXPECT_EQ(mq.RefCountOf(1), 1u);
+}
+
+TEST(MqTest, RefCountPlacesPageInLogQueue) {
+  MqPolicy mq(8);
+  mq.OnMiss(1, 0);
+  mq.OnHit(1, 0);  // ref 2 -> queue 1
+  EXPECT_EQ(mq.queue_size(1), 1u);
+  mq.OnHit(1, 0);  // ref 3 -> still queue 1
+  EXPECT_EQ(mq.queue_size(1), 1u);
+  mq.OnHit(1, 0);  // ref 4 -> queue 2
+  EXPECT_EQ(mq.queue_size(2), 1u);
+  EXPECT_EQ(mq.RefCountOf(1), 4u);
+  EXPECT_TRUE(mq.CheckInvariants().ok());
+}
+
+TEST(MqTest, VictimComesFromLowestQueue) {
+  MqPolicy mq(4);
+  mq.OnMiss(1, 0);
+  mq.OnMiss(2, 1);
+  mq.OnHit(2, 1);  // 2 climbs to queue 1
+  auto victim = mq.ChooseVictim(All(), 9);
+  ASSERT_TRUE(victim.ok());
+  EXPECT_EQ(victim->page, 1u);
+}
+
+TEST(MqTest, ExpiredPagesAreDemoted) {
+  MqPolicy mq(4, MqPolicy::Params{.num_queues = 4, .life_time = 3});
+  mq.OnMiss(1, 0);
+  mq.OnHit(1, 0);  // page 1 in queue 1, expires at time+3
+  ASSERT_EQ(mq.queue_size(1), 1u);
+  // Burn logical time with accesses to another page.
+  mq.OnMiss(2, 1);
+  for (int i = 0; i < 6; ++i) mq.OnHit(2, 1);
+  // Page 1's lifetime elapsed: it must have been demoted back to queue 0.
+  EXPECT_EQ(mq.queue_size(1) + mq.queue_size(2) + mq.queue_size(3), 1u)
+      << "only the hot page 2 should sit above queue 0";
+  EXPECT_TRUE(mq.CheckInvariants().ok());
+}
+
+TEST(MqTest, GhostRemembersRefCount) {
+  MqPolicy mq(2, MqPolicy::Params{.num_queues = 4, .life_time = 1000,
+                                  .qout_capacity = 8});
+  mq.OnMiss(1, 0);
+  mq.OnHit(1, 0);
+  mq.OnHit(1, 0);  // ref 3
+  mq.OnMiss(2, 1);
+  auto victim = mq.ChooseVictim(All(), 3);  // lowest queue first: page 2
+  ASSERT_TRUE(victim.ok());
+  ASSERT_EQ(victim->page, 2u);
+  // With page 2 gone, the next victim is the hot page 1 itself.
+  auto v2 = mq.ChooseVictim(All(), 3);
+  ASSERT_TRUE(v2.ok());
+  ASSERT_EQ(v2->page, 1u);
+  // Reload page 1 from the ghost: its ref count resumes at 4 (saved 3 + 1),
+  // placing it straight into queue 2.
+  mq.OnMiss(1, v2->frame);
+  EXPECT_EQ(mq.RefCountOf(1), 4u);
+  EXPECT_EQ(mq.queue_size(2), 1u);
+  EXPECT_TRUE(mq.CheckInvariants().ok());
+}
+
+TEST(MqTest, GhostCapacityBounded) {
+  MqPolicy mq(2, MqPolicy::Params{.num_queues = 4, .life_time = 100,
+                                  .qout_capacity = 4});
+  FrameId next = 0;
+  for (PageId p = 0; p < 100; ++p) {
+    FrameId f;
+    if (next < 2) {
+      f = next++;
+    } else {
+      auto v = mq.ChooseVictim(All(), p);
+      ASSERT_TRUE(v.ok());
+      f = v->frame;
+    }
+    mq.OnMiss(p, f);
+    ASSERT_LE(mq.qout_size(), 4u);
+  }
+  EXPECT_TRUE(mq.CheckInvariants().ok());
+}
+
+TEST(MqTest, FrequentPageSurvivesChurn) {
+  MqPolicy mq(8, MqPolicy::Params{.num_queues = 8, .life_time = 10000});
+  mq.OnMiss(1, 0);
+  for (int i = 0; i < 20; ++i) mq.OnHit(1, 0);  // very hot
+  FrameId next = 1;
+  for (PageId p = 100; p < 150; ++p) {
+    FrameId f;
+    if (next < 8) {
+      f = next++;
+    } else {
+      auto v = mq.ChooseVictim(All(), p);
+      ASSERT_TRUE(v.ok());
+      EXPECT_NE(v->page, 1u) << "hot page evicted while cold pages present";
+      f = v->frame;
+    }
+    mq.OnMiss(p, f);
+  }
+  EXPECT_TRUE(mq.IsResident(1));
+}
+
+}  // namespace
+}  // namespace bpw

@@ -1,0 +1,100 @@
+// Tests for the partitioned page table.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "buffer/page_table.h"
+
+namespace bpw {
+namespace {
+
+TEST(PageTableTest, LookupMissingReturnsInvalid) {
+  PageTable table(8);
+  EXPECT_EQ(table.Lookup(42), kInvalidFrameId);
+}
+
+TEST(PageTableTest, InsertThenLookup) {
+  PageTable table(8);
+  EXPECT_TRUE(table.Insert(42, 7));
+  EXPECT_EQ(table.Lookup(42), 7u);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(PageTableTest, DuplicateInsertRejected) {
+  PageTable table(8);
+  EXPECT_TRUE(table.Insert(1, 0));
+  EXPECT_FALSE(table.Insert(1, 5));
+  EXPECT_EQ(table.Lookup(1), 0u) << "original mapping must be untouched";
+}
+
+TEST(PageTableTest, EraseRequiresMatchingFrame) {
+  PageTable table(8);
+  table.Insert(1, 3);
+  EXPECT_FALSE(table.Erase(1, 4)) << "wrong frame must not erase";
+  EXPECT_EQ(table.Lookup(1), 3u);
+  EXPECT_TRUE(table.Erase(1, 3));
+  EXPECT_EQ(table.Lookup(1), kInvalidFrameId);
+  EXPECT_FALSE(table.Erase(1, 3)) << "double erase";
+}
+
+TEST(PageTableTest, ShardCountRoundsToPowerOfTwo) {
+  PageTable table(100);
+  EXPECT_EQ(table.num_shards(), 128u);
+  PageTable one(0);
+  EXPECT_EQ(one.num_shards(), 1u);
+}
+
+TEST(PageTableTest, ManyMappings) {
+  PageTable table(64);
+  for (PageId p = 0; p < 10000; ++p) {
+    ASSERT_TRUE(table.Insert(p, static_cast<FrameId>(p % 1000)));
+  }
+  EXPECT_EQ(table.size(), 10000u);
+  for (PageId p = 0; p < 10000; ++p) {
+    ASSERT_EQ(table.Lookup(p), static_cast<FrameId>(p % 1000));
+  }
+}
+
+TEST(PageTableTest, ConcurrentDisjointInsertErase) {
+  PageTable table(64);
+  constexpr int kThreads = 8;
+  constexpr PageId kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&table, t] {
+      const PageId base = static_cast<PageId>(t) * kPerThread;
+      for (PageId p = base; p < base + kPerThread; ++p) {
+        ASSERT_TRUE(table.Insert(p, static_cast<FrameId>(p % 97)));
+      }
+      for (PageId p = base; p < base + kPerThread; ++p) {
+        ASSERT_EQ(table.Lookup(p), static_cast<FrameId>(p % 97));
+      }
+      for (PageId p = base; p < base + kPerThread; p += 2) {
+        ASSERT_TRUE(table.Erase(p, static_cast<FrameId>(p % 97)));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(table.size(), kThreads * kPerThread / 2);
+}
+
+TEST(PageTableTest, ConcurrentSamePageSingleWinner) {
+  PageTable table(16);
+  constexpr int kThreads = 8;
+  std::atomic<int> winners{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      if (table.Insert(7, static_cast<FrameId>(t))) {
+        winners.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(winners.load(), 1);
+  EXPECT_NE(table.Lookup(7), kInvalidFrameId);
+}
+
+}  // namespace
+}  // namespace bpw

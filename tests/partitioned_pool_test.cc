@@ -1,0 +1,141 @@
+// Tests for the distributed-lock (partitioned) baseline of §V-A.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "buffer/partitioned_pool.h"
+#include "util/random.h"
+
+namespace bpw {
+namespace {
+
+constexpr size_t kPageSize = 512;
+
+SystemConfig SerializedLru() {
+  SystemConfig system;
+  system.policy = "lru";
+  system.coordinator = "serialized";
+  return system;
+}
+
+TEST(PartitionedPoolTest, SplitsFramesAcrossPartitions) {
+  StorageEngine storage(1024, kPageSize);
+  BufferPoolConfig config;
+  config.num_frames = 100;
+  config.page_size = kPageSize;
+  PartitionedPool pool(config, 4, SerializedLru(), &storage);
+  EXPECT_EQ(pool.num_partitions(), 4u);
+  size_t total = 0;
+  for (size_t i = 0; i < 4; ++i) total += pool.partition(i).num_frames();
+  EXPECT_EQ(total, 100u);
+}
+
+TEST(PartitionedPoolTest, FetchWorksAcrossPartitions) {
+  StorageEngine storage(1024, kPageSize);
+  BufferPoolConfig config;
+  config.num_frames = 64;
+  config.page_size = kPageSize;
+  PartitionedPool pool(config, 8, SerializedLru(), &storage);
+  auto session = pool.CreateSession();
+  for (PageId p = 0; p < 200; ++p) {
+    auto handle = pool.FetchPage(*session, p);
+    ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+    auto [word, version] = StorageEngine::ReadStamp(handle.value().data());
+    EXPECT_EQ(word, p * 0x9E3779B97F4A7C15ULL + version);
+  }
+  EXPECT_GT(session->stats().misses, 0u);
+}
+
+TEST(PartitionedPoolTest, SamePageSamePartitionAcrossReloads) {
+  // Mr.LRU's property: hashing keeps a page in the same partition, so
+  // reloads find their history. Verified indirectly: a page fetched twice
+  // is a hit the second time.
+  StorageEngine storage(1024, kPageSize);
+  BufferPoolConfig config;
+  config.num_frames = 64;
+  config.page_size = kPageSize;
+  PartitionedPool pool(config, 8, SerializedLru(), &storage);
+  auto session = pool.CreateSession();
+  for (PageId p = 0; p < 32; ++p) {
+    auto h = pool.FetchPage(*session, p);
+    ASSERT_TRUE(h.ok());
+  }
+  const auto stats_before = session->stats();
+  for (PageId p = 0; p < 32; ++p) {
+    auto h = pool.FetchPage(*session, p);
+    ASSERT_TRUE(h.ok());
+  }
+  EXPECT_EQ(session->stats().misses, stats_before.misses)
+      << "second pass must be all hits";
+}
+
+TEST(PartitionedPoolTest, LockStatsAggregateOverPartitions) {
+  StorageEngine storage(1024, kPageSize);
+  BufferPoolConfig config;
+  config.num_frames = 64;
+  config.page_size = kPageSize;
+  PartitionedPool pool(config, 4, SerializedLru(), &storage);
+  auto session = pool.CreateSession();
+  for (PageId p = 0; p < 100; ++p) {
+    auto h = pool.FetchPage(*session, p);
+    ASSERT_TRUE(h.ok());
+  }
+  EXPECT_GT(pool.lock_stats().acquisitions, 0u);
+  pool.ResetLockStats();
+  EXPECT_EQ(pool.lock_stats().acquisitions, 0u);
+}
+
+TEST(PartitionedPoolTest, SkewedAccessConcentratesOnOnePartitionLock) {
+  // The paper's criticism (2): hot pages still contend on one partition.
+  // Hammer a single page from many threads and verify one partition took
+  // all the acquisitions.
+  StorageEngine storage(1024, kPageSize);
+  BufferPoolConfig config;
+  config.num_frames = 64;
+  config.page_size = kPageSize;
+  PartitionedPool pool(config, 4, SerializedLru(), &storage);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&pool] {
+      auto session = pool.CreateSession();
+      for (int i = 0; i < 2000; ++i) {
+        auto h = pool.FetchPage(*session, 42);
+        ASSERT_TRUE(h.ok());
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  size_t partitions_with_traffic = 0;
+  for (size_t i = 0; i < pool.num_partitions(); ++i) {
+    if (pool.partition(i).coordinator().lock_stats().acquisitions > 0) {
+      ++partitions_with_traffic;
+    }
+  }
+  EXPECT_EQ(partitions_with_traffic, 1u);
+}
+
+TEST(PartitionedPoolTest, ConcurrentMixedTraffic) {
+  StorageEngine storage(2048, kPageSize);
+  BufferPoolConfig config;
+  config.num_frames = 128;
+  config.page_size = kPageSize;
+  PartitionedPool pool(config, 8, SerializedLru(), &storage);
+  std::vector<std::thread> threads;
+  std::atomic<uint64_t> errors{0};
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&pool, &errors, t] {
+      auto session = pool.CreateSession();
+      Random rng(t);
+      for (int i = 0; i < 5000; ++i) {
+        auto h = pool.FetchPage(*session, rng.Uniform(2048));
+        if (!h.ok()) errors.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(errors.load(), 0u);
+}
+
+}  // namespace
+}  // namespace bpw

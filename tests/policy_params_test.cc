@@ -1,0 +1,187 @@
+// Parameter-sweep property tests: every policy at awkward capacities, and
+// every tunable policy across its parameter space, driven by the shadow-
+// model fuzzer. These sweeps catch the off-by-one and boundary bugs that
+// fixed-size unit tests miss (capacity 1, capacity == parameter, parameter
+// larger than capacity, ...).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
+
+#include "policy/lirs.h"
+#include "policy/lru_k.h"
+#include "policy/mq.h"
+#include "policy/policy_factory.h"
+#include "policy/two_q.h"
+#include "util/random.h"
+
+namespace bpw {
+namespace {
+
+// Shadow-model fuzz shared by all sweeps: random skewed accesses with
+// evictions and occasional erases; verifies residency agreement, capacity
+// bounds, and structural invariants throughout.
+void FuzzPolicy(ReplacementPolicy& policy, int steps, uint64_t seed) {
+  const size_t frames = policy.num_frames();
+  std::map<PageId, FrameId> resident;
+  std::vector<FrameId> free;
+  for (size_t i = frames; i-- > 0;) free.push_back(static_cast<FrameId>(i));
+  Random rng(seed);
+  const uint64_t page_space = frames * 4 + 8;
+
+  for (int step = 0; step < steps; ++step) {
+    const uint64_t op = rng.Uniform(100);
+    if (op < 75) {
+      const PageId page = rng.Bernoulli(0.6) ? rng.Uniform(frames + 1)
+                                             : rng.Uniform(page_space);
+      auto it = resident.find(page);
+      if (it != resident.end()) {
+        policy.OnHit(page, it->second);
+      } else {
+        FrameId frame;
+        if (!free.empty()) {
+          frame = free.back();
+          free.pop_back();
+        } else {
+          auto victim =
+              policy.ChooseVictim([](FrameId) { return true; }, page);
+          ASSERT_TRUE(victim.ok()) << victim.status().ToString();
+          ASSERT_EQ(resident.at(victim->page), victim->frame);
+          resident.erase(victim->page);
+          frame = victim->frame;
+        }
+        policy.OnMiss(page, frame);
+        resident[page] = frame;
+      }
+    } else if (op < 85 && !resident.empty()) {
+      auto it = resident.begin();
+      std::advance(it, rng.Uniform(resident.size()));
+      policy.OnErase(it->first, it->second);
+      free.push_back(it->second);
+      resident.erase(it);
+    } else if (op < 95) {
+      // Stale hit barrage: wrong pages, wrong frames.
+      policy.OnHit(rng.Uniform(page_space),
+                   static_cast<FrameId>(rng.Uniform(frames + 2)));
+    } else if (free.empty() && !resident.empty()) {
+      auto victim = policy.ChooseVictim([](FrameId) { return true; },
+                                        page_space + step);
+      ASSERT_TRUE(victim.ok());
+      resident.erase(victim->page);
+      free.push_back(victim->frame);
+    }
+    ASSERT_EQ(policy.resident_count(), resident.size()) << "step " << step;
+    if (step % 512 == 0) {
+      ASSERT_TRUE(policy.CheckInvariants().ok())
+          << policy.name() << ": " << policy.CheckInvariants().ToString();
+    }
+  }
+  ASSERT_TRUE(policy.CheckInvariants().ok())
+      << policy.CheckInvariants().ToString();
+}
+
+// ---- capacity sweep over every policy ------------------------------------
+
+using CapacityParam = std::tuple<std::string, size_t>;
+
+class PolicyCapacityTest : public ::testing::TestWithParam<CapacityParam> {};
+
+TEST_P(PolicyCapacityTest, FuzzAtCapacity) {
+  const auto& [name, frames] = GetParam();
+  auto policy = CreatePolicy(name, frames);
+  ASSERT_TRUE(policy.ok());
+  FuzzPolicy(*policy.value(), 4000, 0xC0FFEE + frames);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PolicyCapacityTest,
+    ::testing::Combine(::testing::ValuesIn(KnownPolicies()),
+                       ::testing::Values<size_t>(1, 2, 3, 5, 16, 63, 257)),
+    [](const auto& info) {
+      std::string name = std::get<0>(info.param);
+      if (name == "2q") name = "twoq";
+      return name + "_f" + std::to_string(std::get<1>(info.param));
+    });
+
+// ---- 2Q parameter grid -----------------------------------------------------
+
+using TwoQParam = std::tuple<size_t, size_t>;  // (kin, kout)
+
+class TwoQParamTest : public ::testing::TestWithParam<TwoQParam> {};
+
+TEST_P(TwoQParamTest, FuzzAcrossKinKout) {
+  const auto& [kin, kout] = GetParam();
+  TwoQPolicy policy(32, TwoQPolicy::Params{.kin = kin, .kout = kout});
+  FuzzPolicy(policy, 4000, kin * 131 + kout);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, TwoQParamTest,
+    ::testing::Combine(::testing::Values<size_t>(1, 4, 16, 31, 64),
+                       ::testing::Values<size_t>(1, 8, 32, 128)),
+    [](const auto& info) {
+      return "kin" + std::to_string(std::get<0>(info.param)) + "_kout" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ---- LIRS parameter grid ---------------------------------------------------
+
+using LirsParam = std::tuple<size_t, size_t>;  // (hir capacity, max nonres)
+
+class LirsParamTest : public ::testing::TestWithParam<LirsParam> {};
+
+TEST_P(LirsParamTest, FuzzAcrossHirAndBound) {
+  const auto& [hir, nonres] = GetParam();
+  LirsPolicy policy(32, LirsPolicy::Params{.hir_capacity = hir,
+                                           .max_nonresident = nonres});
+  FuzzPolicy(policy, 4000, hir * 977 + nonres);
+  EXPECT_LE(policy.nonresident_count(), nonres);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, LirsParamTest,
+    ::testing::Combine(::testing::Values<size_t>(1, 2, 8, 16, 31),
+                       ::testing::Values<size_t>(1, 8, 64, 256)),
+    [](const auto& info) {
+      return "hir" + std::to_string(std::get<0>(info.param)) + "_nr" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ---- MQ parameter grid -----------------------------------------------------
+
+using MqParam = std::tuple<size_t, uint64_t>;  // (num queues, lifetime)
+
+class MqParamTest : public ::testing::TestWithParam<MqParam> {};
+
+TEST_P(MqParamTest, FuzzAcrossQueuesAndLifetime) {
+  const auto& [queues, lifetime] = GetParam();
+  MqPolicy policy(32, MqPolicy::Params{.num_queues = queues,
+                                       .life_time = lifetime,
+                                       .qout_capacity = 32});
+  FuzzPolicy(policy, 4000, queues * 31 + lifetime);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MqParamTest,
+    ::testing::Combine(::testing::Values<size_t>(1, 2, 8, 16),
+                       ::testing::Values<uint64_t>(1, 8, 128, 100000)),
+    [](const auto& info) {
+      return "q" + std::to_string(std::get<0>(info.param)) + "_life" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ---- LRU-2 history sweep ----------------------------------------------------
+
+class LruKParamTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(LruKParamTest, FuzzAcrossHistoryCapacity) {
+  LruKPolicy policy(32, LruKPolicy::Params{.history_capacity = GetParam()});
+  FuzzPolicy(policy, 4000, GetParam() * 7919);
+  EXPECT_LE(policy.history_size(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, LruKParamTest,
+                         ::testing::Values<size_t>(1, 2, 16, 64, 1024));
+
+}  // namespace
+}  // namespace bpw

@@ -1,0 +1,135 @@
+// Tests for the shared-queue coordinator (the §III-A design the paper
+// rejected, kept as an ablation baseline).
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "buffer/buffer_pool.h"
+#include "core/coordinator_factory.h"
+#include "core/shared_queue_coordinator.h"
+#include "policy/lru.h"
+#include "util/random.h"
+#include "workload/trace_generator.h"
+
+namespace bpw {
+namespace {
+
+TEST(SharedQueueTest, FactoryBuildsIt) {
+  SystemConfig config;
+  config.policy = "2q";
+  config.coordinator = "shared-queue";
+  auto coordinator = CreateCoordinator(config, 64);
+  ASSERT_TRUE(coordinator.ok());
+  EXPECT_EQ(coordinator.value()->name(), "shared-queue");
+}
+
+TEST(SharedQueueTest, BatchesHitsLikeBpWrapper) {
+  SharedQueueCoordinator::Options options;
+  options.queue_size = 8;
+  options.batch_threshold = 4;
+  SharedQueueCoordinator coord(std::make_unique<LruPolicy>(16), options);
+  auto slot = coord.RegisterThread();
+  for (PageId p = 0; p < 4; ++p) {
+    coord.CompleteMiss(slot.get(), p, static_cast<FrameId>(p));
+  }
+  const uint64_t acq_before = coord.lock_stats().acquisitions;
+  coord.OnHit(slot.get(), 0, 0);
+  coord.OnHit(slot.get(), 1, 1);
+  coord.OnHit(slot.get(), 2, 2);
+  EXPECT_EQ(coord.lock_stats().acquisitions, acq_before)
+      << "below threshold: no policy-lock acquisition";
+  coord.OnHit(slot.get(), 3, 3);  // threshold reached
+  EXPECT_EQ(coord.lock_stats().acquisitions, acq_before + 1);
+  // But the queue lock was taken on EVERY hit — the design's flaw.
+  EXPECT_EQ(coord.queue_lock_acquisitions(), 4u);
+}
+
+TEST(SharedQueueTest, EveryHitTouchesTheSharedQueue) {
+  SharedQueueCoordinator coord(std::make_unique<LruPolicy>(16));
+  auto slot = coord.RegisterThread();
+  coord.CompleteMiss(slot.get(), 1, 0);
+  for (int i = 0; i < 100; ++i) coord.OnHit(slot.get(), 1, 0);
+  EXPECT_EQ(coord.queue_lock_acquisitions(), 100u);
+}
+
+TEST(SharedQueueTest, MissCommitsQueueFirst) {
+  SharedQueueCoordinator::Options options;
+  options.queue_size = 64;
+  options.batch_threshold = 32;
+  SharedQueueCoordinator coord(std::make_unique<LruPolicy>(4), options);
+  auto slot = coord.RegisterThread();
+  for (PageId p = 0; p < 4; ++p) {
+    coord.CompleteMiss(slot.get(), p, static_cast<FrameId>(p));
+  }
+  coord.OnHit(slot.get(), 0, 0);  // 0 becomes MRU once committed
+  auto victim = coord.ChooseVictim(
+      slot.get(), [](FrameId) { return true; }, 99);
+  ASSERT_TRUE(victim.ok());
+  EXPECT_EQ(victim->page, 1u)
+      << "the queued hit on page 0 must commit before victim selection";
+}
+
+TEST(SharedQueueTest, SingleThreadedPoolBehavesLikeBpWrapper) {
+  // With one thread, global arrival order == the thread's order, so the
+  // shared-queue design must produce the same hit/miss sequence as
+  // BP-Wrapper (and hence as lock-per-access).
+  auto run = [](const char* coordinator_kind) {
+    WorkloadSpec workload;
+    workload.name = "zipfian";
+    workload.num_pages = 512;
+    workload.seed = 3;
+    StorageEngine storage(512, 512);
+    SystemConfig system;
+    system.policy = "2q";
+    system.coordinator = coordinator_kind;
+    auto coordinator = CreateCoordinator(system, 128);
+    EXPECT_TRUE(coordinator.ok());
+    BufferPoolConfig config;
+    config.num_frames = 128;
+    config.page_size = 512;
+    BufferPool pool(config, &storage, std::move(coordinator).value());
+    auto session = pool.CreateSession();
+    auto trace = CreateTrace(workload, 0);
+    for (int i = 0; i < 10000; ++i) {
+      auto handle = pool.FetchPage(*session, trace->Next().page);
+      EXPECT_TRUE(handle.ok());
+    }
+    pool.FlushSession(*session);
+    return std::pair{session->stats().hits, session->stats().misses};
+  };
+  EXPECT_EQ(run("shared-queue"), run("bp-wrapper"));
+}
+
+TEST(SharedQueueTest, ConcurrentPoolStressKeepsIntegrity) {
+  StorageEngine storage(256, 512);
+  SystemConfig system;
+  system.policy = "2q";
+  system.coordinator = "shared-queue";
+  auto coordinator = CreateCoordinator(system, 64);
+  ASSERT_TRUE(coordinator.ok());
+  BufferPoolConfig config;
+  config.num_frames = 64;
+  config.page_size = 512;
+  BufferPool pool(config, &storage, std::move(coordinator).value());
+  std::vector<std::thread> threads;
+  std::atomic<uint64_t> errors{0};
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&pool, &errors, t] {
+      auto session = pool.CreateSession();
+      Random rng(t);
+      for (int i = 0; i < 8000; ++i) {
+        auto handle = pool.FetchPage(*session, rng.Uniform(256));
+        if (!handle.ok()) errors.fetch_add(1);
+      }
+      pool.FlushSession(*session);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(errors.load(), 0u);
+  EXPECT_TRUE(pool.CheckIntegrity().ok())
+      << pool.CheckIntegrity().ToString();
+}
+
+}  // namespace
+}  // namespace bpw

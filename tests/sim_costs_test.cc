@@ -1,0 +1,150 @@
+// Property tests for the simulator's cost model: the relations the model
+// must preserve for the paper reproduction to be trustworthy.
+#include <gtest/gtest.h>
+
+#include "harness/systems.h"
+#include "sim/sim_driver.h"
+
+namespace bpw {
+namespace {
+
+DriverConfig Base(const std::string& system_name, uint32_t procs) {
+  DriverConfig config = ScalabilityRunConfig("dbt2", 4096, 40);
+  config.warmup_ms = 10;
+  config.num_threads = procs;
+  config.system = PaperSystemConfig(system_name).value();
+  return config;
+}
+
+TEST(SimCostsTest, ContentionGrowsWithProcessorCount) {
+  double previous = -1;
+  for (uint32_t procs : {2, 4, 8, 16}) {
+    auto result = RunSimulation(Base("pg2Q", procs));
+    ASSERT_TRUE(result.ok());
+    EXPECT_GE(result->contentions_per_million, previous)
+        << procs << " processors";
+    previous = result->contentions_per_million;
+  }
+  EXPECT_GT(previous, 100000.0) << "pg2Q must be saturated at 16";
+}
+
+TEST(SimCostsTest, PrefetchShortensLockHold) {
+  // §III-B's claimed mechanism: the same work, but the warm-up misses move
+  // out of the lock-holding period.
+  auto base = RunSimulation(Base("pg2Q", 4));
+  auto pre = RunSimulation(Base("pgPre", 4));
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(pre.ok());
+  const double base_hold =
+      static_cast<double>(base->lock.hold_nanos) / base->lock.acquisitions;
+  const double pre_hold =
+      static_cast<double>(pre->lock.hold_nanos) / pre->lock.acquisitions;
+  EXPECT_LT(pre_hold, base_hold * 0.7)
+      << "prefetch must shorten the average lock-holding period";
+}
+
+TEST(SimCostsTest, CoherenceCostsVanishOnOneProcessor) {
+  // With P=1 the (P-1)/P coherence scaling zeroes out: pg2Q's single-
+  // processor throughput must sit within a few percent of pgClock's.
+  auto clock = RunSimulation(Base("pgClock", 1));
+  auto two_q = RunSimulation(Base("pg2Q", 1));
+  ASSERT_TRUE(clock.ok());
+  ASSERT_TRUE(two_q.ok());
+  EXPECT_GT(two_q->throughput_tps, clock->throughput_tps * 0.93);
+}
+
+TEST(SimCostsTest, LargerAccessWorkDelaysSaturation) {
+  // More non-critical work per access => the lock saturates later: at a
+  // fixed processor count, heavier access work means relatively *better*
+  // pg2Q scaling (throughput ratio 4-proc/1-proc closer to 4).
+  auto ratio_for = [&](uint64_t work) {
+    SimCosts costs;
+    costs.access_work = work;
+    auto one = RunSimulation(Base("pg2Q", 1), costs);
+    auto four = RunSimulation(Base("pg2Q", 4), costs);
+    EXPECT_TRUE(one.ok());
+    EXPECT_TRUE(four.ok());
+    return four->throughput_tps / one->throughput_tps;
+  };
+  EXPECT_LT(ratio_for(800), ratio_for(8000));
+}
+
+TEST(SimCostsTest, JitterZeroIsStillDeterministic) {
+  SimCosts costs;
+  costs.jitter = 0;
+  auto a = RunSimulation(Base("pgBat", 8), costs);
+  auto b = RunSimulation(Base("pgBat", 8), costs);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->accesses, b->accesses);
+  EXPECT_EQ(a->lock.acquisitions, b->lock.acquisitions);
+}
+
+TEST(SimCostsTest, BatchSizeControlsAcquisitionRate) {
+  // The core batching arithmetic: acquisitions per access ~ 1/batch.
+  auto acq_rate = [&](size_t batch) {
+    DriverConfig config = Base("pgBat", 4);
+    config.system.queue_size = batch;
+    config.system.batch_threshold = batch;
+    auto result = RunSimulation(config);
+    EXPECT_TRUE(result.ok());
+    return static_cast<double>(result->lock.acquisitions) /
+           static_cast<double>(result->accesses);
+  };
+  const double rate8 = acq_rate(8);
+  const double rate64 = acq_rate(64);
+  EXPECT_NEAR(rate8 / rate64, 8.0, 1.5)
+      << "8x larger batches => ~8x fewer acquisitions";
+}
+
+TEST(SimCostsTest, IoWriteChargedOnlyForDirtyEvictions) {
+  DriverConfig config = Base("pg2Q", 2);
+  config.num_frames = 128;
+  config.prewarm = false;
+  config.workload.name = "dbt1";  // read-mostly: few dirty pages
+  SimCosts costs;
+  costs.io_read = 50'000;
+  costs.io_write = 50'000;
+  auto result = RunSimulation(config, costs);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->evictions, 0u);
+  EXPECT_LT(result->writebacks, result->evictions)
+      << "a read-mostly workload must not write back every eviction";
+}
+
+TEST(SimCostsTest, ResponseTimeAccountsForIo) {
+  DriverConfig fast = Base("pgClock", 2);
+  fast.num_frames = 256;
+  fast.prewarm = false;
+  DriverConfig slow = fast;
+  SimCosts no_io;
+  SimCosts with_io;
+  with_io.io_read = 500'000;  // 0.5 ms per miss
+  auto fast_result = RunSimulation(fast, no_io);
+  auto slow_result = RunSimulation(slow, with_io);
+  ASSERT_TRUE(fast_result.ok());
+  ASSERT_TRUE(slow_result.ok());
+  EXPECT_GT(slow_result->avg_response_us, fast_result->avg_response_us * 3);
+}
+
+TEST(SimCostsTest, StaleTagFilteringHappensInSim) {
+  // With multiple processors and heavy eviction churn, some queued entries
+  // must go stale between recording and commit, and the simulator must not
+  // feed them to the policy (it shares the pool's §IV-B check). Indirect
+  // observation: the run completes with exact residency accounting (the
+  // policy CheckInvariants inside the sim would fail loudly otherwise) and
+  // hit ratios stay sane.
+  DriverConfig config = Base("pgBatPre", 8);
+  config.num_frames = 96;
+  config.prewarm = false;
+  SimCosts costs;
+  costs.io_read = 20'000;
+  auto result = RunSimulation(config, costs);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->evictions, 0u);
+  EXPECT_GT(result->hit_ratio, 0.0);
+  EXPECT_LT(result->hit_ratio, 1.0);
+}
+
+}  // namespace
+}  // namespace bpw

@@ -1,0 +1,144 @@
+// Tests for the simulated storage engine.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "storage/storage_engine.h"
+#include "util/clock.h"
+
+namespace bpw {
+namespace {
+
+constexpr size_t kPageSize = 4096;
+
+TEST(StorageTest, FreshPageCarriesVersionZeroStamp) {
+  StorageEngine storage(16, kPageSize);
+  std::vector<uint8_t> buf(kPageSize);
+  ASSERT_TRUE(storage.ReadPage(3, buf.data()).ok());
+  auto [word, version] = StorageEngine::ReadStamp(buf.data());
+  EXPECT_EQ(version, 0u);
+  EXPECT_EQ(word, storage.VerificationWord(3));
+}
+
+TEST(StorageTest, WriteThenReadRoundTrips) {
+  StorageEngine storage(16, kPageSize);
+  std::vector<uint8_t> buf(kPageSize, 0);
+  StorageEngine::StampPage(buf.data(), kPageSize, 5, 42);
+  ASSERT_TRUE(storage.WritePage(5, buf.data()).ok());
+
+  std::vector<uint8_t> readback(kPageSize, 0xFF);
+  ASSERT_TRUE(storage.ReadPage(5, readback.data()).ok());
+  auto [word, version] = StorageEngine::ReadStamp(readback.data());
+  EXPECT_EQ(version, 42u);
+  EXPECT_EQ(word, 5 * 0x9E3779B97F4A7C15ULL + 42);
+}
+
+TEST(StorageTest, MaterializedModePreservesFullPage) {
+  StorageEngine storage(8, kPageSize, StorageLatencyModel::None(),
+                        /*materialize=*/true);
+  std::vector<uint8_t> buf(kPageSize);
+  for (size_t i = 0; i < kPageSize; ++i) buf[i] = static_cast<uint8_t>(i);
+  StorageEngine::StampPage(buf.data(), kPageSize, 2, 7);
+  ASSERT_TRUE(storage.WritePage(2, buf.data()).ok());
+  std::vector<uint8_t> readback(kPageSize, 0);
+  ASSERT_TRUE(storage.ReadPage(2, readback.data()).ok());
+  EXPECT_EQ(buf, readback);
+}
+
+TEST(StorageTest, OutOfRangeRejected) {
+  StorageEngine storage(4, kPageSize);
+  std::vector<uint8_t> buf(kPageSize);
+  EXPECT_EQ(storage.ReadPage(4, buf.data()).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(storage.WritePage(99, buf.data()).code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(StorageTest, StatsCountOperations) {
+  StorageEngine storage(8, kPageSize);
+  std::vector<uint8_t> buf(kPageSize);
+  for (int i = 0; i < 5; ++i) storage.ReadPage(0, buf.data());
+  for (int i = 0; i < 3; ++i) storage.WritePage(1, buf.data());
+  StorageStats s = storage.stats();
+  EXPECT_EQ(s.reads, 5u);
+  EXPECT_EQ(s.writes, 3u);
+  storage.ResetStats();
+  EXPECT_EQ(storage.stats().reads, 0u);
+}
+
+TEST(StorageTest, FixedLatencyIsApplied) {
+  StorageEngine storage(4, kPageSize,
+                        StorageLatencyModel::FixedMicros(500, 0));
+  std::vector<uint8_t> buf(kPageSize);
+  Stopwatch sw;
+  storage.ReadPage(0, buf.data());
+  EXPECT_GE(sw.ElapsedNanos(), 400'000u);  // >= ~0.4ms for a 0.5ms model
+  // Writes configured with zero latency stay fast.
+  sw.Restart();
+  storage.WritePage(0, buf.data());
+  EXPECT_LT(sw.ElapsedNanos(), 400'000u);
+}
+
+TEST(StorageTest, ExponentialLatencyVariesButBounded) {
+  StorageLatencyModel model;
+  model.read_nanos = 100'000;  // 0.1 ms mean
+  model.exponential = true;
+  StorageEngine storage(4, kPageSize, model);
+  std::vector<uint8_t> buf(kPageSize);
+  uint64_t min_t = ~0ULL, max_t = 0;
+  for (int i = 0; i < 30; ++i) {
+    Stopwatch sw;
+    storage.ReadPage(0, buf.data());
+    uint64_t t = sw.ElapsedNanos();
+    min_t = std::min(min_t, t);
+    max_t = std::max(max_t, t);
+  }
+  EXPECT_LT(min_t, max_t);                // there is variance
+  EXPECT_LT(max_t, 100'000u * 8 + 2'000'000u);  // clamped tail + slack
+}
+
+TEST(StorageTest, ConcurrentDistinctPagesKeepIntegrity) {
+  StorageEngine storage(64, kPageSize);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&storage, t] {
+      std::vector<uint8_t> buf(kPageSize);
+      for (uint64_t round = 1; round <= 200; ++round) {
+        const PageId page = t * 8 + (round % 8);
+        StorageEngine::StampPage(buf.data(), kPageSize, page,
+                                 t * 1000 + round);
+        ASSERT_TRUE(storage.WritePage(page, buf.data()).ok());
+        ASSERT_TRUE(storage.ReadPage(page, buf.data()).ok());
+        auto [word, version] = StorageEngine::ReadStamp(buf.data());
+        // The page was last written by this thread (pages are private).
+        EXPECT_EQ(version, static_cast<uint64_t>(t) * 1000 + round);
+        EXPECT_EQ(word, page * 0x9E3779B97F4A7C15ULL + version);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+}
+
+TEST(StorageTest, ConcurrentSamePageNeverTearsStamp) {
+  StorageEngine storage(1, kPageSize);
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    std::vector<uint8_t> buf(kPageSize);
+    for (uint64_t v = 1; !stop.load(); ++v) {
+      StorageEngine::StampPage(buf.data(), kPageSize, 0, v);
+      storage.WritePage(0, buf.data());
+    }
+  });
+  std::vector<uint8_t> buf(kPageSize);
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(storage.ReadPage(0, buf.data()).ok());
+    auto [word, version] = StorageEngine::ReadStamp(buf.data());
+    // Stamp words must be mutually consistent (no torn read).
+    EXPECT_EQ(word, 0 * 0x9E3779B97F4A7C15ULL + version);
+  }
+  stop.store(true);
+  writer.join();
+}
+
+}  // namespace
+}  // namespace bpw

@@ -1,0 +1,161 @@
+// Tests for trace capture and replay.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <unistd.h>
+#include <string>
+
+#include "workload/trace_file.h"
+
+namespace bpw {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(TraceFileTest, RoundTripPreservesEveryField) {
+  const std::string path = TempPath("roundtrip.bpwt");
+  TraceWriter writer;
+  ASSERT_TRUE(writer.Open(path, 1000).ok());
+  std::vector<PageAccess> original;
+  for (int i = 0; i < 500; ++i) {
+    PageAccess access;
+    access.page = static_cast<PageId>(i * 7 % 1000);
+    access.is_write = i % 3 == 0;
+    access.begins_transaction = i % 10 == 0;
+    original.push_back(access);
+    ASSERT_TRUE(writer.Append(access).ok());
+  }
+  ASSERT_TRUE(writer.Close().ok());
+
+  auto loaded = TraceFile::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_pages(), 1000u);
+  ASSERT_EQ(loaded->accesses().size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded->accesses()[i].page, original[i].page);
+    EXPECT_EQ(loaded->accesses()[i].is_write, original[i].is_write);
+    EXPECT_EQ(loaded->accesses()[i].begins_transaction,
+              original[i].begins_transaction);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceFileTest, ReplayLoopsAndReportsWrap) {
+  const std::string path = TempPath("loop.bpwt");
+  TraceWriter writer;
+  ASSERT_TRUE(writer.Open(path, 10).ok());
+  for (PageId p = 0; p < 5; ++p) {
+    ASSERT_TRUE(writer.Append(PageAccess{p, false, p == 0}).ok());
+  }
+  ASSERT_TRUE(writer.Close().ok());
+
+  auto loaded = TraceFile::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  ReplayTrace replay(loaded.value());
+  EXPECT_EQ(replay.footprint_pages(), 10u);
+  for (int lap = 0; lap < 3; ++lap) {
+    for (PageId p = 0; p < 5; ++p) {
+      const PageAccess access = replay.Next();
+      EXPECT_EQ(access.page, p);
+      EXPECT_EQ(access.begins_transaction, p == 0);
+    }
+  }
+  EXPECT_TRUE(replay.wrapped());
+  std::remove(path.c_str());
+}
+
+TEST(TraceFileTest, LoadRejectsMissingFile) {
+  auto loaded = TraceFile::Load(TempPath("does-not-exist.bpwt"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsNotFound());
+}
+
+TEST(TraceFileTest, LoadRejectsBadMagic) {
+  const std::string path = TempPath("badmagic.bpwt");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const char junk[64] = "this is not a trace file at all";
+  std::fwrite(junk, sizeof(junk), 1, f);
+  std::fclose(f);
+  auto loaded = TraceFile::Load(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsCorruption());
+  std::remove(path.c_str());
+}
+
+TEST(TraceFileTest, LoadRejectsTruncatedBody) {
+  const std::string path = TempPath("truncated.bpwt");
+  TraceWriter writer;
+  ASSERT_TRUE(writer.Open(path, 10).ok());
+  for (PageId p = 0; p < 20; ++p) {
+    ASSERT_TRUE(writer.Append(PageAccess{p, false, false}).ok());
+  }
+  ASSERT_TRUE(writer.Close().ok());
+  // Chop the last few bytes off.
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(truncate(path.c_str(), size - 4), 0);
+  auto loaded = TraceFile::Load(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsCorruption());
+  std::remove(path.c_str());
+}
+
+TEST(TraceFileTest, EmptyTraceRejected) {
+  const std::string path = TempPath("empty.bpwt");
+  TraceWriter writer;
+  ASSERT_TRUE(writer.Open(path, 10).ok());
+  ASSERT_TRUE(writer.Close().ok());
+  auto loaded = TraceFile::Load(path);
+  ASSERT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+TEST(TraceFileTest, WriterStateMachine) {
+  TraceWriter writer;
+  EXPECT_FALSE(writer.Append(PageAccess{}).ok()) << "append before open";
+  EXPECT_FALSE(writer.Close().ok()) << "close before open";
+  const std::string path = TempPath("statemachine.bpwt");
+  ASSERT_TRUE(writer.Open(path, 1).ok());
+  EXPECT_FALSE(writer.Open(path, 1).ok()) << "double open";
+  ASSERT_TRUE(writer.Append(PageAccess{0, false, true}).ok());
+  ASSERT_TRUE(writer.Close().ok());
+  std::remove(path.c_str());
+}
+
+TEST(TraceFileTest, RecordTraceCapturesWorkload) {
+  const std::string path = TempPath("dbt2.bpwt");
+  WorkloadSpec spec;
+  spec.name = "dbt2";
+  spec.num_pages = 1024;
+  spec.seed = 9;
+  ASSERT_TRUE(RecordTrace(spec, 2000, path).ok());
+  auto loaded = TraceFile::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->accesses().size(), 2000u);
+  // The replay must match a fresh generator with the same seed, exactly.
+  auto fresh = CreateTrace(spec, 0);
+  ReplayTrace replay(loaded.value());
+  for (int i = 0; i < 2000; ++i) {
+    const PageAccess a = fresh->Next();
+    const PageAccess b = replay.Next();
+    ASSERT_EQ(a.page, b.page) << "at " << i;
+    ASSERT_EQ(a.is_write, b.is_write);
+    ASSERT_EQ(a.begins_transaction, b.begins_transaction);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceFileTest, RecordTraceRejectsUnknownWorkload) {
+  WorkloadSpec spec;
+  spec.name = "nope";
+  EXPECT_FALSE(RecordTrace(spec, 10, TempPath("x.bpwt")).ok());
+}
+
+}  // namespace
+}  // namespace bpw

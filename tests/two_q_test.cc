@@ -1,0 +1,177 @@
+// Behavioural tests for the full 2Q algorithm: A1in / A1out / Am
+// transitions per Johnson & Shasha.
+#include <gtest/gtest.h>
+
+#include "policy/two_q.h"
+
+namespace bpw {
+namespace {
+
+ReplacementPolicy::EvictableFn All() {
+  return [](FrameId) { return true; };
+}
+
+TEST(TwoQTest, DefaultParameters) {
+  TwoQPolicy q(100);
+  EXPECT_EQ(q.kin(), 25u);
+  EXPECT_EQ(q.kout(), 50u);
+}
+
+TEST(TwoQTest, NewPagesEnterA1in) {
+  TwoQPolicy q(8);
+  q.OnMiss(1, 0);
+  q.OnMiss(2, 1);
+  EXPECT_EQ(q.a1in_size(), 2u);
+  EXPECT_EQ(q.am_size(), 0u);
+}
+
+TEST(TwoQTest, HitInA1inDoesNotPromote) {
+  // 2Q's correlated-reference filter: re-references while still in A1in
+  // do not make a page hot.
+  TwoQPolicy q(8);
+  q.OnMiss(1, 0);
+  for (int i = 0; i < 10; ++i) q.OnHit(1, 0);
+  EXPECT_EQ(q.a1in_size(), 1u);
+  EXPECT_EQ(q.am_size(), 0u);
+  EXPECT_TRUE(q.CheckInvariants().ok());
+}
+
+TEST(TwoQTest, EvictionFromA1inGoesToGhost) {
+  TwoQPolicy q(4, TwoQPolicy::Params{.kin = 1, .kout = 4});
+  q.OnMiss(1, 0);
+  q.OnMiss(2, 1);  // A1in over target (2 > kin=1)
+  auto victim = q.ChooseVictim(All(), 3);
+  ASSERT_TRUE(victim.ok());
+  EXPECT_EQ(victim->page, 1u);  // FIFO: oldest of A1in
+  EXPECT_TRUE(q.InA1out(1));
+}
+
+TEST(TwoQTest, GhostHitPromotesToAm) {
+  TwoQPolicy q(4, TwoQPolicy::Params{.kin = 1, .kout = 4});
+  q.OnMiss(1, 0);
+  q.OnMiss(2, 1);
+  auto victim = q.ChooseVictim(All(), 3);  // evicts 1 into A1out
+  ASSERT_TRUE(victim.ok());
+  ASSERT_EQ(victim->page, 1u);
+  q.OnMiss(3, 0);
+  // Page 1 faults back in: it was in A1out, so it becomes hot.
+  auto v2 = q.ChooseVictim(All(), 1);
+  ASSERT_TRUE(v2.ok());
+  q.OnMiss(1, v2->frame);
+  EXPECT_EQ(q.am_size(), 1u);
+  EXPECT_FALSE(q.InA1out(1));
+  EXPECT_TRUE(q.CheckInvariants().ok());
+}
+
+TEST(TwoQTest, AmIsLruOrdered) {
+  TwoQPolicy q(6, TwoQPolicy::Params{.kin = 1, .kout = 6});
+  // Build three hot pages via the ghost path.
+  FrameId next_free = 0;
+  auto fault = [&](PageId p) {
+    FrameId f;
+    if (next_free < 6) {
+      f = next_free++;
+    } else {
+      auto v = q.ChooseVictim(All(), p);
+      ASSERT_TRUE(v.ok());
+      f = v->frame;
+    }
+    q.OnMiss(p, f);
+  };
+  // Fill + churn so pages 1,2,3 pass through A1out and into Am.
+  for (PageId p = 1; p <= 3; ++p) fault(p);
+  for (PageId p = 10; p <= 15; ++p) fault(p);  // push 1..3 out through ghost
+  for (PageId p = 1; p <= 3; ++p) fault(p);    // reload: now hot
+  ASSERT_EQ(q.am_size(), 3u);
+  // Touch 1 so the Am LRU order is 2, 3, 1.
+  FrameId frame_of_1 = kInvalidFrameId;
+  for (FrameId f = 0; f < 6; ++f) {
+    // Recover frame of page 1 via hits that only land on the right pair.
+    q.OnHit(1, f);  // stale-tolerant: only the correct (page,frame) acts
+  }
+  (void)frame_of_1;
+  // Drain Am (kin=1 keeps A1in preferred while it exceeds 1; empty it
+  // first). The exact drain order must put page 1 last among {2,3,1}.
+  std::vector<PageId> am_victims;
+  while (q.resident_count() > 0) {
+    auto v = q.ChooseVictim(All(), 999);
+    ASSERT_TRUE(v.ok());
+    if (v->page <= 3) am_victims.push_back(v->page);
+  }
+  ASSERT_EQ(am_victims.size(), 3u);
+  EXPECT_EQ(am_victims.back(), 1u);
+}
+
+TEST(TwoQTest, GhostListBounded) {
+  TwoQPolicy q(4, TwoQPolicy::Params{.kin = 1, .kout = 3});
+  FrameId next_free = 0;
+  for (PageId p = 0; p < 100; ++p) {
+    FrameId f;
+    if (next_free < 4) {
+      f = next_free++;
+    } else {
+      auto v = q.ChooseVictim(All(), p);
+      ASSERT_TRUE(v.ok());
+      f = v->frame;
+    }
+    q.OnMiss(p, f);
+    ASSERT_LE(q.a1out_size(), 3u);
+  }
+  EXPECT_TRUE(q.CheckInvariants().ok());
+}
+
+TEST(TwoQTest, EraseDropsGhostEntryToo) {
+  TwoQPolicy q(4, TwoQPolicy::Params{.kin = 1, .kout = 4});
+  q.OnMiss(1, 0);
+  q.OnMiss(2, 1);
+  auto v = q.ChooseVictim(All(), 3);  // 1 -> ghost
+  ASSERT_TRUE(v.ok());
+  ASSERT_TRUE(q.InA1out(1));
+  q.OnErase(1, kInvalidFrameId);  // page 1 is not resident; ghost must go
+  EXPECT_FALSE(q.InA1out(1));
+  EXPECT_TRUE(q.CheckInvariants().ok());
+}
+
+TEST(TwoQTest, ScanResistance) {
+  // The signature 2Q property: a one-pass scan must not flush the hot set.
+  // Kout must cover the reuse distance of the hot set (48 pages/round of
+  // churn here), per the 2Q paper's guidance on sizing the ghost list.
+  constexpr size_t kFrames = 32;
+  TwoQPolicy q(kFrames, TwoQPolicy::Params{.kin = 8, .kout = 64});
+  FrameId next_free = 0;
+  auto access = [&](PageId p) {
+    // Simple residency emulation via IsResident (test-scale only).
+    if (q.IsResident(p)) {
+      for (FrameId f = 0; f < kFrames; ++f) q.OnHit(p, f);
+      return;
+    }
+    FrameId f;
+    if (next_free < kFrames) {
+      f = next_free++;
+    } else {
+      auto v = q.ChooseVictim(All(), p);
+      ASSERT_TRUE(v.ok());
+      f = v->frame;
+    }
+    q.OnMiss(p, f);
+  };
+  // Hot set: pages 0..7, established through ghost reloads.
+  for (int round = 0; round < 6; ++round) {
+    for (PageId p = 0; p < 8; ++p) access(p);
+    const PageId churn_base = 100 + static_cast<PageId>(round) * 40;
+    for (PageId p = churn_base; p < churn_base + 40; ++p) {
+      access(p);  // cold churn, forces hot pages through A1out
+    }
+  }
+  for (PageId p = 0; p < 8; ++p) access(p);  // ensure hot again
+  ASSERT_GT(q.am_size(), 0u);
+  // One giant scan of never-reused pages.
+  for (PageId p = 10000; p < 10000 + 200; ++p) access(p);
+  // The hot set should have survived in Am.
+  int survivors = 0;
+  for (PageId p = 0; p < 8; ++p) survivors += q.IsResident(p) ? 1 : 0;
+  EXPECT_GE(survivors, 4) << "scan flushed the hot set";
+}
+
+}  // namespace
+}  // namespace bpw

@@ -1,0 +1,219 @@
+// Tests for the workload generators: determinism, footprint bounds,
+// transaction structure, mix properties.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "workload/trace_generator.h"
+
+namespace bpw {
+namespace {
+
+WorkloadSpec Spec(const std::string& name, uint64_t pages = 4096,
+                  uint64_t seed = 5) {
+  WorkloadSpec spec;
+  spec.name = name;
+  spec.num_pages = pages;
+  spec.seed = seed;
+  return spec;
+}
+
+class WorkloadTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(WorkloadTest, FactoryCreates) {
+  auto trace = CreateTrace(Spec(GetParam()), 0);
+  ASSERT_NE(trace, nullptr);
+  EXPECT_EQ(trace->name(), GetParam());
+}
+
+TEST_P(WorkloadTest, PagesWithinFootprint) {
+  auto trace = CreateTrace(Spec(GetParam()), 0);
+  ASSERT_NE(trace, nullptr);
+  const uint64_t footprint = trace->footprint_pages();
+  EXPECT_GT(footprint, 0u);
+  for (int i = 0; i < 50000; ++i) {
+    const PageAccess access = trace->Next();
+    ASSERT_LT(access.page, footprint);
+  }
+}
+
+TEST_P(WorkloadTest, DeterministicPerSeedAndThread) {
+  auto a = CreateTrace(Spec(GetParam()), 3);
+  auto b = CreateTrace(Spec(GetParam()), 3);
+  ASSERT_NE(a, nullptr);
+  for (int i = 0; i < 5000; ++i) {
+    const PageAccess x = a->Next();
+    const PageAccess y = b->Next();
+    ASSERT_EQ(x.page, y.page);
+    ASSERT_EQ(x.is_write, y.is_write);
+    ASSERT_EQ(x.begins_transaction, y.begins_transaction);
+  }
+}
+
+TEST_P(WorkloadTest, FirstAccessBeginsTransaction) {
+  auto trace = CreateTrace(Spec(GetParam()), 0);
+  ASSERT_NE(trace, nullptr);
+  EXPECT_TRUE(trace->Next().begins_transaction);
+}
+
+TEST_P(WorkloadTest, TransactionsKeepComing) {
+  auto trace = CreateTrace(Spec(GetParam()), 0);
+  ASSERT_NE(trace, nullptr);
+  int boundaries = 0;
+  for (int i = 0; i < 200000 && boundaries < 10; ++i) {
+    if (trace->Next().begins_transaction) ++boundaries;
+  }
+  EXPECT_GE(boundaries, 10) << "stream stopped producing transactions";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadTest,
+                         ::testing::ValuesIn(KnownWorkloads()));
+
+TEST(WorkloadFactoryTest, UnknownNameReturnsNull) {
+  EXPECT_EQ(CreateTrace(Spec("bogus"), 0), nullptr);
+}
+
+TEST(WorkloadFactoryTest, DifferentThreadsDifferentStreams) {
+  auto a = CreateTrace(Spec("zipfian"), 0);
+  auto b = CreateTrace(Spec("zipfian"), 1);
+  int same = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a->Next().page == b->Next().page) ++same;
+  }
+  // Zipfian streams share hot pages, so some collisions are expected, but
+  // the streams must not be identical.
+  EXPECT_LT(same, 900);
+}
+
+TEST(TableScanTest, SequentialWrapAround) {
+  WorkloadSpec spec = Spec("tablescan", 100);
+  auto trace = CreateTrace(spec, 0);
+  PageAccess first = trace->Next();
+  PageId prev = first.page;
+  for (int i = 1; i < 250; ++i) {
+    const PageAccess access = trace->Next();
+    ASSERT_EQ(access.page, (prev + 1) % 100) << "must scan sequentially";
+    prev = access.page;
+    EXPECT_FALSE(access.is_write);
+  }
+}
+
+TEST(TableScanTest, OneTransactionPerFullScan) {
+  WorkloadSpec spec = Spec("tablescan", 50);
+  auto trace = CreateTrace(spec, 0);
+  int boundaries = 0;
+  for (int i = 0; i < 50 * 4; ++i) {
+    if (trace->Next().begins_transaction) ++boundaries;
+  }
+  EXPECT_EQ(boundaries, 4);
+}
+
+TEST(TableScanTest, ThreadsStartAtDifferentOffsets) {
+  WorkloadSpec spec = Spec("tablescan", 1000);
+  auto a = CreateTrace(spec, 0);
+  auto b = CreateTrace(spec, 1);
+  EXPECT_NE(a->Next().page, b->Next().page);
+}
+
+TEST(Dbt1Test, ReadMostly) {
+  auto trace = CreateTrace(Spec("dbt1"), 0);
+  int writes = 0;
+  constexpr int kAccesses = 100000;
+  for (int i = 0; i < kAccesses; ++i) writes += trace->Next().is_write;
+  EXPECT_GT(writes, 0) << "the buy path must write";
+  EXPECT_LT(static_cast<double>(writes) / kAccesses, 0.10)
+      << "DBT-1 is a browsing (read-mostly) workload";
+}
+
+TEST(Dbt1Test, AccessesAreSkewed) {
+  auto trace = CreateTrace(Spec("dbt1", 8192), 0);
+  std::map<PageId, int> counts;
+  constexpr int kAccesses = 200000;
+  for (int i = 0; i < kAccesses; ++i) ++counts[trace->Next().page];
+  // Top 5% of touched pages should absorb the majority of accesses.
+  std::vector<int> sorted;
+  for (auto& [p, c] : counts) sorted.push_back(c);
+  std::sort(sorted.rbegin(), sorted.rend());
+  int64_t top = 0, total = 0;
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    total += sorted[i];
+    if (i < sorted.size() / 20) top += sorted[i];
+  }
+  EXPECT_GT(static_cast<double>(top) / total, 0.5);
+}
+
+TEST(Dbt2Test, WriteHeavyOltpMix) {
+  auto trace = CreateTrace(Spec("dbt2"), 0);
+  int writes = 0;
+  constexpr int kAccesses = 100000;
+  for (int i = 0; i < kAccesses; ++i) writes += trace->Next().is_write;
+  const double fraction = static_cast<double>(writes) / kAccesses;
+  // New-Order + Payment + Delivery dirty a large share of accessed pages.
+  EXPECT_GT(fraction, 0.20);
+  EXPECT_LT(fraction, 0.75);
+}
+
+TEST(Dbt2Test, WarehousePagesAreHot) {
+  WorkloadSpec spec = Spec("dbt2", 8192);
+  spec.warehouses = 10;
+  auto trace = CreateTrace(spec, 0);
+  std::map<PageId, int> counts;
+  constexpr int kAccesses = 100000;
+  for (int i = 0; i < kAccesses; ++i) ++counts[trace->Next().page];
+  // Warehouse pages are the first `warehouses` pages; the thread's home
+  // warehouse page must be among the hottest.
+  int64_t wh_accesses = 0;
+  for (PageId p = 0; p < 10; ++p) wh_accesses += counts[p];
+  EXPECT_GT(static_cast<double>(wh_accesses) / kAccesses, 0.05)
+      << "tiny warehouse/district tables must be disproportionately hot";
+}
+
+TEST(Dbt2Test, HomeWarehouseAffinity) {
+  WorkloadSpec spec = Spec("dbt2", 8192);
+  spec.warehouses = 10;
+  auto trace = CreateTrace(spec, /*thread_id=*/3);  // home warehouse 3
+  std::map<PageId, int> wh_counts;
+  for (int i = 0; i < 100000; ++i) {
+    const PageAccess access = trace->Next();
+    if (access.page < 10) ++wh_counts[access.page];
+  }
+  int64_t total = 0;
+  for (auto& [p, c] : wh_counts) total += c;
+  ASSERT_GT(total, 0);
+  EXPECT_GT(static_cast<double>(wh_counts[3]) / total, 0.5)
+      << "90% of transactions should touch the home warehouse";
+}
+
+TEST(Dbt2Test, TransactionLengthsVary) {
+  auto trace = CreateTrace(Spec("dbt2"), 0);
+  std::set<int> lengths;
+  int current = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const PageAccess access = trace->Next();
+    if (access.begins_transaction && current > 0) {
+      lengths.insert(current);
+      current = 0;
+    }
+    ++current;
+  }
+  EXPECT_GE(lengths.size(), 4u)
+      << "the five TPC-C transaction types have different footprints";
+}
+
+TEST(ZipfianTraceTest, TransactionsAreFixedLength) {
+  WorkloadSpec spec = Spec("zipfian");
+  auto trace = CreateTrace(spec, 0);
+  int count_between = 0;
+  trace->Next();  // first boundary
+  for (int i = 0; i < 100; ++i) {
+    ++count_between;
+    if (trace->Next().begins_transaction) {
+      EXPECT_EQ(count_between, 10);  // default accesses_per_tx
+      count_between = 0;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bpw

@@ -1,0 +1,118 @@
+// Distribution properties of the Zipfian samplers used by the workloads.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "util/random.h"
+#include "util/zipfian.h"
+
+namespace bpw {
+namespace {
+
+TEST(ZipfianTest, StaysInRange) {
+  Random rng(1);
+  ZipfianGenerator zipf(1000, 0.9);
+  for (int i = 0; i < 100000; ++i) {
+    EXPECT_LT(zipf.Next(rng), 1000u);
+  }
+}
+
+TEST(ZipfianTest, SingleElementDomain) {
+  Random rng(2);
+  ZipfianGenerator zipf(1, 0.5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.Next(rng), 0u);
+}
+
+TEST(ZipfianTest, ItemZeroIsMostPopular) {
+  Random rng(3);
+  ZipfianGenerator zipf(1000, 0.99);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 200000; ++i) ++counts[zipf.Next(rng)];
+  int max_count = 0;
+  uint64_t argmax = ~0ULL;
+  for (auto& [v, c] : counts) {
+    if (c > max_count) {
+      max_count = c;
+      argmax = v;
+    }
+  }
+  EXPECT_EQ(argmax, 0u);
+}
+
+TEST(ZipfianTest, SkewConcentratesMass) {
+  Random rng(4);
+  ZipfianGenerator zipf(10000, 0.99);
+  int in_top_100 = 0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (zipf.Next(rng) < 100) ++in_top_100;
+  }
+  // With theta=0.99, the top 1% of keys should draw far more than 1% of
+  // accesses (analytically ~60%; accept anything clearly skewed).
+  EXPECT_GT(in_top_100, kSamples / 3);
+}
+
+TEST(ZipfianTest, LowThetaIsFlatter) {
+  Random rng_hi(5), rng_lo(5);
+  ZipfianGenerator hi(10000, 0.99), lo(10000, 0.2);
+  int top_hi = 0, top_lo = 0;
+  for (int i = 0; i < 100000; ++i) {
+    if (hi.Next(rng_hi) < 100) ++top_hi;
+    if (lo.Next(rng_lo) < 100) ++top_lo;
+  }
+  EXPECT_GT(top_hi, 2 * top_lo);
+}
+
+TEST(ZipfianTest, DeterministicGivenRngSeed) {
+  Random a(77), b(77);
+  ZipfianGenerator za(5000, 0.8), zb(5000, 0.8);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(za.Next(a), zb.Next(b));
+}
+
+TEST(ZipfianTest, LargeDomainApproximationInRange) {
+  // Exercises the Euler-Maclaurin zeta tail path (> 2^20 keys).
+  Random rng(6);
+  ZipfianGenerator zipf(uint64_t{1} << 22, 0.9);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(zipf.Next(rng), uint64_t{1} << 22);
+  }
+}
+
+TEST(ScrambledZipfianTest, StaysInRange) {
+  Random rng(7);
+  ScrambledZipfianGenerator zipf(1234, 0.9);
+  for (int i = 0; i < 50000; ++i) EXPECT_LT(zipf.Next(rng), 1234u);
+}
+
+TEST(ScrambledZipfianTest, HotKeysAreScattered) {
+  Random rng(8);
+  ScrambledZipfianGenerator zipf(10000, 0.99);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 200000; ++i) ++counts[zipf.Next(rng)];
+  // Find the 10 hottest keys; they should not all sit in the first 1% of
+  // the key space (they would under the unscrambled generator).
+  std::vector<std::pair<int, uint64_t>> by_count;
+  for (auto& [v, c] : counts) by_count.emplace_back(c, v);
+  std::sort(by_count.rbegin(), by_count.rend());
+  int in_front = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (by_count[i].second < 100) ++in_front;
+  }
+  EXPECT_LT(in_front, 5);
+}
+
+TEST(ScrambledZipfianTest, StillSkewed) {
+  Random rng(9);
+  ScrambledZipfianGenerator zipf(10000, 0.99);
+  std::map<uint64_t, int> counts;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) ++counts[zipf.Next(rng)];
+  int max_count = 0;
+  for (auto& [v, c] : counts) max_count = std::max(max_count, c);
+  // The hottest page must dominate the uniform expectation (20 samples).
+  EXPECT_GT(max_count, kSamples / 10000 * 50);
+}
+
+}  // namespace
+}  // namespace bpw

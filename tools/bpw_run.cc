@@ -1,0 +1,226 @@
+// bpw_run: command-line experiment runner.
+//
+// Runs one (workload x system x concurrency) experiment on the host driver
+// or the multiprocessor simulator and prints every metric the library
+// collects. Intended for interactive exploration beyond the canned paper
+// benches.
+//
+// Examples:
+//   bpw_run --system=pgBatPre --workload=dbt2 --threads=8
+//   bpw_run --policy=lirs --coordinator=bp-wrapper --queue=64 --threshold=32
+//   bpw_run --simulate --threads=16 --workload=tablescan --pages=2048
+//   bpw_run --workload=dbt1 --frames=1024 --io-us=250 --duration-ms=500
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "harness/driver.h"
+#include "policy/policy_factory.h"
+#include "harness/systems.h"
+#include "sim/sim_driver.h"
+
+namespace {
+
+using namespace bpw;
+
+struct Args {
+  std::string system;  // paper system name; overrides policy/coordinator
+  std::string policy = "2q";
+  std::string coordinator = "bp-wrapper";
+  std::string workload = "dbt2";
+  uint64_t pages = 8192;
+  uint32_t threads = 4;
+  size_t frames = 0;  // 0 = footprint
+  size_t queue = 64;
+  size_t threshold = 32;
+  bool prefetch = false;
+  bool simulate = false;
+  uint64_t duration_ms = 400;
+  uint64_t warmup_ms = 100;
+  uint64_t io_us = 0;
+  uint64_t think = 64;
+  uint64_t seed = 42;
+  bool no_prewarm = false;
+};
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    *out = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+bool ParseFlag(const char* arg, const char* name, uint64_t* out) {
+  std::string value;
+  if (!ParseFlag(arg, name, &value)) return false;
+  *out = std::strtoull(value.c_str(), nullptr, 10);
+  return true;
+}
+
+void Usage() {
+  std::printf(
+      "bpw_run — run one buffer-management experiment\n\n"
+      "  --system=NAME        paper system (pgClock|pg2Q|pgPre|pgBat|pgBatPre)\n"
+      "  --policy=NAME        replacement policy (default 2q); see below\n"
+      "  --coordinator=KIND   serialized | bp-wrapper | clock-lockfree\n"
+      "  --prefetch           enable the paper's prefetch technique\n"
+      "  --queue=N            BP-Wrapper queue size (default 64)\n"
+      "  --threshold=N        BP-Wrapper batch threshold (default 32)\n"
+      "  --workload=NAME      dbt1 | dbt2 | tablescan | zipfian | uniform |\n"
+      "                       seqloop (default dbt2)\n"
+      "  --pages=N            workload footprint in pages (default 8192)\n"
+      "  --threads=N          worker threads / simulated processors\n"
+      "  --frames=N           buffer frames (default: footprint => no misses)\n"
+      "  --io-us=N            per-I/O latency in microseconds (default 0)\n"
+      "  --think=N            non-critical work per access (host: SpinWork\n"
+      "                       iters; sim: ~16ns each)\n"
+      "  --duration-ms=N      measurement window (default 400)\n"
+      "  --warmup-ms=N        warm-up window (default 100)\n"
+      "  --seed=N             workload seed (default 42)\n"
+      "  --no-prewarm         skip the sequential pre-warm\n"
+      "  --simulate           run on the multiprocessor simulator\n");
+  std::printf("\npolicies: ");
+  for (const auto& name : KnownPolicies()) std::printf("%s ", name.c_str());
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    uint64_t u64 = 0;
+    if (ParseFlag(arg, "--system", &args.system) ||
+        ParseFlag(arg, "--policy", &args.policy) ||
+        ParseFlag(arg, "--coordinator", &args.coordinator) ||
+        ParseFlag(arg, "--workload", &args.workload)) {
+      continue;
+    }
+    if (ParseFlag(arg, "--pages", &args.pages) ||
+        ParseFlag(arg, "--duration-ms", &args.duration_ms) ||
+        ParseFlag(arg, "--warmup-ms", &args.warmup_ms) ||
+        ParseFlag(arg, "--io-us", &args.io_us) ||
+        ParseFlag(arg, "--think", &args.think) ||
+        ParseFlag(arg, "--seed", &args.seed)) {
+      continue;
+    }
+    if (ParseFlag(arg, "--threads", &u64)) {
+      args.threads = static_cast<uint32_t>(u64);
+      continue;
+    }
+    if (ParseFlag(arg, "--frames", &u64)) {
+      args.frames = u64;
+      continue;
+    }
+    if (ParseFlag(arg, "--queue", &u64)) {
+      args.queue = u64;
+      continue;
+    }
+    if (ParseFlag(arg, "--threshold", &u64)) {
+      args.threshold = u64;
+      continue;
+    }
+    if (std::strcmp(arg, "--prefetch") == 0) {
+      args.prefetch = true;
+      continue;
+    }
+    if (std::strcmp(arg, "--simulate") == 0) {
+      args.simulate = true;
+      continue;
+    }
+    if (std::strcmp(arg, "--no-prewarm") == 0) {
+      args.no_prewarm = true;
+      continue;
+    }
+    if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      Usage();
+      return 0;
+    }
+    std::fprintf(stderr, "unknown flag: %s (try --help)\n", arg);
+    return 2;
+  }
+
+  DriverConfig config;
+  config.workload.name = args.workload;
+  config.workload.num_pages = args.pages;
+  config.workload.seed = args.seed;
+  config.num_threads = args.threads;
+  config.duration_ms = args.duration_ms;
+  config.warmup_ms = args.warmup_ms;
+  config.num_frames = args.frames;
+  config.prewarm = !args.no_prewarm;
+  config.think_work = args.think;
+  if (!args.system.empty()) {
+    auto system = PaperSystemConfig(args.system);
+    if (!system.ok()) {
+      std::fprintf(stderr, "%s\n", system.status().ToString().c_str());
+      return 2;
+    }
+    config.system = system.value();
+  } else {
+    config.system.policy = args.policy;
+    config.system.coordinator = args.coordinator;
+    config.system.prefetch = args.prefetch;
+  }
+  config.system.queue_size = args.queue;
+  config.system.batch_threshold = args.threshold;
+
+  StatusOr<DriverResult> result = Status::Internal("not run");
+  if (args.simulate) {
+    SimCosts costs;
+    costs.access_work = args.think * 16;  // rough host<->sim equivalence
+    costs.io_read = args.io_us * 1000;
+    costs.io_write = args.io_us * 1000;
+    result = RunSimulation(config, costs);
+  } else {
+    config.storage_latency =
+        StorageLatencyModel::SleepingMicros(args.io_us, args.io_us);
+    result = RunDriver(config);
+  }
+  if (!result.ok()) {
+    std::fprintf(stderr, "run failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  const DriverResult& r = result.value();
+  std::printf("mode:            %s\n", args.simulate ? "simulated" : "host");
+  std::printf("system:          %s / %s%s\n", config.system.policy.c_str(),
+              config.system.coordinator.c_str(),
+              config.system.prefetch ? " +prefetch" : "");
+  std::printf("workload:        %s (%llu pages, seed %llu)\n",
+              args.workload.c_str(),
+              static_cast<unsigned long long>(args.pages),
+              static_cast<unsigned long long>(args.seed));
+  std::printf("concurrency:     %u\n", args.threads);
+  std::printf("window:          %.3f s\n", r.measure_seconds);
+  std::printf("transactions:    %llu (%.0f tx/s)\n",
+              static_cast<unsigned long long>(r.transactions),
+              r.throughput_tps);
+  std::printf("accesses:        %llu (%.0f/s)\n",
+              static_cast<unsigned long long>(r.accesses),
+              r.accesses_per_sec);
+  std::printf("hit ratio:       %.2f%% (%llu hits / %llu misses)\n",
+              r.hit_ratio * 100, static_cast<unsigned long long>(r.hits),
+              static_cast<unsigned long long>(r.misses));
+  std::printf("response:        avg %.1f us, p95 %.1f us\n",
+              r.avg_response_us, r.p95_response_us);
+  std::printf("lock:            %llu acquisitions, %llu contentions "
+              "(%.1f /1M accesses), %llu TryLock failures\n",
+              static_cast<unsigned long long>(r.lock.acquisitions),
+              static_cast<unsigned long long>(r.lock.contentions),
+              r.contentions_per_million,
+              static_cast<unsigned long long>(r.lock.trylock_failures));
+  if (r.lock_nanos_per_access > 0) {
+    std::printf("lock time:       %.3f us per access\n",
+                r.lock_nanos_per_access / 1000.0);
+  }
+  std::printf("evictions:       %llu (%llu write-backs)\n",
+              static_cast<unsigned long long>(r.evictions),
+              static_cast<unsigned long long>(r.writebacks));
+  return 0;
+}
