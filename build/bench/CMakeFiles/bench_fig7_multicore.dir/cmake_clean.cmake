@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_multicore.dir/bench_fig7_multicore.cc.o"
+  "CMakeFiles/bench_fig7_multicore.dir/bench_fig7_multicore.cc.o.d"
+  "bench_fig7_multicore"
+  "bench_fig7_multicore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_multicore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

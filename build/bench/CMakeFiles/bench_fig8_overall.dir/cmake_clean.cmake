@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_overall.dir/bench_fig8_overall.cc.o"
+  "CMakeFiles/bench_fig8_overall.dir/bench_fig8_overall.cc.o.d"
+  "bench_fig8_overall"
+  "bench_fig8_overall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_overall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_queue_size.dir/bench_table2_queue_size.cc.o"
+  "CMakeFiles/bench_table2_queue_size.dir/bench_table2_queue_size.cc.o.d"
+  "bench_table2_queue_size"
+  "bench_table2_queue_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_queue_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

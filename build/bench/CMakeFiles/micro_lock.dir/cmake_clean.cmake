@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_lock.dir/micro_lock.cc.o"
+  "CMakeFiles/micro_lock.dir/micro_lock.cc.o.d"
+  "micro_lock"
+  "micro_lock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_lock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_policy_ops.dir/micro_policy_ops.cc.o"
+  "CMakeFiles/micro_policy_ops.dir/micro_policy_ops.cc.o.d"
+  "micro_policy_ops"
+  "micro_policy_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_policy_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_pool.dir/micro_pool.cc.o"
+  "CMakeFiles/micro_pool.dir/micro_pool.cc.o.d"
+  "micro_pool"
+  "micro_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_queue.dir/micro_queue.cc.o"
+  "CMakeFiles/micro_queue.dir/micro_queue.cc.o.d"
+  "micro_queue"
+  "micro_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

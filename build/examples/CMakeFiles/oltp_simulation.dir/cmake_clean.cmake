@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oltp_simulation.dir/oltp_simulation.cpp.o"
+  "CMakeFiles/oltp_simulation.dir/oltp_simulation.cpp.o.d"
+  "oltp_simulation"
+  "oltp_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oltp_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

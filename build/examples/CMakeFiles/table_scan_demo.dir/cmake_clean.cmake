@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_scan_demo.dir/table_scan_demo.cpp.o"
+  "CMakeFiles/table_scan_demo.dir/table_scan_demo.cpp.o.d"
+  "table_scan_demo"
+  "table_scan_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_scan_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

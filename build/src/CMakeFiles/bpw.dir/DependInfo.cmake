@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/buffer/buffer_pool.cc" "src/CMakeFiles/bpw.dir/buffer/buffer_pool.cc.o" "gcc" "src/CMakeFiles/bpw.dir/buffer/buffer_pool.cc.o.d"
+  "/root/repo/src/buffer/page_table.cc" "src/CMakeFiles/bpw.dir/buffer/page_table.cc.o" "gcc" "src/CMakeFiles/bpw.dir/buffer/page_table.cc.o.d"
+  "/root/repo/src/buffer/partitioned_pool.cc" "src/CMakeFiles/bpw.dir/buffer/partitioned_pool.cc.o" "gcc" "src/CMakeFiles/bpw.dir/buffer/partitioned_pool.cc.o.d"
+  "/root/repo/src/core/bp_wrapper.cc" "src/CMakeFiles/bpw.dir/core/bp_wrapper.cc.o" "gcc" "src/CMakeFiles/bpw.dir/core/bp_wrapper.cc.o.d"
+  "/root/repo/src/core/clock_coordinator.cc" "src/CMakeFiles/bpw.dir/core/clock_coordinator.cc.o" "gcc" "src/CMakeFiles/bpw.dir/core/clock_coordinator.cc.o.d"
+  "/root/repo/src/core/coordinator_factory.cc" "src/CMakeFiles/bpw.dir/core/coordinator_factory.cc.o" "gcc" "src/CMakeFiles/bpw.dir/core/coordinator_factory.cc.o.d"
+  "/root/repo/src/core/serialized_coordinator.cc" "src/CMakeFiles/bpw.dir/core/serialized_coordinator.cc.o" "gcc" "src/CMakeFiles/bpw.dir/core/serialized_coordinator.cc.o.d"
+  "/root/repo/src/core/shared_queue_coordinator.cc" "src/CMakeFiles/bpw.dir/core/shared_queue_coordinator.cc.o" "gcc" "src/CMakeFiles/bpw.dir/core/shared_queue_coordinator.cc.o.d"
+  "/root/repo/src/harness/driver.cc" "src/CMakeFiles/bpw.dir/harness/driver.cc.o" "gcc" "src/CMakeFiles/bpw.dir/harness/driver.cc.o.d"
+  "/root/repo/src/harness/reporter.cc" "src/CMakeFiles/bpw.dir/harness/reporter.cc.o" "gcc" "src/CMakeFiles/bpw.dir/harness/reporter.cc.o.d"
+  "/root/repo/src/harness/systems.cc" "src/CMakeFiles/bpw.dir/harness/systems.cc.o" "gcc" "src/CMakeFiles/bpw.dir/harness/systems.cc.o.d"
+  "/root/repo/src/policy/arc.cc" "src/CMakeFiles/bpw.dir/policy/arc.cc.o" "gcc" "src/CMakeFiles/bpw.dir/policy/arc.cc.o.d"
+  "/root/repo/src/policy/car.cc" "src/CMakeFiles/bpw.dir/policy/car.cc.o" "gcc" "src/CMakeFiles/bpw.dir/policy/car.cc.o.d"
+  "/root/repo/src/policy/clock.cc" "src/CMakeFiles/bpw.dir/policy/clock.cc.o" "gcc" "src/CMakeFiles/bpw.dir/policy/clock.cc.o.d"
+  "/root/repo/src/policy/clock_pro.cc" "src/CMakeFiles/bpw.dir/policy/clock_pro.cc.o" "gcc" "src/CMakeFiles/bpw.dir/policy/clock_pro.cc.o.d"
+  "/root/repo/src/policy/fifo.cc" "src/CMakeFiles/bpw.dir/policy/fifo.cc.o" "gcc" "src/CMakeFiles/bpw.dir/policy/fifo.cc.o.d"
+  "/root/repo/src/policy/gclock.cc" "src/CMakeFiles/bpw.dir/policy/gclock.cc.o" "gcc" "src/CMakeFiles/bpw.dir/policy/gclock.cc.o.d"
+  "/root/repo/src/policy/lirs.cc" "src/CMakeFiles/bpw.dir/policy/lirs.cc.o" "gcc" "src/CMakeFiles/bpw.dir/policy/lirs.cc.o.d"
+  "/root/repo/src/policy/lru.cc" "src/CMakeFiles/bpw.dir/policy/lru.cc.o" "gcc" "src/CMakeFiles/bpw.dir/policy/lru.cc.o.d"
+  "/root/repo/src/policy/lru_k.cc" "src/CMakeFiles/bpw.dir/policy/lru_k.cc.o" "gcc" "src/CMakeFiles/bpw.dir/policy/lru_k.cc.o.d"
+  "/root/repo/src/policy/mq.cc" "src/CMakeFiles/bpw.dir/policy/mq.cc.o" "gcc" "src/CMakeFiles/bpw.dir/policy/mq.cc.o.d"
+  "/root/repo/src/policy/policy_factory.cc" "src/CMakeFiles/bpw.dir/policy/policy_factory.cc.o" "gcc" "src/CMakeFiles/bpw.dir/policy/policy_factory.cc.o.d"
+  "/root/repo/src/policy/replacement_policy.cc" "src/CMakeFiles/bpw.dir/policy/replacement_policy.cc.o" "gcc" "src/CMakeFiles/bpw.dir/policy/replacement_policy.cc.o.d"
+  "/root/repo/src/policy/seq.cc" "src/CMakeFiles/bpw.dir/policy/seq.cc.o" "gcc" "src/CMakeFiles/bpw.dir/policy/seq.cc.o.d"
+  "/root/repo/src/policy/two_q.cc" "src/CMakeFiles/bpw.dir/policy/two_q.cc.o" "gcc" "src/CMakeFiles/bpw.dir/policy/two_q.cc.o.d"
+  "/root/repo/src/sim/sim_driver.cc" "src/CMakeFiles/bpw.dir/sim/sim_driver.cc.o" "gcc" "src/CMakeFiles/bpw.dir/sim/sim_driver.cc.o.d"
+  "/root/repo/src/storage/storage_engine.cc" "src/CMakeFiles/bpw.dir/storage/storage_engine.cc.o" "gcc" "src/CMakeFiles/bpw.dir/storage/storage_engine.cc.o.d"
+  "/root/repo/src/sync/contention_lock.cc" "src/CMakeFiles/bpw.dir/sync/contention_lock.cc.o" "gcc" "src/CMakeFiles/bpw.dir/sync/contention_lock.cc.o.d"
+  "/root/repo/src/util/clock.cc" "src/CMakeFiles/bpw.dir/util/clock.cc.o" "gcc" "src/CMakeFiles/bpw.dir/util/clock.cc.o.d"
+  "/root/repo/src/util/histogram.cc" "src/CMakeFiles/bpw.dir/util/histogram.cc.o" "gcc" "src/CMakeFiles/bpw.dir/util/histogram.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/bpw.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/bpw.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/bpw.dir/util/random.cc.o" "gcc" "src/CMakeFiles/bpw.dir/util/random.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/bpw.dir/util/status.cc.o" "gcc" "src/CMakeFiles/bpw.dir/util/status.cc.o.d"
+  "/root/repo/src/util/zipfian.cc" "src/CMakeFiles/bpw.dir/util/zipfian.cc.o" "gcc" "src/CMakeFiles/bpw.dir/util/zipfian.cc.o.d"
+  "/root/repo/src/workload/dbt1.cc" "src/CMakeFiles/bpw.dir/workload/dbt1.cc.o" "gcc" "src/CMakeFiles/bpw.dir/workload/dbt1.cc.o.d"
+  "/root/repo/src/workload/dbt2.cc" "src/CMakeFiles/bpw.dir/workload/dbt2.cc.o" "gcc" "src/CMakeFiles/bpw.dir/workload/dbt2.cc.o.d"
+  "/root/repo/src/workload/synthetic.cc" "src/CMakeFiles/bpw.dir/workload/synthetic.cc.o" "gcc" "src/CMakeFiles/bpw.dir/workload/synthetic.cc.o.d"
+  "/root/repo/src/workload/table_scan.cc" "src/CMakeFiles/bpw.dir/workload/table_scan.cc.o" "gcc" "src/CMakeFiles/bpw.dir/workload/table_scan.cc.o.d"
+  "/root/repo/src/workload/trace_file.cc" "src/CMakeFiles/bpw.dir/workload/trace_file.cc.o" "gcc" "src/CMakeFiles/bpw.dir/workload/trace_file.cc.o.d"
+  "/root/repo/src/workload/workload_factory.cc" "src/CMakeFiles/bpw.dir/workload/workload_factory.cc.o" "gcc" "src/CMakeFiles/bpw.dir/workload/workload_factory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

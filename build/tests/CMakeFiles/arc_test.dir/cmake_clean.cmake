@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arc_test.dir/arc_test.cc.o"
+  "CMakeFiles/arc_test.dir/arc_test.cc.o.d"
+  "arc_test"
+  "arc_test.pdb"
+  "arc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bp_wrapper_test.dir/bp_wrapper_test.cc.o"
+  "CMakeFiles/bp_wrapper_test.dir/bp_wrapper_test.cc.o.d"
+  "bp_wrapper_test"
+  "bp_wrapper_test.pdb"
+  "bp_wrapper_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bp_wrapper_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/car_test.dir/car_test.cc.o"
+  "CMakeFiles/car_test.dir/car_test.cc.o.d"
+  "car_test"
+  "car_test.pdb"
+  "car_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/car_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

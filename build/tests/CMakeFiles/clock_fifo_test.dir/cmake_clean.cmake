@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clock_fifo_test.dir/clock_fifo_test.cc.o"
+  "CMakeFiles/clock_fifo_test.dir/clock_fifo_test.cc.o.d"
+  "clock_fifo_test"
+  "clock_fifo_test.pdb"
+  "clock_fifo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clock_fifo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clock_pro_test.dir/clock_pro_test.cc.o"
+  "CMakeFiles/clock_pro_test.dir/clock_pro_test.cc.o.d"
+  "clock_pro_test"
+  "clock_pro_test.pdb"
+  "clock_pro_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clock_pro_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

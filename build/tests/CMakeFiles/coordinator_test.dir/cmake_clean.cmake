@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coordinator_test.dir/coordinator_test.cc.o"
+  "CMakeFiles/coordinator_test.dir/coordinator_test.cc.o.d"
+  "coordinator_test"
+  "coordinator_test.pdb"
+  "coordinator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coordinator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/equivalence_test.dir/equivalence_test.cc.o"
+  "CMakeFiles/equivalence_test.dir/equivalence_test.cc.o.d"
+  "equivalence_test"
+  "equivalence_test.pdb"
+  "equivalence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hit_ratio_test.dir/hit_ratio_test.cc.o"
+  "CMakeFiles/hit_ratio_test.dir/hit_ratio_test.cc.o.d"
+  "hit_ratio_test"
+  "hit_ratio_test.pdb"
+  "hit_ratio_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hit_ratio_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

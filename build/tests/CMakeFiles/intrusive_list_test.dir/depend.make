@@ -1,0 +1,2 @@
+# Empty dependencies file for intrusive_list_test.
+# This may be replaced when dependencies are built.

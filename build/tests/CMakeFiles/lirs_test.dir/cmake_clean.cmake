@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lirs_test.dir/lirs_test.cc.o"
+  "CMakeFiles/lirs_test.dir/lirs_test.cc.o.d"
+  "lirs_test"
+  "lirs_test.pdb"
+  "lirs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lirs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lru_k_test.dir/lru_k_test.cc.o"
+  "CMakeFiles/lru_k_test.dir/lru_k_test.cc.o.d"
+  "lru_k_test"
+  "lru_k_test.pdb"
+  "lru_k_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lru_k_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mq_test.dir/mq_test.cc.o"
+  "CMakeFiles/mq_test.dir/mq_test.cc.o.d"
+  "mq_test"
+  "mq_test.pdb"
+  "mq_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

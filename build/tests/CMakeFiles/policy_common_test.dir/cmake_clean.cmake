@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_common_test.dir/policy_common_test.cc.o"
+  "CMakeFiles/policy_common_test.dir/policy_common_test.cc.o.d"
+  "policy_common_test"
+  "policy_common_test.pdb"
+  "policy_common_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_common_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_params_test.dir/policy_params_test.cc.o"
+  "CMakeFiles/policy_params_test.dir/policy_params_test.cc.o.d"
+  "policy_params_test"
+  "policy_params_test.pdb"
+  "policy_params_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_params_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

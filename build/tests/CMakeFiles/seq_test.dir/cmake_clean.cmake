@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seq_test.dir/seq_test.cc.o"
+  "CMakeFiles/seq_test.dir/seq_test.cc.o.d"
+  "seq_test"
+  "seq_test.pdb"
+  "seq_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

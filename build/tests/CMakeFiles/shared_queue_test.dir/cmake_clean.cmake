@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shared_queue_test.dir/shared_queue_test.cc.o"
+  "CMakeFiles/shared_queue_test.dir/shared_queue_test.cc.o.d"
+  "shared_queue_test"
+  "shared_queue_test.pdb"
+  "shared_queue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sync_test.dir/sync_test.cc.o"
+  "CMakeFiles/sync_test.dir/sync_test.cc.o.d"
+  "sync_test"
+  "sync_test.pdb"
+  "sync_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sync_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

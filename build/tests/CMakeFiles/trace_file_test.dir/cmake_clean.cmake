@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_file_test.dir/trace_file_test.cc.o"
+  "CMakeFiles/trace_file_test.dir/trace_file_test.cc.o.d"
+  "trace_file_test"
+  "trace_file_test.pdb"
+  "trace_file_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_file_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/two_q_test.dir/two_q_test.cc.o"
+  "CMakeFiles/two_q_test.dir/two_q_test.cc.o.d"
+  "two_q_test"
+  "two_q_test.pdb"
+  "two_q_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/two_q_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zipfian_test.dir/zipfian_test.cc.o"
+  "CMakeFiles/zipfian_test.dir/zipfian_test.cc.o.d"
+  "zipfian_test"
+  "zipfian_test.pdb"
+  "zipfian_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zipfian_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpw_run.dir/bpw_run.cc.o"
+  "CMakeFiles/bpw_run.dir/bpw_run.cc.o.d"
+  "bpw_run"
+  "bpw_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpw_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
