@@ -2,6 +2,8 @@
 
 #include <thread>
 
+#include "obs/trace_recorder.h"
+#include "util/clock.h"
 #include "util/logging.h"
 
 namespace bpw {
@@ -56,6 +58,23 @@ BufferPool::BufferPool(const BufferPoolConfig& config, StorageEngine* storage,
     free_frames_.push_back(static_cast<FrameId>(i));
   }
   coordinator_->BindFrameTags(frame_tags_.data(), frame_tags_.size());
+
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+  metric_hits_ = registry.GetCounter("buffer.hits");
+  metric_misses_ = registry.GetCounter("buffer.misses");
+  metric_evictions_ = registry.GetCounter("buffer.evictions");
+  metric_writebacks_ = registry.GetCounter("buffer.writebacks");
+  metrics_source_ = obs::ScopedMetricSource(
+      &registry, [this](obs::MetricsSnapshot& snap) {
+        snap.Add("buffer.num_frames",
+                 static_cast<double>(config_.num_frames));
+        free_lock_.lock();
+        const size_t free_count = free_frames_.size();
+        free_lock_.unlock();
+        snap.Add("buffer.free_frames", static_cast<double>(free_count));
+        snap.Add("buffer.eviction_races",
+                 static_cast<double>(eviction_races()));
+      });
 }
 
 BufferPool::~BufferPool() = default;
@@ -106,9 +125,12 @@ void BufferPool::FinishLoad(PageId page) {
 
 StatusOr<FrameId> BufferPool::AcquireFrame(Session& session,
                                            PageId incoming) {
+  // pin_count loads are acquire to pair with Unpin's release decrement:
+  // observing 0 must order the previous holder's frame accesses before our
+  // write-back / reuse of the frame bytes.
   const Coordinator::EvictableFn evictable = [this](FrameId f) {
     const FrameMeta& meta = frames_[f];
-    return meta.pin_count.load(std::memory_order_relaxed) == 0 &&
+    return meta.pin_count.load(std::memory_order_acquire) == 0 &&
            !meta.io_busy.load(std::memory_order_relaxed);
   };
 
@@ -138,7 +160,7 @@ StatusOr<FrameId> BufferPool::AcquireFrame(Session& session,
     meta.latch.lock();
     const bool still_ours =
         FrameTag(victim.frame) == victim.page &&
-        meta.pin_count.load(std::memory_order_relaxed) == 0 &&
+        meta.pin_count.load(std::memory_order_acquire) == 0 &&
         !meta.io_busy.load(std::memory_order_relaxed);
     if (!still_ours) {
       meta.latch.unlock();
@@ -173,6 +195,7 @@ StatusOr<FrameId> BufferPool::AcquireFrame(Session& session,
         // Keep going: the frame is reused, the write is reported lost.
       }
       writebacks_.fetch_add(1, std::memory_order_relaxed);
+      BPW_METRIC_ADD(metric_writebacks_, 1);
     }
 
     table_.Erase(victim.page, victim.frame);
@@ -181,6 +204,11 @@ StatusOr<FrameId> BufferPool::AcquireFrame(Session& session,
     meta.io_busy.store(false, std::memory_order_relaxed);
     meta.latch.unlock();
     evictions_.fetch_add(1, std::memory_order_relaxed);
+    BPW_METRIC_ADD(metric_evictions_, 1);
+    if (obs::TraceEnabled()) {
+      obs::TraceEmit(obs::TraceEventKind::kEviction, NowNanos(), 0,
+                     victim.page);
+    }
     return victim.frame;
   }
 }
@@ -194,6 +222,7 @@ StatusOr<PageHandle> BufferPool::FetchPage(Session& session, PageId page) {
     if (frame != kInvalidFrameId) {
       if (TryPin(frame, page)) {
         ++session.stats_.hits;
+        BPW_METRIC_ADD(metric_hits_, 1);
         coordinator_->OnHit(session.slot_.get(), page, frame);
         return PageHandle(this, page, frame, FrameData(frame));
       }
@@ -243,6 +272,7 @@ StatusOr<PageHandle> BufferPool::FetchPage(Session& session, PageId page) {
     }
     coordinator_->CompleteMiss(session.slot_.get(), page, new_frame);
     ++session.stats_.misses;
+    BPW_METRIC_ADD(metric_misses_, 1);
     FinishLoad(page);
     return PageHandle(this, page, new_frame, FrameData(new_frame));
   }
@@ -259,7 +289,7 @@ Status BufferPool::DropPage(Session& session, PageId page) {
     meta.latch.unlock();
     return Status::NotFound("page left the buffer concurrently");
   }
-  if (meta.pin_count.load(std::memory_order_relaxed) != 0) {
+  if (meta.pin_count.load(std::memory_order_acquire) != 0) {
     meta.latch.unlock();
     return Status::FailedPrecondition("page is pinned");
   }

@@ -24,6 +24,7 @@
 
 #include "buffer/page_table.h"
 #include "core/coordinator.h"
+#include "obs/metrics.h"
 #include "storage/storage_engine.h"
 #include "sync/spinlock.h"
 #include "util/status.h"
@@ -211,6 +212,16 @@ class BufferPool {
   std::atomic<uint64_t> evictions_{0};
   std::atomic<uint64_t> writebacks_{0};
   std::atomic<uint64_t> eviction_races_{0};
+
+  // Registry counters (sharded; owned by the registry). Hits and misses are
+  // only tallied per-session otherwise, so these give the sampler a pool-
+  // wide live view.
+  obs::Counter* metric_hits_ = nullptr;
+  obs::Counter* metric_misses_ = nullptr;
+  obs::Counter* metric_evictions_ = nullptr;
+  obs::Counter* metric_writebacks_ = nullptr;
+  // Declared last so it unregisters before anything it reads is destroyed.
+  obs::ScopedMetricSource metrics_source_;
 };
 
 }  // namespace bpw

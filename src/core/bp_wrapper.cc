@@ -2,7 +2,9 @@
 
 #include <cassert>
 
+#include "obs/trace_recorder.h"
 #include "sync/prefetch.h"
+#include "util/clock.h"
 #include "util/logging.h"
 
 namespace bpw {
@@ -11,7 +13,19 @@ BpWrapperCoordinator::BpWrapperCoordinator(
     std::unique_ptr<ReplacementPolicy> policy, Options options)
     : policy_(std::move(policy)),
       options_(options),
-      lock_(options.instrumentation) {
+      lock_(options.instrumentation),
+      metrics_source_(&obs::MetricsRegistry::Default(),
+                      [this](obs::MetricsSnapshot& snap) {
+                        AppendLockMetrics(snap, lock_.stats());
+                        snap.Add("coord.commit_batches",
+                                 static_cast<double>(commit_batches()));
+                        snap.Add("coord.committed_entries",
+                                 static_cast<double>(committed_entries()));
+                        snap.Add("coord.stale_commits",
+                                 static_cast<double>(stale_commits()));
+                        snap.Add("coord.lock_fallbacks",
+                                 static_cast<double>(lock_fallbacks()));
+                      }) {
   if (options_.queue_size == 0) options_.queue_size = 1;
   if (options_.batch_threshold == 0) options_.batch_threshold = 1;
   if (options_.batch_threshold > options_.queue_size) {
@@ -57,6 +71,8 @@ void BpWrapperCoordinator::PrefetchForCommit(const AccessQueue& queue) const {
 }
 
 void BpWrapperCoordinator::CommitLocked(AccessQueue& queue) {
+  const bool trace = obs::TraceEnabled();
+  const uint64_t commit_start = trace ? NowNanos() : 0;
   uint64_t stale = 0;
   const size_t n = queue.size();
   for (size_t i = 0; i < n; ++i) {
@@ -75,6 +91,10 @@ void BpWrapperCoordinator::CommitLocked(AccessQueue& queue) {
     committed_entries_.fetch_add(n - stale, std::memory_order_relaxed);
     if (stale > 0) {
       stale_commits_.fetch_add(stale, std::memory_order_relaxed);
+    }
+    if (trace) {
+      obs::TraceEmit(obs::TraceEventKind::kBatchCommit, commit_start,
+                     NowNanos() - commit_start, n);
     }
   }
 }
@@ -100,6 +120,10 @@ void BpWrapperCoordinator::OnHit(ThreadSlot* base_slot, PageId page,
     return;
   }
   // Queue completely full: we must block (Fig. 4 line 13).
+  lock_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+  if (obs::TraceEnabled()) {
+    obs::TraceEmit(obs::TraceEventKind::kLockFallback, NowNanos(), 0);
+  }
   lock_.Lock();
   CommitLocked(queue);
   lock_.Unlock();

@@ -81,6 +81,13 @@ class BpWrapperCoordinator : public Coordinator {
     return committed_entries_.load(std::memory_order_relaxed);
   }
 
+  /// Times a thread's queue filled completely and it fell back to a
+  /// blocking Lock() (Fig. 4 line 13) — the only path on which BP-Wrapper
+  /// can still produce a contention event.
+  uint64_t lock_fallbacks() const {
+    return lock_fallbacks_.load(std::memory_order_relaxed);
+  }
+
  private:
   class Slot : public ThreadSlot {
    public:
@@ -105,10 +112,14 @@ class BpWrapperCoordinator : public Coordinator {
   std::atomic<uint64_t> stale_commits_{0};
   std::atomic<uint64_t> commit_batches_{0};
   std::atomic<uint64_t> committed_entries_{0};
+  std::atomic<uint64_t> lock_fallbacks_{0};
 
   // Live-slot registry so destruction order errors surface loudly.
   std::mutex slots_mu_;
   std::unordered_set<Slot*> slots_;
+
+  // Declared last so it unregisters before anything it reads is destroyed.
+  obs::ScopedMetricSource metrics_source_;
 };
 
 }  // namespace bpw

@@ -15,13 +15,21 @@ ClockCoordinator::ClockCoordinator(std::unique_ptr<ClockPolicy> policy,
                                    Options options)
     : policy_(std::move(policy)),
       hit_fn_(&ClockHit),
-      lock_(options.instrumentation) {}
+      lock_(options.instrumentation),
+      metrics_source_(&obs::MetricsRegistry::Default(),
+                      [this](obs::MetricsSnapshot& snap) {
+                        AppendLockMetrics(snap, lock_.stats());
+                      }) {}
 
 ClockCoordinator::ClockCoordinator(std::unique_ptr<GClockPolicy> policy,
                                    Options options)
     : policy_(std::move(policy)),
       hit_fn_(&GClockHit),
-      lock_(options.instrumentation) {}
+      lock_(options.instrumentation),
+      metrics_source_(&obs::MetricsRegistry::Default(),
+                      [this](obs::MetricsSnapshot& snap) {
+                        AppendLockMetrics(snap, lock_.stats());
+                      }) {}
 
 std::unique_ptr<Coordinator::ThreadSlot> ClockCoordinator::RegisterThread() {
   return std::make_unique<Slot>();

@@ -50,6 +50,8 @@ class ClockCoordinator : public Coordinator {
   std::unique_ptr<ReplacementPolicy> policy_;
   LockFreeHitFn hit_fn_;
   ContentionLock lock_;
+  // Declared last so it unregisters before anything it reads is destroyed.
+  obs::ScopedMetricSource metrics_source_;
 };
 
 }  // namespace bpw

@@ -23,12 +23,27 @@
 #include <memory>
 #include <string>
 
+#include "obs/metrics.h"
 #include "policy/replacement_policy.h"
 #include "sync/contention_lock.h"
 #include "util/status.h"
 #include "util/types.h"
 
 namespace bpw {
+
+/// Contributes a lock's counters to a metrics snapshot under the canonical
+/// "lock." names. Every coordinator registers a metric source built on this
+/// so the stats sampler sees policy-lock behaviour without any extra
+/// hot-path cost (the lock already maintains these atomics).
+inline void AppendLockMetrics(obs::MetricsSnapshot& snap,
+                              const LockStats& stats) {
+  snap.Add("lock.acquisitions", static_cast<double>(stats.acquisitions));
+  snap.Add("lock.contentions", static_cast<double>(stats.contentions));
+  snap.Add("lock.trylock_failures",
+           static_cast<double>(stats.trylock_failures));
+  snap.Add("lock.hold_nanos", static_cast<double>(stats.hold_nanos));
+  snap.Add("lock.wait_nanos", static_cast<double>(stats.wait_nanos));
+}
 
 class Coordinator {
  public:

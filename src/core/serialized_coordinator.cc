@@ -8,7 +8,11 @@ SerializedCoordinator::SerializedCoordinator(
     std::unique_ptr<ReplacementPolicy> policy, Options options)
     : policy_(std::move(policy)),
       options_(options),
-      lock_(options.instrumentation) {}
+      lock_(options.instrumentation),
+      metrics_source_(&obs::MetricsRegistry::Default(),
+                      [this](obs::MetricsSnapshot& snap) {
+                        AppendLockMetrics(snap, lock_.stats());
+                      }) {}
 
 std::unique_ptr<Coordinator::ThreadSlot>
 SerializedCoordinator::RegisterThread() {

@@ -45,6 +45,8 @@ class SerializedCoordinator : public Coordinator {
   std::unique_ptr<ReplacementPolicy> policy_;
   Options options_;
   ContentionLock lock_;
+  // Declared last so it unregisters before anything it reads is destroyed.
+  obs::ScopedMetricSource metrics_source_;
 };
 
 }  // namespace bpw

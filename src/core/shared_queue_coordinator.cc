@@ -8,7 +8,14 @@ SharedQueueCoordinator::SharedQueueCoordinator(
     std::unique_ptr<ReplacementPolicy> policy, Options options)
     : policy_(std::move(policy)),
       options_(options),
-      lock_(options.instrumentation) {
+      lock_(options.instrumentation),
+      metrics_source_(&obs::MetricsRegistry::Default(),
+                      [this](obs::MetricsSnapshot& snap) {
+                        AppendLockMetrics(snap, lock_.stats());
+                        snap.Add("coord.queue_lock_acquisitions",
+                                 static_cast<double>(
+                                     queue_lock_acquisitions()));
+                      }) {
   if (options_.queue_size == 0) options_.queue_size = 1;
   options_.batch_threshold =
       std::clamp<size_t>(options_.batch_threshold, 1, options_.queue_size);

@@ -70,6 +70,8 @@ class SharedQueueCoordinator : public Coordinator {
   SpinLock queue_lock_;
   std::vector<AccessQueue::Entry> queue_;  // guarded by queue_lock_
   std::atomic<uint64_t> queue_acquisitions_{0};
+  // Declared last so it unregisters before anything it reads is destroyed.
+  obs::ScopedMetricSource metrics_source_;
 };
 
 }  // namespace bpw

@@ -114,6 +114,16 @@ StatusOr<DriverResult> RunDriver(const DriverConfig& config) {
     pool.FlushSession(*warm_session);
   }
 
+  // The registry accumulates across runs in one process; snapshot-subtract
+  // the measurement window the same way the lock counters are handled.
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+  std::unique_ptr<obs::StatsSampler> sampler;
+  if (config.metrics_interval_ms > 0) {
+    sampler = std::make_unique<obs::StatsSampler>(&registry,
+                                                  config.metrics_interval_ms);
+    sampler->Start();
+  }
+
   std::atomic<int> phase{static_cast<int>(Phase::kWarmup)};
   std::vector<WorkerOutput> outputs(config.num_threads);
   std::vector<std::thread> workers;
@@ -124,10 +134,12 @@ StatusOr<DriverResult> RunDriver(const DriverConfig& config) {
   }
 
   LockStats lock_before;
+  obs::MetricsSnapshot metrics_before;
   uint64_t measure_start = 0;
   uint64_t measure_end = 0;
   const bool count_mode = config.transactions_per_thread > 0;
   if (count_mode) {
+    metrics_before = registry.Snapshot();
     measure_start = NowNanos();
     for (auto& w : workers) w.join();
     measure_end = NowNanos();
@@ -135,6 +147,7 @@ StatusOr<DriverResult> RunDriver(const DriverConfig& config) {
   } else {
     std::this_thread::sleep_for(std::chrono::milliseconds(config.warmup_ms));
     lock_before = pool.coordinator().lock_stats();
+    metrics_before = registry.Snapshot();
     measure_start = NowNanos();
     phase.store(static_cast<int>(Phase::kMeasure),
                 std::memory_order_relaxed);
@@ -146,6 +159,9 @@ StatusOr<DriverResult> RunDriver(const DriverConfig& config) {
   }
 
   const LockStats lock_after = pool.coordinator().lock_stats();
+  const obs::MetricsSnapshot metrics_after = registry.Snapshot();
+  // Stop before the pool (and its metric sources) can be torn down.
+  if (sampler != nullptr) sampler->Stop();
 
   DriverResult result;
   result.measure_seconds =
@@ -190,6 +206,8 @@ StatusOr<DriverResult> RunDriver(const DriverConfig& config) {
   }
   result.evictions = pool.evictions();
   result.writebacks = pool.writebacks();
+  result.metrics = metrics_after.DeltaFrom(metrics_before);
+  if (sampler != nullptr) result.metrics_samples = sampler->samples();
   return result;
 }
 

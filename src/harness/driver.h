@@ -14,8 +14,10 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "core/coordinator_factory.h"
+#include "obs/stats_sampler.h"
 #include "storage/storage_engine.h"
 #include "util/histogram.h"
 #include "util/status.h"
@@ -54,6 +56,11 @@ struct DriverConfig {
 
   /// Sequentially fault in the whole working set before the run.
   bool prewarm = true;
+
+  /// If non-zero, a StatsSampler thread snapshots the default metrics
+  /// registry every N ms for the whole run (warm-up included) and the
+  /// cumulative series lands in DriverResult::metrics_samples.
+  uint64_t metrics_interval_ms = 0;
 };
 
 struct DriverResult {
@@ -79,6 +86,14 @@ struct DriverResult {
   uint64_t evictions = 0;
   uint64_t writebacks = 0;
   Histogram response_histogram;
+
+  /// Delta of every registered metric (buffer/lock/coord/storage) over the
+  /// measurement window — the machine-readable counterpart of the scalar
+  /// fields above.
+  obs::MetricsSnapshot metrics;
+  /// Cumulative sampler series (≥2 entries when metrics_interval_ms > 0:
+  /// one at start, one per tick, one at stop).
+  std::vector<obs::MetricsSnapshot> metrics_samples;
 };
 
 /// Runs the experiment described by `config`. Creates storage, pool,

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "obs/json.h"
+
 namespace bpw {
 
 TableReporter::TableReporter(std::vector<std::string> header)
@@ -61,6 +63,25 @@ std::string TableReporter::ToCsv() const {
   };
   append_row(header_);
   for (const auto& row : rows_) append_row(row);
+  return out;
+}
+
+std::string TableReporter::ToJson() const {
+  std::string out = "[";
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    if (r > 0) out += ',';
+    out += '{';
+    const auto& row = rows_[r];
+    for (size_t c = 0; c < header_.size(); ++c) {
+      if (c > 0) out += ',';
+      out += obs::JsonString(header_[c]);
+      out += ':';
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      out += obs::LooksLikeJsonNumber(cell) ? cell : obs::JsonString(cell);
+    }
+    out += '}';
+  }
+  out += ']';
   return out;
 }
 

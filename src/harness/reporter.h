@@ -26,6 +26,11 @@ class TableReporter {
   /// Renders as CSV (for plotting).
   std::string ToCsv() const;
 
+  /// Renders as a JSON array of row objects keyed by the header; cells that
+  /// are complete numbers are emitted unquoted. Machine-readable companion
+  /// of Print()/ToCsv() for downstream tooling.
+  std::string ToJson() const;
+
  private:
   std::vector<std::string> header_;
   std::vector<std::vector<std::string>> rows_;

@@ -1,0 +1,91 @@
+#include "obs/stats_sampler.h"
+
+#include <chrono>
+
+namespace bpw {
+namespace obs {
+
+StatsSampler::StatsSampler(MetricsRegistry* registry, uint64_t interval_ms)
+    : registry_(registry), interval_ms_(interval_ms == 0 ? 1 : interval_ms) {}
+
+StatsSampler::~StatsSampler() { Stop(); }
+
+void StatsSampler::Start() {
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    if (running_) return;
+    running_ = true;
+    stop_ = false;
+  }
+  SampleNow();
+  thread_ = std::thread(&StatsSampler::Loop, this);
+}
+
+void StatsSampler::Stop() {
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    if (!running_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    running_ = false;
+  }
+  SampleNow();
+}
+
+MetricsSnapshot StatsSampler::SampleNow() {
+  MetricsSnapshot snap = registry_->Snapshot();
+  Append(snap);
+  return snap;
+}
+
+void StatsSampler::Append(MetricsSnapshot snap) {
+  std::lock_guard<std::mutex> guard(mu_);
+  samples_.push_back(std::move(snap));
+}
+
+void StatsSampler::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    const bool stopping = cv_.wait_for(
+        lock, std::chrono::milliseconds(interval_ms_), [&] { return stop_; });
+    if (stopping) break;
+    lock.unlock();
+    // Snapshot without holding mu_: sources may do real work and SampleNow
+    // re-takes mu_ only to append.
+    SampleNow();
+    lock.lock();
+  }
+}
+
+std::vector<MetricsSnapshot> StatsSampler::samples() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return samples_;
+}
+
+std::string StatsSampler::ToJsonLines() const {
+  const std::vector<MetricsSnapshot> series = samples();
+  std::string out;
+  for (const auto& snap : series) {
+    out += snap.ToJson();
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<MetricsSnapshot> StatsSampler::Deltas(
+    const std::vector<MetricsSnapshot>& series) {
+  std::vector<MetricsSnapshot> deltas;
+  if (series.size() < 2) return deltas;
+  deltas.reserve(series.size() - 1);
+  for (size_t i = 1; i < series.size(); ++i) {
+    deltas.push_back(series[i].DeltaFrom(series[i - 1]));
+  }
+  return deltas;
+}
+
+}  // namespace obs
+}  // namespace bpw

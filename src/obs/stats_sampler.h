@@ -1,0 +1,72 @@
+// StatsSampler: a background thread that snapshots a MetricsRegistry on a
+// fixed interval into an in-memory time series, so a run shows contention
+// *over time* instead of one end-of-run aggregate. Dumps as JSON-lines (one
+// snapshot object per line) for plotting.
+//
+// Start() records an initial snapshot and Stop() records a final one, so a
+// started-and-stopped sampler always holds at least two samples regardless
+// of interval vs run length. SampleNow() works without the thread for
+// deterministic tests.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace bpw {
+namespace obs {
+
+class StatsSampler {
+ public:
+  /// @param registry     snapshotted registry (not owned; must outlive this)
+  /// @param interval_ms  sampling period of the background thread
+  StatsSampler(MetricsRegistry* registry, uint64_t interval_ms);
+  ~StatsSampler();
+
+  StatsSampler(const StatsSampler&) = delete;
+  StatsSampler& operator=(const StatsSampler&) = delete;
+
+  /// Takes an initial sample and starts the sampling thread. No-op if
+  /// already running.
+  void Start();
+
+  /// Stops and joins the thread, taking one final sample. Idempotent.
+  void Stop();
+
+  /// Takes one snapshot immediately on the calling thread and appends it.
+  MetricsSnapshot SampleNow();
+
+  /// Copy of the series collected so far (cumulative snapshots).
+  std::vector<MetricsSnapshot> samples() const;
+
+  /// One JSON object per line, cumulative values (see Deltas for rates).
+  std::string ToJsonLines() const;
+
+  /// Pairwise deltas of a cumulative series: result[i] = series[i+1] -
+  /// series[i] (empty for fewer than two samples). Counter deltas divided
+  /// by the snapshot's t_ms gap give rates.
+  static std::vector<MetricsSnapshot> Deltas(
+      const std::vector<MetricsSnapshot>& series);
+
+ private:
+  void Loop();
+  void Append(MetricsSnapshot snap);
+
+  MetricsRegistry* registry_;
+  const uint64_t interval_ms_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool running_ = false;
+  std::thread thread_;
+  std::vector<MetricsSnapshot> samples_;
+};
+
+}  // namespace obs
+}  // namespace bpw

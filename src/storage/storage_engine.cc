@@ -30,6 +30,14 @@ StorageEngine::StorageEngine(uint64_t num_pages, size_t page_size,
       std::memcpy(&data_[p * page_size_], tmp.data(), 16);
     }
   }
+  metrics_source_ = obs::ScopedMetricSource(
+      &obs::MetricsRegistry::Default(), [this](obs::MetricsSnapshot& snap) {
+        const StorageStats s = stats();
+        snap.Add("storage.reads", static_cast<double>(s.reads));
+        snap.Add("storage.writes", static_cast<double>(s.writes));
+        snap.Add("storage.read_nanos", static_cast<double>(s.read_nanos));
+        snap.Add("storage.write_nanos", static_cast<double>(s.write_nanos));
+      });
 }
 
 void StorageEngine::ApplyLatency(uint64_t base_nanos,

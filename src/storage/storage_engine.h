@@ -14,6 +14,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "sync/spinlock.h"
 #include "util/cacheline.h"
 #include "util/random.h"
@@ -121,6 +122,9 @@ class StorageEngine {
   // thread-safe. Only used when model_.exponential is set.
   SpinLock rng_lock_;
   Random rng_{0xB5D4C1E5u};
+
+  // Declared last so it unregisters before anything it reads is destroyed.
+  obs::ScopedMetricSource metrics_source_;
 };
 
 }  // namespace bpw

@@ -1,5 +1,6 @@
 #include "sync/contention_lock.h"
 
+#include "obs/trace_recorder.h"
 #include "util/clock.h"
 
 namespace bpw {
@@ -9,23 +10,32 @@ void ContentionLock::Lock() {
     mu_.lock();
     return;
   }
+  // Tracing needs the acquisition timestamp even in kCounts mode; 0 marks
+  // "not timed" so Unlock never emits a span with a stale start.
+  const bool timed =
+      instr_ == LockInstrumentation::kTiming || obs::TraceEnabled();
   if (mu_.try_lock()) {
     acquisitions_.fetch_add(1, std::memory_order_relaxed);
-    if (instr_ == LockInstrumentation::kTiming) {
-      lock_acquired_nanos_ = NowNanos();
-    }
+    lock_acquired_nanos_ = timed ? NowNanos() : 0;
     return;
   }
   // Immediate acquisition failed: this is the paper's contention event.
   contentions_.fetch_add(1, std::memory_order_relaxed);
-  if (instr_ == LockInstrumentation::kTiming) {
+  if (timed) {
     const uint64_t wait_start = NowNanos();
     mu_.lock();
     const uint64_t acquired = NowNanos();
-    wait_nanos_.fetch_add(acquired - wait_start, std::memory_order_relaxed);
+    if (instr_ == LockInstrumentation::kTiming) {
+      wait_nanos_.fetch_add(acquired - wait_start, std::memory_order_relaxed);
+    }
+    if (obs::TraceEnabled()) {
+      obs::TraceEmit(obs::TraceEventKind::kLockWait, wait_start,
+                     acquired - wait_start);
+    }
     lock_acquired_nanos_ = acquired;
   } else {
     mu_.lock();
+    lock_acquired_nanos_ = 0;
   }
   acquisitions_.fetch_add(1, std::memory_order_relaxed);
 }
@@ -34,9 +44,9 @@ bool ContentionLock::TryLock() {
   if (mu_.try_lock()) {
     if (instr_ != LockInstrumentation::kNone) {
       acquisitions_.fetch_add(1, std::memory_order_relaxed);
-      if (instr_ == LockInstrumentation::kTiming) {
-        lock_acquired_nanos_ = NowNanos();
-      }
+      const bool timed =
+          instr_ == LockInstrumentation::kTiming || obs::TraceEnabled();
+      lock_acquired_nanos_ = timed ? NowNanos() : 0;
     }
     return true;
   }
@@ -47,9 +57,16 @@ bool ContentionLock::TryLock() {
 }
 
 void ContentionLock::Unlock() {
-  if (instr_ == LockInstrumentation::kTiming) {
-    hold_nanos_.fetch_add(NowNanos() - lock_acquired_nanos_,
-                          std::memory_order_relaxed);
+  if (instr_ != LockInstrumentation::kNone && lock_acquired_nanos_ != 0) {
+    const uint64_t start = lock_acquired_nanos_;
+    const uint64_t now = NowNanos();
+    if (instr_ == LockInstrumentation::kTiming) {
+      hold_nanos_.fetch_add(now - start, std::memory_order_relaxed);
+    }
+    if (obs::TraceEnabled()) {
+      obs::TraceEmit(obs::TraceEventKind::kLockHold, start, now - start);
+    }
+    lock_acquired_nanos_ = 0;
   }
   mu_.unlock();
 }
@@ -65,6 +82,10 @@ LockStats ContentionLock::stats() const {
 }
 
 void ContentionLock::ResetStats() {
+  // Atomic stores, not a memset: concurrent Lock()/Unlock() traffic keeps
+  // incrementing these words while we zero them, and a plain write would be
+  // a data race (and could be torn). With relaxed stores every counter
+  // lands at 0 and later increments accumulate on top.
   acquisitions_.store(0, std::memory_order_relaxed);
   contentions_.store(0, std::memory_order_relaxed);
   trylock_failures_.store(0, std::memory_order_relaxed);

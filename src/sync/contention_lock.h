@@ -16,6 +16,11 @@
 //
 // Timing instrumentation can be disabled (kCounts mode) so that throughput
 // experiments do not pay two clock reads per critical section.
+//
+// When the global trace recorder is enabled (obs/trace_recorder.h), any
+// instrumented lock additionally emits lock-wait and lock-hold spans so a
+// Chrome trace shows exactly when each critical section ran — kCounts mode
+// then pays the clock reads only while tracing is on.
 #pragma once
 
 #include <atomic>
@@ -79,8 +84,12 @@ class ContentionLock {
   /// Returns a consistent snapshot of the counters.
   LockStats stats() const;
 
-  /// Zeroes all counters (not thread-safe against concurrent lock traffic;
-  /// call between experiment phases).
+  /// Zeroes all counters. Safe against concurrent lock traffic: each
+  /// counter is reset with an atomic store, so an in-flight increment either
+  /// lands in the new epoch or is overwritten whole — never torn. A
+  /// snapshot taken while traffic runs is therefore a consistent "since
+  /// last reset" view, which is what lets the stats sampler reset/snapshot
+  /// mid-run.
   void ResetStats();
 
   LockInstrumentation instrumentation() const { return instr_; }

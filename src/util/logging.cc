@@ -4,6 +4,9 @@
 #include <cstdio>
 #include <mutex>
 
+#include "util/clock.h"
+#include "util/thread_id.h"
+
 namespace bpw {
 
 namespace {
@@ -34,8 +37,13 @@ LogLevel GetLogLevel() {
 }
 
 void LogMessage(LogLevel level, const std::string& msg) {
+  // The timestamp is the same monotonic clock trace events carry (seconds
+  // vs the trace's microseconds), so a log line can be lined up with the
+  // spans around it in a trace viewer; the thread id matches the trace tid.
+  const double mono_seconds = static_cast<double>(NowNanos()) / 1e9;
   std::lock_guard<std::mutex> guard(g_log_mutex);
-  std::fprintf(stderr, "[%s] %s\n", LevelTag(level), msg.c_str());
+  std::fprintf(stderr, "[%s %.6f t%02u] %s\n", LevelTag(level), mono_seconds,
+               CurrentThreadId(), msg.c_str());
 }
 
 }  // namespace bpw

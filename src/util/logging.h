@@ -13,7 +13,10 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
-/// Emits one log line to stderr with a level tag. Thread-safe.
+/// Emits one log line to stderr as "[LEVEL <monotonic seconds> t<tid>] msg".
+/// The timestamp and thread id use the same monotonic clock / dense ids as
+/// trace events (obs/trace_recorder.h), so log lines correlate with spans.
+/// Thread-safe.
 void LogMessage(LogLevel level, const std::string& msg);
 
 namespace internal {

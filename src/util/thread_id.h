@@ -1,0 +1,23 @@
+// Small dense thread ids. std::this_thread::get_id() values are opaque and
+// sparse; observability wants compact ids that can index sharded counter
+// cells, tag trace events, and prefix log lines identically.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace bpw {
+
+namespace internal {
+inline std::atomic<uint32_t> g_next_thread_id{1};
+}  // namespace internal
+
+/// Returns a small id unique to the calling thread, assigned on first use
+/// (main thread is usually 1). Ids are never reused within a process.
+inline uint32_t CurrentThreadId() {
+  thread_local uint32_t id =
+      internal::g_next_thread_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+}  // namespace bpw

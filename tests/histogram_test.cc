@@ -75,6 +75,23 @@ TEST(HistogramTest, MergeCombinesCounts) {
   EXPECT_NEAR(a.Mean(), 5050.0, 1.0);
 }
 
+TEST(HistogramTest, MergeIntoEmptyAdoptsOtherStats) {
+  // The empty target's min sentinel must not leak into the result: after
+  // merging into a never-recorded histogram, min/max/mean are the source's.
+  Histogram a, b;
+  b.Record(100);
+  b.Record(300);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 100u);
+  EXPECT_EQ(a.max(), 300u);
+  EXPECT_DOUBLE_EQ(a.Mean(), 200.0);
+  for (double p : {0.0, 50.0, 100.0}) {
+    EXPECT_GE(a.Percentile(p), 100.0);
+    EXPECT_LE(a.Percentile(p), 300.0);
+  }
+}
+
 TEST(HistogramTest, MergeEmptyIsNoop) {
   Histogram a, b;
   a.Record(42);

@@ -1,0 +1,49 @@
+// Tests for TableReporter's machine-readable outputs (CSV and JSON).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "harness/reporter.h"
+
+namespace bpw {
+namespace {
+
+TEST(TableReporterTest, CsvRoundsTripRows) {
+  TableReporter table({"system", "tps"});
+  table.AddRow({"pgBatPre", "1234"});
+  table.AddNumericRow("pg2Q", {567.891}, 1);
+  EXPECT_EQ(table.ToCsv(), "system,tps\npgBatPre,1234\npg2Q,567.9\n");
+}
+
+TEST(TableReporterTest, JsonKeysRowsByHeader) {
+  TableReporter table({"system", "tps", "note"});
+  table.AddRow({"pgBatPre", "1234", "warm"});
+  table.AddRow({"pg2Q", "567.9", "a \"quoted\" note"});
+  EXPECT_EQ(table.ToJson(),
+            "[{\"system\":\"pgBatPre\",\"tps\":1234,\"note\":\"warm\"},"
+            "{\"system\":\"pg2Q\",\"tps\":567.9,"
+            "\"note\":\"a \\\"quoted\\\" note\"}]");
+}
+
+TEST(TableReporterTest, JsonQuotesNonNumericCells) {
+  // "1234abc" is not a complete number token and must stay a string; a
+  // short row pads missing cells with empty strings.
+  TableReporter table({"a", "b"});
+  table.AddRow({"1234abc"});
+  EXPECT_EQ(table.ToJson(), "[{\"a\":\"1234abc\",\"b\":\"\"}]");
+}
+
+TEST(TableReporterTest, EmptyTableIsEmptyJsonArray) {
+  TableReporter table({"a"});
+  EXPECT_EQ(table.ToJson(), "[]");
+}
+
+TEST(TableReporterTest, NumericRowFormatsWithPrecision) {
+  TableReporter table({"label", "v1", "v2"});
+  table.AddNumericRow("row", {1.0, 2.345}, 2);
+  EXPECT_EQ(table.ToJson(), "[{\"label\":\"row\",\"v1\":1.00,\"v2\":2.35}]");
+}
+
+}  // namespace
+}  // namespace bpw

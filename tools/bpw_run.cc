@@ -16,6 +16,8 @@
 #include <string>
 
 #include "harness/driver.h"
+#include "obs/json.h"
+#include "obs/trace_recorder.h"
 #include "policy/policy_factory.h"
 #include "harness/systems.h"
 #include "sim/sim_driver.h"
@@ -42,6 +44,9 @@ struct Args {
   uint64_t think = 64;
   uint64_t seed = 42;
   bool no_prewarm = false;
+  bool json = false;
+  std::string trace_out;
+  uint64_t metrics_interval_ms = 0;
 };
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
@@ -81,10 +86,89 @@ void Usage() {
       "  --warmup-ms=N        warm-up window (default 100)\n"
       "  --seed=N             workload seed (default 42)\n"
       "  --no-prewarm         skip the sequential pre-warm\n"
-      "  --simulate           run on the multiprocessor simulator\n");
+      "  --simulate           run on the multiprocessor simulator\n"
+      "  --json               print the result as one JSON document\n"
+      "  --trace-out=FILE     record lock/commit/eviction events and write\n"
+      "                       a Chrome trace (chrome://tracing, Perfetto)\n"
+      "  --metrics-interval-ms=N  sample all metrics every N ms; the series\n"
+      "                       is included in the --json output\n");
   std::printf("\npolicies: ");
   for (const auto& name : KnownPolicies()) std::printf("%s ", name.c_str());
   std::printf("\n");
+}
+
+/// The --json document: config echo, every scalar the run measured, the
+/// metrics-registry delta over the measurement window, and the sampler
+/// series (when --metrics-interval-ms was given).
+std::string ResultJson(const Args& args, const DriverConfig& config,
+                       const DriverResult& r) {
+  using obs::JsonNumber;
+  using obs::JsonString;
+  std::string out = "{";
+
+  out += "\"config\":{";
+  out += "\"mode\":" + JsonString(args.simulate ? "simulated" : "host");
+  if (!args.system.empty()) out += ",\"system\":" + JsonString(args.system);
+  out += ",\"policy\":" + JsonString(config.system.policy);
+  out += ",\"coordinator\":" + JsonString(config.system.coordinator);
+  out += ",\"prefetch\":" + std::string(config.system.prefetch ? "true"
+                                                               : "false");
+  out += ",\"workload\":" + JsonString(config.workload.name);
+  out += ",\"pages\":" + JsonNumber(static_cast<double>(args.pages));
+  out += ",\"threads\":" + JsonNumber(args.threads);
+  out += ",\"frames\":" + JsonNumber(static_cast<double>(config.num_frames));
+  out += ",\"queue\":" + JsonNumber(static_cast<double>(
+                             config.system.queue_size));
+  out += ",\"threshold\":" + JsonNumber(static_cast<double>(
+                                 config.system.batch_threshold));
+  out += ",\"seed\":" + JsonNumber(static_cast<double>(args.seed));
+  out += "},";
+
+  out += "\"result\":{";
+  out += "\"measure_seconds\":" + JsonNumber(r.measure_seconds);
+  out += ",\"transactions\":" + JsonNumber(static_cast<double>(r.transactions));
+  out += ",\"throughput_tps\":" + JsonNumber(r.throughput_tps);
+  out += ",\"accesses\":" + JsonNumber(static_cast<double>(r.accesses));
+  out += ",\"accesses_per_sec\":" + JsonNumber(r.accesses_per_sec);
+  out += ",\"hits\":" + JsonNumber(static_cast<double>(r.hits));
+  out += ",\"misses\":" + JsonNumber(static_cast<double>(r.misses));
+  out += ",\"hit_ratio\":" + JsonNumber(r.hit_ratio);
+  out += ",\"avg_response_us\":" + JsonNumber(r.avg_response_us);
+  out += ",\"p95_response_us\":" + JsonNumber(r.p95_response_us);
+  out += ",\"evictions\":" + JsonNumber(static_cast<double>(r.evictions));
+  out += ",\"writebacks\":" + JsonNumber(static_cast<double>(r.writebacks));
+  out += ",\"contentions_per_million\":" + JsonNumber(r.contentions_per_million);
+  out += ",\"lock_nanos_per_access\":" + JsonNumber(r.lock_nanos_per_access);
+  out += ",\"lock\":{";
+  out += "\"acquisitions\":" + JsonNumber(static_cast<double>(
+                                   r.lock.acquisitions));
+  out += ",\"contentions\":" + JsonNumber(static_cast<double>(
+                                   r.lock.contentions));
+  out += ",\"trylock_failures\":" + JsonNumber(static_cast<double>(
+                                        r.lock.trylock_failures));
+  out += ",\"hold_nanos\":" + JsonNumber(static_cast<double>(
+                                  r.lock.hold_nanos));
+  out += ",\"wait_nanos\":" + JsonNumber(static_cast<double>(
+                                  r.lock.wait_nanos));
+  out += "}},";
+
+  // Registry delta over the measurement window (lock/commit/buffer/storage).
+  out += "\"metrics\":{";
+  bool first = true;
+  for (const auto& [name, value] : r.metrics.values) {
+    if (!first) out += ',';
+    first = false;
+    out += JsonString(name) + ":" + JsonNumber(value);
+  }
+  out += "},";
+
+  out += "\"samples\":[";
+  for (size_t i = 0; i < r.metrics_samples.size(); ++i) {
+    if (i > 0) out += ',';
+    out += r.metrics_samples[i].ToJson();
+  }
+  out += "]}";
+  return out;
 }
 
 }  // namespace
@@ -105,7 +189,9 @@ int main(int argc, char** argv) {
         ParseFlag(arg, "--warmup-ms", &args.warmup_ms) ||
         ParseFlag(arg, "--io-us", &args.io_us) ||
         ParseFlag(arg, "--think", &args.think) ||
-        ParseFlag(arg, "--seed", &args.seed)) {
+        ParseFlag(arg, "--seed", &args.seed) ||
+        ParseFlag(arg, "--metrics-interval-ms", &args.metrics_interval_ms) ||
+        ParseFlag(arg, "--trace-out", &args.trace_out)) {
       continue;
     }
     if (ParseFlag(arg, "--threads", &u64)) {
@@ -134,6 +220,10 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(arg, "--no-prewarm") == 0) {
       args.no_prewarm = true;
+      continue;
+    }
+    if (std::strcmp(arg, "--json") == 0) {
+      args.json = true;
       continue;
     }
     if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
@@ -168,6 +258,11 @@ int main(int argc, char** argv) {
   }
   config.system.queue_size = args.queue;
   config.system.batch_threshold = args.threshold;
+  config.metrics_interval_ms = args.metrics_interval_ms;
+
+  if (!args.trace_out.empty()) {
+    obs::TraceRecorder::Default().SetEnabled(true);
+  }
 
   StatusOr<DriverResult> result = Status::Internal("not run");
   if (args.simulate) {
@@ -188,6 +283,26 @@ int main(int argc, char** argv) {
   }
 
   const DriverResult& r = result.value();
+
+  if (!args.trace_out.empty()) {
+    obs::TraceRecorder& recorder = obs::TraceRecorder::Default();
+    recorder.SetEnabled(false);
+    if (!recorder.WriteChromeTrace(args.trace_out)) {
+      std::fprintf(stderr, "failed to write trace to %s\n",
+                   args.trace_out.c_str());
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "trace: %llu events -> %s (open in chrome://tracing)\n",
+                 static_cast<unsigned long long>(recorder.total_events()),
+                 args.trace_out.c_str());
+  }
+
+  if (args.json) {
+    std::printf("%s\n", ResultJson(args, config, r).c_str());
+    return 0;
+  }
+
   std::printf("mode:            %s\n", args.simulate ? "simulated" : "host");
   std::printf("system:          %s / %s%s\n", config.system.policy.c_str(),
               config.system.coordinator.c_str(),
