@@ -3,6 +3,7 @@
 #include <thread>
 
 #include "obs/trace_recorder.h"
+#include "testing/schedule_point.h"
 #include "util/clock.h"
 #include "util/logging.h"
 
@@ -85,6 +86,9 @@ std::unique_ptr<BufferPool::Session> BufferPool::CreateSession() {
 }
 
 bool BufferPool::TryPin(FrameId frame, PageId page) {
+  // Window between the table lookup and the latch: the frame can be evicted
+  // and re-used for another page in here.
+  BPW_SCHEDULE_POINT("pool.try_pin");
   FrameMeta& meta = frames_[frame];
   meta.latch.lock();
   const bool ok = FrameTag(frame) == page &&
@@ -97,6 +101,7 @@ bool BufferPool::TryPin(FrameId frame, PageId page) {
 }
 
 void BufferPool::Unpin(FrameId frame, bool mark_dirty) {
+  BPW_SCHEDULE_POINT("pool.unpin");
   FrameMeta& meta = frames_[frame];
   if (mark_dirty) {
     meta.dirty.store(true, std::memory_order_release);
@@ -145,6 +150,7 @@ StatusOr<FrameId> BufferPool::AcquireFrame(Session& session,
     }
     free_lock_.unlock();
 
+    BPW_SCHEDULE_POINT("pool.evict_select");
     auto victim_or = coordinator_->ChooseVictim(session.slot_.get(),
                                                 evictable, incoming);
     if (!victim_or.ok()) {
@@ -157,11 +163,15 @@ StatusOr<FrameId> BufferPool::AcquireFrame(Session& session,
     const Coordinator::Victim victim = victim_or.value();
     FrameMeta& meta = frames_[victim.frame];
 
+    // The classic race window: between the policy detaching the victim and
+    // us latching its frame, another thread can pin it.
+    BPW_SCHEDULE_POINT("pool.evict_latch");
     meta.latch.lock();
     const bool still_ours =
-        FrameTag(victim.frame) == victim.page &&
-        meta.pin_count.load(std::memory_order_acquire) == 0 &&
-        !meta.io_busy.load(std::memory_order_relaxed);
+        config_.test_skip_victim_revalidation ||
+        (FrameTag(victim.frame) == victim.page &&
+         meta.pin_count.load(std::memory_order_acquire) == 0 &&
+         !meta.io_busy.load(std::memory_order_relaxed));
     if (!still_ours) {
       meta.latch.unlock();
       eviction_races_.fetch_add(1, std::memory_order_relaxed);
@@ -176,6 +186,9 @@ StatusOr<FrameId> BufferPool::AcquireFrame(Session& session,
         return Status::ResourceExhausted(
             "buffer pool: eviction kept racing with pinners");
       }
+      // Let the racing pinner (or an aborting drop) release the frame
+      // before burning another attempt.
+      std::this_thread::yield();
       continue;
     }
     // Block new pins while we drain the frame.
@@ -188,16 +201,24 @@ StatusOr<FrameId> BufferPool::AcquireFrame(Session& session,
       // The mapping stays in the table during write-back: concurrent
       // fetches of the victim keep failing TryPin (io_busy) instead of
       // re-reading a stale version from storage mid-write.
+      BPW_SCHEDULE_POINT("pool.evict_writeback");
       Status status = storage_->WritePage(victim.page, FrameData(victim.frame));
       if (!status.ok()) {
-        BPW_LOG_ERROR << "write-back of page " << victim.page
-                      << " failed: " << status.ToString();
-        // Keep going: the frame is reused, the write is reported lost.
+        // Keep going: the frame is reused. The write is reported lost via
+        // the counter (and one log line, not one per failure — fault
+        // injection makes failures routine).
+        writeback_failures_.fetch_add(1, std::memory_order_relaxed);
+        if (!writeback_failure_logged_.exchange(true)) {
+          BPW_LOG_ERROR << "write-back of page " << victim.page
+                        << " failed: " << status.ToString()
+                        << " (further failures counted, not logged)";
+        }
       }
       writebacks_.fetch_add(1, std::memory_order_relaxed);
       BPW_METRIC_ADD(metric_writebacks_, 1);
     }
 
+    BPW_SCHEDULE_POINT("pool.evict_publish");
     table_.Erase(victim.page, victim.frame);
     meta.latch.lock();
     frame_tags_[victim.frame].store(kInvalidPageId, std::memory_order_release);
@@ -217,7 +238,18 @@ StatusOr<PageHandle> BufferPool::FetchPage(Session& session, PageId page) {
   if (page >= storage_->num_pages()) {
     return Status::InvalidArgument("page id beyond storage");
   }
+  // Liveness bound: a mapped frame normally becomes pinnable as soon as its
+  // evictor/loader finishes (micro- to milliseconds, so a handful of
+  // yields). Orders of magnitude past that means the mapping is wedged —
+  // the kind of state fault-injection and mutation testing deliberately
+  // produce — and an error beats an unkillable spin loop.
+  constexpr int kStuckSpinLimit = 1'000'000;
   for (int spin = 0;; ++spin) {
+    if (spin > kStuckSpinLimit) {
+      return Status::Internal("page " + std::to_string(page) +
+                              " stuck: mapping never became pinnable");
+    }
+    BPW_SCHEDULE_POINT("pool.fetch_lookup");
     const FrameId frame = table_.Lookup(page);
     if (frame != kInvalidFrameId) {
       if (TryPin(frame, page)) {
@@ -248,6 +280,7 @@ StatusOr<PageHandle> BufferPool::FetchPage(Session& session, PageId page) {
     }
     const FrameId new_frame = frame_or.value();
 
+    BPW_SCHEDULE_POINT("pool.miss_read");
     Status status = storage_->ReadPage(page, FrameData(new_frame));
     if (!status.ok()) {
       free_lock_.lock();
@@ -258,6 +291,7 @@ StatusOr<PageHandle> BufferPool::FetchPage(Session& session, PageId page) {
     }
 
     // Publish: tag + pin first, then the table mapping, then the policy.
+    BPW_SCHEDULE_POINT("pool.fetch_publish");
     FrameMeta& meta = frames_[new_frame];
     meta.latch.lock();
     meta.pin_count.store(1, std::memory_order_relaxed);
@@ -279,6 +313,7 @@ StatusOr<PageHandle> BufferPool::FetchPage(Session& session, PageId page) {
 }
 
 Status BufferPool::DropPage(Session& session, PageId page) {
+  BPW_SCHEDULE_POINT("pool.drop");
   const FrameId frame = table_.Lookup(page);
   if (frame == kInvalidFrameId) {
     return Status::NotFound("page not buffered");
@@ -300,8 +335,23 @@ Status BufferPool::DropPage(Session& session, PageId page) {
   meta.io_busy.store(true, std::memory_order_relaxed);
   meta.latch.unlock();
 
+  // The policy erase is the commit point, and it must come first: OnErase is
+  // a test-and-erase, and a `false` answer means an evictor already detached
+  // this page via ChooseVictim and is on its way to the frame. Dropping the
+  // mapping anyway would let the page be reloaded while that evictor still
+  // holds a stale (page, frame) claim — it would then evict the fresh copy
+  // behind the policy's back or re-register a duplicate (ABA). Back off and
+  // let the eviction win; the caller sees the same "try again" status as for
+  // a pinned page.
+  BPW_SCHEDULE_POINT("pool.drop_erase");
+  if (!coordinator_->OnErase(session.slot_.get(), page, frame)) {
+    meta.latch.lock();
+    meta.io_busy.store(false, std::memory_order_relaxed);
+    meta.latch.unlock();
+    return Status::FailedPrecondition("page is being evicted");
+  }
+
   table_.Erase(page, frame);
-  coordinator_->OnErase(session.slot_.get(), page, frame);
 
   meta.latch.lock();
   frame_tags_[frame].store(kInvalidPageId, std::memory_order_release);
@@ -316,6 +366,10 @@ Status BufferPool::DropPage(Session& session, PageId page) {
 }
 
 Status BufferPool::FlushAll() {
+  // Error audit: a failed write must leave the page dirty (so a retry can
+  // still flush it) and must not stop the sweep — every flushable page gets
+  // its chance, and the first error is reported to the caller.
+  Status first_error;
   for (FrameId frame = 0; frame < frames_.size(); ++frame) {
     FrameMeta& meta = frames_[frame];
     meta.latch.lock();
@@ -334,11 +388,15 @@ Status BufferPool::FlushAll() {
     writebacks_.fetch_add(1, std::memory_order_relaxed);
 
     meta.latch.lock();
+    if (!status.ok()) {
+      // Restore dirtiness: the storage write did not happen.
+      meta.dirty.store(true, std::memory_order_relaxed);
+    }
     meta.io_busy.store(false, std::memory_order_relaxed);
     meta.latch.unlock();
-    if (!status.ok()) return status;
+    if (!status.ok() && first_error.ok()) first_error = status;
   }
-  return Status::OK();
+  return first_error;
 }
 
 void BufferPool::FlushSession(Session& session) {
@@ -358,6 +416,13 @@ Status BufferPool::CheckIntegrity() {
   // Quiesced-only check: no concurrent traffic allowed.
   size_t mapped = 0;
   for (FrameId frame = 0; frame < frames_.size(); ++frame) {
+    const FrameMeta& meta = frames_[frame];
+    if (meta.pin_count.load(std::memory_order_acquire) != 0) {
+      return Status::Corruption("quiesced frame still pinned");
+    }
+    if (meta.io_busy.load(std::memory_order_relaxed)) {
+      return Status::Corruption("quiesced frame still marked io-busy");
+    }
     const PageId page = FrameTag(frame);
     if (page == kInvalidPageId) continue;
     ++mapped;
@@ -368,13 +433,23 @@ Status BufferPool::CheckIntegrity() {
   if (mapped != table_.size()) {
     return Status::Corruption("page table size disagrees with frame tags");
   }
-  size_t free_count;
+  std::vector<FrameId> free_frames;
   {
     free_lock_.lock();
-    free_count = free_frames_.size();
+    free_frames = free_frames_;
     free_lock_.unlock();
   }
-  if (mapped + free_count != config_.num_frames) {
+  std::unordered_set<FrameId> free_set(free_frames.begin(),
+                                       free_frames.end());
+  if (free_set.size() != free_frames.size()) {
+    return Status::Corruption("duplicate frame on the free list");
+  }
+  for (const FrameId frame : free_frames) {
+    if (frame >= frames_.size() || FrameTag(frame) != kInvalidPageId) {
+      return Status::Corruption("free-list frame still carries a page tag");
+    }
+  }
+  if (mapped + free_frames.size() != config_.num_frames) {
     return Status::Corruption("mapped + free != total frames");
   }
   if (coordinator_->policy().resident_count() != mapped) {

@@ -90,6 +90,12 @@ struct BufferPoolConfig {
   /// Maximum ChooseVictim retries when races invalidate the chosen victim
   /// before giving the scheduler a chance to run.
   int eviction_retries = 64;
+  /// MUTATION KNOB — tests only. Skips the eviction-time re-validation that
+  /// a chosen victim is still unpinned and still holds the selected page.
+  /// This deliberately re-introduces the race the re-validation exists to
+  /// close, so the stress harness's mutation self-test can prove it detects
+  /// the resulting corruption (tests/stress/mutation_test.cc).
+  bool test_skip_victim_revalidation = false;
 };
 
 class BufferPool {
@@ -157,6 +163,12 @@ class BufferPool {
   uint64_t eviction_races() const {
     return eviction_races_.load(std::memory_order_relaxed);
   }
+  /// Write-backs whose storage write failed (the page's last version is
+  /// reported lost; with fault injection every lost update must be covered
+  /// by this counter plus the injector's torn-write count).
+  uint64_t writeback_failures() const {
+    return writeback_failures_.load(std::memory_order_relaxed);
+  }
 
   /// Structural integrity check for tests: table/tag/policy agreement.
   Status CheckIntegrity();
@@ -212,6 +224,8 @@ class BufferPool {
   std::atomic<uint64_t> evictions_{0};
   std::atomic<uint64_t> writebacks_{0};
   std::atomic<uint64_t> eviction_races_{0};
+  std::atomic<uint64_t> writeback_failures_{0};
+  std::atomic<bool> writeback_failure_logged_{false};
 
   // Registry counters (sharded; owned by the registry). Hits and misses are
   // only tallied per-session otherwise, so these give the sampler a pool-

@@ -4,6 +4,7 @@
 
 #include "obs/trace_recorder.h"
 #include "sync/prefetch.h"
+#include "testing/schedule_point.h"
 #include "util/clock.h"
 #include "util/logging.h"
 
@@ -79,7 +80,8 @@ void BpWrapperCoordinator::CommitLocked(AccessQueue& queue) {
     const AccessQueue::Entry& entry = queue[i];
     // §IV-B: skip entries whose buffer page was invalidated or replaced
     // between recording and committing.
-    if (!TagStillValid(entry.page, entry.frame)) {
+    if (!options_.test_skip_commit_revalidation &&
+        !TagStillValid(entry.page, entry.frame)) {
       ++stale;
       continue;
     }
@@ -109,6 +111,7 @@ void BpWrapperCoordinator::OnHit(ThreadSlot* base_slot, PageId page,
   if (queue.size() < options_.batch_threshold) return;
 
   // Enough accesses accumulated: try to commit without blocking.
+  BPW_SCHEDULE_POINT("bpw.before_trylock");
   if (options_.prefetch) PrefetchForCommit(queue);
   if (lock_.TryLock()) {
     CommitLocked(queue);
@@ -120,6 +123,7 @@ void BpWrapperCoordinator::OnHit(ThreadSlot* base_slot, PageId page,
     return;
   }
   // Queue completely full: we must block (Fig. 4 line 13).
+  BPW_SCHEDULE_POINT("bpw.lock_fallback");
   lock_fallbacks_.fetch_add(1, std::memory_order_relaxed);
   if (obs::TraceEnabled()) {
     obs::TraceEmit(obs::TraceEventKind::kLockFallback, NowNanos(), 0);
@@ -132,11 +136,12 @@ void BpWrapperCoordinator::OnHit(ThreadSlot* base_slot, PageId page,
 StatusOr<Coordinator::Victim> BpWrapperCoordinator::ChooseVictim(
     ThreadSlot* base_slot, const EvictableFn& evictable, PageId incoming) {
   auto* slot = static_cast<Slot*>(base_slot);
+  BPW_SCHEDULE_POINT("bpw.choose_victim");
   if (options_.prefetch) PrefetchForCommit(slot->queue);
   lock_.Lock();
   // A miss commits the pending accesses first so the policy decides with
   // the freshest history (Fig. 4, replacement_for_page_miss).
-  CommitLocked(slot->queue);
+  if (!options_.test_skip_commit_before_victim) CommitLocked(slot->queue);
   auto victim = policy_->ChooseVictim(evictable, incoming);
   lock_.Unlock();
   return victim;
@@ -151,13 +156,15 @@ void BpWrapperCoordinator::CompleteMiss(ThreadSlot* base_slot, PageId page,
   lock_.Unlock();
 }
 
-void BpWrapperCoordinator::OnErase(ThreadSlot* base_slot, PageId page,
+bool BpWrapperCoordinator::OnErase(ThreadSlot* base_slot, PageId page,
                                    FrameId frame) {
   auto* slot = static_cast<Slot*>(base_slot);
   lock_.Lock();
   CommitLocked(slot->queue);
-  policy_->OnErase(page, frame);
+  const bool resident = policy_->IsResident(page);
+  if (resident) policy_->OnErase(page, frame);
   lock_.Unlock();
+  return resident;
 }
 
 void BpWrapperCoordinator::FlushSlot(ThreadSlot* base_slot) {

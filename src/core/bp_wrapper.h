@@ -40,6 +40,16 @@ class BpWrapperCoordinator : public Coordinator {
     /// Enable the §III-B prefetching technique (pgBatPre vs pgBat).
     bool prefetch = false;
     LockInstrumentation instrumentation = LockInstrumentation::kCounts;
+    /// MUTATION KNOB — tests only. Skips the §IV-B commit-time tag
+    /// re-validation, feeding stale (page, frame) pairs straight to the
+    /// policy. The policies' own staleness tolerance is the second line of
+    /// defence; the mutation tests document that both layers exist.
+    bool test_skip_commit_revalidation = false;
+    /// MUTATION KNOB — tests only. Skips the "commit queued accesses before
+    /// selecting a victim" ordering rule (Fig. 4), making the policy decide
+    /// on stale history. Breaks the single-thread equivalence property that
+    /// tests/stress/mutation_test.cc asserts the net catches.
+    bool test_skip_commit_before_victim = false;
   };
 
   BpWrapperCoordinator(std::unique_ptr<ReplacementPolicy> policy,
@@ -53,7 +63,7 @@ class BpWrapperCoordinator : public Coordinator {
   StatusOr<Victim> ChooseVictim(ThreadSlot* slot, const EvictableFn& evictable,
                                 PageId incoming) override;
   void CompleteMiss(ThreadSlot* slot, PageId page, FrameId frame) override;
-  void OnErase(ThreadSlot* slot, PageId page, FrameId frame) override;
+  bool OnErase(ThreadSlot* slot, PageId page, FrameId frame) override;
   void FlushSlot(ThreadSlot* slot) override;
   LockStats lock_stats() const override { return lock_.stats(); }
   void ResetLockStats() override { lock_.ResetStats(); }

@@ -1,5 +1,7 @@
 #include "core/clock_coordinator.h"
 
+#include "testing/schedule_point.h"
+
 namespace bpw {
 
 namespace {
@@ -38,6 +40,7 @@ std::unique_ptr<Coordinator::ThreadSlot> ClockCoordinator::RegisterThread() {
 void ClockCoordinator::OnHit(ThreadSlot* /*slot*/, PageId page,
                              FrameId frame) {
   // The whole point: no lock, just an atomic reference-bit update.
+  BPW_SCHEDULE_POINT("clock.on_hit");
   hit_fn_(policy_.get(), page, frame);
 }
 
@@ -56,11 +59,13 @@ void ClockCoordinator::CompleteMiss(ThreadSlot* /*slot*/, PageId page,
   lock_.Unlock();
 }
 
-void ClockCoordinator::OnErase(ThreadSlot* /*slot*/, PageId page,
+bool ClockCoordinator::OnErase(ThreadSlot* /*slot*/, PageId page,
                                FrameId frame) {
   lock_.Lock();
-  policy_->OnErase(page, frame);
+  const bool resident = policy_->IsResident(page);
+  if (resident) policy_->OnErase(page, frame);
   lock_.Unlock();
+  return resident;
 }
 
 void ClockCoordinator::FlushSlot(ThreadSlot* /*slot*/) {}

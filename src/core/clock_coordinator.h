@@ -34,7 +34,7 @@ class ClockCoordinator : public Coordinator {
   StatusOr<Victim> ChooseVictim(ThreadSlot* slot, const EvictableFn& evictable,
                                 PageId incoming) override;
   void CompleteMiss(ThreadSlot* slot, PageId page, FrameId frame) override;
-  void OnErase(ThreadSlot* slot, PageId page, FrameId frame) override;
+  bool OnErase(ThreadSlot* slot, PageId page, FrameId frame) override;
   void FlushSlot(ThreadSlot* slot) override;
   LockStats lock_stats() const override { return lock_.stats(); }
   void ResetLockStats() override { lock_.ResetStats(); }

@@ -77,8 +77,13 @@ class Coordinator {
   /// `frame`.
   virtual void CompleteMiss(ThreadSlot* slot, PageId page, FrameId frame) = 0;
 
-  /// Forced removal (invalidation / drop).
-  virtual void OnErase(ThreadSlot* slot, PageId page, FrameId frame) = 0;
+  /// Forced removal (invalidation / drop). Test-and-erase: the page is
+  /// removed only if the policy still has it resident, and the return value
+  /// says whether it did. `false` means an in-flight eviction has already
+  /// detached the page (ChooseVictim ran, the evictor has not finished) —
+  /// the caller must back off and let the evictor decide the frame's fate,
+  /// or the two removals race and policy/pool bookkeeping diverge.
+  virtual bool OnErase(ThreadSlot* slot, PageId page, FrameId frame) = 0;
 
   /// Commits any state buffered in this thread's slot (BP-Wrapper queue).
   virtual void FlushSlot(ThreadSlot* slot) = 0;

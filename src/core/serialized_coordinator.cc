@@ -1,6 +1,7 @@
 #include "core/serialized_coordinator.h"
 
 #include "sync/prefetch.h"
+#include "testing/schedule_point.h"
 
 namespace bpw {
 
@@ -21,6 +22,7 @@ SerializedCoordinator::RegisterThread() {
 
 void SerializedCoordinator::OnHit(ThreadSlot* /*slot*/, PageId page,
                                   FrameId frame) {
+  BPW_SCHEDULE_POINT("serialized.on_hit");
   if (options_.prefetch) {
     // Warm the processor cache with the lock word and the policy node this
     // critical section will touch, before acquiring the lock (§III-B).
@@ -47,11 +49,13 @@ void SerializedCoordinator::CompleteMiss(ThreadSlot* /*slot*/, PageId page,
   lock_.Unlock();
 }
 
-void SerializedCoordinator::OnErase(ThreadSlot* /*slot*/, PageId page,
+bool SerializedCoordinator::OnErase(ThreadSlot* /*slot*/, PageId page,
                                     FrameId frame) {
   lock_.Lock();
-  policy_->OnErase(page, frame);
+  const bool resident = policy_->IsResident(page);
+  if (resident) policy_->OnErase(page, frame);
   lock_.Unlock();
+  return resident;
 }
 
 void SerializedCoordinator::FlushSlot(ThreadSlot* /*slot*/) {

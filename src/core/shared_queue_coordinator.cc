@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "testing/schedule_point.h"
+
 namespace bpw {
 
 SharedQueueCoordinator::SharedQueueCoordinator(
@@ -46,6 +48,7 @@ void SharedQueueCoordinator::OnHit(ThreadSlot* /*slot*/, PageId page,
                                    FrameId frame) {
   // The design flaw the paper called out: every hit synchronizes on the
   // shared queue (and its cache line bounces between processors).
+  BPW_SCHEDULE_POINT("shared_queue.record");
   size_t size_after;
   queue_lock_.lock();
   queue_.push_back(AccessQueue::Entry{page, frame});
@@ -82,12 +85,14 @@ void SharedQueueCoordinator::CompleteMiss(ThreadSlot* /*slot*/, PageId page,
   lock_.Unlock();
 }
 
-void SharedQueueCoordinator::OnErase(ThreadSlot* /*slot*/, PageId page,
+bool SharedQueueCoordinator::OnErase(ThreadSlot* /*slot*/, PageId page,
                                      FrameId frame) {
   lock_.Lock();
   CommitLocked();
-  policy_->OnErase(page, frame);
+  const bool resident = policy_->IsResident(page);
+  if (resident) policy_->OnErase(page, frame);
   lock_.Unlock();
+  return resident;
 }
 
 void SharedQueueCoordinator::FlushSlot(ThreadSlot* /*slot*/) {

@@ -40,11 +40,11 @@ StorageEngine::StorageEngine(uint64_t num_pages, size_t page_size,
       });
 }
 
-void StorageEngine::ApplyLatency(uint64_t base_nanos,
+void StorageEngine::ApplyLatency(uint64_t base_nanos, uint64_t extra_nanos,
                                  std::atomic<uint64_t>& counter) {
-  if (base_nanos == 0) return;
+  if (base_nanos == 0 && extra_nanos == 0) return;
   uint64_t nanos = base_nanos;
-  if (model_.exponential) {
+  if (model_.exponential && base_nanos != 0) {
     double u;
     {
       rng_lock_.lock();
@@ -57,6 +57,9 @@ void StorageEngine::ApplyLatency(uint64_t base_nanos,
     nanos = static_cast<uint64_t>(
         std::min(draw, 8.0 * static_cast<double>(base_nanos)));
   }
+  // Injected spikes ride on the same wait mechanism as modelled latency, so
+  // sleeping and busy-wait configurations both honour them.
+  nanos += extra_nanos;
   if (model_.use_sleep) {
     std::this_thread::sleep_for(std::chrono::nanoseconds(nanos));
   } else {
@@ -69,7 +72,14 @@ Status StorageEngine::ReadPage(PageId page, void* buf) {
   if (page >= num_pages_) {
     return Status::OutOfRange("read past end of device");
   }
-  ApplyLatency(model_.read_nanos, read_nanos_);
+  uint64_t extra_nanos = 0;
+  if (testing::FaultInjector* injector =
+          fault_injector_.load(std::memory_order_acquire)) {
+    testing::FaultDecision d = injector->ForRead(page);
+    if (!d.status.ok()) return d.status;
+    extra_nanos = d.extra_latency_nanos;
+  }
+  ApplyLatency(model_.read_nanos, extra_nanos, read_nanos_);
   {
     SpinLock& lock = LockFor(page);
     lock.lock();
@@ -89,18 +99,38 @@ Status StorageEngine::WritePage(PageId page, const void* buf) {
   if (page >= num_pages_) {
     return Status::OutOfRange("write past end of device");
   }
-  ApplyLatency(model_.write_nanos, write_nanos_);
+  uint64_t extra_nanos = 0;
+  bool tear = false;
+  if (testing::FaultInjector* injector =
+          fault_injector_.load(std::memory_order_acquire)) {
+    testing::FaultDecision d = injector->ForWrite(page);
+    if (!d.status.ok()) return d.status;
+    extra_nanos = d.extra_latency_nanos;
+    tear = d.tear_write;
+  }
+  ApplyLatency(model_.write_nanos, extra_nanos, write_nanos_);
   {
     SpinLock& lock = LockFor(page);
     lock.lock();
     if (materialize_) {
-      std::memcpy(&data_[page * page_size_], buf, page_size_);
+      std::memcpy(&data_[page * page_size_], buf,
+                  tear ? sizeof(uint64_t) : page_size_);
     }
-    std::memcpy(&verification_[page * 2], buf, 2 * sizeof(uint64_t));
+    // A torn write persists only the first stamp word: word 0 carries the
+    // new (page, version) mix while word 1 keeps the old version, which is
+    // exactly the inconsistency StampConsistent() detects.
+    std::memcpy(&verification_[page * 2], buf,
+                tear ? sizeof(uint64_t) : 2 * sizeof(uint64_t));
     lock.unlock();
   }
   writes_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
+}
+
+bool StorageEngine::StampConsistent(PageId page) const {
+  const uint64_t word = verification_[page * 2];
+  const uint64_t version = verification_[page * 2 + 1];
+  return word == page * 0x9E3779B97F4A7C15ULL + version;
 }
 
 StorageStats StorageEngine::stats() const {

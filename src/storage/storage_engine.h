@@ -16,6 +16,7 @@
 
 #include "obs/metrics.h"
 #include "sync/spinlock.h"
+#include "testing/fault_injector.h"
 #include "util/cacheline.h"
 #include "util/random.h"
 #include "util/status.h"
@@ -88,6 +89,21 @@ class StorageEngine {
   /// Test hook: the verification word currently stored for `page`.
   uint64_t VerificationWord(PageId page) const;
 
+  /// Test hook: routes every subsequent I/O through `injector` (nullptr to
+  /// disable). The injector is not owned and must outlive the traffic.
+  /// Injected failures surface as Status::IOError from Read/WritePage;
+  /// injected latency honours the engine's sleeping/busy-wait mode; torn
+  /// writes persist only the first stamp word so ReadStamp consistency
+  /// checks can detect them.
+  void SetFaultInjector(testing::FaultInjector* injector) {
+    fault_injector_.store(injector, std::memory_order_release);
+  }
+
+  /// True if the stamp stored for `page` is internally consistent (word 0
+  /// matches word 1's version). A torn write breaks this. Quiesced callers
+  /// only.
+  bool StampConsistent(PageId page) const;
+
   /// Fills the first 16 bytes of `buf` with a deterministic header for
   /// `page` stamped with `version`; used by tests and the integrity checks.
   static void StampPage(void* buf, size_t page_size, PageId page,
@@ -97,7 +113,8 @@ class StorageEngine {
   static std::pair<PageId, uint64_t> ReadStamp(const void* buf);
 
  private:
-  void ApplyLatency(uint64_t base_nanos, std::atomic<uint64_t>& counter);
+  void ApplyLatency(uint64_t base_nanos, uint64_t extra_nanos,
+                    std::atomic<uint64_t>& counter);
   SpinLock& LockFor(PageId page) {
     return page_locks_[page % kLockStripes].value;
   }
@@ -122,6 +139,9 @@ class StorageEngine {
   // thread-safe. Only used when model_.exponential is set.
   SpinLock rng_lock_;
   Random rng_{0xB5D4C1E5u};
+
+  // Optional fault source (test hook; see SetFaultInjector).
+  std::atomic<testing::FaultInjector*> fault_injector_{nullptr};
 
   // Declared last so it unregisters before anything it reads is destroyed.
   obs::ScopedMetricSource metrics_source_;

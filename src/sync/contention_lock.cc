@@ -1,11 +1,13 @@
 #include "sync/contention_lock.h"
 
 #include "obs/trace_recorder.h"
+#include "testing/schedule_point.h"
 #include "util/clock.h"
 
 namespace bpw {
 
 void ContentionLock::Lock() {
+  BPW_SCHEDULE_POINT("contention_lock.lock");
   if (instr_ == LockInstrumentation::kNone) {
     mu_.lock();
     return;
@@ -41,6 +43,7 @@ void ContentionLock::Lock() {
 }
 
 bool ContentionLock::TryLock() {
+  BPW_SCHEDULE_POINT("contention_lock.try_lock");
   if (mu_.try_lock()) {
     if (instr_ != LockInstrumentation::kNone) {
       acquisitions_.fetch_add(1, std::memory_order_relaxed);
@@ -57,6 +60,7 @@ bool ContentionLock::TryLock() {
 }
 
 void ContentionLock::Unlock() {
+  BPW_SCHEDULE_POINT("contention_lock.unlock");
   if (instr_ != LockInstrumentation::kNone && lock_acquired_nanos_ != 0) {
     const uint64_t start = lock_acquired_nanos_;
     const uint64_t now = NowNanos();

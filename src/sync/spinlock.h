@@ -5,6 +5,8 @@
 
 #include <atomic>
 
+#include "testing/schedule_point.h"
+
 namespace bpw {
 
 /// TTAS spinlock. Suitable only for critical sections of a few dozen
@@ -17,6 +19,7 @@ class SpinLock {
   SpinLock& operator=(const SpinLock&) = delete;
 
   void lock() {
+    BPW_SCHEDULE_POINT("spinlock.lock");
     while (true) {
       if (!flag_.exchange(true, std::memory_order_acquire)) return;
       while (flag_.load(std::memory_order_relaxed)) {
@@ -28,6 +31,7 @@ class SpinLock {
   }
 
   bool try_lock() {
+    BPW_SCHEDULE_POINT("spinlock.try_lock");
     return !flag_.load(std::memory_order_relaxed) &&
            !flag_.exchange(true, std::memory_order_acquire);
   }

@@ -1,0 +1,72 @@
+#include "testing/fault_injector.h"
+
+#include <string>
+
+namespace bpw {
+namespace testing {
+
+FaultDecision FaultInjector::ForRead(PageId page) {
+  FaultDecision d;
+  bool fail = false;
+  bool spike = false;
+  {
+    lock_.lock();
+    fail = rng_.Bernoulli(plan_.read_error_probability);
+    if (!fail) spike = rng_.Bernoulli(plan_.read_spike_probability);
+    lock_.unlock();
+  }
+  if (fail) {
+    read_errors_.fetch_add(1, std::memory_order_relaxed);
+    d.status = Status::IOError("injected read failure on page " +
+                               std::to_string(page));
+    return d;
+  }
+  if (spike) {
+    latency_spikes_.fetch_add(1, std::memory_order_relaxed);
+    d.extra_latency_nanos = plan_.latency_spike_nanos;
+  }
+  return d;
+}
+
+FaultDecision FaultInjector::ForWrite(PageId page) {
+  FaultDecision d;
+  bool fail = false;
+  bool spike = false;
+  bool tear = false;
+  {
+    lock_.lock();
+    fail = rng_.Bernoulli(plan_.write_error_probability);
+    if (!fail) {
+      spike = rng_.Bernoulli(plan_.write_spike_probability);
+      tear = rng_.Bernoulli(plan_.torn_write_probability);
+    }
+    lock_.unlock();
+  }
+  if (fail) {
+    write_errors_.fetch_add(1, std::memory_order_relaxed);
+    d.status = Status::IOError("injected write failure on page " +
+                               std::to_string(page));
+    return d;
+  }
+  if (spike) {
+    latency_spikes_.fetch_add(1, std::memory_order_relaxed);
+    d.extra_latency_nanos = plan_.latency_spike_nanos;
+  }
+  if (tear) {
+    torn_writes_.fetch_add(1, std::memory_order_relaxed);
+    d.tear_write = true;
+  }
+  return d;
+}
+
+FaultStats FaultInjector::stats() const {
+  FaultStats s;
+  s.read_errors = read_errors_.load(std::memory_order_relaxed);
+  s.write_errors = write_errors_.load(std::memory_order_relaxed);
+  s.latency_spikes = latency_spikes_.load(std::memory_order_relaxed);
+  s.torn_writes = torn_writes_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace testing
+}  // namespace bpw

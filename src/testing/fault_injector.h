@@ -1,0 +1,93 @@
+// FaultInjector: seeded storage-fault injection for the simulated disk.
+//
+// A production buffer manager must surface I/O errors as Status values, not
+// crashes, and must never let a failed or torn write masquerade as a durable
+// one. The injector sits under StorageEngine (SetFaultInjector) and, from a
+// single PRNG seed, deterministically decides per I/O whether to:
+//   - fail the operation (Status::IOError returned to the caller, which the
+//     buffer pool must propagate through FetchPage / FlushAll);
+//   - delay it (a latency spike, honoured through the engine's configured
+//     sleeping or busy-wait latency mode);
+//   - tear a write (only the first half of the page stamp reaches the
+//     ground-truth store, so a later read's stamp consistency check — and
+//     the stress harness — can detect the torn page).
+//
+// Decisions are counted so tests can reconcile observed failures against
+// injected ones ("every lost update must be accounted for by an injected
+// fault").
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "sync/spinlock.h"
+#include "util/random.h"
+#include "util/status.h"
+#include "util/types.h"
+
+namespace bpw {
+namespace testing {
+
+/// Per-operation fault probabilities. All default to "never".
+struct FaultPlan {
+  uint64_t seed = 1;
+  double read_error_probability = 0.0;
+  double write_error_probability = 0.0;
+  /// Probability of an added latency spike of `latency_spike_nanos`.
+  double read_spike_probability = 0.0;
+  double write_spike_probability = 0.0;
+  uint64_t latency_spike_nanos = 0;
+  /// Probability a write is torn: only the first stamp word is persisted.
+  double torn_write_probability = 0.0;
+
+  bool enabled() const {
+    return read_error_probability > 0 || write_error_probability > 0 ||
+           read_spike_probability > 0 || write_spike_probability > 0 ||
+           torn_write_probability > 0;
+  }
+};
+
+/// Counters of injected faults.
+struct FaultStats {
+  uint64_t read_errors = 0;
+  uint64_t write_errors = 0;
+  uint64_t latency_spikes = 0;
+  uint64_t torn_writes = 0;
+};
+
+/// What the storage engine should do to the current I/O.
+struct FaultDecision {
+  Status status;                    ///< non-OK: fail the I/O with this
+  uint64_t extra_latency_nanos = 0; ///< add to the modelled latency
+  bool tear_write = false;          ///< persist only half the stamp
+};
+
+/// Thread-safe seeded fault source. One instance per StorageEngine under
+/// test; decisions are drawn from a single PRNG stream (guarded by a
+/// spinlock — fault-injected runs are correctness runs, not benchmarks).
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan) : plan_(plan), rng_(plan.seed) {}
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  FaultDecision ForRead(PageId page);
+  FaultDecision ForWrite(PageId page);
+
+  const FaultPlan& plan() const { return plan_; }
+  FaultStats stats() const;
+
+ private:
+  FaultPlan plan_;
+  SpinLock lock_;
+  Random rng_;  // guarded by lock_
+
+  std::atomic<uint64_t> read_errors_{0};
+  std::atomic<uint64_t> write_errors_{0};
+  std::atomic<uint64_t> latency_spikes_{0};
+  std::atomic<uint64_t> torn_writes_{0};
+};
+
+}  // namespace testing
+}  // namespace bpw

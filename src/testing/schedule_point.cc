@@ -1,0 +1,114 @@
+#include "testing/schedule_point.h"
+
+#include <cassert>
+#include <chrono>
+#include <thread>
+
+namespace bpw {
+namespace testing {
+
+std::atomic<ScheduleController*> ScheduleController::g_current{nullptr};
+
+namespace {
+
+// Global epoch source: every Install() gets a fresh epoch so thread-local
+// PRNG state left over from a previous controller reseeds itself.
+std::atomic<uint64_t> g_epoch{0};
+
+// First-come index for threads the harness never bound explicitly.
+std::atomic<uint64_t> g_unbound_index{1u << 20};
+
+struct ThreadState {
+  uint64_t epoch = 0;           // controller epoch the rng was seeded for
+  uint64_t index = kUnbound;    // perturbation-stream index
+  Random rng{0};
+
+  static constexpr uint64_t kUnbound = ~0ULL;
+};
+
+thread_local ThreadState tls;
+
+// SplitMix64 finalizer: decorrelates (seed, thread index) pairs.
+uint64_t Mix(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+ScheduleController::ScheduleController(ScheduleOptions options)
+    : options_(options) {}
+
+ScheduleController::~ScheduleController() {
+  if (installed_) Uninstall();
+}
+
+void ScheduleController::Install() {
+  assert(!installed_);
+  epoch_ = g_epoch.fetch_add(1, std::memory_order_relaxed) + 1;
+  ScheduleController* expected = nullptr;
+  const bool swapped = g_current.compare_exchange_strong(
+      expected, this, std::memory_order_release);
+  assert(swapped && "another ScheduleController is already installed");
+  (void)swapped;
+  installed_ = true;
+}
+
+void ScheduleController::Uninstall() {
+  assert(installed_);
+  g_current.store(nullptr, std::memory_order_release);
+  installed_ = false;
+}
+
+void ScheduleController::BindCurrentThread(uint64_t index) {
+  tls.index = index;
+  tls.epoch = 0;  // force a reseed at the next point
+}
+
+void ScheduleController::Perturb(const char* /*point*/) {
+  points_observed_.fetch_add(1, std::memory_order_relaxed);
+  if (tls.epoch != epoch_) {
+    if (tls.index == ThreadState::kUnbound) {
+      tls.index = g_unbound_index.fetch_add(1, std::memory_order_relaxed);
+    }
+    tls.epoch = epoch_;
+    tls.rng.Reseed(Mix(options_.seed) ^ Mix(tls.index));
+  }
+
+  // One draw decides "perturb at all?" cheaply; the common case (no
+  // perturbation) costs a single PRNG step.
+  const double u = tls.rng.NextDouble();
+  const ScheduleOptions& o = options_;
+  if (u < o.sleep_probability) {
+    sleeps_.fetch_add(1, std::memory_order_relaxed);
+    perturbations_.fetch_add(1, std::memory_order_relaxed);
+    const uint64_t micros =
+        1 + tls.rng.Uniform(o.max_sleep_micros > 0 ? o.max_sleep_micros : 1);
+    std::this_thread::sleep_for(std::chrono::microseconds(micros));
+    return;
+  }
+  if (u < o.sleep_probability + o.yield_probability) {
+    yields_.fetch_add(1, std::memory_order_relaxed);
+    perturbations_.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::yield();
+    return;
+  }
+  if (u < o.sleep_probability + o.yield_probability + o.spin_probability) {
+    spins_.fetch_add(1, std::memory_order_relaxed);
+    perturbations_.fetch_add(1, std::memory_order_relaxed);
+    const uint32_t iters = static_cast<uint32_t>(
+        1 + tls.rng.Uniform(
+                o.max_spin_iterations > 0 ? o.max_spin_iterations : 1));
+    // Dependent arithmetic the optimizer cannot delete.
+    volatile uint64_t sink = 0;
+    uint64_t acc = tls.rng.Next() | 1;
+    for (uint32_t i = 0; i < iters; ++i) acc = acc * 2862933555777941757ULL + 1;
+    sink = acc;
+    (void)sink;
+  }
+}
+
+}  // namespace testing
+}  // namespace bpw

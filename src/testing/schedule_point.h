@@ -1,0 +1,151 @@
+// ScheduleController / BPW_SCHEDULE_POINT: seeded schedule perturbation for
+// concurrency testing.
+//
+// The paper's protocol (TryLock batching + commit-time re-validation, §IV-B)
+// is only correct if it survives adversarial interleavings — the exact
+// schedules a TSan-ed loop on a lightly loaded machine rarely produces. A
+// BPW_SCHEDULE_POINT(name) is placed at every racy window in the library
+// (lock acquisition, the eviction select→latch gap, pin/publish paths).
+// Normally it costs one relaxed atomic load and a predicted branch; when a
+// ScheduleController is installed, each point consults a per-thread PRNG
+// derived from (controller seed, thread index) and deterministically decides
+// to do nothing, yield, spin, or briefly sleep — widening race windows and
+// exploring interleavings that depend only on the seed.
+//
+// Replay model: given the same seed, every thread makes the same perturbation
+// decision sequence, so a stress failure found at seed N is re-run with
+// --seed=N. The OS scheduler still has the final word, so replay is
+// best-effort rather than cycle-exact — in practice the perturbations
+// dominate and seeded failures reproduce reliably (see tests/stress/).
+//
+// Builds that must not carry the check can compile the macro away entirely
+// with -DBPW_SCHEDULE_POINTS=0 (see the CMake option of the same name).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/random.h"
+
+namespace bpw {
+namespace testing {
+
+/// Tuning knobs for schedule perturbation. Probabilities are evaluated
+/// independently, in order (sleep, then yield, then spin); the defaults are
+/// aggressive on purpose — this runs in stress tests, not production.
+struct ScheduleOptions {
+  uint64_t seed = 1;
+  /// Probability a point parks the thread for a random [1, max_sleep_micros]
+  /// microsecond sleep (forces wide reorderings, lets waiters overtake).
+  double sleep_probability = 0.002;
+  uint64_t max_sleep_micros = 100;
+  /// Probability a point calls std::this_thread::yield().
+  double yield_probability = 0.05;
+  /// Probability a point busy-spins for a random [1, max_spin_iterations]
+  /// dependent-arithmetic loop (small, cache-local delays).
+  double spin_probability = 0.15;
+  uint32_t max_spin_iterations = 256;
+};
+
+/// Seeded interleaving perturbator. Install() makes it the process-global
+/// controller consulted by every BPW_SCHEDULE_POINT; Uninstall() (or
+/// destruction) restores the zero-cost path. Only one controller may be
+/// installed at a time.
+class ScheduleController {
+ public:
+  explicit ScheduleController(ScheduleOptions options = ScheduleOptions());
+  ~ScheduleController();
+
+  ScheduleController(const ScheduleController&) = delete;
+  ScheduleController& operator=(const ScheduleController&) = delete;
+
+  /// Registers this controller as the global one. Must not already have a
+  /// controller installed.
+  void Install();
+  void Uninstall();
+
+  /// The installed controller, or nullptr. Inline relaxed load: this is the
+  /// entire cost of a schedule point in a run without a controller.
+  static ScheduleController* Current() {
+    return g_current.load(std::memory_order_relaxed);
+  }
+
+  /// Pins the calling thread's perturbation stream to `index`, making the
+  /// per-thread decision sequence independent of which thread happens to hit
+  /// a schedule point first. Stress harnesses call this with the worker's
+  /// creation index; unbound threads get a first-come index.
+  static void BindCurrentThread(uint64_t index);
+
+  /// Called by BPW_SCHEDULE_POINT. Draws this thread's next perturbation
+  /// decision and executes it. Lock-free (thread-local state only), so it is
+  /// safe inside any lock implementation.
+  void Perturb(const char* point);
+
+  const ScheduleOptions& options() const { return options_; }
+
+  /// Total schedule points observed / points that actually perturbed.
+  uint64_t points_observed() const {
+    return points_observed_.load(std::memory_order_relaxed);
+  }
+  uint64_t perturbations() const {
+    return perturbations_.load(std::memory_order_relaxed);
+  }
+  /// Per-kind decision counters; (sleeps, yields, spins). Deterministic for
+  /// a fixed seed and fixed per-thread point sequences — the determinism
+  /// test compares these across two identical runs.
+  uint64_t sleeps() const { return sleeps_.load(std::memory_order_relaxed); }
+  uint64_t yields() const { return yields_.load(std::memory_order_relaxed); }
+  uint64_t spins() const { return spins_.load(std::memory_order_relaxed); }
+
+ private:
+  static std::atomic<ScheduleController*> g_current;
+
+  ScheduleOptions options_;
+  bool installed_ = false;
+  // Bumped on every Install so thread-local PRNGs from a previous
+  // controller's epoch reseed themselves on first use.
+  uint64_t epoch_ = 0;
+
+  std::atomic<uint64_t> points_observed_{0};
+  std::atomic<uint64_t> perturbations_{0};
+  std::atomic<uint64_t> sleeps_{0};
+  std::atomic<uint64_t> yields_{0};
+  std::atomic<uint64_t> spins_{0};
+};
+
+/// RAII install/uninstall.
+class ScopedScheduleController {
+ public:
+  explicit ScopedScheduleController(ScheduleOptions options)
+      : controller_(options) {
+    controller_.Install();
+  }
+  ~ScopedScheduleController() { controller_.Uninstall(); }
+
+  ScheduleController& controller() { return controller_; }
+
+ private:
+  ScheduleController controller_;
+};
+
+}  // namespace testing
+}  // namespace bpw
+
+// Schedule points default to compiled-in (they are free without a
+// controller); -DBPW_SCHEDULE_POINTS=0 removes them entirely.
+#ifndef BPW_SCHEDULE_POINTS
+#define BPW_SCHEDULE_POINTS 1
+#endif
+
+#if BPW_SCHEDULE_POINTS
+#define BPW_SCHEDULE_POINT(name)                                      \
+  do {                                                                \
+    ::bpw::testing::ScheduleController* bpw_sched_controller_ =       \
+        ::bpw::testing::ScheduleController::Current();                \
+    if (bpw_sched_controller_ != nullptr) {                           \
+      bpw_sched_controller_->Perturb(name);                           \
+    }                                                                 \
+  } while (0)
+#else
+#define BPW_SCHEDULE_POINT(name) ((void)0)
+#endif

@@ -23,6 +23,8 @@ const char* CodeName(StatusCode code) {
       return "OutOfRange";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kIOError:
+      return "IOError";
   }
   return "Unknown";
 }

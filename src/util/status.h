@@ -19,6 +19,7 @@ enum class StatusCode : int {
   kAborted,
   kOutOfRange,
   kInternal,
+  kIOError,
 };
 
 /// A Status encodes the result of an operation that can fail. The OK status
@@ -53,6 +54,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -63,6 +67,7 @@ class Status {
     return code_ == StatusCode::kInvalidArgument;
   }
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
 
   /// Human-readable rendering, e.g. "Corruption: lru list broken".
   std::string ToString() const;

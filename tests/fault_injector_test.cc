@@ -1,0 +1,89 @@
+// Tests for the seeded storage fault injector.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "testing/fault_injector.h"
+
+namespace bpw {
+namespace testing {
+namespace {
+
+TEST(FaultInjectorTest, EmptyPlanIsDisabled) {
+  FaultPlan plan;
+  EXPECT_FALSE(plan.enabled());
+  plan.torn_write_probability = 0.1;
+  EXPECT_TRUE(plan.enabled());
+}
+
+TEST(FaultInjectorTest, CertainReadErrorAlwaysFails) {
+  FaultPlan plan;
+  plan.read_error_probability = 1.0;
+  FaultInjector injector(plan);
+  for (PageId page = 0; page < 50; ++page) {
+    const FaultDecision d = injector.ForRead(page);
+    EXPECT_TRUE(d.status.IsIOError());
+    EXPECT_FALSE(d.tear_write);
+    EXPECT_EQ(d.extra_latency_nanos, 0u);  // fail-fast: no latency on error
+  }
+  EXPECT_EQ(injector.stats().read_errors, 50u);
+  EXPECT_EQ(injector.stats().write_errors, 0u);
+  // Writes are untouched by a read-only plan.
+  EXPECT_TRUE(injector.ForWrite(0).status.ok());
+}
+
+TEST(FaultInjectorTest, CertainTornWriteTearsEveryWrite) {
+  FaultPlan plan;
+  plan.torn_write_probability = 1.0;
+  FaultInjector injector(plan);
+  for (PageId page = 0; page < 20; ++page) {
+    const FaultDecision d = injector.ForWrite(page);
+    EXPECT_TRUE(d.status.ok());  // a torn write still "succeeds"
+    EXPECT_TRUE(d.tear_write);
+  }
+  EXPECT_EQ(injector.stats().torn_writes, 20u);
+}
+
+TEST(FaultInjectorTest, SpikesCarryConfiguredLatency) {
+  FaultPlan plan;
+  plan.read_spike_probability = 1.0;
+  plan.write_spike_probability = 1.0;
+  plan.latency_spike_nanos = 12345;
+  FaultInjector injector(plan);
+  EXPECT_EQ(injector.ForRead(1).extra_latency_nanos, 12345u);
+  EXPECT_EQ(injector.ForWrite(2).extra_latency_nanos, 12345u);
+  EXPECT_EQ(injector.stats().latency_spikes, 2u);
+}
+
+TEST(FaultInjectorTest, ProbabilisticRatesLandNearTarget) {
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.read_error_probability = 0.1;
+  FaultInjector injector(plan);
+  for (int i = 0; i < 10000; ++i) (void)injector.ForRead(i % 64);
+  const uint64_t errors = injector.stats().read_errors;
+  // 10k Bernoulli(0.1) draws: mean 1000, sd ~30; +/-200 is > 6 sigma.
+  EXPECT_GT(errors, 800u);
+  EXPECT_LT(errors, 1200u);
+}
+
+TEST(FaultInjectorTest, SameSeedSameDecisionSequence) {
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.read_error_probability = 0.3;
+  plan.torn_write_probability = 0.3;
+  auto collect = [&plan] {
+    FaultInjector injector(plan);
+    std::vector<int> decisions;
+    for (int i = 0; i < 500; ++i) {
+      decisions.push_back(injector.ForRead(i).status.ok() ? 0 : 1);
+      decisions.push_back(injector.ForWrite(i).tear_write ? 1 : 0);
+    }
+    return decisions;
+  };
+  EXPECT_EQ(collect(), collect());
+}
+
+}  // namespace
+}  // namespace testing
+}  // namespace bpw

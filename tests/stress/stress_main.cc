@@ -1,0 +1,124 @@
+// Standalone stress driver.
+//
+//   stress_main [--seed=N] [--threads=N] [--ops=N] [--frames=N] [--pages=N]
+//               [--filter=substr] [--faults] [--drops=P] [--list]
+//
+// Runs every (coordinator, policy) stack in DefaultStressMatrix() under
+// schedule perturbation (plus storage faults with --faults) and exits
+// non-zero on the first invariant violation, printing the seed to re-run
+// with. CI runs this with a fixed seed matrix; local debugging re-runs a
+// printed seed with --seed=N --filter=<failing stack>.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "stress/stress_runner.h"
+
+namespace {
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  const std::string prefix = std::string("--") + name + "=";
+  if (std::strncmp(arg, prefix.c_str(), prefix.size()) != 0) return false;
+  *out = arg + prefix.size();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t seed = 1;
+  int threads = 4;
+  int ops = 15000;
+  size_t frames = 48;
+  uint64_t pages = 192;
+  std::string filter;
+  bool faults = false;
+  double drops = 0.0;
+  bool list = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string v;
+    if (ParseFlag(argv[i], "seed", &v)) {
+      seed = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "threads", &v)) {
+      threads = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "ops", &v)) {
+      ops = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "frames", &v)) {
+      frames = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "pages", &v)) {
+      pages = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "filter", &v)) {
+      filter = v;
+    } else if (ParseFlag(argv[i], "drops", &v)) {
+      drops = std::atof(v.c_str());
+    } else if (std::strcmp(argv[i], "--faults") == 0) {
+      faults = true;
+    } else if (std::strcmp(argv[i], "--list") == 0) {
+      list = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  const auto matrix = bpw::stress::DefaultStressMatrix();
+  if (list) {
+    for (const auto& entry : matrix) std::printf("%s\n", entry.name.c_str());
+    return 0;
+  }
+
+  int ran = 0;
+  for (const auto& entry : matrix) {
+    if (!filter.empty() && entry.name.find(filter) == std::string::npos) {
+      continue;
+    }
+    ++ran;
+    bpw::stress::StressOptions options;
+    options.seed = seed;
+    options.system = entry.system;
+    options.threads = threads;
+    options.ops_per_thread = ops;
+    options.frames = frames;
+    options.pages = pages;
+    options.drop_probability = drops;
+    if (faults) {
+      options.faults.read_error_probability = 0.002;
+      options.faults.write_error_probability = 0.002;
+      options.faults.read_spike_probability = 0.001;
+      options.faults.write_spike_probability = 0.001;
+      options.faults.latency_spike_nanos = 50'000;
+      options.faults.torn_write_probability = 0.001;
+    }
+    const bpw::stress::StressResult result = bpw::stress::RunStress(options);
+    if (!result.ok) {
+      std::fprintf(stderr, "FAIL %-24s seed=%llu: %s\n", entry.name.c_str(),
+                   static_cast<unsigned long long>(seed),
+                   result.failure.c_str());
+      std::fprintf(stderr,
+                   "reproduce: stress_main --seed=%llu --filter=%s%s%s\n",
+                   static_cast<unsigned long long>(seed), entry.name.c_str(),
+                   faults ? " --faults" : "",
+                   drops > 0 ? (" --drops=" + std::to_string(drops)).c_str()
+                             : "");
+      return 1;
+    }
+    std::printf(
+        "ok   %-24s hits=%llu misses=%llu evict=%llu hr=%.3f oracle=%.3f "
+        "points=%llu perturb=%llu io_err=%llu torn=%llu\n",
+        entry.name.c_str(), static_cast<unsigned long long>(result.hits),
+        static_cast<unsigned long long>(result.misses),
+        static_cast<unsigned long long>(result.evictions), result.hit_ratio,
+        result.oracle_hit_ratio,
+        static_cast<unsigned long long>(result.schedule_points),
+        static_cast<unsigned long long>(result.perturbations),
+        static_cast<unsigned long long>(result.io_errors),
+        static_cast<unsigned long long>(result.fault_stats.torn_writes));
+  }
+  if (ran == 0) {
+    std::fprintf(stderr, "filter %s matched no stacks\n", filter.c_str());
+    return 2;
+  }
+  return 0;
+}
