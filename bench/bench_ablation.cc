@@ -102,13 +102,7 @@ PartitionedResult RunPartitioned(size_t partitions, uint32_t threads,
   return result;
 }
 
-}  // namespace
-
-int main() {
-  PrintHeader("Ablation — distributed locks, TryLock protocol, technique mix",
-              "quantifies the paper's §V-A criticism of partitioned buffers "
-              "and the §IV-E TryLock design point");
-
+int RunBench() {
   const uint32_t threads = MaxThreads();
   const uint64_t cell_ms = CellMillis();
 
@@ -232,3 +226,11 @@ int main() {
   }
   return 0;
 }
+
+}  // namespace
+
+BPW_BENCH_MAIN("ablation",
+               "Ablation — distributed locks, TryLock protocol, technique mix",
+               "quantifies the paper's §V-A criticism of partitioned buffers "
+               "and the §IV-E TryLock design point",
+               RunBench)

@@ -1,0 +1,63 @@
+#include "bench_common.h"
+
+#include <cstring>
+
+#include "util/clock.h"
+
+namespace bpw {
+namespace bench {
+
+int BenchMain(int argc, char** argv, const BenchInfo& info,
+              int (*body)()) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(arg, "--describe") == 0) {
+      // Machine-readable one-liner for orchestration/tooling.
+      std::printf("%s\t%s\n", info.id, info.title);
+      return 0;
+    }
+    if (std::strcmp(arg, "--quick") == 0) {
+      setenv("BPW_QUICK", "1", 1);
+      continue;
+    }
+    if (std::strcmp(arg, "--ms") == 0) {
+      setenv("BPW_BENCH_MS", next("--ms"), 1);
+      continue;
+    }
+    if (std::strcmp(arg, "--max-threads") == 0) {
+      setenv("BPW_MAX_THREADS", next("--max-threads"), 1);
+      continue;
+    }
+    if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      std::printf(
+          "%s — %s\n\n"
+          "  --quick           short cells, thread axis capped at 8\n"
+          "  --ms N            per-cell measurement window in ms\n"
+          "  --max-threads N   cap on the thread-count axis\n"
+          "  --describe        print 'id<TAB>title' and exit\n\n"
+          "Environment knobs BPW_QUICK / BPW_BENCH_MS / BPW_MAX_THREADS are\n"
+          "equivalent; flags win.\n",
+          info.id, info.title);
+      return 0;
+    }
+    std::fprintf(stderr, "unknown flag: %s (try --help)\n", arg);
+    return 2;
+  }
+
+  PrintHeader(info.title, info.description);
+  const uint64_t start = NowNanos();
+  const int rc = body();
+  std::printf("[%s] done in %.1f s\n", info.id,
+              static_cast<double>(NowNanos() - start) / 1e9);
+  return rc;
+}
+
+}  // namespace bench
+}  // namespace bpw

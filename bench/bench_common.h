@@ -65,5 +65,26 @@ T MustOk(StatusOr<T> result, const char* what) {
   return std::move(result).value();
 }
 
+/// Registration record for one paper-reproduction bench binary. Every
+/// binary declares itself through BPW_BENCH_MAIN instead of hand-rolling
+/// main(): the shared BenchMain provides uniform flags (--quick, --ms,
+/// --max-threads), a --describe line for tooling, the standard header, and
+/// an elapsed-time footer.
+struct BenchInfo {
+  const char* id;           ///< short machine id, e.g. "fig6"
+  const char* title;        ///< header line (figure/table being reproduced)
+  const char* description;  ///< setup summary printed under the title
+};
+
+/// Shared entry point (bench_common.cc).
+int BenchMain(int argc, char** argv, const BenchInfo& info, int (*body)());
+
+#define BPW_BENCH_MAIN(ID, TITLE, DESCRIPTION, BODY)                     \
+  int main(int argc, char** argv) {                                      \
+    return ::bpw::bench::BenchMain(                                      \
+        argc, argv, ::bpw::bench::BenchInfo{ID, TITLE, DESCRIPTION},     \
+        BODY);                                                           \
+  }
+
 }  // namespace bench
 }  // namespace bpw

@@ -28,13 +28,7 @@ DriverConfig BaseConfig(uint64_t duration_ms) {
   return base;
 }
 
-}  // namespace
-
-int main() {
-  PrintHeader("Figure 2 — lock acquisition and holding time vs batch size",
-              "2Q under BP-Wrapper, DBT-2-like workload, 16 processors; "
-              "queue size == batch threshold == batch size");
-
+int RunBench() {
   const uint32_t threads = MaxThreads();
 
   {
@@ -92,3 +86,11 @@ int main() {
   }
   return 0;
 }
+
+}  // namespace
+
+BPW_BENCH_MAIN("fig2",
+               "Figure 2 — lock acquisition and holding time vs batch size",
+               "2Q under BP-Wrapper, DBT-2-like workload, 16 processors; "
+               "queue size == batch threshold == batch size",
+               RunBench)

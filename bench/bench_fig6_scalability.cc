@@ -42,13 +42,7 @@ constexpr WorkloadRow kWorkloads[] = {
     {"tablescan", 2048, 1500, 16},
 };
 
-}  // namespace
-
-int main() {
-  PrintHeader("Figure 6 — scalability of the five systems (Altix-like sweep)",
-              "Zero-miss, pre-warmed buffer; simulated processors 1..16; "
-              "workloads DBT-1-like, DBT-2-like, TableScan");
-
+int RunBench() {
   const auto systems = PaperSystemNames();
   const auto threads = ThreadAxis(MaxThreads());
 
@@ -83,3 +77,11 @@ int main() {
   }
   return 0;
 }
+
+}  // namespace
+
+BPW_BENCH_MAIN("fig6",
+               "Figure 6 — scalability of the five systems (Altix-like sweep)",
+               "Zero-miss, pre-warmed buffer; simulated processors 1..16; "
+               "workloads DBT-1-like, DBT-2-like, TableScan",
+               RunBench)

@@ -32,14 +32,7 @@ constexpr WorkloadRow kWorkloads[] = {
     {"tablescan", 2048, 600, 4},
 };
 
-}  // namespace
-
-int main() {
-  PrintHeader("Figure 7 — multicore profile (PowerEdge-like sweep)",
-              "Zero-miss; simulated processors 1..8; non-critical work "
-              "accelerated (HW-prefetch emulation) => higher critical-"
-              "section share");
-
+int RunBench() {
   const auto systems = PaperSystemNames();
   const uint32_t limit = std::min<uint32_t>(MaxThreads(), 8);
   const auto threads = ThreadAxis(limit);
@@ -72,3 +65,11 @@ int main() {
   }
   return 0;
 }
+
+}  // namespace
+
+BPW_BENCH_MAIN("fig7", "Figure 7 — multicore profile (PowerEdge-like sweep)",
+               "Zero-miss; simulated processors 1..8; non-critical work "
+               "accelerated (HW-prefetch emulation) => higher critical-"
+               "section share",
+               RunBench)

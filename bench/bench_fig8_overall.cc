@@ -83,13 +83,7 @@ void RunSimulatedSection() {
   }
 }
 
-}  // namespace
-
-int main() {
-  PrintHeader("Figure 8 — overall performance vs buffer size",
-              "pgClock / pg2Q / pgBatPre; DBT-1-like and DBT-2-like; 8 "
-              "processors; disk latency on miss");
-
+int RunBench() {
   RunSimulatedSection();
 
   std::printf("---- host-thread validation (real pool, sleeping disk) ----\n\n");
@@ -154,3 +148,10 @@ int main() {
   }
   return 0;
 }
+
+}  // namespace
+
+BPW_BENCH_MAIN("fig8", "Figure 8 — overall performance vs buffer size",
+               "pgClock / pg2Q / pgBatPre; DBT-1-like and DBT-2-like; 8 "
+               "processors; disk latency on miss",
+               RunBench)

@@ -12,10 +12,9 @@
 using namespace bpw;
 using namespace bpw::bench;
 
-int main() {
-  PrintHeader("Table II — pgBatPre sensitivity to FIFO queue size",
-              "threshold = queue/2; 16 threads; zero-miss runs");
+namespace {
 
+int RunBench() {
   const std::vector<size_t> queue_sizes = {1, 2, 4, 8, 16, 32, 64};
   const uint32_t threads = MaxThreads();
 
@@ -65,3 +64,8 @@ int main() {
   std::printf("CSV:\n%s\n", table.ToCsv().c_str());
   return 0;
 }
+
+}  // namespace
+
+BPW_BENCH_MAIN("table2", "Table II — pgBatPre sensitivity to FIFO queue size",
+               "threshold = queue/2; 16 threads; zero-miss runs", RunBench)

@@ -12,10 +12,9 @@
 using namespace bpw;
 using namespace bpw::bench;
 
-int main() {
-  PrintHeader("Table III — pgBatPre sensitivity to batch threshold",
-              "queue size = 64; 16 threads; zero-miss runs");
+namespace {
 
+int RunBench() {
   const std::vector<size_t> thresholds = {1, 2, 4, 8, 16, 32, 48, 64};
   const uint32_t threads = MaxThreads();
 
@@ -76,3 +75,8 @@ int main() {
   std::printf("CSV:\n%s\n", table.ToCsv().c_str());
   return 0;
 }
+
+}  // namespace
+
+BPW_BENCH_MAIN("table3", "Table III — pgBatPre sensitivity to batch threshold",
+               "queue size = 64; 16 threads; zero-miss runs", RunBench)

@@ -1,0 +1,324 @@
+#include "bench/compare.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "bench/runner.h"
+#include "bench/stats.h"
+
+namespace bpw {
+namespace bench {
+
+namespace {
+
+struct WallMetricDef {
+  const char* name;
+  bool higher_is_better;
+};
+
+constexpr WallMetricDef kWallMetrics[] = {
+    {"throughput_tps", true},
+    {"avg_response_us", false},
+    {"p95_response_us", false},
+    {"contentions_per_million", false},
+};
+
+std::vector<double> TrialSeries(const JsonValue& case_obj,
+                                const std::string& metric) {
+  std::vector<double> out;
+  const JsonValue* trials = case_obj.Find("trials");
+  if (trials == nullptr || !trials->is_array()) return out;
+  for (const JsonValue& t : trials->array) {
+    out.push_back(t.NumberOr(metric, 0));
+  }
+  return out;
+}
+
+double MeanOf(const std::vector<double>& v) {
+  if (v.empty()) return 0;
+  double sum = 0;
+  for (double x : v) sum += x;
+  return sum / static_cast<double>(v.size());
+}
+
+std::map<std::string, double> CounterMap(const JsonValue& case_obj) {
+  std::map<std::string, double> out;
+  const JsonValue* counters = case_obj.Find("counters");
+  if (counters == nullptr || !counters->is_object()) return out;
+  for (const auto& [name, value] : counters->object) {
+    if (value.is_number()) out[name] = value.number_value;
+  }
+  return out;
+}
+
+Status ValidateDocument(const JsonValue& doc, const char* which) {
+  if (!doc.is_object()) {
+    return Status::InvalidArgument(std::string(which) +
+                                   ": not a JSON object");
+  }
+  const double version = doc.NumberOr("schema_version", -1);
+  if (version != kBenchSchemaVersion) {
+    return Status::InvalidArgument(
+        std::string(which) + ": unsupported schema_version " +
+        std::to_string(version) + " (want " +
+        std::to_string(kBenchSchemaVersion) + ")");
+  }
+  const JsonValue* cases = doc.Find("cases");
+  if (cases == nullptr || !cases->is_array()) {
+    return Status::InvalidArgument(std::string(which) + ": missing cases[]");
+  }
+  return Status::OK();
+}
+
+void CompareEnvironments(const JsonValue& baseline, const JsonValue& candidate,
+                         CompareReport& report) {
+  const JsonValue* base_env = baseline.Find("environment");
+  const JsonValue* cand_env = candidate.Find("environment");
+  if (base_env == nullptr || cand_env == nullptr) return;
+  for (const char* key : {"compiler", "build_type", "cxx_flags", "os",
+                          "arch"}) {
+    const std::string b = base_env->StringOr(key, "");
+    const std::string c = cand_env->StringOr(key, "");
+    if (b != c) {
+      report.notes.push_back(std::string("environment.") + key +
+                             " differs: '" + b + "' vs '" + c +
+                             "' — wall-clock deltas are not comparable");
+    }
+  }
+  const double bt = base_env->NumberOr("hardware_threads", 0);
+  const double ct = cand_env->NumberOr("hardware_threads", 0);
+  if (bt != ct) {
+    report.notes.push_back(
+        "environment.hardware_threads differs: " + std::to_string(bt) +
+        " vs " + std::to_string(ct) +
+        " — wall-clock deltas are not comparable");
+  }
+}
+
+void CompareWall(const std::string& name, const JsonValue& base_case,
+                 const JsonValue& cand_case, const CompareOptions& options,
+                 CompareReport& report) {
+  for (const WallMetricDef& metric : kWallMetrics) {
+    const std::vector<double> base = TrialSeries(base_case, metric.name);
+    const std::vector<double> cand = TrialSeries(cand_case, metric.name);
+    if (base.empty() || cand.empty()) continue;
+
+    WallVerdict v;
+    v.case_name = name;
+    v.metric = metric.name;
+    v.higher_is_better = metric.higher_is_better;
+    v.baseline_mean = MeanOf(base);
+    v.candidate_mean = MeanOf(cand);
+    v.rel_delta = RelativeDelta(v.baseline_mean, v.candidate_mean);
+
+    const BootstrapCI ci =
+        BootstrapMeanDiff(base, cand, options.resamples, options.confidence,
+                          options.bootstrap_seed);
+    v.ci_lo = ci.lo;
+    v.ci_hi = ci.hi;
+
+    if (!ci.valid) {
+      v.kind = WallVerdictKind::kInsufficientSamples;
+      report.wall.push_back(v);
+      continue;
+    }
+
+    // A zero baseline defeats the relative test (division by zero); any
+    // non-trivial absolute appearance counts as a full-size delta.
+    double effective_rel = v.rel_delta;
+    if (v.baseline_mean == 0 && std::fabs(v.candidate_mean) > 1e-12) {
+      effective_rel = v.candidate_mean > 0 ? 1.0 : -1.0;
+    }
+
+    // Direction-adjusted: positive `bad` means the metric moved the wrong
+    // way. The CI must exclude zero on the bad side.
+    const double bad_rel =
+        metric.higher_is_better ? -effective_rel : effective_rel;
+    const bool significant_worse =
+        metric.higher_is_better ? ci.hi < 0 : ci.lo > 0;
+    const bool significant_better =
+        metric.higher_is_better ? ci.lo > 0 : ci.hi < 0;
+
+    if (bad_rel >= options.min_rel_delta && significant_worse) {
+      v.kind = WallVerdictKind::kRegression;
+      report.wall_regression = true;
+    } else if (-bad_rel >= options.min_rel_delta && significant_better) {
+      v.kind = WallVerdictKind::kImprovement;
+    } else {
+      v.kind = WallVerdictKind::kNoChange;
+    }
+    report.wall.push_back(v);
+  }
+}
+
+void CompareCounters(const std::string& name, const JsonValue& base_case,
+                     const JsonValue& cand_case, CompareReport& report) {
+  const auto base = CounterMap(base_case);
+  const auto cand = CounterMap(cand_case);
+  std::set<std::string> keys;
+  for (const auto& [k, _] : base) keys.insert(k);
+  for (const auto& [k, _] : cand) keys.insert(k);
+  for (const std::string& key : keys) {
+    CounterVerdict v;
+    v.case_name = name;
+    v.counter = key;
+    const auto b = base.find(key);
+    const auto c = cand.find(key);
+    v.present_in_baseline = b != base.end();
+    v.present_in_candidate = c != cand.end();
+    if (v.present_in_baseline) v.baseline = b->second;
+    if (v.present_in_candidate) v.candidate = c->second;
+    v.match = v.present_in_baseline && v.present_in_candidate &&
+              v.baseline == v.candidate;
+    if (!v.match) report.counter_drift = true;
+    report.counters.push_back(v);
+  }
+}
+
+}  // namespace
+
+StatusOr<CompareReport> CompareBenchResults(const JsonValue& baseline,
+                                            const JsonValue& candidate,
+                                            const CompareOptions& options) {
+  Status s = ValidateDocument(baseline, "baseline");
+  if (!s.ok()) return s;
+  s = ValidateDocument(candidate, "candidate");
+  if (!s.ok()) return s;
+
+  CompareReport report;
+  CompareEnvironments(baseline, candidate, report);
+
+  const JsonValue& base_cases = *baseline.Find("cases");
+  const JsonValue& cand_cases = *candidate.Find("cases");
+  std::map<std::string, const JsonValue*> cand_by_name;
+  for (const JsonValue& c : cand_cases.array) {
+    cand_by_name[c.StringOr("name", "")] = &c;
+  }
+
+  std::set<std::string> seen;
+  for (const JsonValue& base_case : base_cases.array) {
+    const std::string name = base_case.StringOr("name", "");
+    seen.insert(name);
+    const auto it = cand_by_name.find(name);
+    if (it == cand_by_name.end()) {
+      report.notes.push_back("case '" + name +
+                             "' missing from candidate");
+      // A vanished deterministic case means the gated signal is gone:
+      // treat as drift rather than silently narrowing coverage.
+      if (base_case.BoolOr("deterministic", false)) {
+        report.counter_drift = true;
+      }
+      continue;
+    }
+    const JsonValue& cand_case = *it->second;
+
+    const JsonValue* base_wl = base_case.Find("workload");
+    const JsonValue* cand_wl = cand_case.Find("workload");
+    const std::string base_fp =
+        base_wl != nullptr ? base_wl->StringOr("fingerprint", "") : "";
+    const std::string cand_fp =
+        cand_wl != nullptr ? cand_wl->StringOr("fingerprint", "") : "";
+    if (base_fp != cand_fp) {
+      report.fingerprint_drift = true;
+      report.notes.push_back("case '" + name +
+                             "': workload fingerprint changed (" + base_fp +
+                             " -> " + cand_fp +
+                             ") — baselines for this case are invalid");
+    }
+
+    CompareWall(name, base_case, cand_case, options, report);
+    if (base_case.BoolOr("deterministic", false) ||
+        cand_case.BoolOr("deterministic", false)) {
+      CompareCounters(name, base_case, cand_case, report);
+    }
+  }
+  for (const auto& [name, _] : cand_by_name) {
+    if (seen.count(name) == 0) {
+      report.notes.push_back("case '" + name +
+                             "' is new in candidate (no baseline)");
+    }
+  }
+  return report;
+}
+
+namespace {
+
+std::string FormatDouble(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+const char* KindLabel(WallVerdictKind kind) {
+  switch (kind) {
+    case WallVerdictKind::kRegression: return "REGRESSION";
+    case WallVerdictKind::kImprovement: return "improvement";
+    case WallVerdictKind::kInsufficientSamples: return "n<2 (report-only)";
+    case WallVerdictKind::kNoChange: return "ok";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string RenderCompareReport(const CompareReport& report,
+                                const CompareOptions& options) {
+  std::string out;
+  for (const std::string& note : report.notes) {
+    out += "note: " + note + "\n";
+  }
+
+  size_t counter_mismatches = 0;
+  for (const CounterVerdict& v : report.counters) {
+    if (v.match) continue;
+    ++counter_mismatches;
+    out += "COUNTER DRIFT " + v.case_name + " " + v.counter + ": ";
+    if (!v.present_in_baseline) {
+      out += "missing from baseline, candidate=" + FormatDouble(v.candidate, 0);
+    } else if (!v.present_in_candidate) {
+      out += "baseline=" + FormatDouble(v.baseline, 0) +
+             ", missing from candidate";
+    } else {
+      out += FormatDouble(v.baseline, 0) + " -> " +
+             FormatDouble(v.candidate, 0);
+    }
+    out += "\n";
+  }
+
+  for (const WallVerdict& v : report.wall) {
+    const bool interesting = v.kind == WallVerdictKind::kRegression ||
+                             v.kind == WallVerdictKind::kImprovement;
+    if (!interesting) continue;
+    out += std::string(v.kind == WallVerdictKind::kRegression
+                           ? "WALL REGRESSION "
+                           : "wall improvement ") +
+           v.case_name + " " + v.metric + ": " +
+           FormatDouble(v.baseline_mean, 2) + " -> " +
+           FormatDouble(v.candidate_mean, 2) + " (" +
+           FormatDouble(v.rel_delta * 100.0, 1) + "%, CI [" +
+           FormatDouble(v.ci_lo, 2) + ", " + FormatDouble(v.ci_hi, 2) +
+           "])\n";
+  }
+
+  const size_t counters_checked = report.counters.size();
+  out += "summary: " + std::to_string(counters_checked) +
+         " counters checked, " + std::to_string(counter_mismatches) +
+         " drifted; " + std::to_string(report.wall.size()) +
+         " wall metrics compared, " +
+         std::to_string(std::count_if(
+             report.wall.begin(), report.wall.end(),
+             [](const WallVerdict& v) {
+               return v.kind == WallVerdictKind::kRegression;
+             })) +
+         " regressed (wall gate " +
+         (options.gate_wall ? "ON" : "off — report-only") + ")\n";
+  out += std::string("verdict: ") +
+         (report.ShouldFail(options) ? "FAIL" : "PASS") + "\n";
+  return out;
+}
+
+}  // namespace bench
+}  // namespace bpw

@@ -1,0 +1,94 @@
+// Candidate-vs-baseline judgement over two bpw-bench JSON documents.
+//
+// Two gates with different physics:
+//  - deterministic counters (and workload fingerprints): exact equality.
+//    Any drift is a real behaviour change — flagged regardless of options.
+//  - wall-clock metrics: percentile-bootstrap CI on the difference of
+//    trial means. A metric is only called a regression when the relative
+//    delta clears `min_rel_delta` AND the CI excludes zero in the bad
+//    direction; on shared CI runners these stay report-only unless
+//    `gate_wall` is set.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench/json_reader.h"
+#include "util/status.h"
+
+namespace bpw {
+namespace bench {
+
+struct CompareOptions {
+  double confidence = 0.95;
+  int resamples = 4000;
+  /// Minimum |relative delta| before a wall metric can be called a
+  /// regression/improvement — CI width alone does not flag noise-level
+  /// shifts.
+  double min_rel_delta = 0.05;
+  uint64_t bootstrap_seed = 0x5eedbe9c;
+  /// When true, wall regressions fail the gate (dedicated perf hardware);
+  /// when false they are report-only and only deterministic drift fails.
+  bool gate_wall = false;
+};
+
+enum class WallVerdictKind {
+  kNoChange,
+  kRegression,
+  kImprovement,
+  kInsufficientSamples,  ///< < 2 trials on a side: point delta, report-only
+};
+
+struct WallVerdict {
+  std::string case_name;
+  std::string metric;
+  bool higher_is_better = true;
+  double baseline_mean = 0;
+  double candidate_mean = 0;
+  double rel_delta = 0;  ///< signed, (cand-base)/|base|
+  double ci_lo = 0;      ///< bootstrap CI of (cand-base) mean difference
+  double ci_hi = 0;
+  WallVerdictKind kind = WallVerdictKind::kNoChange;
+};
+
+struct CounterVerdict {
+  std::string case_name;
+  std::string counter;
+  /// kuint64max-safe: counters are stored as doubles from JSON but are
+  /// integral by construction.
+  double baseline = 0;
+  double candidate = 0;
+  bool present_in_baseline = true;
+  bool present_in_candidate = true;
+  bool match = false;
+};
+
+struct CompareReport {
+  std::vector<WallVerdict> wall;
+  std::vector<CounterVerdict> counters;  ///< mismatches AND matches
+  std::vector<std::string> notes;        ///< env diffs, case set changes
+  bool counter_drift = false;      ///< any counter mismatch
+  bool fingerprint_drift = false;  ///< any workload fingerprint change
+  bool wall_regression = false;    ///< any kRegression wall verdict
+
+  /// True when the comparison should fail under `options`.
+  bool ShouldFail(const CompareOptions& options) const {
+    return counter_drift || fingerprint_drift ||
+           (options.gate_wall && wall_regression);
+  }
+};
+
+/// Compares two parsed bpw-bench documents. Fails (Status) on schema
+/// mismatch or malformed documents; drift is reported via CompareReport,
+/// not via Status.
+StatusOr<CompareReport> CompareBenchResults(const JsonValue& baseline,
+                                            const JsonValue& candidate,
+                                            const CompareOptions& options);
+
+/// Human-readable verdict (one line per signal, mismatches first).
+std::string RenderCompareReport(const CompareReport& report,
+                                const CompareOptions& options);
+
+}  // namespace bench
+}  // namespace bpw

@@ -1,0 +1,77 @@
+#include "bench/env_fingerprint.h"
+
+#include <thread>
+
+#include "obs/json.h"
+
+// CMake bakes these in (src/CMakeLists.txt); fall back for other builds.
+#ifndef BPW_BUILD_TYPE
+#define BPW_BUILD_TYPE "unknown"
+#endif
+#ifndef BPW_CXX_FLAGS
+#define BPW_CXX_FLAGS ""
+#endif
+
+namespace bpw {
+namespace bench {
+
+EnvFingerprint CollectEnvFingerprint() {
+  EnvFingerprint env;
+  env.hardware_threads = std::thread::hardware_concurrency();
+#if defined(__clang__)
+  env.compiler = std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+  env.compiler = std::string("gcc ") + std::to_string(__GNUC__) + "." +
+                 std::to_string(__GNUC_MINOR__) + "." +
+                 std::to_string(__GNUC_PATCHLEVEL__);
+#else
+  env.compiler = "unknown";
+#endif
+  env.build_type = BPW_BUILD_TYPE;
+  env.cxx_flags = BPW_CXX_FLAGS;
+#if defined(__linux__)
+  env.os = "linux";
+#elif defined(__APPLE__)
+  env.os = "darwin";
+#elif defined(_WIN32)
+  env.os = "windows";
+#else
+  env.os = "?";
+#endif
+#if defined(__x86_64__) || defined(_M_X64)
+  env.arch = "x86_64";
+#elif defined(__aarch64__)
+  env.arch = "aarch64";
+#else
+  env.arch = "?";
+#endif
+  env.pointer_bits = static_cast<unsigned>(sizeof(void*) * 8);
+  env.cxx_standard = __cplusplus;
+#if defined(NDEBUG)
+  env.assertions_enabled = false;
+#else
+  env.assertions_enabled = true;
+#endif
+  return env;
+}
+
+std::string EnvFingerprintToJson(const EnvFingerprint& env) {
+  using obs::JsonNumber;
+  using obs::JsonString;
+  std::string out = "{";
+  out += "\"hardware_threads\":" + JsonNumber(env.hardware_threads);
+  out += ",\"compiler\":" + JsonString(env.compiler);
+  out += ",\"build_type\":" + JsonString(env.build_type);
+  out += ",\"cxx_flags\":" + JsonString(env.cxx_flags);
+  out += ",\"os\":" + JsonString(env.os);
+  out += ",\"arch\":" + JsonString(env.arch);
+  out += ",\"pointer_bits\":" + JsonNumber(env.pointer_bits);
+  out += ",\"cxx_standard\":" + JsonNumber(static_cast<double>(env.cxx_standard));
+  out += ",\"assertions_enabled\":" +
+         std::string(env.assertions_enabled ? "true" : "false");
+  out += "}";
+  return out;
+}
+
+}  // namespace bench
+}  // namespace bpw

@@ -1,0 +1,31 @@
+// Environment fingerprint stamped into every BENCH_*.json so a baseline
+// comparison can tell "the code regressed" apart from "the machine changed".
+// Wall-clock metrics are only comparable within one fingerprint; the
+// deterministic counters are comparable across fingerprints by design.
+#pragma once
+
+#include <string>
+
+namespace bpw {
+namespace bench {
+
+struct EnvFingerprint {
+  unsigned hardware_threads = 0;  ///< std::thread::hardware_concurrency()
+  std::string compiler;           ///< e.g. "gcc 13.2.0"
+  std::string build_type;         ///< CMAKE_BUILD_TYPE baked in at compile
+  std::string cxx_flags;          ///< CMAKE_CXX_FLAGS baked in at compile
+  std::string os;                 ///< "linux" | "darwin" | "windows" | "?"
+  std::string arch;               ///< "x86_64" | "aarch64" | "?"
+  unsigned pointer_bits = 0;
+  long cxx_standard = 0;          ///< __cplusplus
+  bool assertions_enabled = false;  ///< !defined(NDEBUG)
+};
+
+/// Collects the fingerprint of this binary + host.
+EnvFingerprint CollectEnvFingerprint();
+
+/// One JSON object (obs/json.h escaping).
+std::string EnvFingerprintToJson(const EnvFingerprint& env);
+
+}  // namespace bench
+}  // namespace bpw

@@ -1,0 +1,267 @@
+#include "bench/json_reader.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace bpw {
+namespace bench {
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+double JsonValue::NumberOr(const std::string& key, double def) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->is_number() ? v->number_value : def;
+}
+
+std::string JsonValue::StringOr(const std::string& key,
+                                const std::string& def) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->is_string() ? v->string_value : def;
+}
+
+bool JsonValue::BoolOr(const std::string& key, bool def) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->is_bool() ? v->bool_value : def;
+}
+
+namespace {
+
+/// Recursive-descent parser over the whole input string. Depth-limited so a
+/// hostile file cannot blow the stack.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  StatusOr<JsonValue> Parse() {
+    JsonValue root;
+    Status s = ParseValue(root, 0);
+    if (!s.ok()) return s;
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Fail("trailing characters after JSON document");
+    }
+    return root;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  Status Fail(const std::string& what) const {
+    return Status::Corruption("JSON parse error at byte " +
+                              std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(const char* lit) {
+    const size_t len = std::strlen(lit);
+    if (text_.compare(pos_, len, lit) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(JsonValue& out, int depth) {
+    if (depth > kMaxDepth) return Fail("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"':
+        out.kind = JsonValue::Kind::kString;
+        return ParseString(out.string_value);
+      case 't':
+        if (!ConsumeLiteral("true")) return Fail("bad literal");
+        out.kind = JsonValue::Kind::kBool;
+        out.bool_value = true;
+        return Status::OK();
+      case 'f':
+        if (!ConsumeLiteral("false")) return Fail("bad literal");
+        out.kind = JsonValue::Kind::kBool;
+        out.bool_value = false;
+        return Status::OK();
+      case 'n':
+        if (!ConsumeLiteral("null")) return Fail("bad literal");
+        out.kind = JsonValue::Kind::kNull;
+        return Status::OK();
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseObject(JsonValue& out, int depth) {
+    out.kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    SkipWhitespace();
+    if (Consume('}')) return Status::OK();
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Fail("expected object key");
+      }
+      std::string key;
+      Status s = ParseString(key);
+      if (!s.ok()) return s;
+      SkipWhitespace();
+      if (!Consume(':')) return Fail("expected ':' after object key");
+      JsonValue value;
+      s = ParseValue(value, depth + 1);
+      if (!s.ok()) return s;
+      out.object.emplace_back(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return Status::OK();
+      return Fail("expected ',' or '}' in object");
+    }
+  }
+
+  Status ParseArray(JsonValue& out, int depth) {
+    out.kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    SkipWhitespace();
+    if (Consume(']')) return Status::OK();
+    while (true) {
+      JsonValue value;
+      Status s = ParseValue(value, depth + 1);
+      if (!s.ok()) return s;
+      out.array.push_back(std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return Status::OK();
+      return Fail("expected ',' or ']' in array");
+    }
+  }
+
+  Status ParseString(std::string& out) {
+    ++pos_;  // opening '"'
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return Status::OK();
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Fail("raw control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return Fail("bad hex digit in \\u escape");
+          }
+          // Encode the BMP code point as UTF-8 (surrogate pairs unsupported;
+          // obs/json.h never emits them).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          return Fail("bad escape character");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  Status ParseNumber(JsonValue& out) {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '.' || c == '+' || c == '-' ||
+          c == 'e' || c == 'E') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) return Fail("unexpected character");
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0' || end == token.c_str()) {
+      return Fail("malformed number '" + token + "'");
+    }
+    out.kind = JsonValue::Kind::kNumber;
+    out.number_value = v;
+    return Status::OK();
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<JsonValue> ParseJson(const std::string& text) {
+  return Parser(text).Parse();
+}
+
+StatusOr<JsonValue> ParseJsonFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  std::string content;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    content.append(buf, n);
+  }
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) return Status::IOError("read failed for " + path);
+  return ParseJson(content);
+}
+
+}  // namespace bench
+}  // namespace bpw

@@ -1,0 +1,55 @@
+// Minimal JSON parser for the benchmark pipeline: bench_compare must read
+// back the BENCH_*.json files that obs/json.h writes, and the container has
+// no JSON library to lean on. Full JSON (RFC 8259) minus \uXXXX surrogate
+// pairs (escapes decode to code points <= 0xFFFF as UTF-8); numbers parse
+// as double, which is exact for the integer counters the compare gate cares
+// about (all far below 2^53).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace bpw {
+namespace bench {
+
+/// A parsed JSON document node. Object member order is preserved.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number_value = 0;
+  std::string string_value;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_bool() const { return kind == Kind::kBool; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_object() const { return kind == Kind::kObject; }
+
+  /// Object member lookup (first match); nullptr when absent or not an
+  /// object.
+  const JsonValue* Find(const std::string& key) const;
+
+  /// Typed conveniences returning a default when the shape mismatches.
+  double NumberOr(const std::string& key, double def) const;
+  std::string StringOr(const std::string& key, const std::string& def) const;
+  bool BoolOr(const std::string& key, bool def) const;
+};
+
+/// Parses one JSON document; trailing non-whitespace is an error.
+StatusOr<JsonValue> ParseJson(const std::string& text);
+
+/// Reads and parses a JSON file.
+StatusOr<JsonValue> ParseJsonFile(const std::string& path);
+
+}  // namespace bench
+}  // namespace bpw

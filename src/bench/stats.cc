@@ -1,0 +1,103 @@
+#include "bench/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/random.h"
+
+namespace bpw {
+namespace bench {
+
+double Percentile(std::vector<double> samples, double pct) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  pct = std::clamp(pct, 0.0, 100.0);
+  const double rank = pct / 100.0 * static_cast<double>(samples.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples[lo] + (samples[hi] - samples[lo]) * frac;
+}
+
+Summary Summarize(const std::vector<double>& samples) {
+  Summary s;
+  s.n = samples.size();
+  if (samples.empty()) return s;
+  s.min = samples[0];
+  s.max = samples[0];
+  double sum = 0;
+  for (double v : samples) {
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+    sum += v;
+  }
+  s.mean = sum / static_cast<double>(s.n);
+  if (s.n >= 2) {
+    double sq = 0;
+    for (double v : samples) sq += (v - s.mean) * (v - s.mean);
+    s.stddev = std::sqrt(sq / static_cast<double>(s.n - 1));
+  }
+  s.p50 = Percentile(samples, 50);
+  s.p95 = Percentile(samples, 95);
+  return s;
+}
+
+double AggregateRate(const std::vector<double>& counts,
+                     const std::vector<double>& seconds) {
+  double total_count = 0;
+  double total_seconds = 0;
+  const size_t n = std::min(counts.size(), seconds.size());
+  for (size_t i = 0; i < n; ++i) {
+    total_count += counts[i];
+    total_seconds += seconds[i];
+  }
+  return total_seconds > 0 ? total_count / total_seconds : 0;
+}
+
+double RelativeDelta(double baseline, double candidate) {
+  return baseline == 0 ? 0 : (candidate - baseline) / std::fabs(baseline);
+}
+
+namespace {
+
+double MeanOf(const std::vector<double>& v) {
+  double sum = 0;
+  for (double x : v) sum += x;
+  return v.empty() ? 0 : sum / static_cast<double>(v.size());
+}
+
+double ResampledMean(const std::vector<double>& v, Random& rng) {
+  double sum = 0;
+  for (size_t i = 0; i < v.size(); ++i) sum += v[rng.Uniform(v.size())];
+  return sum / static_cast<double>(v.size());
+}
+
+}  // namespace
+
+BootstrapCI BootstrapMeanDiff(const std::vector<double>& baseline,
+                              const std::vector<double>& candidate,
+                              int resamples, double confidence,
+                              uint64_t seed) {
+  BootstrapCI ci;
+  if (baseline.size() < 2 || candidate.size() < 2 || resamples < 1) {
+    // No spread information: report the point difference, flagged invalid.
+    ci.lo = ci.hi = MeanOf(candidate) - MeanOf(baseline);
+    return ci;
+  }
+  confidence = std::clamp(confidence, 0.5, 0.9999);
+  Random rng(seed);
+  std::vector<double> diffs;
+  diffs.reserve(static_cast<size_t>(resamples));
+  for (int i = 0; i < resamples; ++i) {
+    diffs.push_back(ResampledMean(candidate, rng) -
+                    ResampledMean(baseline, rng));
+  }
+  const double tail = (1.0 - confidence) / 2.0 * 100.0;
+  ci.lo = Percentile(diffs, tail);
+  ci.hi = Percentile(std::move(diffs), 100.0 - tail);
+  ci.valid = true;
+  return ci;
+}
+
+}  // namespace bench
+}  // namespace bpw

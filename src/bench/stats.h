@@ -1,0 +1,66 @@
+// Statistics helpers for the benchmark pipeline: summary statistics,
+// percentiles, throughput aggregation, and bootstrap confidence intervals.
+//
+// These back both the runner (per-case trial summaries in BENCH_*.json) and
+// bench_compare (candidate-vs-baseline judgement), so they must behave for
+// adversarial inputs: n = 1, constant series, heavy-tailed samples. All
+// randomness (the bootstrap resampler) is seeded explicitly — two compares
+// of the same files produce byte-identical verdicts.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace bpw {
+namespace bench {
+
+/// Five-number-ish summary of a sample vector. Zeroed when n == 0.
+struct Summary {
+  size_t n = 0;
+  double min = 0;
+  double max = 0;
+  double mean = 0;
+  double stddev = 0;  ///< sample stddev (n-1 denominator); 0 when n < 2
+  double p50 = 0;
+  double p95 = 0;
+};
+
+Summary Summarize(const std::vector<double>& samples);
+
+/// Percentile with linear interpolation between closest ranks: for sorted
+/// x[0..n-1] the rank is pct/100 * (n-1). pct is clamped to [0, 100];
+/// n == 1 returns the single sample; n == 0 returns 0.
+double Percentile(std::vector<double> samples, double pct);
+
+/// Aggregate rate from per-trial (count, seconds) pairs: sum(counts) /
+/// sum(seconds). Unlike a mean of per-trial rates this weights trials by
+/// their actual window, so a short straggler trial cannot dominate.
+/// Returns 0 when the total window is <= 0.
+double AggregateRate(const std::vector<double>& counts,
+                     const std::vector<double>& seconds);
+
+/// Relative delta (candidate - baseline) / |baseline|; 0 when baseline is 0.
+double RelativeDelta(double baseline, double candidate);
+
+/// A two-sided bootstrap confidence interval. `valid` is false when either
+/// side has fewer than 2 samples (a single trial carries no spread
+/// information — callers must degrade to report-only point comparison).
+struct BootstrapCI {
+  double lo = 0;
+  double hi = 0;
+  bool valid = false;
+};
+
+/// Percentile-bootstrap CI for mean(candidate) - mean(baseline): resamples
+/// each side with replacement `resamples` times and takes the
+/// (1-confidence)/2 tails of the resampled difference distribution.
+/// Deterministic for a given seed. Constant series yield a zero-width
+/// (but valid) interval.
+BootstrapCI BootstrapMeanDiff(const std::vector<double>& baseline,
+                              const std::vector<double>& candidate,
+                              int resamples, double confidence,
+                              uint64_t seed);
+
+}  // namespace bench
+}  // namespace bpw

@@ -128,19 +128,24 @@ StatusOr<DriverResult> RunDriver(const DriverConfig& config) {
   std::vector<WorkerOutput> outputs(config.num_threads);
   std::vector<std::thread> workers;
   workers.reserve(config.num_threads);
-  for (uint32_t t = 0; t < config.num_threads; ++t) {
-    workers.emplace_back(WorkerLoop, std::ref(pool), std::cref(config), t,
-                         std::cref(phase), std::ref(outputs[t]));
-  }
 
   LockStats lock_before;
   obs::MetricsSnapshot metrics_before;
   uint64_t measure_start = 0;
   uint64_t measure_end = 0;
   const bool count_mode = config.transactions_per_thread > 0;
+  // Count mode measures the whole run, so the before-snapshot must precede
+  // the workers' existence: a fast worker can otherwise finish before the
+  // snapshot and its registry increments vanish from the delta.
   if (count_mode) {
     metrics_before = registry.Snapshot();
     measure_start = NowNanos();
+  }
+  for (uint32_t t = 0; t < config.num_threads; ++t) {
+    workers.emplace_back(WorkerLoop, std::ref(pool), std::cref(config), t,
+                         std::cref(phase), std::ref(outputs[t]));
+  }
+  if (count_mode) {
     for (auto& w : workers) w.join();
     measure_end = NowNanos();
     lock_before = LockStats{};  // whole run counts

@@ -53,11 +53,29 @@ void TableReporter::Print(const std::string& title) const {
   std::printf("\n");
 }
 
+namespace {
+
+// RFC 4180 field escaping: cells containing a comma, quote, or newline are
+// quoted, with embedded quotes doubled. Policy/system labels are free-form
+// strings, so an unescaped cell would silently shift every column after it.
+std::string CsvField(const std::string& cell) {
+  if (cell.find_first_of(",\"\n\r") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
 std::string TableReporter::ToCsv() const {
   std::string out;
   auto append_row = [&out](const std::vector<std::string>& row) {
     for (size_t c = 0; c < row.size(); ++c) {
-      out += row[c];
+      out += CsvField(row[c]);
       out += c + 1 == row.size() ? '\n' : ',';
     }
   };

@@ -145,7 +145,9 @@ class Simulation {
 
   /// Applies the queued accesses to the policy in arrival order, skipping
   /// entries whose frame was re-used since recording (§IV-B tag check).
-  void CommitQueue(Proc& proc);
+  /// `measuring` gates the coord.* counters the way SimLock gates LockStats,
+  /// so the metrics delta covers the measurement window only.
+  void CommitQueue(Proc& proc, bool measuring);
 
   void StepAccess(Proc& proc);
   void HandleHit(Proc& proc, PageId page, FrameId frame);
@@ -180,16 +182,28 @@ class Simulation {
   uint64_t evictions_ = 0;
   uint64_t writebacks_ = 0;
   uint64_t stale_commits_ = 0;
+  // Measured-window batch-commit statistics, mirroring the names the host
+  // BpWrapperCoordinator registers with the metrics registry so BENCH json
+  // carries one counter vocabulary across both execution modes.
+  uint64_t commit_batches_ = 0;
+  uint64_t committed_entries_ = 0;
+  uint64_t lock_fallbacks_ = 0;
 };
 
-void Simulation::CommitQueue(Proc& proc) {
+void Simulation::CommitQueue(Proc& proc, bool measuring) {
+  uint64_t stale = 0;
   for (const QueueEntry& entry : proc.queue) {
     if (entry.frame < frame_page_.size() &&
         frame_page_[entry.frame] == entry.page) {
       policy_->OnHit(entry.page, entry.frame);
     } else {
-      ++stale_commits_;
+      ++stale;
     }
+  }
+  if (measuring && !proc.queue.empty()) {
+    ++commit_batches_;
+    committed_entries_ += proc.queue.size() - stale;
+    stale_commits_ += stale;
   }
   proc.queue.clear();
 }
@@ -213,16 +227,18 @@ void Simulation::HandleHit(Proc& proc, PageId page, FrameId frame) {
       const uint64_t occupancy = Occupancy(proc.queue.size());
       uint64_t release;
       proc.now += costs_.trylock;
-      if (lock_.TryAcquire(proc.now, occupancy, Measuring(proc.now),
-                           &release)) {
+      bool measuring = Measuring(proc.now);
+      if (lock_.TryAcquire(proc.now, occupancy, measuring, &release)) {
         proc.now = release;
-        CommitQueue(proc);
+        CommitQueue(proc, measuring);
         return;
       }
       if (proc.queue.size() < queue_size_) return;  // keep recording
-      proc.now =
-          lock_.AcquireBlocking(proc.now, occupancy, Measuring(proc.now));
-      CommitQueue(proc);
+      // The queue is full: the paper's blocking-Lock fallback.
+      measuring = Measuring(proc.now);
+      if (measuring) ++lock_fallbacks_;
+      proc.now = lock_.AcquireBlocking(proc.now, occupancy, measuring);
+      CommitQueue(proc, measuring);
       return;
     }
   }
@@ -238,8 +254,9 @@ void Simulation::HandleMiss(Proc& proc, PageId page, bool is_write) {
     const bool need_evict = free_frames_.empty();
     const uint64_t occupancy =
         Occupancy(queued, need_evict ? costs_.victim_search : 0);
-    proc.now = lock_.AcquireBlocking(proc.now, occupancy, Measuring(proc.now));
-    if (mode_ == Mode::kBpWrapper) CommitQueue(proc);
+    const bool measuring = Measuring(proc.now);
+    proc.now = lock_.AcquireBlocking(proc.now, occupancy, measuring);
+    if (mode_ == Mode::kBpWrapper) CommitQueue(proc, measuring);
     if (need_evict) {
       auto victim = policy_->ChooseVictim([](FrameId) { return true; }, page);
       if (!victim.ok()) return;  // cannot happen: no pins in the simulator
@@ -435,6 +452,21 @@ StatusOr<DriverResult> Simulation::Run() {
   }
   result.evictions = evictions_;
   result.writebacks = writebacks_;
+  // Same snapshot vocabulary the host driver pulls from the metrics
+  // registry, so downstream tooling (bpw_bench, bench_compare) reads one
+  // counter namespace regardless of execution mode. All deterministic.
+  result.metrics.Add("coord.commit_batches",
+                     static_cast<double>(commit_batches_));
+  result.metrics.Add("coord.committed_entries",
+                     static_cast<double>(committed_entries_));
+  result.metrics.Add("coord.stale_commits",
+                     static_cast<double>(stale_commits_));
+  result.metrics.Add("coord.lock_fallbacks",
+                     static_cast<double>(lock_fallbacks_));
+  result.metrics.Add("buffer.hits", static_cast<double>(result.hits));
+  result.metrics.Add("buffer.misses", static_cast<double>(result.misses));
+  result.metrics.Add("buffer.evictions", static_cast<double>(evictions_));
+  result.metrics.Add("buffer.writebacks", static_cast<double>(writebacks_));
   return result;
 }
 

@@ -1,0 +1,35 @@
+#include "workload/trace_fingerprint.h"
+
+namespace bpw {
+
+namespace {
+inline uint64_t FnvByte(uint64_t fp, uint8_t byte) {
+  return (fp ^ byte) * 0x100000001b3ULL;
+}
+}  // namespace
+
+uint64_t TraceFingerprintStep(uint64_t fp, const PageAccess& access) {
+  uint64_t page = access.page;
+  for (int i = 0; i < 8; ++i) {
+    fp = FnvByte(fp, static_cast<uint8_t>(page & 0xFF));
+    page >>= 8;
+  }
+  const uint8_t flags = static_cast<uint8_t>((access.is_write ? 1 : 0) |
+                                             (access.begins_transaction ? 2 : 0));
+  return FnvByte(fp, flags);
+}
+
+uint64_t TraceFingerprint(const WorkloadSpec& spec, uint32_t num_threads,
+                          uint64_t accesses_per_thread) {
+  uint64_t fp = kTraceFingerprintSeed;
+  for (uint32_t t = 0; t < num_threads; ++t) {
+    auto trace = CreateTrace(spec, t);
+    if (trace == nullptr) return 0;
+    for (uint64_t i = 0; i < accesses_per_thread; ++i) {
+      fp = TraceFingerprintStep(fp, trace->Next());
+    }
+  }
+  return fp;
+}
+
+}  // namespace bpw

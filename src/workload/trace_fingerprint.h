@@ -1,0 +1,26 @@
+// 64-bit fingerprint of a workload's access stream. The benchmark pipeline
+// stamps it into BENCH_*.json and bench_compare refuses counter comparisons
+// across differing fingerprints: if a refactor changes what a generator
+// emits, every baseline derived from the old stream is invalid, and that
+// must fail loudly instead of showing up as a mystery counter drift.
+#pragma once
+
+#include <cstdint>
+
+#include "workload/trace_generator.h"
+
+namespace bpw {
+
+/// FNV-1a offset basis; the fingerprint of an empty stream.
+inline constexpr uint64_t kTraceFingerprintSeed = 0xcbf29ce484222325ULL;
+
+/// Folds one access into a running FNV-1a fingerprint.
+uint64_t TraceFingerprintStep(uint64_t fp, const PageAccess& access);
+
+/// Fingerprint of the first `accesses_per_thread` accesses of each of
+/// `num_threads` per-thread streams of `spec`, folded in thread order.
+/// Deterministic for a given spec. Returns 0 for an unknown workload name.
+uint64_t TraceFingerprint(const WorkloadSpec& spec, uint32_t num_threads,
+                          uint64_t accesses_per_thread);
+
+}  // namespace bpw

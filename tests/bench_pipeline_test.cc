@@ -1,0 +1,415 @@
+// End-to-end tests of the benchmark pipeline: runner -> schema-versioned
+// JSON -> parser -> compare gate.
+//
+// The acceptance contract these pin down:
+//  - the smoke suite produces schema-valid bpw-bench/1 JSON with an
+//    environment fingerprint, per-trial samples, and deterministic
+//    counters;
+//  - a self-compare reports no regression;
+//  - a synthetically injected 10% throughput regression is flagged;
+//  - an off-by-one lock-acquisition counter drift is flagged.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench/compare.h"
+#include "bench/json_reader.h"
+#include "bench/runner.h"
+#include "bench/suite.h"
+#include "gtest/gtest.h"
+
+namespace bpw {
+namespace bench {
+namespace {
+
+// One reduced in-process run of the real "smoke" suite, shared by every
+// test in this file (the suite is deterministic where it matters; the wall
+// cases just need to produce trials, not stable numbers).
+const SuiteRunResult& SmokeRun() {
+  static const SuiteRunResult* run = [] {
+    const BenchSuite* smoke = FindSuite("smoke");
+    EXPECT_NE(smoke, nullptr);
+    RunnerOptions options;
+    options.trials = 2;
+    options.warmup_trials = 0;
+    auto result = RunSuite(*smoke, options);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return new SuiteRunResult(std::move(result).value());
+  }();
+  return *run;
+}
+
+const std::string& SmokeJson() {
+  static const std::string* json =
+      new std::string(SuiteResultToJson(SmokeRun()));
+  return *json;
+}
+
+JsonValue ParsedSmoke() {
+  auto doc = ParseJson(SmokeJson());
+  EXPECT_TRUE(doc.ok()) << doc.status().ToString();
+  return std::move(doc).value();
+}
+
+// --- mutable JSON helpers (JsonValue members are public) -----------------
+
+JsonValue* FindMut(JsonValue& obj, const std::string& key) {
+  if (!obj.is_object()) return nullptr;
+  for (auto& [k, v] : obj.object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+JsonValue* FindCase(JsonValue& doc, const std::string& name) {
+  JsonValue* cases = FindMut(doc, "cases");
+  if (cases == nullptr) return nullptr;
+  for (JsonValue& c : cases->array) {
+    if (c.StringOr("name", "") == name) return &c;
+  }
+  return nullptr;
+}
+
+JsonValue MakeNumber(double v) {
+  JsonValue n;
+  n.kind = JsonValue::Kind::kNumber;
+  n.number_value = v;
+  return n;
+}
+
+// Replaces a wall case's throughput_tps trial series with a synthetic,
+// low-variance one so the bootstrap verdicts under test are not hostage to
+// scheduler noise in the real measured trials.
+void SetThroughputTrials(JsonValue& case_obj,
+                         const std::vector<double>& values) {
+  JsonValue* trials = FindMut(case_obj, "trials");
+  ASSERT_NE(trials, nullptr);
+  trials->array.clear();
+  for (double v : values) {
+    JsonValue trial;
+    trial.kind = JsonValue::Kind::kObject;
+    trial.object.emplace_back("throughput_tps", MakeNumber(v));
+    trial.object.emplace_back("measure_seconds", MakeNumber(0.08));
+    trials->array.push_back(std::move(trial));
+  }
+}
+
+constexpr const char* kWallCase = "wall.host.dbt2.pgBatPre.t4";
+constexpr const char* kDetCase = "det.sim.dbt2.pgBatPre.p8";
+
+// --- suite registry ------------------------------------------------------
+
+TEST(BenchSuites, BuiltinsAreRegistered) {
+  EXPECT_NE(FindSuite("smoke"), nullptr);
+  EXPECT_NE(FindSuite("paper"), nullptr);
+  EXPECT_EQ(FindSuite("no-such-suite"), nullptr);
+  const auto names = KnownSuiteNames();
+  EXPECT_GE(names.size(), 2u);
+}
+
+TEST(BenchSuites, RegisterReplacesByName) {
+  BenchSuite custom;
+  custom.name = "pipeline-test-suite";
+  custom.description = "v1";
+  RegisterSuite(custom);
+  custom.description = "v2";
+  RegisterSuite(std::move(custom));
+  const BenchSuite* found = FindSuite("pipeline-test-suite");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->description, "v2");
+}
+
+// --- schema validity -----------------------------------------------------
+
+TEST(BenchPipeline, SmokeJsonIsSchemaValid) {
+  JsonValue doc = ParsedSmoke();
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.StringOr("schema", ""), kBenchSchemaName);
+  EXPECT_EQ(doc.NumberOr("schema_version", -1), kBenchSchemaVersion);
+  EXPECT_EQ(doc.StringOr("suite", ""), "smoke");
+  EXPECT_EQ(doc.NumberOr("trials", 0), 2);
+
+  const JsonValue* env = doc.Find("environment");
+  ASSERT_NE(env, nullptr);
+  ASSERT_TRUE(env->is_object());
+  EXPECT_GE(env->NumberOr("hardware_threads", 0), 1);
+  EXPECT_FALSE(env->StringOr("compiler", "").empty());
+  EXPECT_FALSE(env->StringOr("os", "").empty());
+  EXPECT_FALSE(env->StringOr("arch", "").empty());
+
+  const JsonValue* cases = doc.Find("cases");
+  ASSERT_NE(cases, nullptr);
+  ASSERT_TRUE(cases->is_array());
+  ASSERT_FALSE(cases->array.empty());
+
+  bool saw_wall = false, saw_det = false;
+  for (const JsonValue& c : cases->array) {
+    EXPECT_FALSE(c.StringOr("name", "").empty());
+    const std::string mode = c.StringOr("mode", "");
+    EXPECT_TRUE(mode == "host" || mode == "sim") << mode;
+
+    const JsonValue* wl = c.Find("workload");
+    ASSERT_NE(wl, nullptr);
+    const std::string fp = wl->StringOr("fingerprint", "");
+    ASSERT_EQ(fp.size(), 18u) << fp;  // "0x" + 16 hex digits
+    EXPECT_EQ(fp.substr(0, 2), "0x");
+    EXPECT_NE(fp, "0x0000000000000000")
+        << "fingerprint must be computed, not defaulted";
+
+    const JsonValue* trials = c.Find("trials");
+    ASSERT_NE(trials, nullptr);
+    ASSERT_TRUE(trials->is_array());
+    const bool deterministic = c.BoolOr("deterministic", false);
+    EXPECT_EQ(trials->array.size(), deterministic ? 1u : 2u);
+    for (const JsonValue& t : trials->array) {
+      EXPECT_TRUE(t.Find("throughput_tps") != nullptr);
+      EXPECT_GT(t.NumberOr("measure_seconds", 0), 0.0);
+    }
+    EXPECT_NE(c.Find("summary"), nullptr);
+
+    if (deterministic) {
+      saw_det = true;
+      const JsonValue* counters = c.Find("counters");
+      ASSERT_NE(counters, nullptr);
+      ASSERT_TRUE(counters->is_object());
+      EXPECT_GT(counters->NumberOr("accesses", 0), 0.0);
+      EXPECT_NE(counters->Find("lock.acquisitions"), nullptr);
+    } else {
+      saw_wall = true;
+      EXPECT_EQ(c.Find("counters"), nullptr)
+          << "wall cases must not emit gated counters";
+    }
+  }
+  EXPECT_TRUE(saw_wall);
+  EXPECT_TRUE(saw_det);
+}
+
+TEST(BenchPipeline, DeterministicCasesReproduceExactly) {
+  // Re-run only the deterministic smoke cases: every gated counter must
+  // come back identical — the premise of the exact-equality gate.
+  const BenchSuite* smoke = FindSuite("smoke");
+  ASSERT_NE(smoke, nullptr);
+  BenchSuite det_only;
+  det_only.name = "det-only";
+  det_only.trials = 1;
+  det_only.warmup_trials = 0;
+  for (const BenchCase& c : smoke->cases) {
+    if (c.deterministic) det_only.cases.push_back(c);
+  }
+  ASSERT_FALSE(det_only.cases.empty());
+
+  RunnerOptions options;
+  options.trials = 1;
+  options.warmup_trials = 0;
+  auto rerun = RunSuite(det_only, options);
+  ASSERT_TRUE(rerun.ok()) << rerun.status().ToString();
+
+  for (const CaseResult& again : rerun.value().cases) {
+    const CaseResult* first = nullptr;
+    for (const CaseResult& c : SmokeRun().cases) {
+      if (c.name == again.name) first = &c;
+    }
+    ASSERT_NE(first, nullptr) << again.name;
+    EXPECT_EQ(first->counters, again.counters)
+        << "deterministic case '" << again.name
+        << "' did not reproduce its counters";
+    EXPECT_EQ(first->workload_fingerprint, again.workload_fingerprint);
+  }
+}
+
+// --- compare gate --------------------------------------------------------
+
+CompareOptions GatedOptions() {
+  CompareOptions options;
+  options.gate_wall = true;
+  return options;
+}
+
+TEST(BenchCompare, SelfCompareIsACleanPass) {
+  JsonValue base = ParsedSmoke();
+  JsonValue cand = ParsedSmoke();
+  auto report = CompareBenchResults(base, cand, GatedOptions());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_FALSE(report.value().counter_drift);
+  EXPECT_FALSE(report.value().fingerprint_drift);
+  EXPECT_FALSE(report.value().wall_regression);
+  EXPECT_FALSE(report.value().ShouldFail(GatedOptions()));
+  EXPECT_FALSE(report.value().counters.empty());
+  const std::string rendered =
+      RenderCompareReport(report.value(), GatedOptions());
+  EXPECT_NE(rendered.find("verdict: PASS"), std::string::npos) << rendered;
+}
+
+TEST(BenchCompare, FlagsInjectedTenPercentThroughputRegression) {
+  JsonValue base = ParsedSmoke();
+  JsonValue cand = ParsedSmoke();
+  // Low-variance synthetic series; candidate is exactly 10% down.
+  const std::vector<double> base_tps = {1000, 1010, 990, 1005, 995};
+  std::vector<double> cand_tps;
+  for (double v : base_tps) cand_tps.push_back(v * 0.9);
+  JsonValue* base_case = FindCase(base, kWallCase);
+  JsonValue* cand_case = FindCase(cand, kWallCase);
+  ASSERT_NE(base_case, nullptr);
+  ASSERT_NE(cand_case, nullptr);
+  SetThroughputTrials(*base_case, base_tps);
+  SetThroughputTrials(*cand_case, cand_tps);
+
+  auto report = CompareBenchResults(base, cand, GatedOptions());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report.value().wall_regression);
+  EXPECT_TRUE(report.value().ShouldFail(GatedOptions()));
+
+  const WallVerdict* verdict = nullptr;
+  for (const WallVerdict& v : report.value().wall) {
+    if (v.case_name == kWallCase && v.metric == "throughput_tps") {
+      verdict = &v;
+    }
+  }
+  ASSERT_NE(verdict, nullptr);
+  EXPECT_EQ(verdict->kind, WallVerdictKind::kRegression);
+  EXPECT_NEAR(verdict->rel_delta, -0.10, 0.01);
+  EXPECT_LT(verdict->ci_hi, 0.0);  // CI excludes zero on the bad side
+
+  // Default options keep wall regressions report-only: deterministic
+  // counters did not drift, so the gate itself passes.
+  CompareOptions report_only;
+  EXPECT_FALSE(report.value().ShouldFail(report_only));
+
+  const std::string rendered =
+      RenderCompareReport(report.value(), GatedOptions());
+  EXPECT_NE(rendered.find("WALL REGRESSION"), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("verdict: FAIL"), std::string::npos) << rendered;
+}
+
+TEST(BenchCompare, NoiseLevelShiftBelowMinRelDeltaIsNotARegression) {
+  JsonValue base = ParsedSmoke();
+  JsonValue cand = ParsedSmoke();
+  // A consistent but tiny (2%) dip: significant by CI, below min_rel_delta.
+  const std::vector<double> base_tps = {1000, 1010, 990, 1005, 995};
+  std::vector<double> cand_tps;
+  for (double v : base_tps) cand_tps.push_back(v * 0.98);
+  SetThroughputTrials(*FindCase(base, kWallCase), base_tps);
+  SetThroughputTrials(*FindCase(cand, kWallCase), cand_tps);
+
+  auto report = CompareBenchResults(base, cand, GatedOptions());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_FALSE(report.value().wall_regression);
+}
+
+TEST(BenchCompare, FlagsOffByOneLockAcquisitionDrift) {
+  JsonValue base = ParsedSmoke();
+  JsonValue cand = ParsedSmoke();
+  JsonValue* cand_case = FindCase(cand, kDetCase);
+  ASSERT_NE(cand_case, nullptr);
+  JsonValue* counters = FindMut(*cand_case, "counters");
+  ASSERT_NE(counters, nullptr);
+  JsonValue* acq = FindMut(*counters, "lock.acquisitions");
+  ASSERT_NE(acq, nullptr);
+  acq->number_value += 1;  // the smallest possible behaviour change
+
+  // Off-by-one drift fails even the default (report-only-wall) options.
+  CompareOptions options;
+  auto report = CompareBenchResults(base, cand, options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report.value().counter_drift);
+  EXPECT_TRUE(report.value().ShouldFail(options));
+
+  const CounterVerdict* drift = nullptr;
+  for (const CounterVerdict& v : report.value().counters) {
+    if (!v.match) {
+      EXPECT_EQ(drift, nullptr) << "only one counter should drift";
+      drift = &v;
+    }
+  }
+  ASSERT_NE(drift, nullptr);
+  EXPECT_EQ(drift->case_name, kDetCase);
+  EXPECT_EQ(drift->counter, "lock.acquisitions");
+  EXPECT_EQ(drift->candidate, drift->baseline + 1);
+
+  const std::string rendered = RenderCompareReport(report.value(), options);
+  EXPECT_NE(rendered.find("COUNTER DRIFT"), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("verdict: FAIL"), std::string::npos) << rendered;
+}
+
+TEST(BenchCompare, WorkloadFingerprintDriftInvalidatesBaseline) {
+  JsonValue base = ParsedSmoke();
+  JsonValue cand = ParsedSmoke();
+  JsonValue* wl = FindMut(*FindCase(cand, kDetCase), "workload");
+  ASSERT_NE(wl, nullptr);
+  JsonValue* fp = FindMut(*wl, "fingerprint");
+  ASSERT_NE(fp, nullptr);
+  fp->string_value = "0xdeadbeefdeadbeef";
+
+  CompareOptions options;
+  auto report = CompareBenchResults(base, cand, options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report.value().fingerprint_drift);
+  EXPECT_TRUE(report.value().ShouldFail(options));
+}
+
+TEST(BenchCompare, MissingDeterministicCaseIsDrift) {
+  JsonValue base = ParsedSmoke();
+  JsonValue cand = ParsedSmoke();
+  JsonValue* cases = FindMut(cand, "cases");
+  ASSERT_NE(cases, nullptr);
+  cases->array.erase(
+      std::remove_if(cases->array.begin(), cases->array.end(),
+                     [](const JsonValue& c) {
+                       return c.StringOr("name", "") == kDetCase;
+                     }),
+      cases->array.end());
+
+  CompareOptions options;
+  auto report = CompareBenchResults(base, cand, options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report.value().counter_drift)
+      << "a vanished deterministic case silently narrows gate coverage";
+}
+
+TEST(BenchCompare, SchemaVersionMismatchIsAnError) {
+  JsonValue base = ParsedSmoke();
+  JsonValue cand = ParsedSmoke();
+  JsonValue* version = FindMut(cand, "schema_version");
+  ASSERT_NE(version, nullptr);
+  version->number_value = kBenchSchemaVersion + 1;
+  auto report = CompareBenchResults(base, cand, CompareOptions{});
+  EXPECT_FALSE(report.ok());
+}
+
+// --- JSON reader spot checks --------------------------------------------
+
+TEST(JsonReader, ParsesEscapesAndNesting) {
+  auto doc = ParseJson(
+      "{\"a\":[1,2.5,-3e2],\"s\":\"q\\\"\\n\\u0041\",\"b\":true,"
+      "\"n\":null,\"o\":{\"k\":0}}");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const JsonValue& v = doc.value();
+  const JsonValue* a = v.Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->array.size(), 3u);
+  EXPECT_EQ(a->array[2].number_value, -300.0);
+  EXPECT_EQ(v.StringOr("s", ""), "q\"\nA");
+  EXPECT_TRUE(v.BoolOr("b", false));
+  const JsonValue* n = v.Find("n");
+  ASSERT_NE(n, nullptr);
+  EXPECT_TRUE(n->is_null());
+}
+
+TEST(JsonReader, RejectsMalformedDocuments) {
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("{\"a\":}").ok());
+  EXPECT_FALSE(ParseJson("{\"a\":1} trailing").ok());
+  EXPECT_FALSE(ParseJson("[1,2,").ok());
+  EXPECT_FALSE(ParseJson("\"unterminated").ok());
+}
+
+TEST(JsonReader, RoundTripsRunnerOutput) {
+  // The parser must accept everything obs/json.h emits; a second
+  // parse-serialize of the smoke document is the cheap proxy.
+  auto doc = ParseJson(SmokeJson());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace bpw

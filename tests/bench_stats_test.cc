@@ -1,0 +1,185 @@
+// Unit tests for the benchmark-pipeline statistics helpers, including the
+// adversarial inputs the compare gate must survive: n = 1, constant
+// series, heavy-tailed samples, empty vectors, mismatched lengths.
+#include "bench/stats.h"
+
+#include <cmath>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace bpw {
+namespace bench {
+namespace {
+
+TEST(Percentile, EmptyReturnsZero) {
+  EXPECT_EQ(Percentile({}, 50), 0.0);
+}
+
+TEST(Percentile, SingleSampleAtEveryPercentile) {
+  EXPECT_EQ(Percentile({7.5}, 0), 7.5);
+  EXPECT_EQ(Percentile({7.5}, 50), 7.5);
+  EXPECT_EQ(Percentile({7.5}, 100), 7.5);
+}
+
+TEST(Percentile, LinearInterpolationBetweenRanks) {
+  // Sorted {10, 20, 30, 40}: rank(50%) = 1.5 -> 25; rank(25%) = 0.75 -> 17.5.
+  const std::vector<double> v = {40, 10, 30, 20};  // unsorted on purpose
+  EXPECT_DOUBLE_EQ(Percentile(v, 50), 25.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 25), 17.5);
+  EXPECT_DOUBLE_EQ(Percentile(v, 0), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100), 40.0);
+}
+
+TEST(Percentile, OutOfRangePctIsClamped) {
+  const std::vector<double> v = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(Percentile(v, -10), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 250), 3.0);
+}
+
+TEST(Summarize, EmptyIsAllZero) {
+  const Summary s = Summarize({});
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.stddev, 0.0);
+  EXPECT_EQ(s.p95, 0.0);
+}
+
+TEST(Summarize, SingleSampleHasZeroStddev) {
+  const Summary s = Summarize({42.0});
+  EXPECT_EQ(s.n, 1u);
+  EXPECT_EQ(s.min, 42.0);
+  EXPECT_EQ(s.max, 42.0);
+  EXPECT_EQ(s.mean, 42.0);
+  EXPECT_EQ(s.stddev, 0.0);  // n-1 denominator undefined at n=1 -> 0
+  EXPECT_EQ(s.p50, 42.0);
+}
+
+TEST(Summarize, ConstantSeries) {
+  const Summary s = Summarize({5, 5, 5, 5, 5});
+  EXPECT_EQ(s.mean, 5.0);
+  EXPECT_EQ(s.stddev, 0.0);
+  EXPECT_EQ(s.min, 5.0);
+  EXPECT_EQ(s.max, 5.0);
+  EXPECT_EQ(s.p95, 5.0);
+}
+
+TEST(Summarize, KnownSampleStddev) {
+  // {2, 4, 4, 4, 5, 5, 7, 9}: mean 5, sample variance 32/7.
+  const Summary s = Summarize({2, 4, 4, 4, 5, 5, 7, 9});
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_EQ(s.min, 2.0);
+  EXPECT_EQ(s.max, 9.0);
+}
+
+TEST(Summarize, HeavyTailDoesNotOverflowOrReorder) {
+  // One extreme outlier: percentiles must stay anchored to the bulk.
+  const Summary s = Summarize({1, 1, 1, 1, 1, 1, 1, 1, 1, 1e12});
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.max, 1e12);
+  EXPECT_DOUBLE_EQ(s.p50, 1.0);
+  EXPECT_GT(s.mean, 1e10);  // mean is tail-sensitive, by design
+  EXPECT_TRUE(std::isfinite(s.stddev));
+}
+
+TEST(AggregateRate, WeightsByWindowNotByTrial) {
+  // Trial 1: 100 tx in 1 s. Trial 2: 1 tx in 0.001 s (a straggler whose
+  // per-trial rate, 1000 tps, would dominate a mean-of-rates).
+  const double rate = AggregateRate({100, 1}, {1.0, 0.001});
+  EXPECT_NEAR(rate, 101.0 / 1.001, 1e-9);
+}
+
+TEST(AggregateRate, ZeroWindowReturnsZero) {
+  EXPECT_EQ(AggregateRate({100}, {0.0}), 0.0);
+  EXPECT_EQ(AggregateRate({}, {}), 0.0);
+}
+
+TEST(AggregateRate, MismatchedLengthsUseCommonPrefix) {
+  EXPECT_DOUBLE_EQ(AggregateRate({10, 10, 999}, {1.0, 1.0}), 10.0);
+}
+
+TEST(RelativeDelta, Basics) {
+  EXPECT_DOUBLE_EQ(RelativeDelta(100, 110), 0.10);
+  EXPECT_DOUBLE_EQ(RelativeDelta(100, 90), -0.10);
+  EXPECT_EQ(RelativeDelta(0, 50), 0.0);  // zero baseline -> no ratio
+}
+
+TEST(BootstrapMeanDiff, DeterministicForFixedSeed) {
+  const std::vector<double> base = {10, 11, 9, 10.5, 9.5};
+  const std::vector<double> cand = {12, 13, 11, 12.5, 11.5};
+  const BootstrapCI a = BootstrapMeanDiff(base, cand, 2000, 0.95, 7);
+  const BootstrapCI b = BootstrapMeanDiff(base, cand, 2000, 0.95, 7);
+  EXPECT_EQ(a.lo, b.lo);
+  EXPECT_EQ(a.hi, b.hi);
+  EXPECT_TRUE(a.valid);
+}
+
+TEST(BootstrapMeanDiff, DetectsAClearShift) {
+  // Candidate sits ~2 above baseline with small spread: the CI must
+  // exclude zero and bracket the true difference.
+  const std::vector<double> base = {10, 11, 9, 10.5, 9.5, 10.2};
+  const std::vector<double> cand = {12, 13, 11, 12.5, 11.5, 12.2};
+  const BootstrapCI ci = BootstrapMeanDiff(base, cand, 4000, 0.95, 7);
+  ASSERT_TRUE(ci.valid);
+  EXPECT_GT(ci.lo, 0.0);
+  EXPECT_LT(ci.lo, 2.0);
+  EXPECT_GT(ci.hi, 2.0);
+  EXPECT_LT(ci.hi, 4.0);
+}
+
+TEST(BootstrapMeanDiff, OverlappingSamplesIncludeZero) {
+  const std::vector<double> base = {10, 12, 9, 11, 10};
+  const std::vector<double> cand = {11, 9, 12, 10, 10.5};
+  const BootstrapCI ci = BootstrapMeanDiff(base, cand, 4000, 0.95, 7);
+  ASSERT_TRUE(ci.valid);
+  EXPECT_LT(ci.lo, 0.0);
+  EXPECT_GT(ci.hi, 0.0);
+}
+
+TEST(BootstrapMeanDiff, SingleTrialIsInvalidPointEstimate) {
+  const BootstrapCI ci = BootstrapMeanDiff({10}, {12}, 4000, 0.95, 7);
+  EXPECT_FALSE(ci.valid);
+  EXPECT_DOUBLE_EQ(ci.lo, 2.0);
+  EXPECT_DOUBLE_EQ(ci.hi, 2.0);
+}
+
+TEST(BootstrapMeanDiff, EmptySidesAreInvalid) {
+  const BootstrapCI ci = BootstrapMeanDiff({}, {1, 2, 3}, 100, 0.95, 7);
+  EXPECT_FALSE(ci.valid);
+}
+
+TEST(BootstrapMeanDiff, ConstantSeriesYieldZeroWidthValidInterval) {
+  const std::vector<double> base = {5, 5, 5, 5};
+  const std::vector<double> cand = {6, 6, 6, 6};
+  const BootstrapCI ci = BootstrapMeanDiff(base, cand, 1000, 0.95, 7);
+  ASSERT_TRUE(ci.valid);
+  EXPECT_DOUBLE_EQ(ci.lo, 1.0);
+  EXPECT_DOUBLE_EQ(ci.hi, 1.0);
+}
+
+TEST(BootstrapMeanDiff, HeavyTailWidensButStaysFinite) {
+  const std::vector<double> base = {10, 10, 10, 10, 10, 10, 10, 500};
+  const std::vector<double> cand = {10, 10, 10, 10, 10, 10, 10, 10};
+  const BootstrapCI ci = BootstrapMeanDiff(base, cand, 4000, 0.95, 7);
+  ASSERT_TRUE(ci.valid);
+  EXPECT_TRUE(std::isfinite(ci.lo));
+  EXPECT_TRUE(std::isfinite(ci.hi));
+  EXPECT_LT(ci.hi - ci.lo, 1000.0);
+  // The outlier sits in the baseline, so the diff skews negative.
+  EXPECT_LT(ci.lo, 0.0);
+}
+
+TEST(BootstrapMeanDiff, WiderConfidenceGivesWiderInterval) {
+  const std::vector<double> base = {10, 11, 9, 10.5, 9.5, 10.2, 10.8};
+  const std::vector<double> cand = {11, 12, 10, 11.5, 10.5, 11.2, 11.8};
+  const BootstrapCI c90 = BootstrapMeanDiff(base, cand, 4000, 0.90, 7);
+  const BootstrapCI c99 = BootstrapMeanDiff(base, cand, 4000, 0.99, 7);
+  ASSERT_TRUE(c90.valid);
+  ASSERT_TRUE(c99.valid);
+  EXPECT_GE(c99.hi - c99.lo, c90.hi - c90.lo);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace bpw

@@ -34,6 +34,33 @@ TEST(TableReporterTest, JsonQuotesNonNumericCells) {
   EXPECT_EQ(table.ToJson(), "[{\"a\":\"1234abc\",\"b\":\"\"}]");
 }
 
+TEST(TableReporterTest, CsvEscapesCommasQuotesAndNewlines) {
+  // RFC 4180: a cell with a comma/quote/newline is quoted and embedded
+  // quotes are doubled — otherwise a free-form policy label shifts every
+  // column after it.
+  TableReporter table({"configuration", "tps"});
+  table.AddRow({"partitioned-2q, 64 parts", "100"});
+  table.AddRow({"the \"fast\" path", "200"});
+  table.AddRow({"multi\nline", "300"});
+  EXPECT_EQ(table.ToCsv(),
+            "configuration,tps\n"
+            "\"partitioned-2q, 64 parts\",100\n"
+            "\"the \"\"fast\"\" path\",200\n"
+            "\"multi\nline\",300\n");
+}
+
+TEST(TableReporterTest, CsvLeavesPlainCellsUnquoted) {
+  TableReporter table({"a b", "c"});
+  table.AddRow({"plain-cell", "1.5"});
+  EXPECT_EQ(table.ToCsv(), "a b,c\nplain-cell,1.5\n");
+}
+
+TEST(TableReporterTest, JsonEscapesControlAndUnicodeishCells) {
+  TableReporter table({"k"});
+  table.AddRow({std::string("tab\there\x01")});
+  EXPECT_EQ(table.ToJson(), "[{\"k\":\"tab\\there\\u0001\"}]");
+}
+
 TEST(TableReporterTest, EmptyTableIsEmptyJsonArray) {
   TableReporter table({"a"});
   EXPECT_EQ(table.ToJson(), "[]");

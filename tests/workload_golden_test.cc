@@ -1,0 +1,163 @@
+// Golden-trace tests: every registered workload generator has a pinned
+// 64-bit fingerprint of its fixed-seed access stream.
+//
+// Why this matters: the benchmark pipeline's exact-equality counter gate
+// (bench_compare) assumes the workload feeding the counters is
+// byte-identical between baseline and candidate. Any change to a
+// generator — reordering RNG draws, changing a constant, a refactor that
+// shifts a thread seed — silently shifts every counter in every baseline.
+// These tests make such a change fail HERE, with a "generator changed"
+// message, instead of surfacing as a mystery counter drift in CI.
+//
+// If a change is intentional: update the constants below AND regenerate
+// every checked-in baseline under bench/baselines/ (see EXPERIMENTS.md).
+#include "workload/trace_fingerprint.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "workload/trace_file.h"
+#include "workload/trace_generator.h"
+
+namespace bpw {
+namespace {
+
+// Fixed golden configuration: 4 threads x 4096 accesses, 4096-page
+// footprint, seed 42 (the WorkloadSpec default).
+WorkloadSpec GoldenSpec(const std::string& name) {
+  WorkloadSpec spec;
+  spec.name = name;
+  spec.num_pages = 4096;
+  spec.seed = 42;
+  return spec;
+}
+
+constexpr uint32_t kGoldenThreads = 4;
+constexpr uint64_t kGoldenAccesses = 4096;
+
+struct GoldenEntry {
+  const char* workload;
+  uint64_t fingerprint;
+};
+
+// Regenerate with: for each workload, TraceFingerprint(GoldenSpec(w), 4, 4096).
+constexpr GoldenEntry kGolden[] = {
+    {"tablescan", 0xa7f8bf47ecf250f5ULL},
+    {"dbt1", 0xd78a5ad3988a3489ULL},
+    {"dbt2", 0x82e0a60d9a6962c7ULL},
+    {"zipfian", 0x22233a5c79a84d82ULL},
+    {"uniform", 0x13482223763b264aULL},
+    {"seqloop", 0xd1134ff2fe516b25ULL},
+};
+
+TEST(WorkloadGolden, EveryKnownWorkloadHasAGoldenEntry) {
+  std::set<std::string> pinned;
+  for (const auto& entry : kGolden) pinned.insert(entry.workload);
+  for (const auto& name : KnownWorkloads()) {
+    EXPECT_TRUE(pinned.count(name))
+        << "workload '" << name
+        << "' has no golden fingerprint — add it to kGolden so baseline "
+           "invalidation covers it";
+  }
+  EXPECT_EQ(pinned.size(), KnownWorkloads().size())
+      << "kGolden pins a workload that is no longer registered";
+}
+
+TEST(WorkloadGolden, FingerprintsMatchGoldenConstants) {
+  for (const auto& entry : kGolden) {
+    const uint64_t fp = TraceFingerprint(GoldenSpec(entry.workload),
+                                         kGoldenThreads, kGoldenAccesses);
+    EXPECT_EQ(fp, entry.fingerprint)
+        << "generator '" << entry.workload
+        << "' changed its access stream; if intentional, update kGolden "
+           "and regenerate bench/baselines/";
+  }
+}
+
+TEST(WorkloadGolden, FingerprintIsStableAcrossCalls) {
+  const WorkloadSpec spec = GoldenSpec("dbt2");
+  EXPECT_EQ(TraceFingerprint(spec, kGoldenThreads, kGoldenAccesses),
+            TraceFingerprint(spec, kGoldenThreads, kGoldenAccesses));
+}
+
+TEST(WorkloadGolden, FingerprintSeesSeedAndFootprint) {
+  const WorkloadSpec base = GoldenSpec("dbt2");
+  WorkloadSpec other_seed = base;
+  other_seed.seed = 43;
+  WorkloadSpec other_pages = base;
+  other_pages.num_pages = 8192;
+  const uint64_t fp = TraceFingerprint(base, kGoldenThreads, kGoldenAccesses);
+  EXPECT_NE(fp,
+            TraceFingerprint(other_seed, kGoldenThreads, kGoldenAccesses));
+  EXPECT_NE(fp,
+            TraceFingerprint(other_pages, kGoldenThreads, kGoldenAccesses));
+  // Pinned cross-checks so a dead TraceFingerprintStep (always returning
+  // its input, say) cannot satisfy the inequality tests by accident.
+  EXPECT_EQ(TraceFingerprint(other_seed, kGoldenThreads, kGoldenAccesses),
+            0xdb47522644d2dd63ULL);
+  EXPECT_EQ(TraceFingerprint(other_pages, kGoldenThreads, kGoldenAccesses),
+            0x3da9fdd7e1e2a93dULL);
+}
+
+TEST(WorkloadGolden, UnknownWorkloadFingerprintsToZero) {
+  EXPECT_EQ(TraceFingerprint(GoldenSpec("no-such-workload"), 1, 16), 0u);
+}
+
+TEST(WorkloadGolden, EmptyStreamIsTheFnvOffsetBasis) {
+  EXPECT_EQ(TraceFingerprint(GoldenSpec("dbt2"), 0, 0),
+            kTraceFingerprintSeed);
+  EXPECT_EQ(TraceFingerprint(GoldenSpec("dbt2"), 4, 0),
+            kTraceFingerprintSeed);
+}
+
+TEST(WorkloadGolden, TraceFileReplayPreservesTheFingerprint) {
+  // The trace-file path (record -> load -> replay) must be bit-exact: the
+  // replayed stream's fingerprint equals the generator stream's.
+  const WorkloadSpec spec = GoldenSpec("dbt2");
+  constexpr uint64_t kCount = 2048;
+  const std::string path =
+      testing::TempDir() + "/workload_golden_trace.bpwt";
+  ASSERT_TRUE(RecordTrace(spec, kCount, path).ok());
+
+  uint64_t generated = kTraceFingerprintSeed;
+  auto gen = CreateTrace(spec, /*thread_id=*/0);
+  ASSERT_NE(gen, nullptr);
+  for (uint64_t i = 0; i < kCount; ++i) {
+    generated = TraceFingerprintStep(generated, gen->Next());
+  }
+
+  auto file = TraceFile::Load(path);
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  ASSERT_EQ(file.value().accesses().size(), kCount);
+  ReplayTrace replay(file.value());
+  uint64_t replayed = kTraceFingerprintSeed;
+  for (uint64_t i = 0; i < kCount; ++i) {
+    replayed = TraceFingerprintStep(replayed, replay.Next());
+  }
+  EXPECT_EQ(generated, replayed)
+      << "trace record/replay altered the access stream";
+  std::remove(path.c_str());
+}
+
+TEST(WorkloadGolden, StepFoldsFlagBytes) {
+  // Same page, different flags must diverge: the flags byte carries
+  // is_write and begins_transaction.
+  PageAccess read;
+  read.page = 7;
+  PageAccess write = read;
+  write.is_write = true;
+  PageAccess begin = read;
+  begin.begins_transaction = true;
+  const uint64_t fp_read = TraceFingerprintStep(kTraceFingerprintSeed, read);
+  const uint64_t fp_write = TraceFingerprintStep(kTraceFingerprintSeed, write);
+  const uint64_t fp_begin = TraceFingerprintStep(kTraceFingerprintSeed, begin);
+  EXPECT_NE(fp_read, fp_write);
+  EXPECT_NE(fp_read, fp_begin);
+  EXPECT_NE(fp_write, fp_begin);
+}
+
+}  // namespace
+}  // namespace bpw
