@@ -6,6 +6,7 @@
 
 #include "sync/contention_lock.h"
 #include "sync/spinlock.h"
+#include "util/thread_annotations.h"
 
 namespace bpw {
 namespace {
@@ -40,16 +41,23 @@ void BM_ContentionLockNone(benchmark::State& state) {
 }
 BENCHMARK(BM_ContentionLockNone);
 
-void BM_TryLockSuccess(benchmark::State& state) {
+// Measures the raw TryLock edge without branching on the result — a shape
+// the thread-safety analysis rejects by design, so this opts out.
+void BM_TryLockSuccess(benchmark::State& state)
+    BPW_NO_THREAD_SAFETY_ANALYSIS {
   ContentionLock lock;
   for (auto _ : state) {
+    // bpw-lint-allow(trylock-no-fallback)
     benchmark::DoNotOptimize(lock.TryLock());
     lock.Unlock();
   }
 }
 BENCHMARK(BM_TryLockSuccess);
 
-void BM_TryLockFailure(benchmark::State& state) {
+// TryLock on a lock the same thread already holds: also analysis-hostile
+// on purpose (it measures the failure edge).
+void BM_TryLockFailure(benchmark::State& state)
+    BPW_NO_THREAD_SAFETY_ANALYSIS {
   ContentionLock lock;
   lock.Lock();
   for (auto _ : state) {

@@ -14,14 +14,17 @@ constexpr size_t kFrames = 4096;
 
 std::unique_ptr<ReplacementPolicy> MakeFilled(const std::string& name) {
   auto policy = CreatePolicy(name, kFrames);
+  ReplacementPolicy* raw = policy.value().get();
+  raw->AssertExclusiveAccess();  // single-threaded benchmark
   for (PageId p = 0; p < kFrames; ++p) {
-    policy.value()->OnMiss(p, static_cast<FrameId>(p));
+    raw->OnMiss(p, static_cast<FrameId>(p));
   }
   return std::move(policy).value();
 }
 
 void BM_PolicyHit(benchmark::State& state, const std::string& name) {
   auto policy = MakeFilled(name);
+  policy->AssertExclusiveAccess();  // single-threaded benchmark
   Random rng(1);
   for (auto _ : state) {
     const PageId page = rng.Uniform(kFrames);
@@ -33,6 +36,7 @@ void BM_PolicyHit(benchmark::State& state, const std::string& name) {
 void BM_PolicyMissEvictCycle(benchmark::State& state,
                              const std::string& name) {
   auto policy = MakeFilled(name);
+  policy->AssertExclusiveAccess();  // single-threaded benchmark
   auto evictable = [](FrameId) { return true; };
   PageId next = kFrames;
   for (auto _ : state) {

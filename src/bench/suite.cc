@@ -1,9 +1,9 @@
 #include "bench/suite.h"
 
 #include <deque>
-#include <mutex>
 
 #include "core/coordinator_factory.h"
+#include "sync/mutex.h"
 
 namespace bpw {
 namespace bench {
@@ -142,7 +142,7 @@ std::deque<BenchSuite> BuildBuiltinSuites() {
   return suites;
 }
 
-std::mutex g_suites_mu;
+Mutex g_suites_mu;
 
 // A deque so RegisterSuite growth never invalidates pointers FindSuite
 // handed out.
@@ -155,7 +155,7 @@ std::deque<BenchSuite>& Suites() {
 }  // namespace
 
 const BenchSuite* FindSuite(const std::string& name) {
-  std::lock_guard<std::mutex> lock(g_suites_mu);
+  MutexGuard lock(g_suites_mu);
   for (const BenchSuite& suite : Suites()) {
     if (suite.name == name) return &suite;
   }
@@ -163,7 +163,7 @@ const BenchSuite* FindSuite(const std::string& name) {
 }
 
 std::vector<std::string> KnownSuiteNames() {
-  std::lock_guard<std::mutex> lock(g_suites_mu);
+  MutexGuard lock(g_suites_mu);
   std::vector<std::string> names;
   names.reserve(Suites().size());
   for (const BenchSuite& suite : Suites()) names.push_back(suite.name);
@@ -171,7 +171,7 @@ std::vector<std::string> KnownSuiteNames() {
 }
 
 void RegisterSuite(BenchSuite suite) {
-  std::lock_guard<std::mutex> lock(g_suites_mu);
+  MutexGuard lock(g_suites_mu);
   for (BenchSuite& existing : Suites()) {
     if (existing.name == suite.name) {
       existing = std::move(suite);

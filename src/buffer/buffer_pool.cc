@@ -52,11 +52,17 @@ BufferPool::BufferPool(const BufferPoolConfig& config, StorageEngine* storage,
   for (auto& tag : frame_tags_) {
     tag.store(kInvalidPageId, std::memory_order_relaxed);
   }
-  free_frames_.reserve(config_.num_frames);
-  // Hand frames out in ascending order (pop_back takes the highest first;
-  // order is irrelevant for correctness).
-  for (size_t i = config_.num_frames; i-- > 0;) {
-    free_frames_.push_back(static_cast<FrameId>(i));
+  {
+    // Construction is single-threaded; the guard exists for the analysis
+    // (free_frames_ is guarded_by free_lock_) and costs one uncontended
+    // lock round-trip.
+    SpinLockGuard guard(free_lock_);
+    free_frames_.reserve(config_.num_frames);
+    // Hand frames out in ascending order (pop_back takes the highest first;
+    // order is irrelevant for correctness).
+    for (size_t i = config_.num_frames; i-- > 0;) {
+      free_frames_.push_back(static_cast<FrameId>(i));
+    }
   }
   coordinator_->BindFrameTags(frame_tags_.data(), frame_tags_.size());
 
@@ -69,9 +75,11 @@ BufferPool::BufferPool(const BufferPoolConfig& config, StorageEngine* storage,
       &registry, [this](obs::MetricsSnapshot& snap) {
         snap.Add("buffer.num_frames",
                  static_cast<double>(config_.num_frames));
-        free_lock_.lock();
-        const size_t free_count = free_frames_.size();
-        free_lock_.unlock();
+        size_t free_count = 0;
+        {
+          SpinLockGuard guard(free_lock_);
+          free_count = free_frames_.size();
+        }
         snap.Add("buffer.free_frames", static_cast<double>(free_count));
         snap.Add("buffer.eviction_races",
                  static_cast<double>(eviction_races()));
@@ -90,13 +98,12 @@ bool BufferPool::TryPin(FrameId frame, PageId page) {
   // and re-used for another page in here.
   BPW_SCHEDULE_POINT("pool.try_pin");
   FrameMeta& meta = frames_[frame];
-  meta.latch.lock();
+  SpinLockGuard guard(meta.latch);
   const bool ok = FrameTag(frame) == page &&
                   !meta.io_busy.load(std::memory_order_relaxed);
   if (ok) {
     meta.pin_count.fetch_add(1, std::memory_order_relaxed);
   }
-  meta.latch.unlock();
   return ok;
 }
 
@@ -110,19 +117,23 @@ void BufferPool::Unpin(FrameId frame, bool mark_dirty) {
 }
 
 bool BufferPool::BeginLoad(PageId page) {
-  std::unique_lock<std::mutex> lock(pending_mu_);
-  if (pending_loads_.count(page) == 0) {
+  MutexGuard lock(pending_mu_);
+  if (!pending_loads_.contains(page)) {
     pending_loads_.insert(page);
     return true;
   }
-  pending_cv_.wait(lock,
-                   [&] { return pending_loads_.count(page) == 0; });
+  // Explicit wait loop (not the predicate overload): the predicate lambda
+  // would be analyzed with an empty capability set even though the wait
+  // machinery holds pending_mu_ around every evaluation.
+  while (pending_loads_.contains(page)) {
+    pending_cv_.wait(pending_mu_);
+  }
   return false;
 }
 
 void BufferPool::FinishLoad(PageId page) {
   {
-    std::lock_guard<std::mutex> lock(pending_mu_);
+    MutexGuard lock(pending_mu_);
     pending_loads_.erase(page);
   }
   pending_cv_.notify_all();
@@ -141,14 +152,14 @@ StatusOr<FrameId> BufferPool::AcquireFrame(Session& session,
 
   for (int attempt = 0;; ++attempt) {
     // Fast path: an unused frame.
-    free_lock_.lock();
-    if (!free_frames_.empty()) {
-      const FrameId frame = free_frames_.back();
-      free_frames_.pop_back();
-      free_lock_.unlock();
-      return frame;
+    {
+      SpinLockGuard guard(free_lock_);
+      if (!free_frames_.empty()) {
+        const FrameId frame = free_frames_.back();
+        free_frames_.pop_back();
+        return frame;
+      }
     }
-    free_lock_.unlock();
 
     BPW_SCHEDULE_POINT("pool.evict_select");
     auto victim_or = coordinator_->ChooseVictim(session.slot_.get(),
@@ -283,9 +294,10 @@ StatusOr<PageHandle> BufferPool::FetchPage(Session& session, PageId page) {
     BPW_SCHEDULE_POINT("pool.miss_read");
     Status status = storage_->ReadPage(page, FrameData(new_frame));
     if (!status.ok()) {
-      free_lock_.lock();
-      free_frames_.push_back(new_frame);
-      free_lock_.unlock();
+      {
+        SpinLockGuard guard(free_lock_);
+        free_frames_.push_back(new_frame);
+      }
       FinishLoad(page);
       return status;
     }
@@ -359,9 +371,10 @@ Status BufferPool::DropPage(Session& session, PageId page) {
   meta.io_busy.store(false, std::memory_order_relaxed);
   meta.latch.unlock();
 
-  free_lock_.lock();
-  free_frames_.push_back(frame);
-  free_lock_.unlock();
+  {
+    SpinLockGuard guard(free_lock_);
+    free_frames_.push_back(frame);
+  }
   return Status::OK();
 }
 
@@ -435,9 +448,8 @@ Status BufferPool::CheckIntegrity() {
   }
   std::vector<FrameId> free_frames;
   {
-    free_lock_.lock();
+    SpinLockGuard guard(free_lock_);
     free_frames = free_frames_;
-    free_lock_.unlock();
   }
   std::unordered_set<FrameId> free_set(free_frames.begin(),
                                        free_frames.end());
@@ -452,10 +464,14 @@ Status BufferPool::CheckIntegrity() {
   if (mapped + free_frames.size() != config_.num_frames) {
     return Status::Corruption("mapped + free != total frames");
   }
-  if (coordinator_->policy().resident_count() != mapped) {
+  // Quiesced by contract (no concurrent traffic), so this thread has
+  // exclusive access to the policy without taking the coordinator's lock.
+  const ReplacementPolicy& policy = coordinator_->policy();
+  policy.AssertExclusiveAccess();
+  if (policy.resident_count() != mapped) {
     return Status::Corruption("policy resident count disagrees with pool");
   }
-  return coordinator_->policy().CheckInvariants();
+  return policy.CheckInvariants();
 }
 
 }  // namespace bpw

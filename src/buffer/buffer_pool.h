@@ -18,7 +18,6 @@
 
 #include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <unordered_set>
 #include <vector>
 
@@ -26,8 +25,10 @@
 #include "core/coordinator.h"
 #include "obs/metrics.h"
 #include "storage/storage_engine.h"
+#include "sync/mutex.h"
 #include "sync/spinlock.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 #include "util/types.h"
 
 namespace bpw {
@@ -215,11 +216,14 @@ class BufferPool {
   std::vector<std::atomic<PageId>> frame_tags_;
 
   SpinLock free_lock_;
-  std::vector<FrameId> free_frames_;
+  std::vector<FrameId> free_frames_ BPW_GUARDED_BY(free_lock_);
 
-  std::mutex pending_mu_;
-  std::condition_variable pending_cv_;
-  std::unordered_set<PageId> pending_loads_;
+  // Single-flight miss tracking. condition_variable_any (not _variable)
+  // because it waits on the annotated bpw::Mutex directly, keeping the
+  // guarded_by relation visible to the thread-safety analysis.
+  Mutex pending_mu_;
+  std::condition_variable_any pending_cv_;
+  std::unordered_set<PageId> pending_loads_ BPW_GUARDED_BY(pending_mu_);
 
   std::atomic<uint64_t> evictions_{0};
   std::atomic<uint64_t> writebacks_{0};

@@ -13,40 +13,34 @@ PageTable::PageTable(size_t num_shards) {
 
 FrameId PageTable::Lookup(PageId page) const {
   const Shard& shard = ShardFor(page);
-  shard.lock.lock();
+  SpinLockGuard guard(shard.lock);
   auto it = shard.map.find(page);
-  const FrameId frame = it == shard.map.end() ? kInvalidFrameId : it->second;
-  shard.lock.unlock();
-  return frame;
+  return it == shard.map.end() ? kInvalidFrameId : it->second;
 }
 
 bool PageTable::Insert(PageId page, FrameId frame) {
   Shard& shard = ShardFor(page);
-  shard.lock.lock();
-  const bool inserted = shard.map.try_emplace(page, frame).second;
-  shard.lock.unlock();
-  return inserted;
+  SpinLockGuard guard(shard.lock);
+  return shard.map.try_emplace(page, frame).second;
 }
 
 bool PageTable::Erase(PageId page, FrameId frame) {
   Shard& shard = ShardFor(page);
-  shard.lock.lock();
+  SpinLockGuard guard(shard.lock);
   auto it = shard.map.find(page);
-  bool erased = false;
   if (it != shard.map.end() && it->second == frame) {
     shard.map.erase(it);
-    erased = true;
+    return true;
   }
-  shard.lock.unlock();
-  return erased;
+  return false;
 }
 
 size_t PageTable::size() const {
   size_t total = 0;
-  for (const auto& shard : shards_) {
-    shard->lock.lock();
-    total += shard->map.size();
-    shard->lock.unlock();
+  for (const auto& aligned : shards_) {
+    const Shard& shard = *aligned;
+    SpinLockGuard guard(shard.lock);
+    total += shard.map.size();
   }
   return total;
 }

@@ -12,6 +12,7 @@
 
 #include "sync/spinlock.h"
 #include "util/cacheline.h"
+#include "util/thread_annotations.h"
 #include "util/types.h"
 
 namespace bpw {
@@ -46,7 +47,7 @@ class PageTable {
  private:
   struct Shard {
     mutable SpinLock lock;
-    std::unordered_map<PageId, FrameId> map;
+    std::unordered_map<PageId, FrameId> map BPW_GUARDED_BY(lock);
   };
 
   const Shard& ShardFor(PageId page) const {

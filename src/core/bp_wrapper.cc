@@ -35,7 +35,7 @@ BpWrapperCoordinator::BpWrapperCoordinator(
 }
 
 BpWrapperCoordinator::~BpWrapperCoordinator() {
-  std::lock_guard<std::mutex> guard(slots_mu_);
+  MutexGuard guard(slots_mu_);
   if (!slots_.empty()) {
     BPW_LOG_ERROR << "BpWrapperCoordinator destroyed with " << slots_.size()
                   << " live thread slots";
@@ -48,7 +48,7 @@ BpWrapperCoordinator::Slot::~Slot() {
   if (!queue.empty()) {
     owner_->FlushSlot(this);
   }
-  std::lock_guard<std::mutex> guard(owner_->slots_mu_);
+  MutexGuard guard(owner_->slots_mu_);
   owner_->slots_.erase(this);
 }
 
@@ -56,7 +56,7 @@ std::unique_ptr<Coordinator::ThreadSlot>
 BpWrapperCoordinator::RegisterThread() {
   auto slot = std::make_unique<Slot>(this, options_.queue_size);
   {
-    std::lock_guard<std::mutex> guard(slots_mu_);
+    MutexGuard guard(slots_mu_);
     slots_.insert(slot.get());
   }
   return slot;
@@ -72,7 +72,13 @@ void BpWrapperCoordinator::PrefetchForCommit(const AccessQueue& queue) const {
 }
 
 void BpWrapperCoordinator::CommitLocked(AccessQueue& queue) {
+  // REQUIRES(lock_): the commit lock is what serializes policy access.
+  policy_->AssertExclusiveAccess();
   const bool trace = obs::TraceEnabled();
+  // Clock reads under the lock are normally forbidden (they stretch the
+  // critical section); these two run only when tracing is on, and the span
+  // being measured *is* the locked commit.
+  // bpw-lint-allow(clock-read-in-critical-section)
   const uint64_t commit_start = trace ? NowNanos() : 0;
   uint64_t stale = 0;
   const size_t n = queue.size();
@@ -95,8 +101,10 @@ void BpWrapperCoordinator::CommitLocked(AccessQueue& queue) {
       stale_commits_.fetch_add(stale, std::memory_order_relaxed);
     }
     if (trace) {
+      // bpw-lint-allow(clock-read-in-critical-section)
+      const uint64_t commit_end = NowNanos();
       obs::TraceEmit(obs::TraceEventKind::kBatchCommit, commit_start,
-                     NowNanos() - commit_start, n);
+                     commit_end - commit_start, n);
     }
   }
 }
@@ -114,8 +122,8 @@ void BpWrapperCoordinator::OnHit(ThreadSlot* base_slot, PageId page,
   BPW_SCHEDULE_POINT("bpw.before_trylock");
   if (options_.prefetch) PrefetchForCommit(queue);
   if (lock_.TryLock()) {
+    ContentionLockAdoptGuard guard(lock_);
     CommitLocked(queue);
-    lock_.Unlock();
     return;
   }
   if (!queue.full()) {
@@ -128,9 +136,8 @@ void BpWrapperCoordinator::OnHit(ThreadSlot* base_slot, PageId page,
   if (obs::TraceEnabled()) {
     obs::TraceEmit(obs::TraceEventKind::kLockFallback, NowNanos(), 0);
   }
-  lock_.Lock();
+  ContentionLockGuard guard(lock_);
   CommitLocked(queue);
-  lock_.Unlock();
 }
 
 StatusOr<Coordinator::Victim> BpWrapperCoordinator::ChooseVictim(
@@ -138,41 +145,39 @@ StatusOr<Coordinator::Victim> BpWrapperCoordinator::ChooseVictim(
   auto* slot = static_cast<Slot*>(base_slot);
   BPW_SCHEDULE_POINT("bpw.choose_victim");
   if (options_.prefetch) PrefetchForCommit(slot->queue);
-  lock_.Lock();
+  ContentionLockGuard guard(lock_);
+  policy_->AssertExclusiveAccess();
   // A miss commits the pending accesses first so the policy decides with
   // the freshest history (Fig. 4, replacement_for_page_miss).
   if (!options_.test_skip_commit_before_victim) CommitLocked(slot->queue);
-  auto victim = policy_->ChooseVictim(evictable, incoming);
-  lock_.Unlock();
-  return victim;
+  return policy_->ChooseVictim(evictable, incoming);
 }
 
 void BpWrapperCoordinator::CompleteMiss(ThreadSlot* base_slot, PageId page,
                                         FrameId frame) {
   auto* slot = static_cast<Slot*>(base_slot);
-  lock_.Lock();
+  ContentionLockGuard guard(lock_);
+  policy_->AssertExclusiveAccess();
   CommitLocked(slot->queue);
   policy_->OnMiss(page, frame);
-  lock_.Unlock();
 }
 
 bool BpWrapperCoordinator::OnErase(ThreadSlot* base_slot, PageId page,
                                    FrameId frame) {
   auto* slot = static_cast<Slot*>(base_slot);
-  lock_.Lock();
+  ContentionLockGuard guard(lock_);
+  policy_->AssertExclusiveAccess();
   CommitLocked(slot->queue);
   const bool resident = policy_->IsResident(page);
   if (resident) policy_->OnErase(page, frame);
-  lock_.Unlock();
   return resident;
 }
 
 void BpWrapperCoordinator::FlushSlot(ThreadSlot* base_slot) {
   auto* slot = static_cast<Slot*>(base_slot);
   if (slot->queue.empty()) return;
-  lock_.Lock();
+  ContentionLockGuard guard(lock_);
   CommitLocked(slot->queue);
-  lock_.Unlock();
 }
 
 }  // namespace bpw

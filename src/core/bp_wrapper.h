@@ -21,11 +21,11 @@
 // was evicted or replaced since recording are skipped.
 #pragma once
 
-#include <mutex>
 #include <unordered_set>
 
 #include "core/access_queue.h"
 #include "core/coordinator.h"
+#include "sync/mutex.h"
 
 namespace bpw {
 
@@ -109,11 +109,15 @@ class BpWrapperCoordinator : public Coordinator {
     AccessQueue queue;
   };
 
-  /// Issues prefetches for everything the commit will touch.
-  void PrefetchForCommit(const AccessQueue& queue) const;
+  /// Issues prefetches for everything the commit will touch. §III-B demands
+  /// this runs *before* lock acquisition (prefetching inside the critical
+  /// section would lengthen it, which is the exact pathology the technique
+  /// removes), so the contract is EXCLUDES(lock_): calling it while holding
+  /// the commit lock is a compile error under -Wthread-safety.
+  void PrefetchForCommit(const AccessQueue& queue) const BPW_EXCLUDES(lock_);
 
   /// Replays the queue into the policy. Caller holds lock_.
-  void CommitLocked(AccessQueue& queue);
+  void CommitLocked(AccessQueue& queue) BPW_REQUIRES(lock_);
 
   std::unique_ptr<ReplacementPolicy> policy_;
   Options options_;
@@ -125,8 +129,8 @@ class BpWrapperCoordinator : public Coordinator {
   std::atomic<uint64_t> lock_fallbacks_{0};
 
   // Live-slot registry so destruction order errors surface loudly.
-  std::mutex slots_mu_;
-  std::unordered_set<Slot*> slots_;
+  Mutex slots_mu_;
+  std::unordered_set<Slot*> slots_ BPW_GUARDED_BY(slots_mu_);
 
   // Declared last so it unregisters before anything it reads is destroyed.
   obs::ScopedMetricSource metrics_source_;

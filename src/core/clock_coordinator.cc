@@ -46,25 +46,24 @@ void ClockCoordinator::OnHit(ThreadSlot* /*slot*/, PageId page,
 
 StatusOr<Coordinator::Victim> ClockCoordinator::ChooseVictim(
     ThreadSlot* /*slot*/, const EvictableFn& evictable, PageId incoming) {
-  lock_.Lock();
-  auto victim = policy_->ChooseVictim(evictable, incoming);
-  lock_.Unlock();
-  return victim;
+  ContentionLockGuard guard(lock_);
+  policy_->AssertExclusiveAccess();
+  return policy_->ChooseVictim(evictable, incoming);
 }
 
 void ClockCoordinator::CompleteMiss(ThreadSlot* /*slot*/, PageId page,
                                     FrameId frame) {
-  lock_.Lock();
+  ContentionLockGuard guard(lock_);
+  policy_->AssertExclusiveAccess();
   policy_->OnMiss(page, frame);
-  lock_.Unlock();
 }
 
 bool ClockCoordinator::OnErase(ThreadSlot* /*slot*/, PageId page,
                                FrameId frame) {
-  lock_.Lock();
+  ContentionLockGuard guard(lock_);
+  policy_->AssertExclusiveAccess();
   const bool resident = policy_->IsResident(page);
   if (resident) policy_->OnErase(page, frame);
-  lock_.Unlock();
   return resident;
 }
 

@@ -29,32 +29,31 @@ void SerializedCoordinator::OnHit(ThreadSlot* /*slot*/, PageId page,
     PrefetchWrite(&lock_);
     policy_->PrefetchHint(frame);
   }
-  lock_.Lock();
+  ContentionLockGuard guard(lock_);
+  policy_->AssertExclusiveAccess();
   policy_->OnHit(page, frame);
-  lock_.Unlock();
 }
 
 StatusOr<Coordinator::Victim> SerializedCoordinator::ChooseVictim(
     ThreadSlot* /*slot*/, const EvictableFn& evictable, PageId incoming) {
-  lock_.Lock();
-  auto victim = policy_->ChooseVictim(evictable, incoming);
-  lock_.Unlock();
-  return victim;
+  ContentionLockGuard guard(lock_);
+  policy_->AssertExclusiveAccess();
+  return policy_->ChooseVictim(evictable, incoming);
 }
 
 void SerializedCoordinator::CompleteMiss(ThreadSlot* /*slot*/, PageId page,
                                          FrameId frame) {
-  lock_.Lock();
+  ContentionLockGuard guard(lock_);
+  policy_->AssertExclusiveAccess();
   policy_->OnMiss(page, frame);
-  lock_.Unlock();
 }
 
 bool SerializedCoordinator::OnErase(ThreadSlot* /*slot*/, PageId page,
                                     FrameId frame) {
-  lock_.Lock();
+  ContentionLockGuard guard(lock_);
+  policy_->AssertExclusiveAccess();
   const bool resident = policy_->IsResident(page);
   if (resident) policy_->OnErase(page, frame);
-  lock_.Unlock();
   return resident;
 }
 

@@ -30,14 +30,20 @@ SharedQueueCoordinator::RegisterThread() {
 }
 
 void SharedQueueCoordinator::CommitLocked() {
+  // REQUIRES(lock_): the policy lock is what serializes policy access.
+  policy_->AssertExclusiveAccess();
   // Swap the shared buffer out under the queue lock, replay outside it
-  // (but under the policy lock held by the caller).
-  std::vector<AccessQueue::Entry> batch;
-  batch.reserve(options_.queue_size);
-  queue_lock_.lock();
-  batch.swap(queue_);
-  queue_lock_.unlock();
-  for (const AccessQueue::Entry& entry : batch) {
+  // (but under the policy lock held by the caller). The member scratch
+  // buffer and the queue ping-pong their allocations: after the first few
+  // commits no memory is ever allocated while the lock is held (the naive
+  // version reserved a fresh vector here every commit, which bpw_lint's
+  // critical-section-alloc rule now rejects).
+  batch_.clear();
+  {
+    SpinLockGuard queue_guard(queue_lock_);
+    batch_.swap(queue_);
+  }
+  for (const AccessQueue::Entry& entry : batch_) {
     if (TagStillValid(entry.page, entry.frame)) {
       policy_->OnHit(entry.page, entry.frame);
     }
@@ -50,60 +56,59 @@ void SharedQueueCoordinator::OnHit(ThreadSlot* /*slot*/, PageId page,
   // shared queue (and its cache line bounces between processors).
   BPW_SCHEDULE_POINT("shared_queue.record");
   size_t size_after;
-  queue_lock_.lock();
-  queue_.push_back(AccessQueue::Entry{page, frame});
-  size_after = queue_.size();
-  queue_lock_.unlock();
+  {
+    SpinLockGuard queue_guard(queue_lock_);
+    queue_.push_back(AccessQueue::Entry{page, frame});
+    size_after = queue_.size();
+  }
   queue_acquisitions_.fetch_add(1, std::memory_order_relaxed);
 
   if (size_after < options_.batch_threshold) return;
   if (lock_.TryLock()) {
+    ContentionLockAdoptGuard guard(lock_);
     CommitLocked();
-    lock_.Unlock();
     return;
   }
   if (size_after < options_.queue_size) return;
-  lock_.Lock();
+  ContentionLockGuard guard(lock_);
   CommitLocked();
-  lock_.Unlock();
 }
 
 StatusOr<Coordinator::Victim> SharedQueueCoordinator::ChooseVictim(
     ThreadSlot* /*slot*/, const EvictableFn& evictable, PageId incoming) {
-  lock_.Lock();
+  ContentionLockGuard guard(lock_);
+  policy_->AssertExclusiveAccess();
   CommitLocked();
-  auto victim = policy_->ChooseVictim(evictable, incoming);
-  lock_.Unlock();
-  return victim;
+  return policy_->ChooseVictim(evictable, incoming);
 }
 
 void SharedQueueCoordinator::CompleteMiss(ThreadSlot* /*slot*/, PageId page,
                                           FrameId frame) {
-  lock_.Lock();
+  ContentionLockGuard guard(lock_);
+  policy_->AssertExclusiveAccess();
   CommitLocked();
   policy_->OnMiss(page, frame);
-  lock_.Unlock();
 }
 
 bool SharedQueueCoordinator::OnErase(ThreadSlot* /*slot*/, PageId page,
                                      FrameId frame) {
-  lock_.Lock();
+  ContentionLockGuard guard(lock_);
+  policy_->AssertExclusiveAccess();
   CommitLocked();
   const bool resident = policy_->IsResident(page);
   if (resident) policy_->OnErase(page, frame);
-  lock_.Unlock();
   return resident;
 }
 
 void SharedQueueCoordinator::FlushSlot(ThreadSlot* /*slot*/) {
   bool empty;
-  queue_lock_.lock();
-  empty = queue_.empty();
-  queue_lock_.unlock();
+  {
+    SpinLockGuard queue_guard(queue_lock_);
+    empty = queue_.empty();
+  }
   if (empty) return;
-  lock_.Lock();
+  ContentionLockGuard guard(lock_);
   CommitLocked();
-  lock_.Unlock();
 }
 
 }  // namespace bpw

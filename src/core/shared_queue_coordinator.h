@@ -60,7 +60,7 @@ class SharedQueueCoordinator : public Coordinator {
 
   /// Drains the shared queue into the policy. Caller holds lock_ (the
   /// policy lock); takes queue_lock_ internally to swap the buffer out.
-  void CommitLocked();
+  void CommitLocked() BPW_REQUIRES(lock_);
 
   std::unique_ptr<ReplacementPolicy> policy_;
   Options options_;
@@ -68,7 +68,11 @@ class SharedQueueCoordinator : public Coordinator {
 
   // The shared queue: the paper's predicted hot spot.
   SpinLock queue_lock_;
-  std::vector<AccessQueue::Entry> queue_;  // guarded by queue_lock_
+  std::vector<AccessQueue::Entry> queue_ BPW_GUARDED_BY(queue_lock_);
+  // Commit-time scratch: CommitLocked swaps the shared queue into this
+  // buffer and replays from it, so the buffers ping-pong and the critical
+  // section never allocates (bpw_lint: critical-section-alloc).
+  std::vector<AccessQueue::Entry> batch_ BPW_GUARDED_BY(lock_);
   std::atomic<uint64_t> queue_acquisitions_{0};
   // Declared last so it unregisters before anything it reads is destroyed.
   obs::ScopedMetricSource metrics_source_;

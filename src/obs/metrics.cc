@@ -42,35 +42,35 @@ MetricsRegistry& MetricsRegistry::Default() {
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexGuard guard(mu_);
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return slot.get();
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexGuard guard(mu_);
   auto& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return slot.get();
 }
 
 HistogramMetric* MetricsRegistry::GetHistogram(const std::string& name) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexGuard guard(mu_);
   auto& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<HistogramMetric>();
   return slot.get();
 }
 
 uint64_t MetricsRegistry::RegisterSource(MetricSourceFn fn) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexGuard guard(mu_);
   const uint64_t id = next_source_id_++;
   sources_.emplace_back(id, std::move(fn));
   return id;
 }
 
 void MetricsRegistry::UnregisterSource(uint64_t id) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexGuard guard(mu_);
   sources_.erase(
       std::remove_if(sources_.begin(), sources_.end(),
                      [id](const auto& s) { return s.first == id; }),
@@ -80,7 +80,7 @@ void MetricsRegistry::UnregisterSource(uint64_t id) {
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   MetricsSnapshot snap;
   snap.wall_nanos = NowNanos();
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexGuard guard(mu_);
   for (const auto& [name, counter] : counters_) {
     snap.Add(name, static_cast<double>(counter->Sum()));
   }
@@ -103,7 +103,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
 }
 
 void MetricsRegistry::ResetCounters() {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexGuard guard(mu_);
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, hist] : histograms_) hist->Reset();
 }

@@ -23,13 +23,14 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "sync/mutex.h"
 #include "sync/spinlock.h"
 #include "util/cacheline.h"
 #include "util/histogram.h"
+#include "util/thread_annotations.h"
 #include "util/thread_id.h"
 
 namespace bpw {
@@ -99,27 +100,23 @@ class Gauge {
 class HistogramMetric {
  public:
   void Record(uint64_t v) {
-    lock_.lock();
+    SpinLockGuard guard(lock_);
     hist_.Record(v);
-    lock_.unlock();
   }
 
   Histogram snapshot() const {
-    lock_.lock();
-    Histogram copy = hist_;
-    lock_.unlock();
-    return copy;
+    SpinLockGuard guard(lock_);
+    return hist_;
   }
 
   void Reset() {
-    lock_.lock();
+    SpinLockGuard guard(lock_);
     hist_.Reset();
-    lock_.unlock();
   }
 
  private:
   mutable SpinLock lock_;
-  Histogram hist_;
+  Histogram hist_ BPW_GUARDED_BY(lock_);
 };
 
 /// One snapshot of every registered metric, keyed by name. std::map keeps
@@ -178,12 +175,15 @@ class MetricsRegistry {
   void ResetCounters();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_;
-  std::vector<std::pair<uint64_t, MetricSourceFn>> sources_;
-  uint64_t next_source_id_ = 1;
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      BPW_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ BPW_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_
+      BPW_GUARDED_BY(mu_);
+  std::vector<std::pair<uint64_t, MetricSourceFn>> sources_
+      BPW_GUARDED_BY(mu_);
+  uint64_t next_source_id_ BPW_GUARDED_BY(mu_) = 1;
 };
 
 /// RAII registration of a metric source: unregisters on destruction, so a

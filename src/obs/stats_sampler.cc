@@ -12,7 +12,7 @@ StatsSampler::~StatsSampler() { Stop(); }
 
 void StatsSampler::Start() {
   {
-    std::lock_guard<std::mutex> guard(mu_);
+    MutexGuard guard(mu_);
     if (running_) return;
     running_ = true;
     stop_ = false;
@@ -23,14 +23,14 @@ void StatsSampler::Start() {
 
 void StatsSampler::Stop() {
   {
-    std::lock_guard<std::mutex> guard(mu_);
+    MutexGuard guard(mu_);
     if (!running_) return;
     stop_ = true;
   }
   cv_.notify_all();
   thread_.join();
   {
-    std::lock_guard<std::mutex> guard(mu_);
+    MutexGuard guard(mu_);
     running_ = false;
   }
   SampleNow();
@@ -43,26 +43,29 @@ MetricsSnapshot StatsSampler::SampleNow() {
 }
 
 void StatsSampler::Append(MetricsSnapshot snap) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexGuard guard(mu_);
   samples_.push_back(std::move(snap));
 }
 
 void StatsSampler::Loop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  mu_.lock();
   while (!stop_) {
-    const bool stopping = cv_.wait_for(
-        lock, std::chrono::milliseconds(interval_ms_), [&] { return stop_; });
-    if (stopping) break;
-    lock.unlock();
+    // Plain wait_for (not the predicate overload): stop_ is guarded_by mu_
+    // and the explicit re-check below keeps the access visibly under the
+    // lock for the analysis. A spurious wake-up just samples early.
+    cv_.wait_for(mu_, std::chrono::milliseconds(interval_ms_));
+    if (stop_) break;
+    mu_.unlock();
     // Snapshot without holding mu_: sources may do real work and SampleNow
     // re-takes mu_ only to append.
     SampleNow();
-    lock.lock();
+    mu_.lock();
   }
+  mu_.unlock();
 }
 
 std::vector<MetricsSnapshot> StatsSampler::samples() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexGuard guard(mu_);
   return samples_;
 }
 

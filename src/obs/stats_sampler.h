@@ -11,12 +11,13 @@
 
 #include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "obs/metrics.h"
+#include "sync/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace bpw {
 namespace obs {
@@ -60,12 +61,12 @@ class StatsSampler {
   MetricsRegistry* registry_;
   const uint64_t interval_ms_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_ = false;
-  bool running_ = false;
-  std::thread thread_;
-  std::vector<MetricsSnapshot> samples_;
+  mutable Mutex mu_;
+  std::condition_variable_any cv_;  // waits on the annotated Mutex directly
+  bool stop_ BPW_GUARDED_BY(mu_) = false;
+  bool running_ BPW_GUARDED_BY(mu_) = false;
+  std::thread thread_;  // Start/Stop discipline; never touched by Loop()
+  std::vector<MetricsSnapshot> samples_ BPW_GUARDED_BY(mu_);
 };
 
 }  // namespace obs

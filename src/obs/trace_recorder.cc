@@ -67,7 +67,7 @@ TraceRecorder::ThreadBuffer* TraceRecorder::BufferForThisThread() {
       CurrentThreadId(), capacity_.load(std::memory_order_relaxed));
   ThreadBuffer* raw = buffer.get();
   {
-    std::lock_guard<std::mutex> guard(mu_);
+    MutexGuard guard(mu_);
     // Re-use a buffer this thread registered earlier (cache was stolen by
     // another recorder instance in between).
     for (const auto& existing : buffers_) {
@@ -97,7 +97,7 @@ void TraceRecorder::Emit(TraceEventKind kind, uint64_t start_nanos,
 }
 
 uint64_t TraceRecorder::total_events() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexGuard guard(mu_);
   uint64_t total = 0;
   for (const auto& buf : buffers_) {
     total += buf->head.load(std::memory_order_relaxed);
@@ -106,7 +106,7 @@ uint64_t TraceRecorder::total_events() const {
 }
 
 uint64_t TraceRecorder::dropped_events() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexGuard guard(mu_);
   uint64_t dropped = 0;
   for (const auto& buf : buffers_) {
     const uint64_t head = buf->head.load(std::memory_order_relaxed);
@@ -121,7 +121,7 @@ std::string TraceRecorder::ToChromeTrace() const {
       "{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\","
       "\"args\":{\"name\":\"bpwrapper\"}}";
 
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexGuard guard(mu_);
   char buf[256];
   for (const auto& tb : buffers_) {
     std::snprintf(buf, sizeof(buf),
@@ -177,7 +177,7 @@ bool TraceRecorder::WriteChromeTrace(const std::string& path) const {
 }
 
 void TraceRecorder::Clear() {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexGuard guard(mu_);
   for (const auto& buf : buffers_) {
     buf->head.store(0, std::memory_order_relaxed);
   }

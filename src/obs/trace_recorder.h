@@ -21,10 +21,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "sync/mutex.h"
+#include "util/thread_annotations.h"
 #include "util/thread_id.h"
 
 namespace bpw {
@@ -103,8 +104,8 @@ class TraceRecorder {
   std::atomic<bool> enabled_{false};
   std::atomic<size_t> capacity_{1 << 14};  // 16Ki events/thread (512 KiB)
 
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  mutable Mutex mu_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_ BPW_GUARDED_BY(mu_);
 };
 
 /// Convenience wrappers over TraceRecorder::Default() for hot paths.

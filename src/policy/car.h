@@ -15,6 +15,7 @@
 
 #include "policy/intrusive_list.h"
 #include "policy/replacement_policy.h"
+#include "util/thread_annotations.h"
 
 namespace bpw {
 
@@ -22,14 +23,16 @@ class CarPolicy : public ReplacementPolicy {
  public:
   explicit CarPolicy(size_t num_frames);
 
-  void OnHit(PageId page, FrameId frame) override;
-  void OnMiss(PageId page, FrameId frame) override;
+  void OnHit(PageId page, FrameId frame) override BPW_REQUIRES(this);
+  void OnMiss(PageId page, FrameId frame) override BPW_REQUIRES(this);
   StatusOr<Victim> ChooseVictim(const EvictableFn& evictable,
-                                PageId incoming) override;
-  void OnErase(PageId page, FrameId frame) override;
-  Status CheckInvariants() const override;
-  size_t resident_count() const override { return t1_.size() + t2_.size(); }
-  bool IsResident(PageId page) const override;
+                                PageId incoming) override BPW_REQUIRES(this);
+  void OnErase(PageId page, FrameId frame) override BPW_REQUIRES(this);
+  Status CheckInvariants() const override BPW_REQUIRES_SHARED(this);
+  size_t resident_count() const override BPW_REQUIRES_SHARED(this) {
+    return t1_.size() + t2_.size();
+  }
+  bool IsResident(PageId page) const override BPW_REQUIRES_SHARED(this);
   std::string name() const override { return "car"; }
 
   // Introspection for tests.

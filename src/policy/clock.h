@@ -11,6 +11,7 @@
 #include <atomic>
 
 #include "policy/replacement_policy.h"
+#include "util/thread_annotations.h"
 
 namespace bpw {
 
@@ -18,14 +19,16 @@ class ClockPolicy : public ReplacementPolicy {
  public:
   explicit ClockPolicy(size_t num_frames);
 
-  void OnHit(PageId page, FrameId frame) override;
-  void OnMiss(PageId page, FrameId frame) override;
+  void OnHit(PageId page, FrameId frame) override BPW_REQUIRES(this);
+  void OnMiss(PageId page, FrameId frame) override BPW_REQUIRES(this);
   StatusOr<Victim> ChooseVictim(const EvictableFn& evictable,
-                                PageId incoming) override;
-  void OnErase(PageId page, FrameId frame) override;
-  Status CheckInvariants() const override;
-  size_t resident_count() const override { return resident_; }
-  bool IsResident(PageId page) const override;
+                                PageId incoming) override BPW_REQUIRES(this);
+  void OnErase(PageId page, FrameId frame) override BPW_REQUIRES(this);
+  Status CheckInvariants() const override BPW_REQUIRES_SHARED(this);
+  size_t resident_count() const override BPW_REQUIRES_SHARED(this) {
+    return resident_;
+  }
+  bool IsResident(PageId page) const override BPW_REQUIRES_SHARED(this);
   std::string name() const override { return "clock"; }
 
   /// Lock-free hit path used by ClockCoordinator: sets the reference bit

@@ -7,6 +7,7 @@
 #include <atomic>
 
 #include "policy/replacement_policy.h"
+#include "util/thread_annotations.h"
 
 namespace bpw {
 
@@ -15,14 +16,16 @@ class GClockPolicy : public ReplacementPolicy {
   /// @param max_count saturation cap for the per-frame reference counter.
   explicit GClockPolicy(size_t num_frames, uint32_t max_count = 5);
 
-  void OnHit(PageId page, FrameId frame) override;
-  void OnMiss(PageId page, FrameId frame) override;
+  void OnHit(PageId page, FrameId frame) override BPW_REQUIRES(this);
+  void OnMiss(PageId page, FrameId frame) override BPW_REQUIRES(this);
   StatusOr<Victim> ChooseVictim(const EvictableFn& evictable,
-                                PageId incoming) override;
-  void OnErase(PageId page, FrameId frame) override;
-  Status CheckInvariants() const override;
-  size_t resident_count() const override { return resident_; }
-  bool IsResident(PageId page) const override;
+                                PageId incoming) override BPW_REQUIRES(this);
+  void OnErase(PageId page, FrameId frame) override BPW_REQUIRES(this);
+  Status CheckInvariants() const override BPW_REQUIRES_SHARED(this);
+  size_t resident_count() const override BPW_REQUIRES_SHARED(this) {
+    return resident_;
+  }
+  bool IsResident(PageId page) const override BPW_REQUIRES_SHARED(this);
   std::string name() const override { return "gclock"; }
 
   /// Lock-free hit path (see ClockPolicy::OnHitLockFree).

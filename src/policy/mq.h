@@ -14,6 +14,7 @@
 
 #include "policy/intrusive_list.h"
 #include "policy/replacement_policy.h"
+#include "util/thread_annotations.h"
 
 namespace bpw {
 
@@ -28,14 +29,16 @@ class MqPolicy : public ReplacementPolicy {
   explicit MqPolicy(size_t num_frames) : MqPolicy(num_frames, Params()) {}
   MqPolicy(size_t num_frames, Params params);
 
-  void OnHit(PageId page, FrameId frame) override;
-  void OnMiss(PageId page, FrameId frame) override;
+  void OnHit(PageId page, FrameId frame) override BPW_REQUIRES(this);
+  void OnMiss(PageId page, FrameId frame) override BPW_REQUIRES(this);
   StatusOr<Victim> ChooseVictim(const EvictableFn& evictable,
-                                PageId incoming) override;
-  void OnErase(PageId page, FrameId frame) override;
-  Status CheckInvariants() const override;
-  size_t resident_count() const override { return resident_; }
-  bool IsResident(PageId page) const override;
+                                PageId incoming) override BPW_REQUIRES(this);
+  void OnErase(PageId page, FrameId frame) override BPW_REQUIRES(this);
+  Status CheckInvariants() const override BPW_REQUIRES_SHARED(this);
+  size_t resident_count() const override BPW_REQUIRES_SHARED(this) {
+    return resident_;
+  }
+  bool IsResident(PageId page) const override BPW_REQUIRES_SHARED(this);
   std::string name() const override { return "mq"; }
 
   // Introspection for tests.

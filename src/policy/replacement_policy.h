@@ -25,6 +25,16 @@
 //    already filters most stale entries; the policy must tolerate the rest.
 //  - OnMiss(page, frame) is only called for pages that are not resident
 //    (the buffer pool's single-flight miss path guarantees this).
+//
+// Serialization contract, statically checked: the class is itself a
+// thread-safety *capability*, and every state-touching method REQUIRES it
+// exclusively. A coordinator certifies the contract by calling
+// AssertExclusiveAccess() right after acquiring its policy lock (the lock
+// IS the exclusivity); single-threaded users (simulations, unit tests,
+// quiesced integrity checks) call the same assertion, which documents and
+// type-checks the "I am the only accessor" claim that previously lived in
+// comments. Under clang's -Wthread-safety, calling OnHit/OnMiss/... on a
+// path that made neither claim is a compile error.
 #pragma once
 
 #include <atomic>
@@ -33,11 +43,12 @@
 #include <vector>
 
 #include "util/status.h"
+#include "util/thread_annotations.h"
 #include "util/types.h"
 
 namespace bpw {
 
-class ReplacementPolicy {
+class BPW_CAPABILITY("policy") ReplacementPolicy {
  public:
   /// The page/frame pair selected for eviction.
   struct Victim {
@@ -59,12 +70,12 @@ class ReplacementPolicy {
 
   /// Records a buffer hit on `page` resident in `frame`. Must tolerate
   /// stale (page, frame) pairs (see robustness contract above).
-  virtual void OnHit(PageId page, FrameId frame) = 0;
+  virtual void OnHit(PageId page, FrameId frame) BPW_REQUIRES(this) = 0;
 
   /// Records that `page` has been loaded into `frame` and is now resident.
   /// Preconditions: `page` not resident; `frame` not bound;
   /// resident_count() < num_frames().
-  virtual void OnMiss(PageId page, FrameId frame) = 0;
+  virtual void OnMiss(PageId page, FrameId frame) BPW_REQUIRES(this) = 0;
 
   /// Selects a resident page to evict, removes it from the policy's
   /// resident bookkeeping (possibly moving it to ghost history), and
@@ -72,27 +83,40 @@ class ReplacementPolicy {
   /// (ARC/CAR consult their ghost lists for it; others ignore it).
   /// Returns ResourceExhausted if no frame passes `evictable`.
   virtual StatusOr<Victim> ChooseVictim(const EvictableFn& evictable,
-                                        PageId incoming) = 0;
+                                        PageId incoming)
+      BPW_REQUIRES(this) = 0;
 
   /// Forcibly removes `page` (e.g. table drop / invalidation). No-op if the
   /// page is not resident. Ghost history for the page is also dropped.
-  virtual void OnErase(PageId page, FrameId frame) = 0;
+  virtual void OnErase(PageId page, FrameId frame) BPW_REQUIRES(this) = 0;
 
   /// Structural self-check for tests: list/stack integrity, resident counts,
   /// capacity bounds, frame-binding consistency.
-  virtual Status CheckInvariants() const = 0;
+  virtual Status CheckInvariants() const BPW_REQUIRES_SHARED(this) = 0;
 
   /// Number of resident pages currently tracked.
-  virtual size_t resident_count() const = 0;
+  virtual size_t resident_count() const BPW_REQUIRES_SHARED(this) = 0;
 
   /// Whether `page` is tracked as resident (test hook; O(num_frames) worst
   /// case in some policies).
-  virtual bool IsResident(PageId page) const = 0;
+  virtual bool IsResident(PageId page) const BPW_REQUIRES_SHARED(this) = 0;
 
   /// Short algorithm name ("lru", "2q", "lirs", ...).
   virtual std::string name() const = 0;
 
   size_t num_frames() const { return num_frames_; }
+
+  /// Certifies to the thread-safety analysis that the caller has exclusive
+  /// access to this policy. There are exactly two legitimate ways to earn
+  /// that claim, and every call site is one of them:
+  ///   1. a Coordinator holding its policy lock (the lock serializes all
+  ///      policy access by construction), or
+  ///   2. a single-threaded / quiesced phase (simulations, unit tests,
+  ///      BufferPool::CheckIntegrity).
+  /// Runtime cost: none (empty inline). Compile-time effect under clang:
+  /// the current scope gains the `policy` capability, so the REQUIRES
+  /// contracts above type-check.
+  void AssertExclusiveAccess() const BPW_ASSERT_CAPABILITY(this) {}
 
   // --- Prefetch support (paper §III-B) -----------------------------------
   // PrefetchHint() is called by coordinators *without holding the policy

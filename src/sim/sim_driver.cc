@@ -191,6 +191,9 @@ class Simulation {
 };
 
 void Simulation::CommitQueue(Proc& proc, bool measuring) {
+  // The simulator models contention in virtual time on one real thread, so
+  // exclusive access to the policy always holds.
+  policy_->AssertExclusiveAccess();
   uint64_t stale = 0;
   for (const QueueEntry& entry : proc.queue) {
     if (entry.frame < frame_page_.size() &&
@@ -209,6 +212,7 @@ void Simulation::CommitQueue(Proc& proc, bool measuring) {
 }
 
 void Simulation::HandleHit(Proc& proc, PageId page, FrameId frame) {
+  policy_->AssertExclusiveAccess();  // single real thread; see CommitQueue
   switch (mode_) {
     case Mode::kClockLockFree:
       proc.now += costs_.clock_hit;
@@ -245,6 +249,7 @@ void Simulation::HandleHit(Proc& proc, PageId page, FrameId frame) {
 }
 
 void Simulation::HandleMiss(Proc& proc, PageId page, bool is_write) {
+  policy_->AssertExclusiveAccess();  // single real thread; see CommitQueue
   // Phase 1: under the lock — commit any queued accesses, then pick a
   // victim (or take a free frame).
   FrameId frame;
@@ -378,6 +383,7 @@ StatusOr<DriverResult> Simulation::Run() {
   if (config_.prewarm) {
     // Fault pages in "before time zero": the paper's pre-warmed zero-miss
     // setting.
+    policy_->AssertExclusiveAccess();  // single real thread; see CommitQueue
     const uint64_t warm = std::min<uint64_t>(footprint, num_frames);
     for (PageId p = 0; p < warm; ++p) {
       const FrameId frame = free_frames_.back();

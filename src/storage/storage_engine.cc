@@ -47,9 +47,8 @@ void StorageEngine::ApplyLatency(uint64_t base_nanos, uint64_t extra_nanos,
   if (model_.exponential && base_nanos != 0) {
     double u;
     {
-      rng_lock_.lock();
+      SpinLockGuard guard(rng_lock_);
       u = rng_.NextDouble();
-      rng_lock_.unlock();
     }
     // Exponential with the configured mean; clamp the tail at 8x mean so a
     // single unlucky draw cannot dominate a short benchmark run.

@@ -20,6 +20,7 @@
 #include "util/cacheline.h"
 #include "util/random.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 #include "util/types.h"
 
 namespace bpw {
@@ -126,6 +127,11 @@ class StorageEngine {
   StorageLatencyModel model_;
   bool materialize_;
 
+  // data_ / verification_ are sharded across the striped page_locks_, a
+  // many-to-one guarding the annotation language cannot express (guarded_by
+  // names exactly one capability). The stripe discipline — byte ranges of a
+  // page are only touched under LockFor(page) — is enforced by keeping all
+  // access inside Read/WritePage and verified dynamically by TSan.
   std::vector<uint8_t> data_;           // materialized page contents
   std::vector<uint64_t> verification_;  // first 16 bytes of each page (2 words)
   mutable std::vector<CacheAligned<SpinLock>> page_locks_;
@@ -138,7 +144,7 @@ class StorageEngine {
   // Latency jitter source; protected by its own lock because Random is not
   // thread-safe. Only used when model_.exponential is set.
   SpinLock rng_lock_;
-  Random rng_{0xB5D4C1E5u};
+  Random rng_ BPW_GUARDED_BY(rng_lock_){0xB5D4C1E5u};
 
   // Optional fault source (test hook; see SetFaultInjector).
   std::atomic<testing::FaultInjector*> fault_injector_{nullptr};

@@ -21,6 +21,14 @@
 // instrumented lock additionally emits lock-wait and lock-hold spans so a
 // Chrome trace shows exactly when each critical section ran — kCounts mode
 // then pays the clock reads only while tracing is on.
+//
+// ContentionLock is a Clang Thread Safety Analysis *capability*: state
+// annotated BPW_GUARDED_BY(lock) can only be touched on paths that provably
+// hold it, and a clang build with -Wthread-safety -Werror turns protocol
+// violations into compile errors. The implementations themselves are opted
+// out of the body analysis (the documented pattern for lock wrappers: the
+// analysis cannot see through the underlying std::mutex); TSan verifies the
+// internals dynamically instead.
 #pragma once
 
 #include <atomic>
@@ -28,6 +36,7 @@
 #include <mutex>
 
 #include "util/cacheline.h"
+#include "util/thread_annotations.h"
 
 namespace bpw {
 
@@ -61,7 +70,7 @@ enum class LockInstrumentation {
 /// what a DBMS uses (PostgreSQL lwlocks block after a short spin), and a
 /// failed immediate acquisition followed by blocking is precisely the
 /// paper's contention event.
-class ContentionLock {
+class BPW_CAPABILITY("mutex") ContentionLock {
  public:
   explicit ContentionLock(
       LockInstrumentation instr = LockInstrumentation::kCounts)
@@ -72,14 +81,14 @@ class ContentionLock {
 
   /// Acquires the lock, blocking if necessary. A blocked acquisition is
   /// recorded as one contention event.
-  void Lock();
+  void Lock() BPW_ACQUIRE() BPW_NO_THREAD_SAFETY_ANALYSIS;
 
   /// Attempts to acquire without blocking. Never records a contention.
   /// @return true if the lock was acquired.
-  bool TryLock();
+  bool TryLock() BPW_TRY_ACQUIRE(true) BPW_NO_THREAD_SAFETY_ANALYSIS;
 
   /// Releases the lock.
-  void Unlock();
+  void Unlock() BPW_RELEASE() BPW_NO_THREAD_SAFETY_ANALYSIS;
 
   /// Returns a consistent snapshot of the counters.
   LockStats stats() const;
@@ -108,16 +117,48 @@ class ContentionLock {
   std::atomic<uint64_t> wait_nanos_{0};
 };
 
-/// RAII guard for ContentionLock.
-class ContentionLockGuard {
+/// RAII guard for ContentionLock: acquires (blocking) in the constructor,
+/// releases in the destructor.
+class BPW_SCOPED_CAPABILITY ContentionLockGuard {
  public:
-  explicit ContentionLockGuard(ContentionLock& lock) : lock_(lock) {
+  explicit ContentionLockGuard(ContentionLock& lock) BPW_ACQUIRE(lock)
+      : lock_(lock) {
     lock_.Lock();
   }
-  ~ContentionLockGuard() { lock_.Unlock(); }
+  ~ContentionLockGuard() BPW_RELEASE() { lock_.Unlock(); }
 
   ContentionLockGuard(const ContentionLockGuard&) = delete;
   ContentionLockGuard& operator=(const ContentionLockGuard&) = delete;
+
+ private:
+  ContentionLock& lock_;
+};
+
+/// Adopting RAII guard for a lock already acquired via TryLock().
+///
+/// The BP-Wrapper commit fast path is
+///     if (lock_.TryLock()) { ...commit...; }
+/// and before this guard existed the "...commit..." block had to end in a
+/// manual Unlock() — a leak-on-early-return footgun, and impossible to
+/// annotate cleanly. Adopting the lock into a scoped capability keeps the
+/// TRY_ACQUIRE annotation on TryLock() itself and guarantees the release:
+///
+///     if (lock_.TryLock()) {
+///       ContentionLockAdoptGuard guard(lock_);  // adopts, will Unlock()
+///       ...commit may return early...
+///     }
+///
+/// The constructor REQUIRES the lock: under -Wthread-safety it is a compile
+/// error to adopt a lock the current path does not hold.
+class BPW_SCOPED_CAPABILITY ContentionLockAdoptGuard {
+ public:
+  explicit ContentionLockAdoptGuard(ContentionLock& lock) BPW_REQUIRES(lock)
+      : lock_(lock) {}
+  ~ContentionLockAdoptGuard() BPW_RELEASE() { lock_.Unlock(); }
+
+  ContentionLockAdoptGuard(const ContentionLockAdoptGuard&) = delete;
+  ContentionLockAdoptGuard& operator=(const ContentionLockAdoptGuard&) =
+      delete;
 
  private:
   ContentionLock& lock_;

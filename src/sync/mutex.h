@@ -1,0 +1,50 @@
+// bpw::Mutex — a std::mutex with Clang Thread Safety Analysis annotations.
+//
+// std::mutex (and std::lock_guard / std::unique_lock) carry no capability
+// annotations, so state they protect cannot be expressed to -Wthread-safety.
+// Every std::mutex in the repo that guards named state now goes through this
+// wrapper; the lowercase lock()/unlock() names keep it a BasicLockable, so
+// std::condition_variable_any can wait on it directly.
+//
+// Method bodies are exempt from the analysis (the documented pattern for
+// lock wrappers — the analysis cannot see through std::mutex); the
+// annotations on the interface are what call sites are checked against.
+#pragma once
+
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace bpw {
+
+/// Annotated exclusive mutex (BasicLockable + Lockable).
+class BPW_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() BPW_ACQUIRE() BPW_NO_THREAD_SAFETY_ANALYSIS { mu_.lock(); }
+  bool try_lock() BPW_TRY_ACQUIRE(true) BPW_NO_THREAD_SAFETY_ANALYSIS {
+    return mu_.try_lock();
+  }
+  void unlock() BPW_RELEASE() BPW_NO_THREAD_SAFETY_ANALYSIS { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII guard for bpw::Mutex (the annotated std::lock_guard equivalent).
+class BPW_SCOPED_CAPABILITY MutexGuard {
+ public:
+  explicit MutexGuard(Mutex& mu) BPW_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexGuard() BPW_RELEASE() { mu_.unlock(); }
+
+  MutexGuard(const MutexGuard&) = delete;
+  MutexGuard& operator=(const MutexGuard&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace bpw

@@ -6,19 +6,24 @@
 #include <atomic>
 
 #include "testing/schedule_point.h"
+#include "util/thread_annotations.h"
 
 namespace bpw {
 
 /// TTAS spinlock. Suitable only for critical sections of a few dozen
 /// instructions (hash-bucket lookups); longer sections must use
 /// ContentionLock.
-class SpinLock {
+///
+/// Annotated as a thread-safety capability; bodies are exempt from the
+/// analysis (the documented pattern for lock implementations — the flag is
+/// an atomic the analysis cannot track).
+class BPW_CAPABILITY("spinlock") SpinLock {
  public:
   SpinLock() = default;
   SpinLock(const SpinLock&) = delete;
   SpinLock& operator=(const SpinLock&) = delete;
 
-  void lock() {
+  void lock() BPW_ACQUIRE() BPW_NO_THREAD_SAFETY_ANALYSIS {
     BPW_SCHEDULE_POINT("spinlock.lock");
     while (true) {
       if (!flag_.exchange(true, std::memory_order_acquire)) return;
@@ -30,16 +35,35 @@ class SpinLock {
     }
   }
 
-  bool try_lock() {
+  bool try_lock() BPW_TRY_ACQUIRE(true) BPW_NO_THREAD_SAFETY_ANALYSIS {
     BPW_SCHEDULE_POINT("spinlock.try_lock");
     return !flag_.load(std::memory_order_relaxed) &&
            !flag_.exchange(true, std::memory_order_acquire);
   }
 
-  void unlock() { flag_.store(false, std::memory_order_release); }
+  void unlock() BPW_RELEASE() BPW_NO_THREAD_SAFETY_ANALYSIS {
+    flag_.store(false, std::memory_order_release);
+  }
 
  private:
   std::atomic<bool> flag_{false};
+};
+
+/// RAII guard for SpinLock. std::lock_guard works functionally but is
+/// invisible to the thread-safety analysis (std::lock_guard carries no
+/// capability annotations), so annotated code uses this guard instead.
+class BPW_SCOPED_CAPABILITY SpinLockGuard {
+ public:
+  explicit SpinLockGuard(SpinLock& lock) BPW_ACQUIRE(lock) : lock_(lock) {
+    lock_.lock();
+  }
+  ~SpinLockGuard() BPW_RELEASE() { lock_.unlock(); }
+
+  SpinLockGuard(const SpinLockGuard&) = delete;
+  SpinLockGuard& operator=(const SpinLockGuard&) = delete;
+
+ private:
+  SpinLock& lock_;
 };
 
 }  // namespace bpw

@@ -10,10 +10,9 @@ FaultDecision FaultInjector::ForRead(PageId page) {
   bool fail = false;
   bool spike = false;
   {
-    lock_.lock();
+    SpinLockGuard guard(lock_);
     fail = rng_.Bernoulli(plan_.read_error_probability);
     if (!fail) spike = rng_.Bernoulli(plan_.read_spike_probability);
-    lock_.unlock();
   }
   if (fail) {
     read_errors_.fetch_add(1, std::memory_order_relaxed);
@@ -34,13 +33,12 @@ FaultDecision FaultInjector::ForWrite(PageId page) {
   bool spike = false;
   bool tear = false;
   {
-    lock_.lock();
+    SpinLockGuard guard(lock_);
     fail = rng_.Bernoulli(plan_.write_error_probability);
     if (!fail) {
       spike = rng_.Bernoulli(plan_.write_spike_probability);
       tear = rng_.Bernoulli(plan_.torn_write_probability);
     }
-    lock_.unlock();
   }
   if (fail) {
     write_errors_.fetch_add(1, std::memory_order_relaxed);

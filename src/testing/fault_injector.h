@@ -23,6 +23,7 @@
 #include "sync/spinlock.h"
 #include "util/random.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 #include "util/types.h"
 
 namespace bpw {
@@ -81,7 +82,7 @@ class FaultInjector {
  private:
   FaultPlan plan_;
   SpinLock lock_;
-  Random rng_;  // guarded by lock_
+  Random rng_ BPW_GUARDED_BY(lock_);
 
   std::atomic<uint64_t> read_errors_{0};
   std::atomic<uint64_t> write_errors_{0};

@@ -2,8 +2,8 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
 
+#include "sync/mutex.h"
 #include "util/clock.h"
 #include "util/thread_id.h"
 
@@ -11,7 +11,7 @@ namespace bpw {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
-std::mutex g_log_mutex;
+Mutex g_log_mutex;  // serializes the fprintf so lines never interleave
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -41,7 +41,7 @@ void LogMessage(LogLevel level, const std::string& msg) {
   // vs the trace's microseconds), so a log line can be lined up with the
   // spans around it in a trace viewer; the thread id matches the trace tid.
   const double mono_seconds = static_cast<double>(NowNanos()) / 1e9;
-  std::lock_guard<std::mutex> guard(g_log_mutex);
+  MutexGuard guard(g_log_mutex);
   std::fprintf(stderr, "[%s %.6f t%02u] %s\n", LevelTag(level), mono_seconds,
                CurrentThreadId(), msg.c_str());
 }

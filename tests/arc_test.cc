@@ -23,6 +23,7 @@ class ArcDriver {
   }
 
   bool Access(PageId page) {
+    arc_.AssertExclusiveAccess();  // drivers run single-threaded
     for (FrameId f = 0; f < frame_of_.size(); ++f) {
       if (frame_of_[f] == page) {
         arc_.OnHit(page, f);
@@ -52,6 +53,7 @@ class ArcDriver {
 
 TEST(ArcTest, NewPagesEnterT1) {
   ArcPolicy arc(8);
+  arc.AssertExclusiveAccess();
   arc.OnMiss(1, 0);
   arc.OnMiss(2, 1);
   EXPECT_EQ(arc.t1_size(), 2u);
@@ -60,6 +62,7 @@ TEST(ArcTest, NewPagesEnterT1) {
 
 TEST(ArcTest, HitPromotesToT2) {
   ArcPolicy arc(8);
+  arc.AssertExclusiveAccess();
   arc.OnMiss(1, 0);
   arc.OnHit(1, 0);
   EXPECT_EQ(arc.t1_size(), 0u);
@@ -71,6 +74,7 @@ TEST(ArcTest, HitPromotesToT2) {
 
 TEST(ArcTest, EvictionFromT1LeavesB1Ghost) {
   ArcPolicy arc(2);
+  arc.AssertExclusiveAccess();
   arc.OnMiss(1, 0);
   arc.OnMiss(2, 1);
   auto victim = arc.ChooseVictim(All(), 3);
@@ -85,6 +89,7 @@ TEST(ArcTest, B1GhostHitGrowsTargetAndEntersT2) {
   // the next insert's directory trim (with |T1| == c, textbook ARC forgets
   // the eviction too).
   ArcPolicy arc(2);
+  arc.AssertExclusiveAccess();
   ArcDriver driver(arc);
   driver.Access(1);
   driver.Access(2);
@@ -101,6 +106,7 @@ TEST(ArcTest, B1GhostHitGrowsTargetAndEntersT2) {
 
 TEST(ArcTest, B2GhostHitShrinksTarget) {
   ArcPolicy arc(2);
+  arc.AssertExclusiveAccess();
   ArcDriver driver(arc);
   // Build a T2 page and push it out through B2.
   driver.Access(1);
@@ -120,6 +126,7 @@ TEST(ArcTest, B2GhostHitShrinksTarget) {
 TEST(ArcTest, DirectoryNeverExceedsTwoC) {
   constexpr size_t kFrames = 16;
   ArcPolicy arc(kFrames);
+  arc.AssertExclusiveAccess();
   ArcDriver driver(arc);
   Random rng(5);
   for (int i = 0; i < 20000; ++i) {
@@ -142,6 +149,7 @@ TEST(ArcTest, AdaptsToRecencyFavouringWorkload) {
   // which must push the target p above zero at some point.
   constexpr size_t kFrames = 32;
   ArcPolicy arc(kFrames);
+  arc.AssertExclusiveAccess();
   ArcDriver driver(arc);
   // Hot set of 8 pages pinned into T2 by repetition.
   for (int round = 0; round < 3; ++round) {
@@ -160,6 +168,7 @@ TEST(ArcTest, AdaptsToRecencyFavouringWorkload) {
 TEST(ArcTest, ScanDoesNotFlushT2) {
   constexpr size_t kFrames = 32;
   ArcPolicy arc(kFrames);
+  arc.AssertExclusiveAccess();
   ArcDriver driver(arc);
   // Hot set in T2.
   for (int round = 0; round < 3; ++round) {
@@ -175,6 +184,7 @@ TEST(ArcTest, ScanDoesNotFlushT2) {
 
 TEST(ArcTest, EraseResidentAndGhost) {
   ArcPolicy arc(2);
+  arc.AssertExclusiveAccess();
   ArcDriver driver(arc);
   driver.Access(1);
   driver.Access(2);

@@ -21,6 +21,7 @@ class CarDriver {
   }
 
   bool Access(PageId page) {
+    car_.AssertExclusiveAccess();  // drivers run single-threaded
     for (FrameId f = 0; f < frame_of_.size(); ++f) {
       if (frame_of_[f] == page) {
         car_.OnHit(page, f);
@@ -50,6 +51,7 @@ class CarDriver {
 
 TEST(CarTest, NewPagesEnterT1WithClearRefBit) {
   CarPolicy car(4);
+  car.AssertExclusiveAccess();
   car.OnMiss(1, 0);
   EXPECT_EQ(car.t1_size(), 1u);
   // With ref clear, an immediate eviction takes it.
@@ -60,6 +62,7 @@ TEST(CarTest, NewPagesEnterT1WithClearRefBit) {
 
 TEST(CarTest, HitOnlySetsRefBitNoListMovement) {
   CarPolicy car(4);
+  car.AssertExclusiveAccess();
   car.OnMiss(1, 0);
   car.OnHit(1, 0);
   // Still in T1: CAR's hit path moves nothing (that is its point).
@@ -69,6 +72,7 @@ TEST(CarTest, HitOnlySetsRefBitNoListMovement) {
 
 TEST(CarTest, ReferencedT1PageMigratesToT2OnSweep) {
   CarPolicy car(2);
+  car.AssertExclusiveAccess();
   car.OnMiss(1, 0);
   car.OnMiss(2, 1);
   car.OnHit(1, 0);  // ref bit set on 1
@@ -83,6 +87,7 @@ TEST(CarTest, GhostHitAdaptsTarget) {
   // Reference page 1 so the sweep moves it to T2; then the B1 entry for
   // page 2 survives the next insert's directory trim (|T1|+|B1| < c).
   CarPolicy car(2);
+  car.AssertExclusiveAccess();
   CarDriver driver(car);
   driver.Access(1);
   driver.Access(2);
@@ -99,6 +104,7 @@ TEST(CarTest, GhostHitAdaptsTarget) {
 TEST(CarTest, DirectoryBounded) {
   constexpr size_t kFrames = 16;
   CarPolicy car(kFrames);
+  car.AssertExclusiveAccess();
   CarDriver driver(car);
   Random rng(11);
   for (int i = 0; i < 20000; ++i) {
@@ -117,6 +123,7 @@ TEST(CarTest, DirectoryBounded) {
 TEST(CarTest, HotPagesSurviveColdChurn) {
   constexpr size_t kFrames = 16;
   CarPolicy car(kFrames);
+  car.AssertExclusiveAccess();
   CarDriver driver(car);
   // Make pages 0..3 hot (in T2 with ref bits refreshed).
   for (int round = 0; round < 4; ++round) {
@@ -136,6 +143,7 @@ TEST(CarTest, HotPagesSurviveColdChurn) {
 
 TEST(CarTest, AllPinnedReportsExhausted) {
   CarPolicy car(4);
+  car.AssertExclusiveAccess();
   for (PageId p = 0; p < 4; ++p) car.OnMiss(p, static_cast<FrameId>(p));
   auto victim = car.ChooseVictim([](FrameId) { return false; }, 9);
   ASSERT_FALSE(victim.ok());

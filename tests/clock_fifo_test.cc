@@ -18,6 +18,7 @@ ReplacementPolicy::EvictableFn All() {
 
 TEST(FifoTest, HitsDoNotAffectEvictionOrder) {
   FifoPolicy fifo(3);
+  fifo.AssertExclusiveAccess();
   fifo.OnMiss(1, 0);
   fifo.OnMiss(2, 1);
   fifo.OnMiss(3, 2);
@@ -29,6 +30,7 @@ TEST(FifoTest, HitsDoNotAffectEvictionOrder) {
 
 TEST(FifoTest, EvictsOldestFirst) {
   FifoPolicy fifo(4);
+  fifo.AssertExclusiveAccess();
   for (PageId p = 10; p < 14; ++p) {
     fifo.OnMiss(p, static_cast<FrameId>(p - 10));
   }
@@ -41,6 +43,7 @@ TEST(FifoTest, EvictsOldestFirst) {
 
 TEST(ClockTest, SecondChanceProtectsReferencedPage) {
   ClockPolicy clock(3);
+  clock.AssertExclusiveAccess();
   clock.OnMiss(1, 0);
   clock.OnMiss(2, 1);
   clock.OnMiss(3, 2);
@@ -59,6 +62,7 @@ TEST(ClockTest, SecondChanceProtectsReferencedPage) {
 
 TEST(ClockTest, HandAdvancesAcrossEvictions) {
   ClockPolicy clock(4);
+  clock.AssertExclusiveAccess();
   for (PageId p = 0; p < 4; ++p) clock.OnMiss(p, static_cast<FrameId>(p));
   // No hits: first sweep clears all bits and evicts frame 0; subsequent
   // evictions continue around the clock face.
@@ -73,6 +77,7 @@ TEST(ClockTest, HandAdvancesAcrossEvictions) {
 
 TEST(ClockTest, LockFreeHitValidatesTag) {
   ClockPolicy clock(2);
+  clock.AssertExclusiveAccess();
   clock.OnMiss(7, 0);
   clock.OnHitLockFree(8, 0);   // wrong page: ignored
   clock.OnHitLockFree(7, 1);   // wrong frame: ignored
@@ -85,6 +90,7 @@ TEST(ClockTest, ConcurrentLockFreeHitsDuringSweep) {
   // Hits from many threads while a sweeper evicts: no crashes, counters
   // stay exact under the policy-lock discipline (sweep serialized here).
   ClockPolicy clock(64);
+  clock.AssertExclusiveAccess();
   for (PageId p = 0; p < 64; ++p) clock.OnMiss(p, static_cast<FrameId>(p));
   std::atomic<bool> stop{false};
   std::vector<std::thread> hitters;
@@ -111,6 +117,7 @@ TEST(ClockTest, ConcurrentLockFreeHitsDuringSweep) {
 
 TEST(GClockTest, CounterSaturatesAtCap) {
   GClockPolicy gclock(2, /*max_count=*/3);
+  gclock.AssertExclusiveAccess();
   gclock.OnMiss(1, 0);
   for (int i = 0; i < 100; ++i) gclock.OnHitLockFree(1, 0);
   EXPECT_TRUE(gclock.CheckInvariants().ok());  // cap invariant checked there
@@ -118,6 +125,7 @@ TEST(GClockTest, CounterSaturatesAtCap) {
 
 TEST(GClockTest, FrequentlyHitPageOutlivesColdOnes) {
   GClockPolicy gclock(4, 5);
+  gclock.AssertExclusiveAccess();
   for (PageId p = 0; p < 4; ++p) gclock.OnMiss(p, static_cast<FrameId>(p));
   // Page 2 is hot.
   for (int i = 0; i < 5; ++i) gclock.OnHitLockFree(2, 2);
@@ -132,6 +140,7 @@ TEST(GClockTest, FrequentlyHitPageOutlivesColdOnes) {
 
 TEST(GClockTest, EvictionDecrementsUntilZero) {
   GClockPolicy gclock(1, 5);
+  gclock.AssertExclusiveAccess();
   gclock.OnMiss(42, 0);
   gclock.OnHitLockFree(42, 0);  // count 2
   auto v = gclock.ChooseVictim(All(), 9);

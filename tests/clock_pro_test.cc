@@ -23,6 +23,7 @@ class ClockProDriver {
   }
 
   bool Access(PageId page) {
+    policy_.AssertExclusiveAccess();  // drivers run single-threaded
     for (FrameId f = 0; f < frame_of_.size(); ++f) {
       if (frame_of_[f] == page) {
         policy_.OnHit(page, f);
@@ -52,6 +53,7 @@ class ClockProDriver {
 
 TEST(ClockProTest, NewPagesAreColdInTest) {
   ClockProPolicy cp(8);
+  cp.AssertExclusiveAccess();
   cp.OnMiss(1, 0);
   cp.OnMiss(2, 1);
   EXPECT_EQ(cp.cold_count(), 2u);
@@ -61,6 +63,7 @@ TEST(ClockProTest, NewPagesAreColdInTest) {
 
 TEST(ClockProTest, HitOnlySetsRefBit) {
   ClockProPolicy cp(8);
+  cp.AssertExclusiveAccess();
   cp.OnMiss(1, 0);
   cp.OnHit(1, 0);
   // Still cold: CLOCK-Pro's hit path is a bit set (its whole point as a
@@ -71,6 +74,7 @@ TEST(ClockProTest, HitOnlySetsRefBit) {
 
 TEST(ClockProTest, ReferencedTestPagePromotesToHotOnSweep) {
   ClockProPolicy cp(4);
+  cp.AssertExclusiveAccess();
   cp.OnMiss(1, 0);
   cp.OnMiss(2, 1);
   cp.OnHit(1, 0);  // page 1 referenced during its test period
@@ -83,6 +87,7 @@ TEST(ClockProTest, ReferencedTestPagePromotesToHotOnSweep) {
 
 TEST(ClockProTest, EvictedTestPageStaysAsNonResident) {
   ClockProPolicy cp(2);
+  cp.AssertExclusiveAccess();
   cp.OnMiss(1, 0);
   cp.OnMiss(2, 1);
   auto victim = cp.ChooseVictim(All(), 3);
@@ -94,6 +99,7 @@ TEST(ClockProTest, EvictedTestPageStaysAsNonResident) {
 
 TEST(ClockProTest, ReloadDuringTestGrowsColdTargetAndGoesHot) {
   ClockProPolicy cp(2);
+  cp.AssertExclusiveAccess();
   cp.OnMiss(1, 0);
   cp.OnMiss(2, 1);
   auto victim = cp.ChooseVictim(All(), 3);
@@ -113,6 +119,7 @@ TEST(ClockProTest, ReloadDuringTestGrowsColdTargetAndGoesHot) {
 TEST(ClockProTest, NonResidentMetadataBounded) {
   constexpr size_t kFrames = 8;
   ClockProPolicy cp(kFrames);
+  cp.AssertExclusiveAccess();
   ClockProDriver driver(cp);
   for (PageId p = 0; p < 500; ++p) {
     driver.Access(p);
@@ -126,6 +133,7 @@ TEST(ClockProTest, NonResidentMetadataBounded) {
 
 TEST(ClockProTest, ColdTargetStaysInRange) {
   ClockProPolicy cp(16);
+  cp.AssertExclusiveAccess();
   ClockProDriver driver(cp);
   Random rng(3);
   for (int i = 0; i < 20000; ++i) {
@@ -153,7 +161,9 @@ TEST(ClockProTest, LoopWorkloadBeatsLru) {
     return static_cast<double>(hits) / (kLaps * kLoop);
   };
   ClockProPolicy cp(kFrames);
+  cp.AssertExclusiveAccess();
   LruPolicy lru(kFrames);
+  lru.AssertExclusiveAccess();
   const double cp_ratio = run(cp);
   const double lru_ratio = run(lru);
   EXPECT_LT(lru_ratio, 0.02);
@@ -163,6 +173,7 @@ TEST(ClockProTest, LoopWorkloadBeatsLru) {
 
 TEST(ClockProTest, EraseEveryState) {
   ClockProPolicy cp(4);
+  cp.AssertExclusiveAccess();
   ClockProDriver driver(cp);
   for (PageId p = 0; p < 4; ++p) driver.Access(p);
   driver.Access(0);   // ref

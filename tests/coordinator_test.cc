@@ -29,14 +29,16 @@ TEST(SerializedCoordinatorTest, OperationsReachThePolicy) {
   for (PageId p = 0; p < 4; ++p) {
     coord.CompleteMiss(slot.get(), p, static_cast<FrameId>(p));
   }
-  EXPECT_EQ(coord.policy().resident_count(), 4u);
+  const ReplacementPolicy& policy = coord.policy();
+  policy.AssertExclusiveAccess();  // single-threaded test: no races possible
+  EXPECT_EQ(policy.resident_count(), 4u);
   coord.OnHit(slot.get(), 0, 0);  // 0 becomes MRU
   auto victim = coord.ChooseVictim(
       slot.get(), [](FrameId) { return true; }, 9);
   ASSERT_TRUE(victim.ok());
   EXPECT_EQ(victim->page, 1u);
   coord.OnErase(slot.get(), 2, 2);
-  EXPECT_EQ(coord.policy().resident_count(), 2u);
+  EXPECT_EQ(policy.resident_count(), 2u);
 }
 
 TEST(SerializedCoordinatorTest, PrefetchOptionChangesNameOnly) {
@@ -90,7 +92,9 @@ TEST(ClockCoordinatorTest, RefBitProtectsHitPage) {
   auto v2 = coord.ChooseVictim(slot.get(), [](FrameId) { return true; }, 5);
   ASSERT_TRUE(v2.ok());
   EXPECT_EQ(v2->page, 2u);
-  EXPECT_TRUE(coord.policy().IsResident(3));
+  const ReplacementPolicy& policy = coord.policy();
+  policy.AssertExclusiveAccess();  // single-threaded test: no races possible
+  EXPECT_TRUE(policy.IsResident(3));
 }
 
 TEST(ClockCoordinatorTest, GClockVariantWorks) {
@@ -137,8 +141,10 @@ TEST(ClockCoordinatorTest, ConcurrentHitsWithEvictions) {
   }
   stop.store(true);
   for (auto& th : threads) th.join();
-  EXPECT_EQ(coord.policy().resident_count(), 32u);
-  EXPECT_TRUE(coord.policy().CheckInvariants().ok());
+  const ReplacementPolicy& policy = coord.policy();
+  policy.AssertExclusiveAccess();  // workers joined: exclusive again
+  EXPECT_EQ(policy.resident_count(), 32u);
+  EXPECT_TRUE(policy.CheckInvariants().ok());
 }
 
 TEST(CoordinatorFactoryTest, BuildsAllKinds) {

@@ -175,6 +175,7 @@ void RunRandomTraceInto(RandomRunResult* result, const SystemConfig& system,
   // Drain the policy (quiesced; this intentionally desynchronizes it from
   // the pool, so it is the last thing done with either).
   ReplacementPolicy* policy = pool.coordinator().mutable_policy();
+  policy->AssertExclusiveAccess();  // workers joined; coordinator quiesced
   uint64_t fresh = num_pages;  // incoming ids no ghost list has ever seen
   while (policy->resident_count() > 0) {
     auto victim =

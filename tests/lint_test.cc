@@ -1,0 +1,247 @@
+// Self-tests for bpw_lint, the lock-discipline linter. Each test feeds the
+// library a snippet shaped like real coordinator code and checks that the
+// seeded violation (and only it) is flagged. The two seeded cases required
+// by the acceptance bar — prefetch issued after Lock() and heap allocation
+// inside the critical section — are the first two tests.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+
+namespace bpw {
+namespace lint {
+namespace {
+
+std::vector<std::string> Rules(const std::vector<Finding>& findings) {
+  std::vector<std::string> rules;
+  rules.reserve(findings.size());
+  for (const Finding& f : findings) rules.push_back(f.rule);
+  return rules;
+}
+
+bool Has(const std::vector<Finding>& findings, const std::string& rule) {
+  return std::any_of(findings.begin(), findings.end(),
+                     [&](const Finding& f) { return f.rule == rule; });
+}
+
+std::string Dump(const std::vector<Finding>& findings) {
+  std::string out;
+  for (const Finding& f : findings) out += FormatFinding(f) + "\n";
+  return out;
+}
+
+TEST(LintTest, SeededPrefetchAfterLockIsFlagged) {
+  const char* src = R"cpp(
+void BpWrapper::OnHit(AccessQueue& queue) {
+  ContentionLockGuard guard(lock_);
+  PrefetchForCommit(queue);
+  CommitLocked(queue);
+}
+)cpp";
+  auto findings = LintSource("seed.cc", src);
+  ASSERT_EQ(findings.size(), 1u) << Dump(findings);
+  EXPECT_EQ(findings[0].rule, "prefetch-in-critical-section");
+  EXPECT_EQ(findings[0].line, 4);
+}
+
+TEST(LintTest, SeededAllocationInCriticalSectionIsFlagged) {
+  const char* src = R"cpp(
+void SharedQueue::CommitLocked() {
+  std::vector<Entry> batch;
+  batch.reserve(64);
+  Replay(batch);
+}
+)cpp";
+  auto findings = LintSource("seed.cc", src);
+  ASSERT_EQ(findings.size(), 1u) << Dump(findings);
+  EXPECT_EQ(findings[0].rule, "critical-section-alloc");
+  EXPECT_EQ(findings[0].line, 4);
+}
+
+TEST(LintTest, PrefetchBeforeLockIsClean) {
+  const char* src = R"cpp(
+void BpWrapper::OnHit(AccessQueue& queue) {
+  PrefetchForCommit(queue);
+  if (lock_.TryLock()) {
+    ContentionLockAdoptGuard guard(lock_);
+    CommitLocked(queue);
+    return;
+  }
+  ContentionLockGuard guard(lock_);
+  CommitLocked(queue);
+}
+)cpp";
+  auto findings = LintSource("clean.cc", src);
+  EXPECT_TRUE(findings.empty()) << Dump(findings);
+}
+
+TEST(LintTest, GuardScopeEndsWithItsBlock) {
+  // The guard lives in the TryLock block; the allocation after the block
+  // is outside the critical section.
+  const char* src = R"cpp(
+void Commit() {
+  if (lock_.TryLock()) {
+    ContentionLockAdoptGuard guard(lock_);
+    Replay();
+  }
+  buffer_.reserve(64);
+  ContentionLockGuard guard(lock_);
+}
+)cpp";
+  auto findings = LintSource("scope.cc", src);
+  EXPECT_TRUE(findings.empty()) << Dump(findings);
+}
+
+TEST(LintTest, ClockReadUnderLockIsFlagged) {
+  const char* src = R"cpp(
+void Commit() {
+  ContentionLockGuard guard(lock_);
+  const uint64_t now = NowNanos();
+  Replay(now);
+}
+)cpp";
+  auto findings = LintSource("clock.cc", src);
+  ASSERT_EQ(findings.size(), 1u) << Dump(findings);
+  EXPECT_EQ(findings[0].rule, "clock-read-in-critical-section");
+}
+
+TEST(LintTest, LoggingUnderLockIsFlagged) {
+  const char* src = R"cpp(
+void Commit() {
+  ContentionLockGuard guard(lock_);
+  BPW_LOG_ERROR << "inside the critical section";
+}
+)cpp";
+  auto findings = LintSource("log.cc", src);
+  ASSERT_EQ(findings.size(), 1u) << Dump(findings);
+  EXPECT_EQ(findings[0].rule, "logging-in-critical-section");
+}
+
+TEST(LintTest, ManualLockUnlockSpanIsTracked) {
+  const char* src = R"cpp(
+void Manual() {
+  lock_.Lock();
+  scratch_.push_back(1);
+  lock_.Unlock();
+  scratch_.push_back(2);
+}
+)cpp";
+  auto findings = LintSource("manual.cc", src);
+  ASSERT_EQ(findings.size(), 1u) << Dump(findings);
+  EXPECT_EQ(findings[0].rule, "critical-section-alloc");
+  EXPECT_EQ(findings[0].line, 4);
+}
+
+TEST(LintTest, LockedSuffixFunctionsAreCriticalSections) {
+  const char* src = R"cpp(
+void Coordinator::ReplayLocked() {
+  entries_.push_back(Entry{});
+}
+void Coordinator::Replay() {
+  entries_.push_back(Entry{});
+}
+)cpp";
+  auto findings = LintSource("locked.cc", src);
+  ASSERT_EQ(findings.size(), 1u) << Dump(findings);
+  EXPECT_EQ(findings[0].line, 3);
+}
+
+TEST(LintTest, DiscardedTryLockIsFlagged) {
+  const char* src = R"cpp(
+void Broken() {
+  lock_.TryLock();
+  lock_.Lock();
+  lock_.Unlock();
+}
+)cpp";
+  auto findings = LintSource("trylock.cc", src);
+  EXPECT_TRUE(Has(findings, "trylock-unchecked")) << Dump(findings);
+}
+
+TEST(LintTest, TryLockWithoutFallbackIsFlagged) {
+  const char* src = R"cpp(
+void NoFallback(AccessQueue& queue) {
+  if (lock_.TryLock()) {
+    ContentionLockAdoptGuard guard(lock_);
+    CommitLocked(queue);
+  }
+}
+)cpp";
+  // The adopt guard counts as handling the success path, so this
+  // particular shape is accepted; removing the guard and the blocking
+  // fallback must flag.
+  const char* bare = R"cpp(
+bool Poll() {
+  if (lock_.TryLock()) {
+    commit();
+    unlock();
+  }
+  return false;
+}
+)cpp";
+  auto findings = LintSource("bare.cc", bare);
+  EXPECT_TRUE(Has(findings, "trylock-no-fallback")) << Dump(findings);
+  findings = LintSource("guarded.cc", src);
+  EXPECT_FALSE(Has(findings, "trylock-no-fallback")) << Dump(findings);
+}
+
+TEST(LintTest, AllowCommentSuppresses) {
+  const char* src = R"cpp(
+void CommitLocked() {
+  // Traced commits time themselves; see the design note.
+  // bpw-lint-allow(clock-read-in-critical-section)
+  const uint64_t start = NowNanos();
+  Replay(start);
+}
+)cpp";
+  auto findings = LintSource("allow.cc", src);
+  EXPECT_TRUE(findings.empty()) << Dump(findings);
+}
+
+TEST(LintTest, AllowOnlySilencesTheNamedRule) {
+  const char* src = R"cpp(
+void CommitLocked() {
+  // bpw-lint-allow(clock-read-in-critical-section)
+  scratch_.push_back(NowNanos());
+}
+)cpp";
+  auto findings = LintSource("allow2.cc", src);
+  ASSERT_EQ(findings.size(), 1u) << Dump(findings);
+  EXPECT_EQ(findings[0].rule, "critical-section-alloc");
+}
+
+TEST(LintTest, CommentsAndStringsAreIgnored) {
+  const char* src = R"cpp(
+void Commit() {
+  ContentionLockGuard guard(lock_);
+  // NowNanos() in a comment is fine
+  Log("calling NowNanos() by name in a string is fine");
+  /* batch.reserve(64) in a block comment too */
+}
+)cpp";
+  auto findings = LintSource("comments.cc", src);
+  EXPECT_TRUE(findings.empty()) << Dump(findings);
+}
+
+TEST(LintTest, FormatFindingIsStable) {
+  Finding f{"a.cc", 12, "critical-section-alloc", "msg"};
+  EXPECT_EQ(FormatFinding(f), "a.cc:12: [critical-section-alloc] msg");
+}
+
+TEST(LintTest, RulesHelperSeesEveryFinding) {
+  const char* src = R"cpp(
+void CommitLocked() {
+  scratch_.push_back(NowNanos());
+}
+)cpp";
+  auto findings = LintSource("multi.cc", src);
+  auto rules = Rules(findings);
+  EXPECT_EQ(rules.size(), 2u) << Dump(findings);
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace bpw

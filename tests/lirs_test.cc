@@ -26,6 +26,7 @@ class PolicyDriver {
 
   // Returns true on hit.
   bool Access(PageId page) {
+    policy_.AssertExclusiveAccess();  // drivers run single-threaded
     for (FrameId f = 0; f < frame_of_.size(); ++f) {
       if (frame_of_[f] == page) {
         policy_.OnHit(page, f);
@@ -55,15 +56,18 @@ class PolicyDriver {
 
 TEST(LirsTest, CapacitySplit) {
   LirsPolicy lirs(100);
+  lirs.AssertExclusiveAccess();
   EXPECT_EQ(lirs.hir_capacity(), 2u);  // max(2, 100/100)
   EXPECT_EQ(lirs.lir_capacity(), 98u);
   LirsPolicy big(1000);
+  big.AssertExclusiveAccess();
   EXPECT_EQ(big.hir_capacity(), 10u);
   EXPECT_EQ(big.lir_capacity(), 990u);
 }
 
 TEST(LirsTest, WarmupFillsLirFirst) {
   LirsPolicy lirs(10, LirsPolicy::Params{.hir_capacity = 2});
+  lirs.AssertExclusiveAccess();
   PolicyDriver driver(lirs);
   for (PageId p = 0; p < 8; ++p) driver.Access(p);
   EXPECT_EQ(lirs.lir_count(), 8u);
@@ -77,6 +81,7 @@ TEST(LirsTest, WarmupFillsLirFirst) {
 
 TEST(LirsTest, EvictsResidentHirNotLir) {
   LirsPolicy lirs(10, LirsPolicy::Params{.hir_capacity = 2});
+  lirs.AssertExclusiveAccess();
   PolicyDriver driver(lirs);
   for (PageId p = 0; p < 10; ++p) driver.Access(p);
   // Pages 0..7 are LIR; 8,9 resident HIR. A new page must evict a HIR.
@@ -89,6 +94,7 @@ TEST(LirsTest, EvictsResidentHirNotLir) {
 
 TEST(LirsTest, NonResidentHirReloadBecomesLir) {
   LirsPolicy lirs(10, LirsPolicy::Params{.hir_capacity = 2});
+  lirs.AssertExclusiveAccess();
   PolicyDriver driver(lirs);
   for (PageId p = 0; p < 10; ++p) driver.Access(p);
   const size_t lir_before = lirs.lir_count();
@@ -104,6 +110,7 @@ TEST(LirsTest, NonResidentHirReloadBecomesLir) {
 
 TEST(LirsTest, LirHitKeepsStatus) {
   LirsPolicy lirs(10, LirsPolicy::Params{.hir_capacity = 2});
+  lirs.AssertExclusiveAccess();
   PolicyDriver driver(lirs);
   for (PageId p = 0; p < 10; ++p) driver.Access(p);
   const size_t lir_before = lirs.lir_count();
@@ -126,6 +133,7 @@ TEST(LirsTest, NonResidentBoundEnforced) {
 
 TEST(LirsTest, StackBottomAlwaysLir) {
   LirsPolicy lirs(12, LirsPolicy::Params{.hir_capacity = 3});
+  lirs.AssertExclusiveAccess();
   PolicyDriver driver(lirs);
   for (PageId p = 0; p < 200; ++p) {
     driver.Access(p % 30);
@@ -155,7 +163,9 @@ TEST(LirsTest, LoopWorkloadBeatsLru) {
   };
 
   LirsPolicy lirs(kFrames);
+  lirs.AssertExclusiveAccess();
   LruPolicy lru(kFrames);
+  lru.AssertExclusiveAccess();
   const double lirs_ratio = run(lirs);
   const double lru_ratio = run(lru);
   EXPECT_LT(lru_ratio, 0.02) << "LRU should thrash on a loop";
@@ -164,6 +174,7 @@ TEST(LirsTest, LoopWorkloadBeatsLru) {
 
 TEST(LirsTest, EraseEveryState) {
   LirsPolicy lirs(10, LirsPolicy::Params{.hir_capacity = 2});
+  lirs.AssertExclusiveAccess();
   PolicyDriver driver(lirs);
   for (PageId p = 0; p < 10; ++p) driver.Access(p);
   driver.Access(50);  // makes page 8 non-resident

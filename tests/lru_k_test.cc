@@ -14,6 +14,7 @@ ReplacementPolicy::EvictableFn All() {
 
 TEST(LruKTest, SingleReferencePagesEvictedFirstInLruOrder) {
   LruKPolicy lru2(4);
+  lru2.AssertExclusiveAccess();
   for (PageId p = 0; p < 4; ++p) lru2.OnMiss(p, static_cast<FrameId>(p));
   // Pages 2 and 3 get a second reference: finite backward-2 distance.
   lru2.OnHit(2, 2);
@@ -29,6 +30,7 @@ TEST(LruKTest, SingleReferencePagesEvictedFirstInLruOrder) {
 
 TEST(LruKTest, EvictsOldestSecondReference) {
   LruKPolicy lru2(3);
+  lru2.AssertExclusiveAccess();
   // Build histories: access order 1,2,3,1,3,2
   lru2.OnMiss(1, 0);   // t=1
   lru2.OnMiss(2, 1);   // t=2
@@ -48,6 +50,7 @@ TEST(LruKTest, EvictsOldestSecondReference) {
 
 TEST(LruKTest, HistoryRetainedAcrossEviction) {
   LruKPolicy lru2(2, LruKPolicy::Params{.history_capacity = 4});
+  lru2.AssertExclusiveAccess();
   lru2.OnMiss(1, 0);  // t=1
   lru2.OnHit(1, 0);   // t=2: history (1,2)
   lru2.OnMiss(2, 1);  // t=3
@@ -68,6 +71,7 @@ TEST(LruKTest, HistoryRetainedAcrossEviction) {
 
 TEST(LruKTest, HistoryCapacityBounded) {
   LruKPolicy lru2(2, LruKPolicy::Params{.history_capacity = 3});
+  lru2.AssertExclusiveAccess();
   FrameId next = 0;
   for (PageId p = 0; p < 50; ++p) {
     FrameId f;
@@ -89,6 +93,7 @@ TEST(LruKTest, ScanResistanceBeatsLru) {
   // LRU-2; plain LRU flushes them.
   constexpr size_t kFrames = 16;
   auto run = [&](ReplacementPolicy& policy) {
+    policy.AssertExclusiveAccess();  // single-threaded comparison harness
     std::vector<PageId> frame_of(kFrames, kInvalidPageId);
     std::vector<FrameId> free;
     for (size_t i = kFrames; i-- > 0;) free.push_back(static_cast<FrameId>(i));
@@ -124,13 +129,16 @@ TEST(LruKTest, ScanResistanceBeatsLru) {
     return survivors;
   };
   LruKPolicy lru2(kFrames);
+  lru2.AssertExclusiveAccess();
   LruPolicy lru(kFrames);
+  lru.AssertExclusiveAccess();
   EXPECT_EQ(run(lru), 0) << "LRU must be flushed by the scan";
   EXPECT_EQ(run(lru2), 8) << "LRU-2 must keep the twice-referenced set";
 }
 
 TEST(LruKTest, EraseDropsGhostToo) {
   LruKPolicy lru2(2);
+  lru2.AssertExclusiveAccess();
   lru2.OnMiss(1, 0);
   lru2.OnMiss(2, 1);
   auto v = lru2.ChooseVictim(All(), 3);

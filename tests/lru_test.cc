@@ -17,6 +17,7 @@ ReplacementPolicy::EvictableFn All() {
 
 TEST(LruTest, EvictsInInsertionOrderWithoutHits) {
   LruPolicy lru(4);
+  lru.AssertExclusiveAccess();
   for (PageId p = 0; p < 4; ++p) lru.OnMiss(p, static_cast<FrameId>(p));
   for (PageId expected = 0; expected < 4; ++expected) {
     auto victim = lru.ChooseVictim(All(), 100);
@@ -27,6 +28,7 @@ TEST(LruTest, EvictsInInsertionOrderWithoutHits) {
 
 TEST(LruTest, HitMovesToMru) {
   LruPolicy lru(3);
+  lru.AssertExclusiveAccess();
   lru.OnMiss(10, 0);
   lru.OnMiss(11, 1);
   lru.OnMiss(12, 2);
@@ -44,6 +46,7 @@ TEST(LruTest, HitMovesToMru) {
 
 TEST(LruTest, RepeatedHitsAreIdempotentForOrder) {
   LruPolicy lru(3);
+  lru.AssertExclusiveAccess();
   lru.OnMiss(1, 0);
   lru.OnMiss(2, 1);
   lru.OnMiss(3, 2);
@@ -55,6 +58,7 @@ TEST(LruTest, RepeatedHitsAreIdempotentForOrder) {
 
 TEST(LruTest, PinnedLruIsSkipped) {
   LruPolicy lru(3);
+  lru.AssertExclusiveAccess();
   lru.OnMiss(1, 0);
   lru.OnMiss(2, 1);
   lru.OnMiss(3, 2);
@@ -68,6 +72,7 @@ TEST(LruTest, PinnedLruIsSkipped) {
 TEST(LruTest, MatchesReferenceModelExactly) {
   constexpr size_t kFrames = 16;
   LruPolicy lru(kFrames);
+  lru.AssertExclusiveAccess();
 
   std::list<PageId> ref;  // front = MRU
   std::vector<PageId> frame_page(kFrames, kInvalidPageId);
@@ -115,6 +120,7 @@ TEST(LruTest, MatchesReferenceModelExactly) {
 
 TEST(LruTest, EraseMiddleKeepsOrder) {
   LruPolicy lru(4);
+  lru.AssertExclusiveAccess();
   for (PageId p = 0; p < 4; ++p) lru.OnMiss(p, static_cast<FrameId>(p));
   lru.OnErase(1, 1);
   auto v = lru.ChooseVictim(All(), 9);

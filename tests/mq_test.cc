@@ -12,12 +12,14 @@ ReplacementPolicy::EvictableFn All() {
 
 TEST(MqTest, DefaultsDeriveFromFrames) {
   MqPolicy mq(64);
+  mq.AssertExclusiveAccess();
   EXPECT_EQ(mq.num_queues(), 8u);
   EXPECT_EQ(mq.life_time(), 128u);
 }
 
 TEST(MqTest, NewPageStartsInQ0) {
   MqPolicy mq(8);
+  mq.AssertExclusiveAccess();
   mq.OnMiss(1, 0);
   EXPECT_EQ(mq.queue_size(0), 1u);
   EXPECT_EQ(mq.RefCountOf(1), 1u);
@@ -25,6 +27,7 @@ TEST(MqTest, NewPageStartsInQ0) {
 
 TEST(MqTest, RefCountPlacesPageInLogQueue) {
   MqPolicy mq(8);
+  mq.AssertExclusiveAccess();
   mq.OnMiss(1, 0);
   mq.OnHit(1, 0);  // ref 2 -> queue 1
   EXPECT_EQ(mq.queue_size(1), 1u);
@@ -38,6 +41,7 @@ TEST(MqTest, RefCountPlacesPageInLogQueue) {
 
 TEST(MqTest, VictimComesFromLowestQueue) {
   MqPolicy mq(4);
+  mq.AssertExclusiveAccess();
   mq.OnMiss(1, 0);
   mq.OnMiss(2, 1);
   mq.OnHit(2, 1);  // 2 climbs to queue 1
@@ -48,6 +52,7 @@ TEST(MqTest, VictimComesFromLowestQueue) {
 
 TEST(MqTest, ExpiredPagesAreDemoted) {
   MqPolicy mq(4, MqPolicy::Params{.num_queues = 4, .life_time = 3});
+  mq.AssertExclusiveAccess();
   mq.OnMiss(1, 0);
   mq.OnHit(1, 0);  // page 1 in queue 1, expires at time+3
   ASSERT_EQ(mq.queue_size(1), 1u);
@@ -103,6 +108,7 @@ TEST(MqTest, GhostCapacityBounded) {
 
 TEST(MqTest, FrequentPageSurvivesChurn) {
   MqPolicy mq(8, MqPolicy::Params{.num_queues = 8, .life_time = 10000});
+  mq.AssertExclusiveAccess();
   mq.OnMiss(1, 0);
   for (int i = 0; i < 20; ++i) mq.OnHit(1, 0);  // very hot
   FrameId next = 1;

@@ -1,0 +1,52 @@
+# Negative-compile runner, invoked as a ctest via `cmake -P`:
+#
+#   cmake -DCXX=<compiler> -DSRC=<case.cc> -DINC=<repo>/src
+#         -P check_negative.cmake
+#
+# A case passes when BOTH hold:
+#   1. it compiles clean WITHOUT thread-safety flags (valid C++ — the
+#      violation is a protocol error, not a syntax error), and
+#   2. it is REJECTED with -Wthread-safety -Werror=thread-safety, with a
+#      thread-safety diagnostic in the output (so an unrelated failure
+#      cannot masquerade as the expected rejection).
+#
+# Only Clang implements the analysis; the enclosing CMakeLists registers
+# these tests only for Clang builds.
+
+if(NOT DEFINED CXX OR NOT DEFINED SRC OR NOT DEFINED INC)
+  message(FATAL_ERROR "usage: cmake -DCXX=... -DSRC=... -DINC=... -P check_negative.cmake")
+endif()
+
+set(BASE_FLAGS -std=c++20 -fsyntax-only -I${INC})
+
+execute_process(
+  COMMAND ${CXX} ${BASE_FLAGS} ${SRC}
+  RESULT_VARIABLE plain_rc
+  OUTPUT_VARIABLE plain_out
+  ERROR_VARIABLE plain_err)
+if(NOT plain_rc EQUAL 0)
+  message(FATAL_ERROR
+    "${SRC} must be valid C++ without thread-safety flags, but failed:\n"
+    "${plain_out}${plain_err}")
+endif()
+
+execute_process(
+  COMMAND ${CXX} ${BASE_FLAGS} -Wthread-safety -Werror=thread-safety ${SRC}
+  RESULT_VARIABLE tsa_rc
+  OUTPUT_VARIABLE tsa_out
+  ERROR_VARIABLE tsa_err)
+if(tsa_rc EQUAL 0)
+  message(FATAL_ERROR
+    "${SRC} contains a seeded lock-discipline violation but was ACCEPTED "
+    "with -Wthread-safety -Werror=thread-safety. The analysis is not "
+    "catching what it must catch.")
+endif()
+string(FIND "${tsa_out}${tsa_err}" "thread-safety" tsa_mentioned)
+if(tsa_mentioned EQUAL -1)
+  message(FATAL_ERROR
+    "${SRC} was rejected, but not by the thread-safety analysis:\n"
+    "${tsa_out}${tsa_err}")
+endif()
+
+get_filename_component(case_name ${SRC} NAME)
+message(STATUS "${case_name}: rejected by -Wthread-safety as expected")

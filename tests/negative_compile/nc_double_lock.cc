@@ -1,0 +1,30 @@
+// NEGATIVE-COMPILE CASE
+// Seeded violation: acquiring a lock the calling thread already holds
+// (ContentionLock is non-reentrant; this deadlocks at runtime). Expected
+// clang diagnostic: "acquiring mutex 'lock_' that is already held"
+// [-Wthread-safety-analysis].
+#include "sync/contention_lock.h"
+#include "util/thread_annotations.h"
+
+namespace bpw {
+
+class Reentrant {
+ public:
+  // VIOLATION: second Lock() while the first is still held.
+  void LockTwice() {
+    lock_.Lock();
+    lock_.Lock();
+    lock_.Unlock();
+    lock_.Unlock();
+  }
+
+ private:
+  ContentionLock lock_;
+};
+
+void Drive() {
+  Reentrant reentrant;
+  reentrant.LockTwice();
+}
+
+}  // namespace bpw

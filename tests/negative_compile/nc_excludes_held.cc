@@ -1,0 +1,42 @@
+// NEGATIVE-COMPILE CASE
+// Seeded violation: calling a BPW_EXCLUDES(lock_) function while holding
+// lock_. This encodes the paper's §III-B contract — prefetch must run
+// *before* lock acquisition, or it adds latency to the critical section
+// instead of removing it. Expected clang diagnostic: "cannot call function
+// 'Prefetch' while mutex 'lock_' is held" [-Wthread-safety-analysis].
+#include <cstdint>
+
+#include "sync/contention_lock.h"
+#include "util/thread_annotations.h"
+
+namespace bpw {
+
+class Prefetcher {
+ public:
+  // VIOLATION: prefetch issued inside the critical section.
+  void CommitBackwards() {
+    ContentionLockGuard guard(lock_);
+    Prefetch();
+    ++commits_;
+  }
+
+  void CommitProperly() {
+    Prefetch();
+    ContentionLockGuard guard(lock_);
+    ++commits_;
+  }
+
+ private:
+  void Prefetch() const BPW_EXCLUDES(lock_) {}
+
+  ContentionLock lock_;
+  uint64_t commits_ BPW_GUARDED_BY(lock_) = 0;
+};
+
+void Drive() {
+  Prefetcher prefetcher;
+  prefetcher.CommitBackwards();
+  prefetcher.CommitProperly();
+}
+
+}  // namespace bpw

@@ -1,0 +1,24 @@
+// NEGATIVE-COMPILE CASE
+// Seeded violation: a function acquires the lock and returns without
+// releasing it. Expected clang diagnostic: "mutex 'lock_' is still held
+// at the end of function" [-Wthread-safety-analysis].
+#include "sync/contention_lock.h"
+#include "util/thread_annotations.h"
+
+namespace bpw {
+
+class Leaky {
+ public:
+  // VIOLATION: Lock() with no matching Unlock() on the exit path.
+  void Leak() { lock_.Lock(); }
+
+ private:
+  ContentionLock lock_;
+};
+
+void Drive() {
+  Leaky leaky;
+  leaky.Leak();
+}
+
+}  // namespace bpw

@@ -1,0 +1,56 @@
+// NEGATIVE-COMPILE CASE
+// Seeded violation: calling a ReplacementPolicy method whose contract is
+// BPW_REQUIRES(this) without certifying exclusive access. This is the
+// repo-wide serialization contract: policies are single-threaded by
+// construction, and every caller must either hold the coordinator's policy
+// lock or call AssertExclusiveAccess() in a provably quiesced phase.
+// Expected clang diagnostic: "calling function 'OnHit' requires holding
+// mutex 'policy' exclusively" [-Wthread-safety-analysis].
+//
+// Uses the real ReplacementPolicy interface with a minimal stub (syntax
+// check only — never linked, so the missing base-class ctor definition is
+// irrelevant).
+#include <cstddef>
+#include <string>
+
+#include "policy/replacement_policy.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+#include "util/types.h"
+
+namespace bpw {
+
+class StubPolicy final : public ReplacementPolicy {
+ public:
+  explicit StubPolicy(size_t num_frames) : ReplacementPolicy(num_frames) {}
+
+  void OnHit(PageId, FrameId) override BPW_REQUIRES(this) {}
+  void OnMiss(PageId, FrameId) override BPW_REQUIRES(this) {}
+  StatusOr<Victim> ChooseVictim(const EvictableFn&,
+                                PageId) override BPW_REQUIRES(this) {
+    return Victim{};
+  }
+  void OnErase(PageId, FrameId) override BPW_REQUIRES(this) {}
+  Status CheckInvariants() const override BPW_REQUIRES_SHARED(this) {
+    return Status::OK();
+  }
+  size_t resident_count() const override BPW_REQUIRES_SHARED(this) {
+    return 0;
+  }
+  bool IsResident(PageId) const override BPW_REQUIRES_SHARED(this) {
+    return false;
+  }
+  std::string name() const override { return "stub"; }
+};
+
+void Drive() {
+  StubPolicy policy(8);
+  // VIOLATION: no lock, no AssertExclusiveAccess() — the contract is
+  // unproven at this call site.
+  policy.OnHit(PageId{1}, FrameId{0});
+
+  policy.AssertExclusiveAccess();
+  policy.OnMiss(PageId{2}, FrameId{1});
+}
+
+}  // namespace bpw

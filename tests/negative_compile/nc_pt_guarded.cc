@@ -1,0 +1,37 @@
+// NEGATIVE-COMPILE CASE
+// Seeded violation: dereferencing a BPW_PT_GUARDED_BY pointer without
+// holding the lock. Copying the pointer itself is allowed; following it is
+// not. Expected clang diagnostic: "writing the value pointed to by 'slot_'
+// requires holding mutex 'lock_' exclusively" [-Wthread-safety-analysis].
+#include <cstdint>
+
+#include "sync/contention_lock.h"
+#include "util/thread_annotations.h"
+
+namespace bpw {
+
+class SlotTable {
+ public:
+  explicit SlotTable(uint64_t* slot) : slot_(slot) {}
+
+  // VIOLATION: unlocked store through the guarded pointer.
+  void Poke() { *slot_ = 1; }
+
+  void PokeProperly() {
+    ContentionLockGuard guard(lock_);
+    *slot_ = 1;
+  }
+
+ private:
+  ContentionLock lock_;
+  uint64_t* slot_ BPW_PT_GUARDED_BY(lock_);
+};
+
+void Drive() {
+  uint64_t storage = 0;
+  SlotTable table(&storage);
+  table.Poke();
+  table.PokeProperly();
+}
+
+}  // namespace bpw

@@ -1,0 +1,35 @@
+// NEGATIVE-COMPILE CASE
+// Seeded violation: calling a BPW_REQUIRES(lock_) function without holding
+// the lock. Expected clang diagnostic: "calling function 'ReplayLocked'
+// requires holding mutex 'lock_' exclusively" [-Wthread-safety-analysis].
+#include <cstdint>
+
+#include "sync/contention_lock.h"
+#include "util/thread_annotations.h"
+
+namespace bpw {
+
+class Coordinator {
+ public:
+  // VIOLATION: the *Locked helper is invoked on an unlocked path.
+  void Commit() { ReplayLocked(); }
+
+  void CommitProperly() {
+    ContentionLockGuard guard(lock_);
+    ReplayLocked();
+  }
+
+ private:
+  void ReplayLocked() BPW_REQUIRES(lock_) { ++commits_; }
+
+  ContentionLock lock_;
+  uint64_t commits_ BPW_GUARDED_BY(lock_) = 0;
+};
+
+void Drive() {
+  Coordinator coordinator;
+  coordinator.Commit();
+  coordinator.CommitProperly();
+}
+
+}  // namespace bpw

@@ -1,0 +1,37 @@
+// NEGATIVE-COMPILE CASE
+// Seeded violation: writing a BPW_GUARDED_BY member without holding its
+// lock. Expected clang diagnostic: "writing variable 'hits_' requires
+// holding mutex 'lock_' exclusively" [-Wthread-safety-analysis].
+//
+// This file must be valid C++ (it compiles without -Wthread-safety); the
+// harness asserts that adding -Wthread-safety -Werror=thread-safety
+// rejects it.
+#include <cstdint>
+
+#include "sync/contention_lock.h"
+#include "util/thread_annotations.h"
+
+namespace bpw {
+
+class HitCounter {
+ public:
+  // VIOLATION: touches hits_ on a path that provably does not hold lock_.
+  void Bump() { ++hits_; }
+
+  void BumpProperly() {
+    ContentionLockGuard guard(lock_);
+    ++hits_;
+  }
+
+ private:
+  ContentionLock lock_;
+  uint64_t hits_ BPW_GUARDED_BY(lock_) = 0;
+};
+
+void Drive() {
+  HitCounter counter;
+  counter.Bump();
+  counter.BumpProperly();
+}
+
+}  // namespace bpw

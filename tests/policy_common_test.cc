@@ -89,6 +89,7 @@ void Access(ReplacementPolicy& policy, ShadowPool& shadow, PageId page,
 
 TEST_P(PolicyTest, StartsEmpty) {
   auto policy = MakePolicy();
+  policy->AssertExclusiveAccess();
   EXPECT_EQ(policy->resident_count(), 0u);
   EXPECT_EQ(policy->num_frames(), kFrames);
   EXPECT_TRUE(policy->CheckInvariants().ok());
@@ -97,11 +98,13 @@ TEST_P(PolicyTest, StartsEmpty) {
 
 TEST_P(PolicyTest, NameMatchesFactoryKey) {
   auto policy = MakePolicy();
+  policy->AssertExclusiveAccess();
   EXPECT_EQ(policy->name(), GetParam());
 }
 
 TEST_P(PolicyTest, VictimOnEmptyIsResourceExhausted) {
   auto policy = MakePolicy();
+  policy->AssertExclusiveAccess();
   auto victim = policy->ChooseVictim(AllEvictable(), 123);
   ASSERT_FALSE(victim.ok());
   EXPECT_EQ(victim.status().code(), StatusCode::kResourceExhausted);
@@ -109,6 +112,7 @@ TEST_P(PolicyTest, VictimOnEmptyIsResourceExhausted) {
 
 TEST_P(PolicyTest, FillToCapacity) {
   auto policy = MakePolicy();
+  policy->AssertExclusiveAccess();
   for (PageId p = 0; p < kFrames; ++p) {
     policy->OnMiss(p, static_cast<FrameId>(p));
     EXPECT_EQ(policy->resident_count(), p + 1);
@@ -122,6 +126,7 @@ TEST_P(PolicyTest, FillToCapacity) {
 
 TEST_P(PolicyTest, EvictInsertCycleKeepsCapacityExact) {
   auto policy = MakePolicy();
+  policy->AssertExclusiveAccess();
   ShadowPool shadow(kFrames);
   for (PageId p = 0; p < kFrames; ++p) Access(*policy, shadow, p, AllEvictable());
   for (PageId p = kFrames; p < kFrames * 20; ++p) {
@@ -136,6 +141,7 @@ TEST_P(PolicyTest, EvictInsertCycleKeepsCapacityExact) {
 
 TEST_P(PolicyTest, VictimNoLongerResident) {
   auto policy = MakePolicy();
+  policy->AssertExclusiveAccess();
   ShadowPool shadow(kFrames);
   for (PageId p = 0; p < kFrames; ++p) Access(*policy, shadow, p, AllEvictable());
   auto victim = policy->ChooseVictim(AllEvictable(), 999);
@@ -146,6 +152,7 @@ TEST_P(PolicyTest, VictimNoLongerResident) {
 
 TEST_P(PolicyTest, StaleHitWrongPageIsNoop) {
   auto policy = MakePolicy();
+  policy->AssertExclusiveAccess();
   for (PageId p = 0; p < kFrames; ++p) {
     policy->OnMiss(p, static_cast<FrameId>(p));
   }
@@ -159,6 +166,7 @@ TEST_P(PolicyTest, StaleHitWrongPageIsNoop) {
 
 TEST_P(PolicyTest, StaleHitOutOfRangeFrameIsNoop) {
   auto policy = MakePolicy();
+  policy->AssertExclusiveAccess();
   policy->OnMiss(1, 0);
   policy->OnHit(1, static_cast<FrameId>(kFrames + 5));
   policy->OnHit(1, kInvalidFrameId);
@@ -168,6 +176,7 @@ TEST_P(PolicyTest, StaleHitOutOfRangeFrameIsNoop) {
 
 TEST_P(PolicyTest, HitAfterEvictionIsNoop) {
   auto policy = MakePolicy();
+  policy->AssertExclusiveAccess();
   ShadowPool shadow(kFrames);
   for (PageId p = 0; p < kFrames; ++p) Access(*policy, shadow, p, AllEvictable());
   auto victim = policy->ChooseVictim(AllEvictable(), 1000);
@@ -180,6 +189,7 @@ TEST_P(PolicyTest, HitAfterEvictionIsNoop) {
 
 TEST_P(PolicyTest, EvictableFilterIsHonoured) {
   auto policy = MakePolicy();
+  policy->AssertExclusiveAccess();
   for (PageId p = 0; p < kFrames; ++p) {
     policy->OnMiss(p, static_cast<FrameId>(p));
   }
@@ -204,6 +214,7 @@ TEST_P(PolicyTest, EvictableFilterIsHonoured) {
 
 TEST_P(PolicyTest, EraseRemovesResident) {
   auto policy = MakePolicy();
+  policy->AssertExclusiveAccess();
   for (PageId p = 0; p < 10; ++p) {
     policy->OnMiss(p, static_cast<FrameId>(p));
   }
@@ -215,6 +226,7 @@ TEST_P(PolicyTest, EraseRemovesResident) {
 
 TEST_P(PolicyTest, EraseUnknownAndDoubleEraseAreNoops) {
   auto policy = MakePolicy();
+  policy->AssertExclusiveAccess();
   policy->OnErase(55, 3);  // never inserted
   EXPECT_TRUE(policy->CheckInvariants().ok());
   policy->OnMiss(1, 0);
@@ -226,6 +238,7 @@ TEST_P(PolicyTest, EraseUnknownAndDoubleEraseAreNoops) {
 
 TEST_P(PolicyTest, EraseWrongFrameIsNoop) {
   auto policy = MakePolicy();
+  policy->AssertExclusiveAccess();
   policy->OnMiss(1, 0);
   policy->OnMiss(2, 1);
   policy->OnErase(1, /*frame=*/1);  // page 1 lives in frame 0, not 1
@@ -235,6 +248,7 @@ TEST_P(PolicyTest, EraseWrongFrameIsNoop) {
 
 TEST_P(PolicyTest, ReuseFrameAfterErase) {
   auto policy = MakePolicy();
+  policy->AssertExclusiveAccess();
   policy->OnMiss(1, 0);
   policy->OnErase(1, 0);
   policy->OnMiss(2, 0);
@@ -245,6 +259,7 @@ TEST_P(PolicyTest, ReuseFrameAfterErase) {
 
 TEST_P(PolicyTest, SingleFramePolicyWorks) {
   auto policy = MakePolicy(1);
+  policy->AssertExclusiveAccess();
   ShadowPool shadow(1);
   for (PageId p = 0; p < 50; ++p) {
     Access(*policy, shadow, p % 5, AllEvictable());
@@ -257,6 +272,7 @@ TEST_P(PolicyTest, SingleFramePolicyWorks) {
 TEST_P(PolicyTest, DeterministicVictimSequence) {
   auto run = [&](std::vector<PageId>& victims) {
     auto policy = MakePolicy();
+    policy->AssertExclusiveAccess();
     ShadowPool shadow(kFrames);
     Random rng(99);
     for (int i = 0; i < 2000; ++i) {
@@ -283,6 +299,7 @@ TEST_P(PolicyTest, DeterministicVictimSequence) {
 
 TEST_P(PolicyTest, RandomizedFuzzAgainstShadowModel) {
   auto policy = MakePolicy();
+  policy->AssertExclusiveAccess();
   ShadowPool shadow(kFrames);
   Random rng(12345);
   for (int step = 0; step < 20000; ++step) {
@@ -318,6 +335,7 @@ TEST_P(PolicyTest, RandomizedFuzzAgainstShadowModel) {
 
 TEST_P(PolicyTest, PrefetchHintNeverCrashes) {
   auto policy = MakePolicy();
+  policy->AssertExclusiveAccess();
   // Empty policy, all frames.
   for (FrameId f = 0; f <= kFrames + 2; ++f) policy->PrefetchHint(f);
   for (PageId p = 0; p < kFrames; ++p) {
@@ -332,6 +350,7 @@ TEST_P(PolicyTest, PrefetchHintNeverCrashes) {
 
 TEST_P(PolicyTest, HitsDoNotChangeResidency) {
   auto policy = MakePolicy();
+  policy->AssertExclusiveAccess();
   for (PageId p = 0; p < kFrames; ++p) {
     policy->OnMiss(p, static_cast<FrameId>(p));
   }

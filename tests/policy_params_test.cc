@@ -112,6 +112,7 @@ class TwoQParamTest : public ::testing::TestWithParam<TwoQParam> {};
 TEST_P(TwoQParamTest, FuzzAcrossKinKout) {
   const auto& [kin, kout] = GetParam();
   TwoQPolicy policy(32, TwoQPolicy::Params{.kin = kin, .kout = kout});
+  policy.AssertExclusiveAccess();
   FuzzPolicy(policy, 4000, kin * 131 + kout);
 }
 
@@ -176,6 +177,7 @@ class LruKParamTest : public ::testing::TestWithParam<size_t> {};
 
 TEST_P(LruKParamTest, FuzzAcrossHistoryCapacity) {
   LruKPolicy policy(32, LruKPolicy::Params{.history_capacity = GetParam()});
+  policy.AssertExclusiveAccess();
   FuzzPolicy(policy, 4000, GetParam() * 7919);
   EXPECT_LE(policy.history_size(), GetParam());
 }

@@ -24,6 +24,7 @@ class SeqDriver {
   }
 
   bool Access(PageId page) {
+    policy_.AssertExclusiveAccess();  // drivers run single-threaded
     for (FrameId f = 0; f < frame_of_.size(); ++f) {
       if (frame_of_[f] == page) {
         policy_.OnHit(page, f);
@@ -55,7 +56,9 @@ TEST(SeqTest, BehavesLikeLruOnRandomAccesses) {
   // Without sequences, SEQ's victim choices must match LRU's exactly.
   constexpr size_t kFrames = 16;
   SeqPolicy seq(kFrames);
+  seq.AssertExclusiveAccess();
   LruPolicy lru(kFrames);
+  lru.AssertExclusiveAccess();
   auto drive = [&](ReplacementPolicy& policy) {
     SeqDriver driver(policy);
     Random local(5);
@@ -76,6 +79,7 @@ TEST(SeqTest, BehavesLikeLruOnRandomAccesses) {
 
 TEST(SeqTest, DetectsSequentialMissStream) {
   SeqPolicy seq(64, SeqPolicy::Params{.max_streams = 4, .detect_length = 8});
+  seq.AssertExclusiveAccess();
   for (PageId p = 100; p < 120; ++p) {
     seq.OnMiss(p, static_cast<FrameId>(p - 100));
   }
@@ -85,6 +89,7 @@ TEST(SeqTest, DetectsSequentialMissStream) {
 
 TEST(SeqTest, TracksInterleavedStreams) {
   SeqPolicy seq(64, SeqPolicy::Params{.max_streams = 4, .detect_length = 8});
+  seq.AssertExclusiveAccess();
   FrameId frame = 0;
   for (int i = 0; i < 10; ++i) {
     seq.OnMiss(1000 + i, frame++);
@@ -99,6 +104,7 @@ TEST(SeqTest, ScanEvictsItselfNotTheWorkingSet) {
   // the hot set (pseudo-MRU inside the detected scan), unlike LRU.
   constexpr size_t kFrames = 16;
   auto survivors_with = [&](ReplacementPolicy& policy) {
+    policy.AssertExclusiveAccess();  // single-threaded comparison harness
     SeqDriver driver(policy);
     for (int round = 0; round < 4; ++round) {
       for (PageId p = 0; p < 8; ++p) driver.Access(p * 1000 + 3);
@@ -111,7 +117,9 @@ TEST(SeqTest, ScanEvictsItselfNotTheWorkingSet) {
     return survivors;
   };
   SeqPolicy seq(kFrames);
+  seq.AssertExclusiveAccess();
   LruPolicy lru(kFrames);
+  lru.AssertExclusiveAccess();
   EXPECT_EQ(survivors_with(lru), 0) << "LRU must be flushed";
   EXPECT_GE(survivors_with(seq), 6) << "SEQ must deflect the scan";
 }
@@ -122,8 +130,10 @@ TEST(SeqTest, InterleavingDestroysDetectionWithOneSlotPerThreadMissing) {
   // small to keep both — detection degrades. This is why partitioned locks
   // (which split sequences across policies) break SEQ entirely.
   SeqPolicy roomy(64, SeqPolicy::Params{.max_streams = 4, .detect_length = 8});
+  roomy.AssertExclusiveAccess();
   SeqPolicy starved(64,
                     SeqPolicy::Params{.max_streams = 1, .detect_length = 8});
+  starved.AssertExclusiveAccess();
   FrameId f1 = 0, f2 = 0;
   for (int i = 0; i < 12; ++i) {
     roomy.OnMiss(1000 + i, f1++);
@@ -140,6 +150,7 @@ TEST(SeqTest, InterleavingDestroysDetectionWithOneSlotPerThreadMissing) {
 
 TEST(SeqTest, FallsBackToLruWhenStreamPinned) {
   SeqPolicy seq(8, SeqPolicy::Params{.max_streams = 2, .detect_length = 4});
+  seq.AssertExclusiveAccess();
   for (PageId p = 0; p < 8; ++p) seq.OnMiss(p, static_cast<FrameId>(p));
   // Sequence 0..7 detected; incoming 8 extends it, but every stream page
   // is pinned: must fall back to LRU scan, which also fails => exhausted.

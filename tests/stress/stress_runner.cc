@@ -4,10 +4,10 @@
 #include <atomic>
 #include <cmath>
 #include <memory>
-#include <mutex>
 #include <thread>
 
 #include "buffer/buffer_pool.h"
+#include "sync/mutex.h"
 #include "util/random.h"
 
 namespace bpw {
@@ -207,7 +207,7 @@ StressResult RunStress(const StressOptions& options) {
   std::atomic<uint64_t> io_errors{0};
   std::atomic<uint64_t> verify_mismatches{0};
   std::atomic<uint64_t> unexpected_errors{0};
-  std::mutex failure_mu;
+  Mutex failure_mu;
   std::string first_worker_failure;
 
   // Highest version each thread wrote to each page it owns (merged after
@@ -231,7 +231,7 @@ StressResult RunStress(const StressOptions& options) {
           if (!drop.ok() && !drop.IsNotFound() &&
               drop.code() != StatusCode::kFailedPrecondition) {
             unexpected_errors.fetch_add(1, std::memory_order_relaxed);
-            std::lock_guard<std::mutex> g(failure_mu);
+            MutexGuard g(failure_mu);
             if (first_worker_failure.empty()) {
               first_worker_failure = "DropPage: " + drop.ToString();
             }
@@ -245,7 +245,7 @@ StressResult RunStress(const StressOptions& options) {
             continue;
           }
           unexpected_errors.fetch_add(1, std::memory_order_relaxed);
-          std::lock_guard<std::mutex> g(failure_mu);
+          MutexGuard g(failure_mu);
           if (first_worker_failure.empty()) {
             first_worker_failure = "FetchPage: " + handle.status().ToString();
           }

@@ -8,9 +8,34 @@
 #include "sync/prefetch.h"
 #include "sync/spinlock.h"
 #include "util/clock.h"
+#include "util/thread_annotations.h"
 
 namespace bpw {
 namespace {
+
+// White-box helpers that exercise raw TryLock/Unlock interleavings — locks
+// held conditionally on runtime state, exactly the shapes the thread-safety
+// analysis exists to reject. They opt out of the analysis; the runtime
+// EXPECTs (and TSan in CI) validate them instead.
+void ExpectTryLockSucceedsAndRelease(ContentionLock& lock)
+    BPW_NO_THREAD_SAFETY_ANALYSIS {
+  // bpw-lint-allow(trylock-no-fallback)
+  EXPECT_TRUE(lock.TryLock());
+  lock.Unlock();
+}
+
+void ExpectTryLockFails(ContentionLock& lock) BPW_NO_THREAD_SAFETY_ANALYSIS {
+  // bpw-lint-allow(trylock-no-fallback)
+  EXPECT_FALSE(lock.TryLock());
+}
+
+void SpinTryLockRoundTrip(SpinLock& lock) BPW_NO_THREAD_SAFETY_ANALYSIS {
+  EXPECT_TRUE(lock.try_lock());
+  EXPECT_FALSE(lock.try_lock());
+  lock.unlock();
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
 
 TEST(ContentionLockTest, UncontendedLockCountsNoContention) {
   ContentionLock lock;
@@ -26,8 +51,7 @@ TEST(ContentionLockTest, UncontendedLockCountsNoContention) {
 
 TEST(ContentionLockTest, TryLockSucceedsWhenFree) {
   ContentionLock lock;
-  ASSERT_TRUE(lock.TryLock());
-  lock.Unlock();
+  ExpectTryLockSucceedsAndRelease(lock);
   EXPECT_EQ(lock.stats().acquisitions, 1u);
 }
 
@@ -35,8 +59,8 @@ TEST(ContentionLockTest, TryLockFailsWhenHeldAndIsNotAContention) {
   ContentionLock lock;
   lock.Lock();
   std::thread other([&] {
-    EXPECT_FALSE(lock.TryLock());
-    EXPECT_FALSE(lock.TryLock());
+    ExpectTryLockFails(lock);
+    ExpectTryLockFails(lock);
   });
   other.join();
   lock.Unlock();
@@ -101,8 +125,7 @@ TEST(ContentionLockTest, NoInstrumentationKeepsZeroStats) {
   ContentionLock lock(LockInstrumentation::kNone);
   lock.Lock();
   lock.Unlock();
-  EXPECT_TRUE(lock.TryLock());
-  lock.Unlock();
+  ExpectTryLockSucceedsAndRelease(lock);
   LockStats s = lock.stats();
   EXPECT_EQ(s.acquisitions, 0u);
   EXPECT_EQ(s.hold_nanos, 0u);
@@ -146,11 +169,7 @@ TEST(SpinLockTest, BasicExclusion) {
 
 TEST(SpinLockTest, TryLockReflectsState) {
   SpinLock lock;
-  EXPECT_TRUE(lock.try_lock());
-  EXPECT_FALSE(lock.try_lock());
-  lock.unlock();
-  EXPECT_TRUE(lock.try_lock());
-  lock.unlock();
+  SpinTryLockRoundTrip(lock);
 }
 
 TEST(PrefetchTest, NullAndValidPointersAreSafe) {

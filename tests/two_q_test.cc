@@ -13,12 +13,14 @@ ReplacementPolicy::EvictableFn All() {
 
 TEST(TwoQTest, DefaultParameters) {
   TwoQPolicy q(100);
+  q.AssertExclusiveAccess();
   EXPECT_EQ(q.kin(), 25u);
   EXPECT_EQ(q.kout(), 50u);
 }
 
 TEST(TwoQTest, NewPagesEnterA1in) {
   TwoQPolicy q(8);
+  q.AssertExclusiveAccess();
   q.OnMiss(1, 0);
   q.OnMiss(2, 1);
   EXPECT_EQ(q.a1in_size(), 2u);
@@ -29,6 +31,7 @@ TEST(TwoQTest, HitInA1inDoesNotPromote) {
   // 2Q's correlated-reference filter: re-references while still in A1in
   // do not make a page hot.
   TwoQPolicy q(8);
+  q.AssertExclusiveAccess();
   q.OnMiss(1, 0);
   for (int i = 0; i < 10; ++i) q.OnHit(1, 0);
   EXPECT_EQ(q.a1in_size(), 1u);
@@ -38,6 +41,7 @@ TEST(TwoQTest, HitInA1inDoesNotPromote) {
 
 TEST(TwoQTest, EvictionFromA1inGoesToGhost) {
   TwoQPolicy q(4, TwoQPolicy::Params{.kin = 1, .kout = 4});
+  q.AssertExclusiveAccess();
   q.OnMiss(1, 0);
   q.OnMiss(2, 1);  // A1in over target (2 > kin=1)
   auto victim = q.ChooseVictim(All(), 3);
@@ -48,6 +52,7 @@ TEST(TwoQTest, EvictionFromA1inGoesToGhost) {
 
 TEST(TwoQTest, GhostHitPromotesToAm) {
   TwoQPolicy q(4, TwoQPolicy::Params{.kin = 1, .kout = 4});
+  q.AssertExclusiveAccess();
   q.OnMiss(1, 0);
   q.OnMiss(2, 1);
   auto victim = q.ChooseVictim(All(), 3);  // evicts 1 into A1out
@@ -65,6 +70,7 @@ TEST(TwoQTest, GhostHitPromotesToAm) {
 
 TEST(TwoQTest, AmIsLruOrdered) {
   TwoQPolicy q(6, TwoQPolicy::Params{.kin = 1, .kout = 6});
+  q.AssertExclusiveAccess();
   // Build three hot pages via the ghost path.
   FrameId next_free = 0;
   auto fault = [&](PageId p) {
@@ -104,6 +110,7 @@ TEST(TwoQTest, AmIsLruOrdered) {
 
 TEST(TwoQTest, GhostListBounded) {
   TwoQPolicy q(4, TwoQPolicy::Params{.kin = 1, .kout = 3});
+  q.AssertExclusiveAccess();
   FrameId next_free = 0;
   for (PageId p = 0; p < 100; ++p) {
     FrameId f;
@@ -122,6 +129,7 @@ TEST(TwoQTest, GhostListBounded) {
 
 TEST(TwoQTest, EraseDropsGhostEntryToo) {
   TwoQPolicy q(4, TwoQPolicy::Params{.kin = 1, .kout = 4});
+  q.AssertExclusiveAccess();
   q.OnMiss(1, 0);
   q.OnMiss(2, 1);
   auto v = q.ChooseVictim(All(), 3);  // 1 -> ghost
@@ -138,6 +146,7 @@ TEST(TwoQTest, ScanResistance) {
   // churn here), per the 2Q paper's guidance on sizing the ghost list.
   constexpr size_t kFrames = 32;
   TwoQPolicy q(kFrames, TwoQPolicy::Params{.kin = 8, .kout = 64});
+  q.AssertExclusiveAccess();
   FrameId next_free = 0;
   auto access = [&](PageId p) {
     // Simple residency emulation via IsResident (test-scale only).

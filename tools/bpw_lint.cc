@@ -1,0 +1,168 @@
+// bpw_lint CLI: lock-discipline lint over the source tree.
+//
+//   bpw_lint [--self-test] <file-or-dir>...
+//
+// Directories are walked recursively for *.h / *.cc / *.cpp. Exit status:
+// 0 when clean, 1 when findings were reported, 2 on usage/IO errors.
+//
+// --self-test runs the linter against embedded snippets seeded with the
+// two canonical violations (prefetch after Lock(), allocation inside the
+// critical section) plus a clean control and a suppressed control, and
+// fails unless exactly the seeded violations are flagged. It proves the
+// tool still detects what it exists to detect — a lint that silently
+// stopped matching would otherwise look like a clean tree.
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+
+namespace {
+
+bool IsSourceFile(const std::filesystem::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp";
+}
+
+int RunSelfTest() {
+  using bpw::lint::Finding;
+  using bpw::lint::LintSource;
+
+  int failures = 0;
+  auto expect = [&](bool ok, const char* what) {
+    if (!ok) {
+      std::fprintf(stderr, "bpw_lint self-test FAILED: %s\n", what);
+      ++failures;
+    }
+  };
+
+  // Seeded violation 1: prefetch issued after the lock is taken.
+  const char* kPrefetchAfterLock = R"cpp(
+void Commit(AccessQueue& queue) {
+  ContentionLockGuard guard(lock_);
+  PrefetchForCommit(queue);
+  Replay(queue);
+}
+)cpp";
+  std::vector<Finding> f = LintSource("seed1.cc", kPrefetchAfterLock);
+  expect(f.size() == 1 && f[0].rule == "prefetch-in-critical-section",
+         "seeded prefetch-after-lock must be flagged");
+
+  // Seeded violation 2: heap allocation inside the critical section.
+  const char* kAllocInCs = R"cpp(
+void SharedQueue::CommitLocked() {
+  std::vector<Entry> batch;
+  batch.reserve(64);
+  Replay(batch);
+}
+)cpp";
+  f = LintSource("seed2.cc", kAllocInCs);
+  expect(f.size() == 1 && f[0].rule == "critical-section-alloc",
+         "seeded in-critical-section allocation must be flagged");
+
+  // Clean control: prefetch before the lock, allocation outside it.
+  const char* kClean = R"cpp(
+void Commit(AccessQueue& queue) {
+  std::vector<Entry> batch;
+  batch.reserve(64);
+  PrefetchForCommit(queue);
+  ContentionLockGuard guard(lock_);
+  Replay(queue);
+}
+)cpp";
+  f = LintSource("clean.cc", kClean);
+  expect(f.empty(), "clean control must not be flagged");
+
+  // Suppressed control: an explicit allow silences the rule.
+  const char* kSuppressed = R"cpp(
+void CommitLocked() {
+  // bpw-lint-allow(clock-read-in-critical-section)
+  const uint64_t start = NowNanos();
+  Replay(start);
+}
+)cpp";
+  f = LintSource("suppressed.cc", kSuppressed);
+  expect(f.empty(), "bpw-lint-allow must suppress the finding");
+
+  // TryLock discipline: discarded result and missing fallback.
+  const char* kTryLock = R"cpp(
+void Broken() {
+  lock_.TryLock();
+}
+)cpp";
+  f = LintSource("trylock.cc", kTryLock);
+  bool saw_unchecked = false;
+  bool saw_no_fallback = false;
+  for (const Finding& finding : f) {
+    saw_unchecked |= finding.rule == "trylock-unchecked";
+    saw_no_fallback |= finding.rule == "trylock-no-fallback";
+  }
+  expect(saw_unchecked, "discarded TryLock() must be flagged");
+  expect(saw_no_fallback, "TryLock() without fallback must be flagged");
+
+  if (failures == 0) std::printf("bpw_lint self-test: all checks passed\n");
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  bool self_test = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--self-test") {
+      self_test = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: bpw_lint [--self-test] <file-or-dir>...\n");
+      return 0;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (self_test) {
+    const int rc = RunSelfTest();
+    if (rc != 0 || paths.empty()) return rc;
+  }
+  if (paths.empty()) {
+    std::fprintf(stderr, "usage: bpw_lint [--self-test] <file-or-dir>...\n");
+    return 2;
+  }
+
+  std::vector<std::string> files;
+  for (const std::string& p : paths) {
+    std::error_code ec;
+    if (std::filesystem::is_directory(p, ec)) {
+      for (const auto& entry :
+           std::filesystem::recursive_directory_iterator(p, ec)) {
+        if (entry.is_regular_file() && IsSourceFile(entry.path())) {
+          files.push_back(entry.path().string());
+        }
+      }
+    } else if (std::filesystem::is_regular_file(p, ec)) {
+      files.push_back(p);
+    } else {
+      std::fprintf(stderr, "bpw_lint: cannot read %s\n", p.c_str());
+      return 2;
+    }
+  }
+
+  std::vector<bpw::lint::Finding> findings;
+  for (const std::string& file : files) {
+    if (!bpw::lint::LintFile(file, &findings)) {
+      std::fprintf(stderr, "bpw_lint: cannot read %s\n", file.c_str());
+      return 2;
+    }
+  }
+  for (const auto& finding : findings) {
+    std::fprintf(stderr, "%s\n", bpw::lint::FormatFinding(finding).c_str());
+  }
+  if (!findings.empty()) {
+    std::fprintf(stderr, "bpw_lint: %zu finding(s) in %zu file(s) scanned\n",
+                 findings.size(), files.size());
+    return 1;
+  }
+  std::printf("bpw_lint: clean (%zu files scanned)\n", files.size());
+  return 0;
+}

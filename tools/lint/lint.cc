@@ -1,0 +1,381 @@
+#include "lint/lint.h"
+
+#include <cctype>
+#include <fstream>
+#include <regex>
+#include <sstream>
+
+namespace bpw {
+namespace lint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexing: blank out comments and literals, preserving line structure, and
+// collect bpw-lint-allow() comments.
+// ---------------------------------------------------------------------------
+
+struct CleanSource {
+  std::vector<std::string> lines;  // code with comments/literals blanked
+  // allow[i] holds the rule names suppressed on line i+1 (from a comment on
+  // that line or the line above).
+  std::vector<std::vector<std::string>> allow;
+};
+
+void CollectAllows(const std::string& comment_text, int line_index,
+                   CleanSource* out) {
+  static const std::regex kAllow(R"(bpw-lint-allow\(([a-z\-]+)\))");
+  auto begin = std::sregex_iterator(comment_text.begin(), comment_text.end(),
+                                    kAllow);
+  for (auto it = begin; it != std::sregex_iterator(); ++it) {
+    const std::string rule = (*it)[1].str();
+    out->allow[line_index].push_back(rule);
+    if (line_index + 1 < static_cast<int>(out->allow.size())) {
+      out->allow[line_index + 1].push_back(rule);
+    }
+  }
+}
+
+CleanSource Clean(const std::string& source) {
+  CleanSource out;
+  {
+    // Pre-size the per-line containers.
+    size_t n = 1;
+    for (char c : source) n += (c == '\n');
+    out.lines.reserve(n);
+    out.allow.assign(n, {});
+  }
+
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString,
+  };
+  State state = State::kCode;
+  std::string cur;            // current cleaned line
+  std::string comment;        // text of the comment being scanned
+  std::string raw_delim;      // delimiter of the raw string being scanned
+  int line_index = 0;
+  const size_t n = source.size();
+
+  auto end_line = [&] {
+    out.lines.push_back(cur);
+    cur.clear();
+    ++line_index;
+  };
+
+  for (size_t i = 0; i < n; ++i) {
+    const char c = source[i];
+    const char next = i + 1 < n ? source[i + 1] : '\0';
+    if (c == '\n') {
+      if (state == State::kLineComment) {
+        CollectAllows(comment, line_index, &out);
+        comment.clear();
+        state = State::kCode;
+      }
+      end_line();
+      continue;
+    }
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          comment.clear();
+          cur += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          comment.clear();
+          cur += "  ";
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(
+                                   source[i - 1])) &&
+                               source[i - 1] != '_'))) {
+          // Raw string: R"delim( ... )delim"
+          size_t j = i + 2;
+          raw_delim.clear();
+          while (j < n && source[j] != '(') raw_delim += source[j++];
+          state = State::kRawString;
+          cur += ' ';
+          i = j;  // at '(' (or end)
+        } else if (c == '"') {
+          state = State::kString;
+          cur += ' ';
+        } else if (c == '\'') {
+          state = State::kChar;
+          cur += ' ';
+        } else {
+          cur += c;
+        }
+        break;
+      case State::kLineComment:
+        comment += c;
+        cur += ' ';
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          CollectAllows(comment, line_index, &out);
+          comment.clear();
+          state = State::kCode;
+          cur += "  ";
+          ++i;
+        } else {
+          comment += c;
+          cur += ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          cur += "  ";
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+          cur += ' ';
+        } else {
+          cur += ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          cur += "  ";
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+          cur += ' ';
+        } else {
+          cur += ' ';
+        }
+        break;
+      case State::kRawString: {
+        // Look for )delim"
+        if (c == ')' && source.compare(i + 1, raw_delim.size(), raw_delim) ==
+                            0 &&
+            i + 1 + raw_delim.size() < n &&
+            source[i + 1 + raw_delim.size()] == '"') {
+          i += 1 + raw_delim.size();
+          state = State::kCode;
+        }
+        cur += ' ';
+        break;
+      }
+    }
+  }
+  end_line();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Scope tracking.
+// ---------------------------------------------------------------------------
+
+enum class ScopeKind { kNamespace, kType, kFunction, kBlock };
+
+struct Scope {
+  ScopeKind kind = ScopeKind::kBlock;
+  bool cs = false;            // inside a contention-lock critical section
+  std::string manual_lock;    // receiver of an open manual X.Lock() span
+  // Function-scope bookkeeping (kFunction only):
+  std::string name;
+  bool has_fallback = false;  // blocking Lock() or ContentionLockGuard seen
+  std::vector<int> trylock_lines;
+};
+
+bool MatchesAny(const std::string& line, const std::regex& re) {
+  return std::regex_search(line, re);
+}
+
+bool Allowed(const CleanSource& src, int line_index, const std::string& rule) {
+  for (const std::string& r : src.allow[line_index]) {
+    if (r == rule) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<Finding> LintSource(const std::string& path,
+                                const std::string& source) {
+  const CleanSource src = Clean(source);
+  std::vector<Finding> findings;
+
+  // Patterns. All run on cleaned lines (no comments, no literals).
+  static const std::regex kAlloc(
+      R"((\bnew\b|\bmalloc\s*\(|\bcalloc\s*\(|make_unique\s*<|make_shared\s*<|\.reserve\s*\(|\.resize\s*\(|\.push_back\s*\(|\.emplace_back\s*\())");
+  static const std::regex kClock(
+      R"((\bNowNanos\s*\(|steady_clock|system_clock|high_resolution_clock|\bclock_gettime\s*\())");
+  static const std::regex kLog(R"(\bBPW_LOG_[A-Z]+)");
+  static const std::regex kPrefetch(
+      R"(\bPrefetch(Read|Write|Range|Hint|ForCommit)\s*\()");
+  static const std::regex kGuardDecl(
+      R"(\bContentionLock(Adopt)?Guard\s+\w+\s*[({])");
+  static const std::regex kManualLock(R"(^\s*([\w\->\.\[\]]+)\.Lock\s*\(\s*\)\s*;)");
+  static const std::regex kManualUnlock(
+      R"(^\s*([\w\->\.\[\]]+)\.Unlock\s*\(\s*\)\s*;)");
+  static const std::regex kTryLock(R"(\bTryLock\s*\()");
+  static const std::regex kTryLockDiscarded(
+      R"(^\s*[\w\->\.\[\]]*\.?TryLock\s*\(\s*\)\s*;)");
+  static const std::regex kBlockingLock(R"(\.Lock\s*\()");
+  static const std::regex kControlKw(
+      R"(\b(if|for|while|switch|catch|do|else|return)\b)");
+  static const std::regex kTypeKw(R"(\b(class|struct|enum|union)\s+\w)");
+  static const std::regex kNamespaceKw(R"(\bnamespace\b)");
+  static const std::regex kLambdaIntro(R"(\[[^\]]*\]\s*\()");
+
+  std::vector<Scope> stack;
+  stack.push_back(Scope{ScopeKind::kNamespace, false, "", "", false, {}});
+  std::string pending;  // statement text since the last ; { or }
+
+  auto cs_active = [&]() -> bool {
+    return !stack.empty() && stack.back().cs;
+  };
+  auto enclosing_function = [&]() -> Scope* {
+    for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+      if (it->kind == ScopeKind::kFunction) return &*it;
+    }
+    return nullptr;
+  };
+  auto report = [&](int line_index, const std::string& rule,
+                    const std::string& message) {
+    if (Allowed(src, line_index, rule)) return;
+    findings.push_back(Finding{path, line_index + 1, rule, message});
+  };
+
+  for (int li = 0; li < static_cast<int>(src.lines.size()); ++li) {
+    const std::string& line = src.lines[li];
+
+    // ---- Per-line rule checks (before scope updates: a guard declared on
+    // this line opens the CS for *subsequent* lines).
+    if (cs_active()) {
+      if (MatchesAny(line, kAlloc)) {
+        report(li, "critical-section-alloc",
+               "heap allocation while the contention lock is held");
+      }
+      if (MatchesAny(line, kClock)) {
+        report(li, "clock-read-in-critical-section",
+               "clock read while the contention lock is held");
+      }
+      if (MatchesAny(line, kLog)) {
+        report(li, "logging-in-critical-section",
+               "logging while the contention lock is held");
+      }
+      if (MatchesAny(line, kPrefetch)) {
+        report(li, "prefetch-in-critical-section",
+               "prefetch under the lock defeats its purpose; issue it "
+               "before Lock()/TryLock() (paper SIII-B)");
+      }
+    }
+    if (MatchesAny(line, kTryLockDiscarded)) {
+      report(li, "trylock-unchecked",
+             "TryLock() result discarded; branch on it or use Lock()");
+    }
+    if (MatchesAny(line, kTryLock)) {
+      if (Scope* fn = enclosing_function()) {
+        if (!Allowed(src, li, "trylock-no-fallback")) {
+          fn->trylock_lines.push_back(li);
+        }
+      }
+    }
+    if (MatchesAny(line, kBlockingLock) || MatchesAny(line, kGuardDecl)) {
+      if (Scope* fn = enclosing_function()) fn->has_fallback = true;
+    }
+
+    // ---- Scope / CS-state updates, character by character.
+    for (size_t ci = 0; ci < line.size(); ++ci) {
+      const char c = line[ci];
+      if (c == '{') {
+        Scope scope;
+        scope.cs = cs_active();
+        const bool in_function = enclosing_function() != nullptr;
+        if (MatchesAny(pending, kNamespaceKw)) {
+          scope.kind = ScopeKind::kNamespace;
+        } else if (!in_function && MatchesAny(pending, kTypeKw)) {
+          scope.kind = ScopeKind::kType;
+        } else if (in_function) {
+          // Control blocks, lambdas, plain blocks: inherit CS state. A
+          // lambda is analyzed as part of its enclosing function — good
+          // enough for a heuristic tool.
+          scope.kind = ScopeKind::kBlock;
+        } else if (pending.find('(') != std::string::npos) {
+          scope.kind = ScopeKind::kFunction;
+          // Function name: identifier directly before the first '('.
+          static const std::regex kName(R"(([A-Za-z_]\w*)\s*\()");
+          std::smatch m;
+          if (std::regex_search(pending, m, kName) &&
+              !MatchesAny(pending, kLambdaIntro)) {
+            scope.name = m[1].str();
+          }
+          // The repo convention: FooLocked() runs with the lock held.
+          if (scope.name.size() > 6 &&
+              scope.name.rfind("Locked") == scope.name.size() - 6) {
+            scope.cs = true;
+          }
+        } else {
+          scope.kind = ScopeKind::kBlock;
+        }
+        stack.push_back(scope);
+        pending.clear();
+      } else if (c == '}') {
+        if (stack.size() > 1) {
+          const Scope closing = stack.back();
+          if (closing.kind == ScopeKind::kFunction && !closing.has_fallback) {
+            for (int tl : closing.trylock_lines) {
+              report(tl, "trylock-no-fallback",
+                     "function '" + closing.name +
+                         "' TryLock()s but has no bounded blocking fallback "
+                         "(Lock() or ContentionLockGuard)");
+            }
+          }
+          stack.pop_back();
+        }
+        pending.clear();
+      } else if (c == ';') {
+        pending.clear();
+      } else {
+        pending += c;
+      }
+    }
+    pending += ' ';  // keep tokens on adjacent lines from merging
+
+    // Guard declaration => the rest of this scope is a critical section.
+    if (MatchesAny(line, kGuardDecl) && !stack.empty()) {
+      stack.back().cs = true;
+    }
+    // Manual spans: x.Lock(); ... x.Unlock(); within one scope.
+    std::smatch m;
+    if (std::regex_search(line, m, kManualLock) && !stack.empty()) {
+      stack.back().cs = true;
+      stack.back().manual_lock = m[1].str();
+    } else if (std::regex_search(line, m, kManualUnlock) && !stack.empty()) {
+      if (stack.back().manual_lock == m[1].str()) {
+        stack.back().cs = false;
+        stack.back().manual_lock.clear();
+      }
+    }
+  }
+  return findings;
+}
+
+bool LintFile(const std::string& path, std::vector<Finding>* findings) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::vector<Finding> file_findings = LintSource(path, buf.str());
+  findings->insert(findings->end(), file_findings.begin(),
+                   file_findings.end());
+  return true;
+}
+
+std::string FormatFinding(const Finding& finding) {
+  std::ostringstream out;
+  out << finding.file << ':' << finding.line << ": [" << finding.rule << "] "
+      << finding.message;
+  return out.str();
+}
+
+}  // namespace lint
+}  // namespace bpw

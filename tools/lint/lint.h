@@ -1,0 +1,69 @@
+// bpw_lint: a repo-specific lock-discipline linter.
+//
+// Clang's thread-safety analysis proves *who* may touch guarded state; it
+// says nothing about *what* a critical section is allowed to do. This tool
+// enforces the BP-Wrapper-specific half of the discipline — the rules that
+// make the paper's numbers reproducible because the lock hold time stays
+// minimal and constant:
+//
+//   critical-section-alloc          no heap allocation while the contention
+//                                   lock is held (malloc under the lock can
+//                                   page-fault or take the allocator's own
+//                                   locks, stretching the hold time the
+//                                   whole system is built to shrink)
+//   clock-read-in-critical-section  no clock reads under the lock (a vDSO
+//                                   call on the fast path; worse, a syscall
+//                                   on some clocksources)
+//   logging-in-critical-section     no BPW_LOG_* under the lock (formats
+//                                   and takes the global log mutex)
+//   prefetch-in-critical-section    prefetching inside the lock defeats
+//                                   §III-B: the point is to overlap memory
+//                                   latency with *other* threads' work,
+//                                   so it must precede Lock()/TryLock()
+//   trylock-unchecked               a TryLock() whose result is discarded
+//                                   leaves the lock state unknown
+//   trylock-no-fallback             a function that TryLock()s must also
+//                                   have a bounded blocking fallback
+//                                   (Lock() or a ContentionLockGuard),
+//                                   Fig. 4's queue-full path
+//
+// What counts as a critical section (heuristics, by design — this is a
+// regex-class tool, not a compiler):
+//   - the rest of the scope after a ContentionLockGuard / AdoptGuard
+//     declaration,
+//   - between `x.Lock();` and `x.Unlock();` in the same scope,
+//   - the whole body of a function whose name ends in "Locked" (the repo
+//     convention for "caller holds the lock", e.g. CommitLocked).
+//
+// Suppression: a `// bpw-lint-allow(rule-name)` comment on the same line
+// or the line directly above silences that rule there. Every allow should
+// carry a justification comment.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace bpw {
+namespace lint {
+
+struct Finding {
+  std::string file;
+  int line = 0;           // 1-based
+  std::string rule;       // kebab-case rule id, e.g. "critical-section-alloc"
+  std::string message;
+};
+
+/// Lints one translation unit given as a string. `path` is used only for
+/// reporting.
+std::vector<Finding> LintSource(const std::string& path,
+                                const std::string& source);
+
+/// Reads and lints one file. Returns false (and leaves `findings` alone) if
+/// the file cannot be read.
+bool LintFile(const std::string& path, std::vector<Finding>* findings);
+
+/// Renders "file:line: [rule] message".
+std::string FormatFinding(const Finding& finding);
+
+}  // namespace lint
+}  // namespace bpw

@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Run clang-tidy over the tree with the repo's pinned configuration.
+#
+#   tools/run_clang_tidy.sh [build-dir] [source ...]
+#
+# build-dir defaults to ./build and must contain compile_commands.json
+# (the root CMakeLists sets CMAKE_EXPORT_COMPILE_COMMANDS ON, so any
+# configured build dir works). With no explicit sources, lints every .cc
+# under src/ and tools/ that appears in the compilation database.
+#
+# The clang-tidy major version is pinned: check behavior drifts between
+# releases, so an unpinned run is not comparable to CI. If the pinned
+# binary is absent (e.g. a gcc-only dev box), exits 0 with a notice —
+# the static-analysis CI job is the gate, not local machines.
+set -euo pipefail
+
+TIDY_VERSION=18
+BUILD_DIR="${1:-build}"
+[[ $# -gt 0 ]] && shift
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "${REPO_ROOT}"
+
+TIDY=""
+for candidate in "clang-tidy-${TIDY_VERSION}" clang-tidy; do
+  if command -v "${candidate}" >/dev/null 2>&1; then
+    TIDY="${candidate}"
+    break
+  fi
+done
+if [[ -z "${TIDY}" ]]; then
+  echo "run_clang_tidy: clang-tidy-${TIDY_VERSION} not installed; skipping" \
+       "(the static-analysis CI job is the gate)"
+  exit 0
+fi
+if ! "${TIDY}" --version | grep -q "version ${TIDY_VERSION}\."; then
+  echo "run_clang_tidy: need clang-tidy major version ${TIDY_VERSION}," \
+       "found: $("${TIDY}" --version | tr '\n' ' ')"
+  echo "run_clang_tidy: skipping (unpinned runs are not comparable to CI)"
+  exit 0
+fi
+
+DB="${BUILD_DIR}/compile_commands.json"
+if [[ ! -f "${DB}" ]]; then
+  echo "run_clang_tidy: ${DB} not found; configure the build first:" >&2
+  echo "  cmake -B ${BUILD_DIR}" >&2
+  exit 2
+fi
+
+if [[ $# -gt 0 ]]; then
+  FILES=("$@")
+else
+  # Production code only: tests/bench get the same compile flags but their
+  # gtest/benchmark macro expansions drown the signal.
+  mapfile -t FILES < <(grep -o '"file": *"[^"]*"' "${DB}" |
+    sed 's/.*"file": *"//; s/"$//' |
+    grep -E "^${REPO_ROOT}/(src|tools)/.*\.cc$" | sort -u)
+fi
+if [[ ${#FILES[@]} -eq 0 ]]; then
+  echo "run_clang_tidy: no files to lint" >&2
+  exit 2
+fi
+
+echo "run_clang_tidy: ${TIDY} over ${#FILES[@]} files (db: ${DB})"
+"${TIDY}" -p "${BUILD_DIR}" --quiet "${FILES[@]}"
+echo "run_clang_tidy: clean"
