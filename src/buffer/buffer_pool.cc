@@ -5,6 +5,7 @@
 #include "obs/trace_recorder.h"
 #include "testing/schedule_point.h"
 #include "util/clock.h"
+#include "util/fingerprint.h"
 #include "util/logging.h"
 
 namespace bpw {
@@ -126,6 +127,25 @@ bool BufferPool::BeginLoad(PageId page) {
   // would be analyzed with an empty capability set even though the wait
   // machinery holds pending_mu_ around every evaluation.
   while (pending_loads_.contains(page)) {
+#if BPW_SCHEDULE_POINTS
+    // Cooperative bridge for the model checker: a worker must not block in
+    // the OS under a one-thread-at-a-time scheduler. PrepareWait registers
+    // the wait while pending_mu_ is still held (so FinishLoad cannot slip
+    // between the predicate check and registration); CommitWait parks until
+    // a NotifyAll, or returns false when the exploration aborts this
+    // execution — then we unwind as "someone else loaded it" and let
+    // FetchPage's retry loop (which the scheduler also controls) notice the
+    // abort.
+    testing::ScheduleController* controller =
+        testing::ScheduleController::Current();
+    if (controller != nullptr && controller->PrepareWait(&pending_cv_)) {
+      pending_mu_.unlock();
+      const bool woke = controller->CommitWait(&pending_cv_);
+      pending_mu_.lock();
+      if (!woke) return false;
+      continue;
+    }
+#endif
     pending_cv_.wait(pending_mu_);
   }
   return false;
@@ -137,6 +157,13 @@ void BufferPool::FinishLoad(PageId page) {
     pending_loads_.erase(page);
   }
   pending_cv_.notify_all();
+#if BPW_SCHEDULE_POINTS
+  // Wake cooperative waiters too (the real notify_all above only reaches
+  // threads blocked in the OS).
+  testing::ScheduleController* controller =
+      testing::ScheduleController::Current();
+  if (controller != nullptr) controller->NotifyAll(&pending_cv_);
+#endif
 }
 
 StatusOr<FrameId> BufferPool::AcquireFrame(Session& session,
@@ -168,7 +195,7 @@ StatusOr<FrameId> BufferPool::AcquireFrame(Session& session,
       if (attempt >= config_.eviction_retries) return victim_or.status();
       // Everything evictable was pinned at sweep time; give pin holders a
       // chance to release.
-      std::this_thread::yield();
+      BPW_SCHEDULE_YIELD("pool.evict_retry");
       continue;
     }
     const Coordinator::Victim victim = victim_or.value();
@@ -199,7 +226,7 @@ StatusOr<FrameId> BufferPool::AcquireFrame(Session& session,
       }
       // Let the racing pinner (or an aborting drop) release the frame
       // before burning another attempt.
-      std::this_thread::yield();
+      BPW_SCHEDULE_YIELD("pool.evict_race_retry");
       continue;
     }
     // Block new pins while we drain the frame.
@@ -270,7 +297,7 @@ StatusOr<PageHandle> BufferPool::FetchPage(Session& session, PageId page) {
         return PageHandle(this, page, frame, FrameData(frame));
       }
       // Mapped but mid-eviction or re-used: let the evictor finish.
-      std::this_thread::yield();
+      BPW_SCHEDULE_YIELD("pool.fetch_busy_retry");
       continue;
     }
 
@@ -423,6 +450,28 @@ Status BufferPool::Prewarm(Session& session, PageId first_page,
     if (!handle.ok()) return handle.status();
   }
   return Status::OK();
+}
+
+uint64_t BufferPool::StateFingerprint() const {
+  // Quiesced-by-contract, like CheckIntegrity: the model checker only calls
+  // this while every worker is parked at a schedule point, so the lock-free
+  // reads below cannot race. Everything hashed is logical state (ids, flags,
+  // counts) — never addresses — so the same logical state reached by two
+  // different executions produces the same fingerprint.
+  Fingerprint fp;
+  fp.Combine(frames_.size());
+  for (FrameId frame = 0; frame < frames_.size(); ++frame) {
+    const FrameMeta& meta = frames_[frame];
+    fp.Combine(FrameTag(frame));
+    fp.Combine(meta.pin_count.load(std::memory_order_acquire));
+    fp.Combine(meta.dirty.load(std::memory_order_relaxed) ? 1 : 0);
+    fp.Combine(meta.io_busy.load(std::memory_order_relaxed) ? 1 : 0);
+  }
+  // The free list is a stack, so its order is part of the state (it decides
+  // which frame the next miss takes).
+  for (const FrameId frame : free_frames_) fp.Combine(frame);
+  for (const PageId page : pending_loads_) fp.CombineUnordered(page);
+  return fp.value();
 }
 
 Status BufferPool::CheckIntegrity() {

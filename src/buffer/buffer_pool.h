@@ -108,6 +108,10 @@ class BufferPool {
     const AccessStats& stats() const { return stats_; }
     void ResetStats() { stats_ = AccessStats{}; }
 
+    /// The coordinator slot backing this session, for
+    /// Coordinator::SlotStateFingerprint (model-checker state dedup).
+    const Coordinator::ThreadSlot* slot() const { return slot_.get(); }
+
    private:
     friend class BufferPool;
     explicit Session(std::unique_ptr<Coordinator::ThreadSlot> slot)
@@ -173,6 +177,13 @@ class BufferPool {
 
   /// Structural integrity check for tests: table/tag/policy agreement.
   Status CheckIntegrity();
+
+  /// Structural fingerprint of (frame tags, pins, dirty/io flags, free list,
+  /// pending loads) for the model checker's visited-state dedup. Quiesced
+  /// callers only (the cooperative scheduler holds every worker parked while
+  /// fingerprinting); deliberately pointer-free so identical logical states
+  /// from different executions collide.
+  uint64_t StateFingerprint() const BPW_NO_THREAD_SAFETY_ANALYSIS;
 
  private:
   friend class PageHandle;

@@ -6,6 +6,7 @@
 #include "sync/prefetch.h"
 #include "testing/schedule_point.h"
 #include "util/clock.h"
+#include "util/fingerprint.h"
 #include "util/logging.h"
 
 namespace bpw {
@@ -171,6 +172,28 @@ bool BpWrapperCoordinator::OnErase(ThreadSlot* base_slot, PageId page,
   const bool resident = policy_->IsResident(page);
   if (resident) policy_->OnErase(page, frame);
   return resident;
+}
+
+uint64_t BpWrapperCoordinator::StateFingerprint() const {
+  // Quiesced-by-contract (model-checker use only: every worker parked).
+  // Per-thread queues are fingerprinted separately via SlotStateFingerprint
+  // (the scenario hashes them in stable thread order); here only the shared
+  // half: the policy's bookkeeping.
+  Fingerprint fp;
+  fp.Combine(policy_->StateFingerprint());
+  return fp.value();
+}
+
+uint64_t BpWrapperCoordinator::SlotStateFingerprint(
+    const ThreadSlot* base_slot) const {
+  const auto* slot = static_cast<const Slot*>(base_slot);
+  Fingerprint fp;
+  const AccessQueue& queue = slot->queue;
+  for (size_t i = 0; i < queue.size(); ++i) {
+    fp.Combine(queue[i].page);
+    fp.Combine(queue[i].frame);
+  }
+  return fp.value();
 }
 
 void BpWrapperCoordinator::FlushSlot(ThreadSlot* base_slot) {

@@ -72,6 +72,11 @@ class BpWrapperCoordinator : public Coordinator {
   std::string name() const override {
     return options_.prefetch ? "bp-wrapper+pre" : "bp-wrapper";
   }
+  bool StateFingerprintSupported() const override {
+    return policy_->StateFingerprintSupported();
+  }
+  uint64_t StateFingerprint() const override BPW_NO_THREAD_SAFETY_ANALYSIS;
+  uint64_t SlotStateFingerprint(const ThreadSlot* slot) const override;
 
   const Options& options() const { return options_; }
 

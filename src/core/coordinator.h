@@ -102,6 +102,28 @@ class Coordinator {
   /// Human-readable coordinator name ("serialized", "bp-wrapper", ...).
   virtual std::string name() const = 0;
 
+  // --- Model-checker support (src/mc) -------------------------------------
+  // Structural fingerprints of coordinator-internal state (shared queues,
+  // commit buffers) and per-slot state (the BP-Wrapper FIFO), used for
+  // visited-state dedup. Quiesced callers only: the cooperative scheduler
+  // holds every worker parked while fingerprinting. A coordinator that does
+  // not implement fingerprinting reports unsupported and the explorer
+  // disables dedup for the scenario (sound, just slower).
+
+  /// Whether StateFingerprint()/SlotStateFingerprint() capture this
+  /// coordinator's full logical state (including its policy's).
+  virtual bool StateFingerprintSupported() const { return false; }
+
+  /// Fingerprint of coordinator + policy state. 0 when unsupported.
+  virtual uint64_t StateFingerprint() const { return 0; }
+
+  /// Fingerprint of one thread's slot-local state (uncommitted queue
+  /// entries). 0 when slots carry no state.
+  virtual uint64_t SlotStateFingerprint(const ThreadSlot* slot) const {
+    (void)slot;
+    return 0;
+  }
+
   /// Binds the frame→page tag array the buffer pool maintains, used by
   /// BP-Wrapper to re-validate queued accesses at commit time (paper
   /// §IV-B). Optional: coordinators work (with slightly more stale commits)

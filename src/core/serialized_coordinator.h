@@ -38,6 +38,14 @@ class SerializedCoordinator : public Coordinator {
   std::string name() const override {
     return options_.prefetch ? "serialized+pre" : "serialized";
   }
+  bool StateFingerprintSupported() const override {
+    return policy_->StateFingerprintSupported();
+  }
+  // No coordinator-local state beyond the policy: the fingerprint is the
+  // policy's. Quiesced callers only (model checker).
+  uint64_t StateFingerprint() const override BPW_NO_THREAD_SAFETY_ANALYSIS {
+    return policy_->StateFingerprint();
+  }
 
  private:
   class Slot : public ThreadSlot {};

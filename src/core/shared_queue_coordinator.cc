@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "testing/schedule_point.h"
+#include "util/fingerprint.h"
 
 namespace bpw {
 
@@ -41,6 +42,25 @@ void SharedQueueCoordinator::CommitLocked() {
   batch_.clear();
   {
     SpinLockGuard queue_guard(queue_lock_);
+    BPW_MC_ACCESS_WRITE("shared_queue.queue", &queue_);
+    batch_.swap(queue_);
+  }
+  for (const AccessQueue::Entry& entry : batch_) {
+    if (TagStillValid(entry.page, entry.frame)) {
+      policy_->OnHit(entry.page, entry.frame);
+    }
+  }
+}
+
+void SharedQueueCoordinator::CommitRacy() {
+  // Same body as CommitLocked, minus the precondition that lock_ is held.
+  // The policy's AssertExclusiveAccess fires inside with no ordering lock,
+  // which is exactly the race the certifier must report.
+  policy_->AssertExclusiveAccess();
+  batch_.clear();
+  {
+    SpinLockGuard queue_guard(queue_lock_);
+    BPW_MC_ACCESS_WRITE("shared_queue.queue", &queue_);
     batch_.swap(queue_);
   }
   for (const AccessQueue::Entry& entry : batch_) {
@@ -58,12 +78,17 @@ void SharedQueueCoordinator::OnHit(ThreadSlot* /*slot*/, PageId page,
   size_t size_after;
   {
     SpinLockGuard queue_guard(queue_lock_);
+    BPW_MC_ACCESS_WRITE("shared_queue.queue", &queue_);
     queue_.push_back(AccessQueue::Entry{page, frame});
     size_after = queue_.size();
   }
   queue_acquisitions_.fetch_add(1, std::memory_order_relaxed);
 
   if (size_after < options_.batch_threshold) return;
+  if (options_.test_commit_without_lock) {
+    CommitRacy();
+    return;
+  }
   if (lock_.TryLock()) {
     ContentionLockAdoptGuard guard(lock_);
     CommitLocked();
@@ -98,6 +123,19 @@ bool SharedQueueCoordinator::OnErase(ThreadSlot* /*slot*/, PageId page,
   const bool resident = policy_->IsResident(page);
   if (resident) policy_->OnErase(page, frame);
   return resident;
+}
+
+uint64_t SharedQueueCoordinator::StateFingerprint() const {
+  // Quiesced-by-contract (model-checker use only: every worker parked).
+  // Uncommitted queue entries are state — they decide which OnHit replays
+  // the next commit performs — as is the policy's own bookkeeping.
+  Fingerprint fp;
+  for (const AccessQueue::Entry& entry : queue_) {
+    fp.Combine(entry.page);
+    fp.Combine(entry.frame);
+  }
+  fp.Combine(policy_->StateFingerprint());
+  return fp.value();
 }
 
 void SharedQueueCoordinator::FlushSlot(ThreadSlot* /*slot*/) {

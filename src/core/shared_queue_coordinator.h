@@ -28,6 +28,14 @@ class SharedQueueCoordinator : public Coordinator {
     size_t queue_size = 64;
     size_t batch_threshold = 32;
     LockInstrumentation instrumentation = LockInstrumentation::kCounts;
+    /// MUTATION KNOB — tests only. When the batch threshold fires, commit
+    /// WITHOUT taking the policy lock (no TryLock, no fallback), violating
+    /// the GUARDED_BY(lock_) contract on batch_ and the policy's
+    /// serialization contract. Exists so the model checker's vector-clock
+    /// race certifier can prove it catches an unordered
+    /// AssertExclusiveAccess pair as a race (the dynamic cross-validation
+    /// of PR 4's static annotations).
+    bool test_commit_without_lock = false;
   };
 
   SharedQueueCoordinator(std::unique_ptr<ReplacementPolicy> policy,
@@ -47,6 +55,10 @@ class SharedQueueCoordinator : public Coordinator {
   const ReplacementPolicy& policy() const override { return *policy_; }
   ReplacementPolicy* mutable_policy() override { return policy_.get(); }
   std::string name() const override { return "shared-queue"; }
+  bool StateFingerprintSupported() const override {
+    return policy_->StateFingerprintSupported();
+  }
+  uint64_t StateFingerprint() const override BPW_NO_THREAD_SAFETY_ANALYSIS;
 
   /// Contended acquisitions of the *queue* spinlock per million... exposed
   /// raw: total queue-lock acquisitions (== one per page hit: the design's
@@ -61,6 +73,12 @@ class SharedQueueCoordinator : public Coordinator {
   /// Drains the shared queue into the policy. Caller holds lock_ (the
   /// policy lock); takes queue_lock_ internally to swap the buffer out.
   void CommitLocked() BPW_REQUIRES(lock_);
+
+  /// MUTATION: runs the commit body with NO policy lock held. Deliberately
+  /// exempt from the thread-safety analysis — the whole point is to execute
+  /// the statically-forbidden interleaving so the dynamic race certifier
+  /// can catch it. Only reachable via Options::test_commit_without_lock.
+  void CommitRacy() BPW_NO_THREAD_SAFETY_ANALYSIS;
 
   std::unique_ptr<ReplacementPolicy> policy_;
   Options options_;

@@ -1,0 +1,211 @@
+#include "mc/explorer.h"
+
+#include <chrono>
+
+#include "util/fingerprint.h"
+
+namespace bpw {
+namespace mc {
+
+namespace {
+
+// Two pending actions commute iff both are attributed to shared objects and
+// the objects differ. Unattributed actions (obj == nullptr) conservatively
+// conflict with everything. Object pointers are only comparable within the
+// execution that produced them, which is why node candidate snapshots are
+// refreshed on every pass-through.
+bool Independent(const Candidate& a, const Candidate& b) {
+  return a.obj != nullptr && b.obj != nullptr && a.obj != b.obj;
+}
+
+const Candidate* FindCandidate(const std::vector<Candidate>& candidates,
+                               int thread) {
+  for (const Candidate& c : candidates) {
+    if (c.thread == thread) return &c;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int Explorer::Choose(const DecisionContext& ctx) {
+  const size_t d = depth_++;
+  stats_.max_depth = std::max<uint64_t>(stats_.max_depth, depth_);
+
+  if (d < nodes_.size()) {
+    // Prefix replay: same decisions must present the same candidates.
+    Node& node = nodes_[d];
+    if (node.signature != ctx.candidate_signature) {
+      diverged_ = true;
+      return CooperativeScheduler::kAbortExecution;
+    }
+    node.candidates = ctx.candidates;  // refresh obj pointers
+    return node.chosen;
+  }
+
+  // Frontier: a decision never taken before.
+  Node node;
+  node.signature = ctx.candidate_signature;
+  node.candidates = ctx.candidates;
+  if (!nodes_.empty()) {
+    const Node& parent = nodes_.back();
+    node.preemptions_before =
+        parent.preemptions_before + (parent.chosen_preemptive ? 1 : 0);
+    if (options_.use_sleep_sets) {
+      // Sleep-set inheritance: a thread asleep at the parent stays asleep
+      // here unless the branch just taken could interact with its pending
+      // action.
+      const Candidate* branch = FindCandidate(parent.candidates, parent.chosen);
+      for (int asleep : parent.sleep) {
+        const Candidate* pending = FindCandidate(parent.candidates, asleep);
+        // A sleeping thread missing from this node's candidates stopped
+        // being enabled; its sleep entry is moot.
+        if (branch == nullptr || pending == nullptr) continue;
+        if (FindCandidate(node.candidates, asleep) == nullptr) continue;
+        if (Independent(*pending, *branch)) node.sleep.insert(asleep);
+      }
+    }
+  }
+
+  if (options_.use_state_dedup && ctx.fingerprint_supported) {
+    Fingerprint key;
+    key.Combine(ctx.state_fingerprint);
+    for (int asleep : node.sleep) {
+      key.Combine(static_cast<uint64_t>(asleep));
+    }
+    node.dedup_key = key.value();
+    node.dedup_valid = true;
+    const int remaining = options_.preemption_bound - node.preemptions_before;
+    auto it = visited_.find(node.dedup_key);
+    if (it != visited_.end() && it->second >= remaining) {
+      ++stats_.state_dedup_pruned;
+      node.pruned_by_dedup = true;
+      nodes_.push_back(std::move(node));
+      return CooperativeScheduler::kAbortExecution;
+    }
+  }
+
+  if (!AdvanceNode(node)) {
+    // Every candidate is asleep (all interleavings from here are covered
+    // on other branches): cut the execution.
+    ++stats_.sleep_set_pruned;
+    node.barren = true;
+    nodes_.push_back(std::move(node));
+    return CooperativeScheduler::kAbortExecution;
+  }
+  const int chosen = node.chosen;
+  nodes_.push_back(std::move(node));
+  return chosen;
+}
+
+bool Explorer::AdvanceNode(Node& node) {
+  for (const Candidate& c : node.candidates) {
+    if (node.sleep.count(c.thread) != 0) continue;
+    if (node.tried.count(c.thread) != 0) continue;
+    if (c.preemptive &&
+        node.preemptions_before >= options_.preemption_bound) {
+      ++stats_.budget_skipped;
+      continue;
+    }
+    node.chosen = c.thread;
+    node.chosen_preemptive = c.preemptive;
+    node.tried.insert(c.thread);
+    return true;
+  }
+  return false;
+}
+
+bool Explorer::Backtrack() {
+  while (!nodes_.empty()) {
+    Node& node = nodes_.back();
+    if (node.pruned_by_dedup || node.barren) {
+      // Nothing was explored *from* this node on this path; its coverage
+      // lives elsewhere. Do not mark it visited.
+      nodes_.pop_back();
+      continue;
+    }
+    if (node.chosen >= 0 && options_.use_sleep_sets) {
+      // The subtree under the previous choice is complete: the thread goes
+      // to sleep so sibling branches skip re-deriving its interleavings.
+      node.sleep.insert(node.chosen);
+    }
+    node.chosen = -1;
+    if (AdvanceNode(node)) return true;
+    if (node.dedup_valid) {
+      const int remaining = options_.preemption_bound - node.preemptions_before;
+      auto it = visited_.find(node.dedup_key);
+      if (it == visited_.end() || it->second < remaining) {
+        visited_[node.dedup_key] = remaining;
+      }
+    }
+    nodes_.pop_back();
+  }
+  return false;
+}
+
+ExploreResult Explorer::Run(CooperativeScheduler& sched) {
+  ExploreResult result;
+  nodes_.clear();
+  visited_.clear();
+  stats_ = ExploreStats();
+  const auto start = std::chrono::steady_clock::now();
+
+  bool exhausted = false;
+  bool capped = false;
+  while (true) {
+    if (options_.max_executions != 0 &&
+        stats_.executions >= options_.max_executions) {
+      capped = true;
+      break;
+    }
+    if (options_.time_limit_ms != 0) {
+      const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start);
+      if (static_cast<uint64_t>(elapsed.count()) >= options_.time_limit_ms) {
+        capped = true;
+        break;
+      }
+    }
+
+    depth_ = 0;
+    diverged_ = false;
+    ExecutionResult exec = scenario_.RunOnce(
+        sched, [this](const DecisionContext& ctx) { return Choose(ctx); });
+    ++stats_.executions;
+    stats_.decision_points += exec.decisions.size();
+    stats_.races_checked += exec.races_checked;
+
+    if (diverged_) {
+      result.found_violation = true;
+      result.violation.kind = ViolationKind::kError;
+      result.violation.message =
+          "nondeterministic scenario: identical decision prefixes produced "
+          "different candidate sets (depth " +
+          std::to_string(depth_) + ")";
+      result.stats = stats_;
+      return result;
+    }
+    if (exec.violated) {
+      result.found_violation = true;
+      result.violation = exec.violation;
+      result.violating_choices = exec.decisions;
+      result.violating_signatures = exec.signatures;
+      if (options_.stop_at_first_violation) {
+        result.stats = stats_;
+        return result;
+      }
+    }
+
+    if (!Backtrack()) {
+      exhausted = true;
+      break;
+    }
+  }
+
+  stats_.complete = exhausted && !capped;
+  result.stats = stats_;
+  return result;
+}
+
+}  // namespace mc
+}  // namespace bpw

@@ -1,0 +1,120 @@
+// Explorer: stateless DFS over the scheduling decisions of a Scenario.
+//
+// The search is CHESS-shaped with two classic reductions layered on top:
+//
+//   Preemption bounding (Musuvathi & Qadeer): a context switch away from a
+//   thread that could have continued costs one unit of a small budget
+//   (default 2); forced switches (blocked/finished/yielded threads) are
+//   free. Almost every real concurrency bug needs very few preemptions, so
+//   a tiny bound covers the bug-dense fraction of an exponential space.
+//
+//   Sleep sets (Godefroind): after fully exploring choice t at a node, t
+//   goes to sleep there; a child node inherits the sleeping threads whose
+//   pending actions are independent of the branch taken (different shared
+//   objects, as reported by the schedule-point obj tags). A node whose
+//   every candidate sleeps has nothing new to offer and the execution is
+//   cut. This is the persistent-set flavour of DPOR that needs no clock
+//   vectors on the search side.
+//
+//   State dedup: scenarios whose stacks support structural fingerprints
+//   (pool + coordinator + policy + per-slot queues, all logical state, no
+//   pointers) prune nodes whose (fingerprint, sleep set) was already fully
+//   explored with at least the remaining preemption budget. Insertion
+//   happens only when a subtree completes, so cycles cannot hide work.
+//
+// Every node snapshots its candidate set and verifies it by signature on
+// each revisit — a scenario whose candidate sets differ between identical
+// decision prefixes is nondeterministic (a harness bug), reported as such
+// rather than silently mis-explored.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "mc/cooperative_scheduler.h"
+#include "mc/scenario.h"
+
+namespace bpw {
+namespace mc {
+
+struct ExploreOptions {
+  int preemption_bound = 2;
+  uint64_t max_executions = 0;  // 0 = no cap
+  uint64_t time_limit_ms = 0;   // 0 = no limit
+  bool use_sleep_sets = true;
+  bool use_state_dedup = true;
+  /// Stop at the first violation (the only mode the CLI uses; kept as a
+  /// knob so tests can count violations in small spaces).
+  bool stop_at_first_violation = true;
+};
+
+struct ExploreStats {
+  uint64_t executions = 0;
+  uint64_t decision_points = 0;  // across all executions
+  uint64_t sleep_set_pruned = 0;
+  uint64_t state_dedup_pruned = 0;
+  uint64_t budget_skipped = 0;  // candidates skipped for the bound
+  uint64_t max_depth = 0;
+  uint64_t races_checked = 0;
+  /// True iff the bounded space was exhausted (no caps hit, no violation
+  /// short-circuit).
+  bool complete = false;
+};
+
+struct ExploreResult {
+  bool found_violation = false;
+  Violation violation;
+  /// Decision trace of the violating execution (replay recipe).
+  std::vector<int> violating_choices;
+  std::vector<uint64_t> violating_signatures;
+  ExploreStats stats;
+};
+
+class Explorer {
+ public:
+  Explorer(Scenario scenario, ExploreOptions options)
+      : scenario_(std::move(scenario)), options_(options) {}
+
+  /// Runs the search. `sched` must be installed as the process-global
+  /// controller for the duration.
+  ExploreResult Run(CooperativeScheduler& sched);
+
+ private:
+  struct Node {
+    uint64_t signature = 0;
+    std::vector<Candidate> candidates;  // refreshed every pass-through
+    std::set<int> sleep;
+    std::set<int> tried;
+    int chosen = -1;
+    bool chosen_preemptive = false;
+    int preemptions_before = 0;
+    uint64_t dedup_key = 0;
+    bool dedup_valid = false;
+    bool pruned_by_dedup = false;
+    bool barren = false;  // every candidate asleep on arrival
+  };
+
+  /// The per-decision callback: replays the committed prefix, then extends
+  /// the frontier. Returns the chosen thread or kAbortExecution.
+  int Choose(const DecisionContext& ctx);
+  /// Picks the next unexplored, budget-respecting, awake candidate at
+  /// `node`; returns false if none remains.
+  bool AdvanceNode(Node& node);
+  /// Post-execution stack unwind; returns false when the space is done.
+  bool Backtrack();
+
+  Scenario scenario_;
+  ExploreOptions options_;
+  std::vector<Node> nodes_;
+  size_t depth_ = 0;  // decisions seen in the current execution
+  bool diverged_ = false;
+  ExploreStats stats_;
+  // (fingerprint ^ sleep-set) -> largest remaining preemption budget whose
+  // subtree completed from an identical state.
+  std::unordered_map<uint64_t, int> visited_;
+};
+
+}  // namespace mc
+}  // namespace bpw

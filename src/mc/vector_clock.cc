@@ -1,0 +1,92 @@
+#include "mc/vector_clock.h"
+
+#include <sstream>
+
+namespace bpw {
+namespace mc {
+
+std::string VectorClock::ToString() const {
+  std::ostringstream out;
+  out << "[";
+  for (size_t t = 0; t < clock_.size(); ++t) {
+    if (t > 0) out << " ";
+    out << clock_[t];
+  }
+  out << "]";
+  return out.str();
+}
+
+std::string RaceReport::ToString() const {
+  std::ostringstream out;
+  out << "race on '" << object << "': thread " << first_thread << " "
+      << (first_is_write ? "write" : "read") << " at " << first_point
+      << " is unordered with thread " << second_thread << " "
+      << (second_is_write ? "write" : "read") << " at " << second_point;
+  return out.str();
+}
+
+namespace {
+
+// The prior accessor that makes `prior` not happen-before `now`: any
+// component where prior's epoch exceeds now's knowledge of that thread.
+int OffendingThread(const VectorClock& prior, const VectorClock& now) {
+  for (size_t u = 0; u < prior.size(); ++u) {
+    if (prior.at(u) > now.at(u)) return static_cast<int>(u);
+  }
+  return -1;
+}
+
+}  // namespace
+
+void RaceCertifier::OnAccess(size_t t, const VectorClock& vc, const void* obj,
+                             const char* point, bool is_write) {
+  ++accesses_checked_;
+  const char* label = point != nullptr ? point : "?";
+  LocationState& loc = locations_[obj];
+  if (loc.label.empty()) loc.label = label;
+
+  auto report = [&](const VectorClock& prior, bool prior_is_write) {
+    if (loc.race_reported) return;
+    const int u = OffendingThread(prior, vc);
+    RaceReport race;
+    race.object = loc.label;
+    race.first_thread = u;
+    race.first_is_write = prior_is_write;
+    if (prior_is_write) {
+      race.first_point = loc.last_write_point;
+    } else {
+      auto it = loc.last_read_points.find(static_cast<size_t>(u));
+      race.first_point =
+          it != loc.last_read_points.end() ? it->second : "<unknown read>";
+    }
+    race.second_thread = static_cast<int>(t);
+    race.second_point = label;
+    race.second_is_write = is_write;
+    races_.push_back(std::move(race));
+    loc.race_reported = true;
+  };
+
+  // The djit+ conditions: a write must happen-after every prior access, a
+  // read must happen-after every prior write. W_x / R_x hold per-thread
+  // epochs of the last accesses, so LessEq against the accessor's clock is
+  // exactly "all prior accesses are ordered before me".
+  if (is_write) {
+    if (!loc.write_clock.LessEq(vc)) {
+      report(loc.write_clock, /*prior_is_write=*/true);
+    } else if (!loc.read_clock.LessEq(vc)) {
+      report(loc.read_clock, /*prior_is_write=*/false);
+    }
+    loc.write_clock.Set(t, vc.at(t));
+    loc.last_writer = static_cast<int>(t);
+    loc.last_write_point = label;
+  } else {
+    if (!loc.write_clock.LessEq(vc)) {
+      report(loc.write_clock, /*prior_is_write=*/true);
+    }
+    loc.read_clock.Set(t, vc.at(t));
+    loc.last_read_points[t] = label;
+  }
+}
+
+}  // namespace mc
+}  // namespace bpw

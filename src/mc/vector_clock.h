@@ -1,0 +1,128 @@
+// Vector clocks and the happens-before race certifier.
+//
+// The certifier is the dynamic half of PR 4's static lock-discipline story:
+// Clang's -Wthread-safety proves that *call sites* claim the right
+// capabilities, but an ASSERT_CAPABILITY like
+// ReplacementPolicy::AssertExclusiveAccess is a claim the analysis accepts
+// on faith. Under the model checker every such claim (and every explicit
+// BPW_MC_ACCESS_* site) becomes an event, and this module checks the claims
+// against the real synchronization order:
+//
+//   - each worker thread carries a vector clock C_t;
+//   - lock releases copy C_t into the lock's clock; acquires join it back
+//     (release→acquire edges), condition-variable notify/wake likewise;
+//   - each tracked location x keeps the clocks of its last writes (W_x) and
+//     reads (R_x); a write must happen-after all previous accesses, a read
+//     must happen-after all previous writes (the standard vector-clock race
+//     condition, djit+/FastTrack family).
+//
+// Because the cooperative scheduler serializes execution, an unordered pair
+// is never a *physically* racing pair here — it is a pair that the locking
+// protocol fails to order, i.e. a real data race in some uncontrolled run.
+// Atomics are deliberately not instrumented: the library's lock-free paths
+// (frame tags, pin counts, CLOCK ref bits) are synchronized by atomics the
+// happens-before model above cannot see, and instrumenting them would only
+// manufacture false positives.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace bpw {
+namespace mc {
+
+/// Fixed-width vector clock over worker thread ids [0, n).
+class VectorClock {
+ public:
+  VectorClock() = default;
+  explicit VectorClock(size_t num_threads) : clock_(num_threads, 0) {}
+
+  uint64_t at(size_t t) const { return t < clock_.size() ? clock_[t] : 0; }
+  size_t size() const { return clock_.size(); }
+
+  void Tick(size_t t) {
+    if (t >= clock_.size()) clock_.resize(t + 1, 0);
+    ++clock_[t];
+  }
+
+  void Set(size_t t, uint64_t v) {
+    if (t >= clock_.size()) clock_.resize(t + 1, 0);
+    clock_[t] = v;
+  }
+
+  /// Pointwise maximum (the join of two clocks).
+  void Join(const VectorClock& other) {
+    if (other.clock_.size() > clock_.size()) {
+      clock_.resize(other.clock_.size(), 0);
+    }
+    for (size_t t = 0; t < other.clock_.size(); ++t) {
+      if (other.clock_[t] > clock_[t]) clock_[t] = other.clock_[t];
+    }
+  }
+
+  /// True iff this clock happens-before-or-equals `other` (pointwise <=).
+  bool LessEq(const VectorClock& other) const {
+    for (size_t t = 0; t < clock_.size(); ++t) {
+      if (clock_[t] > other.at(t)) return false;
+    }
+    return true;
+  }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<uint64_t> clock_;
+};
+
+/// One unordered access pair found by the certifier.
+struct RaceReport {
+  std::string object;    // the access label ("policy.exclusive", ...)
+  int first_thread = -1;
+  std::string first_point;
+  bool first_is_write = false;
+  int second_thread = -1;
+  std::string second_point;
+  bool second_is_write = false;
+
+  std::string ToString() const;
+};
+
+/// Happens-before checker over the Access events the cooperative scheduler
+/// forwards. Single-threaded by construction (the scheduler serializes all
+/// hook calls), so no internal locking.
+class RaceCertifier {
+ public:
+  explicit RaceCertifier(size_t num_threads) : num_threads_(num_threads) {}
+
+  /// An access by worker `t` (with clock `vc`) to the location identified by
+  /// `obj`, labelled `point`. Records at most one race per location (the
+  /// first is the actionable one; repeats are noise).
+  void OnAccess(size_t t, const VectorClock& vc, const void* obj,
+                const char* point, bool is_write);
+
+  const std::vector<RaceReport>& races() const { return races_; }
+  uint64_t accesses_checked() const { return accesses_checked_; }
+
+ private:
+  struct LocationState {
+    std::string label;
+    // Clock of the last write / the joined last reads, plus provenance for
+    // reporting.
+    VectorClock write_clock;
+    VectorClock read_clock;
+    int last_writer = -1;
+    std::string last_write_point;
+    std::unordered_map<size_t, std::string> last_read_points;
+    bool race_reported = false;
+  };
+
+  size_t num_threads_;
+  std::unordered_map<const void*, LocationState> locations_;
+  std::vector<RaceReport> races_;
+  uint64_t accesses_checked_ = 0;
+};
+
+}  // namespace mc
+}  // namespace bpw

@@ -1,5 +1,7 @@
 #include "policy/clock.h"
 
+#include "util/fingerprint.h"
+
 namespace bpw {
 
 ClockPolicy::ClockPolicy(size_t num_frames)
@@ -87,6 +89,20 @@ bool ClockPolicy::IsResident(PageId page) const {
     }
   }
   return false;
+}
+
+uint64_t ClockPolicy::StateFingerprint() const {
+  // Node array order is frame order already; the hand position is state too
+  // (it decides which frame the next sweep inspects first).
+  Fingerprint fp;
+  for (const Node& n : nodes_) {
+    fp.Combine(n.page.load(std::memory_order_relaxed));
+    fp.Combine(n.resident.load(std::memory_order_relaxed) ? 1 : 0);
+    fp.Combine(n.ref.load(std::memory_order_relaxed) ? 1 : 0);
+  }
+  fp.Combine(hand_);
+  fp.Combine(resident_);
+  return fp.value();
 }
 
 }  // namespace bpw

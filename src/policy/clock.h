@@ -30,6 +30,8 @@ class ClockPolicy : public ReplacementPolicy {
   }
   bool IsResident(PageId page) const override BPW_REQUIRES_SHARED(this);
   std::string name() const override { return "clock"; }
+  bool StateFingerprintSupported() const override { return true; }
+  uint64_t StateFingerprint() const override BPW_REQUIRES_SHARED(this);
 
   /// Lock-free hit path used by ClockCoordinator: sets the reference bit
   /// with a relaxed atomic store after validating the tag with relaxed

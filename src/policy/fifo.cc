@@ -1,5 +1,7 @@
 #include "policy/fifo.h"
 
+#include "util/fingerprint.h"
+
 namespace bpw {
 
 FifoPolicy::FifoPolicy(size_t num_frames)
@@ -58,6 +60,16 @@ bool FifoPolicy::IsResident(PageId page) const {
     if (n.resident && n.page == page) return true;
   }
   return false;
+}
+
+uint64_t FifoPolicy::StateFingerprint() const {
+  // Arrival order, newest first; node index stands in for frame id.
+  Fingerprint fp;
+  for (const Node* n = list_.Front(); n != nullptr; n = list_.Next(n)) {
+    fp.Combine(n->page);
+    fp.Combine(static_cast<uint64_t>(n - nodes_.data()));
+  }
+  return fp.value();
 }
 
 }  // namespace bpw

@@ -25,6 +25,8 @@ class FifoPolicy : public ReplacementPolicy {
   }
   bool IsResident(PageId page) const override BPW_REQUIRES_SHARED(this);
   std::string name() const override { return "fifo"; }
+  bool StateFingerprintSupported() const override { return true; }
+  uint64_t StateFingerprint() const override BPW_REQUIRES_SHARED(this);
 
  private:
   struct Node {

@@ -1,5 +1,7 @@
 #include "policy/gclock.h"
 
+#include "util/fingerprint.h"
+
 namespace bpw {
 
 GClockPolicy::GClockPolicy(size_t num_frames, uint32_t max_count)
@@ -95,6 +97,18 @@ bool GClockPolicy::IsResident(PageId page) const {
     }
   }
   return false;
+}
+
+uint64_t GClockPolicy::StateFingerprint() const {
+  Fingerprint fp;
+  for (const Node& n : nodes_) {
+    fp.Combine(n.page.load(std::memory_order_relaxed));
+    fp.Combine(n.resident.load(std::memory_order_relaxed) ? 1 : 0);
+    fp.Combine(n.count.load(std::memory_order_relaxed));
+  }
+  fp.Combine(hand_);
+  fp.Combine(resident_);
+  return fp.value();
 }
 
 }  // namespace bpw

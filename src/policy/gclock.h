@@ -27,6 +27,8 @@ class GClockPolicy : public ReplacementPolicy {
   }
   bool IsResident(PageId page) const override BPW_REQUIRES_SHARED(this);
   std::string name() const override { return "gclock"; }
+  bool StateFingerprintSupported() const override { return true; }
+  uint64_t StateFingerprint() const override BPW_REQUIRES_SHARED(this);
 
   /// Lock-free hit path (see ClockPolicy::OnHitLockFree).
   void OnHitLockFree(PageId page, FrameId frame);

@@ -1,5 +1,7 @@
 #include "policy/lru.h"
 
+#include "util/fingerprint.h"
+
 namespace bpw {
 
 LruPolicy::LruPolicy(size_t num_frames)
@@ -69,6 +71,18 @@ bool LruPolicy::IsResident(PageId page) const {
     if (n.resident && n.page == page) return true;
   }
   return false;
+}
+
+uint64_t LruPolicy::StateFingerprint() const {
+  // Recency order is the whole algorithmic state: hash (page, frame) pairs
+  // in MRU→LRU order. Frame identity comes from the node's index, never its
+  // address, so fingerprints are stable across executions.
+  Fingerprint fp;
+  for (const Node* n = list_.Front(); n != nullptr; n = list_.Next(n)) {
+    fp.Combine(n->page);
+    fp.Combine(static_cast<uint64_t>(n - nodes_.data()));
+  }
+  return fp.value();
 }
 
 }  // namespace bpw

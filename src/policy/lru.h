@@ -26,6 +26,8 @@ class LruPolicy : public ReplacementPolicy {
   }
   bool IsResident(PageId page) const override BPW_REQUIRES_SHARED(this);
   std::string name() const override { return "lru"; }
+  bool StateFingerprintSupported() const override { return true; }
+  uint64_t StateFingerprint() const override BPW_REQUIRES_SHARED(this);
 
  private:
   struct Node {

@@ -42,6 +42,7 @@
 #include <string>
 #include <vector>
 
+#include "testing/schedule_point.h"
 #include "util/status.h"
 #include "util/thread_annotations.h"
 #include "util/types.h"
@@ -113,10 +114,37 @@ class BPW_CAPABILITY("policy") ReplacementPolicy {
   ///      policy access by construction), or
   ///   2. a single-threaded / quiesced phase (simulations, unit tests,
   ///      BufferPool::CheckIntegrity).
-  /// Runtime cost: none (empty inline). Compile-time effect under clang:
-  /// the current scope gains the `policy` capability, so the REQUIRES
-  /// contracts above type-check.
-  void AssertExclusiveAccess() const BPW_ASSERT_CAPABILITY(this) {}
+  /// Runtime cost: one relaxed load and a predicted branch (the schedule-
+  /// controller check inside BPW_MC_ACCESS_WRITE; nothing when compiled with
+  /// BPW_SCHEDULE_POINTS=0). Compile-time effect under clang: the current
+  /// scope gains the `policy` capability, so the REQUIRES contracts above
+  /// type-check.
+  ///
+  /// Under the model checker this is also the dynamic half of the contract:
+  /// each assertion is reported as a WRITE access to the policy object, and
+  /// the vector-clock race certifier checks that every pair of assertions
+  /// from different threads is ordered by happens-before. A coordinator
+  /// whose locking really serializes policy access certifies clean; one that
+  /// asserts exclusivity without holding a lock (the seeded
+  /// test_commit_without_lock mutation) is reported as a race — the static
+  /// ASSERT_CAPABILITY claim, cross-validated at run time.
+  void AssertExclusiveAccess() const BPW_ASSERT_CAPABILITY(this) {
+    BPW_MC_ACCESS_WRITE("policy.exclusive", this);
+  }
+
+  // --- Model-checker support (src/mc) -------------------------------------
+
+  /// Whether StateFingerprint() captures this policy's full logical state.
+  /// Policies without it still model-check; the explorer just cannot dedup
+  /// visited states.
+  virtual bool StateFingerprintSupported() const { return false; }
+
+  /// Structural fingerprint of the policy's bookkeeping (recency order,
+  /// reference bits, ghost lists...). Pointer-free so identical logical
+  /// states from different executions collide. 0 when unsupported.
+  virtual uint64_t StateFingerprint() const BPW_REQUIRES_SHARED(this) {
+    return 0;
+  }
 
   // --- Prefetch support (paper §III-B) -----------------------------------
   // PrefetchHint() is called by coordinators *without holding the policy

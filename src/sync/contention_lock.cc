@@ -7,9 +7,14 @@
 namespace bpw {
 
 void ContentionLock::Lock() {
-  BPW_SCHEDULE_POINT("contention_lock.lock");
+  BPW_SCHEDULE_POINT_OBJ("contention_lock.lock", this);
+  // Under the cooperative model checker this parks the caller until the
+  // scheduler's lock model says the acquisition cannot block, so the real
+  // mu_.lock() below never sleeps in the OS.
+  BPW_SCHED_LOCK_WILL_ACQUIRE(this, "contention_lock.lock");
   if (instr_ == LockInstrumentation::kNone) {
     mu_.lock();
+    BPW_SCHED_LOCK_ACQUIRED(this, "contention_lock.lock");
     return;
   }
   // Tracing needs the acquisition timestamp even in kCounts mode; 0 marks
@@ -19,6 +24,7 @@ void ContentionLock::Lock() {
   if (mu_.try_lock()) {
     acquisitions_.fetch_add(1, std::memory_order_relaxed);
     lock_acquired_nanos_ = timed ? NowNanos() : 0;
+    BPW_SCHED_LOCK_ACQUIRED(this, "contention_lock.lock");
     return;
   }
   // Immediate acquisition failed: this is the paper's contention event.
@@ -40,10 +46,11 @@ void ContentionLock::Lock() {
     lock_acquired_nanos_ = 0;
   }
   acquisitions_.fetch_add(1, std::memory_order_relaxed);
+  BPW_SCHED_LOCK_ACQUIRED(this, "contention_lock.lock");
 }
 
 bool ContentionLock::TryLock() {
-  BPW_SCHEDULE_POINT("contention_lock.try_lock");
+  BPW_SCHEDULE_POINT_OBJ("contention_lock.try_lock", this);
   if (mu_.try_lock()) {
     if (instr_ != LockInstrumentation::kNone) {
       acquisitions_.fetch_add(1, std::memory_order_relaxed);
@@ -51,16 +58,18 @@ bool ContentionLock::TryLock() {
           instr_ == LockInstrumentation::kTiming || obs::TraceEnabled();
       lock_acquired_nanos_ = timed ? NowNanos() : 0;
     }
+    BPW_SCHED_LOCK_ACQUIRED(this, "contention_lock.try_lock");
     return true;
   }
   if (instr_ != LockInstrumentation::kNone) {
     trylock_failures_.fetch_add(1, std::memory_order_relaxed);
   }
+  BPW_SCHED_LOCK_TRY_FAILED(this, "contention_lock.try_lock");
   return false;
 }
 
 void ContentionLock::Unlock() {
-  BPW_SCHEDULE_POINT("contention_lock.unlock");
+  BPW_SCHEDULE_POINT_OBJ("contention_lock.unlock", this);
   if (instr_ != LockInstrumentation::kNone && lock_acquired_nanos_ != 0) {
     const uint64_t start = lock_acquired_nanos_;
     const uint64_t now = NowNanos();
@@ -73,6 +82,9 @@ void ContentionLock::Unlock() {
     lock_acquired_nanos_ = 0;
   }
   mu_.unlock();
+  // Reported after the real unlock so a cooperative switch here hands the
+  // lock to a parked waiter instead of deadlocking on a still-held mutex.
+  BPW_SCHED_LOCK_RELEASED(this, "contention_lock.unlock");
 }
 
 LockStats ContentionLock::stats() const {

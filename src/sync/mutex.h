@@ -13,6 +13,7 @@
 
 #include <mutex>
 
+#include "testing/schedule_point.h"
 #include "util/thread_annotations.h"
 
 namespace bpw {
@@ -24,11 +25,25 @@ class BPW_CAPABILITY("mutex") Mutex {
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void lock() BPW_ACQUIRE() BPW_NO_THREAD_SAFETY_ANALYSIS { mu_.lock(); }
-  bool try_lock() BPW_TRY_ACQUIRE(true) BPW_NO_THREAD_SAFETY_ANALYSIS {
-    return mu_.try_lock();
+  void lock() BPW_ACQUIRE() BPW_NO_THREAD_SAFETY_ANALYSIS {
+    BPW_SCHEDULE_POINT_OBJ("mutex.lock", this);
+    BPW_SCHED_LOCK_WILL_ACQUIRE(this, "mutex.lock");
+    mu_.lock();
+    BPW_SCHED_LOCK_ACQUIRED(this, "mutex.lock");
   }
-  void unlock() BPW_RELEASE() BPW_NO_THREAD_SAFETY_ANALYSIS { mu_.unlock(); }
+  bool try_lock() BPW_TRY_ACQUIRE(true) BPW_NO_THREAD_SAFETY_ANALYSIS {
+    BPW_SCHEDULE_POINT_OBJ("mutex.try_lock", this);
+    if (mu_.try_lock()) {
+      BPW_SCHED_LOCK_ACQUIRED(this, "mutex.try_lock");
+      return true;
+    }
+    BPW_SCHED_LOCK_TRY_FAILED(this, "mutex.try_lock");
+    return false;
+  }
+  void unlock() BPW_RELEASE() BPW_NO_THREAD_SAFETY_ANALYSIS {
+    mu_.unlock();
+    BPW_SCHED_LOCK_RELEASED(this, "mutex.unlock");
+  }
 
  private:
   std::mutex mu_;

@@ -24,9 +24,16 @@ class BPW_CAPABILITY("spinlock") SpinLock {
   SpinLock& operator=(const SpinLock&) = delete;
 
   void lock() BPW_ACQUIRE() BPW_NO_THREAD_SAFETY_ANALYSIS {
-    BPW_SCHEDULE_POINT("spinlock.lock");
+    BPW_SCHEDULE_POINT_OBJ("spinlock.lock", this);
+    // Under the cooperative model checker the caller parks here until the
+    // lock model guarantees the exchange below succeeds first try, so the
+    // spin loop never busy-waits one-thread-at-a-time.
+    BPW_SCHED_LOCK_WILL_ACQUIRE(this, "spinlock.lock");
     while (true) {
-      if (!flag_.exchange(true, std::memory_order_acquire)) return;
+      if (!flag_.exchange(true, std::memory_order_acquire)) {
+        BPW_SCHED_LOCK_ACQUIRED(this, "spinlock.lock");
+        return;
+      }
       while (flag_.load(std::memory_order_relaxed)) {
 #if defined(__x86_64__) || defined(__i386__)
         __builtin_ia32_pause();
@@ -36,13 +43,20 @@ class BPW_CAPABILITY("spinlock") SpinLock {
   }
 
   bool try_lock() BPW_TRY_ACQUIRE(true) BPW_NO_THREAD_SAFETY_ANALYSIS {
-    BPW_SCHEDULE_POINT("spinlock.try_lock");
-    return !flag_.load(std::memory_order_relaxed) &&
-           !flag_.exchange(true, std::memory_order_acquire);
+    BPW_SCHEDULE_POINT_OBJ("spinlock.try_lock", this);
+    const bool acquired = !flag_.load(std::memory_order_relaxed) &&
+                          !flag_.exchange(true, std::memory_order_acquire);
+    if (acquired) {
+      BPW_SCHED_LOCK_ACQUIRED(this, "spinlock.try_lock");
+    } else {
+      BPW_SCHED_LOCK_TRY_FAILED(this, "spinlock.try_lock");
+    }
+    return acquired;
   }
 
   void unlock() BPW_RELEASE() BPW_NO_THREAD_SAFETY_ANALYSIS {
     flag_.store(false, std::memory_order_release);
+    BPW_SCHED_LOCK_RELEASED(this, "spinlock.unlock");
   }
 
  private:

@@ -67,7 +67,9 @@ void ScheduleController::BindCurrentThread(uint64_t index) {
   tls.epoch = 0;  // force a reseed at the next point
 }
 
-void ScheduleController::Perturb(const char* /*point*/) {
+uint64_t ScheduleController::CurrentThreadIndex() { return tls.index; }
+
+void ScheduleController::Perturb(const char* /*point*/, const void* /*obj*/) {
   points_observed_.fetch_add(1, std::memory_order_relaxed);
   if (tls.epoch != epoch_) {
     if (tls.index == ThreadState::kUnbound) {
@@ -109,6 +111,29 @@ void ScheduleController::Perturb(const char* /*point*/) {
     (void)sink;
   }
 }
+
+// Seeded-random mode ignores lock transitions, guarded accesses, and the
+// condvar bridge: real locks and real condition variables do the work. The
+// model checker's cooperative scheduler overrides all of these.
+void ScheduleController::LockWillAcquire(const void* /*lock*/,
+                                         const char* /*point*/) {}
+void ScheduleController::LockAcquired(const void* /*lock*/,
+                                      const char* /*point*/) {}
+void ScheduleController::LockTryFailed(const void* /*lock*/,
+                                       const char* /*point*/) {}
+void ScheduleController::LockReleased(const void* /*lock*/,
+                                      const char* /*point*/) {}
+
+void ScheduleController::Yield(const char* /*point*/) {
+  std::this_thread::yield();
+}
+
+void ScheduleController::Access(const void* /*obj*/, const char* /*point*/,
+                                bool /*is_write*/) {}
+
+bool ScheduleController::PrepareWait(const void* /*cv*/) { return false; }
+bool ScheduleController::CommitWait(const void* /*cv*/) { return true; }
+void ScheduleController::NotifyAll(const void* /*cv*/) {}
 
 }  // namespace testing
 }  // namespace bpw

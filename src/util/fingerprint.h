@@ -1,0 +1,39 @@
+// Order-sensitive and order-insensitive 64-bit fingerprint accumulators,
+// used by the model checker's visited-state dedup (BufferPool / Coordinator /
+// ReplacementPolicy StateFingerprint implementations). Not cryptographic;
+// collisions only cost a wrongly-pruned subtree in exploration, and the
+// mixing below makes them astronomically unlikely at model-checking scales
+// (thousands of states).
+#pragma once
+
+#include <cstdint>
+
+namespace bpw {
+
+/// SplitMix64 finalizer: full-avalanche 64-bit mixing.
+inline uint64_t MixFingerprint(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Sequence-sensitive accumulator: Combine(a) then Combine(b) differs from
+/// the reverse order.
+class Fingerprint {
+ public:
+  void Combine(uint64_t value) {
+    hash_ = MixFingerprint(hash_ ^ MixFingerprint(value));
+  }
+  /// For members whose iteration order is unspecified (unordered containers):
+  /// XOR of mixed element hashes is order-independent.
+  void CombineUnordered(uint64_t value) { unordered_ ^= MixFingerprint(value); }
+
+  uint64_t value() const { return MixFingerprint(hash_ ^ unordered_); }
+
+ private:
+  uint64_t hash_ = 0x6A09E667F3BCC909ULL;
+  uint64_t unordered_ = 0;
+};
+
+}  // namespace bpw

@@ -226,6 +226,131 @@ void Commit() {
   EXPECT_TRUE(findings.empty()) << Dump(findings);
 }
 
+TEST(LintTest, RawMutexIsFlaggedInLibraryCode) {
+  const char* src = R"cpp(
+class Pool {
+  std::mutex mu_;
+  std::condition_variable_any cv_;
+};
+void Wait(std::unique_lock<std::mutex>& lk);
+)cpp";
+  auto findings = LintSource("src/buffer/pool.h", src);
+  ASSERT_EQ(findings.size(), 2u) << Dump(findings);
+  EXPECT_EQ(findings[0].rule, "raw-mutex");
+  EXPECT_EQ(findings[0].line, 3) << "condition_variable_any is allowed "
+                                    "(it waits on the annotated Mutex)";
+  EXPECT_EQ(findings[1].line, 6);
+}
+
+TEST(LintTest, RawMutexIsScopedToSrcOutsideSync) {
+  const char* src = R"cpp(
+std::mutex mu_;
+)cpp";
+  EXPECT_TRUE(LintSource("src/sync/mutex.h", src).empty())
+      << "the wrappers themselves live in src/sync/";
+  EXPECT_TRUE(LintSource("tests/foo_test.cc", src).empty());
+  EXPECT_TRUE(LintSource("tools/bpw_run.cc", src).empty());
+  EXPECT_FALSE(LintSource("src/mc/sched.h", src).empty());
+  EXPECT_FALSE(LintSource("/abs/path/src/core/x.cc", src).empty());
+  EXPECT_TRUE(LintSource("mysrc/core/x.cc", src).empty())
+      << "\"src/\" must match a whole path component";
+}
+
+TEST(LintTest, FileLevelAllowSuppressesEverywhereInTheFile) {
+  const char* src = R"cpp(
+// The monitor must not re-enter the instrumented wrappers.
+// bpw-lint-allow-file(raw-mutex)
+class Sched {
+  std::mutex mu_;
+};
+std::unique_lock<std::mutex> Lk();
+)cpp";
+  auto findings = LintSource("src/mc/sched.h", src);
+  EXPECT_TRUE(findings.empty()) << Dump(findings);
+}
+
+TEST(LintTest, FileLevelAllowOnlySilencesTheNamedRule) {
+  const char* src = R"cpp(
+// bpw-lint-allow-file(raw-mutex)
+void CommitLocked() {
+  std::mutex mu;
+  scratch_.push_back(1);
+}
+)cpp";
+  auto findings = LintSource("src/core/x.cc", src);
+  ASSERT_EQ(findings.size(), 1u) << Dump(findings);
+  EXPECT_EQ(findings[0].rule, "critical-section-alloc");
+}
+
+TEST(LintTest, LockWithoutSchedulePointIsFlagged) {
+  const char* src = R"cpp(
+void Coordinator::OnHit(AccessQueue& queue) {
+  if (lock_.TryLock()) {
+    ContentionLockAdoptGuard guard(lock_);
+    CommitLocked(queue);
+    return;
+  }
+  ContentionLockGuard guard(lock_);
+  CommitLocked(queue);
+}
+)cpp";
+  auto findings = LintSource("src/core/coordinator.cc", src);
+  ASSERT_EQ(findings.size(), 1u) << Dump(findings);
+  EXPECT_EQ(findings[0].rule, "lock-no-schedule-point");
+  EXPECT_EQ(findings[0].line, 3);
+}
+
+TEST(LintTest, AnyScheduleMarkerSatisfiesTheLockRule) {
+  const char* with_point = R"cpp(
+void OnHit(AccessQueue& queue) {
+  BPW_SCHEDULE_POINT("hit.before_trylock");
+  if (lock_.TryLock()) {
+    ContentionLockAdoptGuard guard(lock_);
+    CommitLocked(queue);
+    return;
+  }
+  ContentionLockGuard guard(lock_);
+  CommitLocked(queue);
+}
+)cpp";
+  const char* with_access = R"cpp(
+void Drain() {
+  lock_.Lock();
+  BPW_MC_ACCESS_WRITE("queue", &queue_);
+  lock_.Unlock();
+}
+)cpp";
+  EXPECT_FALSE(Has(LintSource("src/core/a.cc", with_point),
+                   "lock-no-schedule-point"));
+  EXPECT_FALSE(Has(LintSource("src/core/b.cc", with_access),
+                   "lock-no-schedule-point"));
+}
+
+TEST(LintTest, LockRuleIsScopedAndSuppressible) {
+  const char* src = R"cpp(
+void Drain() {
+  lock_.Lock();
+  Replay();
+  lock_.Unlock();
+}
+)cpp";
+  EXPECT_TRUE(Has(LintSource("src/core/c.cc", src), "lock-no-schedule-point"));
+  EXPECT_FALSE(Has(LintSource("src/sync/c.cc", src),
+                   "lock-no-schedule-point"));
+  EXPECT_FALSE(Has(LintSource("tools/c.cc", src), "lock-no-schedule-point"));
+  const char* allowed = R"cpp(
+void Drain() {
+  // startup path, runs before any worker exists
+  // bpw-lint-allow(lock-no-schedule-point)
+  lock_.Lock();
+  Replay();
+  lock_.Unlock();
+}
+)cpp";
+  EXPECT_FALSE(Has(LintSource("src/core/c.cc", allowed),
+                   "lock-no-schedule-point"));
+}
+
 TEST(LintTest, FormatFindingIsStable) {
   Finding f{"a.cc", 12, "critical-section-alloc", "msg"};
   EXPECT_EQ(FormatFinding(f), "a.cc:12: [critical-section-alloc] msg");

@@ -1,0 +1,65 @@
+// NEGATIVE-COMPILE CASE
+// Seeded violation: ContentionLockAdoptGuard adopted on paths that do not
+// hold the lock. Two shapes of the same bug:
+//   1. adopting on the *failed* TryLock() branch — the guard's destructor
+//      will Unlock() a lock this thread never acquired;
+//   2. adopting twice after one successful TryLock() — the second guard's
+//      destructor releases a lock the first already released.
+// The adopt guard's constructor is BPW_REQUIRES(lock), so under
+// -Wthread-safety case 1 is "calling function 'ContentionLockAdoptGuard'
+// requires holding mutex 'lock_' exclusively" and case 2 trips "releasing
+// mutex 'lock_' that was not held" when the scope unwinds. Without the
+// flag both are valid C++ — which is exactly why the annotation has to be
+// load-bearing.
+#include <cstdint>
+
+#include "sync/contention_lock.h"
+#include "util/thread_annotations.h"
+
+namespace bpw {
+
+class Committer {
+ public:
+  // VIOLATION 1: TryLock() failed, yet the else branch adopts the lock.
+  void CommitWrongBranch() {
+    if (lock_.TryLock()) {
+      ContentionLockAdoptGuard guard(lock_);
+      pending_ = 0;
+      return;
+    }
+    ContentionLockAdoptGuard guard(lock_);  // not held on this path
+    pending_ = 0;
+  }
+
+  // VIOLATION 2: one successful TryLock(), two adoptions — double release.
+  void CommitDoubleAdopt() {
+    if (lock_.TryLock()) {
+      ContentionLockAdoptGuard first(lock_);
+      ContentionLockAdoptGuard second(lock_);
+      pending_ = 0;
+    }
+  }
+
+  void CommitProperly() {
+    if (lock_.TryLock()) {
+      ContentionLockAdoptGuard guard(lock_);
+      pending_ = 0;
+      return;
+    }
+    ContentionLockGuard guard(lock_);
+    pending_ = 0;
+  }
+
+ private:
+  ContentionLock lock_;
+  uint64_t pending_ BPW_GUARDED_BY(lock_) = 0;
+};
+
+void Drive() {
+  Committer committer;
+  committer.CommitWrongBranch();
+  committer.CommitDoubleAdopt();
+  committer.CommitProperly();
+}
+
+}  // namespace bpw

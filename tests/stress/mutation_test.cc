@@ -23,6 +23,17 @@
 namespace bpw {
 namespace {
 
+// The two perturbation-driven mutation tests need schedule points; the
+// single-threaded equivalence mutation below runs either way.
+#if !BPW_SCHEDULE_POINTS
+
+TEST(MutationTest, RequiresSchedulePoints) {
+  GTEST_SKIP() << "perturbation-driven mutation tests require schedule "
+                  "points; this build has -DBPW_SCHEDULE_POINTS=0";
+}
+
+#else
+
 stress::StressOptions MutationStressOptions(uint64_t seed) {
   stress::StressOptions options;
   options.seed = seed;
@@ -78,6 +89,8 @@ TEST(MutationTest, UnmutatedControlRunPasses) {
       MutationStressOptions(101));
   EXPECT_TRUE(result.ok) << result.failure;
 }
+
+#endif  // BPW_SCHEDULE_POINTS
 
 // Single-threaded hit/miss sequence of a buffer pool, for the equivalence
 // mutation below.

@@ -17,16 +17,27 @@
 
 namespace {
 
+#if BPW_SCHEDULE_POINTS
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
   const std::string prefix = std::string("--") + name + "=";
   if (std::strncmp(arg, prefix.c_str(), prefix.size()) != 0) return false;
   *out = arg + prefix.size();
   return true;
 }
+#endif  // BPW_SCHEDULE_POINTS
 
 }  // namespace
 
 int main(int argc, char** argv) {
+#if !BPW_SCHEDULE_POINTS
+  (void)argc;
+  (void)argv;
+  std::printf(
+      "stress_main: this build has schedule points compiled out "
+      "(-DBPW_SCHEDULE_POINTS=0); schedule perturbation needs them. "
+      "Skipping.\n");
+  return 0;
+#else
   uint64_t seed = 1;
   int threads = 4;
   int ops = 15000;
@@ -121,4 +132,5 @@ int main(int argc, char** argv) {
     return 2;
   }
   return 0;
+#endif  // BPW_SCHEDULE_POINTS
 }

@@ -11,6 +11,15 @@ namespace bpw {
 namespace stress {
 namespace {
 
+#if !BPW_SCHEDULE_POINTS
+
+TEST(StressHarnessTest, RequiresSchedulePoints) {
+  GTEST_SKIP() << "stress harness requires schedule points; this build has "
+                  "-DBPW_SCHEDULE_POINTS=0";
+}
+
+#else
+
 StressOptions QuickOptions(uint64_t seed) {
   StressOptions options;
   options.seed = seed;
@@ -97,6 +106,8 @@ TEST(StressHarnessTest, FailureMessageCarriesSeed) {
   EXPECT_NE(result.failure.find("--seed=16"), std::string::npos)
       << result.failure;
 }
+
+#endif  // BPW_SCHEDULE_POINTS
 
 }  // namespace
 }  // namespace stress

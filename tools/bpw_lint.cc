@@ -101,6 +101,51 @@ void Broken() {
   expect(saw_unchecked, "discarded TryLock() must be flagged");
   expect(saw_no_fallback, "TryLock() without fallback must be flagged");
 
+  // Raw std::mutex in library code: flagged under src/, exempt in
+  // src/sync/ and outside src/ entirely.
+  const char* kRawMutex = R"cpp(
+class Pool {
+  std::mutex mu_;
+};
+)cpp";
+  f = LintSource("src/buffer/pool.h", kRawMutex);
+  expect(f.size() == 1 && f[0].rule == "raw-mutex",
+         "raw std::mutex under src/ must be flagged");
+  f = LintSource("src/sync/mutex.h", kRawMutex);
+  expect(f.empty(), "src/sync/ may use raw std::mutex");
+  f = LintSource("tools/helper.h", kRawMutex);
+  expect(f.empty(), "raw-mutex only applies to src/");
+
+  // Lock()/TryLock() with no schedule point in the enclosing function.
+  const char* kBlindLock = R"cpp(
+void Coordinator::Drain() {
+  ContentionLockGuard guard(lock_);
+  lock_.Lock();
+  Replay();
+  lock_.Unlock();
+}
+)cpp";
+  f = LintSource("src/core/coordinator.cc", kBlindLock);
+  bool saw_blind = false;
+  for (const Finding& finding : f) {
+    saw_blind |= finding.rule == "lock-no-schedule-point";
+  }
+  expect(saw_blind, "Lock() without a schedule point must be flagged");
+  const char* kCoveredLock = R"cpp(
+void Coordinator::Drain(AccessQueue& queue) {
+  BPW_SCHEDULE_POINT("drain.before_trylock");
+  if (lock_.TryLock()) {
+    ContentionLockAdoptGuard guard(lock_);
+    CommitLocked(queue);
+    return;
+  }
+  ContentionLockGuard guard(lock_);
+  CommitLocked(queue);
+}
+)cpp";
+  f = LintSource("src/core/coordinator.cc", kCoveredLock);
+  expect(f.empty(), "a schedule point in the function satisfies the rule");
+
   if (failures == 0) std::printf("bpw_lint self-test: all checks passed\n");
   return failures == 0 ? 0 : 1;
 }

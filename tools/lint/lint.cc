@@ -20,11 +20,14 @@ struct CleanSource {
   // allow[i] holds the rule names suppressed on line i+1 (from a comment on
   // that line or the line above).
   std::vector<std::vector<std::string>> allow;
+  // Rules suppressed for the whole file via bpw-lint-allow-file(rule).
+  std::vector<std::string> file_allow;
 };
 
 void CollectAllows(const std::string& comment_text, int line_index,
                    CleanSource* out) {
   static const std::regex kAllow(R"(bpw-lint-allow\(([a-z\-]+)\))");
+  static const std::regex kAllowFile(R"(bpw-lint-allow-file\(([a-z\-]+)\))");
   auto begin = std::sregex_iterator(comment_text.begin(), comment_text.end(),
                                     kAllow);
   for (auto it = begin; it != std::sregex_iterator(); ++it) {
@@ -33,6 +36,11 @@ void CollectAllows(const std::string& comment_text, int line_index,
     if (line_index + 1 < static_cast<int>(out->allow.size())) {
       out->allow[line_index + 1].push_back(rule);
     }
+  }
+  begin = std::sregex_iterator(comment_text.begin(), comment_text.end(),
+                               kAllowFile);
+  for (auto it = begin; it != std::sregex_iterator(); ++it) {
+    out->file_allow.push_back((*it)[1].str());
   }
 }
 
@@ -182,6 +190,8 @@ struct Scope {
   std::string name;
   bool has_fallback = false;  // blocking Lock() or ContentionLockGuard seen
   std::vector<int> trylock_lines;
+  bool has_schedule_point = false;  // any BPW_SCHEDULE_* / BPW_MC_* marker
+  std::vector<int> lock_call_lines;
 };
 
 bool MatchesAny(const std::string& line, const std::regex& re) {
@@ -191,6 +201,21 @@ bool MatchesAny(const std::string& line, const std::regex& re) {
 bool Allowed(const CleanSource& src, int line_index, const std::string& rule) {
   for (const std::string& r : src.allow[line_index]) {
     if (r == rule) return true;
+  }
+  for (const std::string& r : src.file_allow) {
+    if (r == rule) return true;
+  }
+  return false;
+}
+
+/// True if `path` contains directory component(s) `dir` ("src/",
+/// "src/sync/"), anchored at the start or at a '/' so "mysrc/" never
+/// matches.
+bool PathInDir(const std::string& path, const std::string& dir) {
+  size_t pos = path.find(dir);
+  while (pos != std::string::npos) {
+    if (pos == 0 || path[pos - 1] == '/') return true;
+    pos = path.find(dir, pos + 1);
   }
   return false;
 }
@@ -224,6 +249,16 @@ std::vector<Finding> LintSource(const std::string& path,
   static const std::regex kTypeKw(R"(\b(class|struct|enum|union)\s+\w)");
   static const std::regex kNamespaceKw(R"(\bnamespace\b)");
   static const std::regex kLambdaIntro(R"(\[[^\]]*\]\s*\()");
+  static const std::regex kRawMutex(
+      R"(\bstd\s*::\s*(mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|shared_mutex|shared_timed_mutex|lock_guard|unique_lock|scoped_lock)\b)");
+  static const std::regex kLockCall(R"((\.|->)\s*(Lock|TryLock)\s*\()");
+  static const std::regex kSchedulePoint(
+      R"(\bBPW_(SCHEDULE_POINT(_OBJ)?|SCHEDULE_YIELD|MC_ACCESS_(READ|WRITE))\s*\()");
+
+  // The two path-scoped rules apply to library code only: everything under
+  // src/ except src/sync/ (the annotated wrappers and the instrumentation
+  // they carry are exactly what the rules push callers toward).
+  const bool lib_code = PathInDir(path, "src/") && !PathInDir(path, "src/sync/");
 
   std::vector<Scope> stack;
   stack.push_back(Scope{ScopeKind::kNamespace, false, "", "", false, {}});
@@ -282,6 +317,21 @@ std::vector<Finding> LintSource(const std::string& path,
     if (MatchesAny(line, kBlockingLock) || MatchesAny(line, kGuardDecl)) {
       if (Scope* fn = enclosing_function()) fn->has_fallback = true;
     }
+    if (lib_code && MatchesAny(line, kRawMutex)) {
+      report(li, "raw-mutex",
+             "raw std::mutex/lock types outside src/sync/; use bpw::Mutex, "
+             "SpinLock or ContentionLock (annotated and schedule-point "
+             "instrumented)");
+    }
+    if (lib_code) {
+      if (Scope* fn = enclosing_function()) {
+        if (MatchesAny(line, kSchedulePoint)) fn->has_schedule_point = true;
+        if (MatchesAny(line, kLockCall) &&
+            !Allowed(src, li, "lock-no-schedule-point")) {
+          fn->lock_call_lines.push_back(li);
+        }
+      }
+    }
 
     // ---- Scope / CS-state updates, character by character.
     for (size_t ci = 0; ci < line.size(); ++ci) {
@@ -327,6 +377,16 @@ std::vector<Finding> LintSource(const std::string& path,
                      "function '" + closing.name +
                          "' TryLock()s but has no bounded blocking fallback "
                          "(Lock() or ContentionLockGuard)");
+            }
+          }
+          if (closing.kind == ScopeKind::kFunction &&
+              !closing.has_schedule_point) {
+            for (int ll : closing.lock_call_lines) {
+              report(ll, "lock-no-schedule-point",
+                     "function '" + closing.name +
+                         "' takes Lock()/TryLock() but declares no "
+                         "BPW_SCHEDULE_POINT; the model checker and stress "
+                         "scheduler get no decision point here");
             }
           }
           stack.pop_back();

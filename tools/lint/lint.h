@@ -26,6 +26,21 @@
 //                                   have a bounded blocking fallback
 //                                   (Lock() or a ContentionLockGuard),
 //                                   Fig. 4's queue-full path
+//   raw-mutex                       no raw std::mutex / std::lock_guard /
+//                                   std::unique_lock (and friends) in
+//                                   library code outside src/sync/ — the
+//                                   annotated, schedule-point-instrumented
+//                                   wrappers exist so the thread-safety
+//                                   analysis and the model checker see
+//                                   every lock; a raw mutex is invisible
+//                                   to both
+//   lock-no-schedule-point          a src/ function (outside src/sync/)
+//                                   that calls Lock()/TryLock() must carry
+//                                   a BPW_SCHEDULE_POINT (or another
+//                                   BPW_SCHEDULE_* / BPW_MC_* marker): a
+//                                   lock acquisition with no decision
+//                                   point is a blind spot for both the
+//                                   model checker and the stress scheduler
 //
 // What counts as a critical section (heuristics, by design — this is a
 // regex-class tool, not a compiler):
@@ -36,8 +51,11 @@
 //     convention for "caller holds the lock", e.g. CommitLocked).
 //
 // Suppression: a `// bpw-lint-allow(rule-name)` comment on the same line
-// or the line directly above silences that rule there. Every allow should
-// carry a justification comment.
+// or the line directly above silences that rule there; a
+// `// bpw-lint-allow-file(rule-name)` comment anywhere in the file
+// silences the rule for the whole file (for the rare translation unit
+// whose exemption is structural, e.g. the model checker's own monitor).
+// Every allow should carry a justification comment.
 #pragma once
 
 #include <string>
