@@ -2,6 +2,7 @@
 
 #include <thread>
 
+#include "obs/contention_profiler.h"
 #include "obs/trace_recorder.h"
 #include "testing/schedule_point.h"
 #include "util/clock.h"
@@ -66,6 +67,14 @@ BufferPool::BufferPool(const BufferPoolConfig& config, StorageEngine* storage,
     }
   }
   coordinator_->BindFrameTags(frame_tags_.data(), frame_tags_.size());
+
+  free_lock_.BindProfSite(BPW_PROF_SITE("pool.free_list"));
+  // One site for every frame latch: per-frame attribution would be noise,
+  // the interesting number is the latch layer's aggregate cost.
+  const obs::ProfSiteId latch_site = BPW_PROF_SITE("pool.frame_latch");
+  for (auto& meta : frames_) {
+    meta.latch.BindProfSite(latch_site);
+  }
 
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
   metric_hits_ = registry.GetCounter("buffer.hits");
@@ -188,6 +197,7 @@ StatusOr<FrameId> BufferPool::AcquireFrame(Session& session,
       }
     }
 
+    BPW_PROF_PHASE("evict");
     BPW_SCHEDULE_POINT("pool.evict_select");
     auto victim_or = coordinator_->ChooseVictim(session.slot_.get(),
                                                 evictable, incoming);
@@ -239,6 +249,7 @@ StatusOr<FrameId> BufferPool::AcquireFrame(Session& session,
       // The mapping stays in the table during write-back: concurrent
       // fetches of the victim keep failing TryPin (io_busy) instead of
       // re-reading a stale version from storage mid-write.
+      BPW_PROF_PHASE("writeback");
       BPW_SCHEDULE_POINT("pool.evict_writeback");
       Status status = storage_->WritePage(victim.page, FrameData(victim.frame));
       if (!status.ok()) {
@@ -304,6 +315,10 @@ StatusOr<PageHandle> BufferPool::FetchPage(Session& session, PageId page) {
     // Miss. Single-flight: only one thread loads a given page.
     if (!BeginLoad(page)) continue;  // someone else loaded it; retry lookup
 
+    // Phase scope for the whole miss resolution; eviction, write-back and
+    // the storage read nest under it in the contention report.
+    BPW_PROF_PHASE("pool.miss");
+
     // Re-check under load ownership (the page may have been published
     // between the lookup and BeginLoad).
     if (table_.Lookup(page) != kInvalidFrameId) {
@@ -319,7 +334,10 @@ StatusOr<PageHandle> BufferPool::FetchPage(Session& session, PageId page) {
     const FrameId new_frame = frame_or.value();
 
     BPW_SCHEDULE_POINT("pool.miss_read");
-    Status status = storage_->ReadPage(page, FrameData(new_frame));
+    Status status = [&] {
+      BPW_PROF_PHASE("io_read");
+      return storage_->ReadPage(page, FrameData(new_frame));
+    }();
     if (!status.ok()) {
       {
         SpinLockGuard guard(free_lock_);

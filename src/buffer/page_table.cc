@@ -2,6 +2,8 @@
 
 #include <bit>
 
+#include "obs/contention_profiler.h"
+
 namespace bpw {
 
 PageTable::PageTable(size_t num_shards) {
@@ -9,6 +11,12 @@ PageTable::PageTable(size_t num_shards) {
   num_shards = std::bit_ceil(num_shards);
   shards_ = std::vector<CacheAligned<Shard>>(num_shards);
   shard_mask_ = num_shards - 1;
+  // All shard locks share one profiler site: the report answers "how much
+  // does the hash table cost", not "which of 128 buckets was unlucky".
+  const obs::ProfSiteId site = BPW_PROF_SITE("page_table.shard");
+  for (auto& aligned : shards_) {
+    aligned->lock.BindProfSite(site);
+  }
 }
 
 FrameId PageTable::Lookup(PageId page) const {

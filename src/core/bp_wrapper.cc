@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "obs/contention_profiler.h"
 #include "obs/trace_recorder.h"
 #include "sync/prefetch.h"
 #include "testing/schedule_point.h"
@@ -33,6 +34,9 @@ BpWrapperCoordinator::BpWrapperCoordinator(
   if (options_.batch_threshold > options_.queue_size) {
     options_.batch_threshold = options_.queue_size;
   }
+  // Every BpWrapperCoordinator instance aggregates into the same profiler
+  // row — the report cares about the lock's role, not the instance.
+  lock_.BindProfSite(BPW_PROF_SITE("bpw.policy_lock"));
 }
 
 BpWrapperCoordinator::~BpWrapperCoordinator() {
@@ -75,6 +79,12 @@ void BpWrapperCoordinator::PrefetchForCommit(const AccessQueue& queue) const {
 void BpWrapperCoordinator::CommitLocked(AccessQueue& queue) {
   // REQUIRES(lock_): the commit lock is what serializes policy access.
   policy_->AssertExclusiveAccess();
+  // Phase breakdown of the critical section: "commit" wraps the whole
+  // thing, "replay" is the policy-update replay of the queue, and
+  // "bookkeeping" the post-commit counter/trace work. The upcoming
+  // early-release work needs exactly this split to show which nanoseconds
+  // it moved out of the lock.
+  BPW_PROF_PHASE("commit");
   const bool trace = obs::TraceEnabled();
   // Clock reads under the lock are normally forbidden (they stretch the
   // critical section); these two run only when tracing is on, and the span
@@ -83,19 +93,23 @@ void BpWrapperCoordinator::CommitLocked(AccessQueue& queue) {
   const uint64_t commit_start = trace ? NowNanos() : 0;
   uint64_t stale = 0;
   const size_t n = queue.size();
-  for (size_t i = 0; i < n; ++i) {
-    const AccessQueue::Entry& entry = queue[i];
-    // §IV-B: skip entries whose buffer page was invalidated or replaced
-    // between recording and committing.
-    if (!options_.test_skip_commit_revalidation &&
-        !TagStillValid(entry.page, entry.frame)) {
-      ++stale;
-      continue;
+  {
+    BPW_PROF_PHASE("replay");
+    for (size_t i = 0; i < n; ++i) {
+      const AccessQueue::Entry& entry = queue[i];
+      // §IV-B: skip entries whose buffer page was invalidated or replaced
+      // between recording and committing.
+      if (!options_.test_skip_commit_revalidation &&
+          !TagStillValid(entry.page, entry.frame)) {
+        ++stale;
+        continue;
+      }
+      policy_->OnHit(entry.page, entry.frame);
     }
-    policy_->OnHit(entry.page, entry.frame);
+    queue.Clear();
   }
-  queue.Clear();
   if (n > 0) {
+    BPW_PROF_PHASE("bookkeeping");
     commit_batches_.fetch_add(1, std::memory_order_relaxed);
     committed_entries_.fetch_add(n - stale, std::memory_order_relaxed);
     if (stale > 0) {
@@ -148,6 +162,7 @@ StatusOr<Coordinator::Victim> BpWrapperCoordinator::ChooseVictim(
   if (options_.prefetch) PrefetchForCommit(slot->queue);
   ContentionLockGuard guard(lock_);
   policy_->AssertExclusiveAccess();
+  BPW_PROF_PHASE("choose_victim");
   // A miss commits the pending accesses first so the policy decides with
   // the freshest history (Fig. 4, replacement_for_page_miss).
   if (!options_.test_skip_commit_before_victim) CommitLocked(slot->queue);

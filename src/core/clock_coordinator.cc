@@ -1,5 +1,6 @@
 #include "core/clock_coordinator.h"
 
+#include "obs/contention_profiler.h"
 #include "testing/schedule_point.h"
 
 namespace bpw {
@@ -21,7 +22,9 @@ ClockCoordinator::ClockCoordinator(std::unique_ptr<ClockPolicy> policy,
       metrics_source_(&obs::MetricsRegistry::Default(),
                       [this](obs::MetricsSnapshot& snap) {
                         AppendLockMetrics(snap, lock_.stats());
-                      }) {}
+                      }) {
+  lock_.BindProfSite(BPW_PROF_SITE("clock.miss_lock"));
+}
 
 ClockCoordinator::ClockCoordinator(std::unique_ptr<GClockPolicy> policy,
                                    Options options)
@@ -31,7 +34,9 @@ ClockCoordinator::ClockCoordinator(std::unique_ptr<GClockPolicy> policy,
       metrics_source_(&obs::MetricsRegistry::Default(),
                       [this](obs::MetricsSnapshot& snap) {
                         AppendLockMetrics(snap, lock_.stats());
-                      }) {}
+                      }) {
+  lock_.BindProfSite(BPW_PROF_SITE("clock.miss_lock"));
+}
 
 std::unique_ptr<Coordinator::ThreadSlot> ClockCoordinator::RegisterThread() {
   return std::make_unique<Slot>();

@@ -1,5 +1,6 @@
 #include "core/serialized_coordinator.h"
 
+#include "obs/contention_profiler.h"
 #include "sync/prefetch.h"
 #include "testing/schedule_point.h"
 
@@ -13,7 +14,9 @@ SerializedCoordinator::SerializedCoordinator(
       metrics_source_(&obs::MetricsRegistry::Default(),
                       [this](obs::MetricsSnapshot& snap) {
                         AppendLockMetrics(snap, lock_.stats());
-                      }) {}
+                      }) {
+  lock_.BindProfSite(BPW_PROF_SITE("serialized.policy_lock"));
+}
 
 std::unique_ptr<Coordinator::ThreadSlot>
 SerializedCoordinator::RegisterThread() {

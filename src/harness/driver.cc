@@ -124,6 +124,12 @@ StatusOr<DriverResult> RunDriver(const DriverConfig& config) {
     sampler->Start();
   }
 
+  // Remember the profiler's prior state so a profiled run inside a larger
+  // process (benchmarks run many drivers back to back) doesn't leak its
+  // enablement into the next run.
+  const bool prof_was_enabled = obs::ProfilerEnabled();
+  if (config.profile_contention) obs::SetProfilerEnabled(true);
+
   std::atomic<int> phase{static_cast<int>(Phase::kWarmup)};
   std::vector<WorkerOutput> outputs(config.num_threads);
   std::vector<std::thread> workers;
@@ -139,6 +145,7 @@ StatusOr<DriverResult> RunDriver(const DriverConfig& config) {
   // snapshot and its registry increments vanish from the delta.
   if (count_mode) {
     metrics_before = registry.Snapshot();
+    if (config.profile_contention) obs::ResetProfiler();
     measure_start = NowNanos();
   }
   for (uint32_t t = 0; t < config.num_threads; ++t) {
@@ -153,6 +160,10 @@ StatusOr<DriverResult> RunDriver(const DriverConfig& config) {
     std::this_thread::sleep_for(std::chrono::milliseconds(config.warmup_ms));
     lock_before = pool.coordinator().lock_stats();
     metrics_before = registry.Snapshot();
+    // Zero the profiler at the same instant the lock counters are
+    // snapshotted: both then cover exactly the measurement window, which is
+    // what lets the report's totals be compared against LockStats.
+    if (config.profile_contention) obs::ResetProfiler();
     measure_start = NowNanos();
     phase.store(static_cast<int>(Phase::kMeasure),
                 std::memory_order_relaxed);
@@ -169,6 +180,14 @@ StatusOr<DriverResult> RunDriver(const DriverConfig& config) {
   if (sampler != nullptr) sampler->Stop();
 
   DriverResult result;
+  if (config.profile_contention) {
+    result.contention = obs::CollectProfSnapshot();
+    obs::SetProfilerEnabled(prof_was_enabled);
+  }
+  if (sampler != nullptr) {
+    result.sampler_overruns = sampler->overruns();
+    result.sampler_skipped_ticks = sampler->skipped_ticks();
+  }
   result.measure_seconds =
       static_cast<double>(measure_end - measure_start) / 1e9;
   for (const auto& out : outputs) {

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/coordinator_factory.h"
+#include "obs/contention_profiler.h"
 #include "obs/stats_sampler.h"
 #include "storage/storage_engine.h"
 #include "util/histogram.h"
@@ -61,6 +62,14 @@ struct DriverConfig {
   /// registry every N ms for the whole run (warm-up included) and the
   /// cumulative series lands in DriverResult::metrics_samples.
   uint64_t metrics_interval_ms = 0;
+
+  /// Enables the contention profiler for this run: accumulators reset at
+  /// the warm-up/measure transition (so warm-up noise is excluded, same as
+  /// the lock counters) and DriverResult::contention carries the
+  /// measurement-window snapshot. For Fig. 2-comparable wait/hold totals
+  /// the system config should also select LockInstrumentation::kTiming —
+  /// the profiler shares those clock reads. No-op under BPW_PROF=0 builds.
+  bool profile_contention = false;
 };
 
 struct DriverResult {
@@ -94,6 +103,18 @@ struct DriverResult {
   /// Cumulative sampler series (≥2 entries when metrics_interval_ms > 0:
   /// one at start, one per tick, one at stop).
   std::vector<obs::MetricsSnapshot> metrics_samples;
+
+  /// Per-site lock wait/hold attribution and commit-phase breakdown over
+  /// the measurement window. Empty unless config.profile_contention (and
+  /// always empty under BPW_PROF=0 builds, where no sites register).
+  obs::ProfSnapshot contention;
+
+  /// Sampler health (meaningful when metrics_interval_ms > 0): ticks whose
+  /// snapshot outran the sampling interval, and the whole periods those
+  /// over-long ticks swallowed. Nonzero means metrics_samples
+  /// under-represents the run.
+  uint64_t sampler_overruns = 0;
+  uint64_t sampler_skipped_ticks = 0;
 };
 
 /// Runs the experiment described by `config`. Creates storage, pool,

@@ -1,0 +1,203 @@
+#include "obs/profile_export.h"
+
+#include <cstdio>
+#include <string>
+
+#include "bench/json_reader.h"
+#include "obs/json.h"
+
+namespace bpw {
+namespace obs {
+
+namespace {
+
+void AppendHistJson(std::string* out, const char* name,
+                    const Histogram& hist) {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "\"%s\":{\"count\":%llu,\"mean\":%.1f,\"p50\":%.0f,"
+                "\"p95\":%.0f,\"p99\":%.0f,\"max\":%llu",
+                name, static_cast<unsigned long long>(hist.count()),
+                hist.Mean(), hist.Percentile(50), hist.Percentile(95),
+                hist.Percentile(99),
+                static_cast<unsigned long long>(hist.max()));
+  *out += buf;
+  // Sparse [bucket_low, count] pairs: the exact distribution, so a reader
+  // can rebuild the histogram rather than trust pre-computed percentiles.
+  *out += ",\"buckets\":[";
+  bool first = true;
+  for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+    const uint64_t n = hist.BucketCount(b);
+    if (n == 0) continue;
+    if (!first) *out += ',';
+    first = false;
+    std::snprintf(buf, sizeof(buf), "[%llu,%llu]",
+                  static_cast<unsigned long long>(Histogram::BucketLow(b)),
+                  static_cast<unsigned long long>(n));
+    *out += buf;
+  }
+  *out += "]}";
+}
+
+void AppendFoldedLine(std::string* out, const std::string& stack,
+                      uint64_t weight) {
+  if (weight == 0) return;
+  *out += stack;
+  *out += ' ';
+  *out += std::to_string(weight);
+  *out += '\n';
+}
+
+}  // namespace
+
+std::string ProfSnapshotToJson(const ProfSnapshot& snapshot) {
+  std::string out = "{\"total_lock_nanos\":";
+  out += std::to_string(snapshot.TotalLockNanos());
+  out += ",\"sites\":[";
+  bool first = true;
+  char buf[256];
+  for (const ProfSiteSnapshot& site : snapshot.sites) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"label\":";
+    out += JsonString(site.label);
+    out += ",\"kind\":";
+    out += site.kind == ProfSiteKind::kLock ? "\"lock\"" : "\"phase\"";
+    out += ",\"file\":";
+    out += JsonString(site.file);
+    std::snprintf(
+        buf, sizeof(buf),
+        ",\"line\":%d,\"depth\":%d,\"uncontended\":%llu,"
+        "\"contended\":%llu,\"wait_nanos\":%llu,\"hold_nanos\":%llu,"
+        "\"max_waiters\":%llu,",
+        site.line, site.depth,
+        static_cast<unsigned long long>(site.uncontended),
+        static_cast<unsigned long long>(site.contended),
+        static_cast<unsigned long long>(site.wait_nanos),
+        static_cast<unsigned long long>(site.hold_nanos),
+        static_cast<unsigned long long>(site.max_waiters));
+    out += buf;
+    AppendHistJson(&out, "wait", site.wait_hist);
+    out += ',';
+    AppendHistJson(&out, "hold", site.hold_hist);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+namespace {
+
+uint64_t U64Or(const bench::JsonValue& obj, const std::string& key) {
+  return static_cast<uint64_t>(obj.NumberOr(key, 0));
+}
+
+void HistFromJson(const bench::JsonValue& site, const char* name,
+                  Histogram* hist) {
+  const bench::JsonValue* h = site.Find(name);
+  if (h == nullptr) return;
+  const bench::JsonValue* buckets = h->Find("buckets");
+  if (buckets == nullptr || !buckets->is_array()) return;
+  for (const bench::JsonValue& pair : buckets->array) {
+    if (!pair.is_array() || pair.array.size() != 2) continue;
+    hist->Add(static_cast<uint64_t>(pair.array[0].number_value),
+              static_cast<uint64_t>(pair.array[1].number_value));
+  }
+}
+
+}  // namespace
+
+StatusOr<ProfSnapshot> ProfSnapshotFromJson(const std::string& text) {
+  StatusOr<bench::JsonValue> parsed = bench::ParseJson(text);
+  if (!parsed.ok()) return parsed.status();
+  const bench::JsonValue* root = &parsed.value();
+  // A full bpw_run --json document embeds the report under "contention".
+  if (root->Find("sites") == nullptr && root->Find("contention") != nullptr) {
+    root = root->Find("contention");
+  }
+  const bench::JsonValue* sites = root->Find("sites");
+  if (sites == nullptr || !sites->is_array()) {
+    return Status::InvalidArgument(
+        "not a contention report: no \"sites\" array (expected the JSON "
+        "from bpw_run --contention-report)");
+  }
+  ProfSnapshot snapshot;
+  snapshot.sites.reserve(sites->array.size());
+  for (const bench::JsonValue& s : sites->array) {
+    if (!s.is_object()) {
+      return Status::InvalidArgument("contention report: non-object site");
+    }
+    ProfSiteSnapshot row;
+    row.label = s.StringOr("label", "?");
+    row.file = s.StringOr("file", "");
+    row.line = static_cast<int>(s.NumberOr("line", 0));
+    row.kind = s.StringOr("kind", "lock") == "phase" ? ProfSiteKind::kPhase
+                                                     : ProfSiteKind::kLock;
+    row.depth = static_cast<int>(s.NumberOr("depth", 0));
+    row.uncontended = U64Or(s, "uncontended");
+    row.contended = U64Or(s, "contended");
+    row.wait_nanos = U64Or(s, "wait_nanos");
+    row.hold_nanos = U64Or(s, "hold_nanos");
+    row.max_waiters = U64Or(s, "max_waiters");
+    HistFromJson(s, "wait", &row.wait_hist);
+    HistFromJson(s, "hold", &row.hold_hist);
+    snapshot.sites.push_back(std::move(row));
+  }
+  return snapshot;
+}
+
+std::string ProfSnapshotToTable(const ProfSnapshot& snapshot) {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%-40s %10s %10s %14s %14s %10s %10s %6s\n",
+                "site", "events", "contended", "wait_ns", "hold_ns",
+                "wait_p95", "hold_p95", "maxw");
+  out += buf;
+  for (const ProfSiteSnapshot& site : snapshot.sites) {
+    if (site.events() == 0) continue;
+    // Phase rows indent by depth so the commit-phase tree reads as one.
+    std::string label(static_cast<size_t>(site.depth) * 2, ' ');
+    label += site.label;
+    const char* mark = site.kind == ProfSiteKind::kLock ? "L" : "P";
+    std::snprintf(
+        buf, sizeof(buf),
+        "%-40s %10llu %10llu %14llu %14llu %10.0f %10.0f %6llu %s\n",
+        label.c_str(), static_cast<unsigned long long>(site.events()),
+        static_cast<unsigned long long>(site.contended),
+        static_cast<unsigned long long>(site.wait_nanos),
+        static_cast<unsigned long long>(site.hold_nanos),
+        site.wait_hist.Percentile(95), site.hold_hist.Percentile(95),
+        static_cast<unsigned long long>(site.max_waiters), mark);
+    out += buf;
+  }
+  return out;
+}
+
+std::string ProfSnapshotToFolded(const ProfSnapshot& snapshot) {
+  std::string out;
+  for (const ProfSiteSnapshot& site : snapshot.sites) {
+    if (site.kind == ProfSiteKind::kLock) {
+      AppendFoldedLine(&out, site.label + ";wait", site.wait_nanos);
+      AppendFoldedLine(&out, site.label + ";hold", site.hold_nanos);
+    } else {
+      // Exclusive time: nested phases are separate rows of this snapshot,
+      // so inclusive weights would double-count in the flame graph.
+      AppendFoldedLine(&out, site.label, site.hold_nanos);
+    }
+  }
+  return out;
+}
+
+bool WriteTextFile(const std::string& path, const std::string& content) {
+  if (path == "-") {
+    return std::fwrite(content.data(), 1, content.size(), stdout) ==
+           content.size();
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  return std::fclose(f) == 0 && written == content.size();
+}
+
+}  // namespace obs
+}  // namespace bpw

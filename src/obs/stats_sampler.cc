@@ -2,6 +2,10 @@
 
 #include <chrono>
 
+#include "obs/contention_profiler.h"
+#include "obs/trace_recorder.h"
+#include "util/clock.h"
+
 namespace bpw {
 namespace obs {
 
@@ -38,6 +42,14 @@ void StatsSampler::Stop() {
 
 MetricsSnapshot StatsSampler::SampleNow() {
   MetricsSnapshot snap = registry_->Snapshot();
+#if BPW_PROF
+  // Piggyback one contention-counter sample per tick into the trace stream:
+  // this is what turns the profiler's cumulative per-site totals into the
+  // wait_ns/hold_ns time series Perfetto plots alongside the span events.
+  if (TraceEnabled() && ProfilerEnabled()) {
+    EmitProfTraceCounters(NowNanos());
+  }
+#endif
   Append(snap);
   return snap;
 }
@@ -58,7 +70,18 @@ void StatsSampler::Loop() {
     mu_.unlock();
     // Snapshot without holding mu_: sources may do real work and SampleNow
     // re-takes mu_ only to append.
+    const uint64_t sample_start = NowNanos();
     SampleNow();
+    const uint64_t took = NowNanos() - sample_start;
+    // A snapshot that outruns its own interval means the series silently
+    // under-samples; count the overrun and how many whole periods it ate so
+    // bpw_run can surface the gap instead of presenting a lossless series.
+    const uint64_t interval_nanos = interval_ms_ * 1'000'000ull;
+    if (took > interval_nanos) {
+      overruns_.fetch_add(1, std::memory_order_relaxed);
+      skipped_ticks_.fetch_add(took / interval_nanos,
+                               std::memory_order_relaxed);
+    }
     mu_.lock();
   }
   mu_.unlock();

@@ -9,6 +9,7 @@
 // deterministic tests.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <string>
@@ -54,6 +55,20 @@ class StatsSampler {
   static std::vector<MetricsSnapshot> Deltas(
       const std::vector<MetricsSnapshot>& series);
 
+  /// Ticks where taking the snapshot itself ran longer than the sampling
+  /// interval. A nonzero value means the series under-samples: gaps in the
+  /// time axis are sampler lag, not workload behaviour — which is why
+  /// bpw_run surfaces these in its obs-health summary instead of letting
+  /// the data loss stay silent.
+  uint64_t overruns() const {
+    return overruns_.load(std::memory_order_relaxed);
+  }
+  /// Whole sampling periods covered by over-long snapshots — the number of
+  /// samples the series is missing relative to a perfectly paced sampler.
+  uint64_t skipped_ticks() const {
+    return skipped_ticks_.load(std::memory_order_relaxed);
+  }
+
  private:
   void Loop();
   void Append(MetricsSnapshot snap);
@@ -67,6 +82,8 @@ class StatsSampler {
   bool running_ BPW_GUARDED_BY(mu_) = false;
   std::thread thread_;  // Start/Stop discipline; never touched by Loop()
   std::vector<MetricsSnapshot> samples_ BPW_GUARDED_BY(mu_);
+  std::atomic<uint64_t> overruns_{0};
+  std::atomic<uint64_t> skipped_ticks_{0};
 };
 
 }  // namespace obs

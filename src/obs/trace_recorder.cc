@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "obs/contention_profiler.h"
 #include "obs/json.h"
 
 namespace bpw {
@@ -28,6 +29,13 @@ EventMeta MetaFor(TraceEventKind kind) {
       return {"lock.fallback", "lock", false, nullptr};
     case TraceEventKind::kEviction:
       return {"pool.evict", "buffer", false, "page"};
+    case TraceEventKind::kProfPhase:
+      // Name resolved per event from the path id; see ToChromeTrace.
+      return {"prof.phase", "prof", true, "path"};
+    case TraceEventKind::kProfCounterWait:
+    case TraceEventKind::kProfCounterHold:
+      // "C" counter events take a dedicated emission path.
+      return {"prof.counter", "prof", false, nullptr};
   }
   return {"unknown", "misc", false, nullptr};
 }
@@ -124,11 +132,18 @@ std::string TraceRecorder::ToChromeTrace() const {
   MutexGuard guard(mu_);
   char buf[256];
   for (const auto& tb : buffers_) {
+    // thread_name plus a stable thread_sort_index: thread ids are dense and
+    // assigned in spawn order, so sorting by tid keeps worker rows in a
+    // deterministic, human-sensible order in Perfetto instead of
+    // first-event order.
     std::snprintf(buf, sizeof(buf),
                   ",{\"ph\":\"M\",\"pid\":1,\"tid\":%u,"
                   "\"name\":\"thread_name\","
-                  "\"args\":{\"name\":\"worker-%u\"}}",
-                  tb->tid, tb->tid);
+                  "\"args\":{\"name\":\"worker-%u\"}}"
+                  ",{\"ph\":\"M\",\"pid\":1,\"tid\":%u,"
+                  "\"name\":\"thread_sort_index\","
+                  "\"args\":{\"sort_index\":%u}}",
+                  tb->tid, tb->tid, tb->tid, tb->tid);
     out += buf;
     const uint64_t head = tb->head.load(std::memory_order_relaxed);
     const uint64_t n = head < tb->capacity ? head : tb->capacity;
@@ -142,10 +157,30 @@ std::string TraceRecorder::ToChromeTrace() const {
       const uint32_t tid = static_cast<uint32_t>(w0);
       const EventMeta meta = MetaFor(kind);
 
+      if (kind == TraceEventKind::kProfCounterWait ||
+          kind == TraceEventKind::kProfCounterHold) {
+        // Chrome "C" counter sample. One counter track per site label
+        // (name+pid key the track); wait and hold are two series on it.
+        const char* series = kind == TraceEventKind::kProfCounterWait
+                                 ? "wait_ns"
+                                 : "hold_ns";
+        std::snprintf(buf, sizeof(buf),
+                      ",{\"name\":\"%s\",\"cat\":\"prof\",\"ph\":\"C\","
+                      "\"pid\":1,\"ts\":%.3f,\"args\":{\"%s\":%llu}}",
+                      ProfPathLabel(static_cast<ProfSiteId>(dur)),
+                      static_cast<double>(start) / 1e3, series,
+                      static_cast<unsigned long long>(arg));
+        out += buf;
+        continue;
+      }
+
+      const char* name = kind == TraceEventKind::kProfPhase
+                             ? ProfPathLabel(static_cast<ProfSiteId>(arg))
+                             : meta.name;
       std::snprintf(buf, sizeof(buf),
                     ",{\"name\":\"%s\",\"cat\":\"%s\",\"pid\":1,"
                     "\"tid\":%u,\"ts\":%.3f",
-                    meta.name, meta.cat, tid,
+                    name, meta.cat, tid,
                     static_cast<double>(start) / 1e3);
       out += buf;
       if (meta.span) {

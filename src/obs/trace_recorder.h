@@ -37,6 +37,15 @@ enum class TraceEventKind : uint32_t {
   kBatchCommit = 2,  ///< span: BP-Wrapper batch commit; arg = batch size
   kLockFallback = 3, ///< instant: queue full, blocking Lock() fallback
   kEviction = 4,     ///< instant: page evicted; arg = page id
+  // Contention-profiler events (obs/contention_profiler.h). The arg is a
+  // ProfSiteId path; the exporter resolves it to the ';'-joined path label
+  // via ProfPathLabel(), so the stored event stays 4 words.
+  kProfPhase = 5,        ///< span: one BPW_PROF_PHASE scope; arg = path id
+  kProfCounterWait = 6,  ///< counter sample: cumulative lock wait ns.
+                         ///< Counters have no duration, so the dur word
+                         ///< carries the path id and arg carries the value.
+  kProfCounterHold = 7,  ///< counter sample: cumulative lock hold ns,
+                         ///< encoded like kProfCounterWait
 };
 
 class TraceRecorder {

@@ -6,6 +6,22 @@
 
 namespace bpw {
 
+namespace {
+
+/// One per-acquisition profiling decision, latched at entry so the
+/// enter/exit pairs stay balanced even if the global flag toggles mid-wait.
+/// Compiles to `false` (and dead-codes every call site) under BPW_PROF=0.
+inline bool ProfThisAcquisition(obs::ProfSiteId site) {
+#if BPW_PROF
+  return site != obs::kInvalidProfSite && obs::ProfilerEnabled();
+#else
+  (void)site;
+  return false;
+#endif
+}
+
+}  // namespace
+
 void ContentionLock::Lock() {
   BPW_SCHEDULE_POINT_OBJ("contention_lock.lock", this);
   // Under the cooperative model checker this parks the caller until the
@@ -17,19 +33,25 @@ void ContentionLock::Lock() {
     BPW_SCHED_LOCK_ACQUIRED(this, "contention_lock.lock");
     return;
   }
-  // Tracing needs the acquisition timestamp even in kCounts mode; 0 marks
-  // "not timed" so Unlock never emits a span with a stale start.
-  const bool timed =
-      instr_ == LockInstrumentation::kTiming || obs::TraceEnabled();
+  const bool prof = ProfThisAcquisition(prof_site_);
+  // Tracing and profiling need the acquisition timestamp even in kCounts
+  // mode; 0 marks "not timed" so Unlock never emits a span with a stale
+  // start. The profiler shares these exact clock reads with the kTiming
+  // counters — that is what keeps its per-site totals consistent with
+  // LockStats to well under the 5% reproduction budget.
+  const bool timed = instr_ == LockInstrumentation::kTiming ||
+                     obs::TraceEnabled() || prof;
   if (mu_.try_lock()) {
     acquisitions_.fetch_add(1, std::memory_order_relaxed);
     lock_acquired_nanos_ = timed ? NowNanos() : 0;
+    if (prof) obs::ProfRecordAcquire(prof_site_, false, 0);
     BPW_SCHED_LOCK_ACQUIRED(this, "contention_lock.lock");
     return;
   }
   // Immediate acquisition failed: this is the paper's contention event.
   contentions_.fetch_add(1, std::memory_order_relaxed);
   if (timed) {
+    if (prof) obs::ProfWaiterEnter(prof_site_);
     const uint64_t wait_start = NowNanos();
     mu_.lock();
     const uint64_t acquired = NowNanos();
@@ -39,6 +61,10 @@ void ContentionLock::Lock() {
     if (obs::TraceEnabled()) {
       obs::TraceEmit(obs::TraceEventKind::kLockWait, wait_start,
                      acquired - wait_start);
+    }
+    if (prof) {
+      obs::ProfWaiterExit(prof_site_);
+      obs::ProfRecordAcquire(prof_site_, true, acquired - wait_start);
     }
     lock_acquired_nanos_ = acquired;
   } else {
@@ -54,9 +80,14 @@ bool ContentionLock::TryLock() {
   if (mu_.try_lock()) {
     if (instr_ != LockInstrumentation::kNone) {
       acquisitions_.fetch_add(1, std::memory_order_relaxed);
-      const bool timed =
-          instr_ == LockInstrumentation::kTiming || obs::TraceEnabled();
+      const bool prof = ProfThisAcquisition(prof_site_);
+      const bool timed = instr_ == LockInstrumentation::kTiming ||
+                         obs::TraceEnabled() || prof;
       lock_acquired_nanos_ = timed ? NowNanos() : 0;
+      // A successful TryLock is by definition uncontended; a failed one is
+      // not a contention (nobody blocks — the whole point of the paper's
+      // protocol), so the profiler only sees the success.
+      if (prof) obs::ProfRecordAcquire(prof_site_, false, 0);
     }
     BPW_SCHED_LOCK_ACQUIRED(this, "contention_lock.try_lock");
     return true;
@@ -78,6 +109,9 @@ void ContentionLock::Unlock() {
     }
     if (obs::TraceEnabled()) {
       obs::TraceEmit(obs::TraceEventKind::kLockHold, start, now - start);
+    }
+    if (ProfThisAcquisition(prof_site_)) {
+      obs::ProfRecordHold(prof_site_, now - start);
     }
     lock_acquired_nanos_ = 0;
   }

@@ -35,6 +35,7 @@
 #include <cstdint>
 #include <mutex>
 
+#include "obs/prof_site.h"
 #include "util/cacheline.h"
 #include "util/thread_annotations.h"
 
@@ -103,10 +104,21 @@ class BPW_CAPABILITY("mutex") ContentionLock {
 
   LockInstrumentation instrumentation() const { return instr_; }
 
+  /// Attributes this lock's acquisitions to a contention-profiler site
+  /// (obs/contention_profiler.h): pass a BPW_PROF_SITE(...) root-path id.
+  /// Several locks may share one site — all page-table shard locks bind the
+  /// same site and aggregate into one report row. Call at setup time, before
+  /// the lock sees concurrent traffic; recording additionally requires
+  /// instrumentation != kNone (kNone keeps its zero-accounting fast path).
+  /// Recording compiles out under -DBPW_PROF=0 (the binding itself is kept
+  /// so call sites need no conditional code).
+  void BindProfSite(obs::ProfSiteId site) { prof_site_ = site; }
+
  private:
   std::mutex mu_;
   LockInstrumentation instr_;
   uint64_t lock_acquired_nanos_ = 0;  // guarded by mu_
+  obs::ProfSiteId prof_site_ = obs::kInvalidProfSite;
 
   // Counters are written under contention from many threads; keep them on
   // separate cache lines from the mutex word.

@@ -42,6 +42,15 @@ void Histogram::Record(uint64_t value) {
   sum_ += static_cast<double>(value);
 }
 
+void Histogram::Add(uint64_t value, uint64_t count) {
+  if (count == 0) return;
+  buckets_[BucketFor(value)] += count;
+  count_ += count;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+  sum_ += static_cast<double>(value) * static_cast<double>(count);
+}
+
 void Histogram::Merge(const Histogram& other) {
   for (int i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
   count_ += other.count_;

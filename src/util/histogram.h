@@ -19,6 +19,14 @@ class Histogram {
   /// Records one observation.
   void Record(uint64_t value);
 
+  /// Records `count` observations of `value` at once. Used to reconstruct a
+  /// Histogram from externally-accumulated per-bucket counts (the contention
+  /// profiler's sharded atomic buckets): feed each bucket's count at its
+  /// BucketLow(). min/max/sum then reflect bucket lower bounds, not the
+  /// original samples — a conservative under-estimate, consistent with the
+  /// bucketed percentiles.
+  void Add(uint64_t value, uint64_t count);
+
   /// Merges another histogram's observations into this one.
   void Merge(const Histogram& other);
 
@@ -41,12 +49,23 @@ class Histogram {
   /// Number of buckets (exposed for tests).
   static constexpr int kNumBuckets = 64 * 4;
 
- private:
   // Bucket i covers [BucketLow(i), BucketLow(i+1)). Buckets are
-  // sub-exponential: 4 linear steps per power of two.
+  // sub-exponential: 4 linear steps per power of two. Public so external
+  // accumulators (the contention profiler's atomic shards) can bucket with
+  // the exact same scheme and reconstruct a Histogram via Add().
   static int BucketFor(uint64_t value);
   static uint64_t BucketLow(int bucket);
 
+  /// Observations in bucket `bucket` (0 for out-of-range indices). Lets
+  /// serializers round-trip a histogram exactly: Add(BucketLow(i),
+  /// BucketCount(i)) over non-empty buckets rebuilds identical percentiles.
+  uint64_t BucketCount(int bucket) const {
+    return (bucket >= 0 && bucket < kNumBuckets)
+               ? buckets_[static_cast<size_t>(bucket)]
+               : 0;
+  }
+
+ private:
   std::vector<uint64_t> buckets_;
   uint64_t count_;
   uint64_t min_;

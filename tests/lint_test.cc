@@ -108,6 +108,59 @@ void Commit() {
   EXPECT_EQ(findings[0].rule, "clock-read-in-critical-section");
 }
 
+TEST(LintTest, ProfPhaseMacroUnderLockIsSanctioned) {
+  // BPW_PROF_* macros are the blessed way to measure inside a critical
+  // section: their clock reads are the measurement itself and compile out
+  // under -DBPW_PROF=0, so the commit-phase breakdown stays lintable.
+  const char* src = R"cpp(
+void Commit() {
+  ContentionLockGuard guard(lock_);
+  BPW_PROF_PHASE("commit");
+  {
+    BPW_PROF_PHASE("replay");
+    Replay();
+  }
+}
+)cpp";
+  auto findings = LintSource("prof_macro.cc", src);
+  EXPECT_TRUE(findings.empty()) << Dump(findings);
+}
+
+TEST(LintTest, RawProfilerPrimitiveUnderLockIsFlagged) {
+  // The exemption is scoped to the macro spelling: constructing the RAII
+  // scope (or calling the record functions) directly cannot compile out at
+  // the call site, so under a lock it is a clock read like any other.
+  const char* src = R"cpp(
+void Commit() {
+  ContentionLockGuard guard(lock_);
+  obs::ScopedProfPhase phase(site_);
+  obs::ProfRecordHold(site_, 100);
+  Replay();
+}
+)cpp";
+  auto findings = LintSource("prof_raw.cc", src);
+  ASSERT_EQ(findings.size(), 2u) << Dump(findings);
+  EXPECT_EQ(findings[0].rule, "clock-read-in-critical-section");
+  EXPECT_EQ(findings[1].rule, "clock-read-in-critical-section");
+}
+
+TEST(LintTest, RawClockStaysFlaggedNextToProfMacro) {
+  // The macro exempts its own line only — a raw NowNanos() elsewhere in
+  // the same critical section is still a violation.
+  const char* src = R"cpp(
+void Commit() {
+  ContentionLockGuard guard(lock_);
+  BPW_PROF_PHASE("commit");
+  const uint64_t now = NowNanos();
+  Replay(now);
+}
+)cpp";
+  auto findings = LintSource("prof_mixed.cc", src);
+  ASSERT_EQ(findings.size(), 1u) << Dump(findings);
+  EXPECT_EQ(findings[0].rule, "clock-read-in-critical-section");
+  EXPECT_EQ(findings[0].line, 5);
+}
+
 TEST(LintTest, LoggingUnderLockIsFlagged) {
   const char* src = R"cpp(
 void Commit() {

@@ -1,0 +1,64 @@
+// Compile-time coverage for the BPW_PROF=0 macro surface.
+//
+// This TU forces BPW_PROF=0 *before* including the profiler header, so the
+// disabled expansions of BPW_PROF_SITE / BPW_PROF_PHASE are compiled and
+// exercised even in a default (profiler-on) build — the branch a
+// -DBPW_PROF=0 release build lives on is never allowed to rot. Only
+// obs/contention_profiler.h may be included here: it carries no inline
+// function whose body changes with BPW_PROF, so redefining the macro for
+// one TU is ODR-safe. (The lock headers are exactly what must NOT be
+// included: their inline hot paths compile differently per BPW_PROF, and
+// the build-wide CMake option is the only sanctioned way to flip them.)
+#define BPW_PROF 0
+#include "obs/contention_profiler.h"
+
+#include "gtest/gtest.h"
+
+namespace bpw {
+namespace obs {
+namespace {
+
+static_assert(BPW_PROF == 0, "this TU must compile the disabled macros");
+
+TEST(ProfDisabledTest, SiteMacroYieldsInvalidSite) {
+  const ProfSiteId site = BPW_PROF_SITE("disabled.site");
+  EXPECT_EQ(site, kInvalidProfSite);
+}
+
+TEST(ProfDisabledTest, PhaseMacroIsAStatementNoOp) {
+  // Must compile in statement position, nest, and register nothing.
+  {
+    BPW_PROF_PHASE("disabled.outer");
+    {
+      BPW_PROF_PHASE("disabled.inner");
+    }
+  }
+  const ProfSnapshot snap = CollectProfSnapshot();
+  EXPECT_EQ(snap.Find("disabled.outer"), nullptr);
+  EXPECT_EQ(snap.Find("disabled.inner"), nullptr);
+  EXPECT_EQ(snap.Find("disabled.outer;disabled.inner"), nullptr);
+}
+
+TEST(ProfDisabledTest, RecordingIntoInvalidSiteIsSafe) {
+  // The runtime entry points stay linkable and reject the invalid id, so
+  // code written against the macros needs no conditionals of its own.
+  SetProfilerEnabled(true);
+  ProfRecordAcquire(kInvalidProfSite, true, 123);
+  ProfRecordHold(kInvalidProfSite, 456);
+  ProfWaiterEnter(kInvalidProfSite);
+  ProfWaiterExit(kInvalidProfSite);
+  SetProfilerEnabled(false);
+  const ProfSnapshot snap = CollectProfSnapshot();
+  EXPECT_EQ(snap.TotalLockNanos(), 0u);
+}
+
+TEST(ProfDisabledTest, PhaseMacroWorksInsideIfWithoutBraces) {
+  // The do/while(0) expansion must behave as one statement.
+  const bool flag = true;
+  if (flag) BPW_PROF_PHASE("disabled.branch");
+  EXPECT_EQ(CollectProfSnapshot().Find("disabled.branch"), nullptr);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace bpw

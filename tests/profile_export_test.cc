@@ -1,0 +1,142 @@
+// Tests for the contention-report exporters: folded-stack golden output,
+// JSON round-trip (ToJson → FromJson → identical render), and the table.
+//
+// The golden test builds the snapshot by hand rather than through the
+// recording hot path, so the expected folded text is exact — this is the
+// contract flamegraph tooling depends on.
+#include "obs/profile_export.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace bpw {
+namespace obs {
+namespace {
+
+ProfSiteSnapshot MakeSite(const std::string& label, ProfSiteKind kind,
+                          int depth, uint64_t uncontended, uint64_t contended,
+                          uint64_t wait, uint64_t hold) {
+  ProfSiteSnapshot s;
+  s.label = label;
+  s.file = "src/fake.cc";
+  s.line = 42;
+  s.kind = kind;
+  s.depth = depth;
+  s.uncontended = uncontended;
+  s.contended = contended;
+  s.wait_nanos = wait;
+  s.hold_nanos = hold;
+  // Build the histograms in bucket-canonical form (counts at BucketLow),
+  // the same shape CollectProfSnapshot produces from the sharded atomic
+  // buckets — that is what makes ToJson a fixpoint under round-tripping.
+  const uint64_t wait_each = contended == 0 ? 0 : wait / contended;
+  s.wait_hist.Add(Histogram::BucketLow(Histogram::BucketFor(wait_each)),
+                  contended);
+  const uint64_t n = uncontended + contended;
+  const uint64_t hold_each = n == 0 ? 0 : hold / n;
+  s.hold_hist.Add(Histogram::BucketLow(Histogram::BucketFor(hold_each)), n);
+  return s;
+}
+
+/// The snapshot every test renders: one contended lock, one uncontended
+/// lock, a two-level phase tree, and one zero-weight phase.
+ProfSnapshot GoldenSnapshot() {
+  ProfSnapshot snap;
+  snap.sites.push_back(MakeSite("bpw.policy_lock", ProfSiteKind::kLock, 0,
+                                /*uncontended=*/90, /*contended=*/10,
+                                /*wait=*/5000, /*hold=*/20000));
+  snap.sites.back().max_waiters = 3;
+  snap.sites.push_back(MakeSite("choose_victim", ProfSiteKind::kPhase, 0,
+                                /*entries=*/100, 0,
+                                /*inclusive=*/18000, /*exclusive=*/6000));
+  snap.sites.push_back(MakeSite("choose_victim;commit", ProfSiteKind::kPhase,
+                                1, /*entries=*/100, 0,
+                                /*inclusive=*/12000, /*exclusive=*/12000));
+  snap.sites.push_back(MakeSite("pool.free_list", ProfSiteKind::kLock, 0,
+                                /*uncontended=*/40, /*contended=*/0,
+                                /*wait=*/0, /*hold=*/800));
+  snap.sites.push_back(MakeSite("quiet_phase", ProfSiteKind::kPhase, 0,
+                                /*entries=*/0, 0, /*inclusive=*/0,
+                                /*exclusive=*/0));
+  return snap;
+}
+
+TEST(ProfileExportTest, FoldedGolden) {
+  // Locks split into ;wait and ;hold leaves, phases weigh their exclusive
+  // nanoseconds, zero-weight rows vanish (pool.free_list has no wait line,
+  // quiet_phase no line at all). Byte-exact on purpose: downstream
+  // flamegraph scripts parse this with `awk`, not a tolerant parser.
+  const std::string expected =
+      "bpw.policy_lock;wait 5000\n"
+      "bpw.policy_lock;hold 20000\n"
+      "choose_victim 6000\n"
+      "choose_victim;commit 12000\n"
+      "pool.free_list;hold 800\n";
+  EXPECT_EQ(ProfSnapshotToFolded(GoldenSnapshot()), expected);
+}
+
+TEST(ProfileExportTest, JsonRoundTripsThroughFromJson) {
+  const ProfSnapshot original = GoldenSnapshot();
+  const std::string json = ProfSnapshotToJson(original);
+
+  StatusOr<ProfSnapshot> reparsed = ProfSnapshotFromJson(json);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+
+  // The round-trip must preserve everything the renderers consume: folded
+  // output, the table, and a re-serialization are all byte-identical.
+  EXPECT_EQ(ProfSnapshotToFolded(reparsed.value()),
+            ProfSnapshotToFolded(original));
+  EXPECT_EQ(ProfSnapshotToTable(reparsed.value()),
+            ProfSnapshotToTable(original));
+  EXPECT_EQ(ProfSnapshotToJson(reparsed.value()), json);
+
+  const ProfSiteSnapshot* lock = reparsed.value().Find("bpw.policy_lock");
+  ASSERT_NE(lock, nullptr);
+  EXPECT_EQ(lock->kind, ProfSiteKind::kLock);
+  EXPECT_EQ(lock->uncontended, 90u);
+  EXPECT_EQ(lock->contended, 10u);
+  EXPECT_EQ(lock->max_waiters, 3u);
+  // Sparse bucket pairs reconstruct the distribution exactly.
+  EXPECT_EQ(lock->wait_hist.count(), 10u);
+  EXPECT_DOUBLE_EQ(lock->wait_hist.Percentile(95),
+                   original.sites[0].wait_hist.Percentile(95));
+  EXPECT_EQ(reparsed.value().TotalLockNanos(), original.TotalLockNanos());
+}
+
+TEST(ProfileExportTest, FromJsonFindsReportInsideFullRunDocument) {
+  const std::string report = ProfSnapshotToJson(GoldenSnapshot());
+  const std::string run_doc =
+      "{\"config\":{\"threads\":8},\"result\":{\"throughput_tps\":1},"
+      "\"contention\":" + report + "}";
+  StatusOr<ProfSnapshot> parsed = ProfSnapshotFromJson(run_doc);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(ProfSnapshotToFolded(parsed.value()),
+            ProfSnapshotToFolded(GoldenSnapshot()));
+}
+
+TEST(ProfileExportTest, FromJsonRejectsNonReports) {
+  EXPECT_FALSE(ProfSnapshotFromJson("{\"result\":{}}").ok());
+  EXPECT_FALSE(ProfSnapshotFromJson("not json at all").ok());
+  EXPECT_FALSE(ProfSnapshotFromJson("{\"sites\":12}").ok());
+}
+
+TEST(ProfileExportTest, TableSkipsZeroEventRowsAndIndentsPhases) {
+  const std::string table = ProfSnapshotToTable(GoldenSnapshot());
+  EXPECT_NE(table.find("bpw.policy_lock"), std::string::npos);
+  EXPECT_EQ(table.find("quiet_phase"), std::string::npos);
+  // Depth-1 phase is indented under its parent.
+  EXPECT_NE(table.find("  choose_victim;commit"), std::string::npos);
+}
+
+TEST(ProfileExportTest, JsonIsParseableAndCarriesSummary) {
+  const std::string json = ProfSnapshotToJson(GoldenSnapshot());
+  EXPECT_NE(json.find("\"total_lock_nanos\":25800"), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"lock\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"phase\""), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\":[["), std::string::npos);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace bpw

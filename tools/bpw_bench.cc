@@ -17,6 +17,7 @@
 
 #include "bench/runner.h"
 #include "bench/suite.h"
+#include "obs/prof_site.h"
 
 namespace {
 
@@ -33,6 +34,9 @@ void Usage() {
       "  --warmup N      override the suite's warmup (discarded) trials\n"
       "  --stdout        print the JSON to stdout instead of a file\n"
       "  --quiet         suppress per-case progress on stderr\n"
+      "  --prof          enable the contention profiler for every trial\n"
+      "                  (CI compares this against a --prof-less run to\n"
+      "                  gate the profiler's overhead)\n"
       "  --list          list known suites and exit\n");
 }
 
@@ -67,6 +71,11 @@ int main(int argc, char** argv) {
       to_stdout = true;
     } else if (arg == "--quiet") {
       options.verbose = false;
+    } else if (arg == "--prof") {
+      // Work counters stay bit-identical with or without this: profiling
+      // only adds clock reads and sharded accumulation, never changes what
+      // the workload does. CI's prof-overhead job relies on exactly that.
+      obs::SetProfilerEnabled(true);
     } else if (arg == "--list") {
       list = true;
     } else if (arg == "--help" || arg == "-h") {

@@ -17,6 +17,7 @@
 
 #include "harness/driver.h"
 #include "obs/json.h"
+#include "obs/profile_export.h"
 #include "obs/trace_recorder.h"
 #include "policy/policy_factory.h"
 #include "harness/systems.h"
@@ -47,6 +48,8 @@ struct Args {
   bool json = false;
   std::string trace_out;
   uint64_t metrics_interval_ms = 0;
+  bool contention_report = false;
+  std::string contention_report_out;  // empty = stdout table / inline JSON
 };
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
@@ -91,7 +94,14 @@ void Usage() {
       "  --trace-out=FILE     record lock/commit/eviction events and write\n"
       "                       a Chrome trace (chrome://tracing, Perfetto)\n"
       "  --metrics-interval-ms=N  sample all metrics every N ms; the series\n"
-      "                       is included in the --json output\n");
+      "                       is included in the --json output\n"
+      "  --contention-report[=FILE]  profile per-site lock wait/hold and\n"
+      "                       commit phases over the measurement window\n"
+      "                       (forces timing instrumentation). Prints a\n"
+      "                       table, or writes the report JSON to FILE;\n"
+      "                       with --json the report is embedded under\n"
+      "                       \"contention\". Feed the JSON to bpw_profile\n"
+      "                       for folded flamegraph stacks.\n");
   std::printf("\npolicies: ");
   for (const auto& name : KnownPolicies()) std::printf("%s ", name.c_str());
   std::printf("\n");
@@ -167,7 +177,27 @@ std::string ResultJson(const Args& args, const DriverConfig& config,
     if (i > 0) out += ',';
     out += r.metrics_samples[i].ToJson();
   }
-  out += "]}";
+  out += "],";
+
+  // Observability health: how trustworthy the trace / sampler series are.
+  // A nonzero dropped or skipped count means the corresponding output
+  // under-represents the run.
+  const obs::TraceRecorder& recorder = obs::TraceRecorder::Default();
+  out += "\"obs\":{";
+  out += "\"trace_total_events\":" +
+         JsonNumber(static_cast<double>(recorder.total_events()));
+  out += ",\"trace_dropped_events\":" +
+         JsonNumber(static_cast<double>(recorder.dropped_events()));
+  out += ",\"sampler_overruns\":" +
+         JsonNumber(static_cast<double>(r.sampler_overruns));
+  out += ",\"sampler_skipped_ticks\":" +
+         JsonNumber(static_cast<double>(r.sampler_skipped_ticks));
+  out += "}";
+
+  if (args.contention_report) {
+    out += ",\"contention\":" + obs::ProfSnapshotToJson(r.contention);
+  }
+  out += "}";
   return out;
 }
 
@@ -226,6 +256,11 @@ int main(int argc, char** argv) {
       args.json = true;
       continue;
     }
+    if (std::strcmp(arg, "--contention-report") == 0 ||
+        ParseFlag(arg, "--contention-report", &args.contention_report_out)) {
+      args.contention_report = true;
+      continue;
+    }
     if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
       Usage();
       return 0;
@@ -259,6 +294,19 @@ int main(int argc, char** argv) {
   config.system.queue_size = args.queue;
   config.system.batch_threshold = args.threshold;
   config.metrics_interval_ms = args.metrics_interval_ms;
+  if (args.contention_report) {
+    if (args.simulate) {
+      std::fprintf(stderr,
+                   "--contention-report profiles host locks and is not "
+                   "meaningful under --simulate\n");
+      return 2;
+    }
+    config.profile_contention = true;
+    // The profiler's wait/hold totals share kTiming's clock reads; forcing
+    // timing keeps the per-site report and the aggregate LockStats
+    // measuring the same acquisitions the same way.
+    config.system.instrumentation = LockInstrumentation::kTiming;
+  }
 
   if (!args.trace_out.empty()) {
     obs::TraceRecorder::Default().SetEnabled(true);
@@ -296,6 +344,18 @@ int main(int argc, char** argv) {
                  "trace: %llu events -> %s (open in chrome://tracing)\n",
                  static_cast<unsigned long long>(recorder.total_events()),
                  args.trace_out.c_str());
+  }
+
+  if (args.contention_report && !args.contention_report_out.empty()) {
+    if (!obs::WriteTextFile(args.contention_report_out,
+                            obs::ProfSnapshotToJson(r.contention) + "\n")) {
+      std::fprintf(stderr, "failed to write contention report to %s\n",
+                   args.contention_report_out.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "contention report: %s (bpw_profile --fold turns "
+                 "it into flamegraph stacks)\n",
+                 args.contention_report_out.c_str());
   }
 
   if (args.json) {
@@ -337,5 +397,31 @@ int main(int argc, char** argv) {
   std::printf("evictions:       %llu (%llu write-backs)\n",
               static_cast<unsigned long long>(r.evictions),
               static_cast<unsigned long long>(r.writebacks));
+  {
+    const obs::TraceRecorder& recorder = obs::TraceRecorder::Default();
+    const bool traced = !args.trace_out.empty();
+    const bool sampled = args.metrics_interval_ms > 0;
+    if (traced || sampled) {
+      std::printf("obs:            ");
+      if (traced) {
+        std::printf(" trace %llu events (%llu dropped)",
+                    static_cast<unsigned long long>(recorder.total_events()),
+                    static_cast<unsigned long long>(
+                        recorder.dropped_events()));
+      }
+      if (sampled) {
+        std::printf("%s sampler %zu samples (%llu overruns, %llu skipped "
+                    "ticks)",
+                    traced ? "," : "", r.metrics_samples.size(),
+                    static_cast<unsigned long long>(r.sampler_overruns),
+                    static_cast<unsigned long long>(r.sampler_skipped_ticks));
+      }
+      std::printf("\n");
+    }
+  }
+  if (args.contention_report && args.contention_report_out.empty()) {
+    std::printf("\ncontention profile (measurement window):\n%s",
+                obs::ProfSnapshotToTable(r.contention).c_str());
+  }
   return 0;
 }

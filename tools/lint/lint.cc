@@ -232,6 +232,16 @@ std::vector<Finding> LintSource(const std::string& path,
       R"((\bnew\b|\bmalloc\s*\(|\bcalloc\s*\(|make_unique\s*<|make_shared\s*<|\.reserve\s*\(|\.resize\s*\(|\.push_back\s*\(|\.emplace_back\s*\())");
   static const std::regex kClock(
       R"((\bNowNanos\s*\(|steady_clock|system_clock|high_resolution_clock|\bclock_gettime\s*\())");
+  // Contention-profiler spellings. The BPW_PROF_* macros are the sanctioned
+  // way to measure time inside a critical section — the clock reads they
+  // imply ARE the measurement and vanish under -DBPW_PROF=0 — so a line
+  // using them is exempt from the clock rule (scoped to that line, not the
+  // file). The raw primitives behind the macros imply the same clock reads
+  // but cannot compile out at the call site, so inside a CS they are
+  // flagged like any other clock read.
+  static const std::regex kProfMacro(R"(\bBPW_PROF_[A-Z_]+\s*\()");
+  static const std::regex kProfRaw(
+      R"(\bScopedProfPhase\b|\b(ProfRecordAcquire|ProfRecordHold|ProfWaiterEnter|ProfWaiterExit)\s*\()");
   static const std::regex kLog(R"(\bBPW_LOG_[A-Z]+)");
   static const std::regex kPrefetch(
       R"(\bPrefetch(Read|Write|Range|Hint|ForCommit)\s*\()");
@@ -289,9 +299,16 @@ std::vector<Finding> LintSource(const std::string& path,
         report(li, "critical-section-alloc",
                "heap allocation while the contention lock is held");
       }
-      if (MatchesAny(line, kClock)) {
+      const bool prof_macro_line = MatchesAny(line, kProfMacro);
+      if (MatchesAny(line, kClock) && !prof_macro_line) {
         report(li, "clock-read-in-critical-section",
                "clock read while the contention lock is held");
+      }
+      if (MatchesAny(line, kProfRaw) && !prof_macro_line) {
+        report(li, "clock-read-in-critical-section",
+               "raw contention-profiler call under the lock implies clock "
+               "reads that cannot compile out; use BPW_PROF_PHASE / "
+               "BindProfSite instead");
       }
       if (MatchesAny(line, kLog)) {
         report(li, "logging-in-critical-section",
