@@ -31,6 +31,8 @@ constexpr const char* kDeterministicRegistryKeys[] = {
     "coord.commit_batches",   "coord.committed_entries",
     "coord.stale_commits",    "coord.lock_fallbacks",
     "coord.queue_lock_acquisitions",
+    // Flat-combining ("combining" coordinator / pgBat++) only:
+    "coord.published_batches", "coord.combined_batches",
 };
 
 void FillCounters(const DriverResult& r, CaseResult& out) {

@@ -12,8 +12,9 @@ namespace {
 
 SystemConfig MustSystem(const char* name) {
   auto system = PaperSystemConfig(name);
-  // Built-in suites only reference the five paper systems; a failure here
-  // is a programming error, surfaced as a default config rather than UB.
+  // Built-in suites only reference the named paper systems (plus pgBat++);
+  // a failure here is a programming error, surfaced as a default config
+  // rather than UB.
   return system.ok() ? std::move(system).value() : SystemConfig{};
 }
 
@@ -137,6 +138,54 @@ std::deque<BenchSuite> BuildBuiltinSuites() {
     paper.cases.push_back(HostWall("wall.host.dbt2.pg2Q.t8", "dbt2", 8192,
                                    "pg2Q", 8, /*duration_ms=*/150));
     suites.push_back(std::move(paper));
+  }
+
+  {
+    // The Fig. 6 high-processor endpoint, framed as a head-to-head:
+    // pgBatPre (the paper's best) against pgBat++ (flat combining + early
+    // lock release). Everything is simulator-deterministic, so
+    // bench_compare gates the lock-acquisition/contention counters
+    // exactly — the committed baseline IS the record that combining
+    // retires multiple batches per acquisition.
+    BenchSuite fig6;
+    fig6.name = "fig6";
+    fig6.description =
+        "Fig. 6 endpoint duel: pgBatPre vs pgBat++ lock counters at p4/p16";
+    fig6.trials = 1;  // all cases deterministic; trials buy nothing
+    fig6.warmup_trials = 0;
+    for (const char* system : {"pgBatPre", "pgBat++"}) {
+      for (uint32_t procs : {4u, 16u}) {
+        fig6.cases.push_back(
+            SimDet(std::string("det.sim.dbt2.") + system + ".p" +
+                       std::to_string(procs),
+                   "dbt2", 8192, system, procs,
+                   /*tx_per_proc=*/400, /*access_work=*/3500));
+      }
+      fig6.cases.push_back(SimDet(std::string("det.sim.tablescan.") + system +
+                                      ".p16",
+                                  "tablescan", 2048, system, 16,
+                                  /*tx_per_proc=*/300, /*access_work=*/1500));
+    }
+    suites.push_back(std::move(fig6));
+  }
+
+  {
+    // Lock-path microscope: tiny non-critical work so the ContentionLock
+    // is the whole story, across the three coordination designs
+    // (serialized, batched TryLock, flat combining). Deterministic.
+    BenchSuite micro_lock;
+    micro_lock.name = "micro_lock";
+    micro_lock.description =
+        "lock-path duel at near-zero think time: pg2Q vs pgBatPre vs pgBat++";
+    micro_lock.trials = 1;
+    micro_lock.warmup_trials = 0;
+    for (const char* system : {"pg2Q", "pgBatPre", "pgBat++"}) {
+      micro_lock.cases.push_back(
+          SimDet(std::string("det.sim.tablescan.") + system + ".p16.hot",
+                 "tablescan", 1024, system, 16,
+                 /*tx_per_proc=*/300, /*access_work=*/500));
+    }
+    suites.push_back(std::move(micro_lock));
   }
 
   return suites;

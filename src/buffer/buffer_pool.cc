@@ -538,6 +538,10 @@ Status BufferPool::CheckIntegrity() {
   if (policy.resident_count() != mapped) {
     return Status::Corruption("policy resident count disagrees with pool");
   }
+  // Coordinator-internal conservation checks (combining publication slots:
+  // every published batch applied exactly once).
+  Status coord_status = coordinator_->CheckQuiescedInvariants();
+  if (!coord_status.ok()) return coord_status;
   return policy.CheckInvariants();
 }
 

@@ -110,14 +110,23 @@ void BpWrapperCoordinator::CommitLocked(AccessQueue& queue) {
   }
   if (n > 0) {
     BPW_PROF_PHASE("bookkeeping");
+    // pgBat/pgBatPre keep commit bookkeeping inside the critical section —
+    // deliberately. This coordinator is the paper-faithful baseline the
+    // combining coordinator's early-release split is measured against; its
+    // "bookkeeping" prof phase is exactly the span pgBat++ moves after
+    // Unlock(). Do NOT hoist these out: that would erase the comparison.
+    // bpw-lint-allow(post-commit-under-lock)
     commit_batches_.fetch_add(1, std::memory_order_relaxed);
+    // bpw-lint-allow(post-commit-under-lock)
     committed_entries_.fetch_add(n - stale, std::memory_order_relaxed);
     if (stale > 0) {
+      // bpw-lint-allow(post-commit-under-lock)
       stale_commits_.fetch_add(stale, std::memory_order_relaxed);
     }
     if (trace) {
       // bpw-lint-allow(clock-read-in-critical-section)
       const uint64_t commit_end = NowNanos();
+      // bpw-lint-allow(post-commit-under-lock)
       obs::TraceEmit(obs::TraceEventKind::kBatchCommit, commit_start,
                      commit_end - commit_start, n);
     }

@@ -124,6 +124,14 @@ class Coordinator {
     return 0;
   }
 
+  /// Coordinator-internal conservation checks, run by
+  /// BufferPool::CheckIntegrity() while the pool is quiesced (no thread is
+  /// inside any coordinator call). The combining coordinator proves here
+  /// that every published batch was applied exactly once
+  /// (published == drained + still-pending); coordinators without internal
+  /// hand-off state have nothing to check.
+  virtual Status CheckQuiescedInvariants() const { return Status::OK(); }
+
   /// Binds the frame→page tag array the buffer pool maintains, used by
   /// BP-Wrapper to re-validate queued accesses at commit time (paper
   /// §IV-B). Optional: coordinators work (with slightly more stale commits)

@@ -2,6 +2,7 @@
 
 #include "core/bp_wrapper.h"
 #include "core/clock_coordinator.h"
+#include "core/combining_coordinator.h"
 #include "core/serialized_coordinator.h"
 #include "core/shared_queue_coordinator.h"
 #include "policy/policy_factory.h"
@@ -53,6 +54,19 @@ StatusOr<std::unique_ptr<Coordinator>> CreateCoordinator(
     return std::unique_ptr<Coordinator>(
         new BpWrapperCoordinator(std::move(policy).value(), options));
   }
+  if (config.coordinator == "combining") {
+    CombiningCoordinator::Options options;
+    options.queue_size = config.queue_size;
+    options.batch_threshold = config.batch_threshold;
+    options.prefetch = config.prefetch;
+    options.instrumentation = config.instrumentation;
+    options.test_drain_twice = config.test_combine_drain_twice;
+    options.test_clear_ready_before_apply =
+        config.test_combine_clear_ready_before_apply;
+    options.test_skip_release = config.test_combine_skip_release;
+    return std::unique_ptr<Coordinator>(
+        new CombiningCoordinator(std::move(policy).value(), options));
+  }
   return Status::InvalidArgument("unknown coordinator: " + config.coordinator);
 }
 
@@ -84,11 +98,17 @@ StatusOr<SystemConfig> PaperSystemConfig(const std::string& name) {
     config.prefetch = true;
     return config;
   }
+  if (name == "pgBat++") {
+    config.coordinator = "combining";
+    config.batching = true;
+    config.prefetch = true;
+    return config;
+  }
   return Status::InvalidArgument("unknown paper system: " + name);
 }
 
 std::vector<std::string> PaperSystemNames() {
-  return {"pgClock", "pg2Q", "pgPre", "pgBat", "pgBatPre"};
+  return {"pgClock", "pg2Q", "pgPre", "pgBat", "pgBatPre", "pgBat++"};
 }
 
 }  // namespace bpw

@@ -15,31 +15,40 @@ namespace bpw {
 struct SystemConfig {
   /// Policy name understood by CreatePolicy ("2q", "lirs", "clock", ...).
   std::string policy = "2q";
-  /// Coordinator kind: "serialized", "bp-wrapper", "shared-queue" (the
-  /// §III-A design the paper rejected; for ablations), or "clock-lockfree"
-  /// (the latter requires policy "clock" or "gclock").
+  /// Coordinator kind: "serialized", "bp-wrapper", "combining" (BP-Wrapper
+  /// plus flat combining and early lock release — "pgBat++"),
+  /// "shared-queue" (the §III-A design the paper rejected; for ablations),
+  /// or "clock-lockfree" (the latter requires policy "clock" or "gclock").
   std::string coordinator = "serialized";
-  bool batching = false;      ///< only meaningful for "bp-wrapper"
+  bool batching = false;      ///< only meaningful for "bp-wrapper"/"combining"
   bool prefetch = false;      ///< §III-B prefetching
   size_t queue_size = 64;     ///< BP-Wrapper S
   size_t batch_threshold = 32;  ///< BP-Wrapper T
   LockInstrumentation instrumentation = LockInstrumentation::kCounts;
+  /// MUTATION KNOBS — tests only; meaningful for "combining". See
+  /// CombiningCoordinator::Options for what each bug does.
+  bool test_combine_drain_twice = false;
+  bool test_combine_clear_ready_before_apply = false;
+  bool test_combine_skip_release = false;
 };
 
 /// Builds a coordinator (owning its policy) for `num_frames` frames.
 StatusOr<std::unique_ptr<Coordinator>> CreateCoordinator(
     const SystemConfig& config, size_t num_frames);
 
-/// The paper's five tested systems (Table I), by their paper names:
+/// The paper's five tested systems (Table I), by their paper names, plus
+/// this repo's extension:
 ///   "pgClock"  — clock algorithm, lock-free hits
 ///   "pg2Q"     — 2Q, lock per access
 ///   "pgPre"    — 2Q + prefetching only
 ///   "pgBat"    — 2Q + batching only
 ///   "pgBatPre" — 2Q + batching + prefetching
+///   "pgBat++"  — 2Q + batching + prefetching + flat combining with early
+///                lock release (CombiningCoordinator)
 /// Returns InvalidArgument for unknown names.
 StatusOr<SystemConfig> PaperSystemConfig(const std::string& name);
 
-/// All five paper system names in presentation order.
+/// All paper system names (plus "pgBat++") in presentation order.
 std::vector<std::string> PaperSystemNames();
 
 }  // namespace bpw

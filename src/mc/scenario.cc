@@ -6,6 +6,7 @@
 
 #include "buffer/buffer_pool.h"
 #include "core/bp_wrapper.h"
+#include "core/combining_coordinator.h"
 #include "core/serialized_coordinator.h"
 #include "core/shared_queue_coordinator.h"
 #include "policy/policy_factory.h"
@@ -48,8 +49,21 @@ std::unique_ptr<Coordinator> BuildCoordinator(const ScenarioConfig& config,
     return std::make_unique<BpWrapperCoordinator>(std::move(policy).value(),
                                                   options);
   }
+  if (config.coordinator == "combining") {
+    CombiningCoordinator::Options options;
+    options.queue_size = config.queue_size;
+    options.batch_threshold = config.batch_threshold;
+    options.test_skip_release =
+        !faithful && config.mutate_combine_skip_release;
+    options.test_drain_twice =
+        !faithful && config.mutate_combine_drain_twice;
+    options.test_clear_ready_before_apply =
+        !faithful && config.mutate_combine_clear_ready;
+    return std::make_unique<CombiningCoordinator>(std::move(policy).value(),
+                                                  options);
+  }
   *error = "unknown coordinator '" + config.coordinator +
-           "' (serialized, shared-queue, bp-wrapper)";
+           "' (serialized, shared-queue, bp-wrapper, combining)";
   return nullptr;
 }
 
@@ -194,11 +208,27 @@ StatusOr<ScenarioConfig> Scenario::Preset(const std::string& name) {
     config.check_serial_equivalence = true;
     return config;
   }
+  if (name == "combine") {
+    // Two publishers + one combiner through the flat-combining commit
+    // path. All three threads walk the two resident-after-first-touch
+    // pages, with batch threshold 2 and 4 ops: each thread publishes its
+    // batch at least once, a TryLock winner adopts whatever peers have
+    // posted, losers run the bounded cooperative-handoff spin, and the
+    // quiesced conservation check (published == drained + pending) plus
+    // the pseudo-capability race certification close the run.
+    config.coordinator = "combining";
+    config.threads = 3;
+    config.pages = 2;
+    config.frames = 2;
+    config.ops_per_thread = 4;
+    config.batch_threshold = 2;
+    return config;
+  }
   return Status::InvalidArgument("unknown scenario '" + name + "'");
 }
 
 std::vector<std::string> Scenario::PresetNames() {
-  return {"eviction", "handoff", "race", "serial"};
+  return {"eviction", "handoff", "race", "serial", "combine"};
 }
 
 std::vector<PageId> Scenario::TraceFor(int thread) const {

@@ -35,7 +35,7 @@ namespace mc {
 
 struct ScenarioConfig {
   std::string name = "eviction";
-  /// "serialized", "shared-queue", or "bp-wrapper".
+  /// "serialized", "shared-queue", "bp-wrapper", or "combining".
   std::string coordinator = "shared-queue";
   /// Any CreatePolicy name; only fingerprint-supporting policies (lru,
   /// fifo, clock, gclock) enable state dedup.
@@ -58,6 +58,10 @@ struct ScenarioConfig {
   bool mutate_skip_victim_revalidation = false;   // BufferPoolConfig knob
   bool mutate_skip_commit_before_victim = false;  // BpWrapperCoordinator knob
   bool mutate_commit_without_lock = false;        // SharedQueueCoordinator knob
+  // CombiningCoordinator knobs (the seeded handoff bugs):
+  bool mutate_combine_skip_release = false;       // slot never recycled
+  bool mutate_combine_drain_twice = false;        // slot applied twice
+  bool mutate_combine_clear_ready = false;        // batch dropped unapplied
 
   uint64_t max_decisions = 10000;
 };
@@ -108,6 +112,11 @@ class Scenario {
   ///   "serial"   — 1 thread through BpWrapperCoordinator with a trace
   ///                whose hit/miss pattern is sensitive to the
   ///                commit-before-victim rule; serial equivalence on.
+  ///   "combine"  — 3 threads (two publishers + a combiner) through
+  ///                CombiningCoordinator on an all-hit trace: every
+  ///                publication-slot transition (publish, claim, recycle,
+  ///                cooperative handoff) is exercised, and the
+  ///                conservation invariant is checked at quiesce.
   static StatusOr<ScenarioConfig> Preset(const std::string& name);
   static std::vector<std::string> PresetNames();
 

@@ -81,7 +81,7 @@ class SimLock {
 };
 
 // --------------------------------------------------------------- Simulation
-enum class Mode { kClockLockFree, kSerialized, kBpWrapper };
+enum class Mode { kClockLockFree, kSerialized, kBpWrapper, kCombining };
 
 struct QueueEntry {
   PageId page;
@@ -92,6 +92,12 @@ struct Proc {
   uint64_t now = 0;
   std::unique_ptr<TraceGenerator> trace;
   std::vector<QueueEntry> queue;  // BP-Wrapper private FIFO
+  // Flat-combining publication slot ("combining" mode only): a published
+  // batch waits here until this processor or a peer combiner drains it.
+  std::vector<QueueEntry> pub;
+  bool pub_ready = false;
+  uint64_t pub_time = 0;          // when the publication became visible
+  uint64_t pub_blocked_until = 0;  // recycle completion after a peer drain
   Random rng{0};
 
   bool in_tx = false;
@@ -149,6 +155,48 @@ class Simulation {
   /// so the metrics delta covers the measurement window only.
   void CommitQueue(Proc& proc, bool measuring);
 
+  /// One batch of entries through the policy with the §IV-B tag check
+  /// (shared by CommitQueue and the combining drains).
+  void CommitEntries(const std::vector<QueueEntry>& entries, bool measuring);
+
+  /// Lock occupancy of one flat-combining acquisition: the combiner's own
+  /// batch plus `peers` adopted slots holding `peer_entries` entries. Each
+  /// adopted slot costs one coherence-scaled line claim; with prefetch the
+  /// per-entry warm-up vanishes (own entries via §III-B before the lock,
+  /// peer entries via the slot-directed prefetch at claim time).
+  uint64_t CombineOccupancy(size_t own_entries, size_t peers,
+                            size_t peer_entries, uint64_t extra = 0) const {
+    const size_t n = own_entries + peer_entries;
+    uint64_t occupancy = Coh(costs_.lock_grab) + extra +
+                         static_cast<uint64_t>(n) * costs_.policy_op +
+                         static_cast<uint64_t>(peers) * Coh(costs_.slot_claim);
+    if (!prefetch_) {
+      occupancy += Coh(costs_.warmup_acq) +
+                   static_cast<uint64_t>(n) * Coh(costs_.warmup_entry);
+    }
+    return occupancy;
+  }
+
+  /// The peers whose publications are visible to a combiner acquiring at
+  /// time `t` (their publish happened before the acquisition).
+  size_t ReadyPeers(const Proc& combiner, uint64_t t,
+                    size_t* peer_entries) const {
+    size_t peers = 0;
+    *peer_entries = 0;
+    for (const Proc& peer : procs_) {
+      if (&peer == &combiner || !peer.pub_ready || peer.pub_time > t) continue;
+      ++peers;
+      *peer_entries += peer.pub.size();
+    }
+    return peers;
+  }
+
+  /// The locked apply phase of one combining acquisition entered at `t`:
+  /// drain own publication + own queue + every visible peer slot. The
+  /// post-commit phase (slot recycling) books its time AFTER `release` —
+  /// outside the lock occupancy — which is the early-release effect.
+  void CommitCombine(Proc& proc, uint64_t t, uint64_t release, bool measuring);
+
   void StepAccess(Proc& proc);
   void HandleHit(Proc& proc, PageId page, FrameId frame);
   void HandleMiss(Proc& proc, PageId page, bool is_write);
@@ -188,14 +236,18 @@ class Simulation {
   uint64_t commit_batches_ = 0;
   uint64_t committed_entries_ = 0;
   uint64_t lock_fallbacks_ = 0;
+  // Combining-only counters, mirroring CombiningCoordinator's metrics.
+  uint64_t published_batches_ = 0;
+  uint64_t combined_batches_ = 0;
 };
 
-void Simulation::CommitQueue(Proc& proc, bool measuring) {
+void Simulation::CommitEntries(const std::vector<QueueEntry>& entries,
+                               bool measuring) {
   // The simulator models contention in virtual time on one real thread, so
   // exclusive access to the policy always holds.
   policy_->AssertExclusiveAccess();
   uint64_t stale = 0;
-  for (const QueueEntry& entry : proc.queue) {
+  for (const QueueEntry& entry : entries) {
     if (entry.frame < frame_page_.size() &&
         frame_page_[entry.frame] == entry.page) {
       policy_->OnHit(entry.page, entry.frame);
@@ -203,12 +255,44 @@ void Simulation::CommitQueue(Proc& proc, bool measuring) {
       ++stale;
     }
   }
-  if (measuring && !proc.queue.empty()) {
+  if (measuring && !entries.empty()) {
     ++commit_batches_;
-    committed_entries_ += proc.queue.size() - stale;
+    committed_entries_ += entries.size() - stale;
     stale_commits_ += stale;
   }
+}
+
+void Simulation::CommitQueue(Proc& proc, bool measuring) {
+  CommitEntries(proc.queue, measuring);
   proc.queue.clear();
+}
+
+void Simulation::CommitCombine(Proc& proc, uint64_t t, uint64_t release,
+                               bool measuring) {
+  // Own publication first (oldest history), then the queue remainder —
+  // per-processor FIFO order, exactly as the host coordinator drains.
+  uint64_t post_commit = 0;
+  if (proc.pub_ready) {
+    CommitEntries(proc.pub, measuring);
+    proc.pub.clear();
+    proc.pub_ready = false;
+    post_commit += costs_.recycle;
+  }
+  CommitQueue(proc, measuring);
+  // Adopt every peer batch that was visible at acquisition time. The
+  // owner's slot stays blocked until the post-release recycle store lands.
+  for (Proc& peer : procs_) {
+    if (&peer == &proc || !peer.pub_ready || peer.pub_time > t) continue;
+    CommitEntries(peer.pub, measuring);
+    peer.pub.clear();
+    peer.pub_ready = false;
+    post_commit += costs_.recycle;
+    peer.pub_blocked_until = release + post_commit;
+    if (measuring) ++combined_batches_;
+  }
+  // Early release: the recycle stores run on this processor after the lock
+  // is already free, so they lengthen the combiner's day, not the lock's.
+  proc.now += post_commit;
 }
 
 void Simulation::HandleHit(Proc& proc, PageId page, FrameId frame) {
@@ -245,6 +329,50 @@ void Simulation::HandleHit(Proc& proc, PageId page, FrameId frame) {
       CommitQueue(proc, measuring);
       return;
     }
+    case Mode::kCombining: {
+      proc.now += costs_.record;
+      proc.queue.push_back(QueueEntry{page, frame});
+      if (proc.queue.size() < batch_threshold_) return;
+      // Publish the batch so ANY lock holder can retire it. The slot may
+      // still be blocked by a peer's in-flight post-release recycle.
+      if (!proc.pub_ready && proc.now >= proc.pub_blocked_until) {
+        std::swap(proc.pub, proc.queue);
+        proc.queue.clear();
+        proc.pub_ready = true;
+        proc.now += costs_.publish;
+        proc.pub_time = proc.now;
+        if (Measuring(proc.now)) ++published_batches_;
+      }
+      proc.now += costs_.trylock;
+      const uint64_t t = proc.now;
+      bool measuring = Measuring(t);
+      size_t peer_entries = 0;
+      const size_t peers = ReadyPeers(proc, t, &peer_entries);
+      const size_t own_entries =
+          (proc.pub_ready ? proc.pub.size() : 0) + proc.queue.size();
+      const uint64_t occupancy =
+          CombineOccupancy(own_entries, peers, peer_entries);
+      uint64_t release;
+      if (lock_.TryAcquire(t, occupancy, measuring, &release)) {
+        proc.now = release;
+        CommitCombine(proc, t, release, measuring);
+        return;
+      }
+      if (proc.pub_ready) {
+        // Cooperative handoff: the published batch is the current holder's
+        // problem now — one bounded poll of the slot, never a block.
+        proc.now += costs_.handoff_spin;
+        return;
+      }
+      if (proc.queue.size() < queue_size_) return;  // keep recording
+      // Queue full and the slot still blocked: the blocking-Lock fallback.
+      measuring = Measuring(proc.now);
+      if (measuring) ++lock_fallbacks_;
+      const uint64_t enter = proc.now;
+      proc.now = lock_.AcquireBlocking(proc.now, occupancy, measuring);
+      CommitCombine(proc, enter, proc.now, measuring);
+      return;
+    }
   }
 }
 
@@ -255,13 +383,29 @@ void Simulation::HandleMiss(Proc& proc, PageId page, bool is_write) {
   FrameId frame;
   bool write_back = false;
   {
-    const size_t queued = mode_ == Mode::kBpWrapper ? proc.queue.size() : 0;
+    size_t queued = 0;
+    if (mode_ == Mode::kBpWrapper) queued = proc.queue.size();
+    if (mode_ == Mode::kCombining) {
+      queued = proc.queue.size() + (proc.pub_ready ? proc.pub.size() : 0);
+    }
     const bool need_evict = free_frames_.empty();
     const uint64_t occupancy =
         Occupancy(queued, need_evict ? costs_.victim_search : 0);
     const bool measuring = Measuring(proc.now);
     proc.now = lock_.AcquireBlocking(proc.now, occupancy, measuring);
     if (mode_ == Mode::kBpWrapper) CommitQueue(proc, measuring);
+    if (mode_ == Mode::kCombining) {
+      // Fresh history before the victim decision: own publication, then
+      // the queue remainder (the host DrainOwnLocked order). Peers are not
+      // adopted on the miss path, matching the host coordinator.
+      if (proc.pub_ready) {
+        CommitEntries(proc.pub, measuring);
+        proc.pub.clear();
+        proc.pub_ready = false;
+        proc.pub_blocked_until = proc.now + costs_.recycle;
+      }
+      CommitQueue(proc, measuring);
+    }
     if (need_evict) {
       auto victim = policy_->ChooseVictim([](FrameId) { return true; }, page);
       if (!victim.ok()) return;  // cannot happen: no pins in the simulator
@@ -350,6 +494,8 @@ StatusOr<DriverResult> Simulation::Run() {
     mode_ = Mode::kSerialized;
   } else if (config_.system.coordinator == "bp-wrapper") {
     mode_ = Mode::kBpWrapper;
+  } else if (config_.system.coordinator == "combining") {
+    mode_ = Mode::kCombining;
   } else {
     return Status::InvalidArgument("unknown coordinator: " +
                                    config_.system.coordinator);
@@ -469,6 +615,14 @@ StatusOr<DriverResult> Simulation::Run() {
                      static_cast<double>(stale_commits_));
   result.metrics.Add("coord.lock_fallbacks",
                      static_cast<double>(lock_fallbacks_));
+  if (mode_ == Mode::kCombining) {
+    // Only the combining mode has these, so existing baselines' counter
+    // sets are unchanged for every other coordinator.
+    result.metrics.Add("coord.published_batches",
+                       static_cast<double>(published_batches_));
+    result.metrics.Add("coord.combined_batches",
+                       static_cast<double>(combined_batches_));
+  }
   result.metrics.Add("buffer.hits", static_cast<double>(result.hits));
   result.metrics.Add("buffer.misses", static_cast<double>(result.misses));
   result.metrics.Add("buffer.evictions", static_cast<double>(evictions_));

@@ -148,7 +148,7 @@ TEST(ClockCoordinatorTest, ConcurrentHitsWithEvictions) {
 }
 
 TEST(CoordinatorFactoryTest, BuildsAllKinds) {
-  for (const char* kind : {"serialized", "bp-wrapper"}) {
+  for (const char* kind : {"serialized", "bp-wrapper", "combining"}) {
     SystemConfig config;
     config.policy = "2q";
     config.coordinator = kind;
@@ -180,7 +180,7 @@ TEST(CoordinatorFactoryTest, UnknownCoordinatorRejected) {
 
 TEST(PaperSystemsTest, AllFiveConfigsResolve) {
   const auto names = PaperSystemNames();
-  ASSERT_EQ(names.size(), 5u);
+  ASSERT_EQ(names.size(), 6u);  // the paper's five + this repo's pgBat++
   for (const auto& name : names) {
     auto config = PaperSystemConfig(name);
     ASSERT_TRUE(config.ok()) << name;
@@ -215,6 +215,12 @@ TEST(PaperSystemsTest, ConfigsMatchTableOne) {
   ASSERT_TRUE(batpre.ok());
   EXPECT_EQ(batpre->coordinator, "bp-wrapper");
   EXPECT_TRUE(batpre->prefetch);
+
+  auto batpp = PaperSystemConfig("pgBat++");
+  ASSERT_TRUE(batpp.ok());
+  EXPECT_EQ(batpp->coordinator, "combining");
+  EXPECT_TRUE(batpp->batching);
+  EXPECT_TRUE(batpp->prefetch);
 
   EXPECT_FALSE(PaperSystemConfig("pgMagic").ok());
 }

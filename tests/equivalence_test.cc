@@ -85,10 +85,18 @@ TEST_P(EquivalenceTest, BatchingPreservesHitMissSequence) {
   SystemConfig batched_pre = batched;
   batched_pre.prefetch = true;
 
+  SystemConfig combining = batched;
+  combining.coordinator = "combining";
+  SystemConfig combining_pre = combining;
+  combining_pre.prefetch = true;
+
   const RunResult base = RunStream(serialized, workload, kFrames, kAccesses);
   const RunResult bat = RunStream(batched, workload, kFrames, kAccesses);
   const RunResult batpre =
       RunStream(batched_pre, workload, kFrames, kAccesses);
+  const RunResult comb = RunStream(combining, workload, kFrames, kAccesses);
+  const RunResult combpre =
+      RunStream(combining_pre, workload, kFrames, kAccesses);
 
   EXPECT_GT(base.misses, 0u) << "test needs real evictions to be meaningful";
   // No hits-assert: some policies legitimately score zero hits on the pure
@@ -99,8 +107,17 @@ TEST_P(EquivalenceTest, BatchingPreservesHitMissSequence) {
       << "batching changed replacement behaviour";
   EXPECT_EQ(base.hit_sequence, batpre.hit_sequence)
       << "prefetching changed replacement behaviour";
+  // Single-threaded, the flat-combining path is publish-then-self-combine
+  // at the same thresholds, so it must commit the same entries at the same
+  // points and be indistinguishable from plain batching.
+  EXPECT_EQ(base.hit_sequence, comb.hit_sequence)
+      << "flat combining changed replacement behaviour";
+  EXPECT_EQ(base.hit_sequence, combpre.hit_sequence)
+      << "flat combining with prefetch changed replacement behaviour";
   EXPECT_EQ(base.hits, bat.hits);
   EXPECT_EQ(base.misses, bat.misses);
+  EXPECT_EQ(base.hits, comb.hits);
+  EXPECT_EQ(base.misses, comb.misses);
 }
 
 TEST_P(EquivalenceTest, SmallQueueSizesAlsoEquivalent) {
@@ -115,15 +132,17 @@ TEST_P(EquivalenceTest, SmallQueueSizesAlsoEquivalent) {
   serialized.coordinator = "serialized";
   const RunResult base = RunStream(serialized, workload, 64, 8000);
 
-  for (size_t queue_size : {1, 2, 7}) {
-    SystemConfig batched;
-    batched.policy = policy;
-    batched.coordinator = "bp-wrapper";
-    batched.queue_size = queue_size;
-    batched.batch_threshold = std::max<size_t>(1, queue_size / 2);
-    const RunResult bat = RunStream(batched, workload, 64, 8000);
-    EXPECT_EQ(base.hit_sequence, bat.hit_sequence)
-        << "queue size " << queue_size;
+  for (const char* coordinator : {"bp-wrapper", "combining"}) {
+    for (size_t queue_size : {1, 2, 7}) {
+      SystemConfig batched;
+      batched.policy = policy;
+      batched.coordinator = coordinator;
+      batched.queue_size = queue_size;
+      batched.batch_threshold = std::max<size_t>(1, queue_size / 2);
+      const RunResult bat = RunStream(batched, workload, 64, 8000);
+      EXPECT_EQ(base.hit_sequence, bat.hit_sequence)
+          << coordinator << " queue size " << queue_size;
+    }
   }
 }
 
@@ -207,16 +226,40 @@ TEST_P(EquivalenceTest, RandomTraceWithDropsLeavesIdenticalPolicyState) {
   batched.batch_threshold = 32;
   batched.prefetch = true;
 
+  SystemConfig shared_queue = batched;
+  shared_queue.coordinator = "shared-queue";
+  shared_queue.prefetch = false;  // shared-queue has no prefetch stage
+
+  SystemConfig combining = batched;
+  combining.coordinator = "combining";
+
   RandomRunResult base;
   RunRandomTraceInto(&base, serialized, seed, kPages, kFrames, kAccesses);
   RandomRunResult bat;
   RunRandomTraceInto(&bat, batched, seed, kPages, kFrames, kAccesses);
+  RandomRunResult shq;
+  RunRandomTraceInto(&shq, shared_queue, seed, kPages, kFrames, kAccesses);
+  RandomRunResult comb;
+  RunRandomTraceInto(&comb, combining, seed, kPages, kFrames, kAccesses);
 
   EXPECT_EQ(base.hit_sequence, bat.hit_sequence);
   EXPECT_EQ(base.drop_outcomes, bat.drop_outcomes)
       << "drop/invalidation outcomes diverged";
   EXPECT_EQ(base.drain_fingerprint, bat.drain_fingerprint)
       << "the policies ended the identical trace in different states";
+
+  // pgBat++'s claim, stated as the paper states Fig. 8: flat combining is a
+  // commit-path optimization only. Against the shared-queue batcher it must
+  // match outcome-for-outcome AND leave the wrapped policy in the identical
+  // state (same drain order), drops and partial-batch flushes included.
+  EXPECT_EQ(shq.hit_sequence, comb.hit_sequence)
+      << "combining diverged from shared-queue on hit/miss outcomes";
+  EXPECT_EQ(shq.drop_outcomes, comb.drop_outcomes)
+      << "combining diverged from shared-queue on drop outcomes";
+  EXPECT_EQ(shq.drain_fingerprint, comb.drain_fingerprint)
+      << "combining left the policy in a different state than shared-queue";
+  EXPECT_EQ(base.drain_fingerprint, comb.drain_fingerprint)
+      << "combining left the policy in a different state than serialized";
 }
 
 INSTANTIATE_TEST_SUITE_P(

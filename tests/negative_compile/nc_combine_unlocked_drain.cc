@@ -1,0 +1,55 @@
+// NEGATIVE-COMPILE CASE
+// Seeded violation: the flat-combining early-release split drawn in the
+// wrong place. The combining coordinator's commit path is two-phase —
+// apply (own batch + adopted peer batches) under the lock, then Unlock(),
+// then lock-free post-commit bookkeeping. The seeded bug releases the
+// lock between the two apply steps, so the peer drain — which mutates the
+// policy and is BPW_REQUIRES(lock_) for that reason — runs unprotected.
+// Under -Wthread-safety this is "calling function 'DrainPeersLocked'
+// requires holding mutex 'lock_' exclusively". Without the flag it is
+// valid C++: nothing but the annotation knows that only the *bookkeeping*
+// may follow the release.
+#include <cstdint>
+
+#include "sync/contention_lock.h"
+#include "util/thread_annotations.h"
+
+namespace bpw {
+
+class Combiner {
+ public:
+  // VIOLATION: lock released after the self-commit, peer drain after the
+  // release. The early release must come after BOTH apply steps.
+  void CombineAndReleaseTooEarly() {
+    lock_.Lock();
+    DrainOwnLocked();
+    lock_.Unlock();
+    DrainPeersLocked();  // lock no longer held
+    RecycleSlots();
+  }
+
+  void CombineProperly() {
+    lock_.Lock();
+    DrainOwnLocked();
+    DrainPeersLocked();
+    lock_.Unlock();
+    RecycleSlots();  // lock-free post-commit bookkeeping: fine here
+  }
+
+ private:
+  void DrainOwnLocked() BPW_REQUIRES(lock_) { applied_ += 1; }
+  void DrainPeersLocked() BPW_REQUIRES(lock_) { applied_ += 1; }
+  void RecycleSlots() { recycled_ += 1; }
+
+  ContentionLock lock_;
+  uint64_t applied_ BPW_GUARDED_BY(lock_) = 0;
+  uint64_t recycled_ = 0;
+};
+
+void Drive() {
+  Combiner combiner;
+  combiner.CombineAndReleaseTooEarly();
+  combiner.CombineProperly();
+}
+
+}  // namespace bpw

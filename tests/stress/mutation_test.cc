@@ -90,6 +90,88 @@ TEST(MutationTest, UnmutatedControlRunPasses) {
   EXPECT_TRUE(result.ok) << result.failure;
 }
 
+// --- Flat-combining handoff bugs (CombiningCoordinator test hooks).
+//
+// Both seeded bugs break the publication conservation equation
+// (published == drained + pending) that CheckIntegrity verifies at
+// quiesce, so the stress harness catches them without any dedicated
+// detector — which is the point: one invariant covers the whole
+// publish/claim/recycle protocol.
+
+stress::StressOptions CombiningStressOptions(uint64_t seed) {
+  stress::StressOptions options;
+  options.seed = seed;
+  options.system.policy = "lru";
+  options.system.coordinator = "combining";
+  options.system.batching = true;
+  // Small queue: frequent publications and adoptions, so a handoff bug
+  // corrupts the books within the first few hundred ops.
+  options.system.queue_size = 8;
+  options.system.batch_threshold = 4;
+  options.threads = 4;
+  options.ops_per_thread = 6000;
+  options.frames = 16;
+  options.pages = 96;
+  options.hot_probability = 0.5;
+  options.dirty_probability = 0.3;
+  options.schedule.sleep_probability = 0.02;
+  options.schedule.max_sleep_micros = 200;
+  return options;
+}
+
+void ExpectCombiningMutationCaught(
+    void (*arm)(SystemConfig&), const char* what) {
+  // Conservation breaks deterministically once the mutated path runs, but
+  // probe a few seeds anyway, mirroring the victim-revalidation pattern:
+  // the assertion is about the harness, and the harness's contract is
+  // "some probed seed fails and prints its reproduction line".
+  uint64_t failing_seed = 0;
+  std::string failure;
+  for (uint64_t seed : {101, 102, 103, 104, 105}) {
+    stress::StressOptions options = CombiningStressOptions(seed);
+    arm(options.system);
+    const stress::StressResult result = stress::RunStress(options);
+    if (!result.ok) {
+      failing_seed = seed;
+      failure = result.failure;
+      break;
+    }
+  }
+  ASSERT_NE(failing_seed, 0u)
+      << what << " was not detected by any probed seed; the conservation "
+      << "invariant has lost its teeth";
+  EXPECT_NE(failure.find("--seed=" + std::to_string(failing_seed)),
+            std::string::npos)
+      << failure;
+  EXPECT_NE(failure.find("publication conservation"), std::string::npos)
+      << "caught by something other than the conservation invariant: "
+      << failure;
+}
+
+TEST(MutationTest, HarnessCatchesCombiningDrainTwice) {
+  // The lost-handoff bug: a combiner applies a claimed slot twice
+  // (drained > published at quiesce).
+  ExpectCombiningMutationCaught(
+      [](SystemConfig& system) { system.test_combine_drain_twice = true; },
+      "combining drain-twice");
+}
+
+TEST(MutationTest, HarnessCatchesCombiningClearReadyBeforeApply) {
+  // The dropped-batch bug: the ready flag is cleared before the apply, so
+  // the whole published batch vanishes (published > drained at quiesce).
+  ExpectCombiningMutationCaught(
+      [](SystemConfig& system) {
+        system.test_combine_clear_ready_before_apply = true;
+      },
+      "combining clear-ready-before-apply");
+}
+
+TEST(MutationTest, UnmutatedCombiningControlRunPasses) {
+  const stress::StressResult result = stress::RunStress(
+      CombiningStressOptions(101));
+  EXPECT_TRUE(result.ok) << result.failure;
+}
+
 #endif  // BPW_SCHEDULE_POINTS
 
 // Single-threaded hit/miss sequence of a buffer pool, for the equivalence

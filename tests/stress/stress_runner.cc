@@ -156,6 +156,25 @@ std::vector<StressConfig> DefaultStressMatrix() {
       c.coordinator = "shared-queue";
       matrix.push_back({"shared-queue/" + policy, c});
     }
+    {
+      SystemConfig c;
+      c.policy = policy;
+      c.coordinator = "combining";
+      c.batching = true;
+      matrix.push_back({"combining/" + policy, c});
+    }
+    {
+      SystemConfig c;
+      c.policy = policy;
+      c.coordinator = "combining";
+      c.batching = true;
+      c.prefetch = true;
+      // Tiny queue: frequent publications, constant combiner adoption
+      // traffic, and the blocking-Lock fallback all get exercised.
+      c.queue_size = 8;
+      c.batch_threshold = 4;
+      matrix.push_back({"combining+pre-s8/" + policy, c});
+    }
   }
   for (const char* policy : {"clock", "gclock"}) {
     SystemConfig c;

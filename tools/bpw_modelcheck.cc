@@ -34,7 +34,8 @@ void PrintUsage() {
       "exploration options:\n"
       "  --scenario NAME        preset scenario (see --list)\n"
       "  --bound N              preemption bound (default 2)\n"
-      "  --coordinator NAME     override: serialized|shared-queue|bp-wrapper\n"
+      "  --coordinator NAME     override: serialized|shared-queue|\n"
+      "                         bp-wrapper|combining\n"
       "  --policy NAME          override: lru|fifo|clock|gclock|...\n"
       "  --threads N            override worker count\n"
       "  --pages N --frames N   override working set / buffer size\n"
@@ -44,7 +45,9 @@ void PrintUsage() {
       "  --max-execs N          stop after N executions (0 = unlimited)\n"
       "  --time-limit-ms N      stop after N ms (0 = unlimited)\n"
       "  --mutation NAME        seed a known bug: skip_victim_revalidation |\n"
-      "                         skip_commit_before_victim | commit_without_lock\n"
+      "                         skip_commit_before_victim | commit_without_lock |\n"
+      "                         combine_skip_release | combine_drain_twice |\n"
+      "                         combine_clear_ready\n"
       "  --no-dpor              disable sleep-set pruning\n"
       "  --no-state-dedup       disable visited-state dedup\n"
       "  --replay-out FILE      write (and minimize) the violating trace\n"
@@ -192,6 +195,18 @@ bool ApplyMutation(const std::string& name, ScenarioConfig& config) {
   }
   if (name == "commit_without_lock") {
     config.mutate_commit_without_lock = true;
+    return true;
+  }
+  if (name == "combine_skip_release") {
+    config.mutate_combine_skip_release = true;
+    return true;
+  }
+  if (name == "combine_drain_twice") {
+    config.mutate_combine_drain_twice = true;
+    return true;
+  }
+  if (name == "combine_clear_ready") {
+    config.mutate_combine_clear_ready = true;
     return true;
   }
   std::cerr << "bpw_modelcheck: unknown mutation '" << name << "'\n";

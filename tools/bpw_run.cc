@@ -71,9 +71,11 @@ bool ParseFlag(const char* arg, const char* name, uint64_t* out) {
 void Usage() {
   std::printf(
       "bpw_run — run one buffer-management experiment\n\n"
-      "  --system=NAME        paper system (pgClock|pg2Q|pgPre|pgBat|pgBatPre)\n"
+      "  --system=NAME        paper system (pgClock|pg2Q|pgPre|pgBat|\n"
+      "                       pgBatPre) or this repo's pgBat++\n"
       "  --policy=NAME        replacement policy (default 2q); see below\n"
-      "  --coordinator=KIND   serialized | bp-wrapper | clock-lockfree\n"
+      "  --coordinator=KIND   serialized | shared-queue | bp-wrapper |\n"
+      "                       combining | clock-lockfree\n"
       "  --prefetch           enable the paper's prefetch technique\n"
       "  --queue=N            BP-Wrapper queue size (default 64)\n"
       "  --threshold=N        BP-Wrapper batch threshold (default 32)\n"

@@ -243,6 +243,14 @@ std::vector<Finding> LintSource(const std::string& path,
   static const std::regex kProfRaw(
       R"(\bScopedProfPhase\b|\b(ProfRecordAcquire|ProfRecordHold|ProfWaiterEnter|ProfWaiterExit)\s*\()");
   static const std::regex kLog(R"(\bBPW_LOG_[A-Z]+)");
+  // Post-commit bookkeeping: relaxed statistics counters and trace
+  // emission. Both are lock-free by construction (that is what
+  // memory_order_relaxed and the SPSC trace ring mean), so holding the
+  // contention lock across them is pure critical-section stretch — the
+  // exact nanoseconds the combining coordinator's early-release split
+  // moves out of the lock.
+  static const std::regex kRelaxedCounter(R"(\.fetch_(add|sub)\s*\()");
+  static const std::regex kTraceEmit(R"(\bTraceEmit\s*\()");
   static const std::regex kPrefetch(
       R"(\bPrefetch(Read|Write|Range|Hint|ForCommit)\s*\()");
   static const std::regex kGuardDecl(
@@ -318,6 +326,18 @@ std::vector<Finding> LintSource(const std::string& path,
         report(li, "prefetch-in-critical-section",
                "prefetch under the lock defeats its purpose; issue it "
                "before Lock()/TryLock() (paper SIII-B)");
+      }
+      if (lib_code && MatchesAny(line, kRelaxedCounter)) {
+        report(li, "post-commit-under-lock",
+               "statistics counter updated while the contention lock is "
+               "held; relaxed counters need no lock — apply, Unlock(), "
+               "then count (the early-release split)");
+      }
+      if (lib_code && MatchesAny(line, kTraceEmit)) {
+        report(li, "post-commit-under-lock",
+               "trace emitted while the contention lock is held; the trace "
+               "ring is lock-free — apply, Unlock(), then emit (the "
+               "early-release split)");
       }
     }
     if (MatchesAny(line, kTryLockDiscarded)) {
