@@ -33,6 +33,9 @@ constexpr const char* kDeterministicRegistryKeys[] = {
     "coord.queue_lock_acquisitions",
     // Flat-combining ("combining" coordinator / pgBat++) only:
     "coord.published_batches", "coord.combined_batches",
+    // Sharded ("sharded" coordinator / pgShard) only: the rebalance
+    // exchange count is a deterministic function of the commit stream.
+    "coord.shard_rebalances",
 };
 
 void FillCounters(const DriverResult& r, CaseResult& out) {

@@ -170,6 +170,62 @@ std::deque<BenchSuite> BuildBuiltinSuites() {
   }
 
   {
+    // The sharded scaling sweep: pgShard against the previous best
+    // (pgBat++) and the paper's best (pgBatPre), first at the Fig. 6
+    // p16 operating point (the acceptance head-to-head for the
+    // lock-acquisition counter), then at p64/p128 under the NUMA cost
+    // mode (2 nodes) — the regime past the paper's largest machine,
+    // where cross-node coherence transfers punish every shared-line
+    // touch the hit path makes. All deterministic; bench_compare gates
+    // the lock and shard-rebalance counters exactly.
+    BenchSuite fig8;
+    fig8.name = "fig8";
+    fig8.description =
+        "sharded scaling: pgBatPre vs pgBat++ vs pgShard at p16 and "
+        "NUMA p64/p128";
+    fig8.trials = 1;
+    fig8.warmup_trials = 0;
+    for (const char* system : {"pgBatPre", "pgBat++", "pgShard"}) {
+      fig8.cases.push_back(SimDet(std::string("det.sim.dbt2.") + system +
+                                      ".p16",
+                                  "dbt2", 8192, system, 16,
+                                  /*tx_per_proc=*/400, /*access_work=*/3500));
+      for (uint32_t procs : {64u, 128u}) {
+        BenchCase numa = SimDet(std::string("det.sim.dbt2.") + system +
+                                    ".p" + std::to_string(procs) + ".numa2",
+                                "dbt2", 8192, system, procs,
+                                /*tx_per_proc=*/200, /*access_work=*/3500);
+        numa.sim_costs.numa_nodes = 2;
+        fig8.cases.push_back(std::move(numa));
+      }
+    }
+    {
+      // Eviction-pressure point: the prewarmed cases above never miss, so
+      // their commit stream (and the shard_rebalances gate) is empty. This
+      // one undersizes the pool so the miss path — commits, borrows, and
+      // the rebalance cadence — carries real, gated counts.
+      BenchCase evict = SimDet("det.sim.dbt2.pgShard.p16.evict", "dbt2",
+                               8192, "pgShard", 16,
+                               /*tx_per_proc=*/400, /*access_work=*/3500);
+      evict.config.num_frames = 1024;
+      evict.config.prewarm = false;
+      fig8.cases.push_back(std::move(evict));
+
+      // Same point with sharded ARC: the only stack whose rebalance
+      // exchange (the batched cross-shard target-p blend) actually runs,
+      // so coord.shard_rebalances is gated at a non-zero value.
+      BenchCase arc = SimDet("det.sim.dbt2.shardedARC.p16.evict", "dbt2",
+                             8192, "pgShard", 16,
+                             /*tx_per_proc=*/400, /*access_work=*/3500);
+      arc.config.system.policy = "arc";
+      arc.config.num_frames = 1024;
+      arc.config.prewarm = false;
+      fig8.cases.push_back(std::move(arc));
+    }
+    suites.push_back(std::move(fig8));
+  }
+
+  {
     // Lock-path microscope: tiny non-critical work so the ContentionLock
     // is the whole story, across the three coordination designs
     // (serialized, batched TryLock, flat combining). Deterministic.

@@ -531,6 +531,13 @@ Status BufferPool::CheckIntegrity() {
   if (mapped + free_frames.size() != config_.num_frames) {
     return Status::Corruption("mapped + free != total frames");
   }
+  // Coordinator-internal conservation checks first (combining publication
+  // slots: every published batch applied exactly once; sharded: every
+  // mapped page tracked by exactly its home shard). They subsume the
+  // resident-count compare below and produce far more specific diagnoses,
+  // so a conservation bug must reach its own message, not the generic one.
+  Status coord_status = coordinator_->CheckQuiescedInvariants();
+  if (!coord_status.ok()) return coord_status;
   // Quiesced by contract (no concurrent traffic), so this thread has
   // exclusive access to the policy without taking the coordinator's lock.
   const ReplacementPolicy& policy = coordinator_->policy();
@@ -538,10 +545,6 @@ Status BufferPool::CheckIntegrity() {
   if (policy.resident_count() != mapped) {
     return Status::Corruption("policy resident count disagrees with pool");
   }
-  // Coordinator-internal conservation checks (combining publication slots:
-  // every published batch applied exactly once).
-  Status coord_status = coordinator_->CheckQuiescedInvariants();
-  if (!coord_status.ok()) return coord_status;
   return policy.CheckInvariants();
 }
 

@@ -5,7 +5,9 @@
 #include "core/combining_coordinator.h"
 #include "core/serialized_coordinator.h"
 #include "core/shared_queue_coordinator.h"
+#include "core/sharded_coordinator.h"
 #include "policy/policy_factory.h"
+#include "policy/sharded_policy.h"
 
 namespace bpw {
 
@@ -25,6 +27,23 @@ StatusOr<std::unique_ptr<Coordinator>> CreateCoordinator(
     return Status::InvalidArgument(
         "clock-lockfree coordinator requires a clock/gclock policy, got: " +
         config.policy);
+  }
+
+  if (config.coordinator == "sharded") {
+    // The sharded coordinator owns a ShardedPolicy built from the inner
+    // policy name; config.policy here names the *inner* policy.
+    const size_t shards = config.policy_shards == 0 ? 1 : config.policy_shards;
+    auto sharded = ShardedPolicy::Create(config.policy, shards, num_frames);
+    if (!sharded.ok()) return sharded.status();
+    ShardedCoordinator::Options options;
+    options.queue_size = config.queue_size;
+    options.prefetch = config.prefetch;
+    options.rebalance_interval = config.rebalance_interval;
+    options.instrumentation = config.instrumentation;
+    options.test_shard_double_track = config.test_shard_double_track;
+    options.test_shard_stale_eviction = config.test_shard_stale_eviction;
+    return std::unique_ptr<Coordinator>(
+        new ShardedCoordinator(std::move(sharded).value(), options));
   }
 
   auto policy = CreatePolicy(config.policy, num_frames);
@@ -104,11 +123,19 @@ StatusOr<SystemConfig> PaperSystemConfig(const std::string& name) {
     config.prefetch = true;
     return config;
   }
+  if (name == "pgShard") {
+    config.coordinator = "sharded";
+    config.batching = true;
+    config.prefetch = true;
+    config.policy_shards = 8;
+    return config;
+  }
   return Status::InvalidArgument("unknown paper system: " + name);
 }
 
 std::vector<std::string> PaperSystemNames() {
-  return {"pgClock", "pg2Q", "pgPre", "pgBat", "pgBatPre", "pgBat++"};
+  return {"pgClock", "pg2Q", "pgPre", "pgBat", "pgBatPre", "pgBat++",
+          "pgShard"};
 }
 
 }  // namespace bpw

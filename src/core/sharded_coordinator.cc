@@ -1,0 +1,549 @@
+#include "core/sharded_coordinator.h"
+
+#include <atomic>
+#include <cassert>
+
+#include "obs/contention_profiler.h"
+#include "obs/trace_recorder.h"
+#include "sync/prefetch.h"
+#include "testing/schedule_point.h"
+#include "util/clock.h"
+#include "util/fingerprint.h"
+#include "util/logging.h"
+
+namespace bpw {
+
+
+ShardedCoordinator::ShardedCoordinator(std::unique_ptr<ShardedPolicy> policy,
+                                       Options options)
+    : policy_(std::move(policy)),
+      options_(options),
+      stamps_(policy_->num_frames()),
+      metrics_source_(&obs::MetricsRegistry::Default(),
+                      [this](obs::MetricsSnapshot& snap) {
+                        AppendLockMetrics(snap, lock_stats());
+                        snap.Add("coord.commit_batches",
+                                 static_cast<double>(commit_batches()));
+                        snap.Add("coord.committed_entries",
+                                 static_cast<double>(committed_entries()));
+                        snap.Add("coord.stale_commits",
+                                 static_cast<double>(stale_commits()));
+                        snap.Add("coord.hit_drops",
+                                 static_cast<double>(hit_drops()));
+                        snap.Add("coord.shard_rebalances",
+                                 static_cast<double>(shard_rebalances()));
+                        snap.Add("coord.borrow_evictions",
+                                 static_cast<double>(borrow_evictions()));
+                      }) {
+  if (options_.queue_size == 0) options_.queue_size = 1;
+  const size_t num_shards = policy_->shard_count();
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    auto shard = std::make_unique<Shard>(options_.instrumentation);
+    shard->policy = policy_->shard(i);
+    shard->index = i;
+    // All shard locks share one profiler row: the report cares about the
+    // role (per-shard policy lock), not the shard index. The hit path's
+    // zero-acquisition claim is asserted against exactly this site.
+    shard->lock.BindProfSite(BPW_PROF_SITE("sharded.shard_lock"));
+    shards_.push_back(std::move(shard));
+  }
+}
+
+ShardedCoordinator::~ShardedCoordinator() {
+  MutexGuard guard(slots_mu_);
+  if (!slots_.empty()) {
+    BPW_LOG_ERROR << "ShardedCoordinator destroyed with " << slots_.size()
+                  << " live thread slots";
+  }
+}
+
+ShardedCoordinator::Slot::Slot(ShardedCoordinator* owner, size_t num_shards,
+                               size_t queue_size)
+    : owner_(owner) {
+  rings.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) rings.emplace_back(queue_size);
+}
+
+ShardedCoordinator::Slot::~Slot() {
+  // A thread unregistering with queued accesses commits them so no history
+  // is silently lost.
+  bool pending = false;
+  for (const Ring& ring : rings) {
+    if (!ring.empty()) pending = true;
+  }
+  if (pending) owner_->FlushSlot(this);
+  MutexGuard guard(owner_->slots_mu_);
+  owner_->slots_.erase(this);
+}
+
+std::unique_ptr<Coordinator::ThreadSlot> ShardedCoordinator::RegisterThread() {
+  auto slot =
+      std::make_unique<Slot>(this, shards_.size(), options_.queue_size);
+  {
+    MutexGuard guard(slots_mu_);
+    slots_.insert(slot.get());
+  }
+  return slot;
+}
+
+void ShardedCoordinator::OnHit(ThreadSlot* base_slot, PageId page,
+                               FrameId frame) {
+  auto* slot = static_cast<Slot*>(base_slot);
+  const size_t shard = policy_->ShardFor(page);
+  BPW_SCHEDULE_POINT("sharded.on_hit");
+  // Private ring append: drop-oldest on overflow so the freshest history
+  // is what eventually commits. No threshold check, no TryLock, no
+  // fallback Lock — the hit path cannot touch a lock by construction.
+  if (slot->rings[shard].Push(page, frame)) {
+    hit_drops_.fetch_add(1, std::memory_order_relaxed);
+  }
+  StampHit(page, frame);
+}
+
+void ShardedCoordinator::StampHit(PageId page, FrameId frame) {
+  if (frame >= stamps_.size()) return;
+  StampSlot& stamp = stamps_[frame];
+  uint64_t version = stamp.version.load(std::memory_order_relaxed);
+  if (version & 1) return;  // another writer mid-flight: skip, never wait
+  if (!stamp.version.compare_exchange_strong(version, version + 1,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_relaxed)) {
+    return;  // lost the claim race: skip — losing a stamp is harmless
+  }
+  stamp.page.store(page, std::memory_order_relaxed);
+  stamp.tick.store(hit_ticks_.fetch_add(1, std::memory_order_relaxed) + 1,
+                   std::memory_order_relaxed);
+  stamp.version.store(version + 2, std::memory_order_release);
+}
+
+bool ShardedCoordinator::ReadStamp(FrameId frame, PageId* page,
+                                   uint64_t* tick) const {
+  if (frame >= stamps_.size()) return false;
+  const StampSlot& stamp = stamps_[frame];
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const uint64_t v1 = stamp.version.load(std::memory_order_acquire);
+    if (v1 == 0) return false;  // never stamped
+    if (v1 & 1) continue;       // write in flight: retry
+    const PageId snapshot_page = stamp.page.load(std::memory_order_relaxed);
+    const uint64_t snapshot_tick = stamp.tick.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (stamp.version.load(std::memory_order_relaxed) != v1) continue;
+    *page = snapshot_page;
+    *tick = snapshot_tick;
+    return true;
+  }
+  return false;
+}
+
+void ShardedCoordinator::PrefetchForCommit(const Shard& shard,
+                                           const Ring& ring) const {
+  // Touch the shard's lock word first (it is needed soonest), then the
+  // policy node of every queued frame. All reads; cannot corrupt shared
+  // state (§III-B).
+  PrefetchWrite(&shard.lock);
+  for (size_t i = 0; i < ring.size(); ++i) {
+    shard.policy->PrefetchHint(ring.At(i).frame);
+  }
+}
+
+void ShardedCoordinator::CommitShardLocked(Shard& shard, Ring& ring) {
+  // REQUIRES(shard.lock): the shard's lock is what serializes access to
+  // its policy instance — the per-shard capability.
+  shard.policy->AssertExclusiveAccess();
+  BPW_PROF_PHASE("commit");
+  const bool trace = obs::TraceEnabled();
+  // bpw-lint-allow(clock-read-in-critical-section)
+  const uint64_t commit_start = trace ? NowNanos() : 0;
+  uint64_t stale = 0;
+  const size_t n = ring.size();
+  {
+    BPW_PROF_PHASE("replay");
+    for (size_t i = 0; i < n; ++i) {
+      const Ring::Entry& entry = ring.At(i);
+      // §IV-B: skip entries whose buffer page was invalidated or replaced
+      // between recording and committing.
+      if (!TagStillValid(entry.page, entry.frame)) {
+        ++stale;
+        continue;
+      }
+      shard.policy->OnHit(entry.page, entry.frame);
+      shard.last_committed_page = entry.page;
+      shard.last_committed_frame = entry.frame;
+    }
+    ring.Clear();
+  }
+  if (n > 0) {
+    BPW_PROF_PHASE("bookkeeping");
+    // bpw-lint-allow(post-commit-under-lock)
+    commit_batches_.fetch_add(1, std::memory_order_relaxed);
+    // bpw-lint-allow(post-commit-under-lock)
+    committed_entries_.fetch_add(n - stale, std::memory_order_relaxed);
+    if (stale > 0) {
+      // bpw-lint-allow(post-commit-under-lock)
+      stale_commits_.fetch_add(stale, std::memory_order_relaxed);
+    }
+    if (trace) {
+      // bpw-lint-allow(clock-read-in-critical-section)
+      const uint64_t commit_end = NowNanos();
+      // bpw-lint-allow(post-commit-under-lock)
+      obs::TraceEmit(obs::TraceEventKind::kBatchCommit, commit_start,
+                     commit_end - commit_start, n);
+    }
+  }
+  // Rebalance cadence. Counted per commit *call* (not per non-empty batch)
+  // so the model checker's tiny runs still reach the exchange.
+  if (options_.rebalance_interval > 0 && shards_.size() > 1) {
+    if (++shard.commits_since_rebalance >= options_.rebalance_interval) {
+      shard.commits_since_rebalance = 0;
+      if (policy_->RebalanceSupported()) RebalanceLocked(shard);
+      if (options_.test_shard_double_track) DoubleTrackLocked(shard);
+    }
+  }
+}
+
+void ShardedCoordinator::RebalanceLocked(Shard& shard) {
+  shard.policy->AssertExclusiveAccess();
+  // Publish before reading peers, so two shards rebalancing concurrently
+  // both blend in each other's freshest export.
+  shard.rebalance_signal.store(shard.policy->RebalanceExport(),
+                               std::memory_order_release);
+  shard.signal_valid.store(true, std::memory_order_release);
+  uint64_t sum = 0;
+  uint64_t count = 0;
+  for (const auto& peer : shards_) {
+    if (!peer->signal_valid.load(std::memory_order_acquire)) continue;
+    sum += peer->rebalance_signal.load(std::memory_order_acquire);
+    ++count;
+  }
+  // count >= 1: this shard published above.
+  shard.policy->RebalanceApply(sum / count);
+  // bpw-lint-allow(post-commit-under-lock)
+  shard_rebalances_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ShardedCoordinator::DoubleTrackLocked(Shard& shard) {
+  // MUTATION (tests only): re-register this shard's last committed page
+  // with the next shard, so one page is resident in two shards — the bug a
+  // cross-shard rebalance that migrates a page without unregistering it
+  // from the source would introduce. TryLock only: a mutation must never
+  // add a real deadlock (a plant is skipped if the neighbor is busy).
+  // Claim the single plant record atomically: two shards committing
+  // concurrently must not both plant, or the record loses the first
+  // replica's identity and that stale pair becomes invisible to the
+  // shield. Released by MaybeReleaseMutationRecord once both copies of
+  // the previous plant are resolved.
+  if (mut_record_busy_.exchange(true, std::memory_order_acq_rel)) return;
+  const PageId page = shard.last_committed_page;
+  const FrameId frame = shard.last_committed_frame;
+  if (page == kInvalidPageId || !TagStillValid(page, frame)) {
+    mut_record_busy_.store(false, std::memory_order_release);
+    return;
+  }
+  // The tag alone is not proof of a home copy: a stale hit replay during
+  // the page's own in-flight re-miss can record (page, frame) with the tag
+  // already re-bound but the home registration still pending. Planting then
+  // would set mut_home_live_ for a copy that does not exist, and the shield
+  // would later clear it against the wrong registration.
+  shard.policy->AssertExclusiveAccess();
+  if (!shard.policy->IsResident(page)) {
+    mut_record_busy_.store(false, std::memory_order_release);
+    return;
+  }
+  Shard& other = *shards_[(shard.index + 1) % shards_.size()];
+  BPW_SCHEDULE_POINT("sharded.double_track");
+  if (!other.lock.TryLock()) {
+    mut_record_busy_.store(false, std::memory_order_release);
+    return;
+  }
+  ContentionLockAdoptGuard guard(other.lock);
+  other.policy->AssertExclusiveAccess();
+  if (other.policy->IsResident(page) ||
+      other.policy->resident_count() >= policy_->num_frames()) {
+    mut_record_busy_.store(false, std::memory_order_release);
+    return;
+  }
+  MutScrubFrameLocked(other, frame);
+  other.policy->OnMiss(page, frame);
+  MutTrackedLocked(other)[frame] = page;
+  mut_page_.store(page, std::memory_order_relaxed);
+  mut_frame_.store(frame, std::memory_order_relaxed);
+  mut_replica_shard_.store(other.index, std::memory_order_relaxed);
+  mut_home_live_.store(true, std::memory_order_release);
+  mut_replica_live_.store(true, std::memory_order_release);
+}
+
+void ShardedCoordinator::ShieldDeliveryLocked(Shard& shard, PageId incoming,
+                                              FrameId frame) {
+  // A delivery of (incoming, frame) means the pool just bound that frame —
+  // so any copy of the planted page this shard still tracks at that frame
+  // (or for that page) is stale. Erase it before OnMiss so the policy's
+  // own structures stay sound; the *conservation* damage (the copy in the
+  // other shard) is untouched.
+  const bool replica_live = mut_replica_live_.load(std::memory_order_acquire);
+  const bool home_live = mut_home_live_.load(std::memory_order_acquire);
+  if (!replica_live && !home_live) return;
+  const PageId page = mut_page_.load(std::memory_order_relaxed);
+  const FrameId planted_frame = mut_frame_.load(std::memory_order_relaxed);
+  if (frame != planted_frame && incoming != page) return;
+  shard.policy->AssertExclusiveAccess();
+  // Erase on pair match at ANY shard, not just the one whose liveness flag
+  // is set: the pool is binding frame→incoming right now, so a copy of the
+  // planted pair held here is stale no matter which flag survived. (The one
+  // exception — this delivery IS the planted pair, re-registered after a
+  // lost eviction race — degenerates to a harmless erase-then-reinsert.)
+  if (shard.policy->IsResident(page)) {
+    shard.policy->OnErase(page, planted_frame);
+    auto& tracked = MutTrackedLocked(shard);
+    if (planted_frame < tracked.size() && tracked[planted_frame] == page) {
+      tracked[planted_frame] = kInvalidPageId;
+    }
+  }
+  if (replica_live &&
+      shard.index == mut_replica_shard_.load(std::memory_order_relaxed)) {
+    mut_replica_live_.store(false, std::memory_order_release);
+  }
+  if (home_live && shard.index == policy_->ShardFor(page)) {
+    mut_home_live_.store(false, std::memory_order_release);
+  }
+  MaybeReleaseMutationRecord();
+}
+
+void ShardedCoordinator::NoteVictimForMutation(size_t shard_index, PageId page,
+                                               FrameId frame) {
+  // A shard's ChooseVictim detaches the chosen pair from its bookkeeping;
+  // if it was one of the planted page's two copies, that copy is gone.
+  const bool replica_live = mut_replica_live_.load(std::memory_order_acquire);
+  const bool home_live = mut_home_live_.load(std::memory_order_acquire);
+  if (!replica_live && !home_live) return;
+  if (page != mut_page_.load(std::memory_order_relaxed) ||
+      frame != mut_frame_.load(std::memory_order_relaxed)) {
+    return;
+  }
+  if (replica_live &&
+      shard_index == mut_replica_shard_.load(std::memory_order_relaxed)) {
+    // The pool may ACCEPT this stale victim: if the page was re-fetched
+    // into the same frame, the pair's tag is live again and re-validation
+    // passes, so the pool evicts the page underneath the home shard and
+    // orphans its registration. Re-arm the home flag unconditionally
+    // (checking the tag here would race the pool's own re-validation) and
+    // before releasing the replica one, so the record never reads as fully
+    // resolved mid-update: the next delivery matching the pair sheds the
+    // orphan, and replanting stays blocked until it does.
+    mut_home_live_.store(true, std::memory_order_release);
+    mut_replica_live_.store(false, std::memory_order_release);
+  } else if (home_live && shard_index == policy_->ShardFor(page)) {
+    mut_home_live_.store(false, std::memory_order_release);
+    MaybeReleaseMutationRecord();
+  }
+}
+
+void ShardedCoordinator::MaybeReleaseMutationRecord() {
+  if (!mut_replica_live_.load(std::memory_order_acquire) &&
+      !mut_home_live_.load(std::memory_order_acquire)) {
+    mut_record_busy_.store(false, std::memory_order_release);
+  }
+}
+
+std::vector<PageId>& ShardedCoordinator::MutTrackedLocked(Shard& shard) {
+  auto& tracked = shard.mut_tracked_by_frame;
+  if (tracked.empty()) {
+    tracked.assign(policy_->num_frames(), kInvalidPageId);
+  }
+  return tracked;
+}
+
+void ShardedCoordinator::MutScrubFrameLocked(Shard& shard, FrameId frame) {
+  shard.policy->AssertExclusiveAccess();
+  auto& tracked = MutTrackedLocked(shard);
+  if (frame >= tracked.size()) return;
+  const PageId prev = tracked[frame];
+  if (prev == kInvalidPageId) return;
+  shard.policy->OnErase(prev, frame);
+  tracked[frame] = kInvalidPageId;
+}
+
+StatusOr<Coordinator::Victim> ShardedCoordinator::ChooseVictim(
+    ThreadSlot* base_slot, const EvictableFn& evictable, PageId incoming) {
+  auto* slot = static_cast<Slot*>(base_slot);
+  const size_t home = policy_->ShardFor(incoming);
+  const size_t num_shards = shards_.size();
+  // Home shard first (its ghost lists know `incoming`); on exhaustion
+  // borrow from the peers round-robin. One shard lock at a time, released
+  // before the next is tried — never two held, so borrowing cannot
+  // deadlock against any other lock order in the system.
+  for (size_t k = 0; k < num_shards; ++k) {
+    const size_t index = (home + k) % num_shards;
+    Shard& shard = *shards_[index];
+    Ring& ring = slot->rings[index];
+    BPW_SCHEDULE_POINT("sharded.choose_victim");
+    if (options_.prefetch) PrefetchForCommit(shard, ring);
+    ContentionLockGuard guard(shard.lock);
+    shard.policy->AssertExclusiveAccess();
+    BPW_PROF_PHASE("choose_victim");
+    // A miss commits this shard's pending accesses first so its policy
+    // decides with the freshest history (Fig. 4 commit-before-victim,
+    // per shard).
+    CommitShardLocked(shard, ring);
+    auto victim = shard.policy->ChooseVictim(evictable, incoming);
+    if (victim.ok()) {
+      slot->victim_shard = index;
+      slot->has_victim_shard = true;
+      if (k > 0) {
+        // bpw-lint-allow(post-commit-under-lock)
+        borrow_evictions_.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (MutationActive()) {
+        auto& tracked = MutTrackedLocked(shard);
+        const FrameId vf = victim.value().frame;
+        if (vf < tracked.size() && tracked[vf] == victim.value().page) {
+          tracked[vf] = kInvalidPageId;
+        }
+      }
+      if (options_.test_shard_double_track) {
+        NoteVictimForMutation(index, victim.value().page,
+                              victim.value().frame);
+      }
+      return victim;
+    }
+    if (victim.status().code() != StatusCode::kResourceExhausted) {
+      return victim;  // real error: propagate, don't mask by borrowing
+    }
+  }
+  return Status::ResourceExhausted("no evictable frame in any shard");
+}
+
+void ShardedCoordinator::CompleteMiss(ThreadSlot* base_slot, PageId page,
+                                      FrameId frame) {
+  auto* slot = static_cast<Slot*>(base_slot);
+  size_t index = policy_->ShardFor(page);
+  if (options_.test_shard_stale_eviction) {
+    // MUTATION (tests only): the classic memoized-shard-index bug — the
+    // thread caches ShardFor() and never invalidates the cache, so every
+    // delivery is routed to the *previous* miss's home shard (wrong for
+    // ~(N-1)/N of deliveries).
+    const size_t cached = slot->mut_stale_home;
+    slot->mut_stale_home = index;
+    if (cached != SIZE_MAX) index = cached;
+  }
+  Shard& shard = *shards_[index];
+  BPW_SCHEDULE_POINT("sharded.complete_miss");
+  ContentionLockGuard guard(shard.lock);
+  shard.policy->AssertExclusiveAccess();
+  CommitShardLocked(shard, slot->rings[index]);
+  if (options_.test_shard_double_track) {
+    ShieldDeliveryLocked(shard, page, frame);
+  }
+  if (MutationActive()) {
+    // Mutated routing can aim two registrations at one (shard, frame);
+    // shed whatever this shard still tracks at the frame so the policy's
+    // intrusive structures survive the collision (only the *books* are
+    // supposed to be corrupted).
+    MutScrubFrameLocked(shard, frame);
+    if (!TagStillValid(page, frame)) {
+      // A rejected victim re-registered after a concurrent evictor already
+      // rebound its frame: the pair is provably dead, and registering it
+      // would fork this shard's books from the pool with nothing left to
+      // reconcile them.
+      return;
+    }
+    MutTrackedLocked(shard)[frame] = page;
+  }
+  shard.policy->OnMiss(page, frame);
+}
+
+bool ShardedCoordinator::OnErase(ThreadSlot* base_slot, PageId page,
+                                 FrameId frame) {
+  auto* slot = static_cast<Slot*>(base_slot);
+  const size_t index = policy_->ShardFor(page);
+  Shard& shard = *shards_[index];
+  ContentionLockGuard guard(shard.lock);
+  shard.policy->AssertExclusiveAccess();
+  CommitShardLocked(shard, slot->rings[index]);
+  const bool resident = shard.policy->IsResident(page);
+  if (options_.test_shard_double_track) {
+  }
+  if (resident) shard.policy->OnErase(page, frame);
+  if (MutationActive() && resident) {
+    auto& tracked = MutTrackedLocked(shard);
+    if (frame < tracked.size() && tracked[frame] == page) {
+      tracked[frame] = kInvalidPageId;
+    }
+  }
+  if (options_.test_shard_double_track && resident &&
+      page == mut_page_.load(std::memory_order_relaxed) &&
+      mut_home_live_.load(std::memory_order_acquire)) {
+    mut_home_live_.store(false, std::memory_order_release);
+    MaybeReleaseMutationRecord();
+  }
+  return resident;
+}
+
+void ShardedCoordinator::FlushSlot(ThreadSlot* base_slot) {
+  auto* slot = static_cast<Slot*>(base_slot);
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    Ring& ring = slot->rings[i];
+    if (ring.empty()) continue;
+    Shard& shard = *shards_[i];
+    ContentionLockGuard guard(shard.lock);
+    CommitShardLocked(shard, ring);
+  }
+}
+
+LockStats ShardedCoordinator::lock_stats() const {
+  LockStats total;
+  for (const auto& shard : shards_) total += shard->lock.stats();
+  return total;
+}
+
+void ShardedCoordinator::ResetLockStats() {
+  for (auto& shard : shards_) shard->lock.ResetStats();
+}
+
+uint64_t ShardedCoordinator::StateFingerprint() const {
+  // Quiesced-by-contract (model-checker use only: every worker parked).
+  // Stamps are deliberately excluded: they are advisory — nothing reads
+  // them for replacement decisions — so two runs that differ only in
+  // which racing hit won a stamp CAS are the same logical state.
+  Fingerprint fp;
+  for (size_t i = 0; i < policy_->shard_count(); ++i) {
+    fp.Combine(policy_->shard(i)->StateFingerprint());
+  }
+  return fp.value();
+}
+
+uint64_t ShardedCoordinator::SlotStateFingerprint(
+    const ThreadSlot* base_slot) const {
+  const auto* slot = static_cast<const Slot*>(base_slot);
+  Fingerprint fp;
+  for (const Ring& ring : slot->rings) {
+    fp.Combine(ring.size());
+    for (size_t i = 0; i < ring.size(); ++i) {
+      fp.Combine(ring.At(i).page);
+      fp.Combine(ring.At(i).frame);
+    }
+  }
+  return fp.value();
+}
+
+Status ShardedCoordinator::CheckQuiescedInvariants() const {
+  // The seqlock protocol must never park a stamp mid-write: a writer that
+  // claimed (odd version) always publishes (even) before returning.
+  for (size_t frame = 0; frame < stamps_.size(); ++frame) {
+    if (stamps_[frame].version.load(std::memory_order_acquire) & 1) {
+      return Status::Corruption(
+          "hit stamp for frame " + std::to_string(frame) +
+          " left in torn state (odd seqlock version)");
+    }
+  }
+  // The cross-shard conservation oracle, against the pool's frame tags.
+  if (frame_tags_ == nullptr) return Status::OK();
+  policy_->AssertExclusiveAccess();
+  return policy_->CheckShardConservation(
+      [this](FrameId frame) {
+        return frame_tags_[frame].load(std::memory_order_acquire);
+      },
+      frame_tag_count_);
+}
+
+}  // namespace bpw

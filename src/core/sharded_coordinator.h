@@ -1,0 +1,308 @@
+// ShardedCoordinator: per-shard policy capabilities with a lock-free hit
+// path for EVERY policy — the paper's pgClock property generalized.
+//
+// pgClock gets lock-free hits because CLOCK's bookkeeping per hit is one
+// reference bit. For list-based policies the bookkeeping is pointer
+// surgery, so BP-Wrapper batches it; but even batched commits eventually
+// serialize on the single policy lock. This coordinator removes both
+// bottlenecks:
+//
+//  - The policy is a ShardedPolicy: each page-id slice has its own policy
+//    instance behind its own ContentionLock. Commits for different shards
+//    never contend (the TSA REQUIRES(this) single-capability contract
+//    becomes a per-shard capability, statically checked — see the
+//    Shard-reference REQUIRES annotations below).
+//  - A buffer hit touches NO lock, for any policy: it appends to the
+//    hitting thread's private per-shard ring (drop-oldest on overflow, so
+//    the newest history survives) and publishes an advisory per-frame
+//    stamp with a seqlock-style protocol — a CAS claim, two relaxed
+//    payload stores, a release publish. No TryLock, no fallback Lock.
+//    The queued history is committed lazily, on the miss/erase/flush
+//    paths, under the owning shard's lock only.
+//
+// Equivalence: commits replay each ring in arrival order, so the per-shard
+// policy-visible access order equals the true access order regardless of
+// when commits happen. At shard count 1 with no ring overflow the policy
+// therefore ends bit-identical to the serialized/bp-wrapper stacks
+// (tests/equivalence_test.cc asserts this per policy; hit_drops() == 0 is
+// the no-overflow certificate).
+//
+// Rebalance: every `rebalance_interval` commits a shard publishes its
+// adaptive scalar (ARC/CAR's target p) to a lock-free signal board, blends
+// in its peers' last publications, and applies the mean under its own lock
+// — global adaptation rides the committed batch stream, never the hit
+// path, and never takes two shard locks at once.
+#pragma once
+
+#include <unordered_set>
+#include <vector>
+
+#include "core/coordinator.h"
+#include "policy/sharded_policy.h"
+#include "sync/mutex.h"
+
+namespace bpw {
+
+class ShardedCoordinator : public Coordinator {
+ public:
+  struct Options {
+    /// Per-thread per-shard ring capacity. Unlike BP-Wrapper's S, filling
+    /// it never blocks: the oldest entry is dropped (counted in
+    /// hit_drops()) so the freshest history is what eventually commits.
+    size_t queue_size = 64;
+    /// §III-B prefetching of the shard's policy nodes before a commit.
+    bool prefetch = false;
+    /// Committed batches per shard between rebalance exchanges; 0 disables.
+    /// No-op at shard count 1 (preserves bit-identity with unsharded).
+    size_t rebalance_interval = 16;
+    LockInstrumentation instrumentation = LockInstrumentation::kCounts;
+    /// MUTATION KNOB — tests only. At rebalance-cadence boundaries the
+    /// shard re-registers its last committed (page, frame) with the next
+    /// shard, so one page is resident in two shards — the bug a rebalance
+    /// that forgets to unregister from the source shard would have. The
+    /// wrong copy persists until the frame is recycled (replanted at the
+    /// next cadence if so), so the conservation oracle sees it at quiesce.
+    bool test_shard_double_track = false;
+    /// MUTATION KNOB — tests only. CompleteMiss registers the loaded page
+    /// with the shard that supplied the victim frame instead of the page's
+    /// home shard — the classic stale-cached-shard-index bug.
+    bool test_shard_stale_eviction = false;
+  };
+
+  ShardedCoordinator(std::unique_ptr<ShardedPolicy> policy, Options options);
+  ~ShardedCoordinator() override;
+
+  std::unique_ptr<ThreadSlot> RegisterThread() override;
+  /// THE lock-free hit path: ring append + seqlock stamp. Never locks,
+  /// never spins, for every policy.
+  void OnHit(ThreadSlot* slot, PageId page, FrameId frame) override;
+  StatusOr<Victim> ChooseVictim(ThreadSlot* slot, const EvictableFn& evictable,
+                                PageId incoming) override;
+  void CompleteMiss(ThreadSlot* slot, PageId page, FrameId frame) override;
+  bool OnErase(ThreadSlot* slot, PageId page, FrameId frame) override;
+  void FlushSlot(ThreadSlot* slot) override;
+  LockStats lock_stats() const override;
+  void ResetLockStats() override;
+  const ReplacementPolicy& policy() const override { return *policy_; }
+  ReplacementPolicy* mutable_policy() override { return policy_.get(); }
+  std::string name() const override {
+    return options_.prefetch ? "sharded+pre" : "sharded";
+  }
+  bool StateFingerprintSupported() const override {
+    return policy_->StateFingerprintSupported();
+  }
+  uint64_t StateFingerprint() const override BPW_NO_THREAD_SAFETY_ANALYSIS;
+  uint64_t SlotStateFingerprint(const ThreadSlot* slot) const override;
+  /// The cross-shard conservation oracle (quiesced): every mapped page
+  /// resident in exactly its home shard, per-shard counts matching the
+  /// mapped population, and no stamp left in a torn (odd-version) state.
+  Status CheckQuiescedInvariants() const override
+      BPW_NO_THREAD_SAFETY_ANALYSIS;
+
+  const Options& options() const { return options_; }
+  size_t shard_count() const { return policy_->shard_count(); }
+  const ShardedPolicy& sharded_policy() const { return *policy_; }
+
+  uint64_t commit_batches() const {
+    return commit_batches_.load(std::memory_order_relaxed);
+  }
+  uint64_t committed_entries() const {
+    return committed_entries_.load(std::memory_order_relaxed);
+  }
+  uint64_t stale_commits() const {
+    return stale_commits_.load(std::memory_order_relaxed);
+  }
+  /// Hits whose oldest ring entry was dropped on overflow. Zero means the
+  /// committed history is the complete access history (the equivalence
+  /// tests' no-overflow certificate).
+  uint64_t hit_drops() const {
+    return hit_drops_.load(std::memory_order_relaxed);
+  }
+  /// Cross-shard rebalance exchanges performed (deterministic for a
+  /// deterministic commit stream; part of the bench counter gate).
+  uint64_t shard_rebalances() const {
+    return shard_rebalances_.load(std::memory_order_relaxed);
+  }
+  /// Evictions served by a non-home shard after the home shard had nothing
+  /// evictable.
+  uint64_t borrow_evictions() const {
+    return borrow_evictions_.load(std::memory_order_relaxed);
+  }
+
+  /// Seqlock read of frame's last hit stamp. Returns false if the frame
+  /// was never stamped or a consistent snapshot could not be read. Test
+  /// hook for the atomic-stamp protocol.
+  bool ReadStamp(FrameId frame, PageId* page, uint64_t* tick) const;
+
+ private:
+  /// Single-producer ring with drop-oldest overflow. Only the owning
+  /// thread touches it outside a lock; committers touch it from that same
+  /// thread's call stack (commits happen on miss/erase/flush, which the
+  /// owner itself executes), so no synchronization is needed.
+  class Ring {
+   public:
+    struct Entry {
+      PageId page = kInvalidPageId;
+      FrameId frame = kInvalidFrameId;
+    };
+
+    explicit Ring(size_t capacity) : entries_(capacity) {}
+
+    bool full() const { return count_ == entries_.size(); }
+    bool empty() const { return count_ == 0; }
+    size_t size() const { return count_; }
+    /// Appends; if full, drops the oldest entry first and returns true.
+    bool Push(PageId page, FrameId frame) {
+      bool dropped = false;
+      if (full()) {
+        head_ = (head_ + 1) % entries_.size();
+        --count_;
+        dropped = true;
+      }
+      entries_[(head_ + count_) % entries_.size()] = Entry{page, frame};
+      ++count_;
+      return dropped;
+    }
+    const Entry& At(size_t i) const {
+      return entries_[(head_ + i) % entries_.size()];
+    }
+    void Clear() {
+      head_ = 0;
+      count_ = 0;
+    }
+
+   private:
+    std::vector<Entry> entries_;
+    size_t head_ = 0;
+    size_t count_ = 0;
+  };
+
+  /// One policy shard and everything serialized by its lock. The lock is a
+  /// distinct TSA capability per instance: helpers below take `Shard&` and
+  /// REQUIRE(shard.lock), so cross-shard access without that shard's lock
+  /// is a compile error (tests/negative_compile/nc_shard_cross.cc).
+  struct Shard {
+    explicit Shard(LockInstrumentation instrumentation)
+        : lock(instrumentation) {}
+
+    ContentionLock lock;
+    ReplacementPolicy* policy = nullptr;  // borrowed from the adapter
+    size_t index = 0;
+    uint64_t commits_since_rebalance BPW_GUARDED_BY(lock) = 0;
+    // Freshest committed entry, the seed for the double-track mutation.
+    PageId last_committed_page BPW_GUARDED_BY(lock) = kInvalidPageId;
+    FrameId last_committed_frame BPW_GUARDED_BY(lock) = kInvalidFrameId;
+    // Signal board slot: last published adaptive scalar, readable without
+    // the shard lock (rebalance peers read it lock-free).
+    std::atomic<uint64_t> rebalance_signal{0};
+    std::atomic<bool> signal_valid{false};
+    // MUTATION bookkeeping (populated only when a shard mutation is armed):
+    // which page this shard's policy tracks at each frame. Lets the scrub
+    // in CompleteMiss shed ANY stale registration at a frame before a new
+    // delivery relinks its node, keeping the policies' intrusive structures
+    // sound while the conservation books stay corrupted.
+    std::vector<PageId> mut_tracked_by_frame BPW_GUARDED_BY(lock);
+  };
+
+  /// Advisory per-frame hit stamp (seqlock): odd version = write in
+  /// flight. Readers retry; writers CAS-claim and skip on failure, so the
+  /// hit path never waits. Payload is atomic (relaxed) so torn reads are
+  /// impossible even without the version check.
+  struct StampSlot {
+    std::atomic<uint64_t> version{0};
+    std::atomic<PageId> page{kInvalidPageId};
+    std::atomic<uint64_t> tick{0};
+  };
+
+  class Slot : public ThreadSlot {
+   public:
+    Slot(ShardedCoordinator* owner, size_t num_shards, size_t queue_size);
+    ~Slot() override;
+
+    ShardedCoordinator* owner_;
+    std::vector<Ring> rings;  // one per shard
+    size_t victim_shard = 0;  // shard that supplied the last victim frame
+    bool has_victim_shard = false;
+    // MUTATION (test_shard_stale_eviction): memoized home-shard index that
+    // is deliberately never invalidated — each delivery routes to the
+    // *previous* miss's home shard.
+    size_t mut_stale_home = SIZE_MAX;
+  };
+
+  void StampHit(PageId page, FrameId frame);
+  void PrefetchForCommit(const Shard& shard, const Ring& ring) const;
+  /// Replays `ring` into shard's policy (arrival order, §IV-B tag
+  /// re-validation) and advances the rebalance cadence. Caller holds
+  /// exactly shard.lock.
+  void CommitShardLocked(Shard& shard, Ring& ring)
+      BPW_REQUIRES(shard.lock);
+  /// Publishes this shard's adaptive signal and applies the blended mean.
+  void RebalanceLocked(Shard& shard) BPW_REQUIRES(shard.lock);
+  /// MUTATION: plants shard's last committed page into the next shard.
+  void DoubleTrackLocked(Shard& shard) BPW_REQUIRES(shard.lock);
+  /// MUTATION shield: when a frame carrying one of the two tracked copies
+  /// of the planted page is re-delivered to that shard, erase the stale
+  /// copy first. The mutation must corrupt the *conservation* invariant,
+  /// not the policies' internal structures — without this, frame reuse
+  /// would double-insert an already-linked intrusive-list node.
+  void ShieldDeliveryLocked(Shard& shard, PageId incoming, FrameId frame)
+      BPW_REQUIRES(shard.lock);
+  /// MUTATION bookkeeping: a shard's ChooseVictim consumed (page, frame);
+  /// if it was one of the planted page's two copies, mark that copy dead.
+  void NoteVictimForMutation(size_t shard_index, PageId page, FrameId frame);
+  /// MUTATION bookkeeping: hand the plant record back once both copies are
+  /// resolved, so the next rebalance tick can plant again.
+  void MaybeReleaseMutationRecord();
+  /// Whether either shard mutation is armed (the frame-tracking scrub runs
+  /// for both).
+  bool MutationActive() const {
+    return options_.test_shard_double_track ||
+           options_.test_shard_stale_eviction;
+  }
+  /// MUTATION scrub: erase whatever `shard` tracks at `frame` before a new
+  /// delivery binds it — a mutated run can route two registrations to the
+  /// same (shard, frame), and the second would relink a linked node.
+  void MutScrubFrameLocked(Shard& shard, FrameId frame)
+      BPW_REQUIRES(shard.lock);
+  /// Lazily sized frame→page book for `shard` (mutated runs only).
+  std::vector<PageId>& MutTrackedLocked(Shard& shard)
+      BPW_REQUIRES(shard.lock);
+
+  std::unique_ptr<ShardedPolicy> policy_;
+  Options options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<StampSlot> stamps_;  // one per frame
+
+  std::atomic<uint64_t> commit_batches_{0};
+  std::atomic<uint64_t> committed_entries_{0};
+  std::atomic<uint64_t> stale_commits_{0};
+  std::atomic<uint64_t> hit_drops_{0};
+  std::atomic<uint64_t> shard_rebalances_{0};
+  std::atomic<uint64_t> borrow_evictions_{0};
+  std::atomic<uint64_t> hit_ticks_{0};
+
+  // MUTATION record (test_shard_double_track): the planted page's identity
+  // and which of its two copies (home shard / replica shard) still live.
+  // Payload is written before the live flags (release) and read after them
+  // (acquire); each flag flips under the lock of the shard it describes.
+  // `busy` is the single-plant claim: exchanged true by a planter, released
+  // only once both copies are resolved. Without it, two shards committing
+  // concurrently could both plant, and the single record would lose the
+  // first replica's identity — leaving a stale tracked pair no shield
+  // recognizes.
+  std::atomic<bool> mut_record_busy_{false};
+  std::atomic<PageId> mut_page_{kInvalidPageId};
+  std::atomic<FrameId> mut_frame_{kInvalidFrameId};
+  std::atomic<size_t> mut_replica_shard_{0};
+  std::atomic<bool> mut_replica_live_{false};
+  std::atomic<bool> mut_home_live_{false};
+
+  // Live-slot registry so destruction order errors surface loudly.
+  Mutex slots_mu_;
+  std::unordered_set<Slot*> slots_ BPW_GUARDED_BY(slots_mu_);
+
+  // Declared last so it unregisters before anything it reads is destroyed.
+  obs::ScopedMetricSource metrics_source_;
+};
+
+}  // namespace bpw

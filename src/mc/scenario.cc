@@ -9,7 +9,9 @@
 #include "core/combining_coordinator.h"
 #include "core/serialized_coordinator.h"
 #include "core/shared_queue_coordinator.h"
+#include "core/sharded_coordinator.h"
 #include "policy/policy_factory.h"
+#include "policy/sharded_policy.h"
 #include "storage/storage_engine.h"
 #include "util/fingerprint.h"
 
@@ -23,6 +25,26 @@ constexpr size_t kPageSize = 256;
 std::unique_ptr<Coordinator> BuildCoordinator(const ScenarioConfig& config,
                                               size_t frames, bool faithful,
                                               std::string* error) {
+  if (config.coordinator == "sharded") {
+    // The sharded coordinator owns a ShardedPolicy; config.policy names the
+    // inner per-shard policy.
+    const size_t shards =
+        config.policy_shards == 0 ? 1 : config.policy_shards;
+    auto sharded = ShardedPolicy::Create(config.policy, shards, frames);
+    if (!sharded.ok()) {
+      *error = sharded.status().ToString();
+      return nullptr;
+    }
+    ShardedCoordinator::Options options;
+    options.queue_size = config.queue_size;
+    options.rebalance_interval = config.rebalance_interval;
+    options.test_shard_double_track =
+        !faithful && config.mutate_shard_double_track;
+    options.test_shard_stale_eviction =
+        !faithful && config.mutate_shard_stale_eviction;
+    return std::make_unique<ShardedCoordinator>(std::move(sharded).value(),
+                                                options);
+  }
   auto policy = CreatePolicy(config.policy, frames);
   if (!policy.ok()) {
     *error = policy.status().ToString();
@@ -63,7 +85,7 @@ std::unique_ptr<Coordinator> BuildCoordinator(const ScenarioConfig& config,
                                                   options);
   }
   *error = "unknown coordinator '" + config.coordinator +
-           "' (serialized, shared-queue, bp-wrapper, combining)";
+           "' (serialized, shared-queue, bp-wrapper, combining, sharded)";
   return nullptr;
 }
 
@@ -224,11 +246,31 @@ StatusOr<ScenarioConfig> Scenario::Preset(const std::string& name) {
     config.batch_threshold = 2;
     return config;
   }
+  if (name == "shard") {
+    // Two threads through the sharded coordinator: 2 policy shards over 4
+    // pages and 2 frames, rebalance cadence 1 so every commit call crosses
+    // the exchange (and, mutated, the double-track plant). The trace hits
+    // page 0 while it is resident, then misses, so the hit is queued in
+    // the private ring when the miss-path commit replays it — the plant
+    // seed (last_committed) and the stale-home memo both get real values
+    // within four ops. Quiesce runs the cross-shard conservation oracle.
+    config.coordinator = "sharded";
+    config.policy = "lru";
+    config.policy_shards = 2;
+    config.rebalance_interval = 1;
+    config.threads = 2;
+    config.pages = 4;
+    config.frames = 2;
+    config.queue_size = 4;
+    config.ops_per_thread = 4;
+    config.trace = {0, 0, 1, 2};
+    return config;
+  }
   return Status::InvalidArgument("unknown scenario '" + name + "'");
 }
 
 std::vector<std::string> Scenario::PresetNames() {
-  return {"eviction", "handoff", "race", "serial", "combine"};
+  return {"eviction", "handoff", "race", "serial", "combine", "shard"};
 }
 
 std::vector<PageId> Scenario::TraceFor(int thread) const {

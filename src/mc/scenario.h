@@ -35,7 +35,7 @@ namespace mc {
 
 struct ScenarioConfig {
   std::string name = "eviction";
-  /// "serialized", "shared-queue", "bp-wrapper", or "combining".
+  /// "serialized", "shared-queue", "bp-wrapper", "combining", or "sharded".
   std::string coordinator = "shared-queue";
   /// Any CreatePolicy name; only fingerprint-supporting policies (lru,
   /// fifo, clock, gclock) enable state dedup.
@@ -45,6 +45,10 @@ struct ScenarioConfig {
   int frames = 2;
   size_t queue_size = 4;
   size_t batch_threshold = 2;
+  /// Sharded coordinator only: policy shard count and rebalance cadence
+  /// (commit calls per shard between exchanges; 0 disables).
+  size_t policy_shards = 1;
+  size_t rebalance_interval = 0;
   int ops_per_thread = 3;
   /// Explicit per-thread access trace; when empty, thread t's op j accesses
   /// page (t*2 + j) % pages.
@@ -62,6 +66,9 @@ struct ScenarioConfig {
   bool mutate_combine_skip_release = false;       // slot never recycled
   bool mutate_combine_drain_twice = false;        // slot applied twice
   bool mutate_combine_clear_ready = false;        // batch dropped unapplied
+  // ShardedCoordinator knobs (the seeded cross-shard conservation bugs):
+  bool mutate_shard_double_track = false;    // page resident in two shards
+  bool mutate_shard_stale_eviction = false;  // delivery to a stale shard index
 
   uint64_t max_decisions = 10000;
 };
@@ -117,6 +124,12 @@ class Scenario {
   ///                publication-slot transition (publish, claim, recycle,
   ///                cooperative handoff) is exercised, and the
   ///                conservation invariant is checked at quiesce.
+  ///   "shard"    — 2 threads through ShardedCoordinator (2 policy shards,
+  ///                rebalance cadence 1) on a hit-then-evict trace: ring
+  ///                commits, cross-shard victim borrowing, the rebalance
+  ///                exchange, and the quiesced cross-shard conservation
+  ///                oracle are all on the path. The stage for the
+  ///                shard_double_track / shard_stale_eviction mutations.
   static StatusOr<ScenarioConfig> Preset(const std::string& name);
   static std::vector<std::string> PresetNames();
 

@@ -12,6 +12,7 @@
 // to the buffer pool's two-phase miss path.
 #pragma once
 
+#include <algorithm>
 #include <memory>
 #include <unordered_map>
 
@@ -36,6 +37,25 @@ class ArcPolicy : public ReplacementPolicy {
   }
   bool IsResident(PageId page) const override BPW_REQUIRES_SHARED(this);
   std::string name() const override { return "arc"; }
+  size_t ghost_count() const override BPW_REQUIRES_SHARED(this) {
+    return b1_.size() + b2_.size();
+  }
+  bool IsGhostPage(PageId page) const override BPW_REQUIRES_SHARED(this) {
+    auto it = index_.find(page);
+    return it != index_.end() && IsGhost(it->second->list);
+  }
+
+  // Sharded rebalance: the adaptive target p is the global signal worth
+  // exchanging — a shard seeing only recency traffic would otherwise grow
+  // its p forever while a frequency-heavy peer shrinks its own.
+  bool RebalanceSupported() const override { return true; }
+  uint64_t RebalanceExport() const override BPW_REQUIRES_SHARED(this) {
+    return p_;
+  }
+  void RebalanceApply(uint64_t signal) override BPW_REQUIRES(this) {
+    p_ = static_cast<size_t>(
+        std::min<uint64_t>(signal, num_frames()));
+  }
 
   // Introspection for tests.
   size_t t1_size() const { return t1_.size(); }

@@ -1,0 +1,189 @@
+#include "policy/sharded_policy.h"
+
+#include <sstream>
+
+#include "policy/policy_factory.h"
+#include "util/fingerprint.h"
+
+namespace bpw {
+
+ShardedPolicy::ShardedPolicy(
+    std::vector<std::unique_ptr<ReplacementPolicy>> shards, size_t num_frames)
+    : ReplacementPolicy(num_frames), shards_(std::move(shards)) {}
+
+StatusOr<std::unique_ptr<ShardedPolicy>> ShardedPolicy::Create(
+    const std::string& inner, size_t num_shards, size_t num_frames) {
+  if (num_shards == 0) {
+    return Status::InvalidArgument("sharded policy needs at least one shard");
+  }
+  if (inner.rfind("sharded", 0) == 0) {
+    return Status::InvalidArgument("sharded policy cannot nest: " + inner);
+  }
+  std::vector<std::unique_ptr<ReplacementPolicy>> shards;
+  shards.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    auto policy = CreatePolicy(inner, num_frames);
+    if (!policy.ok()) return policy.status();
+    shards.push_back(std::move(policy).value());
+  }
+  return std::unique_ptr<ShardedPolicy>(
+      new ShardedPolicy(std::move(shards), num_frames));
+}
+
+void ShardedPolicy::OnHit(PageId page, FrameId frame) {
+  ReplacementPolicy& shard = *shards_[ShardFor(page)];
+  shard.AssertExclusiveAccess();  // adapter held exclusively implies shard
+  shard.OnHit(page, frame);
+}
+
+void ShardedPolicy::OnMiss(PageId page, FrameId frame) {
+  ReplacementPolicy& shard = *shards_[ShardFor(page)];
+  shard.AssertExclusiveAccess();
+  shard.OnMiss(page, frame);
+}
+
+StatusOr<ReplacementPolicy::Victim> ShardedPolicy::ChooseVictim(
+    const EvictableFn& evictable, PageId incoming) {
+  const size_t home = ShardFor(incoming);
+  for (size_t k = 0; k < shards_.size(); ++k) {
+    ReplacementPolicy& shard = *shards_[(home + k) % shards_.size()];
+    shard.AssertExclusiveAccess();
+    auto victim = shard.ChooseVictim(evictable, incoming);
+    if (victim.ok()) return victim;
+    if (victim.status().code() != StatusCode::kResourceExhausted) {
+      return victim;  // real error: propagate, don't mask by borrowing
+    }
+  }
+  return Status::ResourceExhausted("no evictable frame in any shard");
+}
+
+void ShardedPolicy::OnErase(PageId page, FrameId frame) {
+  ReplacementPolicy& shard = *shards_[ShardFor(page)];
+  shard.AssertExclusiveAccess();
+  shard.OnErase(page, frame);
+}
+
+Status ShardedPolicy::CheckInvariants() const {
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    shards_[i]->AssertExclusiveAccess();
+    Status status = shards_[i]->CheckInvariants();
+    if (!status.ok()) {
+      return Status::Corruption("shard " + std::to_string(i) + ": " +
+                                status.ToString());
+    }
+  }
+  return Status::OK();
+}
+
+size_t ShardedPolicy::resident_count() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    shard->AssertExclusiveAccess();
+    total += shard->resident_count();
+  }
+  return total;
+}
+
+bool ShardedPolicy::IsResident(PageId page) const {
+  const ReplacementPolicy& shard = *shards_[ShardFor(page)];
+  shard.AssertExclusiveAccess();
+  return shard.IsResident(page);
+}
+
+std::string ShardedPolicy::name() const {
+  std::ostringstream name;
+  name << "sharded" << shards_.size() << ":" << shards_[0]->name();
+  return name.str();
+}
+
+size_t ShardedPolicy::ghost_count() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    shard->AssertExclusiveAccess();
+    total += shard->ghost_count();
+  }
+  return total;
+}
+
+bool ShardedPolicy::IsGhostPage(PageId page) const {
+  const ReplacementPolicy& shard = *shards_[ShardFor(page)];
+  shard.AssertExclusiveAccess();
+  return shard.IsGhostPage(page);
+}
+
+bool ShardedPolicy::StateFingerprintSupported() const {
+  for (const auto& shard : shards_) {
+    if (!shard->StateFingerprintSupported()) return false;
+  }
+  return true;
+}
+
+uint64_t ShardedPolicy::StateFingerprint() const {
+  Fingerprint fp;
+  fp.Combine(shards_.size());
+  for (const auto& shard : shards_) {
+    shard->AssertExclusiveAccess();
+    fp.Combine(shard->StateFingerprint());
+  }
+  return fp.value();
+}
+
+Status ShardedPolicy::CheckShardConservation(
+    const std::function<PageId(FrameId)>& frame_page,
+    size_t frame_count) const {
+  std::vector<size_t> mapped_per_shard(shards_.size(), 0);
+  for (FrameId frame = 0; frame < frame_count; ++frame) {
+    const PageId page = frame_page(frame);
+    if (page == kInvalidPageId) continue;
+    const size_t home = ShardFor(page);
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      shards_[s]->AssertExclusiveAccess();
+      const bool resident = shards_[s]->IsResident(page);
+      if (s == home && !resident) {
+        return Status::Corruption(
+            "shard conservation violated: page " + std::to_string(page) +
+            " (frame " + std::to_string(frame) +
+            ") is mapped but not tracked by its home shard " +
+            std::to_string(home));
+      }
+      if (s != home && resident) {
+        return Status::Corruption(
+            "shard conservation violated: page " + std::to_string(page) +
+            " tracked by shard " + std::to_string(s) + " but its home is " +
+            std::to_string(home) +
+            " (double-tracked or completed into a stale shard)");
+      }
+    }
+    ++mapped_per_shard[home];
+  }
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    shards_[s]->AssertExclusiveAccess();
+    const size_t tracked = shards_[s]->resident_count();
+    if (tracked != mapped_per_shard[s]) {
+      return Status::Corruption(
+          "shard conservation violated: shard " + std::to_string(s) +
+          " tracks " + std::to_string(tracked) + " resident pages but " +
+          std::to_string(mapped_per_shard[s]) + " mapped pages hash to it");
+    }
+  }
+  return Status::OK();
+}
+
+Status ShardedPolicy::CheckGhostDisjointness(PageId universe) const {
+  for (PageId page = 0; page < universe; ++page) {
+    const size_t home = ShardFor(page);
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      if (s == home) continue;
+      shards_[s]->AssertExclusiveAccess();
+      if (shards_[s]->IsGhostPage(page)) {
+        return Status::Corruption(
+            "shard conservation violated: page " + std::to_string(page) +
+            " ghost-tracked by shard " + std::to_string(s) +
+            " but its home is " + std::to_string(home));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace bpw

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "policy/policy_factory.h"
+#include "policy/sharded_policy.h"
 #include "util/random.h"
 
 namespace bpw {
@@ -81,7 +82,8 @@ class SimLock {
 };
 
 // --------------------------------------------------------------- Simulation
-enum class Mode { kClockLockFree, kSerialized, kBpWrapper, kCombining };
+enum class Mode { kClockLockFree, kSerialized, kBpWrapper, kCombining,
+                  kSharded };
 
 struct QueueEntry {
   PageId page;
@@ -92,6 +94,8 @@ struct Proc {
   uint64_t now = 0;
   std::unique_ptr<TraceGenerator> trace;
   std::vector<QueueEntry> queue;  // BP-Wrapper private FIFO
+  // Sharded mode: one private ring per policy shard (drop-oldest overflow).
+  std::vector<std::vector<QueueEntry>> shard_queues;
   // Flat-combining publication slot ("combining" mode only): a published
   // batch waits here until this processor or a peer combiner drains it.
   std::vector<QueueEntry> pub;
@@ -129,10 +133,24 @@ class Simulation {
   }
 
   /// Coherence-scaled cost: with P processors, a fraction (P-1)/P of
-  /// acquisitions find the relevant cache lines in a remote cache.
+  /// acquisitions find the relevant cache lines in a remote cache. With
+  /// numa_nodes > 1 the remote fraction further splits into same-node and
+  /// cross-node transfers, the latter costing numa_remote_mult times as
+  /// much (see SimCosts). The single-node path keeps the original integer
+  /// math so pre-NUMA baselines reproduce bit-for-bit.
   uint64_t Coh(uint64_t nanos) const {
     const uint64_t p = config_.num_threads;
-    return p <= 1 ? 0 : nanos * (p - 1) / p;
+    if (p <= 1) return 0;
+    const uint64_t nodes = std::max<uint64_t>(1, costs_.numa_nodes);
+    if (nodes <= 1) return nanos * (p - 1) / p;
+    const uint64_t node_size = (p + nodes - 1) / nodes;
+    const uint64_t local_peers = node_size - 1;
+    const uint64_t remote_peers = p > node_size ? p - node_size : 0;
+    const double weight =
+        (static_cast<double>(local_peers) +
+         static_cast<double>(remote_peers) * costs_.numa_remote_mult) /
+        static_cast<double>(p);
+    return static_cast<uint64_t>(static_cast<double>(nanos) * weight);
   }
 
   /// Lock occupancy for one acquisition committing `n` policy updates.
@@ -201,6 +219,16 @@ class Simulation {
   void HandleHit(Proc& proc, PageId page, FrameId frame);
   void HandleMiss(Proc& proc, PageId page, bool is_write);
 
+  /// The sharded miss path: commit the home shard's ring and evict/register
+  /// under that shard's own lock (peers' locks stay untouched unless the
+  /// victim search borrows a frame from another shard).
+  void HandleMissSharded(Proc& proc, PageId page, bool is_write);
+
+  /// Commits one shard ring (arrival order, §IV-B tag check) and advances
+  /// that shard's rebalance cadence — the sim twin of
+  /// ShardedCoordinator::CommitShardLocked.
+  void CommitShard(Proc& proc, size_t shard, bool measuring);
+
   DriverConfig config_;
   SimCosts costs_;
   SimLock lock_;
@@ -239,6 +267,17 @@ class Simulation {
   // Combining-only counters, mirroring CombiningCoordinator's metrics.
   uint64_t published_batches_ = 0;
   uint64_t combined_batches_ = 0;
+  // Sharded-only state, mirroring ShardedCoordinator. The adapter pointer
+  // aliases policy_ (owned there); each shard gets its own SimLock so
+  // commits for different shards never contend.
+  ShardedPolicy* sharded_ = nullptr;
+  size_t num_shards_ = 1;
+  size_t rebalance_interval_ = 16;
+  std::vector<std::unique_ptr<SimLock>> shard_locks_;
+  std::vector<uint64_t> shard_commit_counts_;
+  uint64_t shard_rebalances_ = 0;
+  uint64_t hit_drops_ = 0;
+  uint64_t borrow_evictions_ = 0;
 };
 
 void Simulation::CommitEntries(const std::vector<QueueEntry>& entries,
@@ -265,6 +304,29 @@ void Simulation::CommitEntries(const std::vector<QueueEntry>& entries,
 void Simulation::CommitQueue(Proc& proc, bool measuring) {
   CommitEntries(proc.queue, measuring);
   proc.queue.clear();
+}
+
+void Simulation::CommitShard(Proc& proc, size_t shard, bool measuring) {
+  CommitEntries(proc.shard_queues[shard], measuring);
+  proc.shard_queues[shard].clear();
+  // Rebalance cadence (per commit call, as in the host coordinator).
+  if (rebalance_interval_ == 0 || num_shards_ <= 1) return;
+  if (++shard_commit_counts_[shard] < rebalance_interval_) return;
+  shard_commit_counts_[shard] = 0;
+  if (!sharded_->RebalanceSupported()) return;
+  // Single real thread: the signal-board exchange collapses to reading
+  // every shard's export directly and applying the mean under this
+  // shard's lock — same blended value the host protocol converges to.
+  uint64_t sum = 0;
+  for (size_t i = 0; i < num_shards_; ++i) {
+    ReplacementPolicy* peer = sharded_->shard(i);
+    peer->AssertExclusiveAccess();  // single real thread; see CommitQueue
+    sum += peer->RebalanceExport();
+  }
+  ReplacementPolicy* own = sharded_->shard(shard);
+  own->AssertExclusiveAccess();  // single real thread; see CommitQueue
+  own->RebalanceApply(sum / num_shards_);
+  if (measuring) ++shard_rebalances_;
 }
 
 void Simulation::CommitCombine(Proc& proc, uint64_t t, uint64_t release,
@@ -329,6 +391,20 @@ void Simulation::HandleHit(Proc& proc, PageId page, FrameId frame) {
       CommitQueue(proc, measuring);
       return;
     }
+    case Mode::kSharded: {
+      // The generalized-pgClock hit path: a private ring append plus the
+      // seqlock stamp publish. No threshold check, no TryLock, no
+      // fallback — a hit never touches any lock, for any policy.
+      proc.now += costs_.record + costs_.stamp;
+      auto& queue = proc.shard_queues[ShardedPolicy::ShardOf(page,
+                                                             num_shards_)];
+      if (queue.size() >= queue_size_) {
+        queue.erase(queue.begin());  // drop-oldest: freshest history wins
+        if (Measuring(proc.now)) ++hit_drops_;
+      }
+      queue.push_back(QueueEntry{page, frame});
+      return;
+    }
     case Mode::kCombining: {
       proc.now += costs_.record;
       proc.queue.push_back(QueueEntry{page, frame});
@@ -376,7 +452,67 @@ void Simulation::HandleHit(Proc& proc, PageId page, FrameId frame) {
   }
 }
 
+void Simulation::HandleMissSharded(Proc& proc, PageId page, bool is_write) {
+  policy_->AssertExclusiveAccess();  // single real thread; see CommitQueue
+  const size_t home = ShardedPolicy::ShardOf(page, num_shards_);
+  FrameId frame;
+  bool write_back = false;
+  {
+    // Phase 1: under the HOME shard's lock only — commit that shard's
+    // ring, then pick a victim (or take a free frame).
+    const bool need_evict = free_frames_.empty();
+    const uint64_t occupancy =
+        Occupancy(proc.shard_queues[home].size(),
+                  need_evict ? costs_.victim_search : 0);
+    const bool measuring = Measuring(proc.now);
+    proc.now =
+        shard_locks_[home]->AcquireBlocking(proc.now, occupancy, measuring);
+    CommitShard(proc, home, measuring);
+    if (need_evict) {
+      auto victim = policy_->ChooseVictim([](FrameId) { return true; }, page);
+      if (!victim.ok()) return;  // cannot happen: no pins in the simulator
+      frame = victim->frame;
+      // A victim from a non-home shard means the home shard had nothing
+      // evictable and the search borrowed: the borrowed shard's lock was
+      // taken for its own victim scan.
+      const size_t victim_home =
+          ShardedPolicy::ShardOf(victim->page, num_shards_);
+      if (victim_home != home) {
+        proc.now = shard_locks_[victim_home]->AcquireBlocking(
+            proc.now, Occupancy(0, costs_.victim_search), measuring);
+        if (measuring) ++borrow_evictions_;
+      }
+      residency_.erase(victim->page);
+      frame_page_[frame] = kInvalidPageId;
+      write_back = frame_dirty_[frame];
+      frame_dirty_[frame] = false;
+      ++evictions_;
+    } else {
+      frame = free_frames_.back();
+      free_frames_.pop_back();
+    }
+  }
+  // Outside every lock: write back the dirty victim, then read the page.
+  if (write_back) {
+    proc.now += costs_.io_write;
+    ++writebacks_;
+  }
+  proc.now += costs_.io_read;
+
+  // Phase 2: under the home shard's lock — register the new page.
+  proc.now = shard_locks_[home]->AcquireBlocking(proc.now, Occupancy(1),
+                                                 Measuring(proc.now));
+  policy_->OnMiss(page, frame);
+  frame_page_[frame] = page;
+  frame_dirty_[frame] = is_write;
+  residency_[page] = Resident{frame, proc.now};
+}
+
 void Simulation::HandleMiss(Proc& proc, PageId page, bool is_write) {
+  if (mode_ == Mode::kSharded) {
+    HandleMissSharded(proc, page, is_write);
+    return;
+  }
   policy_->AssertExclusiveAccess();  // single real thread; see CommitQueue
   // Phase 1: under the lock — commit any queued accesses, then pick a
   // victim (or take a free frame).
@@ -496,6 +632,8 @@ StatusOr<DriverResult> Simulation::Run() {
     mode_ = Mode::kBpWrapper;
   } else if (config_.system.coordinator == "combining") {
     mode_ = Mode::kCombining;
+  } else if (config_.system.coordinator == "sharded") {
+    mode_ = Mode::kSharded;
   } else {
     return Status::InvalidArgument("unknown coordinator: " +
                                    config_.system.coordinator);
@@ -515,9 +653,24 @@ StatusOr<DriverResult> Simulation::Run() {
   const size_t num_frames =
       config_.num_frames != 0 ? config_.num_frames : footprint;
 
-  auto policy = CreatePolicy(config_.system.policy, num_frames);
-  if (!policy.ok()) return policy.status();
-  policy_ = std::move(policy).value();
+  if (mode_ == Mode::kSharded) {
+    num_shards_ = std::max<size_t>(1, config_.system.policy_shards);
+    rebalance_interval_ = config_.system.rebalance_interval;
+    auto sharded =
+        ShardedPolicy::Create(config_.system.policy, num_shards_, num_frames);
+    if (!sharded.ok()) return sharded.status();
+    sharded_ = sharded.value().get();
+    policy_ = std::move(sharded).value();
+    shard_locks_.reserve(num_shards_);
+    shard_commit_counts_.assign(num_shards_, 0);
+    for (size_t i = 0; i < num_shards_; ++i) {
+      shard_locks_.push_back(std::make_unique<SimLock>(costs_));
+    }
+  } else {
+    auto policy = CreatePolicy(config_.system.policy, num_frames);
+    if (!policy.ok()) return policy.status();
+    policy_ = std::move(policy).value();
+  }
 
   frame_page_.assign(num_frames, kInvalidPageId);
   frame_dirty_.assign(num_frames, false);
@@ -548,6 +701,7 @@ StatusOr<DriverResult> Simulation::Run() {
   for (uint32_t i = 0; i < config_.num_threads; ++i) {
     procs_[i].trace = CreateTrace(config_.workload, i);
     procs_[i].rng.Reseed(config_.workload.seed * 977 + i);
+    if (mode_ == Mode::kSharded) procs_[i].shard_queues.resize(num_shards_);
   }
 
   std::priority_queue<uint32_t, std::vector<uint32_t>, ProcOrder> heap(
@@ -592,7 +746,13 @@ StatusOr<DriverResult> Simulation::Run() {
                          ? 0.0
                          : static_cast<double>(result.hits) /
                                static_cast<double>(result.accesses);
-  result.lock = lock_.stats();
+  if (mode_ == Mode::kSharded) {
+    // The single global lock is never touched in sharded mode; the
+    // system's lock behaviour is the sum over the per-shard locks.
+    for (const auto& lock : shard_locks_) result.lock += lock->stats();
+  } else {
+    result.lock = lock_.stats();
+  }
   if (result.accesses > 0) {
     result.contentions_per_million =
         static_cast<double>(result.lock.contentions) * 1e6 /
@@ -622,6 +782,15 @@ StatusOr<DriverResult> Simulation::Run() {
                        static_cast<double>(published_batches_));
     result.metrics.Add("coord.combined_batches",
                        static_cast<double>(combined_batches_));
+  }
+  if (mode_ == Mode::kSharded) {
+    // Only the sharded mode has these (same baseline-stability reasoning
+    // as the combining block above).
+    result.metrics.Add("coord.shard_rebalances",
+                       static_cast<double>(shard_rebalances_));
+    result.metrics.Add("coord.hit_drops", static_cast<double>(hit_drops_));
+    result.metrics.Add("coord.borrow_evictions",
+                       static_cast<double>(borrow_evictions_));
   }
   result.metrics.Add("buffer.hits", static_cast<double>(result.hits));
   result.metrics.Add("buffer.misses", static_cast<double>(result.misses));

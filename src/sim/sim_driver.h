@@ -79,6 +79,18 @@ struct SimCosts {
                               ///< OUTSIDE the lock: early release)
   uint64_t handoff_spin = 120;  ///< bounded cooperative-handoff poll after
                                 ///< a failed TryLock with a batch published
+  // --- Sharded costs (used only by the "sharded" coordinator).
+  uint64_t stamp = 15;  ///< seqlock hit-stamp publish (CAS + two stores),
+                        ///< the sharded hit path's only shared-state touch
+  // --- NUMA cost mode. With numa_nodes > 1, the [coh] remote-cache
+  // fraction splits into same-node transfers (cost x1) and cross-node
+  // transfers (cost x numa_remote_mult): processors are distributed over
+  // the nodes in equal blocks, so of a processor's P-1 peers, node_size-1
+  // are local and the rest pay the cross-node multiplier. numa_nodes = 1
+  // preserves the original integer-exact (P-1)/P scaling bit-for-bit, so
+  // every existing baseline is untouched.
+  uint64_t numa_nodes = 1;
+  double numa_remote_mult = 2.0;
   /// Uniform jitter applied to access_work (0.1 = ±10%), breaking lockstep.
   double jitter = 0.1;
 };

@@ -180,7 +180,8 @@ TEST(CoordinatorFactoryTest, UnknownCoordinatorRejected) {
 
 TEST(PaperSystemsTest, AllFiveConfigsResolve) {
   const auto names = PaperSystemNames();
-  ASSERT_EQ(names.size(), 6u);  // the paper's five + this repo's pgBat++
+  // The paper's five + this repo's pgBat++ and pgShard.
+  ASSERT_EQ(names.size(), 7u);
   for (const auto& name : names) {
     auto config = PaperSystemConfig(name);
     ASSERT_TRUE(config.ok()) << name;
@@ -221,6 +222,14 @@ TEST(PaperSystemsTest, ConfigsMatchTableOne) {
   EXPECT_EQ(batpp->coordinator, "combining");
   EXPECT_TRUE(batpp->batching);
   EXPECT_TRUE(batpp->prefetch);
+
+  auto shard = PaperSystemConfig("pgShard");
+  ASSERT_TRUE(shard.ok());
+  EXPECT_EQ(shard->policy, "2q");
+  EXPECT_EQ(shard->coordinator, "sharded");
+  EXPECT_EQ(shard->policy_shards, 8u);
+  EXPECT_TRUE(shard->batching);
+  EXPECT_TRUE(shard->prefetch);
 
   EXPECT_FALSE(PaperSystemConfig("pgMagic").ok());
 }

@@ -13,6 +13,7 @@
 
 #include "buffer/buffer_pool.h"
 #include "core/coordinator_factory.h"
+#include "core/sharded_coordinator.h"
 #include "policy/policy_factory.h"
 #include "util/random.h"
 #include "workload/trace_generator.h"
@@ -22,10 +23,16 @@ namespace {
 
 constexpr size_t kPageSize = 512;
 
+/// A ring large enough that no test stream can overflow it: overflow drops
+/// history, and a dropped entry would (legitimately) break bit-identity.
+/// hit_drops == 0 is asserted as the certificate.
+constexpr size_t kNoDropQueue = 32768;
+
 struct RunResult {
   std::vector<bool> hit_sequence;
   uint64_t hits = 0;
   uint64_t misses = 0;
+  uint64_t hit_drops = 0;  // sharded only; 0 for every other coordinator
 };
 
 RunResult RunStream(const SystemConfig& system, const WorkloadSpec& workload,
@@ -54,6 +61,10 @@ RunResult RunStream(const SystemConfig& system, const WorkloadSpec& workload,
   result.hits = session->stats().hits;
   result.misses = session->stats().misses;
   EXPECT_TRUE(pool.CheckIntegrity().ok()) << pool.CheckIntegrity().ToString();
+  if (const auto* sharded =
+          dynamic_cast<const ShardedCoordinator*>(&pool.coordinator())) {
+    result.hit_drops = sharded->hit_drops();
+  }
   return result;
 }
 
@@ -90,6 +101,14 @@ TEST_P(EquivalenceTest, BatchingPreservesHitMissSequence) {
   SystemConfig combining_pre = combining;
   combining_pre.prefetch = true;
 
+  // Sharded at shard count 1: a faithful pass-through of the policy, so it
+  // must be bit-identical too — with the lock-free hit path active.
+  SystemConfig sharded;
+  sharded.policy = policy;
+  sharded.coordinator = "sharded";
+  sharded.policy_shards = 1;
+  sharded.queue_size = kNoDropQueue;
+
   const RunResult base = RunStream(serialized, workload, kFrames, kAccesses);
   const RunResult bat = RunStream(batched, workload, kFrames, kAccesses);
   const RunResult batpre =
@@ -97,6 +116,7 @@ TEST_P(EquivalenceTest, BatchingPreservesHitMissSequence) {
   const RunResult comb = RunStream(combining, workload, kFrames, kAccesses);
   const RunResult combpre =
       RunStream(combining_pre, workload, kFrames, kAccesses);
+  const RunResult shard = RunStream(sharded, workload, kFrames, kAccesses);
 
   EXPECT_GT(base.misses, 0u) << "test needs real evictions to be meaningful";
   // No hits-assert: some policies legitimately score zero hits on the pure
@@ -118,6 +138,11 @@ TEST_P(EquivalenceTest, BatchingPreservesHitMissSequence) {
   EXPECT_EQ(base.misses, bat.misses);
   EXPECT_EQ(base.hits, comb.hits);
   EXPECT_EQ(base.misses, comb.misses);
+  EXPECT_EQ(shard.hit_drops, 0u) << "ring overflowed; enlarge kNoDropQueue";
+  EXPECT_EQ(base.hit_sequence, shard.hit_sequence)
+      << "sharding at shard count 1 changed replacement behaviour";
+  EXPECT_EQ(base.hits, shard.hits);
+  EXPECT_EQ(base.misses, shard.misses);
 }
 
 TEST_P(EquivalenceTest, SmallQueueSizesAlsoEquivalent) {
@@ -158,6 +183,7 @@ struct RandomRunResult {
   std::vector<bool> hit_sequence;
   std::vector<bool> drop_outcomes;      // DropPage returned OK
   std::vector<PageId> drain_fingerprint;  // victim order of the final state
+  uint64_t hit_drops = 0;  // sharded only
 };
 
 void RunRandomTraceInto(RandomRunResult* result, const SystemConfig& system,
@@ -190,6 +216,10 @@ void RunRandomTraceInto(RandomRunResult* result, const SystemConfig& system,
   }
   pool.FlushSession(*session);
   EXPECT_TRUE(pool.CheckIntegrity().ok()) << pool.CheckIntegrity().ToString();
+  if (const auto* sharded =
+          dynamic_cast<const ShardedCoordinator*>(&pool.coordinator())) {
+    result->hit_drops = sharded->hit_drops();
+  }
 
   // Drain the policy (quiesced; this intentionally desynchronizes it from
   // the pool, so it is the last thing done with either).
@@ -233,6 +263,13 @@ TEST_P(EquivalenceTest, RandomTraceWithDropsLeavesIdenticalPolicyState) {
   SystemConfig combining = batched;
   combining.coordinator = "combining";
 
+  SystemConfig sharded;
+  sharded.policy = policy;
+  sharded.coordinator = "sharded";
+  sharded.policy_shards = 1;
+  sharded.queue_size = kNoDropQueue;
+  sharded.prefetch = true;
+
   RandomRunResult base;
   RunRandomTraceInto(&base, serialized, seed, kPages, kFrames, kAccesses);
   RandomRunResult bat;
@@ -241,6 +278,8 @@ TEST_P(EquivalenceTest, RandomTraceWithDropsLeavesIdenticalPolicyState) {
   RunRandomTraceInto(&shq, shared_queue, seed, kPages, kFrames, kAccesses);
   RandomRunResult comb;
   RunRandomTraceInto(&comb, combining, seed, kPages, kFrames, kAccesses);
+  RandomRunResult shard;
+  RunRandomTraceInto(&shard, sharded, seed, kPages, kFrames, kAccesses);
 
   EXPECT_EQ(base.hit_sequence, bat.hit_sequence);
   EXPECT_EQ(base.drop_outcomes, bat.drop_outcomes)
@@ -260,6 +299,17 @@ TEST_P(EquivalenceTest, RandomTraceWithDropsLeavesIdenticalPolicyState) {
       << "combining left the policy in a different state than shared-queue";
   EXPECT_EQ(base.drain_fingerprint, comb.drain_fingerprint)
       << "combining left the policy in a different state than serialized";
+
+  // pgShard's claim at shard count 1: the lock-free hit path and lazy ring
+  // commits are a scheduling change only. Same outcomes, same drop
+  // behaviour, and the identical final policy state (same drain order).
+  EXPECT_EQ(shard.hit_drops, 0u) << "ring overflowed; enlarge kNoDropQueue";
+  EXPECT_EQ(base.hit_sequence, shard.hit_sequence)
+      << "sharded(1) diverged on hit/miss outcomes";
+  EXPECT_EQ(base.drop_outcomes, shard.drop_outcomes)
+      << "sharded(1) diverged on drop outcomes";
+  EXPECT_EQ(base.drain_fingerprint, shard.drain_fingerprint)
+      << "sharded(1) left the policy in a different state than serialized";
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -1,0 +1,135 @@
+// "shard" mc preset: bounded exploration of the ShardedCoordinator's
+// commit / borrow / rebalance protocol, plus rediscovery of the two seeded
+// cross-shard conservation bugs (the same mutations the stress harness
+// catches in tests/stress/mutation_test.cc, here found systematically and
+// reproduced from a minimized replay).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "mc/explorer.h"
+#include "mc/replay.h"
+#include "mc/scenario.h"
+
+namespace bpw {
+namespace mc {
+namespace {
+
+#if BPW_SCHEDULE_POINTS
+
+ExploreResult Explore(const ScenarioConfig& config, CooperativeScheduler& sched,
+                      int bound) {
+  ExploreOptions options;
+  options.preemption_bound = bound;
+  Explorer explorer(Scenario(config), options);
+  return explorer.Run(sched);
+}
+
+/// Explore, assert a conservation violation was found, then minimize the
+/// trace and assert the replay still reproduces it.
+void ExpectShardViolation(const ScenarioConfig& config, int bound) {
+  CooperativeScheduler sched;
+  sched.Install();
+  const ExploreResult result = Explore(config, sched, bound);
+  ASSERT_TRUE(result.found_violation)
+      << "mutation survived a bound-" << bound << " exploration ("
+      << result.stats.executions << " executions)";
+  EXPECT_EQ(result.violation.kind, ViolationKind::kInvariant)
+      << result.violation.message;
+  EXPECT_NE(result.violation.message.find("shard conservation"),
+            std::string::npos)
+      << "caught by something other than the conservation oracle: "
+      << result.violation.message;
+
+  ReplayFile replay;
+  replay.config = config;
+  replay.violation_kind = ViolationKindName(result.violation.kind);
+  replay.choices = result.violating_choices;
+  MinimizeStats stats;
+  const ReplayFile minimized = MinimizeReplay(replay, sched, &stats);
+  EXPECT_LE(minimized.choices.size(), replay.choices.size());
+
+  // Round-trip through the on-disk format: the new shard params must
+  // survive serialization or a saved repro rebuilds the wrong scenario.
+  auto parsed = ParseReplay(SerializeReplay(minimized));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().config.policy_shards, config.policy_shards);
+  EXPECT_EQ(parsed.value().config.rebalance_interval,
+            config.rebalance_interval);
+  EXPECT_EQ(parsed.value().config.mutate_shard_double_track,
+            config.mutate_shard_double_track);
+  EXPECT_EQ(parsed.value().config.mutate_shard_stale_eviction,
+            config.mutate_shard_stale_eviction);
+
+  const ReplayOutcome outcome = RunReplay(parsed.value(), sched);
+  sched.Uninstall();
+  ASSERT_TRUE(outcome.result.violated) << "minimized replay lost the bug";
+  EXPECT_NE(outcome.result.violation.message.find("shard conservation"),
+            std::string::npos)
+      << outcome.result.violation.message;
+}
+
+TEST(McShardTest, PresetExploresCleanUnmutated) {
+  // The faithful sharded stack must survive its bounded space — otherwise
+  // the mutation rediscoveries below prove nothing.
+  auto preset = Scenario::Preset("shard");
+  ASSERT_TRUE(preset.ok());
+  CooperativeScheduler sched;
+  sched.Install();
+  const ExploreResult result = Explore(preset.value(), sched, /*bound=*/2);
+  sched.Uninstall();
+  EXPECT_FALSE(result.found_violation) << result.violation.message;
+  EXPECT_TRUE(result.stats.complete);
+}
+
+TEST(McShardTest, ShardCountSweepExploresClean) {
+  // The per-shard capability protocol must hold at every topology: the
+  // degenerate single shard (bit-identical to unsharded), the preset's 2,
+  // and more shards than frames (every shard mostly empty, maximal
+  // borrowing).
+  auto preset = Scenario::Preset("shard");
+  ASSERT_TRUE(preset.ok());
+  CooperativeScheduler sched;
+  sched.Install();
+  for (size_t shards : {1u, 4u}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    ScenarioConfig config = preset.value();
+    config.policy_shards = shards;
+    const ExploreResult result = Explore(config, sched, /*bound=*/2);
+    EXPECT_FALSE(result.found_violation) << result.violation.message;
+    EXPECT_TRUE(result.stats.complete);
+  }
+  sched.Uninstall();
+}
+
+TEST(McShardTest, RediscoversDoubleTracking) {
+  // The rebalance-without-unregister bug: one page resident in two shards.
+  auto preset = Scenario::Preset("shard");
+  ASSERT_TRUE(preset.ok());
+  ScenarioConfig config = preset.value();
+  config.mutate_shard_double_track = true;
+  ExpectShardViolation(config, /*bound=*/1);
+}
+
+TEST(McShardTest, RediscoversStaleEvictionRouting) {
+  // The stale-cached-shard-index bug: deliveries routed to the previous
+  // miss's home shard.
+  auto preset = Scenario::Preset("shard");
+  ASSERT_TRUE(preset.ok());
+  ScenarioConfig config = preset.value();
+  config.mutate_shard_stale_eviction = true;
+  ExpectShardViolation(config, /*bound=*/1);
+}
+
+#else  // !BPW_SCHEDULE_POINTS
+
+TEST(McShardTest, RequiresSchedulePoints) {
+  GTEST_SKIP() << "model checker requires schedule points; this build has "
+                  "-DBPW_SCHEDULE_POINTS=0";
+}
+
+#endif  // BPW_SCHEDULE_POINTS
+
+}  // namespace
+}  // namespace mc
+}  // namespace bpw

@@ -1,0 +1,29 @@
+// NEGATIVE-COMPILE CASE
+// Seeded violation: certifying exclusive access to ONE policy shard and
+// then touching a DIFFERENT shard. Each shard of a ShardedPolicy is its
+// own BPW_CAPABILITY instance — the sharded coordinator's whole safety
+// story is that holding shard i's lock proves nothing about shard j, so
+// cross-shard access under the wrong capability must not compile.
+// Expected clang diagnostic: "calling function 'OnHit' requires holding
+// mutex 'b' exclusively" [-Wthread-safety-analysis].
+//
+// Uses the real ShardedPolicy interface (syntax check only — never
+// linked).
+#include "policy/sharded_policy.h"
+#include "util/types.h"
+
+namespace bpw {
+
+void Drive(ShardedPolicy& sp) {
+  ReplacementPolicy* a = sp.shard(0);
+  ReplacementPolicy* b = sp.shard(1);
+
+  a->AssertExclusiveAccess();
+  a->OnMiss(PageId{1}, FrameId{0});  // covered: a's capability is held
+
+  // VIOLATION: a's certificate does not extend to b — the per-shard
+  // capability is the whole point.
+  b->OnHit(PageId{1}, FrameId{0});
+}
+
+}  // namespace bpw

@@ -1,4 +1,10 @@
 // Tests for the distributed-lock (partitioned) baseline of §V-A.
+//
+// The structural tests run as a value-parameterized sweep over partition
+// counts {1, 3, 64}: the degenerate single partition (equivalent to one
+// serialized pool), a count that does not divide the frame budget (the
+// last partition absorbs the rounding remainder), and more partitions
+// than some pools have frames for (down to one frame per partition).
 #include <gtest/gtest.h>
 
 #include <thread>
@@ -19,24 +25,45 @@ SystemConfig SerializedLru() {
   return system;
 }
 
-TEST(PartitionedPoolTest, SplitsFramesAcrossPartitions) {
+// PartitionedPool::PartitionFor's hash, mirrored so tests can construct
+// colliding / disjoint page sets (same multiplicative family as the page
+// table, different stream).
+size_t PartitionOf(PageId page, size_t num_partitions) {
+  return (page * 0xC2B2AE3D27D4EB4FULL >> 33) % num_partitions;
+}
+
+class PartitionedPoolSweep : public ::testing::TestWithParam<size_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Partitions, PartitionedPoolSweep,
+                         ::testing::Values(1, 3, 64),
+                         ::testing::PrintToStringParamName());
+
+TEST_P(PartitionedPoolSweep, SplitsFramesAcrossPartitions) {
+  const size_t partitions = GetParam();
   StorageEngine storage(1024, kPageSize);
   BufferPoolConfig config;
+  // 100 % 3 != 0 and 100 % 64 != 0: the remainder lands in the last
+  // partition and the sum must still be exact.
   config.num_frames = 100;
   config.page_size = kPageSize;
-  PartitionedPool pool(config, 4, SerializedLru(), &storage);
-  EXPECT_EQ(pool.num_partitions(), 4u);
+  PartitionedPool pool(config, partitions, SerializedLru(), &storage);
+  EXPECT_EQ(pool.num_partitions(), partitions);
   size_t total = 0;
-  for (size_t i = 0; i < 4; ++i) total += pool.partition(i).num_frames();
+  for (size_t i = 0; i < partitions; ++i) {
+    const size_t frames = pool.partition(i).num_frames();
+    EXPECT_GE(frames, 1u) << "partition " << i << " has no frames";
+    total += frames;
+  }
   EXPECT_EQ(total, 100u);
 }
 
-TEST(PartitionedPoolTest, FetchWorksAcrossPartitions) {
+TEST_P(PartitionedPoolSweep, FetchWorksAcrossPartitions) {
+  const size_t partitions = GetParam();
   StorageEngine storage(1024, kPageSize);
   BufferPoolConfig config;
-  config.num_frames = 64;
+  config.num_frames = 64;  // at 64 partitions: one frame each
   config.page_size = kPageSize;
-  PartitionedPool pool(config, 8, SerializedLru(), &storage);
+  PartitionedPool pool(config, partitions, SerializedLru(), &storage);
   auto session = pool.CreateSession();
   for (PageId p = 0; p < 200; ++p) {
     auto handle = pool.FetchPage(*session, p);
@@ -47,15 +74,17 @@ TEST(PartitionedPoolTest, FetchWorksAcrossPartitions) {
   EXPECT_GT(session->stats().misses, 0u);
 }
 
-TEST(PartitionedPoolTest, SamePageSamePartitionAcrossReloads) {
+TEST_P(PartitionedPoolSweep, SamePageSamePartitionAcrossReloads) {
   // Mr.LRU's property: hashing keeps a page in the same partition, so
   // reloads find their history. Verified indirectly: a page fetched twice
-  // is a hit the second time.
+  // is a hit the second time. Frames scale with the partition count so no
+  // partition can overflow however the 32 pages hash.
+  const size_t partitions = GetParam();
   StorageEngine storage(1024, kPageSize);
   BufferPoolConfig config;
-  config.num_frames = 64;
+  config.num_frames = 33 * partitions;
   config.page_size = kPageSize;
-  PartitionedPool pool(config, 8, SerializedLru(), &storage);
+  PartitionedPool pool(config, partitions, SerializedLru(), &storage);
   auto session = pool.CreateSession();
   for (PageId p = 0; p < 32; ++p) {
     auto h = pool.FetchPage(*session, p);
@@ -70,12 +99,13 @@ TEST(PartitionedPoolTest, SamePageSamePartitionAcrossReloads) {
       << "second pass must be all hits";
 }
 
-TEST(PartitionedPoolTest, LockStatsAggregateOverPartitions) {
+TEST_P(PartitionedPoolSweep, LockStatsAggregateOverPartitions) {
+  const size_t partitions = GetParam();
   StorageEngine storage(1024, kPageSize);
   BufferPoolConfig config;
   config.num_frames = 64;
   config.page_size = kPageSize;
-  PartitionedPool pool(config, 4, SerializedLru(), &storage);
+  PartitionedPool pool(config, partitions, SerializedLru(), &storage);
   auto session = pool.CreateSession();
   for (PageId p = 0; p < 100; ++p) {
     auto h = pool.FetchPage(*session, p);
@@ -84,6 +114,29 @@ TEST(PartitionedPoolTest, LockStatsAggregateOverPartitions) {
   EXPECT_GT(pool.lock_stats().acquisitions, 0u);
   pool.ResetLockStats();
   EXPECT_EQ(pool.lock_stats().acquisitions, 0u);
+}
+
+TEST_P(PartitionedPoolSweep, ConcurrentMixedTraffic) {
+  const size_t partitions = GetParam();
+  StorageEngine storage(2048, kPageSize);
+  BufferPoolConfig config;
+  config.num_frames = 128;
+  config.page_size = kPageSize;
+  PartitionedPool pool(config, partitions, SerializedLru(), &storage);
+  std::vector<std::thread> threads;
+  std::atomic<uint64_t> errors{0};
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&pool, &errors, t] {
+      auto session = pool.CreateSession();
+      Random rng(t);
+      for (int i = 0; i < 5000; ++i) {
+        auto h = pool.FetchPage(*session, rng.Uniform(2048));
+        if (!h.ok()) errors.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(errors.load(), 0u);
 }
 
 TEST(PartitionedPoolTest, SkewedAccessConcentratesOnOnePartitionLock) {
@@ -115,26 +168,88 @@ TEST(PartitionedPoolTest, SkewedAccessConcentratesOnOnePartitionLock) {
   EXPECT_EQ(partitions_with_traffic, 1u);
 }
 
-TEST(PartitionedPoolTest, ConcurrentMixedTraffic) {
-  StorageEngine storage(2048, kPageSize);
-  BufferPoolConfig config;
-  config.num_frames = 128;
-  config.page_size = kPageSize;
-  PartitionedPool pool(config, 8, SerializedLru(), &storage);
-  std::vector<std::thread> threads;
-  std::atomic<uint64_t> errors{0};
-  for (int t = 0; t < 8; ++t) {
-    threads.emplace_back([&pool, &errors, t] {
-      auto session = pool.CreateSession();
-      Random rng(t);
-      for (int i = 0; i < 5000; ++i) {
-        auto h = pool.FetchPage(*session, rng.Uniform(2048));
-        if (!h.ok()) errors.fetch_add(1);
-      }
-    });
+TEST(PartitionedPoolTest, HashCollisionsShareOnePartition) {
+  // Partition-hash collision edge case: pages that collide under the
+  // partition hash must land in (and contend on) exactly one sub-pool,
+  // leaving every other partition untouched.
+  constexpr size_t kPartitions = 64;
+  const size_t target = PartitionOf(0, kPartitions);
+  std::vector<PageId> colliding{0};
+  for (PageId p = 1; colliding.size() < 8 && p < 4096; ++p) {
+    if (PartitionOf(p, kPartitions) == target) colliding.push_back(p);
   }
-  for (auto& th : threads) th.join();
-  EXPECT_EQ(errors.load(), 0u);
+  ASSERT_EQ(colliding.size(), 8u)
+      << "hash too uniform to find 8 collisions in 4096 pages?";
+
+  StorageEngine storage(4096, kPageSize);
+  BufferPoolConfig config;
+  config.num_frames = 512;  // 8 frames per partition: all 8 pages fit
+  config.page_size = kPageSize;
+  PartitionedPool pool(config, kPartitions, SerializedLru(), &storage);
+  auto session = pool.CreateSession();
+  for (PageId p : colliding) {
+    auto h = pool.FetchPage(*session, p);
+    ASSERT_TRUE(h.ok()) << h.status().ToString();
+  }
+  // The colliding set fits its partition, so the second pass is all hits —
+  // collisions cost locality, not correctness.
+  const auto stats_before = session->stats();
+  for (PageId p : colliding) {
+    auto h = pool.FetchPage(*session, p);
+    ASSERT_TRUE(h.ok());
+  }
+  EXPECT_EQ(session->stats().misses, stats_before.misses);
+  for (size_t i = 0; i < kPartitions; ++i) {
+    const auto acquisitions =
+        pool.partition(i).coordinator().lock_stats().acquisitions;
+    if (i == target) {
+      EXPECT_GT(acquisitions, 0u);
+    } else {
+      EXPECT_EQ(acquisitions, 0u) << "partition " << i
+                                  << " saw traffic for a colliding set";
+    }
+  }
+}
+
+TEST(PartitionedPoolTest, HashCollisionsThrashAOneFramePartition) {
+  // The same collision set against one-frame partitions: every access
+  // evicts the previous colliding page, so the whole working set thrashes
+  // inside a single partition while 63 partitions sit idle — the paper's
+  // "localized history" criticism in its sharpest form.
+  constexpr size_t kPartitions = 64;
+  const size_t target = PartitionOf(0, kPartitions);
+  PageId other = 0;
+  for (PageId p = 1; p < 4096; ++p) {
+    if (PartitionOf(p, kPartitions) == target) {
+      other = p;
+      break;
+    }
+  }
+  ASSERT_NE(other, 0u);
+
+  StorageEngine storage(4096, kPageSize);
+  BufferPoolConfig config;
+  config.num_frames = kPartitions;  // exactly one frame per partition
+  config.page_size = kPageSize;
+  PartitionedPool pool(config, kPartitions, SerializedLru(), &storage);
+  ASSERT_EQ(pool.partition(target).num_frames(), 1u);
+  auto session = pool.CreateSession();
+  constexpr int kRounds = 20;
+  for (int i = 0; i < kRounds; ++i) {
+    // One handle at a time: a live handle pins the partition's only frame.
+    {
+      auto a = pool.FetchPage(*session, 0);
+      ASSERT_TRUE(a.ok()) << a.status().ToString();
+    }
+    {
+      auto b = pool.FetchPage(*session, other);
+      ASSERT_TRUE(b.ok()) << b.status().ToString();
+    }
+  }
+  EXPECT_EQ(session->stats().misses, 2u * kRounds)
+      << "two colliding pages through a one-frame partition must miss on "
+         "every access";
+  EXPECT_EQ(session->stats().hits, 0u);
 }
 
 }  // namespace

@@ -238,6 +238,56 @@ TEST(SimTest, TwoQOutHitsClockInSim) {
       << "2Q's ghost list must beat clock on a loop";
 }
 
+TEST(SimTest, ShardedAcquiresFewerLocksThanCombining) {
+  // The sharded acceptance criterion: at 16 processors on dbt2 the
+  // lock-free hit path plus per-shard commits must acquire fewer locks
+  // than the flat-combining stack — hits never lock, and the remaining
+  // commit traffic splits over the shards.
+  auto combining = RunSimulation(BaseConfig("pgBat++", 16));
+  auto sharded = RunSimulation(BaseConfig("pgShard", 16));
+  ASSERT_TRUE(combining.ok()) << combining.status().ToString();
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+  EXPECT_LT(sharded->lock.acquisitions, combining->lock.acquisitions)
+      << "pgShard must acquire fewer locks than pgBat++ at 16 processors";
+}
+
+TEST(SimTest, ShardedScalesPastSixtyFourProcessors) {
+  // The p=64..128 regime the bench sweep covers: throughput must keep
+  // growing (or at worst hold) when the machine doubles past the paper's
+  // largest configuration — the per-shard locks keep the commit traffic
+  // from re-serializing.
+  const double t64 = SimTps("pgShard", 64);
+  const double t128 = SimTps("pgShard", 128);
+  EXPECT_GT(t128, t64 * 0.9)
+      << "pgShard must not collapse between 64 and 128 processors";
+}
+
+TEST(SimTest, NumaSingleNodeIsBitIdentical) {
+  // numa_nodes = 1 must preserve the original (P-1)/P coherence scaling
+  // exactly — every existing baseline depends on it.
+  SimCosts numa1;
+  numa1.numa_nodes = 1;
+  auto base = RunSimulation(BaseConfig("pgBatPre", 8));
+  auto under_numa1 = RunSimulation(BaseConfig("pgBatPre", 8), numa1);
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(under_numa1.ok());
+  EXPECT_EQ(base->transactions, under_numa1->transactions);
+  EXPECT_EQ(base->lock.acquisitions, under_numa1->lock.acquisitions);
+  EXPECT_DOUBLE_EQ(base->throughput_tps, under_numa1->throughput_tps);
+}
+
+TEST(SimTest, NumaRemotePenaltySlowsCoherenceBoundSystems) {
+  // With 4 nodes most peers are remote, so [coh] transfers cost more and
+  // a coherence-bound stack loses throughput relative to flat SMP.
+  SimCosts numa4;
+  numa4.numa_nodes = 4;
+  numa4.numa_remote_mult = 4.0;
+  const double flat = SimTps("pg2Q", 16);
+  const double numa = SimTps("pg2Q", 16, numa4);
+  EXPECT_LT(numa, flat)
+      << "cross-node coherence transfers must cost throughput";
+}
+
 TEST(SimMatrixTest, RunsAllCells) {
   DriverConfig base = ScalabilityRunConfig("dbt1", 2048, 20);
   base.warmup_ms = 5;

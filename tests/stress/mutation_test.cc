@@ -172,6 +172,83 @@ TEST(MutationTest, UnmutatedCombiningControlRunPasses) {
   EXPECT_TRUE(result.ok) << result.failure;
 }
 
+// --- Sharded-policy bugs (ShardedCoordinator test hooks).
+//
+// Both seeded bugs break the cross-shard conservation equation (every
+// mapped page resident in exactly its home shard) that the coordinator's
+// CheckQuiescedInvariants verifies inside CheckIntegrity — one oracle
+// covers both the rebalance protocol and the delivery routing.
+
+stress::StressOptions ShardedStressOptions(uint64_t seed) {
+  stress::StressOptions options;
+  options.seed = seed;
+  options.system.policy = "2q";
+  options.system.coordinator = "sharded";
+  options.system.policy_shards = 4;
+  // Tiny ring + fast cadence: commits (and so the mutation's trigger
+  // points) every couple of entries.
+  options.system.queue_size = 8;
+  options.system.rebalance_interval = 2;
+  options.threads = 4;
+  options.ops_per_thread = 6000;
+  // Tiny pool over 4 shards: ~2 resident pages per shard, so victim
+  // searches routinely find the home shard empty and borrow — the exact
+  // window the stale-shard mutation needs.
+  options.frames = 8;
+  options.pages = 96;
+  options.hot_probability = 0.5;
+  options.dirty_probability = 0.3;
+  options.schedule.sleep_probability = 0.02;
+  options.schedule.max_sleep_micros = 200;
+  return options;
+}
+
+void ExpectShardedMutationCaught(void (*arm)(SystemConfig&),
+                                 const char* what) {
+  uint64_t failing_seed = 0;
+  std::string failure;
+  for (uint64_t seed : {101, 102, 103, 104, 105, 106, 107, 108, 109, 110}) {
+    stress::StressOptions options = ShardedStressOptions(seed);
+    arm(options.system);
+    const stress::StressResult result = stress::RunStress(options);
+    if (!result.ok) {
+      failing_seed = seed;
+      failure = result.failure;
+      break;
+    }
+  }
+  ASSERT_NE(failing_seed, 0u)
+      << what << " was not detected by any probed seed; the cross-shard "
+      << "conservation oracle has lost its teeth";
+  EXPECT_NE(failure.find("--seed=" + std::to_string(failing_seed)),
+            std::string::npos)
+      << failure;
+  EXPECT_NE(failure.find("shard conservation"), std::string::npos)
+      << "caught by something other than the conservation oracle: "
+      << failure;
+}
+
+TEST(MutationTest, HarnessCatchesShardDoubleTracking) {
+  // The rebalance-without-unregister bug: one page resident in two shards.
+  ExpectShardedMutationCaught(
+      [](SystemConfig& system) { system.test_shard_double_track = true; },
+      "shard double-tracking");
+}
+
+TEST(MutationTest, HarnessCatchesShardStaleEviction) {
+  // The stale-cached-shard-index bug: a loaded page registered with the
+  // shard that supplied its victim frame instead of its home shard.
+  ExpectShardedMutationCaught(
+      [](SystemConfig& system) { system.test_shard_stale_eviction = true; },
+      "shard stale-eviction routing");
+}
+
+TEST(MutationTest, UnmutatedShardedControlRunPasses) {
+  const stress::StressResult result =
+      stress::RunStress(ShardedStressOptions(101));
+  EXPECT_TRUE(result.ok) << result.failure;
+}
+
 #endif  // BPW_SCHEDULE_POINTS
 
 // Single-threaded hit/miss sequence of a buffer pool, for the equivalence

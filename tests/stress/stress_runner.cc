@@ -175,6 +175,25 @@ std::vector<StressConfig> DefaultStressMatrix() {
       c.batch_threshold = 4;
       matrix.push_back({"combining+pre-s8/" + policy, c});
     }
+    {
+      SystemConfig c;
+      c.policy = policy;
+      c.coordinator = "sharded";
+      c.policy_shards = 4;
+      matrix.push_back({"sharded-x4/" + policy, c});
+    }
+    {
+      SystemConfig c;
+      c.policy = policy;
+      c.coordinator = "sharded";
+      c.policy_shards = 4;
+      c.prefetch = true;
+      // A tiny ring overflows constantly: the drop-oldest path, frequent
+      // small commits, and the rebalance cadence all get exercised.
+      c.queue_size = 8;
+      c.rebalance_interval = 2;
+      matrix.push_back({"sharded-x4+pre-s8/" + policy, c});
+    }
   }
   for (const char* policy : {"clock", "gclock"}) {
     SystemConfig c;
