@@ -1,0 +1,17 @@
+// Shared diagnostic record for the analysis library's checkers.
+#pragma once
+
+#include <string>
+
+namespace bpw {
+namespace analysis {
+
+struct Finding {
+  std::string file;
+  int line = 0;  ///< 1-based
+  std::string rule;
+  std::string message;
+};
+
+}  // namespace analysis
+}  // namespace bpw

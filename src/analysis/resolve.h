@@ -1,0 +1,163 @@
+// Member-reference resolution shared by the checkers: maps a
+// `receiver.member` access observed in a function body to the FieldDecl
+// it names, using the function's local-variable types first, then the
+// enclosing class, then a unique whole-tree match.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/scope_graph.h"
+
+namespace bpw {
+namespace analysis {
+
+/// Splits "a.b" / "a->b" / "b" into receiver ("a" or "") + member ("b").
+struct MemberRef {
+  std::string receiver;
+  std::string member;
+};
+
+inline MemberRef SplitMemberText(const std::string& text) {
+  MemberRef ref;
+  size_t dot = text.rfind('.');
+  const size_t arrow = text.rfind("->");
+  size_t cut = std::string::npos;
+  size_t skip = 1;
+  if (dot != std::string::npos) cut = dot;
+  if (arrow != std::string::npos &&
+      (cut == std::string::npos || arrow > cut)) {
+    cut = arrow;
+    skip = 2;
+  }
+  if (cut == std::string::npos) {
+    ref.member = text;
+    return ref;
+  }
+  ref.member = text.substr(cut + skip);
+  // Receiver: trailing identifier before the separator (drop subscripts
+  // and call chains — an unresolvable receiver just weakens resolution).
+  size_t end = cut;
+  size_t begin = end;
+  while (begin > 0) {
+    const char c = text[begin - 1];
+    if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+        (c >= '0' && c <= '9') || c == '_') {
+      --begin;
+    } else {
+      break;
+    }
+  }
+  if (begin < end && begin == 0) ref.receiver = text.substr(begin, end - begin);
+  if (begin < end && begin > 0) {
+    // Only trust the receiver when the full prefix is that identifier
+    // (so `shards_[i].lock` does not pretend its receiver is `i`).
+    ref.receiver = "";
+  }
+  return ref;
+}
+
+/// Looks for `member` among the fields of any type named inside
+/// `type_text` (right-to-left, so the element type of `vector<Node>` or
+/// `unique_ptr<ProfCell[]>` wins over the container template). Prefers a
+/// type nested in `context_class` when several share a name.
+inline const FieldDecl* FindMemberOfTypeText(const TreeModel& tree,
+                                             const std::string& context_class,
+                                             const std::string& type_text,
+                                             const std::string& member) {
+  std::vector<std::string> idents;
+  std::string cur;
+  for (char c : type_text) {
+    const bool ident_char = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                            (c >= '0' && c <= '9') || c == '_';
+    if (ident_char) {
+      cur += c;
+    } else if (!cur.empty()) {
+      idents.push_back(cur);
+      cur.clear();
+    }
+  }
+  if (!cur.empty()) idents.push_back(cur);
+  for (auto it = idents.rbegin(); it != idents.rend(); ++it) {
+    auto range = tree.types_by_name.equal_range(*it);
+    const FieldDecl* any = nullptr;
+    for (auto t = range.first; t != range.second; ++t) {
+      for (const FieldDecl& f : t->second->fields) {
+        if (f.name != member) continue;
+        if (!context_class.empty() &&
+            t->second->qualified.rfind(context_class + "::", 0) == 0) {
+          return &f;
+        }
+        if (any == nullptr) any = &f;
+      }
+    }
+    if (any != nullptr) return any;
+  }
+  return nullptr;
+}
+
+/// Resolves `receiver.member` from inside `fn` (fn may be nullptr for
+/// annotation args resolved in a bare class context `context_class`).
+inline const FieldDecl* ResolveFieldRef(const TreeModel& tree,
+                                        const FunctionDecl* fn,
+                                        const std::string& context_class,
+                                        const std::string& receiver,
+                                        const std::string& member) {
+  if (member.empty()) return nullptr;
+  if (fn != nullptr) {
+    if (!receiver.empty() && receiver != "this") {
+      auto it = fn->local_types.find(receiver);
+      if (it != fn->local_types.end()) {
+        auto range = tree.types_by_name.equal_range(it->second);
+        // Same-named types are common (every policy has a Node): prefer
+        // the one nested in the enclosing class over an arbitrary match.
+        const FieldDecl* any = nullptr;
+        for (auto t = range.first; t != range.second; ++t) {
+          for (const FieldDecl& f : t->second->fields) {
+            if (f.name != member) continue;
+            if (!context_class.empty() &&
+                t->second->qualified.rfind(context_class + "::", 0) == 0) {
+              return &f;
+            }
+            if (any == nullptr) any = &f;
+          }
+        }
+        if (any != nullptr) return any;
+      }
+    }
+    // The receiver may be a range-for element (`n` over `nodes_`) or a
+    // field reached through another field (`path.cells[s]`): resolve the
+    // container/receiver as a field, then find `member` in the element
+    // type its declared type text names.
+    if (!receiver.empty() && receiver != "this" &&
+        fn->local_types.count(receiver) == 0) {
+      std::string as_field = receiver;
+      auto alias = fn->local_aliases.find(receiver);
+      if (alias != fn->local_aliases.end()) as_field = alias->second;
+      const FieldDecl* rf = tree.ResolveMember(context_class, as_field);
+      if (rf != nullptr) {
+        const FieldDecl* f =
+            FindMemberOfTypeText(tree, context_class, rf->type_text, member);
+        if (f != nullptr) return f;
+      }
+    }
+    // A range-for element aliases its container: resolve the container
+    // member so the element access inherits that field's annotations.
+    if (receiver.empty()) {
+      auto alias = fn->local_aliases.find(member);
+      if (alias != fn->local_aliases.end() && alias->second != member) {
+        return ResolveFieldRef(tree, fn, context_class, "", alias->second);
+      }
+    }
+  }
+  // A local/param of the same name shadows any field (ResolveMember's
+  // unique-across-the-tree fallback must not see through it).
+  if (fn != nullptr && receiver.empty() &&
+      fn->local_types.count(member) > 0) {
+    return nullptr;
+  }
+  return tree.ResolveMember(context_class, member);
+}
+
+}  // namespace analysis
+}  // namespace bpw

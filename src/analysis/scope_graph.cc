@@ -1,0 +1,744 @@
+#include "analysis/scope_graph.h"
+
+#include <algorithm>
+#include <set>
+
+namespace bpw {
+namespace analysis {
+
+namespace {
+
+bool IsTypeKeyword(const std::string& t) {
+  return t == "class" || t == "struct" || t == "union" || t == "enum";
+}
+
+bool IsAnnotationMacro(const std::string& t) {
+  return t.rfind("BPW_", 0) == 0;
+}
+
+/// Joins tokens [begin, end) into readable text: no spaces around member
+/// punctuation so "shard.lock" round-trips.
+std::string JoinTokens(const std::vector<Token>& toks, size_t begin,
+                       size_t end) {
+  std::string out;
+  for (size_t i = begin; i < end; ++i) {
+    const Token& t = toks[i];
+    const bool tight = t.kind == TokKind::kPunct;
+    if (!out.empty() && !tight) {
+      const char last = out.back();
+      if (last != '.' && last != ':' && last != '>' && last != '(') {
+        out += ' ';
+      }
+    }
+    out += t.kind == TokKind::kString ? '"' + t.text + '"' : t.text;
+  }
+  return out;
+}
+
+/// Index of the token matching the opener at `open` ('(' -> ')',
+/// '{' -> '}'), or `toks.size()` if unbalanced.
+size_t MatchingClose(const std::vector<Token>& toks, size_t open,
+                     const char* open_c, const char* close_c) {
+  int depth = 0;
+  for (size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kPunct) continue;
+    if (toks[i].text == open_c) ++depth;
+    if (toks[i].text == close_c) {
+      if (--depth == 0) return i;
+    }
+  }
+  return toks.size();
+}
+
+struct Scope {
+  enum Kind { kNamespace, kType, kFunction, kBlock };
+  Kind kind = kBlock;
+  std::string name;       // type name for kType
+  size_t function_index = static_cast<size_t>(-1);  // into model.functions
+};
+
+class Parser {
+ public:
+  Parser(const std::string& path, const std::string& source) {
+    model_.path = path;
+    model_.lex = Lex(source);
+  }
+
+  FileModel Run() {
+    const std::vector<Token>& toks = model_.lex.tokens;
+    for (size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind == TokKind::kPunct && t.text == "{") {
+        if (IsBracedInitializer()) {
+          // `std::atomic<uint64_t> version{0};` — consume the initializer,
+          // keep the declarator pending for the ';' that follows.
+          const size_t close = MatchingClose(toks, i, "{", "}");
+          i = close == toks.size() ? toks.size() - 1 : close;
+          continue;
+        }
+        OpenBrace(i);
+        pending_.clear();
+        continue;
+      }
+      if (t.kind == TokKind::kPunct && t.text == "}") {
+        CloseBrace(i);
+        pending_.clear();
+        continue;
+      }
+      if (t.kind == TokKind::kPunct && t.text == ";") {
+        EndStatement();
+        pending_.clear();
+        continue;
+      }
+      // Access specifiers do not end with ';'; drop `public:` etc. so they
+      // never merge into the statement that follows them.
+      if (t.kind == TokKind::kPunct && t.text == ":" &&
+          pending_.size() == 1 &&
+          (toks[pending_[0]].text == "public" ||
+           toks[pending_[0]].text == "private" ||
+           toks[pending_[0]].text == "protected")) {
+        pending_.clear();
+        continue;
+      }
+      pending_.push_back(i);
+    }
+    return std::move(model_);
+  }
+
+ private:
+  const std::vector<Token>& Toks() const { return model_.lex.tokens; }
+
+  bool InFunction() const {
+    for (auto it = stack_.rbegin(); it != stack_.rend(); ++it) {
+      if (it->kind == Scope::kFunction) return true;
+    }
+    return false;
+  }
+
+  const Scope* EnclosingType() const {
+    for (auto it = stack_.rbegin(); it != stack_.rend(); ++it) {
+      if (it->kind == Scope::kType) return &*it;
+    }
+    return nullptr;
+  }
+
+  std::string QualifiedTypeName() const {
+    std::string out;
+    for (const Scope& s : stack_) {
+      if (s.kind != Scope::kType) continue;
+      if (!out.empty()) out += "::";
+      out += s.name;
+    }
+    return out;
+  }
+
+  bool PendingHas(const char* kw) const {
+    for (size_t idx : pending_) {
+      const Token& t = Toks()[idx];
+      if (t.kind == TokKind::kIdent && t.text == kw) return true;
+    }
+    return false;
+  }
+
+  bool PendingHasTypeKeyword() const {
+    for (size_t idx : pending_) {
+      const Token& t = Toks()[idx];
+      if (t.kind == TokKind::kIdent && IsTypeKeyword(t.text)) return true;
+    }
+    return false;
+  }
+
+  /// Position (into pending_) of the first '(' that is not part of a
+  /// BPW_* annotation or alignas() clause, or pending_.size().
+  size_t FirstStructuralParen() const {
+    const std::vector<Token>& toks = Toks();
+    for (size_t p = 0; p < pending_.size(); ++p) {
+      const Token& t = toks[pending_[p]];
+      if (t.kind == TokKind::kIdent &&
+          (IsAnnotationMacro(t.text) || t.text == "alignas" ||
+           t.text == "decltype") &&
+          p + 1 < pending_.size() &&
+          toks[pending_[p + 1]].kind == TokKind::kPunct &&
+          toks[pending_[p + 1]].text == "(") {
+        // Skip the macro's argument list.
+        int depth = 0;
+        size_t q = p + 1;
+        for (; q < pending_.size(); ++q) {
+          const Token& u = toks[pending_[q]];
+          if (u.kind != TokKind::kPunct) continue;
+          if (u.text == "(") ++depth;
+          if (u.text == ")" && --depth == 0) break;
+        }
+        p = q;
+        continue;
+      }
+      if (t.kind == TokKind::kPunct && t.text == "(") return p;
+    }
+    return pending_.size();
+  }
+
+  /// Collects BPW_* annotation macros among pending_[from..): name plus
+  /// joined argument text.
+  std::vector<Annotation> CollectAnnotations(size_t from) const {
+    const std::vector<Token>& toks = Toks();
+    std::vector<Annotation> out;
+    for (size_t p = from; p < pending_.size(); ++p) {
+      const Token& t = toks[pending_[p]];
+      if (t.kind != TokKind::kIdent || !IsAnnotationMacro(t.text)) continue;
+      Annotation a;
+      a.name = t.text;
+      a.line = t.line;
+      if (p + 1 < pending_.size() &&
+          toks[pending_[p + 1]].kind == TokKind::kPunct &&
+          toks[pending_[p + 1]].text == "(") {
+        int depth = 0;
+        size_t q = p + 1;
+        size_t args_begin = p + 2;
+        for (; q < pending_.size(); ++q) {
+          const Token& u = toks[pending_[q]];
+          if (u.kind != TokKind::kPunct) continue;
+          if (u.text == "(") ++depth;
+          if (u.text == ")" && --depth == 0) break;
+        }
+        if (q < pending_.size()) {
+          a.args = JoinTokens(toks, pending_[args_begin - 1] + 1,
+                              pending_[q]);
+          p = q;
+        }
+      }
+      out.push_back(std::move(a));
+    }
+    return out;
+  }
+
+  /// Parses pending_ as a function declarator. Returns false if no
+  /// structural '(' exists.
+  bool ParseFunctionDeclarator(FunctionDecl* fn) const {
+    const std::vector<Token>& toks = Toks();
+    const size_t paren = FirstStructuralParen();
+    if (paren == pending_.size() || paren == 0) return false;
+    // Name: identifier chain immediately before the '('.
+    size_t k = paren;
+    std::string name;
+    if (k >= 1 && toks[pending_[k - 1]].kind == TokKind::kIdent) {
+      name = toks[pending_[k - 1]].text;
+      --k;
+      if (k >= 1 && toks[pending_[k - 1]].kind == TokKind::kPunct &&
+          toks[pending_[k - 1]].text == "~") {
+        name = "~" + name;
+        --k;
+      }
+    } else {
+      // operator+=( ... ) and friends: join back to `operator`.
+      size_t j = k;
+      std::string ops;
+      while (j >= 1 && toks[pending_[j - 1]].kind == TokKind::kPunct &&
+             toks[pending_[j - 1]].text != ")" &&
+             toks[pending_[j - 1]].text != "(") {
+        ops = toks[pending_[j - 1]].text + ops;
+        --j;
+      }
+      if (j >= 1 && toks[pending_[j - 1]].kind == TokKind::kIdent &&
+          toks[pending_[j - 1]].text == "operator") {
+        name = "operator" + ops;
+        k = j - 1;
+      } else {
+        return false;
+      }
+    }
+    if (name.empty()) return false;
+    // Qualifier: walk back over `Ident ::` pairs.
+    std::vector<std::string> quals;
+    while (k >= 2 && toks[pending_[k - 1]].kind == TokKind::kPunct &&
+           toks[pending_[k - 1]].text == "::" &&
+           toks[pending_[k - 2]].kind == TokKind::kIdent) {
+      quals.insert(quals.begin(), toks[pending_[k - 2]].text);
+      k -= 2;
+    }
+    fn->name = name;
+    fn->line = toks[pending_[paren]].line;
+    if (!quals.empty()) {
+      std::string q;
+      for (const std::string& s : quals) {
+        if (!q.empty()) q += "::";
+        q += s;
+      }
+      fn->qualifier = q;
+    } else {
+      fn->qualifier = QualifiedTypeName();
+    }
+    fn->qualified =
+        fn->qualifier.empty() ? fn->name : fn->qualifier + "::" + fn->name;
+    // Trailing annotations: everything after the param list's close paren.
+    int depth = 0;
+    size_t close = paren;
+    for (; close < pending_.size(); ++close) {
+      const Token& u = toks[pending_[close]];
+      if (u.kind != TokKind::kPunct) continue;
+      if (u.text == "(") ++depth;
+      if (u.text == ")" && --depth == 0) break;
+    }
+    fn->annotations = CollectAnnotations(close);
+    // Parameter types: split the param list at top-level commas; in each
+    // piece, the last identifier is the variable, the previous one its
+    // (terminal) type name.
+    size_t piece_start = paren + 1;
+    for (size_t p = paren + 1; p <= close && p < pending_.size(); ++p) {
+      const Token& u = toks[pending_[p]];
+      const bool at_split =
+          p == close || (u.kind == TokKind::kPunct && u.text == "," &&
+                         ParenDepthAt(paren, p) == 1);
+      if (!at_split) continue;
+      std::string var, type;
+      for (size_t q = p; q > piece_start; --q) {
+        const Token& w = toks[pending_[q - 1]];
+        if (w.kind != TokKind::kIdent) continue;
+        if (w.text == "const") continue;
+        if (var.empty()) {
+          var = w.text;
+        } else {
+          type = w.text;
+          break;
+        }
+      }
+      if (!var.empty() && !type.empty()) fn->local_types[var] = type;
+      piece_start = p + 1;
+    }
+    return true;
+  }
+
+  int ParenDepthAt(size_t open_pos, size_t at) const {
+    const std::vector<Token>& toks = Toks();
+    int depth = 0;
+    for (size_t p = open_pos; p < at; ++p) {
+      const Token& u = toks[pending_[p]];
+      if (u.kind != TokKind::kPunct) continue;
+      if (u.text == "(") ++depth;
+      if (u.text == ")") --depth;
+    }
+    return depth;
+  }
+
+  /// A '{' that is a member/global initializer rather than a new scope:
+  /// at type or namespace scope, with a declarator pending that has no
+  /// structural paren and names no new type.
+  bool IsBracedInitializer() const {
+    if (pending_.empty() || InFunction()) return false;
+    if (PendingHas("namespace") || PendingHasTypeKeyword()) return false;
+    return FirstStructuralParen() == pending_.size();
+  }
+
+  void OpenBrace(size_t brace_tok) {
+    Scope scope;
+    if (PendingHas("namespace")) {
+      scope.kind = Scope::kNamespace;
+      stack_.push_back(scope);
+      return;
+    }
+    if (InFunction()) {
+      scope.kind = Scope::kBlock;
+      stack_.push_back(scope);
+      return;
+    }
+    if (PendingHasTypeKeyword()) {
+      scope.kind = Scope::kType;
+      scope.name = TypeNameFromPending();
+      stack_.push_back(scope);
+      TypeDecl type;
+      type.name = scope.name;
+      type.qualified = QualifiedTypeName();
+      type.file = model_.path;
+      type.line = Toks()[brace_tok].line;
+      model_.types.push_back(std::move(type));
+      type_stack_.push_back(model_.types.size() - 1);
+      return;
+    }
+    FunctionDecl fn;
+    if (ParseFunctionDeclarator(&fn)) {
+      fn.file = model_.path;
+      fn.has_body = true;
+      fn.body_begin = brace_tok + 1;
+      model_.functions.push_back(std::move(fn));
+      scope.kind = Scope::kFunction;
+      scope.function_index = model_.functions.size() - 1;
+      stack_.push_back(scope);
+      return;
+    }
+    scope.kind = Scope::kBlock;  // braced init at namespace scope, etc.
+    stack_.push_back(scope);
+  }
+
+  void CloseBrace(size_t brace_tok) {
+    if (stack_.empty()) return;
+    const Scope closing = stack_.back();
+    stack_.pop_back();
+    if (closing.kind == Scope::kFunction &&
+        closing.function_index < model_.functions.size()) {
+      FunctionDecl& fn = model_.functions[closing.function_index];
+      fn.body_end = brace_tok;
+      AddBodyLocals(&fn);
+    }
+    if (closing.kind == Scope::kType && !type_stack_.empty()) {
+      type_stack_.pop_back();
+    }
+  }
+
+  std::string TypeNameFromPending() const {
+    const std::vector<Token>& toks = Toks();
+    bool saw_kw = false;
+    for (size_t p = 0; p < pending_.size(); ++p) {
+      const Token& t = toks[pending_[p]];
+      if (t.kind == TokKind::kIdent && IsTypeKeyword(t.text)) {
+        saw_kw = true;
+        continue;
+      }
+      if (!saw_kw || t.kind != TokKind::kIdent) continue;
+      if (IsAnnotationMacro(t.text) || t.text == "alignas") {
+        // Skip the macro call's parens.
+        if (p + 1 < pending_.size() &&
+            toks[pending_[p + 1]].kind == TokKind::kPunct &&
+            toks[pending_[p + 1]].text == "(") {
+          int depth = 0;
+          size_t q = p + 1;
+          for (; q < pending_.size(); ++q) {
+            const Token& u = toks[pending_[q]];
+            if (u.kind != TokKind::kPunct) continue;
+            if (u.text == "(") ++depth;
+            if (u.text == ")" && --depth == 0) break;
+          }
+          p = q;
+        }
+        continue;
+      }
+      if (t.text == "final") continue;
+      return t.text;
+    }
+    return "<anon>";
+  }
+
+  void EndStatement() {
+    if (pending_.empty()) return;
+    const bool in_type = !stack_.empty() && stack_.back().kind == Scope::kType;
+    const bool in_ns =
+        !stack_.empty() && stack_.back().kind == Scope::kNamespace;
+    if (InFunction()) return;  // body statements are the checkers' domain
+    if (PendingHasTypeKeyword()) return;  // forward decl / friend class
+    const std::string& first = Toks()[pending_.front()].text;
+    if (first == "using" || first == "typedef" || first == "template" ||
+        first == "friend" || first == "public" || first == "private" ||
+        first == "protected") {
+      return;
+    }
+    const size_t paren = FirstStructuralParen();
+    if (paren != pending_.size()) {
+      // Method/function declaration (no body): keep it for its annotations.
+      FunctionDecl fn;
+      if (ParseFunctionDeclarator(&fn)) {
+        fn.file = model_.path;
+        model_.functions.push_back(std::move(fn));
+      }
+      return;
+    }
+    if (in_type && !type_stack_.empty()) {
+      ParseField(&model_.types[type_stack_.back()].fields,
+                 QualifiedTypeName());
+    } else if (in_ns && pending_.size() >= 2) {
+      ParseField(&model_.globals, "");
+    }
+  }
+
+  void ParseField(std::vector<FieldDecl>* sink, const std::string& owner) {
+    const std::vector<Token>& toks = Toks();
+    FieldDecl field;
+    field.annotations = CollectAnnotations(0);
+    // Name: last plain identifier before the first annotation, '=',
+    // or '{' marker. (Braced initializers open a Block scope, so pending_
+    // at ';' normally ends at the declarator; '=' initializers keep their
+    // tail here.)
+    size_t limit = pending_.size();
+    for (size_t p = 0; p < pending_.size(); ++p) {
+      const Token& t = toks[pending_[p]];
+      if (t.kind == TokKind::kIdent && IsAnnotationMacro(t.text)) {
+        limit = p;
+        break;
+      }
+      if (t.kind == TokKind::kPunct && t.text == "=") {
+        limit = p;
+        break;
+      }
+    }
+    std::string name;
+    size_t name_pos = limit;
+    size_t p = limit;
+    while (p > 0) {
+      const Token& t = toks[pending_[p - 1]];
+      if (t.kind == TokKind::kPunct && t.text == "]") {
+        // Array declarator: skip the whole balanced subscript so a named
+        // bound (`buckets[kNumBuckets]`) cannot pose as the field name.
+        int depth = 0;
+        do {
+          const Token& s = toks[pending_[p - 1]];
+          if (s.kind == TokKind::kPunct && s.text == "]") ++depth;
+          if (s.kind == TokKind::kPunct && s.text == "[") --depth;
+          --p;
+        } while (p > 0 && depth > 0);
+        continue;
+      }
+      if (t.kind == TokKind::kIdent && !IsTypeKeyword(t.text)) {
+        name = t.text;
+        name_pos = p - 1;
+        break;
+      }
+      if ((t.kind == TokKind::kPunct && t.text == ">") ||
+          t.kind == TokKind::kNumber) {
+        --p;
+        continue;
+      }
+      break;
+    }
+    if (name.empty()) return;
+    field.name = name;
+    field.type_text = JoinTokens(toks, pending_.front(),
+                                 name_pos > 0 ? pending_[name_pos] : 0);
+    field.owner = owner;
+    field.file = model_.path;
+    field.line = toks[pending_[name_pos]].line;
+    sink->push_back(std::move(field));
+  }
+
+  /// Local declarations of the form `Type[&*] name =` / `Type[&*] name(`
+  /// inside the body: enough to type `shard.lock` and `stamp.version`.
+  /// Plain value locals (`PageId page = ...`) are recorded too so they
+  /// shadow same-named fields; a keyword before the name (`return x =`)
+  /// is not a type.
+  void AddBodyLocals(FunctionDecl* fn) {
+    static const std::set<std::string> kNotATypeName = {
+        "return", "else",   "delete", "throw",     "new",      "case",
+        "goto",   "using",  "typedef", "sizeof",   "co_return", "co_yield",
+        "struct", "class",  "enum",   "union",     "namespace", "operator",
+        "break",  "continue"};
+    const std::vector<Token>& toks = Toks();
+    for (size_t i = fn->body_begin;
+         i + 2 < fn->body_end && i + 2 < toks.size(); ++i) {
+      if (toks[i].kind != TokKind::kIdent) continue;
+      if (kNotATypeName.count(toks[i].text) > 0) continue;
+      size_t j = i + 1;
+      while (j < fn->body_end && toks[j].kind == TokKind::kPunct &&
+             (toks[j].text == "&" || toks[j].text == "*")) {
+        ++j;
+      }
+      if (j >= fn->body_end) continue;
+      if (toks[j].kind != TokKind::kIdent) continue;
+      if (j + 1 >= fn->body_end) continue;
+      const Token& after = toks[j + 1];
+      if (after.kind == TokKind::kPunct &&
+          (after.text == "=" || after.text == "(" || after.text == "{")) {
+        if (fn->local_types.find(toks[j].text) == fn->local_types.end()) {
+          fn->local_types[toks[j].text] = toks[i].text;
+        }
+      }
+    }
+    // Template-typed locals (`std::atomic<int> phase{0}`): the name
+    // follows the closing '>'; the type head is the identifier before the
+    // matching '<'. A comparison (`a > b`) never has `= ( {` right after
+    // its right operand, so the shape does not fire on expressions.
+    for (size_t i = fn->body_begin + 1;
+         i + 2 < fn->body_end && i + 2 < toks.size(); ++i) {
+      if (toks[i].kind != TokKind::kPunct || toks[i].text != ">") continue;
+      if (toks[i + 1].kind != TokKind::kIdent) continue;
+      const Token& after = toks[i + 2];
+      if (after.kind != TokKind::kPunct ||
+          (after.text != "=" && after.text != "(" && after.text != "{")) {
+        continue;
+      }
+      int depth = 1;
+      size_t k = i;
+      while (k > fn->body_begin && depth > 0) {
+        --k;
+        if (toks[k].kind != TokKind::kPunct) continue;
+        if (toks[k].text == ">") ++depth;
+        if (toks[k].text == "<") --depth;
+      }
+      if (depth != 0 || k == fn->body_begin) continue;
+      if (toks[k - 1].kind != TokKind::kIdent) continue;
+      if (fn->local_types.find(toks[i + 1].text) == fn->local_types.end()) {
+        fn->local_types[toks[i + 1].text] = toks[k - 1].text;
+      }
+    }
+    AddRangeForAliases(fn);
+    AddPointerAliases(fn);
+  }
+
+  /// `w = &buf->words[...]` — a pointer into a member's storage aliases
+  /// that member, so accesses through `w` inherit its annotations.
+  void AddPointerAliases(FunctionDecl* fn) {
+    const std::vector<Token>& toks = Toks();
+    for (size_t i = fn->body_begin;
+         i + 2 < fn->body_end && i + 2 < toks.size(); ++i) {
+      if (toks[i].kind != TokKind::kIdent) continue;
+      if (toks[i + 1].kind != TokKind::kPunct || toks[i + 1].text != "=") {
+        continue;
+      }
+      if (toks[i + 2].kind != TokKind::kPunct || toks[i + 2].text != "&") {
+        continue;
+      }
+      std::string target;
+      for (size_t j = i + 3; j < fn->body_end; ++j) {
+        const Token& t = toks[j];
+        if (t.kind == TokKind::kIdent) {
+          target = t.text;
+          continue;
+        }
+        if (t.kind == TokKind::kPunct &&
+            (t.text == "." || t.text == "->" || t.text == "::")) {
+          continue;
+        }
+        break;  // subscript, call, ';' — the chain ends here
+      }
+      if (!target.empty() && target != toks[i].text &&
+          fn->local_aliases.find(toks[i].text) == fn->local_aliases.end()) {
+        fn->local_aliases[toks[i].text] = target;
+      }
+    }
+  }
+
+  /// `for ( <decl> : <container> )` — the loop variable is the last ident
+  /// before the ':', the container the last ident before the closing ')'
+  /// (good enough for the member / plain-variable spellings that matter).
+  void AddRangeForAliases(FunctionDecl* fn) {
+    const std::vector<Token>& toks = Toks();
+    for (size_t i = fn->body_begin;
+         i + 1 < fn->body_end && i + 1 < toks.size(); ++i) {
+      if (toks[i].kind != TokKind::kIdent || toks[i].text != "for") continue;
+      if (toks[i + 1].kind != TokKind::kPunct || toks[i + 1].text != "(") {
+        continue;
+      }
+      int depth = 0;
+      size_t colon = 0;
+      std::string var, container;
+      for (size_t j = i + 1; j < fn->body_end; ++j) {
+        const Token& t = toks[j];
+        if (t.kind == TokKind::kPunct) {
+          if (t.text == "(") ++depth;
+          if (t.text == ")" && --depth == 0) break;
+          if (t.text == ";") break;  // a classic for, not a range-for
+          if (t.text == ":" && depth == 1 && colon == 0) colon = j;
+          continue;
+        }
+        if (t.kind != TokKind::kIdent) continue;
+        if (colon == 0) {
+          var = t.text;
+        } else {
+          container = t.text;
+        }
+      }
+      if (colon != 0 && !var.empty() && !container.empty() &&
+          fn->local_aliases.find(var) == fn->local_aliases.end()) {
+        fn->local_aliases[var] = container;
+      }
+    }
+  }
+
+  FileModel model_;
+  std::vector<Scope> stack_{Scope{Scope::kNamespace, "", static_cast<size_t>(-1)}};
+  std::vector<size_t> pending_;     // token indices since last boundary
+  std::vector<size_t> type_stack_;  // indices into model_.types
+};
+
+}  // namespace
+
+const Annotation* FieldDecl::FindAnnotation(const std::string& macro) const {
+  for (const Annotation& a : annotations) {
+    if (a.name == macro) return &a;
+  }
+  return nullptr;
+}
+
+const Annotation* FunctionDecl::FindAnnotation(
+    const std::string& macro) const {
+  for (const Annotation& a : annotations) {
+    if (a.name == macro) return &a;
+  }
+  return nullptr;
+}
+
+std::vector<const Annotation*> FunctionDecl::FindAll(
+    const std::string& macro) const {
+  std::vector<const Annotation*> out;
+  for (const Annotation& a : annotations) {
+    if (a.name == macro) out.push_back(&a);
+  }
+  return out;
+}
+
+bool FunctionDecl::LockedSuffix() const {
+  return name.size() > 6 && name.rfind("Locked") == name.size() - 6;
+}
+
+void TreeModel::AddFile(FileModel file) {
+  files.push_back(std::move(file));
+  Reindex();
+}
+
+void TreeModel::Reindex() {
+  fields_by_name.clear();
+  types_by_name.clear();
+  function_annotations.clear();
+  for (const FileModel& fm : files) {
+    for (const TypeDecl& type : fm.types) {
+      types_by_name.emplace(type.qualified, &type);
+      if (type.qualified != type.name) types_by_name.emplace(type.name, &type);
+      for (const FieldDecl& field : type.fields) {
+        fields_by_name.emplace(field.name, &field);
+      }
+    }
+    for (const FieldDecl& field : fm.globals) {
+      fields_by_name.emplace(field.name, &field);
+    }
+    for (const FunctionDecl& fn : fm.functions) {
+      auto& anns = function_annotations[fn.qualified];
+      for (const Annotation& a : fn.annotations) {
+        const bool dup =
+            std::any_of(anns.begin(), anns.end(), [&](const Annotation& b) {
+              return b.name == a.name && b.args == a.args;
+            });
+        if (!dup) anns.push_back(a);
+      }
+    }
+  }
+}
+
+const FieldDecl* TreeModel::ResolveMember(const std::string& context_class,
+                                          const std::string& member) const {
+  if (!context_class.empty()) {
+    // Exact owner, then outer classes. Deliberately NOT the other nesting
+    // direction: a bare `page` in an Outer method is never a non-static
+    // field of Outer::Nested, so resolving into nested types would invent
+    // references (it attributed locals named like StampSlot payloads).
+    const FieldDecl* outer_match = nullptr;
+    auto range = fields_by_name.equal_range(member);
+    for (auto it = range.first; it != range.second; ++it) {
+      const FieldDecl* f = it->second;
+      if (f->owner == context_class) return f;
+      // The context may itself be nested: A::B resolving a member of A.
+      if (context_class.rfind(f->owner + "::", 0) == 0) {
+        if (outer_match == nullptr) outer_match = f;
+      }
+    }
+    if (outer_match != nullptr) return outer_match;
+  }
+  // Unique global match.
+  auto range = fields_by_name.equal_range(member);
+  if (range.first == range.second) return nullptr;
+  auto it = range.first;
+  const FieldDecl* only = it->second;
+  ++it;
+  return it == range.second ? only : nullptr;
+}
+
+FileModel BuildFileModel(const std::string& path, const std::string& source) {
+  return Parser(path, source).Run();
+}
+
+}  // namespace analysis
+}  // namespace bpw

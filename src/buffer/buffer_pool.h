@@ -191,10 +191,15 @@ class BufferPool {
   struct FrameMeta {
     SpinLock latch;
     // Transitions happen under the latch; atomics allow the policy's
-    // evictability probe and Unpin to read/update without it.
-    std::atomic<uint32_t> pin_count{0};
-    std::atomic<bool> dirty{false};
-    std::atomic<bool> io_busy{false};
+    // evictability probe and Unpin to read/update without it. Relaxed is
+    // deliberate there: a stale probe answer only costs a retry, and the
+    // latch orders every transition that matters.
+    std::atomic<uint32_t> pin_count{0} BPW_RELAXED_OK(
+        "latch orders transitions; lock-free probes tolerate staleness");
+    std::atomic<bool> dirty{false} BPW_RELAXED_OK(
+        "latch orders transitions; lock-free probes tolerate staleness");
+    std::atomic<bool> io_busy{false} BPW_RELAXED_OK(
+        "latch orders transitions; lock-free probes tolerate staleness");
   };
 
   uint8_t* FrameData(FrameId frame) {
@@ -224,7 +229,11 @@ class BufferPool {
   PageTable table_;
   std::vector<uint8_t> buffer_;
   std::vector<FrameMeta> frames_;
-  std::vector<std::atomic<PageId>> frame_tags_;
+  // Published by release-store in the mapping path, acquire-loaded by
+  // readers (FrameTag); the single relaxed use is the pre-table-insert
+  // construction fill, where no reader exists yet.
+  std::vector<std::atomic<PageId>> frame_tags_ BPW_RELAXED_OK(
+      "relaxed only before publication (construction fill)");
 
   SpinLock free_lock_;
   std::vector<FrameId> free_frames_ BPW_GUARDED_BY(free_lock_);
@@ -236,10 +245,10 @@ class BufferPool {
   std::condition_variable_any pending_cv_;
   std::unordered_set<PageId> pending_loads_ BPW_GUARDED_BY(pending_mu_);
 
-  std::atomic<uint64_t> evictions_{0};
-  std::atomic<uint64_t> writebacks_{0};
-  std::atomic<uint64_t> eviction_races_{0};
-  std::atomic<uint64_t> writeback_failures_{0};
+  std::atomic<uint64_t> evictions_{0} BPW_RELAXED_OK("stats counter");
+  std::atomic<uint64_t> writebacks_{0} BPW_RELAXED_OK("stats counter");
+  std::atomic<uint64_t> eviction_races_{0} BPW_RELAXED_OK("stats counter");
+  std::atomic<uint64_t> writeback_failures_{0} BPW_RELAXED_OK("stats counter");
   std::atomic<bool> writeback_failure_logged_{false};
 
   // Registry counters (sharded; owned by the registry). Hits and misses are

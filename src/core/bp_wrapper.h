@@ -26,6 +26,7 @@
 #include "core/access_queue.h"
 #include "core/coordinator.h"
 #include "sync/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace bpw {
 
@@ -128,10 +129,10 @@ class BpWrapperCoordinator : public Coordinator {
   Options options_;
   ContentionLock lock_;
 
-  std::atomic<uint64_t> stale_commits_{0};
-  std::atomic<uint64_t> commit_batches_{0};
-  std::atomic<uint64_t> committed_entries_{0};
-  std::atomic<uint64_t> lock_fallbacks_{0};
+  std::atomic<uint64_t> stale_commits_{0} BPW_RELAXED_OK("stats counter");
+  std::atomic<uint64_t> commit_batches_{0} BPW_RELAXED_OK("stats counter");
+  std::atomic<uint64_t> committed_entries_{0} BPW_RELAXED_OK("stats counter");
+  std::atomic<uint64_t> lock_fallbacks_{0} BPW_RELAXED_OK("stats counter");
 
   // Live-slot registry so destruction order errors surface loudly.
   Mutex slots_mu_;

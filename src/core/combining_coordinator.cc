@@ -98,6 +98,9 @@ void CombiningCoordinator::PrefetchForCombine(const Slot* slot) const {
   if (slot->pub_index != kNoPubSlot) {
     const PubSlot& pub = *pub_slots_[slot->pub_index];
     if (pub.state.load(std::memory_order_relaxed) != PubSlot::kEmpty) {
+      // Prefetch-only peek (SIII-B): a torn batch prefetches a wrong line
+      // at worst; the combiner re-reads after its acquire on claim.
+      // bpw-lint-allow(unordered-publication-read)
       for (size_t i = 0; i < pub.count; ++i) {
         policy_->PrefetchHint(pub.entries[i].frame);
       }
@@ -117,6 +120,9 @@ void CombiningCoordinator::Publish(Slot* slot, PubSlot& pub) {
   BPW_MC_ACCESS_WRITE("combining.pub_slot", &pub);
   AccessQueue& queue = slot->queue;
   const size_t n = queue.size();
+  // Owner-side capacity check: entries was sized at construction, and the
+  // recycler's kEmpty handover (acquired at claim) ordered everything since.
+  // bpw-lint-allow(unordered-publication-read)
   assert(n <= pub.entries.size());
   for (size_t i = 0; i < n; ++i) {
     pub.entries[i] = queue[i];
@@ -251,9 +257,9 @@ void CombiningCoordinator::DrainPeersLocked(Slot* slot, DrainOutcome& out) {
 void CombiningCoordinator::CombineAndRelease(Slot* slot) {
   DrainOutcome out;
   out.trace = obs::TraceEnabled();
-  // Clock reads under the lock are normally forbidden; this one runs only
-  // when tracing is on, and the span being measured *is* the locked apply.
-  // bpw-lint-allow(clock-read-in-critical-section)
+  // Clock reads under the lock are normally forbidden; this one sits
+  // before the apply-phase guard below, and it only runs when tracing is
+  // on — the span being measured *is* the locked apply.
   if (out.trace) out.trace_start = NowNanos();
   {
     // Apply phase: the critical section contains policy updates and

@@ -63,6 +63,7 @@
 #include "core/coordinator.h"
 #include "sync/mutex.h"
 #include "util/cacheline.h"
+#include "util/thread_annotations.h"
 
 namespace bpw {
 
@@ -169,11 +170,15 @@ class CombiningCoordinator : public Coordinator {
   /// their own slot never false-share with a neighbour's publish.
   struct PubSlot {
     enum State : uint32_t { kEmpty = 0, kReady = 1, kDraining = 2 };
-    std::atomic<uint32_t> state{kEmpty};
+    /// Relaxed is legal only for the owner peeking its own slot (nobody
+    /// else writes it back to kEmpty without the owner observing it first);
+    /// every cross-thread transition is CAS or release-store.
+    std::atomic<uint32_t> state{kEmpty} BPW_RELAXED_OK(
+        "owner-side peek; cross-thread transitions are CAS/release");
     /// Valid entries in `entries`; written by the owner before the kReady
     /// release-store, read by the combiner after its acquire-load.
-    size_t count = 0;
-    std::vector<AccessQueue::Entry> entries;
+    size_t count = 0 BPW_PUBLISHED_BY(state);
+    std::vector<AccessQueue::Entry> entries BPW_PUBLISHED_BY(state);
   };
 
   static constexpr size_t kNoPubSlot = ~size_t{0};
@@ -257,15 +262,15 @@ class CombiningCoordinator : public Coordinator {
   /// but the slots themselves are synchronized purely by their state flag.
   std::vector<CacheAligned<PubSlot>> pub_slots_;
 
-  std::atomic<uint64_t> stale_commits_{0};
-  std::atomic<uint64_t> commit_batches_{0};
-  std::atomic<uint64_t> committed_entries_{0};
-  std::atomic<uint64_t> lock_fallbacks_{0};
-  std::atomic<uint64_t> published_batches_{0};
-  std::atomic<uint64_t> published_entries_{0};
-  std::atomic<uint64_t> drained_entries_{0};
-  std::atomic<uint64_t> combined_peer_batches_{0};
-  std::atomic<uint64_t> handoff_adoptions_{0};
+  std::atomic<uint64_t> stale_commits_{0} BPW_RELAXED_OK("stats counter");
+  std::atomic<uint64_t> commit_batches_{0} BPW_RELAXED_OK("stats counter");
+  std::atomic<uint64_t> committed_entries_{0} BPW_RELAXED_OK("stats counter");
+  std::atomic<uint64_t> lock_fallbacks_{0} BPW_RELAXED_OK("stats counter");
+  std::atomic<uint64_t> published_batches_{0} BPW_RELAXED_OK("stats counter");
+  std::atomic<uint64_t> published_entries_{0} BPW_RELAXED_OK("stats counter");
+  std::atomic<uint64_t> drained_entries_{0} BPW_RELAXED_OK("stats counter");
+  std::atomic<uint64_t> combined_peer_batches_{0} BPW_RELAXED_OK("stats counter");
+  std::atomic<uint64_t> handoff_adoptions_{0} BPW_RELAXED_OK("stats counter");
 
   // Live-slot registry + publication-slot index allocator.
   Mutex slots_mu_;

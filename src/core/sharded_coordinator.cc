@@ -117,6 +117,12 @@ void ShardedCoordinator::StampHit(PageId page, FrameId frame) {
   stamp.version.store(version + 2, std::memory_order_release);
 }
 
+void ShardedCoordinator::PreloadStampVersionForTest(FrameId frame,
+                                                    uint64_t version) {
+  if (frame >= stamps_.size()) return;
+  stamps_[frame].version.store(version, std::memory_order_release);
+}
+
 bool ShardedCoordinator::ReadStamp(FrameId frame, PageId* page,
                                    uint64_t* tick) const {
   if (frame >= stamps_.size()) return false;

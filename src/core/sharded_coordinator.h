@@ -40,6 +40,7 @@
 #include "core/coordinator.h"
 #include "policy/sharded_policy.h"
 #include "sync/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace bpw {
 
@@ -134,6 +135,12 @@ class ShardedCoordinator : public Coordinator {
   /// hook for the atomic-stamp protocol.
   bool ReadStamp(FrameId frame, PageId* page, uint64_t* tick) const;
 
+  /// TEST SEAM — plants a raw stamp version on a frame so tests can drive
+  /// the seqlock across the uint64_t wraparound boundary (and the
+  /// abandoned-odd-writer case) without 2^63 real hits. Callers own the
+  /// quiescence story: nothing else may touch the frame concurrently.
+  void PreloadStampVersionForTest(FrameId frame, uint64_t version);
+
  private:
   /// Single-producer ring with drop-oldest overflow. Only the owning
   /// thread touches it outside a lock; committers touch it from that same
@@ -185,7 +192,10 @@ class ShardedCoordinator : public Coordinator {
     explicit Shard(LockInstrumentation instrumentation)
         : lock(instrumentation) {}
 
-    ContentionLock lock;
+    // One ordering class for every shard instance, and a leaf: the commit
+    // path never blocks on a second shard lock while holding one (the
+    // cross-shard borrow TryLocks, bounded). bpw_atomiclint proves both.
+    ContentionLock lock BPW_LOCK_CLASS("shard") BPW_LOCK_LEAF;
     ReplacementPolicy* policy = nullptr;  // borrowed from the adapter
     size_t index = 0;
     uint64_t commits_since_rebalance BPW_GUARDED_BY(lock) = 0;
@@ -209,9 +219,9 @@ class ShardedCoordinator : public Coordinator {
   /// hit path never waits. Payload is atomic (relaxed) so torn reads are
   /// impossible even without the version check.
   struct StampSlot {
-    std::atomic<uint64_t> version{0};
-    std::atomic<PageId> page{kInvalidPageId};
-    std::atomic<uint64_t> tick{0};
+    std::atomic<uint64_t> version{0} BPW_SEQLOCK_STAMP;
+    std::atomic<PageId> page{kInvalidPageId} BPW_PUBLISHED_BY(version);
+    std::atomic<uint64_t> tick{0} BPW_PUBLISHED_BY(version);
   };
 
   class Slot : public ThreadSlot {
@@ -273,13 +283,13 @@ class ShardedCoordinator : public Coordinator {
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<StampSlot> stamps_;  // one per frame
 
-  std::atomic<uint64_t> commit_batches_{0};
-  std::atomic<uint64_t> committed_entries_{0};
-  std::atomic<uint64_t> stale_commits_{0};
-  std::atomic<uint64_t> hit_drops_{0};
-  std::atomic<uint64_t> shard_rebalances_{0};
-  std::atomic<uint64_t> borrow_evictions_{0};
-  std::atomic<uint64_t> hit_ticks_{0};
+  std::atomic<uint64_t> commit_batches_{0} BPW_RELAXED_OK("stats counter");
+  std::atomic<uint64_t> committed_entries_{0} BPW_RELAXED_OK("stats counter");
+  std::atomic<uint64_t> stale_commits_{0} BPW_RELAXED_OK("stats counter");
+  std::atomic<uint64_t> hit_drops_{0} BPW_RELAXED_OK("stats counter");
+  std::atomic<uint64_t> shard_rebalances_{0} BPW_RELAXED_OK("stats counter");
+  std::atomic<uint64_t> borrow_evictions_{0} BPW_RELAXED_OK("stats counter");
+  std::atomic<uint64_t> hit_ticks_{0} BPW_RELAXED_OK("stats counter");
 
   // MUTATION record (test_shard_double_track): the planted page's identity
   // and which of its two copies (home shard / replica shard) still live.
@@ -291,9 +301,12 @@ class ShardedCoordinator : public Coordinator {
   // first replica's identity — leaving a stale tracked pair no shield
   // recognizes.
   std::atomic<bool> mut_record_busy_{false};
-  std::atomic<PageId> mut_page_{kInvalidPageId};
-  std::atomic<FrameId> mut_frame_{kInvalidFrameId};
-  std::atomic<size_t> mut_replica_shard_{0};
+  std::atomic<PageId> mut_page_{kInvalidPageId} BPW_RELAXED_OK(
+      "mut-record payload; ordered by release/acquire on the live flags");
+  std::atomic<FrameId> mut_frame_{kInvalidFrameId} BPW_RELAXED_OK(
+      "mut-record payload; ordered by release/acquire on the live flags");
+  std::atomic<size_t> mut_replica_shard_{0} BPW_RELAXED_OK(
+      "mut-record payload; ordered by release/acquire on the live flags");
   std::atomic<bool> mut_replica_live_{false};
   std::atomic<bool> mut_home_live_{false};
 

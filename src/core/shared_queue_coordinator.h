@@ -19,6 +19,7 @@
 #include "core/access_queue.h"
 #include "core/coordinator.h"
 #include "sync/spinlock.h"
+#include "util/thread_annotations.h"
 
 namespace bpw {
 
@@ -91,7 +92,7 @@ class SharedQueueCoordinator : public Coordinator {
   // buffer and replays from it, so the buffers ping-pong and the critical
   // section never allocates (bpw_lint: critical-section-alloc).
   std::vector<AccessQueue::Entry> batch_ BPW_GUARDED_BY(lock_);
-  std::atomic<uint64_t> queue_acquisitions_{0};
+  std::atomic<uint64_t> queue_acquisitions_{0} BPW_RELAXED_OK("stats counter");
   // Declared last so it unregisters before anything it reads is destroyed.
   obs::ScopedMetricSource metrics_source_;
 };

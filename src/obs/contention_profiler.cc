@@ -10,6 +10,8 @@
 #include "util/clock.h"
 #include "util/thread_id.h"
 
+#include "util/thread_annotations.h"
+
 namespace bpw {
 namespace obs {
 
@@ -27,12 +29,12 @@ struct SiteEntry {
 /// bucket arrays trail the hot counters so the common "bump four words"
 /// case touches the first line only when the bucketed value is small.
 struct alignas(kCacheLineSize) ProfCell {
-  std::atomic<uint64_t> uncontended{0};
-  std::atomic<uint64_t> contended{0};
-  std::atomic<uint64_t> wait_nanos{0};
-  std::atomic<uint64_t> hold_nanos{0};
-  std::atomic<uint32_t> wait_buckets[Histogram::kNumBuckets] = {};
-  std::atomic<uint32_t> hold_buckets[Histogram::kNumBuckets] = {};
+  std::atomic<uint64_t> uncontended{0} BPW_RELAXED_OK("stats counter");
+  std::atomic<uint64_t> contended{0} BPW_RELAXED_OK("stats counter");
+  std::atomic<uint64_t> wait_nanos{0} BPW_RELAXED_OK("stats counter");
+  std::atomic<uint64_t> hold_nanos{0} BPW_RELAXED_OK("stats counter");
+  std::atomic<uint32_t> wait_buckets[Histogram::kNumBuckets] BPW_RELAXED_OK("histogram bucket counter") = {};
+  std::atomic<uint32_t> hold_buckets[Histogram::kNumBuckets] BPW_RELAXED_OK("histogram bucket counter") = {};
 };
 
 struct PathEntry {
@@ -41,8 +43,8 @@ struct PathEntry {
   int depth = 0;
   std::string label;  // full ';'-joined path, stable after publication
   std::unique_ptr<ProfCell[]> cells;  // kProfShards cells
-  std::atomic<uint32_t> cur_waiters{0};
-  std::atomic<uint32_t> max_waiters{0};
+  std::atomic<uint32_t> cur_waiters{0} BPW_RELAXED_OK("waiter gauge; transient over/undershoot is fine");
+  std::atomic<uint32_t> max_waiters{0} BPW_RELAXED_OK("high-watermark; monotonic CAS loop tolerates races");
 };
 
 // Registration tables. Entries are immutable once published: writers append
@@ -87,6 +89,7 @@ ProfSiteId PathFor(ProfSiteId parent_path, ProfSiteId site) {
   auto cells = std::make_unique<ProfCell[]>(kProfShards);
   // bpw-lint-allow(raw-mutex): see Registry — must stay schedule-point free.
   std::lock_guard<std::mutex> guard(reg.lock);
+  BPW_RELAXED_OK("count re-read under the registry mutex; the release store that bumps it is the publication");
   const uint32_t count = reg.path_count.load(std::memory_order_relaxed);
   for (uint32_t i = published; i < count; ++i) {
     if (reg.paths[i].parent == parent_path && reg.paths[i].site == site) {
@@ -152,6 +155,7 @@ ProfSiteId RegisterProfSite(const char* file, int line, const char* label,
   }
   // bpw-lint-allow(raw-mutex): see Registry — must stay schedule-point free.
   std::lock_guard<std::mutex> guard(reg.lock);
+  BPW_RELAXED_OK("count re-read under the registry mutex; the release store that bumps it is the publication");
   const uint32_t count = reg.site_count.load(std::memory_order_relaxed);
   for (uint32_t i = published; i < count; ++i) {
     if (reg.sites[i].kind == kind &&

@@ -37,7 +37,8 @@ namespace bpw {
 namespace obs {
 
 namespace internal {
-inline std::atomic<bool> g_metrics_enabled{true};
+inline std::atomic<bool> g_metrics_enabled{true} BPW_RELAXED_OK(
+    "recording switch; increments may observe a toggle late");
 }  // namespace internal
 
 /// Process-wide recording switch consulted by BPW_METRIC_ADD. Snapshots and
@@ -91,7 +92,7 @@ class Gauge {
   int64_t value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  std::atomic<int64_t> value_{0};
+  std::atomic<int64_t> value_{0} BPW_RELAXED_OK("stats gauge");
 };
 
 /// Thread-safe wrapper over util's Histogram for off-hot-path distributions

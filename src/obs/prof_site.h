@@ -18,6 +18,8 @@
 #include <atomic>
 #include <cstdint>
 
+#include "util/thread_annotations.h"
+
 #ifndef BPW_PROF
 #define BPW_PROF 1
 #endif
@@ -32,7 +34,8 @@ using ProfSiteId = uint32_t;
 inline constexpr ProfSiteId kInvalidProfSite = 0xFFFFFFFFu;
 
 namespace internal {
-inline std::atomic<bool> g_prof_enabled{false};
+inline std::atomic<bool> g_prof_enabled{false} BPW_RELAXED_OK(
+    "profiling switch; sites may observe a toggle late");
 }  // namespace internal
 
 /// Process-wide profiling switch. Off by default: sites register and locks

@@ -82,8 +82,8 @@ class StatsSampler {
   bool running_ BPW_GUARDED_BY(mu_) = false;
   std::thread thread_;  // Start/Stop discipline; never touched by Loop()
   std::vector<MetricsSnapshot> samples_ BPW_GUARDED_BY(mu_);
-  std::atomic<uint64_t> overruns_{0};
-  std::atomic<uint64_t> skipped_ticks_{0};
+  std::atomic<uint64_t> overruns_{0} BPW_RELAXED_OK("stats counter");
+  std::atomic<uint64_t> skipped_ticks_{0} BPW_RELAXED_OK("stats counter");
 };
 
 }  // namespace obs

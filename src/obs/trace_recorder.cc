@@ -4,6 +4,7 @@
 
 #include "obs/contention_profiler.h"
 #include "obs/json.h"
+#include "util/thread_annotations.h"
 
 namespace bpw {
 namespace obs {
@@ -40,7 +41,8 @@ EventMeta MetaFor(TraceEventKind kind) {
   return {"unknown", "misc", false, nullptr};
 }
 
-std::atomic<uint64_t> g_next_recorder_id{1};
+std::atomic<uint64_t> g_next_recorder_id{1} BPW_RELAXED_OK(
+    "id allocator; only uniqueness matters");
 
 // Per-thread cache of the registered ring so the emit fast path is a tls
 // compare instead of a mutex. Keyed by the recorder's process-unique id so

@@ -99,8 +99,12 @@ class TraceRecorder {
 
     const uint32_t tid;
     const size_t capacity;
-    std::atomic<uint64_t> head{0};  // events ever emitted by this thread
-    std::unique_ptr<std::atomic<uint64_t>[]> words;
+    // Events ever emitted by this thread. Single-writer; concurrent export
+    // reads a stale-or-torn tail by design (trace is best-effort).
+    std::atomic<uint64_t> head{0} BPW_RELAXED_OK(
+        "single-writer ring index; export tolerates a stale tail");
+    std::unique_ptr<std::atomic<uint64_t>[]> words BPW_RELAXED_OK(
+        "per-word-atomic ring payload; racy export reads are by design");
   };
 
   ThreadBuffer* BufferForThisThread();
@@ -110,8 +114,11 @@ class TraceRecorder {
   // a destroyed one lived can never validate a stale cache entry.
   const uint64_t recorder_id_;
 
-  std::atomic<bool> enabled_{false};
-  std::atomic<size_t> capacity_{1 << 14};  // 16Ki events/thread (512 KiB)
+  std::atomic<bool> enabled_{false} BPW_RELAXED_OK(
+      "recording switch; emitters may observe a toggle late");
+  // 16Ki events/thread (512 KiB). Set while quiesced.
+  std::atomic<size_t> capacity_{1 << 14} BPW_RELAXED_OK(
+      "configured before threads start emitting");
 
   mutable Mutex mu_;
   std::vector<std::unique_ptr<ThreadBuffer>> buffers_ BPW_GUARDED_BY(mu_);

@@ -42,9 +42,9 @@ class ClockPolicy : public ReplacementPolicy {
   struct Node {
     // `page` is atomic so that OnHitLockFree can validate it without the
     // policy lock; all writes happen under the coordinator's lock.
-    std::atomic<PageId> page{kInvalidPageId};
-    std::atomic<bool> resident{false};
-    std::atomic<bool> ref{false};
+    std::atomic<PageId> page{kInvalidPageId} BPW_RELAXED_OK("lock-free hit validation re-checks under the latch");
+    std::atomic<bool> resident{false} BPW_RELAXED_OK("lock-free probes tolerate staleness; latch orders transitions");
+    std::atomic<bool> ref{false} BPW_RELAXED_OK("reference bit; racy sets are the CLOCK contract");
   };
 
   std::vector<Node> nodes_;  // circular buffer indexed by FrameId

@@ -37,9 +37,9 @@ class GClockPolicy : public ReplacementPolicy {
 
  private:
   struct Node {
-    std::atomic<PageId> page{kInvalidPageId};
-    std::atomic<bool> resident{false};
-    std::atomic<uint32_t> count{0};
+    std::atomic<PageId> page{kInvalidPageId} BPW_RELAXED_OK("lock-free hit validation re-checks under the latch");
+    std::atomic<bool> resident{false} BPW_RELAXED_OK("lock-free probes tolerate staleness; latch orders transitions");
+    std::atomic<uint32_t> count{0} BPW_RELAXED_OK("GCLOCK weight; racy bumps are the algorithm's contract");
   };
 
   std::vector<Node> nodes_;

@@ -201,7 +201,7 @@ class BPW_CAPABILITY("policy") ReplacementPolicy {
 
  private:
   size_t num_frames_;
-  std::vector<std::atomic<const void*>> prefetch_targets_;
+  std::vector<std::atomic<const void*>> prefetch_targets_ BPW_RELAXED_OK("prefetch hints; a racy read only mis-prefetches");
 };
 
 }  // namespace bpw

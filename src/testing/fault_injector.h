@@ -84,10 +84,10 @@ class FaultInjector {
   SpinLock lock_;
   Random rng_ BPW_GUARDED_BY(lock_);
 
-  std::atomic<uint64_t> read_errors_{0};
-  std::atomic<uint64_t> write_errors_{0};
-  std::atomic<uint64_t> latency_spikes_{0};
-  std::atomic<uint64_t> torn_writes_{0};
+  std::atomic<uint64_t> read_errors_{0} BPW_RELAXED_OK("stats counter");
+  std::atomic<uint64_t> write_errors_{0} BPW_RELAXED_OK("stats counter");
+  std::atomic<uint64_t> latency_spikes_{0} BPW_RELAXED_OK("stats counter");
+  std::atomic<uint64_t> torn_writes_{0} BPW_RELAXED_OK("stats counter");
 };
 
 }  // namespace testing

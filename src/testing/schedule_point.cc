@@ -4,6 +4,8 @@
 #include <chrono>
 #include <thread>
 
+#include "util/thread_annotations.h"
+
 namespace bpw {
 namespace testing {
 
@@ -13,10 +15,10 @@ namespace {
 
 // Global epoch source: every Install() gets a fresh epoch so thread-local
 // PRNG state left over from a previous controller reseeds itself.
-std::atomic<uint64_t> g_epoch{0};
+std::atomic<uint64_t> g_epoch{0} BPW_RELAXED_OK("epoch allocator; only uniqueness matters");
 
 // First-come index for threads the harness never bound explicitly.
-std::atomic<uint64_t> g_unbound_index{1u << 20};
+std::atomic<uint64_t> g_unbound_index{1u << 20} BPW_RELAXED_OK("id allocator; only uniqueness matters");
 
 struct ThreadState {
   uint64_t epoch = 0;           // controller epoch the rng was seeded for

@@ -57,6 +57,8 @@
 
 #include "util/random.h"
 
+#include "util/thread_annotations.h"
+
 namespace bpw {
 namespace testing {
 
@@ -211,7 +213,7 @@ class ScheduleController {
   uint64_t spins() const { return spins_.load(std::memory_order_relaxed); }
 
  private:
-  static std::atomic<ScheduleController*> g_current;
+  static std::atomic<ScheduleController*> g_current BPW_RELAXED_OK("test-only controller pointer; installed before workers start");
 
   ScheduleOptions options_;
   bool installed_ = false;
@@ -219,11 +221,11 @@ class ScheduleController {
   // controller's epoch reseed themselves on first use.
   uint64_t epoch_ = 0;
 
-  std::atomic<uint64_t> points_observed_{0};
-  std::atomic<uint64_t> perturbations_{0};
-  std::atomic<uint64_t> sleeps_{0};
-  std::atomic<uint64_t> yields_{0};
-  std::atomic<uint64_t> spins_{0};
+  std::atomic<uint64_t> points_observed_{0} BPW_RELAXED_OK("stats counter");
+  std::atomic<uint64_t> perturbations_{0} BPW_RELAXED_OK("stats counter");
+  std::atomic<uint64_t> sleeps_{0} BPW_RELAXED_OK("stats counter");
+  std::atomic<uint64_t> yields_{0} BPW_RELAXED_OK("stats counter");
+  std::atomic<uint64_t> spins_{0} BPW_RELAXED_OK("stats counter");
 };
 
 /// RAII install/uninstall.

@@ -5,6 +5,8 @@
 #include <cstddef>
 #include <new>
 
+#include "util/thread_annotations.h"
+
 namespace bpw {
 
 // 64 bytes on every mainstream x86/ARM server part; fixed rather than
@@ -15,7 +17,7 @@ inline constexpr size_t kCacheLineSize = 64;
 /// Wraps T so that distinct instances in an array never share a cache line.
 template <typename T>
 struct alignas(kCacheLineSize) CacheAligned {
-  T value{};
+  T value{} BPW_RELAXED_OK("storage wrapper; the wrapped type's user owns ordering");
 
   T* operator->() { return &value; }
   const T* operator->() const { return &value; }

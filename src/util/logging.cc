@@ -5,12 +5,14 @@
 
 #include "sync/mutex.h"
 #include "util/clock.h"
+#include "util/thread_annotations.h"
 #include "util/thread_id.h"
 
 namespace bpw {
 
 namespace {
-std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)} BPW_RELAXED_OK(
+    "log-level knob; loggers may observe a change late");
 Mutex g_log_mutex;  // serializes the fprintf so lines never interleave
 
 const char* LevelTag(LogLevel level) {

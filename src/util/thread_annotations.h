@@ -75,3 +75,41 @@
 
 #define BPW_NO_THREAD_SAFETY_ANALYSIS \
   BPW_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+// ---------------------------------------------------------------------------
+// Layer-2 annotations, read by tools/bpw_atomiclint (not by clang).
+//
+// Clang's -Wthread-safety proves lock *coverage*; it says nothing about the
+// lock-free paths. These macros declare the memory-ordering protocol those
+// paths rely on, and bpw_atomiclint checks the declared shape against the
+// code. All of them expand to nothing under every compiler — they exist for
+// the analyzer and for the reader.
+//
+//   BPW_PUBLISHED_BY(stamp)  this atomic field is payload published by a
+//                            release-or-stronger write of `stamp` (a sibling
+//                            field). Relaxed accesses to the payload are
+//                            legal; in exchange, every function that writes
+//                            it must release-publish the stamp, and every
+//                            function that reads it must acquire-observe the
+//                            stamp (or an acquire fence).
+//   BPW_SEQLOCK_STAMP        this atomic field is a seqlock version counter:
+//                            odd while a writer is mid-flight. Readers of
+//                            payload published by it must load it at least
+//                            twice and test oddness (`v & 1`).
+//   BPW_RELAXED_OK(reason)   memory_order_relaxed on this field (or, as a
+//                            standalone statement, on this line and the
+//                            next) is deliberate — say why.
+//   BPW_LOCK_CLASS(name)     merge this lock field into the named ordering
+//                            class (all pgShard shard locks are one "shard"
+//                            class: instances are interchangeable for
+//                            deadlock purposes).
+//   BPW_LOCK_LEAF            no blocking acquisition is permitted while a
+//                            lock of this class is held. Encodes pgShard's
+//                            "never two shard locks" as a checkable
+//                            zero-out-degree rule.
+// ---------------------------------------------------------------------------
+#define BPW_PUBLISHED_BY(stamp)  // analyzer-only
+#define BPW_SEQLOCK_STAMP        // analyzer-only
+#define BPW_RELAXED_OK(reason)   // analyzer-only
+#define BPW_LOCK_CLASS(name)     // analyzer-only
+#define BPW_LOCK_LEAF            // analyzer-only

@@ -6,10 +6,13 @@
 #include <atomic>
 #include <cstdint>
 
+#include "util/thread_annotations.h"
+
 namespace bpw {
 
 namespace internal {
-inline std::atomic<uint32_t> g_next_thread_id{1};
+inline std::atomic<uint32_t> g_next_thread_id{1} BPW_RELAXED_OK(
+    "id allocator; only uniqueness matters");
 }  // namespace internal
 
 /// Returns a small id unique to the calling thread, assigned on first use

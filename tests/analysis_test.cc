@@ -1,0 +1,630 @@
+// Engine tests for the shared static-analysis library (src/analysis/):
+// the lexer, the scope graph, the lock-order graph, and the atomics
+// discipline checker. These pin the *supported shapes* — the scope-graph
+// header promises the model degrades by omission, and these tests are the
+// contract for what must not be omitted.
+//
+// The seeded-violation corpus under tests/static/ covers the end-to-end
+// CLI behaviour; here we drive the library directly on small sources.
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/atomics_check.h"
+#include "analysis/lexer.h"
+#include "analysis/lock_graph.h"
+#include "analysis/scope_graph.h"
+
+namespace bpw {
+namespace analysis {
+namespace {
+
+// ---------------------------------------------------------------- helpers
+
+TreeModel BuildTree(const std::vector<std::pair<std::string, std::string>>&
+                        path_and_source) {
+  TreeModel tree;
+  for (const auto& ps : path_and_source) {
+    tree.AddFile(BuildFileModel(ps.first, ps.second));
+  }
+  return tree;
+}
+
+std::vector<std::string> Rules(const std::vector<Finding>& findings) {
+  std::vector<std::string> rules;
+  for (const auto& f : findings) rules.push_back(f.rule);
+  std::sort(rules.begin(), rules.end());
+  return rules;
+}
+
+std::string Dump(const std::vector<Finding>& findings) {
+  std::string out;
+  for (const auto& f : findings) {
+    out += f.file + ":" + std::to_string(f.line) + " [" + f.rule + "] " +
+           f.message + "\n";
+  }
+  return out;
+}
+
+const TypeDecl* FindType(const TreeModel& tree, const std::string& name) {
+  auto it = tree.types_by_name.find(name);
+  return it == tree.types_by_name.end() ? nullptr : it->second;
+}
+
+const FieldDecl* FindField(const TypeDecl* type, const std::string& name) {
+  if (type == nullptr) return nullptr;
+  for (const auto& f : type->fields) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+const FunctionDecl* FindFunction(const FileModel& file,
+                                 const std::string& qualified) {
+  for (const auto& fn : file.functions) {
+    if (fn.qualified == qualified) return &fn;
+  }
+  return nullptr;
+}
+
+// ------------------------------------------------------------------ lexer
+
+TEST(LexerTest, RawStringContentsDoNotLeakIntoCleanedLines) {
+  // A raw string holding comment markers, quotes, and braces must lex as
+  // one token and leave the cleaned line free of its contents — otherwise
+  // every checker downstream would "see" phantom code.
+  LexedSource lex = Lex(
+      "const char* q = R\"sql(SELECT \"a\" // not a comment { )\" )sql\";\n"
+      "int after = 1;\n");
+  ASSERT_GE(lex.cleaned_lines.size(), 2u);
+  EXPECT_EQ(lex.cleaned_lines[0].find("SELECT"), std::string::npos);
+  EXPECT_EQ(lex.cleaned_lines[0].find("//"), std::string::npos);
+  EXPECT_EQ(lex.cleaned_lines[1].find("after"), 4u);
+  // Exactly one string token, carrying the raw contents.
+  int strings = 0;
+  for (const auto& t : lex.tokens) {
+    if (t.kind == TokKind::kString) {
+      ++strings;
+      EXPECT_NE(t.text.find("SELECT"), std::string::npos);
+      EXPECT_EQ(t.line, 1);
+    }
+  }
+  EXPECT_EQ(strings, 1);
+}
+
+TEST(LexerTest, LineContinuationMacroKeepsPhysicalLineNumbers) {
+  // A backslash-continued #define spans physical lines; the directive
+  // state must swallow the continuation so line 3 is real code again and
+  // tokens there report line 3.
+  LexedSource lex = Lex(
+      "#define WIDE(x) \\\n"
+      "  do { (x) } while (0)\n"
+      "int live = 1;\n");
+  ASSERT_GE(lex.cleaned_lines.size(), 3u);
+  EXPECT_EQ(lex.cleaned_lines[1].find("while"), std::string::npos)
+      << "continuation body leaked into cleaned lines";
+  bool saw_live = false;
+  for (const auto& t : lex.tokens) {
+    if (t.kind == TokKind::kIdent && t.text == "live") {
+      saw_live = true;
+      EXPECT_EQ(t.line, 3);
+    }
+  }
+  EXPECT_TRUE(saw_live);
+}
+
+TEST(LexerTest, DigitSeparatorsLexAsOneNumber) {
+  LexedSource lex = Lex("long n = 1'000'000;\n");
+  bool saw = false;
+  for (const auto& t : lex.tokens) {
+    if (t.kind == TokKind::kNumber) {
+      saw = true;
+      EXPECT_EQ(t.text, "1'000'000");
+    }
+  }
+  EXPECT_TRUE(saw);
+}
+
+TEST(LexerTest, CharLiteralWithEscapedQuoteDoesNotDerailState) {
+  LexedSource lex = Lex("char c = '\\''; int tail = 2;\n");
+  bool saw_tail = false;
+  for (const auto& t : lex.tokens) {
+    if (t.kind == TokKind::kIdent && t.text == "tail") saw_tail = true;
+  }
+  EXPECT_TRUE(saw_tail) << "lexer stayed inside the char literal";
+}
+
+TEST(LexerTest, AllowCommentsAttachToLineAndFile) {
+  LexedSource lex = Lex(
+      "// bpw-lint-allow-file(raw-mutex)\n"
+      "int a = 0;\n"
+      "int b = 1;  // bpw-lint-allow(trylock-unchecked)\n"
+      "int c = 2;\n"
+      "int d = 3;\n");
+  EXPECT_TRUE(lex.Allowed(4, "raw-mutex")) << "file allow covers all lines";
+  // Line allow covers its own line and the next (0-based indices).
+  EXPECT_TRUE(lex.Allowed(2, "trylock-unchecked"));
+  EXPECT_TRUE(lex.Allowed(3, "trylock-unchecked"));
+  EXPECT_FALSE(lex.Allowed(4, "trylock-unchecked"));
+  EXPECT_FALSE(lex.Allowed(2, "raw-spinlock"));
+  // Both allows are recorded as audit sites.
+  ASSERT_EQ(lex.allow_sites.size(), 2u);
+  EXPECT_TRUE(lex.allow_sites[0].file_scope);
+  EXPECT_EQ(lex.allow_sites[0].rule, "raw-mutex");
+  EXPECT_FALSE(lex.allow_sites[1].file_scope);
+  EXPECT_EQ(lex.allow_sites[1].rule, "trylock-unchecked");
+}
+
+TEST(LexerTest, StringTokensCarryAnnotationArguments) {
+  // BPW_LOCK_CLASS("shard") only works if the literal's contents survive
+  // on the token — the lock graph names the class from it.
+  LexedSource lex = Lex("ContentionLock l BPW_LOCK_CLASS(\"shard\");\n");
+  bool saw = false;
+  for (const auto& t : lex.tokens) {
+    if (t.kind == TokKind::kString) {
+      saw = true;
+      EXPECT_EQ(t.text, "shard");
+    }
+  }
+  EXPECT_TRUE(saw);
+  // ...while the cleaned line blanks it, so greps never match literals.
+  EXPECT_EQ(lex.cleaned_lines[0].find("shard"), std::string::npos);
+}
+
+// ------------------------------------------------------------ scope graph
+
+TEST(ScopeGraphTest, FieldAnnotationsAndArrayDeclaratorNames) {
+  TreeModel tree = BuildTree({{"src/x.h", R"cpp(
+struct Histogram {
+  static constexpr int kNumBuckets = 8;
+};
+struct Cell {
+  std::atomic<unsigned long> hits_{0} BPW_RELAXED_OK("stats counter");
+  std::atomic<unsigned> stamp{0} BPW_SEQLOCK_STAMP;
+  std::atomic<unsigned long> page{0} BPW_PUBLISHED_BY(stamp);
+  std::atomic<unsigned long> buckets[Histogram::kNumBuckets] = {};
+};
+)cpp"}});
+  const TypeDecl* cell = FindType(tree, "Cell");
+  ASSERT_NE(cell, nullptr);
+  const FieldDecl* hits = FindField(cell, "hits_");
+  ASSERT_NE(hits, nullptr);
+  ASSERT_TRUE(hits->HasAnnotation("BPW_RELAXED_OK"));
+  EXPECT_EQ(hits->FindAnnotation("BPW_RELAXED_OK")->args, "\"stats counter\"");
+  const FieldDecl* page = FindField(cell, "page");
+  ASSERT_NE(page, nullptr);
+  EXPECT_EQ(page->FindAnnotation("BPW_PUBLISHED_BY")->args, "stamp");
+  // The array field is named by its declarator, not by the identifier
+  // inside the subscript.
+  EXPECT_NE(FindField(cell, "buckets"), nullptr);
+  EXPECT_EQ(FindField(cell, "kNumBuckets"), nullptr)
+      << "subscript contents mistaken for the field name";
+}
+
+TEST(ScopeGraphTest, LocalsPlainTemplatedAndRangeForAliases) {
+  TreeModel tree = BuildTree({{"src/x.cc", R"cpp(
+struct Node { bool resident; };
+struct Pool {
+  std::vector<Node> nodes_;
+  void Sweep() {
+    unsigned long page = 7;
+    std::atomic<int> phase{0};
+    Node* head = nullptr;
+    for (auto& n : nodes_) {
+      (void)n.resident;
+    }
+    (void)page;
+    (void)head;
+  }
+};
+)cpp"}});
+  const FunctionDecl* sweep = FindFunction(tree.files[0], "Pool::Sweep");
+  ASSERT_NE(sweep, nullptr);
+  // Plain value local, template-typed local, pointer local.
+  ASSERT_EQ(sweep->local_types.count("page"), 1u);
+  ASSERT_EQ(sweep->local_types.count("phase"), 1u);
+  EXPECT_EQ(sweep->local_types.at("phase"), "atomic");
+  ASSERT_EQ(sweep->local_types.count("head"), 1u);
+  EXPECT_EQ(sweep->local_types.at("head"), "Node");
+  // Keywords never become local "types".
+  EXPECT_EQ(sweep->local_types.count("resident"), 0u);
+  // Range-for element aliases the container member.
+  ASSERT_EQ(sweep->local_aliases.count("n"), 1u);
+  EXPECT_EQ(sweep->local_aliases.at("n"), "nodes_");
+}
+
+TEST(ScopeGraphTest, ResolveMemberPrefersEnclosingAndNeverOuterToNested) {
+  TreeModel tree = BuildTree({{"src/x.h", R"cpp(
+struct Outer {
+  struct Inner {
+    unsigned long page = 0;
+  };
+  unsigned long count = 0;
+};
+struct Elsewhere {
+  unsigned long page = 0;
+};
+)cpp"}});
+  // Nested scope sees the outer field, and its own field first.
+  EXPECT_NE(tree.ResolveMember("Outer::Inner", "count"), nullptr);
+  const FieldDecl* inner_page = tree.ResolveMember("Outer::Inner", "page");
+  ASSERT_NE(inner_page, nullptr);
+  EXPECT_EQ(inner_page->owner, "Outer::Inner");
+  // A bare name in an Outer method must NOT resolve to a non-static field
+  // of a nested type (there is no object to read it from), and with the
+  // name declared in more than one type the tree-wide fallback is
+  // ambiguous, so resolution fails instead of guessing.
+  EXPECT_EQ(tree.ResolveMember("Outer", "page"), nullptr);
+}
+
+TEST(ScopeGraphTest, HeaderAnnotationsJoinCcBodiesByQualifiedName) {
+  TreeModel tree = BuildTree({
+      {"src/x.h", R"cpp(
+struct Pool {
+  Mutex mu_;
+  void DrainLocked() BPW_REQUIRES(mu_);
+};
+)cpp"},
+      {"src/x.cc", R"cpp(
+void Pool::DrainLocked() {}
+)cpp"},
+  });
+  auto it = tree.function_annotations.find("Pool::DrainLocked");
+  ASSERT_NE(it, tree.function_annotations.end());
+  ASSERT_EQ(it->second.size(), 1u);
+  EXPECT_EQ(it->second[0].name, "BPW_REQUIRES");
+  EXPECT_EQ(it->second[0].args, "mu_");
+  const FunctionDecl* def = FindFunction(tree.files[1], "Pool::DrainLocked");
+  ASSERT_NE(def, nullptr);
+  EXPECT_TRUE(def->has_body);
+}
+
+// ------------------------------------------------------------- lock graph
+
+TEST(LockGraphTest, InconsistentOrderAcrossFunctionsIsACycle) {
+  TreeModel tree = BuildTree({{"src/x.cc", R"cpp(
+struct Pool {
+  Mutex map_mu_;
+  Mutex free_mu_;
+  void A() {
+    MutexGuard m(map_mu_);
+    MutexGuard f(free_mu_);
+  }
+  void B() {
+    MutexGuard f(free_mu_);
+    MutexGuard m(map_mu_);
+  }
+};
+)cpp"}});
+  LockGraph graph = BuildLockGraph(tree);
+  ASSERT_EQ(graph.locks.size(), 2u);
+  EXPECT_EQ(Rules(graph.findings),
+            std::vector<std::string>{"lock-order-cycle"})
+      << Dump(graph.findings);
+}
+
+TEST(LockGraphTest, ConsistentOrderIsAcyclicAndEdgesMaterialize) {
+  TreeModel tree = BuildTree({{"src/x.cc", R"cpp(
+struct Pool {
+  Mutex map_mu_;
+  Mutex free_mu_;
+  void A() {
+    MutexGuard m(map_mu_);
+    MutexGuard f(free_mu_);
+  }
+};
+)cpp"}});
+  LockGraph graph = BuildLockGraph(tree);
+  EXPECT_TRUE(graph.findings.empty()) << Dump(graph.findings);
+  ASSERT_EQ(graph.edges.size(), 1u);
+  EXPECT_EQ(graph.edges[0].from_class, "Pool::map_mu_");
+  EXPECT_EQ(graph.edges[0].to_class, "Pool::free_mu_");
+  EXPECT_FALSE(graph.edges[0].try_edge);
+}
+
+TEST(LockGraphTest, TryEdgesAreWhitelistedInTheAcyclicityProof) {
+  // Same-class neighbor probe under a held shard lock: a blocking edge
+  // would be an instant cycle, a TryLock-bounded edge is sanctioned.
+  TreeModel tree = BuildTree({{"src/x.cc", R"cpp(
+struct Shard {
+  ContentionLock lock BPW_LOCK_CLASS("shard");
+};
+struct Set {
+  bool Probe(Shard& a, Shard& b) {
+    ContentionLockGuard g(a.lock);
+    if (b.lock.TryLock()) {
+      b.lock.Unlock();
+      return true;
+    }
+    return false;
+  }
+};
+)cpp"}});
+  LockGraph graph = BuildLockGraph(tree);
+  EXPECT_TRUE(graph.findings.empty()) << Dump(graph.findings);
+  ASSERT_EQ(graph.edges.size(), 1u);
+  EXPECT_TRUE(graph.edges[0].try_edge);
+  EXPECT_EQ(graph.edges[0].from_class, "shard");
+  EXPECT_EQ(graph.edges[0].to_class, "shard");
+  // The DOT export renders the bounded probe dashed.
+  const std::string dot = LockGraphToDot(graph);
+  EXPECT_NE(dot.find("dashed"), std::string::npos);
+  EXPECT_NE(dot.find("\"shard\""), std::string::npos);
+}
+
+TEST(LockGraphTest, LeafLockMustNotBlockOnAnything) {
+  TreeModel tree = BuildTree({{"src/x.cc", R"cpp(
+struct Shard {
+  ContentionLock lock BPW_LOCK_CLASS("shard") BPW_LOCK_LEAF;
+};
+struct Set {
+  Mutex registry_mu_;
+  void Escalate(Shard& s) {
+    ContentionLockGuard g(s.lock);
+    MutexGuard r(registry_mu_);
+  }
+};
+)cpp"}});
+  LockGraph graph = BuildLockGraph(tree);
+  EXPECT_EQ(Rules(graph.findings),
+            std::vector<std::string>{"leaf-lock-acquires"})
+      << Dump(graph.findings);
+  // Leaf classes render with a doubled border.
+  EXPECT_NE(LockGraphToDot(graph).find("peripheries=2"), std::string::npos);
+}
+
+TEST(LockGraphTest, RequiresAnnotationSeedsTheHeldSet) {
+  TreeModel tree = BuildTree({{"src/x.cc", R"cpp(
+struct Pool {
+  Mutex outer_mu_;
+  Mutex inner_mu_;
+  void TakeInnerLocked() BPW_REQUIRES(outer_mu_) {
+    MutexGuard g(inner_mu_);
+  }
+  void Reverse() {
+    MutexGuard i(inner_mu_);
+    MutexGuard o(outer_mu_);
+  }
+};
+)cpp"}});
+  // TakeInnerLocked contributes outer->inner purely via its REQUIRES
+  // annotation; Reverse's inner->outer completes the cycle.
+  LockGraph graph = BuildLockGraph(tree);
+  EXPECT_EQ(Rules(graph.findings),
+            std::vector<std::string>{"lock-order-cycle"})
+      << Dump(graph.findings);
+}
+
+// ---------------------------------------------------------------- atomics
+
+AtomicsOptions LibEverywhere() {
+  AtomicsOptions opts;
+  opts.all_files_lib = true;
+  return opts;
+}
+
+TEST(AtomicsTest, RelaxedUnannotatedFiresAndAnnotationsSilenceIt) {
+  TreeModel tree = BuildTree({{"src/x.cc", R"cpp(
+struct Counters {
+  std::atomic<unsigned long> bare_{0};
+  std::atomic<unsigned long> ok_{0} BPW_RELAXED_OK("stats counter");
+  void Bump() {
+    bare_.fetch_add(1, std::memory_order_relaxed);
+    ok_.fetch_add(1, std::memory_order_relaxed);
+  }
+};
+)cpp"}});
+  auto findings = CheckAtomics(tree, LibEverywhere());
+  ASSERT_EQ(findings.size(), 1u) << Dump(findings);
+  EXPECT_EQ(findings[0].rule, "relaxed-unannotated");
+  EXPECT_NE(findings[0].message.find("bare_"), std::string::npos);
+}
+
+TEST(AtomicsTest, StandaloneSiteStatementCoversItsLineAndTheNext) {
+  TreeModel tree = BuildTree({{"src/x.cc", R"cpp(
+struct Counters {
+  std::atomic<unsigned long> bare_{0};
+  void Reset() {
+    BPW_RELAXED_OK("all writers joined before reset");
+    bare_.store(0, std::memory_order_relaxed);
+  }
+  void Bump() {
+    bare_.fetch_add(1, std::memory_order_relaxed);
+  }
+};
+)cpp"}});
+  auto findings = CheckAtomics(tree, LibEverywhere());
+  // Reset's store is whitelisted by the site statement; Bump still fires.
+  ASSERT_EQ(findings.size(), 1u) << Dump(findings);
+  EXPECT_EQ(findings[0].rule, "relaxed-unannotated");
+}
+
+TEST(AtomicsTest, LocalAtomicsAreOutOfScope) {
+  TreeModel tree = BuildTree({{"src/x.cc", R"cpp(
+struct Driver {
+  void Run() {
+    std::atomic<int> phase{0};
+    phase.store(1, std::memory_order_relaxed);
+  }
+};
+)cpp"}});
+  auto findings = CheckAtomics(tree, LibEverywhere());
+  EXPECT_TRUE(findings.empty()) << Dump(findings);
+}
+
+TEST(AtomicsTest, PublicationStoreWithoutReleaseOnTheStamp) {
+  TreeModel tree = BuildTree({{"src/x.cc", R"cpp(
+struct Slot {
+  std::atomic<unsigned> ready{0} BPW_RELAXED_OK("flag; see publish");
+  std::atomic<unsigned long> payload{0} BPW_PUBLISHED_BY(ready);
+  void BadPublish(unsigned long v) {
+    payload.store(v, std::memory_order_relaxed);
+    ready.store(1, std::memory_order_relaxed);
+  }
+  void GoodPublish(unsigned long v) {
+    payload.store(v, std::memory_order_relaxed);
+    ready.store(1, std::memory_order_release);
+  }
+};
+)cpp"}});
+  auto findings = CheckAtomics(tree, LibEverywhere());
+  ASSERT_EQ(findings.size(), 1u) << Dump(findings);
+  EXPECT_EQ(findings[0].rule, "relaxed-publication-store");
+}
+
+TEST(AtomicsTest, PublicationReadWithoutAcquireOnTheStamp) {
+  TreeModel tree = BuildTree({{"src/x.cc", R"cpp(
+struct Slot {
+  std::atomic<unsigned> ready{0} BPW_RELAXED_OK("flag; see publish");
+  std::atomic<unsigned long> payload{0} BPW_PUBLISHED_BY(ready);
+  unsigned long BadConsume() {
+    if (ready.load(std::memory_order_relaxed) == 0) return 0;
+    return payload.load(std::memory_order_relaxed);
+  }
+  unsigned long GoodConsume() {
+    if (ready.load(std::memory_order_acquire) == 0) return 0;
+    return payload.load(std::memory_order_relaxed);
+  }
+};
+)cpp"}});
+  auto findings = CheckAtomics(tree, LibEverywhere());
+  ASSERT_EQ(findings.size(), 1u) << Dump(findings);
+  EXPECT_EQ(findings[0].rule, "unordered-publication-read");
+}
+
+TEST(AtomicsTest, TornSeqlockReadNeedsTwoLoadsAndAnOddTest) {
+  TreeModel tree = BuildTree({{"src/x.cc", R"cpp(
+struct Slot {
+  std::atomic<unsigned> version{0} BPW_SEQLOCK_STAMP;
+  std::atomic<unsigned long> value{0} BPW_PUBLISHED_BY(version);
+  unsigned long TornRead() {
+    if ((version.load(std::memory_order_acquire) & 1u) != 0) return 0;
+    return value.load(std::memory_order_relaxed);
+  }
+  unsigned long GoodRead() {
+    for (;;) {
+      const unsigned v0 = version.load(std::memory_order_acquire);
+      if ((v0 & 1u) != 0) continue;
+      const unsigned long out = value.load(std::memory_order_relaxed);
+      if (version.load(std::memory_order_acquire) == v0) return out;
+    }
+  }
+};
+)cpp"}});
+  auto findings = CheckAtomics(tree, LibEverywhere());
+  ASSERT_EQ(findings.size(), 1u) << Dump(findings);
+  EXPECT_EQ(findings[0].rule, "torn-seqlock-read");
+  EXPECT_NE(findings[0].message.find("TornRead"), std::string::npos);
+}
+
+TEST(AtomicsTest, OddTestAcceptsIntegerSuffixes) {
+  // `& 1UL` is the same odd-test as `& 1` — the suffix must not break the
+  // seqlock shape detection.
+  TreeModel tree = BuildTree({{"src/x.cc", R"cpp(
+struct Slot {
+  std::atomic<unsigned> version{0} BPW_SEQLOCK_STAMP;
+  std::atomic<unsigned long> value{0} BPW_PUBLISHED_BY(version);
+  unsigned long Read() {
+    for (;;) {
+      const unsigned v0 = version.load(std::memory_order_acquire);
+      if ((v0 & 1UL) != 0) continue;
+      const unsigned long out = value.load(std::memory_order_relaxed);
+      if (version.load(std::memory_order_acquire) == v0) return out;
+    }
+  }
+};
+)cpp"}});
+  auto findings = CheckAtomics(tree, LibEverywhere());
+  EXPECT_TRUE(findings.empty()) << Dump(findings);
+}
+
+TEST(AtomicsTest, McAccessRequiresAnAnnotatedObject) {
+  TreeModel tree = BuildTree({{"src/x.cc", R"cpp(
+struct Target {
+  Mutex mu_;
+  unsigned long bare_word = 0;
+  unsigned long guarded_word BPW_GUARDED_BY(mu_) = 0;
+  void Touch() {
+    BPW_MC_ACCESS_WRITE("t.bare", &bare_word);
+    BPW_MC_ACCESS_WRITE("t.guarded", &guarded_word);
+  }
+};
+)cpp"}});
+  auto findings = CheckAtomics(tree, LibEverywhere());
+  ASSERT_EQ(findings.size(), 1u) << Dump(findings);
+  EXPECT_EQ(findings[0].rule, "mc-access-unannotated");
+  EXPECT_NE(findings[0].message.find("bare_word"), std::string::npos);
+}
+
+TEST(AtomicsTest, PublishedByMustNameAFieldInScope) {
+  TreeModel tree = BuildTree({{"src/x.cc", R"cpp(
+struct Slot {
+  std::atomic<unsigned long> orphan_{0} BPW_PUBLISHED_BY(no_such_stamp);
+};
+)cpp"}});
+  auto findings = CheckAtomics(tree, LibEverywhere());
+  ASSERT_EQ(findings.size(), 1u) << Dump(findings);
+  EXPECT_EQ(findings[0].rule, "bad-annotation");
+}
+
+TEST(AtomicsTest, RangeForElementInheritsContainerFieldAnnotations) {
+  // `n.ref` through a range-for over nodes_ (std::vector<Node>) must
+  // resolve to Node::ref and honour its BPW_RELAXED_OK.
+  TreeModel tree = BuildTree({{"src/x.cc", R"cpp(
+struct Policy {
+  struct Node {
+    std::atomic<bool> ref{false} BPW_RELAXED_OK("reference bit");
+  };
+  std::vector<Node> nodes_;
+  void SweepAll() {
+    for (auto& n : nodes_) {
+      n.ref.store(false, std::memory_order_relaxed);
+    }
+  }
+};
+)cpp"}});
+  auto findings = CheckAtomics(tree, LibEverywhere());
+  EXPECT_TRUE(findings.empty()) << Dump(findings);
+}
+
+TEST(AtomicsTest, AllowCommentsSuppressUnlessIgnored) {
+  TreeModel tree = BuildTree({{"src/x.cc", R"cpp(
+struct Counters {
+  std::atomic<unsigned long> bare_{0};
+  void Bump() {
+    // bpw-lint-allow(relaxed-unannotated)
+    bare_.fetch_add(1, std::memory_order_relaxed);
+  }
+};
+)cpp"}});
+  EXPECT_TRUE(CheckAtomics(tree, LibEverywhere()).empty());
+  AtomicsOptions audit = LibEverywhere();
+  audit.ignore_allows = true;
+  auto unsuppressed = CheckAtomics(tree, audit);
+  ASSERT_EQ(unsuppressed.size(), 1u) << Dump(unsuppressed);
+  EXPECT_EQ(unsuppressed[0].rule, "relaxed-unannotated");
+}
+
+TEST(AtomicsTest, DefaultScopeSkipsTestsAndSyncButCoversSrc) {
+  const std::string bad = R"cpp(
+struct Counters {
+  std::atomic<unsigned long> bare_{0};
+  void Bump() {
+    bare_.fetch_add(1, std::memory_order_relaxed);
+  }
+};
+)cpp";
+  TreeModel tree = BuildTree({{"src/core/x.cc", bad},
+                              {"src/sync/y.cc", bad},
+                              {"tests/z.cc", bad}});
+  auto findings = CheckAtomics(tree);  // default scope
+  ASSERT_EQ(findings.size(), 1u) << Dump(findings);
+  EXPECT_EQ(findings[0].file, "src/core/x.cc");
+}
+
+}  // namespace
+}  // namespace analysis
+}  // namespace bpw

@@ -490,6 +490,73 @@ void CommitLocked() {
   EXPECT_EQ(rules.size(), 2u) << Dump(findings);
 }
 
+// --- tokenizer hardening: the linter rides the shared lexer, so literal
+// --- contents, raw strings, and spliced macros must never look like code.
+
+TEST(LintTest, AllocWordsInsideStringLiteralsAreNotCode) {
+  const char* src = R"cpp(
+void Pool::CommitLocked() {
+  Log("new std::vector<Entry> malloc push_back reserve");
+  Apply();
+}
+)cpp";
+  auto findings = LintSource("src/core/pool.cc", src);
+  EXPECT_FALSE(Has(findings, "critical-section-alloc")) << Dump(findings);
+}
+
+TEST(LintTest, RawStringBodySpanningLinesIsInvisibleToRules) {
+  // The raw string holds both an allocation spelling and a clock call; a
+  // naive line scanner would flag both lines.
+  const char* src =
+      "void Pool::CommitLocked() {\n"
+      "  const char* doc = R\"txt(\n"
+      "    batch.reserve(64); new Entry;\n"
+      "    NowNanos();\n"
+      "  )txt\";\n"
+      "  Apply(doc);\n"
+      "}\n";
+  auto findings = LintSource("src/core/pool.cc", src);
+  EXPECT_TRUE(findings.empty()) << Dump(findings);
+}
+
+TEST(LintTest, AllowCommentInsideAStringDoesNotSuppress) {
+  const char* src = R"cpp(
+void Pool::CommitLocked() {
+  Log("// bpw-lint-allow(critical-section-alloc)");
+  batch_.push_back(1);
+}
+)cpp";
+  auto findings = LintSource("src/core/pool.cc", src);
+  EXPECT_TRUE(Has(findings, "critical-section-alloc")) << Dump(findings);
+}
+
+TEST(LintTest, SplicedMacroDefinitionIsNotScannedAsCode) {
+  // A line-continuation macro whose body allocates must not be attributed
+  // to the surrounding function.
+  const char* src =
+      "#define POOL_GROW(v) \\\n"
+      "  (v).push_back(new Entry)\n"
+      "void Pool::CommitLocked() {\n"
+      "  Apply();\n"
+      "}\n";
+  auto findings = LintSource("src/core/pool.cc", src);
+  EXPECT_TRUE(findings.empty()) << Dump(findings);
+}
+
+TEST(LintTest, EscapedQuoteCharLiteralKeepsLaterLinesLive) {
+  // If the lexer derailed on '\'' the later allocation would be blanked
+  // out along with everything else.
+  const char* src = R"cpp(
+void Pool::CommitLocked() {
+  char sep = '\'';
+  (void)sep;
+  batch_.push_back(1);
+}
+)cpp";
+  auto findings = LintSource("src/core/pool.cc", src);
+  EXPECT_TRUE(Has(findings, "critical-section-alloc")) << Dump(findings);
+}
+
 }  // namespace
 }  // namespace lint
 }  // namespace bpw

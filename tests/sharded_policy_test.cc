@@ -420,6 +420,68 @@ TEST(ShardedStampTest, ReadStampReturnsTheLastHit) {
   EXPECT_TRUE(coord.CheckQuiescedInvariants().ok());
 }
 
+TEST(ShardedStampTest, VersionWraparoundCostsExactlyOneObservableWindow) {
+  // The stamp version is a uint64_t that only ever moves by +1/+1 per
+  // publish, so a real wrap needs 2^63 hits — the preload seam plants the
+  // boundary instead. Claiming from the last even value (2^64 - 2) takes
+  // the version to 2^64 - 1 (odd, claimed) and the publish wraps to 0.
+  // Zero doubles as the never-stamped sentinel, so the wrap costs exactly
+  // one unreadable window; the very next hit makes the frame readable
+  // again with an untorn snapshot.
+  auto sharded_or = ShardedPolicy::Create("lru", 2, 16);
+  ASSERT_TRUE(sharded_or.ok());
+  ShardedCoordinator coord(std::move(sharded_or).value(),
+                           ShardedCoordinator::Options{});
+  auto slot = coord.RegisterThread();
+
+  const uint64_t kLastEven = ~uint64_t{0} - 1;  // 2^64 - 2
+  coord.PreloadStampVersionForTest(3, kLastEven);
+
+  coord.OnHit(slot.get(), 42, 3);  // publish store wraps the version to 0
+  PageId page = kInvalidPageId;
+  uint64_t tick = 0;
+  EXPECT_FALSE(coord.ReadStamp(3, &page, &tick))
+      << "version 0 must read as never-stamped, not as a torn snapshot";
+
+  coord.OnHit(slot.get(), 43, 3);  // 0 -> 1 (claim) -> 2 (publish)
+  ASSERT_TRUE(coord.ReadStamp(3, &page, &tick));
+  EXPECT_EQ(page, 43u);
+  EXPECT_GT(tick, 0u);
+
+  coord.FlushSlot(slot.get());
+  EXPECT_TRUE(coord.CheckQuiescedInvariants().ok())
+      << "no stamp may be left odd after the wrap exercise";
+}
+
+TEST(ShardedStampTest, AbandonedOddWriterNeverBlocksHitsOrReaders) {
+  // An odd version with no live writer (a thread died mid-publish, or a
+  // test plants it) must never make StampHit wait or ReadStamp spin
+  // forever: the hit path skips the claim, the reader's bounded retry
+  // gives up, and other frames are untouched.
+  auto sharded_or = ShardedPolicy::Create("lru", 2, 16);
+  ASSERT_TRUE(sharded_or.ok());
+  ShardedCoordinator coord(std::move(sharded_or).value(),
+                           ShardedCoordinator::Options{});
+  auto slot = coord.RegisterThread();
+
+  coord.PreloadStampVersionForTest(3, 7);  // odd: claimed, never published
+  coord.OnHit(slot.get(), 42, 3);          // must skip the stamp, not spin
+  PageId page = kInvalidPageId;
+  uint64_t tick = 0;
+  EXPECT_FALSE(coord.ReadStamp(3, &page, &tick))
+      << "bounded retry must give up on a stuck-odd stamp";
+
+  coord.OnHit(slot.get(), 99, 4);  // a neighbouring frame is unaffected
+  ASSERT_TRUE(coord.ReadStamp(4, &page, &tick));
+  EXPECT_EQ(page, 99u);
+
+  // Un-stick the planted stamp so the quiesced invariant (no odd
+  // versions) can certify the rest of the coordinator.
+  coord.PreloadStampVersionForTest(3, 8);
+  coord.FlushSlot(slot.get());
+  EXPECT_TRUE(coord.CheckQuiescedInvariants().ok());
+}
+
 TEST(ShardedStampTest, ConcurrentStampingStaysConsistent) {
   // The atomic-stamp stress row (runs under TSan in CI): writers hammer
   // OnHit on a few shared frames while readers snapshot stamps. Every

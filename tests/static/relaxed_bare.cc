@@ -1,0 +1,35 @@
+// Seeded violations of the relaxed-atomics discipline: every relaxed
+// access must either hit a field that carries a concurrency annotation
+// (BPW_RELAXED_OK / publication / capability) or sit under a standalone
+// BPW_RELAXED_OK("reason") site statement. A PUBLISHED_BY arg that names
+// no field in scope is itself rejected.
+//
+// Not compiled — analyzed standalone by `bpw_atomiclint
+// --check-expectations`.
+
+namespace corpus {
+
+struct CorpusCounters {
+  std::atomic<unsigned long> corpus_hits_{0};
+  std::atomic<unsigned long> corpus_misses_{0} BPW_RELAXED_OK("stats counter");
+  // bpw-atomiclint-expect(bad-annotation)
+  std::atomic<unsigned long> corpus_orphan_{0} BPW_PUBLISHED_BY(corpus_no_such_stamp);
+
+  void Record(bool hit) {
+    if (hit) {
+      // bpw-atomiclint-expect(relaxed-unannotated)
+      corpus_hits_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      corpus_misses_.fetch_add(1, std::memory_order_relaxed);  // annotated
+    }
+  }
+
+  void Reset() {
+    // A documented site statement covers its own line and the next.
+    BPW_RELAXED_OK("corpus: reset runs with all recording threads joined");
+    corpus_hits_.store(0, std::memory_order_relaxed);
+    corpus_misses_.store(0, std::memory_order_relaxed);
+  }
+};
+
+}  // namespace corpus

@@ -1,0 +1,40 @@
+// Seeded violations of the publication protocol: a payload field marked
+// BPW_PUBLISHED_BY(stamp) must be published by a release-or-stronger
+// store of its stamp, and a reader must observe the stamp with an
+// acquire-or-stronger load before touching the payload. GoodPublish /
+// GoodConsume show the accepted shape.
+//
+// Not compiled — analyzed standalone by `bpw_atomiclint
+// --check-expectations`.
+
+namespace corpus {
+
+struct CorpusPublisher {
+  std::atomic<int> corpus_ready{0} BPW_RELAXED_OK(
+      "corpus: the publication rules, not this peek, are under test");
+  std::atomic<long> corpus_payload{0} BPW_PUBLISHED_BY(corpus_ready);
+
+  void BadPublish(long v) {
+    // bpw-atomiclint-expect(relaxed-publication-store)
+    corpus_payload.store(v, std::memory_order_relaxed);
+    corpus_ready.store(1, std::memory_order_relaxed);  // not a publication
+  }
+
+  long BadConsume() {
+    if (corpus_ready.load(std::memory_order_relaxed) == 0) return 0;
+    // bpw-atomiclint-expect(unordered-publication-read)
+    return corpus_payload.load(std::memory_order_relaxed);
+  }
+
+  void GoodPublish(long v) {
+    corpus_payload.store(v, std::memory_order_relaxed);
+    corpus_ready.store(1, std::memory_order_release);
+  }
+
+  long GoodConsume() {
+    if (corpus_ready.load(std::memory_order_acquire) == 0) return 0;
+    return corpus_payload.load(std::memory_order_relaxed);
+  }
+};
+
+}  // namespace corpus

@@ -1,0 +1,40 @@
+// Seeded violation of the seqlock read shape: a payload published by a
+// BPW_SEQLOCK_STAMP stamp must be read under the full seqlock protocol —
+// at least two loads of the stamp (before and after the payload) plus an
+// odd-test re-check. TornRead stops after one load, so a writer racing
+// the read can hand it a torn payload that the missing re-check would
+// have rejected. GoodRead and Write show the accepted shapes.
+//
+// Not compiled — analyzed standalone by `bpw_atomiclint
+// --check-expectations`.
+
+namespace corpus {
+
+struct CorpusSeqSlot {
+  std::atomic<unsigned> corpus_version{0} BPW_SEQLOCK_STAMP;
+  std::atomic<unsigned long> corpus_value{0} BPW_PUBLISHED_BY(corpus_version);
+
+  unsigned long TornRead() {
+    if ((corpus_version.load(std::memory_order_acquire) & 1u) != 0) return 0;
+    // bpw-atomiclint-expect(torn-seqlock-read)
+    return corpus_value.load(std::memory_order_relaxed);  // no re-check
+  }
+
+  unsigned long GoodRead() {
+    for (;;) {
+      const unsigned v0 = corpus_version.load(std::memory_order_acquire);
+      if ((v0 & 1u) != 0) continue;  // writer mid-flight: retry
+      const unsigned long out = corpus_value.load(std::memory_order_relaxed);
+      if (corpus_version.load(std::memory_order_acquire) == v0) return out;
+    }
+  }
+
+  void Write(unsigned long v) {
+    const unsigned v0 = corpus_version.load(std::memory_order_relaxed);
+    corpus_version.store(v0 + 1, std::memory_order_relaxed);  // odd: claimed
+    corpus_value.store(v, std::memory_order_relaxed);
+    corpus_version.store(v0 + 2, std::memory_order_release);  // even: out
+  }
+};
+
+}  // namespace corpus

@@ -1,0 +1,393 @@
+// bpw_atomiclint CLI: lock-order acyclicity proof + lock-free protocol
+// discipline over the whole tree.
+//
+//   bpw_atomiclint [options] <file-or-dir>...
+//
+//   --dot FILE            write the lock-acquisition order graph (Graphviz;
+//                         dashed edges are TryLock-bounded and whitelisted
+//                         in the acyclicity proof)
+//   --audit-allows        list stale bpw-lint-allow(...) suppressions: the
+//                         named rule (bpw_lint's or this tool's) no longer
+//                         fires at the suppressed site
+//   --check-expectations  corpus mode: analyze each file standalone as
+//                         library code and require its findings to match
+//                         its // bpw-atomiclint-expect(rule) markers
+//                         exactly (tests/static/ runs under this)
+//   --timings             print per-rule wall time (the nightly deep mode
+//                         uses this to keep analyzer cost visible)
+//   --all-lib             treat every input as library code (the tree run
+//                         scopes atomics rules to src/ minus src/sync/)
+//
+// Exit status: 0 clean, 1 findings (or corpus/audit mismatch), 2 usage/IO.
+//
+// The analyzers live in src/analysis/ (shared with bpw_lint): a real
+// tokenizer, a scope graph with cross-file declaration joins, the
+// lock-order graph builder, and the atomics-discipline checker. See
+// DESIGN.md "Static analysis, layer 2" for the rule semantics and how the
+// four layers (TSA / bpw_lint / bpw_atomiclint / mc) divide the surface.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/atomics_check.h"
+#include "analysis/lock_graph.h"
+#include "analysis/scope_graph.h"
+#include "lint/lint.h"
+
+namespace {
+
+using bpw::analysis::AtomicsOptions;
+using bpw::analysis::BuildFileModel;
+using bpw::analysis::BuildLockGraph;
+using bpw::analysis::CheckAtomics;
+using bpw::analysis::Finding;
+using bpw::analysis::LockGraph;
+using bpw::analysis::LockGraphToDot;
+using bpw::analysis::TreeModel;
+
+bool IsSourceFile(const std::filesystem::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp";
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+int CollectFiles(const std::vector<std::string>& paths,
+                 std::vector<std::string>* files) {
+  for (const std::string& p : paths) {
+    std::error_code ec;
+    if (std::filesystem::is_directory(p, ec)) {
+      for (const auto& entry :
+           std::filesystem::recursive_directory_iterator(p, ec)) {
+        if (entry.is_regular_file() && IsSourceFile(entry.path())) {
+          files->push_back(entry.path().string());
+        }
+      }
+    } else if (std::filesystem::is_regular_file(p, ec)) {
+      files->push_back(p);
+    } else {
+      std::fprintf(stderr, "bpw_atomiclint: cannot read %s\n", p.c_str());
+      return 2;
+    }
+  }
+  std::sort(files->begin(), files->end());
+  return 0;
+}
+
+void PrintFinding(const Finding& f) {
+  std::fprintf(stderr, "%s:%d: [%s] %s\n", f.file.c_str(), f.line,
+               f.rule.c_str(), f.message.c_str());
+}
+
+struct Timings {
+  double parse_ms = 0;
+  double lock_graph_ms = 0;
+  double atomics_ms = 0;
+
+  void Print() const {
+    std::printf("bpw_atomiclint timings: parse %.1f ms, lock-graph %.1f ms, "
+                "atomics %.1f ms\n",
+                parse_ms, lock_graph_ms, atomics_ms);
+  }
+};
+
+double MsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+int BuildTree(const std::vector<std::string>& files, TreeModel* tree) {
+  for (const std::string& file : files) {
+    std::string source;
+    if (!ReadFile(file, &source)) {
+      std::fprintf(stderr, "bpw_atomiclint: cannot read %s\n", file.c_str());
+      return 2;
+    }
+    tree->files.push_back(BuildFileModel(file, source));
+  }
+  tree->Reindex();
+  return 0;
+}
+
+// --------------------------------------------------------------------------
+// Corpus mode: every file is its own tree; findings must match the
+// bpw-atomiclint-expect(rule) markers exactly.
+// --------------------------------------------------------------------------
+
+int CheckExpectations(const std::vector<std::string>& files) {
+  static const std::regex kExpect(R"(bpw-atomiclint-expect\(([a-z0-9\-]+)\))");
+  int failures = 0;
+  for (const std::string& file : files) {
+    std::string source;
+    if (!ReadFile(file, &source)) {
+      std::fprintf(stderr, "bpw_atomiclint: cannot read %s\n", file.c_str());
+      return 2;
+    }
+    // Expected (rule, line) pairs; a marker covers its own line and the
+    // next, so it can sit above the violating statement.
+    std::vector<std::pair<std::string, int>> expected;
+    {
+      std::istringstream lines(source);
+      std::string line;
+      int lineno = 0;
+      while (std::getline(lines, line)) {
+        ++lineno;
+        for (auto it = std::sregex_iterator(line.begin(), line.end(), kExpect);
+             it != std::sregex_iterator(); ++it) {
+          expected.emplace_back((*it)[1].str(), lineno);
+        }
+      }
+    }
+    TreeModel tree;
+    tree.files.push_back(BuildFileModel(file, source));
+    tree.Reindex();
+    AtomicsOptions opts;
+    opts.all_files_lib = true;
+    std::vector<Finding> findings = CheckAtomics(tree, opts);
+    LockGraph graph = BuildLockGraph(tree);
+    findings.insert(findings.end(), graph.findings.begin(),
+                    graph.findings.end());
+
+    std::vector<bool> finding_matched(findings.size(), false);
+    for (const auto& exp : expected) {
+      bool hit = false;
+      for (size_t i = 0; i < findings.size(); ++i) {
+        if (findings[i].rule == exp.first &&
+            (findings[i].line == exp.second ||
+             findings[i].line == exp.second + 1)) {
+          finding_matched[i] = true;
+          hit = true;
+        }
+      }
+      if (!hit) {
+        std::fprintf(stderr,
+                     "%s:%d: expected [%s] to fire here but it did not\n",
+                     file.c_str(), exp.second, exp.first.c_str());
+        ++failures;
+      }
+    }
+    for (size_t i = 0; i < findings.size(); ++i) {
+      if (!finding_matched[i]) {
+        PrintFinding(findings[i]);
+        std::fprintf(stderr, "%s:%d: ^ finding has no matching "
+                             "bpw-atomiclint-expect marker\n",
+                     findings[i].file.c_str(), findings[i].line);
+        ++failures;
+      }
+    }
+  }
+  if (failures == 0) {
+    std::printf("bpw_atomiclint: corpus expectations all matched (%zu "
+                "files)\n",
+                files.size());
+    return 0;
+  }
+  std::fprintf(stderr, "bpw_atomiclint: %d corpus expectation failure(s)\n",
+               failures);
+  return 1;
+}
+
+// --------------------------------------------------------------------------
+// Allow audit: compare every bpw-lint-allow site against the unsuppressed
+// findings of both tools.
+// --------------------------------------------------------------------------
+
+int AuditAllows(const std::vector<std::string>& files, bool all_lib) {
+  // Unsuppressed findings, whole tree, from both tools.
+  TreeModel tree;
+  std::map<std::string, std::string> sources;
+  for (const std::string& file : files) {
+    std::string source;
+    if (!ReadFile(file, &source)) {
+      std::fprintf(stderr, "bpw_atomiclint: cannot read %s\n", file.c_str());
+      return 2;
+    }
+    tree.files.push_back(BuildFileModel(file, source));
+    sources[file] = std::move(source);
+  }
+  tree.Reindex();
+  AtomicsOptions opts;
+  opts.all_files_lib = all_lib;
+  opts.ignore_allows = true;
+  std::vector<Finding> unsuppressed = CheckAtomics(tree, opts);
+  {
+    LockGraph graph = BuildLockGraph(tree, /*honor_allows=*/false);
+    unsuppressed.insert(unsuppressed.end(), graph.findings.begin(),
+                        graph.findings.end());
+  }
+  std::set<std::string> atomiclint_rules = {
+      "lock-order-cycle",       "leaf-lock-acquires",
+      "relaxed-unannotated",    "relaxed-publication-store",
+      "unordered-publication-read", "torn-seqlock-read",
+      "mc-access-unannotated",  "bad-annotation",
+  };
+  std::set<std::string> lint_rules(bpw::lint::LintRuleIds().begin(),
+                                   bpw::lint::LintRuleIds().end());
+
+  // (file, line, rule) -> fired, plus (file, rule) for file-scope allows.
+  std::set<std::string> fired_at;
+  std::set<std::string> fired_in;
+  auto record = [&](const Finding& f) {
+    fired_at.insert(f.file + ":" + std::to_string(f.line) + ":" + f.rule);
+    fired_in.insert(f.file + ":" + f.rule);
+  };
+  for (const Finding& f : unsuppressed) record(f);
+  for (const auto& fm : tree.files) {
+    for (const bpw::lint::Finding& f :
+         bpw::lint::LintSourceUnsuppressed(fm.path, sources[fm.path])) {
+      record({f.file, f.line, f.rule, f.message});
+    }
+  }
+
+  int stale = 0;
+  for (const auto& fm : tree.files) {
+    for (const bpw::analysis::AllowSite& site : fm.lex.allow_sites) {
+      const bool known = atomiclint_rules.count(site.rule) > 0 ||
+                         lint_rules.count(site.rule) > 0;
+      if (!known) {
+        std::fprintf(stderr,
+                     "%s:%d: stale allow (%s): no such rule in bpw_lint or "
+                     "bpw_atomiclint\n",
+                     fm.path.c_str(), site.line + 1, site.rule.c_str());
+        ++stale;
+        continue;
+      }
+      bool fresh;
+      if (site.file_scope) {
+        fresh = fired_in.count(fm.path + ":" + site.rule) > 0;
+      } else {
+        // A line allow covers its own line and the next (1-based lines
+        // site.line+1 and site.line+2).
+        fresh =
+            fired_at.count(fm.path + ":" + std::to_string(site.line + 1) +
+                           ":" + site.rule) > 0 ||
+            fired_at.count(fm.path + ":" + std::to_string(site.line + 2) +
+                           ":" + site.rule) > 0;
+      }
+      if (!fresh) {
+        std::fprintf(stderr,
+                     "%s:%d: stale allow (%s): the rule no longer fires at "
+                     "this %s\n",
+                     fm.path.c_str(), site.line + 1, site.rule.c_str(),
+                     site.file_scope ? "file" : "site");
+        ++stale;
+      }
+    }
+  }
+  if (stale == 0) {
+    std::printf("bpw_atomiclint: no stale allows (%zu files)\n",
+                files.size());
+    return 0;
+  }
+  std::fprintf(stderr, "bpw_atomiclint: %d stale allow(s)\n", stale);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  std::string dot_path;
+  bool audit_allows = false;
+  bool check_expectations = false;
+  bool timings = false;
+  bool all_lib = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--dot" && i + 1 < argc) {
+      dot_path = argv[++i];
+    } else if (arg == "--audit-allows") {
+      audit_allows = true;
+    } else if (arg == "--check-expectations") {
+      check_expectations = true;
+    } else if (arg == "--timings") {
+      timings = true;
+    } else if (arg == "--all-lib") {
+      all_lib = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: bpw_atomiclint [--dot FILE] [--audit-allows] "
+          "[--check-expectations] [--timings] [--all-lib] "
+          "<file-or-dir>...\n");
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "bpw_atomiclint: unknown option %s\n", arg.c_str());
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    std::fprintf(stderr, "usage: bpw_atomiclint [options] <file-or-dir>...\n");
+    return 2;
+  }
+  std::vector<std::string> files;
+  if (int rc = CollectFiles(paths, &files); rc != 0) return rc;
+  if (files.empty()) {
+    std::fprintf(stderr, "bpw_atomiclint: no source files found\n");
+    return 2;
+  }
+
+  if (check_expectations) return CheckExpectations(files);
+  if (audit_allows) return AuditAllows(files, all_lib);
+
+  Timings t;
+  auto t0 = std::chrono::steady_clock::now();
+  TreeModel tree;
+  if (int rc = BuildTree(files, &tree); rc != 0) return rc;
+  t.parse_ms = MsSince(t0);
+
+  t0 = std::chrono::steady_clock::now();
+  LockGraph graph = BuildLockGraph(tree);
+  t.lock_graph_ms = MsSince(t0);
+
+  t0 = std::chrono::steady_clock::now();
+  AtomicsOptions opts;
+  opts.all_files_lib = all_lib;
+  std::vector<Finding> findings = CheckAtomics(tree, opts);
+  t.atomics_ms = MsSince(t0);
+
+  findings.insert(findings.end(), graph.findings.begin(),
+                  graph.findings.end());
+
+  if (!dot_path.empty()) {
+    std::ofstream out(dot_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "bpw_atomiclint: cannot write %s\n",
+                   dot_path.c_str());
+      return 2;
+    }
+    out << LockGraphToDot(graph);
+  }
+
+  for (const Finding& f : findings) PrintFinding(f);
+  if (timings) t.Print();
+  if (!findings.empty()) {
+    std::fprintf(stderr,
+                 "bpw_atomiclint: %zu finding(s) in %zu file(s); lock graph: "
+                 "%zu lock(s), %zu edge(s)\n",
+                 findings.size(), files.size(), graph.locks.size(),
+                 graph.edges.size());
+    return 1;
+  }
+  std::printf("bpw_atomiclint: clean (%zu files; lock graph: %zu locks, %zu "
+              "edges, acyclic)\n",
+              files.size(), graph.locks.size(), graph.edges.size());
+  return 0;
+}

@@ -1,180 +1,21 @@
 #include "lint/lint.h"
 
-#include <cctype>
 #include <fstream>
 #include <regex>
 #include <sstream>
+
+#include "analysis/lexer.h"
 
 namespace bpw {
 namespace lint {
 
 namespace {
 
-// ---------------------------------------------------------------------------
-// Lexing: blank out comments and literals, preserving line structure, and
-// collect bpw-lint-allow() comments.
-// ---------------------------------------------------------------------------
-
-struct CleanSource {
-  std::vector<std::string> lines;  // code with comments/literals blanked
-  // allow[i] holds the rule names suppressed on line i+1 (from a comment on
-  // that line or the line above).
-  std::vector<std::vector<std::string>> allow;
-  // Rules suppressed for the whole file via bpw-lint-allow-file(rule).
-  std::vector<std::string> file_allow;
-};
-
-void CollectAllows(const std::string& comment_text, int line_index,
-                   CleanSource* out) {
-  static const std::regex kAllow(R"(bpw-lint-allow\(([a-z\-]+)\))");
-  static const std::regex kAllowFile(R"(bpw-lint-allow-file\(([a-z\-]+)\))");
-  auto begin = std::sregex_iterator(comment_text.begin(), comment_text.end(),
-                                    kAllow);
-  for (auto it = begin; it != std::sregex_iterator(); ++it) {
-    const std::string rule = (*it)[1].str();
-    out->allow[line_index].push_back(rule);
-    if (line_index + 1 < static_cast<int>(out->allow.size())) {
-      out->allow[line_index + 1].push_back(rule);
-    }
-  }
-  begin = std::sregex_iterator(comment_text.begin(), comment_text.end(),
-                               kAllowFile);
-  for (auto it = begin; it != std::sregex_iterator(); ++it) {
-    out->file_allow.push_back((*it)[1].str());
-  }
-}
-
-CleanSource Clean(const std::string& source) {
-  CleanSource out;
-  {
-    // Pre-size the per-line containers.
-    size_t n = 1;
-    for (char c : source) n += (c == '\n');
-    out.lines.reserve(n);
-    out.allow.assign(n, {});
-  }
-
-  enum class State {
-    kCode,
-    kLineComment,
-    kBlockComment,
-    kString,
-    kChar,
-    kRawString,
-  };
-  State state = State::kCode;
-  std::string cur;            // current cleaned line
-  std::string comment;        // text of the comment being scanned
-  std::string raw_delim;      // delimiter of the raw string being scanned
-  int line_index = 0;
-  const size_t n = source.size();
-
-  auto end_line = [&] {
-    out.lines.push_back(cur);
-    cur.clear();
-    ++line_index;
-  };
-
-  for (size_t i = 0; i < n; ++i) {
-    const char c = source[i];
-    const char next = i + 1 < n ? source[i + 1] : '\0';
-    if (c == '\n') {
-      if (state == State::kLineComment) {
-        CollectAllows(comment, line_index, &out);
-        comment.clear();
-        state = State::kCode;
-      }
-      end_line();
-      continue;
-    }
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          state = State::kLineComment;
-          comment.clear();
-          cur += "  ";
-          ++i;
-        } else if (c == '/' && next == '*') {
-          state = State::kBlockComment;
-          comment.clear();
-          cur += "  ";
-          ++i;
-        } else if (c == 'R' && next == '"' &&
-                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(
-                                   source[i - 1])) &&
-                               source[i - 1] != '_'))) {
-          // Raw string: R"delim( ... )delim"
-          size_t j = i + 2;
-          raw_delim.clear();
-          while (j < n && source[j] != '(') raw_delim += source[j++];
-          state = State::kRawString;
-          cur += ' ';
-          i = j;  // at '(' (or end)
-        } else if (c == '"') {
-          state = State::kString;
-          cur += ' ';
-        } else if (c == '\'') {
-          state = State::kChar;
-          cur += ' ';
-        } else {
-          cur += c;
-        }
-        break;
-      case State::kLineComment:
-        comment += c;
-        cur += ' ';
-        break;
-      case State::kBlockComment:
-        if (c == '*' && next == '/') {
-          CollectAllows(comment, line_index, &out);
-          comment.clear();
-          state = State::kCode;
-          cur += "  ";
-          ++i;
-        } else {
-          comment += c;
-          cur += ' ';
-        }
-        break;
-      case State::kString:
-        if (c == '\\') {
-          cur += "  ";
-          ++i;
-        } else if (c == '"') {
-          state = State::kCode;
-          cur += ' ';
-        } else {
-          cur += ' ';
-        }
-        break;
-      case State::kChar:
-        if (c == '\\') {
-          cur += "  ";
-          ++i;
-        } else if (c == '\'') {
-          state = State::kCode;
-          cur += ' ';
-        } else {
-          cur += ' ';
-        }
-        break;
-      case State::kRawString: {
-        // Look for )delim"
-        if (c == ')' && source.compare(i + 1, raw_delim.size(), raw_delim) ==
-                            0 &&
-            i + 1 + raw_delim.size() < n &&
-            source[i + 1 + raw_delim.size()] == '"') {
-          i += 1 + raw_delim.size();
-          state = State::kCode;
-        }
-        cur += ' ';
-        break;
-      }
-    }
-  }
-  end_line();
-  return out;
-}
+// Lexing lives in the shared src/analysis library now (PR 4's hand-rolled
+// blanking pass moved there and grew raw-string / line-continuation /
+// preprocessor handling); this file keeps only the rule layer, which runs
+// over analysis::LexedSource::cleaned_lines.
+using analysis::LexedSource;
 
 // ---------------------------------------------------------------------------
 // Scope tracking.
@@ -198,16 +39,6 @@ bool MatchesAny(const std::string& line, const std::regex& re) {
   return std::regex_search(line, re);
 }
 
-bool Allowed(const CleanSource& src, int line_index, const std::string& rule) {
-  for (const std::string& r : src.allow[line_index]) {
-    if (r == rule) return true;
-  }
-  for (const std::string& r : src.file_allow) {
-    if (r == rule) return true;
-  }
-  return false;
-}
-
 /// True if `path` contains directory component(s) `dir` ("src/",
 /// "src/sync/"), anchored at the start or at a '/' so "mysrc/" never
 /// matches.
@@ -220,11 +51,9 @@ bool PathInDir(const std::string& path, const std::string& dir) {
   return false;
 }
 
-}  // namespace
-
-std::vector<Finding> LintSource(const std::string& path,
-                                const std::string& source) {
-  const CleanSource src = Clean(source);
+std::vector<Finding> LintImpl(const std::string& path,
+                              const std::string& source, bool honor_allows) {
+  const LexedSource src = analysis::Lex(source);
   std::vector<Finding> findings;
 
   // Patterns. All run on cleaned lines (no comments, no literals).
@@ -293,12 +122,12 @@ std::vector<Finding> LintSource(const std::string& path,
   };
   auto report = [&](int line_index, const std::string& rule,
                     const std::string& message) {
-    if (Allowed(src, line_index, rule)) return;
+    if (honor_allows && src.Allowed(line_index, rule)) return;
     findings.push_back(Finding{path, line_index + 1, rule, message});
   };
 
-  for (int li = 0; li < static_cast<int>(src.lines.size()); ++li) {
-    const std::string& line = src.lines[li];
+  for (int li = 0; li < static_cast<int>(src.cleaned_lines.size()); ++li) {
+    const std::string& line = src.cleaned_lines[li];
 
     // ---- Per-line rule checks (before scope updates: a guard declared on
     // this line opens the CS for *subsequent* lines).
@@ -346,7 +175,7 @@ std::vector<Finding> LintSource(const std::string& path,
     }
     if (MatchesAny(line, kTryLock)) {
       if (Scope* fn = enclosing_function()) {
-        if (!Allowed(src, li, "trylock-no-fallback")) {
+        if (!honor_allows || !src.Allowed(li, "trylock-no-fallback")) {
           fn->trylock_lines.push_back(li);
         }
       }
@@ -364,7 +193,7 @@ std::vector<Finding> LintSource(const std::string& path,
       if (Scope* fn = enclosing_function()) {
         if (MatchesAny(line, kSchedulePoint)) fn->has_schedule_point = true;
         if (MatchesAny(line, kLockCall) &&
-            !Allowed(src, li, "lock-no-schedule-point")) {
+            (!honor_allows || !src.Allowed(li, "lock-no-schedule-point"))) {
           fn->lock_call_lines.push_back(li);
         }
       }
@@ -454,6 +283,29 @@ std::vector<Finding> LintSource(const std::string& path,
     }
   }
   return findings;
+}
+
+}  // namespace
+
+std::vector<Finding> LintSource(const std::string& path,
+                                const std::string& source) {
+  return LintImpl(path, source, /*honor_allows=*/true);
+}
+
+std::vector<Finding> LintSourceUnsuppressed(const std::string& path,
+                                            const std::string& source) {
+  return LintImpl(path, source, /*honor_allows=*/false);
+}
+
+const std::vector<std::string>& LintRuleIds() {
+  static const std::vector<std::string> kRules = {
+      "critical-section-alloc",  "clock-read-in-critical-section",
+      "logging-in-critical-section", "prefetch-in-critical-section",
+      "trylock-unchecked",       "trylock-no-fallback",
+      "raw-mutex",               "lock-no-schedule-point",
+      "post-commit-under-lock",
+  };
+  return kRules;
 }
 
 bool LintFile(const std::string& path, std::vector<Finding>* findings) {

@@ -50,9 +50,9 @@
 //   - the whole body of a function whose name ends in "Locked" (the repo
 //     convention for "caller holds the lock", e.g. CommitLocked).
 //
-// Suppression: a `// bpw-lint-allow(rule-name)` comment on the same line
-// or the line directly above silences that rule there; a
-// `// bpw-lint-allow-file(rule-name)` comment anywhere in the file
+// Suppression: a `// bpw-lint-allow(...)` comment naming a rule on the
+// same line or the line directly above silences that rule there; a
+// `// bpw-lint-allow-file(...)` comment anywhere in the file
 // silences the rule for the whole file (for the rare translation unit
 // whose exemption is structural, e.g. the model checker's own monitor).
 // Every allow should carry a justification comment.
@@ -75,6 +75,15 @@ struct Finding {
 /// reporting.
 std::vector<Finding> LintSource(const std::string& path,
                                 const std::string& source);
+
+/// Same, but ignores every bpw-lint-allow comment. The --audit-allows mode
+/// compares this against the allow sites to spot suppressions whose rule no
+/// longer fires.
+std::vector<Finding> LintSourceUnsuppressed(const std::string& path,
+                                            const std::string& source);
+
+/// The rule ids this linter can emit (for allow-audit coverage).
+const std::vector<std::string>& LintRuleIds();
 
 /// Reads and lints one file. Returns false (and leaves `findings` alone) if
 /// the file cannot be read.
