@@ -1,0 +1,409 @@
+#include "analysis/call_graph.h"
+
+#include <algorithm>
+
+#include "analysis/resolve.h"
+
+namespace bpw {
+namespace analysis {
+
+namespace {
+
+/// Identifiers that look like calls in token form but are not.
+bool IsCallKeyword(const std::string& t) {
+  static const std::set<std::string> kKeywords = {
+      "if",       "for",      "while",       "switch",   "return",
+      "sizeof",   "alignof",  "decltype",    "noexcept", "static_assert",
+      "catch",    "new",      "delete",      "throw",    "typeid",
+      "co_await", "co_yield", "co_return",   "assert",   "defined",
+      "alignas",  "operator", "reinterpret_cast", "static_cast",
+      "const_cast", "dynamic_cast"};
+  return kKeywords.count(t) > 0;
+}
+
+class Builder {
+ public:
+  explicit Builder(const TreeModel& tree) : tree_(tree) {}
+
+  CallGraph Build() {
+    CollectNodes();
+    CollectBases();
+    // NodeFor may append synthesized nodes mid-scan, so nodes (and any
+    // reference into it) can move: iterate by index and copy the def list.
+    const size_t scanned = graph_.nodes.size();
+    for (size_t n = 0; n < scanned; ++n) {
+      const auto defs = graph_.nodes[n].defs;
+      for (const auto& def : defs) {
+        ScanBody(n, *def.second, *def.first);
+      }
+      DedupeEdges(&graph_.nodes[n]);
+    }
+    return std::move(graph_);
+  }
+
+ private:
+  void CollectNodes() {
+    for (const FileModel& fm : tree_.files) {
+      for (const FunctionDecl& fn : fm.functions) {
+        auto it = graph_.index.find(fn.qualified);
+        if (it == graph_.index.end()) {
+          it = graph_.index.emplace(fn.qualified, graph_.nodes.size()).first;
+          graph_.nodes.push_back(CallNode{fn.qualified, {}, {}, {}});
+        }
+        if (fn.has_body) {
+          graph_.nodes[it->second].defs.emplace_back(&fn, &fm);
+        }
+        if (!fn.qualifier.empty()) {
+          methods_[fn.qualifier].insert(fn.name);
+        }
+        by_name_.emplace(fn.name, fn.qualified);
+      }
+    }
+  }
+
+  void CollectBases() {
+    for (const FileModel& fm : tree_.files) {
+      for (const TypeDecl& t : fm.types) {
+        for (const std::string& base : t.bases) {
+          graph_.derived.emplace(base, t.qualified);
+        }
+      }
+    }
+  }
+
+  static std::string TerminalName(const std::string& qualified) {
+    const size_t cut = qualified.rfind("::");
+    return cut == std::string::npos ? qualified : qualified.substr(cut + 2);
+  }
+
+  /// The base list of a class, looked up by any of its name spellings.
+  const TypeDecl* FindType(const std::string& name) const {
+    auto range = tree_.types_by_name.equal_range(name);
+    if (range.first == range.second) return nullptr;
+    return range.first->second;
+  }
+
+  bool ClassHasMethod(const std::string& cls, const std::string& m) const {
+    auto it = methods_.find(cls);
+    if (it != methods_.end() && it->second.count(m) > 0) return true;
+    // Method tables are keyed by the qualifier as spelled; a nested class
+    // may be indexed under its qualified name only.
+    const TypeDecl* t = FindType(cls);
+    if (t != nullptr && t->qualified != cls) {
+      auto it2 = methods_.find(t->qualified);
+      if (it2 != methods_.end() && it2->second.count(m) > 0) return true;
+    }
+    return false;
+  }
+
+  std::string MethodQualified(const std::string& cls,
+                              const std::string& m) const {
+    auto it = methods_.find(cls);
+    if (it != methods_.end() && it->second.count(m) > 0) {
+      return cls + "::" + m;
+    }
+    const TypeDecl* t = FindType(cls);
+    if (t != nullptr && t->qualified != cls &&
+        ClassHasMethod(t->qualified, m)) {
+      return t->qualified + "::" + m;
+    }
+    return "";
+  }
+
+  /// Walks up the base-class chain from `cls` looking for method `m`;
+  /// returns the declaring class name ("" if none found).
+  std::string FindDeclaringClass(const std::string& cls, const std::string& m,
+                                 int depth = 0) const {
+    if (cls.empty() || depth > 8) return "";
+    if (ClassHasMethod(cls, m)) return cls;
+    const TypeDecl* t = FindType(cls);
+    if (t == nullptr) return "";
+    for (const std::string& base : t->bases) {
+      const std::string found = FindDeclaringClass(base, m, depth + 1);
+      if (!found.empty()) return found;
+    }
+    return "";
+  }
+
+  size_t NodeFor(const std::string& qualified) {
+    auto it = graph_.index.find(qualified);
+    if (it != graph_.index.end()) return it->second;
+    // Synthesize a body-less node (a declared-only method reached through
+    // a base pointer whose declaration we indexed by class+name).
+    graph_.index.emplace(qualified, graph_.nodes.size());
+    graph_.nodes.push_back(CallNode{qualified, {}, {}, {}});
+    return graph_.nodes.size() - 1;
+  }
+
+  void AddEdge(size_t node, const std::string& qualified, int line,
+               bool virt) {
+    const size_t callee = NodeFor(qualified);  // may reallocate nodes
+    graph_.nodes[node].edges.push_back(CallEdge{callee, line, virt});
+  }
+
+  /// Adds the direct edge to `declaring::m` plus fan-out edges to every
+  /// override in classes transitively derived from the declaring class.
+  void AddVirtualEdges(size_t node, const std::string& declaring,
+                       const std::string& m, int line) {
+    const std::string direct = MethodQualified(declaring, m);
+    if (!direct.empty()) AddEdge(node, direct, line, /*virt=*/false);
+    const TypeDecl* t = FindType(declaring);
+    const std::string terminal =
+        t != nullptr ? TerminalName(t->qualified) : declaring;
+    for (const std::string& d : graph_.TransitiveDerived(terminal)) {
+      const std::string target = MethodQualified(d, m);
+      if (!target.empty() && target != direct) {
+        AddEdge(node, target, line, /*virt=*/true);
+      }
+    }
+  }
+
+  /// Resolves the static type name of `recv` inside `fn`: local/param
+  /// declared type, else the declared type of a same-named field of the
+  /// enclosing class (first known type named in its declarator text).
+  std::string ReceiverType(const FileModel& fm, const FunctionDecl& fn,
+                           const std::string& recv,
+                           bool* function_typed) const {
+    (void)fm;
+    *function_typed = false;
+    if (recv == "this") return fn.qualifier;
+    auto it = fn.local_types.find(recv);
+    if (it != fn.local_types.end()) {
+      if (it->second == "function") *function_typed = true;
+      return it->second;
+    }
+    std::string as_field = recv;
+    auto alias = fn.local_aliases.find(recv);
+    if (alias != fn.local_aliases.end()) as_field = alias->second;
+    const FieldDecl* f = tree_.ResolveMember(fn.qualifier, as_field);
+    if (f == nullptr) return "";
+    if (f->type_text.find("function") != std::string::npos) {
+      *function_typed = true;
+    }
+    // First known type named in the declarator, right to left (the
+    // element type of unique_ptr<ReplacementPolicy> wins over the
+    // smart-pointer template).
+    std::string word;
+    std::string found;
+    for (size_t i = 0; i <= f->type_text.size(); ++i) {
+      const char c = i < f->type_text.size() ? f->type_text[i] : ' ';
+      if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+          (c >= '0' && c <= '9') || c == '_') {
+        word += c;
+        continue;
+      }
+      if (!word.empty() && FindType(word) != nullptr) found = word;
+      word.clear();
+    }
+    return found;
+  }
+
+  void ScanBody(size_t node, const FileModel& fm, const FunctionDecl& fn) {
+    const std::vector<Token>& toks = fm.lex.tokens;
+    if (fn.body_begin >= fn.body_end || fn.body_end > toks.size()) return;
+    for (size_t i = fn.body_begin; i < fn.body_end; ++i) {
+      const Token& t = toks[i];
+      if (t.kind != TokKind::kIdent) continue;
+      if (i + 1 >= fn.body_end || toks[i + 1].kind != TokKind::kPunct ||
+          toks[i + 1].text != "(") {
+        continue;
+      }
+      const std::string& name = t.text;
+      if (IsCallKeyword(name) || name.rfind("BPW_", 0) == 0) continue;
+
+      const bool has_prev = i >= 1 && i - 1 >= fn.body_begin;
+      const std::string prev =
+          has_prev && toks[i - 1].kind == TokKind::kPunct ? toks[i - 1].text
+                                                          : "";
+      if (prev == "." || prev == "->") {
+        ResolveMemberCall(node, fm, fn, toks, i, name, t.line);
+        continue;
+      }
+      if (prev == "::") {
+        ResolveQualifiedCall(node, toks, fn, i, name, t.line);
+        continue;
+      }
+      const std::string prev_ident =
+          has_prev && toks[i - 1].kind == TokKind::kIdent ? toks[i - 1].text
+                                                          : "";
+      ResolveBareCall(node, fn, name, prev_ident, t.line);
+    }
+  }
+
+  void ResolveMemberCall(size_t node, const FileModel& fm,
+                         const FunctionDecl& fn,
+                         const std::vector<Token>& toks, size_t i,
+                         const std::string& name, int line) {
+    std::string recv;
+    if (i >= 2 && toks[i - 2].kind == TokKind::kIdent) {
+      recv = toks[i - 2].text;
+    }
+    if (recv.empty()) {
+      // `foo().bar(` / `arr[j].bar(` — unknown receiver; only a
+      // tree-unique method name still resolves.
+      ResolveUniqueName(node, name, line);
+      return;
+    }
+    bool function_typed = false;
+    const std::string cls = ReceiverType(fm, fn, recv, &function_typed);
+    if (function_typed && cls.empty()) {
+      graph_.nodes[node].indirect_calls.push_back({line, recv + "." + name});
+      return;
+    }
+    if (cls.empty()) {
+      ResolveUniqueName(node, name, line);
+      return;
+    }
+    const std::string declaring = FindDeclaringClass(cls, name);
+    if (declaring.empty()) {
+      // A container/std type method (push_back, find, ...) — the effect
+      // layer classifies these by name; no edge.
+      return;
+    }
+    AddVirtualEdges(node, declaring, name, line);
+  }
+
+  void ResolveQualifiedCall(size_t node, const std::vector<Token>& toks,
+                            const FunctionDecl& fn, size_t i,
+                            const std::string& name, int line) {
+    // Walk back over `Ident ::` pairs to build the full scope chain.
+    std::vector<std::string> scopes;
+    size_t k = i - 1;  // the "::" token
+    while (k >= 1 && k - 1 >= fn.body_begin &&
+           toks[k].kind == TokKind::kPunct && toks[k].text == "::" &&
+           toks[k - 1].kind == TokKind::kIdent) {
+      scopes.insert(scopes.begin(), toks[k - 1].text);
+      if (k < 2) break;
+      k -= 2;
+    }
+    if (scopes.empty()) return;
+    std::string qual;
+    for (const std::string& s : scopes) {
+      if (!qual.empty()) qual += "::";
+      qual += s;
+    }
+    // `std::move(...)`, `std::max(...)` etc. resolve nowhere — fine.
+    const std::string target = MethodQualified(qual, name);
+    if (!target.empty()) {
+      AddEdge(node, target, line, /*virt=*/false);
+      return;
+    }
+    // A namespace qualifier we did not model (`lint::LintSource`): fall
+    // back to the unqualified unique-name lookup.
+    ResolveUniqueName(node, name, line);
+  }
+
+  /// True when `prev_ident Ident(` can only be a use site, not the type
+  /// position of a declaration (`return evictable(f)` vs
+  /// `SpinLockGuard guard(mu_)`).
+  static bool IsStatementKeyword(const std::string& t) {
+    static const std::set<std::string> kStmt = {"else", "do",    "case",
+                                                "goto", "break", "continue"};
+    return IsCallKeyword(t) || kStmt.count(t) > 0;
+  }
+
+  void ResolveBareCall(size_t node, const FunctionDecl& fn,
+                       const std::string& name, const std::string& prev_ident,
+                       int line) {
+    // A callable local or parameter: `evictable(frame)` through a
+    // std::function — the canonical indirect call. But the declaration
+    // site itself — `SpinLockGuard guard(mu_)`, where the preceding token
+    // is the type identifier — constructs the variable, it does not call
+    // it; resolve it as a constructor of the spelled type instead.
+    if (fn.local_types.count(name) > 0) {
+      if (!prev_ident.empty() && !IsStatementKeyword(prev_ident)) {
+        const TypeDecl* decl_type = FindType(prev_ident);
+        if (decl_type != nullptr) {
+          const std::string ctor =
+              MethodQualified(decl_type->qualified, prev_ident);
+          if (!ctor.empty()) AddEdge(node, ctor, line, /*virt=*/false);
+        }
+        return;
+      }
+      graph_.nodes[node].indirect_calls.push_back({line, name});
+      return;
+    }
+    // A method of the enclosing class or an ancestor (virtual through
+    // `this`, so fan out).
+    if (!fn.qualifier.empty()) {
+      const std::string declaring = FindDeclaringClass(fn.qualifier, name);
+      if (!declaring.empty()) {
+        AddVirtualEdges(node, declaring, name, line);
+        return;
+      }
+    }
+    // A uniquely named function anywhere in the tree.
+    if (ResolveUniqueName(node, name, line)) return;
+    // A known type: constructor call (`Node()`, guard types are handled
+    // structurally by the hold scanner but an edge to a modeled ctor body
+    // is still correct).
+    const TypeDecl* t = FindType(name);
+    if (t != nullptr) {
+      const std::string ctor = MethodQualified(t->qualified, name);
+      if (!ctor.empty()) AddEdge(node, ctor, line, /*virt=*/false);
+    }
+  }
+
+  bool ResolveUniqueName(size_t node, const std::string& name, int line) {
+    auto range = by_name_.equal_range(name);
+    if (range.first == range.second) return false;
+    std::set<std::string> targets;
+    for (auto it = range.first; it != range.second; ++it) {
+      targets.insert(it->second);
+    }
+    if (targets.size() != 1) return false;  // ambiguous: degrade by omission
+    AddEdge(node, *targets.begin(), line, /*virt=*/false);
+    return true;
+  }
+
+  static void DedupeEdges(CallNode* node) {
+    std::sort(node->edges.begin(), node->edges.end(),
+              [](const CallEdge& a, const CallEdge& b) {
+                if (a.callee != b.callee) return a.callee < b.callee;
+                return a.line < b.line;
+              });
+    node->edges.erase(
+        std::unique(node->edges.begin(), node->edges.end(),
+                    [](const CallEdge& a, const CallEdge& b) {
+                      return a.callee == b.callee && a.line == b.line;
+                    }),
+        node->edges.end());
+  }
+
+  const TreeModel& tree_;
+  CallGraph graph_;
+  /// class qualifier (as spelled on its functions) -> method names.
+  std::map<std::string, std::set<std::string>> methods_;
+  /// unqualified function name -> qualified names.
+  std::multimap<std::string, std::string> by_name_;
+};
+
+}  // namespace
+
+std::vector<std::string> CallGraph::TransitiveDerived(
+    const std::string& base) const {
+  std::vector<std::string> out;
+  std::set<std::string> seen;
+  std::vector<std::string> frontier = {base};
+  while (!frontier.empty()) {
+    const std::string cur = frontier.back();
+    frontier.pop_back();
+    auto range = derived.equal_range(cur);
+    for (auto it = range.first; it != range.second; ++it) {
+      if (!seen.insert(it->second).second) continue;
+      out.push_back(it->second);
+      const size_t cut = it->second.rfind("::");
+      frontier.push_back(cut == std::string::npos
+                             ? it->second
+                             : it->second.substr(cut + 2));
+    }
+  }
+  return out;
+}
+
+CallGraph BuildCallGraph(const TreeModel& tree) {
+  return Builder(tree).Build();
+}
+
+}  // namespace analysis
+}  // namespace bpw

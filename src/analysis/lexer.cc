@@ -223,6 +223,7 @@ class Lexer {
           state_ = return_to_directive_ ? State::kDirective : State::kCode;
           Blank();
           ++pos_;
+          ConsumeUdlSuffix();
           return;
         }
         AppendToLiteral(c);
@@ -244,6 +245,7 @@ class Lexer {
           pos_ += 2 + raw_delim_.size();
           state_ = return_to_directive_ ? State::kDirective : State::kCode;
           Blank();
+          ConsumeUdlSuffix();
           return;
         }
         AppendToLiteral(c);
@@ -296,9 +298,21 @@ class Lexer {
     }
   }
 
+  /// A user-defined-literal suffix glued to the closing quote ("abc"sv,
+  /// 'x'_c, R"(p)"_path) belongs to the literal: consuming it here keeps
+  /// it from surfacing as a spurious identifier token.
+  void ConsumeUdlSuffix() {
+    while (pos_ < src_.size() && IsIdentChar(Cur())) {
+      Blank();
+      ++pos_;
+    }
+  }
+
   void StepCode(char c) {
     if (AtSplice()) {
-      FlushIdent();
+      // A splice inside an identifier or pp-number joins the halves
+      // (translation phase 2 runs before tokenization): keep the token
+      // open across the physical line break.
       ConsumeSplice();
       return;
     }

@@ -1,0 +1,119 @@
+#include "analysis/sarif.h"
+
+#include <cstdio>
+#include <set>
+
+namespace bpw {
+namespace analysis {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// SARIF wants a URI; a bare relative path is a valid relative URI
+/// reference once backslashes are gone (we never produce them, but a
+/// defensive normalization costs nothing).
+std::string PathToUri(const std::string& path) {
+  std::string out = path;
+  for (char& c : out) {
+    if (c == '\\') c = '/';
+  }
+  // Strip a leading "./" so the same file dedupes with its plain spelling.
+  if (out.rfind("./", 0) == 0) out = out.substr(2);
+  return out;
+}
+
+}  // namespace
+
+std::string FindingsToSarif(const std::string& tool_name,
+                            const std::vector<std::string>& rule_ids,
+                            const std::vector<Finding>& findings) {
+  std::string out;
+  out += "{\n";
+  out +=
+      "  \"$schema\": "
+      "\"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+      "Schemata/sarif-schema-2.1.0.json\",\n";
+  out += "  \"version\": \"2.1.0\",\n";
+  out += "  \"runs\": [\n";
+  out += "    {\n";
+  out += "      \"tool\": {\n";
+  out += "        \"driver\": {\n";
+  out += "          \"name\": \"" + JsonEscape(tool_name) + "\",\n";
+  out += "          \"rules\": [\n";
+  // Every rule the tool knows, plus any rule id that appears in a finding
+  // but is missing from the list (SARIF requires results to reference a
+  // declared rule for grouping to work).
+  std::set<std::string> ids(rule_ids.begin(), rule_ids.end());
+  for (const Finding& f : findings) ids.insert(f.rule);
+  bool first = true;
+  for (const std::string& id : ids) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "            {\"id\": \"" + JsonEscape(id) + "\"}";
+  }
+  out += "\n          ]\n";
+  out += "        }\n";
+  out += "      },\n";
+  out += "      \"results\": [\n";
+  first = true;
+  for (const Finding& f : findings) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "        {\n";
+    out += "          \"ruleId\": \"" + JsonEscape(f.rule) + "\",\n";
+    out += "          \"level\": \"error\",\n";
+    out += "          \"message\": {\"text\": \"" + JsonEscape(f.message) +
+           "\"},\n";
+    out += "          \"locations\": [\n";
+    out += "            {\n";
+    out += "              \"physicalLocation\": {\n";
+    out += "                \"artifactLocation\": {\"uri\": \"" +
+           JsonEscape(PathToUri(f.file)) + "\"},\n";
+    out += "                \"region\": {\"startLine\": " +
+           std::to_string(f.line > 0 ? f.line : 1) + "}\n";
+    out += "              }\n";
+    out += "            }\n";
+    out += "          ]\n";
+    out += "        }";
+  }
+  out += "\n      ]\n";
+  out += "    }\n";
+  out += "  ]\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace analysis
+}  // namespace bpw

@@ -69,9 +69,12 @@ class Parser {
     for (size_t i = 0; i < toks.size(); ++i) {
       const Token& t = toks[i];
       if (t.kind == TokKind::kPunct && t.text == "{") {
-        if (IsBracedInitializer()) {
+        if (IsBracedInitializer() || PendingHasOpenParen()) {
           // `std::atomic<uint64_t> version{0};` — consume the initializer,
-          // keep the declarator pending for the ';' that follows.
+          // keep the declarator pending for the ';' that follows. The
+          // open-paren case is a lambda body inside an argument list (a
+          // member-initializer constructing a callback, say): that brace
+          // must not open the enclosing function's body.
           const size_t close = MatchingClose(toks, i, "{", "}");
           i = close == toks.size() ? toks.size() - 1 : close;
           continue;
@@ -290,15 +293,32 @@ class Parser {
                          ParenDepthAt(paren, p) == 1);
       if (!at_split) continue;
       std::string var, type;
-      for (size_t q = p; q > piece_start; --q) {
-        const Token& w = toks[pending_[q - 1]];
-        if (w.kind != TokKind::kIdent) continue;
-        if (w.text == "const") continue;
-        if (var.empty()) {
-          var = w.text;
-        } else {
-          type = w.text;
+      // Function-pointer declarator `Ret (*name)(Args...)`: the variable
+      // is the ident inside `(*...)`, and the "type" is the pointer shape
+      // itself — calls through it are indirect by construction.
+      for (size_t q = piece_start; q + 2 < p; ++q) {
+        const Token& a = toks[pending_[q]];
+        const Token& b = toks[pending_[q + 1]];
+        const Token& c = toks[pending_[q + 2]];
+        if (a.kind == TokKind::kPunct && a.text == "(" &&
+            b.kind == TokKind::kPunct && b.text == "*" &&
+            c.kind == TokKind::kIdent) {
+          var = c.text;
+          type = "(*)";
           break;
+        }
+      }
+      if (var.empty()) {
+        for (size_t q = p; q > piece_start; --q) {
+          const Token& w = toks[pending_[q - 1]];
+          if (w.kind != TokKind::kIdent) continue;
+          if (w.text == "const") continue;
+          if (var.empty()) {
+            var = w.text;
+          } else {
+            type = w.text;
+            break;
+          }
         }
       }
       if (!var.empty() && !type.empty()) fn->local_types[var] = type;
@@ -317,6 +337,21 @@ class Parser {
       if (u.text == ")") --depth;
     }
     return depth;
+  }
+
+  /// True when pending_ carries more '(' than ')': the statement is still
+  /// inside an argument list, so a '{' here is a lambda (or aggregate)
+  /// expression, not a scope.
+  bool PendingHasOpenParen() const {
+    const std::vector<Token>& toks = Toks();
+    int depth = 0;
+    for (size_t idx : pending_) {
+      const Token& u = toks[idx];
+      if (u.kind != TokKind::kPunct) continue;
+      if (u.text == "(") ++depth;
+      if (u.text == ")") --depth;
+    }
+    return depth > 0;
   }
 
   /// A '{' that is a member/global initializer rather than a new scope:
@@ -349,6 +384,7 @@ class Parser {
       type.qualified = QualifiedTypeName();
       type.file = model_.path;
       type.line = Toks()[brace_tok].line;
+      if (!PendingHas("enum")) ParseBases(&type);
       model_.types.push_back(std::move(type));
       type_stack_.push_back(model_.types.size() - 1);
       return;
@@ -381,6 +417,50 @@ class Parser {
     if (closing.kind == Scope::kType && !type_stack_.empty()) {
       type_stack_.pop_back();
     }
+  }
+
+  /// Parses the base-specifier list out of the pending class head:
+  /// `class Name : public A, private B<T>` records {"A", "B"} — the
+  /// terminal identifier of each specifier, at template-argument depth
+  /// zero, skipping access keywords. Annotation-macro and alignas parens
+  /// are skipped by paren-depth tracking (the `:` must sit at depth 0).
+  void ParseBases(TypeDecl* type) const {
+    const std::vector<Token>& toks = Toks();
+    size_t colon = pending_.size();
+    int paren = 0;
+    for (size_t p = 0; p < pending_.size(); ++p) {
+      const Token& t = toks[pending_[p]];
+      if (t.kind != TokKind::kPunct) continue;
+      if (t.text == "(") ++paren;
+      if (t.text == ")") --paren;
+      if (t.text == ":" && paren == 0) {
+        colon = p;
+        break;
+      }
+    }
+    if (colon == pending_.size()) return;
+    int angle = 0;
+    std::string base;
+    auto flush = [&]() {
+      if (!base.empty()) type->bases.push_back(base);
+      base.clear();
+    };
+    for (size_t p = colon + 1; p < pending_.size(); ++p) {
+      const Token& t = toks[pending_[p]];
+      if (t.kind == TokKind::kPunct) {
+        if (t.text == "<") ++angle;
+        if (t.text == ">") --angle;
+        if (t.text == "," && angle == 0) flush();
+        continue;
+      }
+      if (t.kind != TokKind::kIdent || angle != 0) continue;
+      if (t.text == "public" || t.text == "private" || t.text == "protected" ||
+          t.text == "virtual" || t.text == "final") {
+        continue;
+      }
+      base = t.text;
+    }
+    flush();
   }
 
   std::string TypeNameFromPending() const {
@@ -563,6 +643,48 @@ class Parser {
       if (toks[k - 1].kind != TokKind::kIdent) continue;
       if (fn->local_types.find(toks[i + 1].text) == fn->local_types.end()) {
         fn->local_types[toks[i + 1].text] = toks[k - 1].text;
+      }
+    }
+    // `auto p = std::make_unique<T>(...)`: refine the recorded `auto` to
+    // the factory's element type so member accesses through p resolve.
+    for (size_t i = fn->body_begin;
+         i + 4 < fn->body_end && i + 4 < toks.size(); ++i) {
+      if (toks[i].kind != TokKind::kIdent ||
+          (toks[i].text != "make_unique" && toks[i].text != "make_shared")) {
+        continue;
+      }
+      if (toks[i + 1].kind != TokKind::kPunct || toks[i + 1].text != "<") {
+        continue;
+      }
+      // Terminal identifier of the element type (depth-1 of the angle
+      // list, last one wins: `obs::Thing` -> Thing).
+      std::string elem;
+      int depth = 1;
+      size_t k = i + 2;
+      for (; k < fn->body_end && depth > 0; ++k) {
+        if (toks[k].kind == TokKind::kPunct) {
+          if (toks[k].text == "<") ++depth;
+          if (toks[k].text == ">") --depth;
+          continue;
+        }
+        if (depth == 1 && toks[k].kind == TokKind::kIdent) {
+          elem = toks[k].text;
+        }
+      }
+      if (elem.empty()) continue;
+      // Walk back over `var = [std ::]` to the declared name.
+      size_t b = i;
+      while (b > fn->body_begin && toks[b - 1].kind == TokKind::kPunct &&
+             toks[b - 1].text == "::") {
+        b -= (b >= 2 && toks[b - 2].text == "std") ? 2 : 1;
+      }
+      if (b < 2 || toks[b - 1].kind != TokKind::kPunct ||
+          toks[b - 1].text != "=" || toks[b - 2].kind != TokKind::kIdent) {
+        continue;
+      }
+      auto lt = fn->local_types.find(toks[b - 2].text);
+      if (lt != fn->local_types.end() && lt->second == "auto") {
+        lt->second = elem;
       }
     }
     AddRangeForAliases(fn);

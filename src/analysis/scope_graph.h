@@ -61,6 +61,11 @@ struct TypeDecl {
   std::string file;
   int line = 0;
   std::vector<FieldDecl> fields;
+  /// Base class names from the base-specifier list, as their terminal
+  /// identifier (`public core::ReplacementPolicy` records
+  /// "ReplacementPolicy"). Empty for enums (their colon introduces an
+  /// underlying type, not a base).
+  std::vector<std::string> bases;
 };
 
 /// A function declaration or definition.

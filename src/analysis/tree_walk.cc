@@ -1,0 +1,87 @@
+#include "analysis/tree_walk.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace bpw {
+namespace analysis {
+
+bool IsSourceFilePath(const std::string& path) {
+  const std::string ext = std::filesystem::path(path).extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp";
+}
+
+bool ReadSource(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+bool CollectSourceFiles(const std::string& tool,
+                        const std::vector<std::string>& paths,
+                        std::vector<std::string>* files) {
+  for (const std::string& p : paths) {
+    std::error_code ec;
+    if (std::filesystem::is_directory(p, ec)) {
+      for (const auto& entry :
+           std::filesystem::recursive_directory_iterator(p, ec)) {
+        if (entry.is_regular_file() &&
+            IsSourceFilePath(entry.path().string())) {
+          files->push_back(entry.path().string());
+        }
+      }
+    } else if (std::filesystem::is_regular_file(p, ec)) {
+      files->push_back(p);
+    } else {
+      std::fprintf(stderr, "%s: cannot read %s\n", tool.c_str(), p.c_str());
+      return false;
+    }
+  }
+  std::sort(files->begin(), files->end());
+  return true;
+}
+
+bool ReadFileList(const std::string& tool, const std::string& list_path,
+                  std::vector<std::string>* files) {
+  std::string text;
+  if (!ReadSource(list_path, &text)) {
+    std::fprintf(stderr, "%s: cannot read file list %s\n", tool.c_str(),
+                 list_path.c_str());
+    return false;
+  }
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+      line.pop_back();
+    }
+    if (line.empty() || line[0] == '#') continue;
+    files->push_back(line);
+  }
+  std::sort(files->begin(), files->end());
+  return true;
+}
+
+bool BuildTreeModel(const std::string& tool,
+                    const std::vector<std::string>& files, TreeModel* tree) {
+  for (const std::string& file : files) {
+    std::string source;
+    if (!ReadSource(file, &source)) {
+      std::fprintf(stderr, "%s: cannot read %s\n", tool.c_str(),
+                   file.c_str());
+      return false;
+    }
+    tree->files.push_back(BuildFileModel(file, source));
+  }
+  tree->Reindex();
+  return true;
+}
+
+}  // namespace analysis
+}  // namespace bpw

@@ -1,0 +1,43 @@
+// Shared tree-walk setup for the three linter CLIs (bpw_lint,
+// bpw_atomiclint, bpw_holdlint): expanding file/directory arguments into
+// the sorted source list, reading files, and parsing them into one
+// TreeModel. Before this existed each CLI carried its own copy of the
+// walk; CI additionally re-walked the tree once per linter. The
+// `--files-from` support lets CI enumerate the tree once and feed the
+// same list to every tool.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/scope_graph.h"
+
+namespace bpw {
+namespace analysis {
+
+/// True for the extensions the linters consume (.h / .cc / .cpp).
+bool IsSourceFilePath(const std::string& path);
+
+/// Reads one file into `out`. Returns false if it cannot be read.
+bool ReadSource(const std::string& path, std::string* out);
+
+/// Expands `paths` (files and directories, walked recursively) into a
+/// sorted list of source files. Prints a `tool`-prefixed error and
+/// returns false on an unreadable path.
+bool CollectSourceFiles(const std::string& tool,
+                        const std::vector<std::string>& paths,
+                        std::vector<std::string>* files);
+
+/// Reads a newline-separated file list (the --files-from spelling; CI
+/// walks the tree once and shares the list across linters). Blank lines
+/// and lines starting with '#' are skipped.
+bool ReadFileList(const std::string& tool, const std::string& list_path,
+                  std::vector<std::string>* files);
+
+/// Parses every file into `tree` and reindexes it. Prints a
+/// `tool`-prefixed error and returns false on an unreadable file.
+bool BuildTreeModel(const std::string& tool,
+                    const std::vector<std::string>& files, TreeModel* tree);
+
+}  // namespace analysis
+}  // namespace bpw

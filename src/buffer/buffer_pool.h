@@ -123,7 +123,9 @@ class BufferPool {
   /// @param coordinator owns the replacement policy; the pool binds its
   ///        frame-tag array into it for commit-time re-validation.
   BufferPool(const BufferPoolConfig& config, StorageEngine* storage,
-             std::unique_ptr<Coordinator> coordinator);
+             std::unique_ptr<Coordinator> coordinator)
+      BPW_HOLD_EFFECT_OK(alloc, "frame-table construction; the pool is "
+                                "single-threaded until the ctor returns");
   ~BufferPool();
 
   BufferPool(const BufferPool&) = delete;
@@ -134,12 +136,16 @@ class BufferPool {
 
   /// Fetches `page`, reading it from storage on a miss, and returns a
   /// pinned handle.
-  StatusOr<PageHandle> FetchPage(Session& session, PageId page);
+  StatusOr<PageHandle> FetchPage(Session& session, PageId page)
+      BPW_HOLD_EFFECT_OK(alloc, "free-list push_back into capacity reserved "
+                                "for num_frames at construction");
 
   /// Drops `page` from the buffer (invalidation). Fails with
   /// FailedPrecondition if the page is pinned. The page is NOT written
   /// back: callers invalidating a page are discarding its contents.
-  Status DropPage(Session& session, PageId page);
+  Status DropPage(Session& session, PageId page)
+      BPW_HOLD_EFFECT_OK(alloc, "free-list push_back into capacity reserved "
+                                "for num_frames at construction");
 
   /// Writes back every dirty page (quiesced callers only).
   Status FlushAll();

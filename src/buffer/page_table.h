@@ -31,7 +31,9 @@ class PageTable {
 
   /// Maps `page` to `frame`. Returns false (and changes nothing) if the
   /// page is already mapped.
-  bool Insert(PageId page, FrameId frame);
+  bool Insert(PageId page, FrameId frame)
+      BPW_HOLD_EFFECT_OK(alloc, "hash-map node insert; the table holds at "
+                                "most num_frames live mappings");
 
   /// Removes the mapping for `page`, but only if it currently points at
   /// `frame` (guards against racing re-insertions). Returns true if

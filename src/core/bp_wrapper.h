@@ -123,7 +123,9 @@ class BpWrapperCoordinator : public Coordinator {
   void PrefetchForCommit(const AccessQueue& queue) const BPW_EXCLUDES(lock_);
 
   /// Replays the queue into the policy. Caller holds lock_.
-  void CommitLocked(AccessQueue& queue) BPW_REQUIRES(lock_);
+  void CommitLocked(AccessQueue& queue) BPW_REQUIRES(lock_)
+      BPW_HOLD_EFFECT_OK(clock, "commit-latency trace stamp; one vDSO read "
+                                "per batch, only when tracing is on");
 
   std::unique_ptr<ReplacementPolicy> policy_;
   Options options_;

@@ -46,6 +46,9 @@ CombiningCoordinator::CombiningCoordinator(
   // synchronizes on slot addresses, so the vector must never reallocate.
   pub_slots_ = std::vector<CacheAligned<PubSlot>>(options_.max_slots);
   for (auto& padded : pub_slots_) {
+    // Constructor-time sizing: no thread can observe the slots before the
+    // coordinator is constructed, so no release stamp is needed here.
+    // bpw-lint-allow(relaxed-publication-store)
     padded->entries.resize(options_.queue_size);
   }
   pub_in_use_.assign(options_.max_slots, false);

@@ -108,7 +108,9 @@ class CombiningCoordinator : public Coordinator {
   std::unique_ptr<ThreadSlot> RegisterThread() override;
   void OnHit(ThreadSlot* slot, PageId page, FrameId frame) override;
   StatusOr<Victim> ChooseVictim(ThreadSlot* slot, const EvictableFn& evictable,
-                                PageId incoming) override;
+                                PageId incoming) override
+      BPW_HOLD_EFFECT_OK(alloc, "optional<StatusOr> emplace of the victim "
+                                "result; Victim is inline, no heap");
   void CompleteMiss(ThreadSlot* slot, PageId page, FrameId frame) override;
   bool OnErase(ThreadSlot* slot, PageId page, FrameId frame) override;
   void FlushSlot(ThreadSlot* slot) override;
@@ -230,24 +232,32 @@ class CombiningCoordinator : public Coordinator {
 
   /// Applies this thread's pending publication (if any) and private-queue
   /// remainder, in that (per-thread FIFO) order.
-  void DrainOwnLocked(Slot* slot, DrainOutcome& out) BPW_REQUIRES(lock_);
+  void DrainOwnLocked(Slot* slot, DrainOutcome& out) BPW_REQUIRES(lock_)
+      BPW_HOLD_EFFECT_OK(alloc, "claimed-slot list push_back; capacity is "
+                                "reserved to max_threads at registration");
 
   /// Claims (kReady → kDraining) and applies every peer's ready slot.
   /// Claimed indices land in slot->claimed for post-release recycling.
-  void DrainPeersLocked(Slot* slot, DrainOutcome& out) BPW_REQUIRES(lock_);
+  void DrainPeersLocked(Slot* slot, DrainOutcome& out) BPW_REQUIRES(lock_)
+      BPW_HOLD_EFFECT_OK(alloc, "claimed-slot list push_back; capacity is "
+                                "reserved to max_threads at registration");
 
   /// The flat-combining commit: locked apply phase (own batch + own queue
   /// + all ready peers), then EARLY RELEASE, then the lock-free post-commit
   /// phase (recycle claimed slots, counters, trace). Annotated RELEASE:
   /// callers enter holding lock_ and leave without it.
-  void CombineAndRelease(Slot* slot) BPW_RELEASE(lock_);
+  void CombineAndRelease(Slot* slot) BPW_RELEASE(lock_)
+      BPW_HOLD_EFFECT_OK(clock, "combine-latency trace stamp; one vDSO read "
+                                "per combine, only when tracing is on");
 
   /// Post-commit phase shared by every path: recycles the claimed slots
   /// (kDraining → kEmpty) and folds `out` into the counters. Must run
   /// WITHOUT lock_ held — the bpw_lint post-commit-under-lock rule exists
   /// to keep it that way.
   void PostCommitBookkeeping(Slot* slot, const DrainOutcome& out)
-      BPW_EXCLUDES(lock_);
+      BPW_EXCLUDES(lock_)
+      BPW_HOLD_EFFECT_OK(clock,
+                         "trace stamp; runs after lock_ is released");
 
   PubSlot* PubFor(Slot* slot) {
     return slot->pub_index == kNoPubSlot ? nullptr

@@ -244,8 +244,9 @@ class ShardedCoordinator : public Coordinator {
   /// Replays `ring` into shard's policy (arrival order, §IV-B tag
   /// re-validation) and advances the rebalance cadence. Caller holds
   /// exactly shard.lock.
-  void CommitShardLocked(Shard& shard, Ring& ring)
-      BPW_REQUIRES(shard.lock);
+  void CommitShardLocked(Shard& shard, Ring& ring) BPW_REQUIRES(shard.lock)
+      BPW_HOLD_EFFECT_OK(clock, "commit-latency trace stamp; one vDSO read "
+                                "per batch, only when tracing is on");
   /// Publishes this shard's adaptive signal and applies the blended mean.
   void RebalanceLocked(Shard& shard) BPW_REQUIRES(shard.lock);
   /// MUTATION: plants shard's last committed page into the next shard.

@@ -45,7 +45,9 @@ class SharedQueueCoordinator : public Coordinator {
       : SharedQueueCoordinator(std::move(policy), Options()) {}
 
   std::unique_ptr<ThreadSlot> RegisterThread() override;
-  void OnHit(ThreadSlot* slot, PageId page, FrameId frame) override;
+  void OnHit(ThreadSlot* slot, PageId page, FrameId frame) override
+      BPW_HOLD_EFFECT_OK(alloc, "shared-queue push_back; capacity is "
+                                "reserved to the batch bound up front");
   StatusOr<Victim> ChooseVictim(ThreadSlot* slot, const EvictableFn& evictable,
                                 PageId incoming) override;
   void CompleteMiss(ThreadSlot* slot, PageId page, FrameId frame) override;

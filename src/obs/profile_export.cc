@@ -1,7 +1,10 @@
 #include "obs/profile_export.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <map>
 #include <string>
+#include <vector>
 
 #include "bench/json_reader.h"
 #include "obs/json.h"
@@ -197,6 +200,135 @@ bool WriteTextFile(const std::string& path, const std::string& content) {
   if (f == nullptr) return false;
   const size_t written = std::fwrite(content.data(), 1, content.size(), f);
   return std::fclose(f) == 0 && written == content.size();
+}
+
+namespace {
+
+/// One side of the reconciliation: a label with its score and its rank
+/// (descending by score, 1-based) within that side.
+struct RankedRow {
+  std::string label;
+  double score = 0;
+  int rank = 0;
+};
+
+std::vector<RankedRow> RankDescending(std::map<std::string, double> scores) {
+  std::vector<RankedRow> rows;
+  rows.reserve(scores.size());
+  for (auto& [label, score] : scores) rows.push_back({label, score, 0});
+  std::sort(rows.begin(), rows.end(), [](const RankedRow& a,
+                                         const RankedRow& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.label < b.label;  // deterministic tie-break
+  });
+  for (size_t i = 0; i < rows.size(); ++i) rows[i].rank = int(i) + 1;
+  return rows;
+}
+
+}  // namespace
+
+StatusOr<std::string> ReconcileHoldCosts(const std::string& costs_json,
+                                         const ProfSnapshot& snapshot) {
+  StatusOr<bench::JsonValue> parsed = bench::ParseJson(costs_json);
+  if (!parsed.ok()) return parsed.status();
+  const bench::JsonValue* sites = parsed.value().Find("sites");
+  if (sites == nullptr || !sites->is_array()) {
+    return Status::InvalidArgument(
+        "not a static-costs document: no \"sites\" array (expected the "
+        "JSON from bpw_holdlint --costs)");
+  }
+
+  // Static side: label -> max hold-site weight. Sites without a profiler
+  // label (a policy's `this` capability, say) have no measured counterpart
+  // and are skipped — the join is over instrumented locks.
+  std::map<std::string, double> static_score;
+  for (const bench::JsonValue& s : sites->array) {
+    if (!s.is_object()) continue;
+    const std::string label = s.StringOr("label", "");
+    if (label.empty()) continue;
+    const double w = s.NumberOr("weight", 0);
+    auto [it, inserted] = static_score.emplace(label, w);
+    if (!inserted && w > it->second) it->second = w;
+  }
+
+  // Measured side: mean per-acquisition hold nanoseconds of each lock row.
+  std::map<std::string, double> measured_score;
+  for (const ProfSiteSnapshot& site : snapshot.sites) {
+    if (site.kind != ProfSiteKind::kLock) continue;
+    if (site.hold_hist.count() == 0) continue;
+    measured_score[site.label] = site.hold_hist.Mean();
+  }
+
+  // Ranks are computed within the joined label set: a workload only
+  // exercises one coordinator, and "the static model ranks an unexercised
+  // lock higher" is not a divergence worth flagging. Static-only labels
+  // are still listed (unranked) so a site the workload never contended
+  // stays visible.
+  std::map<std::string, double> joined_static = static_score;
+  for (auto it = joined_static.begin(); it != joined_static.end();) {
+    it = measured_score.count(it->first) == 0 ? joined_static.erase(it)
+                                              : std::next(it);
+  }
+  const std::vector<RankedRow> stat = RankDescending(joined_static);
+  const std::vector<RankedRow> meas = RankDescending(measured_score);
+  std::map<std::string, const RankedRow*> stat_by_label, meas_by_label;
+  for (const RankedRow& r : stat) stat_by_label[r.label] = &r;
+  for (const RankedRow& r : meas) meas_by_label[r.label] = &r;
+
+  // Render in measured order (the measured ranking is ground truth for
+  // "where did hold time actually go"), then static-only rows.
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-28s %12s %6s %14s %6s %7s  %s\n",
+                "label", "static-wt", "s-rank", "measured-ns", "m-rank",
+                "d-rank", "verdict");
+  out += line;
+  int divergent = 0;
+  auto emit = [&](const std::string& label, const RankedRow* s,
+                  const RankedRow* m) {
+    std::string verdict;
+    std::string drank = "-";
+    if (s != nullptr && m != nullptr) {
+      const int d = s->rank - m->rank;
+      drank = std::to_string(d);
+      if (d >= 2 || d <= -2) {
+        verdict = "DIVERGES";
+        ++divergent;
+      } else {
+        verdict = "agrees";
+      }
+    } else if (s == nullptr) {
+      verdict = "measured only (site not in static costs)";
+    } else {
+      verdict = "static only (never contended in this run)";
+    }
+    std::snprintf(line, sizeof(line), "%-28s %12s %6s %14s %6s %7s  %s\n",
+                  label.c_str(),
+                  s != nullptr ? std::to_string(int64_t(s->score)).c_str()
+                               : "-",
+                  s != nullptr && s->rank > 0 ? std::to_string(s->rank).c_str()
+                                              : "-",
+                  m != nullptr ? std::to_string(int64_t(m->score)).c_str()
+                               : "-",
+                  m != nullptr ? std::to_string(m->rank).c_str() : "-",
+                  drank.c_str(), verdict.c_str());
+    out += line;
+  };
+  for (const RankedRow& m : meas) {
+    auto s = stat_by_label.find(m.label);
+    emit(m.label, s != stat_by_label.end() ? s->second : nullptr, &m);
+  }
+  for (const auto& [label, score] : static_score) {
+    if (meas_by_label.count(label) > 0) continue;
+    const RankedRow unranked{label, score, 0};
+    emit(label, &unranked, nullptr);
+  }
+  std::snprintf(line, sizeof(line),
+                "\n%zu measured lock site(s), %zu static label(s), "
+                "%d rank divergence(s) (|d-rank| >= 2)\n",
+                meas.size(), static_score.size(), divergent);
+  out += line;
+  return out;
 }
 
 }  // namespace obs

@@ -53,5 +53,22 @@ std::string ProfSnapshotToFolded(const ProfSnapshot& snapshot);
 /// Shared by the --contention-report flag and tools/bpw_profile.
 bool WriteTextFile(const std::string& path, const std::string& content);
 
+/// Static×dynamic hold-time reconciliation (`bpw_profile --reconcile`).
+///
+/// `costs_json` is the per-hold-site static cost file written by
+/// `bpw_holdlint --costs`; `snapshot` is a measured contention report.
+/// Joins the two on the profiler label (a hold site inherits the label its
+/// lock bound with BindProfSite; a lock's static weight is the MAX over
+/// its hold sites — the worst critical section dominates how long the lock
+/// can be held), ranks both sides descending, and renders an aligned
+/// table: label, static weight/rank, measured mean-hold ns/rank, Δrank.
+/// Labels whose ranks diverge by 2 or more positions are flagged — either
+/// the static model mis-weighs that section (loops the cost model cannot
+/// see through, say) or the workload never exercises the statically-heavy
+/// path; both are worth a look before trusting either ranking.
+/// Fails only if `costs_json` is not a bpw_holdlint costs document.
+StatusOr<std::string> ReconcileHoldCosts(const std::string& costs_json,
+                                         const ProfSnapshot& snapshot);
+
 }  // namespace obs
 }  // namespace bpw

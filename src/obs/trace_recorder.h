@@ -51,7 +51,9 @@ enum class TraceEventKind : uint32_t {
 class TraceRecorder {
  public:
   /// The process-wide recorder every instrumented component emits into.
-  static TraceRecorder& Default();
+  static TraceRecorder& Default()
+      BPW_HOLD_EFFECT_OK(alloc, "one-time lazy singleton construction; "
+                                "steady-state calls never allocate");
 
   TraceRecorder();
   TraceRecorder(const TraceRecorder&) = delete;

@@ -106,6 +106,7 @@ void ArcPolicy::OnMiss(PageId page, FrameId frame) {
   if (t1_.size() + b1_.size() >= c && !b1_.empty()) {
     DropGhostLru(ListId::kB1);
   }
+  BPW_BOUNDED_BY(b1_.size() + b2_.size());
   while (t1_.size() + t2_.size() + b1_.size() + b2_.size() >= 2 * c) {
     if (!b2_.empty()) {
       DropGhostLru(ListId::kB2);

@@ -54,6 +54,7 @@ StatusOr<ReplacementPolicy::Victim> CarPolicy::ChooseVictim(
   const size_t resident = t1_.size() + t2_.size();
   size_t rotations_left = 4 * resident + 8;
   size_t pinned_seen = 0;
+  BPW_BOUNDED_BY(rotations_left);
   while (rotations_left-- > 0 && (!t1_.empty() || !t2_.empty())) {
     if (!t1_.empty() && (t1_.size() >= std::max<size_t>(1, p_) || t2_.empty())) {
       Node* head = t1_.Front();
@@ -122,6 +123,7 @@ void CarPolicy::OnMiss(PageId page, FrameId frame) {
   if (t1_.size() + b1_.size() >= c && !b1_.empty()) {
     DropGhostLru(ListId::kB1);
   }
+  BPW_BOUNDED_BY(b1_.size() + b2_.size());
   while (t1_.size() + t2_.size() + b1_.size() + b2_.size() >= 2 * c) {
     if (!b2_.empty()) {
       DropGhostLru(ListId::kB2);

@@ -50,6 +50,7 @@ void ClockProPolicy::InsertAtHead(Node* node) {
 void ClockProPolicy::RunHandHot() {
   // Demote one unreferenced hot page to (ordinary) cold.
   size_t limit = 2 * clock_.size() + 2;
+  BPW_BOUNDED_BY(limit);
   while (limit-- > 0 && hot_count_ > 0) {
     if (hand_hot_ == nullptr) hand_hot_ = clock_.Front();
     Node* node = hand_hot_;
@@ -83,6 +84,7 @@ void ClockProPolicy::RunHandHot() {
 void ClockProPolicy::RunHandTest() {
   // Terminate the test period of one page (bounds non-resident metadata).
   size_t limit = 2 * clock_.size() + 2;
+  BPW_BOUNDED_BY(limit);
   while (limit-- > 0 && nonresident_count_ > 0) {
     if (hand_test_ == nullptr) hand_test_ = clock_.Front();
     Node* node = hand_test_;
@@ -123,6 +125,7 @@ void ClockProPolicy::OnMiss(PageId page, FrameId frame) {
     ++hot_count_;
     const size_t hot_target =
         num_frames() > cold_target_ ? num_frames() - cold_target_ : 1;
+    BPW_BOUNDED_BY(hot_count_ - hot_target);
     while (hot_count_ > hot_target) {
       const size_t before = hot_count_;
       RunHandHot();
@@ -150,6 +153,7 @@ StatusOr<ReplacementPolicy::Victim> ClockProPolicy::ChooseVictim(
   // HAND_cold: find a resident cold page with a clear reference bit.
   size_t limit = 4 * clock_.size() + 4;
   size_t skipped_pinned = 0;
+  BPW_BOUNDED_BY(limit);
   while (limit-- > 0 && cold_count_ + hot_count_ > 0) {
     if (hand_cold_ == nullptr) hand_cold_ = clock_.Front();
     Node* node = hand_cold_;
@@ -192,6 +196,7 @@ StatusOr<ReplacementPolicy::Victim> ClockProPolicy::ChooseVictim(
       // Keep it as a non-resident page until its test period ends.
       node->frame = kInvalidFrameId;
       ++nonresident_count_;
+      BPW_BOUNDED_BY(nonresident_count_ - max_nonresident_);
       while (nonresident_count_ > max_nonresident_) {
         const size_t before = nonresident_count_;
         RunHandTest();

@@ -32,9 +32,13 @@ class ClockProPolicy : public ReplacementPolicy {
   explicit ClockProPolicy(size_t num_frames);
 
   void OnHit(PageId page, FrameId frame) override BPW_REQUIRES(this);
-  void OnMiss(PageId page, FrameId frame) override BPW_REQUIRES(this);
+  void OnMiss(PageId page, FrameId frame) override BPW_REQUIRES(this)
+      BPW_HOLD_EFFECT_OK(alloc, "directory node for the loaded page; the "
+                                "directory is bounded by the ghost caps");
   StatusOr<Victim> ChooseVictim(const EvictableFn& evictable,
-                                PageId incoming) override BPW_REQUIRES(this);
+                                PageId incoming) override BPW_REQUIRES(this)
+      BPW_HOLD_EFFECT_OK(indirect, "evictable is the pool pin check: it "
+                                   "reads frame state and never blocks");
   void OnErase(PageId page, FrameId frame) override BPW_REQUIRES(this);
   Status CheckInvariants() const override BPW_REQUIRES_SHARED(this);
   size_t resident_count() const override BPW_REQUIRES_SHARED(this) {

@@ -17,6 +17,7 @@ LirsPolicy::LirsPolicy(size_t num_frames, Params params)
 }
 
 void LirsPolicy::PruneStack() {
+  BPW_BOUNDED_BY(s_.size());
   while (!s_.empty()) {
     Node* bottom = s_.Back();
     if (bottom->state == State::kLir) return;
@@ -52,6 +53,7 @@ void LirsPolicy::DropNode(Node* node) {
 }
 
 void LirsPolicy::EnforceNonResidentBound() {
+  BPW_BOUNDED_BY(nr_.size() - max_nonresident_);
   while (nr_.size() > max_nonresident_) {
     Node* oldest = nr_.PopFront();
     if (oldest->in_s) {

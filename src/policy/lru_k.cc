@@ -72,6 +72,7 @@ void LruKPolicy::AddGhost(PageId page, uint64_t t1, uint64_t t2) {
     return;
   }
   ghost_fifo_.PushFront(&it->second);
+  BPW_BOUNDED_BY(ghost_fifo_.size() - history_capacity_);
   while (ghost_fifo_.size() > history_capacity_) {
     GhostNode* oldest = ghost_fifo_.PopBack();
     ghost_index_.erase(oldest->page);

@@ -34,9 +34,13 @@ class LruKPolicy : public ReplacementPolicy {
   LruKPolicy(size_t num_frames, Params params);
 
   void OnHit(PageId page, FrameId frame) override BPW_REQUIRES(this);
-  void OnMiss(PageId page, FrameId frame) override BPW_REQUIRES(this);
+  void OnMiss(PageId page, FrameId frame) override BPW_REQUIRES(this)
+      BPW_HOLD_EFFECT_OK(alloc, "ordered-map insert of the loaded page; "
+                                "bounded by num_frames");
   StatusOr<Victim> ChooseVictim(const EvictableFn& evictable,
-                                PageId incoming) override BPW_REQUIRES(this);
+                                PageId incoming) override BPW_REQUIRES(this)
+      BPW_HOLD_EFFECT_OK(indirect, "evictable is the pool pin check: it "
+                                   "reads frame state and never blocks");
   void OnErase(PageId page, FrameId frame) override BPW_REQUIRES(this);
   Status CheckInvariants() const override BPW_REQUIRES_SHARED(this);
   size_t resident_count() const override BPW_REQUIRES_SHARED(this) {
@@ -80,8 +84,12 @@ class LruKPolicy : public ReplacementPolicy {
     return t2 == 0 ? t1 : kSeenTwice + t2;
   }
 
-  void Reposition(Node& node);
-  void AddGhost(PageId page, uint64_t t1, uint64_t t2);
+  void Reposition(Node& node)
+      BPW_HOLD_EFFECT_OK(alloc, "ordered-map re-key of a resident node; the "
+                                "map never exceeds num_frames entries");
+  void AddGhost(PageId page, uint64_t t1, uint64_t t2)
+      BPW_HOLD_EFFECT_OK(
+          alloc, "ghost-index node insert; bounded by history_capacity_");
 
   std::vector<Node> nodes_;             // indexed by FrameId
   std::map<uint64_t, FrameId> order_;   // eviction order: begin() first

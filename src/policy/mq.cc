@@ -94,6 +94,7 @@ void MqPolicy::AddGhost(PageId page, uint64_t ref_count) {
   it->second.page = page;
   it->second.ref_count = ref_count;
   qout_.PushFront(&it->second);
+  BPW_BOUNDED_BY(qout_.size() - qout_capacity_);
   while (qout_.size() > qout_capacity_) {
     GhostNode* oldest = qout_.PopBack();
     qout_index_.erase(oldest->page);

@@ -32,7 +32,9 @@ class MqPolicy : public ReplacementPolicy {
   void OnHit(PageId page, FrameId frame) override BPW_REQUIRES(this);
   void OnMiss(PageId page, FrameId frame) override BPW_REQUIRES(this);
   StatusOr<Victim> ChooseVictim(const EvictableFn& evictable,
-                                PageId incoming) override BPW_REQUIRES(this);
+                                PageId incoming) override BPW_REQUIRES(this)
+      BPW_HOLD_EFFECT_OK(indirect, "evictable is the pool pin check: it "
+                                   "reads frame state and never blocks");
   void OnErase(PageId page, FrameId frame) override BPW_REQUIRES(this);
   Status CheckInvariants() const override BPW_REQUIRES_SHARED(this);
   size_t resident_count() const override BPW_REQUIRES_SHARED(this) {
@@ -80,7 +82,9 @@ class MqPolicy : public ReplacementPolicy {
   /// once per access).
   void Adjust();
 
-  void AddGhost(PageId page, uint64_t ref_count);
+  void AddGhost(PageId page, uint64_t ref_count)
+      BPW_HOLD_EFFECT_OK(alloc,
+                         "ghost-index node insert; bounded by qout_capacity_");
 
   std::vector<Node> nodes_;  // indexed by FrameId
   std::vector<List> queues_;  // front = LRU end (victim side)

@@ -96,6 +96,7 @@ void TwoQPolicy::AddGhost(PageId page) {
   }
   it->second.page = page;
   a1out_.PushFront(&it->second);
+  BPW_BOUNDED_BY(a1out_.size() - kout_);
   while (a1out_.size() > kout_) {
     GhostNode* oldest = a1out_.PopBack();
     a1out_index_.erase(oldest->page);

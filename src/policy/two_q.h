@@ -76,10 +76,13 @@ class TwoQPolicy : public ReplacementPolicy {
   /// Evicts the first evictable node from `list` scanning from the back
   /// (oldest). Returns nullptr if none qualifies.
   Node* TakeVictimFrom(IntrusiveList<Node, &Node::link>& list,
-                       const EvictableFn& evictable);
+                       const EvictableFn& evictable)
+      BPW_HOLD_EFFECT_OK(indirect, "evictable is the pool pin check: it "
+                                   "reads frame state and never blocks");
 
   /// Pushes `page` onto the A1out ghost list, trimming it to kout_.
-  void AddGhost(PageId page);
+  void AddGhost(PageId page)
+      BPW_HOLD_EFFECT_OK(alloc, "ghost-index node insert; bounded by kout_");
 
   std::vector<Node> nodes_;                 // indexed by FrameId
   IntrusiveList<Node, &Node::link> a1in_;   // front = newest

@@ -107,9 +107,33 @@
 //                            lock of this class is held. Encodes pgShard's
 //                            "never two shard locks" as a checkable
 //                            zero-out-degree rule.
+//
+// Layer-3 annotations, read by tools/bpw_holdlint (the interprocedural
+// critical-section prover):
+//
+//   BPW_BOUNDED_BY(expr)     placed on (or on the line above) a loop that
+//                            is not structurally bounded: `expr` names the
+//                            quantity that bounds its trip count
+//                            (batch_size, num_shards, ...). Under a lock,
+//                            every while/for(;;)/do loop must either be a
+//                            classic counted loop, a range-for, or carry
+//                            this annotation; the same rule proves CAS
+//                            retry loops bounded on the lock-free paths.
+//   BPW_HOLD_EFFECT_OK(effect, reason)
+//                            on a function declaration: the named effect
+//                            (alloc | block | io | log | clock | loop |
+//                            indirect) is deliberate in this function, so
+//                            strike it from the function's transitive
+//                            effect summary — callers holding a lock
+//                            across it prove clean against the cleansed
+//                            summary. The reason string is the on-record
+//                            justification; prefer restructuring over
+//                            annotating.
 // ---------------------------------------------------------------------------
 #define BPW_PUBLISHED_BY(stamp)  // analyzer-only
 #define BPW_SEQLOCK_STAMP        // analyzer-only
 #define BPW_RELAXED_OK(reason)   // analyzer-only
 #define BPW_LOCK_CLASS(name)     // analyzer-only
 #define BPW_LOCK_LEAF            // analyzer-only
+#define BPW_BOUNDED_BY(expr)     // analyzer-only
+#define BPW_HOLD_EFFECT_OK(effect, reason)  // analyzer-only

@@ -8,12 +8,16 @@
 // CLI behaviour; here we drive the library directly on small sources.
 
 #include <algorithm>
+#include <cstdio>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "analysis/atomics_check.h"
+#include "analysis/call_graph.h"
+#include "analysis/effects.h"
+#include "analysis/hold_cost.h"
 #include "analysis/lexer.h"
 #include "analysis/lock_graph.h"
 #include "analysis/scope_graph.h"
@@ -124,6 +128,32 @@ TEST(LexerTest, DigitSeparatorsLexAsOneNumber) {
       saw = true;
       EXPECT_EQ(t.text, "1'000'000");
     }
+  }
+  EXPECT_TRUE(saw);
+}
+
+TEST(LexerTest, UdlSuffixStaysGluedToItsLiteral) {
+  LexedSource lex = Lex("auto d = 10ms; auto s = \"abc\"sv;\n");
+  for (const auto& t : lex.tokens) {
+    // Neither suffix may surface as a spurious identifier: `ms` glued to
+    // the number is one pp-number, `sv` after the quote belongs to the
+    // string (identifiers named ms/sv elsewhere would be fine, but these
+    // are literal suffixes).
+    EXPECT_FALSE(t.kind == TokKind::kIdent && (t.text == "ms" || t.text == "sv"))
+        << t.text;
+    if (t.kind == TokKind::kNumber && t.text.rfind("10", 0) == 0) {
+      EXPECT_EQ(t.text, "10ms");
+    }
+  }
+}
+
+TEST(LexerTest, SpliceInsideAnIdentifierJoinsTheHalves) {
+  LexedSource lex = Lex("int contention_co\\\nunter = 0;\n");
+  bool saw = false;
+  for (const auto& t : lex.tokens) {
+    if (t.kind == TokKind::kIdent && t.text == "contention_counter") saw = true;
+    EXPECT_NE(t.text, "contention_co");
+    EXPECT_NE(t.text, "unter");
   }
   EXPECT_TRUE(saw);
 }
@@ -624,6 +654,293 @@ struct Counters {
   ASSERT_EQ(findings.size(), 1u) << Dump(findings);
   EXPECT_EQ(findings[0].file, "src/core/x.cc");
 }
+
+// ------------------------------------------------- call graph + effects
+
+/// Effects of `qualified` in a one-file tree, via the full pipeline.
+unsigned EffectsOf(const TreeModel& tree, const CallGraph& cg,
+                   const EffectMap& effects, const std::string& qualified) {
+  auto it = cg.index.find(qualified);
+  if (it == cg.index.end()) return 0xdead;
+  return effects.BitsOf(it->second);
+}
+
+TEST(CallGraphTest, VirtualCallsFanOutToEveryOverride) {
+  const std::string src = R"cpp(
+struct Policy {
+  virtual void OnHit(int frame);
+};
+struct LruPolicy : Policy {
+  void OnHit(int frame) override { touched_ = frame; }
+};
+struct ArcPolicy : Policy {
+  void OnHit(int frame) override { ghosts_.push_back(frame); }
+};
+struct Driver {
+  Policy* policy_;
+  void Replay() { policy_->OnHit(0); }
+};
+)cpp";
+  TreeModel tree = BuildTree({{"src/core/a.cc", src}});
+  const CallGraph cg = BuildCallGraph(tree);
+  const EffectMap effects = ComputeEffects(tree, cg);
+  // The base-typed call must reach ArcPolicy's allocating override: the
+  // caller inherits alloc even though LruPolicy's override is clean.
+  EXPECT_EQ(EffectsOf(tree, cg, effects, "Driver::Replay") & kEffAlloc,
+            kEffAlloc);
+}
+
+TEST(CallGraphTest, RecursionCycleMembersUnionTheirEffects) {
+  const std::string src = R"cpp(
+struct Walker {
+  void Descend(int n) { if (n > 0) Record(n); }
+  void Record(int n) {
+    trail_.push_back(n);
+    Descend(n - 1);
+  }
+  void Entry() { Descend(8); }
+};
+)cpp";
+  TreeModel tree = BuildTree({{"src/core/a.cc", src}});
+  const CallGraph cg = BuildCallGraph(tree);
+  const EffectMap effects = ComputeEffects(tree, cg);
+  // Descend itself never allocates, but it is in a cycle with Record,
+  // which does — every member of the SCC carries the union.
+  EXPECT_EQ(EffectsOf(tree, cg, effects, "Walker::Descend") & kEffAlloc,
+            kEffAlloc);
+  EXPECT_EQ(EffectsOf(tree, cg, effects, "Walker::Entry") & kEffAlloc,
+            kEffAlloc);
+}
+
+TEST(CallGraphTest, IndirectCallsAreConservativelyMayEverything) {
+  const std::string src = R"cpp(
+struct Visitor {
+  void ForEach(void (*visit)(int)) { visit(0); }
+  void ForEachFn(const EvictableFn& evictable) { evictable(1); }
+};
+)cpp";
+  TreeModel tree = BuildTree({{"src/core/a.cc", src}});
+  const CallGraph cg = BuildCallGraph(tree);
+  const EffectMap effects = ComputeEffects(tree, cg);
+  // Both the raw function pointer and the std::function-shaped parameter
+  // have unknown target sets: the indirect bit is the conservative "may
+  // do anything" verdict the hold prover needs.
+  EXPECT_EQ(EffectsOf(tree, cg, effects, "Visitor::ForEach") & kEffIndirect,
+            kEffIndirect);
+  EXPECT_EQ(EffectsOf(tree, cg, effects, "Visitor::ForEachFn") & kEffIndirect,
+            kEffIndirect);
+}
+
+TEST(CallGraphTest, GuardDeclarationIsAConstruction_NotAnIndirectCall) {
+  const std::string src = R"cpp(
+struct Pool {
+  SpinLock mu_;
+  void Drain() {
+    SpinLockGuard guard(mu_);
+    count_ = 0;
+  }
+};
+)cpp";
+  TreeModel tree = BuildTree({{"src/core/a.cc", src}});
+  const CallGraph cg = BuildCallGraph(tree);
+  const CallNode* drain = cg.Find("Pool::Drain");
+  ASSERT_NE(drain, nullptr);
+  // `guard` is a local, and `guard(mu_)` is token-identical to a call of
+  // it — but the preceding type identifier makes it a declaration. The
+  // indirect bit here would poison every guarded function in the tree.
+  EXPECT_TRUE(drain->indirect_calls.empty());
+}
+
+TEST(CallGraphTest, LambdaInMemberInitListDoesNotSwallowTheCtorBody) {
+  const std::string src = R"cpp(
+struct Coordinator {
+  Coordinator()
+      : source_("coord", [this](int snap) {
+          return snap + 1;
+        }) {
+    slots_.reserve(64);
+  }
+};
+)cpp";
+  TreeModel tree = BuildTree({{"src/core/a.cc", src}});
+  const CallGraph cg = BuildCallGraph(tree);
+  const EffectMap effects = ComputeEffects(tree, cg);
+  // The lambda's braces sit inside the init list's parens; the modeled
+  // body must be the real one after it, where the reserve() allocates.
+  EXPECT_EQ(
+      EffectsOf(tree, cg, effects, "Coordinator::Coordinator") & kEffAlloc,
+      kEffAlloc);
+}
+
+TEST(CallGraphTest, AutoMakeUniqueLocalRefinesToTheElementType) {
+  const std::string src = R"cpp(
+struct Widget {
+  void Poke() { log_.push_back(1); }
+};
+struct Factory {
+  void Spawn() {
+    auto w = std::make_unique<Widget>();
+    w->Poke();
+  }
+};
+)cpp";
+  TreeModel tree = BuildTree({{"src/core/a.cc", src}});
+  const CallGraph cg = BuildCallGraph(tree);
+  const EffectMap effects = ComputeEffects(tree, cg);
+  // `auto` alone would leave w untyped and the member call unresolved;
+  // the make_unique<T> refinement types it as Widget, so Poke's alloc
+  // effect reaches the caller (on top of make_unique's own).
+  const CallNode* spawn = cg.Find("Factory::Spawn");
+  ASSERT_NE(spawn, nullptr);
+  bool calls_poke = false;
+  for (const CallEdge& e : spawn->edges) {
+    calls_poke |= cg.nodes[e.callee].qualified == "Widget::Poke";
+  }
+  EXPECT_TRUE(calls_poke);
+}
+
+TEST(CallGraphTest, HoldEffectOkExoneratesOneBitWithItsReason) {
+  const std::string src = R"cpp(
+struct Stash {
+  void Push(int v)
+      BPW_HOLD_EFFECT_OK(alloc, "capacity reserved at construction") {
+    entries_.push_back(v);
+  }
+  void PushAll() { Push(1); }
+};
+)cpp";
+  TreeModel tree = BuildTree({{"src/core/a.cc", src}});
+  const CallGraph cg = BuildCallGraph(tree);
+  const EffectMap effects = ComputeEffects(tree, cg);
+  // The exonerated bit vanishes from the summary before propagation, so
+  // the caller proves clean against the cleansed summary too.
+  EXPECT_EQ(EffectsOf(tree, cg, effects, "Stash::Push") & kEffAlloc, 0u);
+  EXPECT_EQ(EffectsOf(tree, cg, effects, "Stash::PushAll") & kEffAlloc, 0u);
+}
+
+// ------------------------------------------------------ hold-region rules
+
+HoldReport RunHolds(const std::string& source) {
+  TreeModel tree = BuildTree({{"src/core/a.cc", source}});
+  const CallGraph cg = BuildCallGraph(tree);
+  const EffectMap effects = ComputeEffects(tree, cg);
+  HoldOptions opts;
+  return CheckHolds(tree, cg, effects, opts);
+}
+
+TEST(HoldTest, TransitiveAllocationUnderAGuardFires) {
+  HoldReport report = RunHolds(R"cpp(
+struct Table {
+  ContentionLock lock_;
+  void Grow() { cells_.resize(128); }
+  void Rehash() { Grow(); }
+  void Commit() {
+    ContentionLockGuard guard(lock_);
+    Rehash();
+  }
+};
+)cpp");
+  ASSERT_EQ(report.findings.size(), 1u) << Dump(report.findings);
+  EXPECT_EQ(report.findings[0].rule, "hold-alloc");
+  // The witness names the chain, not just the symptom — that is what
+  // makes the finding actionable two calls away from the resize.
+  EXPECT_NE(report.findings[0].message.find("Rehash"), std::string::npos)
+      << report.findings[0].message;
+}
+
+TEST(HoldTest, BoundedByAnnotationSilencesTheLoopRule) {
+  const char* kLoop = R"cpp(
+struct Ghosts {
+  ContentionLock lock_;
+  void Trim() {
+    ContentionLockGuard guard(lock_);
+    %s
+    while (ghosts_.size() > cap_) {
+      Drop();
+    }
+  }
+  void Drop() { --count_; }
+};
+)cpp";
+  char with[512], without[512];
+  std::snprintf(without, sizeof(without), kLoop, "");
+  std::snprintf(with, sizeof(with), kLoop,
+                "BPW_BOUNDED_BY(ghosts_.size() - cap_);");
+  HoldReport bare = RunHolds(without);
+  ASSERT_EQ(bare.findings.size(), 1u) << Dump(bare.findings);
+  EXPECT_EQ(bare.findings[0].rule, "hold-unbounded-loop");
+  HoldReport annotated = RunHolds(with);
+  EXPECT_TRUE(annotated.findings.empty()) << Dump(annotated.findings);
+}
+
+TEST(HoldTest, CasRetryLoopsMustBeBoundedAndLockFree) {
+  HoldReport report = RunHolds(R"cpp(
+struct Counter {
+  Mutex fallback_mu_;
+  void BumpForever(unsigned long d) {
+    unsigned long cur = word_.load();
+    while (true) {
+      if (word_.compare_exchange_weak(cur, cur + d)) return;
+    }
+  }
+  void BumpBlocking(unsigned long d) {
+    unsigned long cur = word_.load();
+    BPW_BOUNDED_BY(kMaxWriters);
+    while (true) {
+      if (word_.compare_exchange_weak(cur, cur + d)) return;
+      MutexGuard guard(fallback_mu_);
+    }
+  }
+  void BumpBounded(unsigned long d) {
+    unsigned long cur = word_.load();
+    for (int i = 0; i < 16; ++i) {
+      if (word_.compare_exchange_weak(cur, cur + d)) return;
+    }
+  }
+};
+)cpp");
+  EXPECT_EQ(Rules(report.findings),
+            (std::vector<std::string>{"cas-retry-blocks",
+                                      "cas-retry-unbounded"}))
+      << Dump(report.findings);
+}
+
+TEST(HoldTest, StaticCostRanksTheLoopedRegionHeavier) {
+  HoldReport report = RunHolds(R"cpp(
+struct TwoLocks {
+  ContentionLock cheap_;
+  ContentionLock looped_;
+  void Quick() {
+    ContentionLockGuard guard(cheap_);
+    a_ = 1;
+  }
+  void Sweep() {
+    ContentionLockGuard guard(looped_);
+    for (int i = 0; i < n_; ++i) {
+      for (int j = 0; j < n_; ++j) {
+        b_ = i * j;
+      }
+    }
+  }
+};
+)cpp");
+  EXPECT_TRUE(report.findings.empty()) << Dump(report.findings);
+  double quick = -1, sweep = -1;
+  for (const HoldSite& site : report.sites) {
+    if (site.function == "TwoLocks::Quick") quick = site.cost;
+    if (site.function == "TwoLocks::Sweep") sweep = site.cost;
+  }
+  ASSERT_GE(quick, 0);
+  ASSERT_GE(sweep, 0);
+  // Two nesting levels multiply the inner statement by 64: the ranking,
+  // not the absolute number, is the contract reconciliation depends on.
+  EXPECT_GT(sweep, quick * 8);
+  // The JSON exporter sorts by descending weight, so the looped region
+  // leads the document bpw_profile --reconcile consumes.
+  const std::string json = HoldCostsToJson(report);
+  EXPECT_LT(json.find("TwoLocks::Sweep"), json.find("TwoLocks::Quick"));
+}
+
 
 }  // namespace
 }  // namespace analysis

@@ -137,6 +137,63 @@ TEST(ProfileExportTest, JsonIsParseableAndCarriesSummary) {
   EXPECT_NE(json.find("\"buckets\":[["), std::string::npos);
 }
 
+TEST(ReconcileTest, JoinsRanksFlagsDivergenceAndUnmatchedRows) {
+  // Static side: three labeled hold sites. The weights say shard_lock is
+  // the heavy region and free_list the light one.
+  const std::string costs = R"json({"sites":[
+    {"label":"sharded.shard_lock","lock":"shard.lock","lock_class":"shard",
+     "file":"src/a.cc","line":10,"function":"F","kind":"guard","weight":90.0},
+    {"label":"pool.free_list","lock":"mu_","lock_class":"pool",
+     "file":"src/b.cc","line":20,"function":"G","kind":"guard","weight":4.0},
+    {"label":"combining.policy_lock","lock":"lock_","lock_class":"comb",
+     "file":"src/c.cc","line":30,"function":"H","kind":"guard","weight":6.0}]})json";
+  // Measured side: free_list held LONGEST, shard_lock shortest — both
+  // joined ranks invert, so both rows must be flagged. policy_lock never
+  // contended (count 0) and an extra lock the static side has no label
+  // for rounds out the unmatched cases.
+  ProfSnapshot snap;
+  snap.sites.push_back(MakeSite("sharded.shard_lock", ProfSiteKind::kLock, 0,
+                                /*uncontended=*/90, /*contended=*/10,
+                                /*wait=*/1000, /*hold=*/100000));
+  snap.sites.push_back(MakeSite("pool.free_list", ProfSiteKind::kLock, 0,
+                                /*uncontended=*/90, /*contended=*/10,
+                                /*wait=*/1000, /*hold=*/6400000));
+  snap.sites.push_back(MakeSite("page_table.shard", ProfSiteKind::kLock, 0,
+                                /*uncontended=*/90, /*contended=*/10,
+                                /*wait=*/1000, /*hold=*/800000));
+  snap.sites.push_back(MakeSite("combining.policy_lock", ProfSiteKind::kLock,
+                                0, /*uncontended=*/0, /*contended=*/0,
+                                /*wait=*/0, /*hold=*/0));
+  snap.sites.push_back(MakeSite("drain", ProfSiteKind::kPhase, 0,
+                                /*entries=*/10, 0, /*inclusive=*/100,
+                                /*exclusive=*/100));
+  StatusOr<std::string> table = ReconcileHoldCosts(costs, snap);
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  const std::string& out = table.value();
+  // Joined static ranks: shard_lock #1, free_list #2. Measured ranks:
+  // free_list #1, shard_lock #3 (the unlabeled page_table.shard sits
+  // between them) — shard_lock's d-rank of -2 crosses the flag
+  // threshold, free_list's +1 does not.
+  EXPECT_NE(out.find("DIVERGES"), std::string::npos) << out;
+  EXPECT_NE(out.find("1 rank divergence(s)"), std::string::npos) << out;
+  // Never-contended static label: listed, but unranked.
+  EXPECT_NE(out.find("static only (never contended in this run)"),
+            std::string::npos)
+      << out;
+  // Measured site the static model has no label for.
+  EXPECT_NE(out.find("measured only (site not in static costs)"),
+            std::string::npos)
+      << out;
+  // Phase rows are not lock sites and must not leak into the join.
+  EXPECT_EQ(out.find("drain"), std::string::npos) << out;
+}
+
+TEST(ReconcileTest, RejectsNonCostsDocuments) {
+  ProfSnapshot snap;
+  EXPECT_FALSE(ReconcileHoldCosts("{\"result\":1}", snap).ok());
+  EXPECT_FALSE(ReconcileHoldCosts("nope", snap).ok());
+}
+
 }  // namespace
 }  // namespace obs
 }  // namespace bpw

@@ -6,9 +6,12 @@
 //   --dot FILE            write the lock-acquisition order graph (Graphviz;
 //                         dashed edges are TryLock-bounded and whitelisted
 //                         in the acyclicity proof)
+//   --sarif FILE          write findings as SARIF 2.1.0
+//   --files-from FILE     read the file list from FILE (newline separated)
+//                         instead of walking the path arguments
 //   --audit-allows        list stale bpw-lint-allow(...) suppressions: the
-//                         named rule (bpw_lint's or this tool's) no longer
-//                         fires at the suppressed site
+//                         named rule (bpw_lint's, bpw_holdlint's, or this
+//                         tool's) no longer fires at the suppressed site
 //   --check-expectations  corpus mode: analyze each file standalone as
 //                         library code and require its findings to match
 //                         its // bpw-atomiclint-expect(rule) markers
@@ -38,8 +41,13 @@
 #include <vector>
 
 #include "analysis/atomics_check.h"
+#include "analysis/call_graph.h"
+#include "analysis/effects.h"
+#include "analysis/hold_cost.h"
 #include "analysis/lock_graph.h"
+#include "analysis/sarif.h"
 #include "analysis/scope_graph.h"
+#include "analysis/tree_walk.h"
 #include "lint/lint.h"
 
 namespace {
@@ -53,41 +61,13 @@ using bpw::analysis::LockGraph;
 using bpw::analysis::LockGraphToDot;
 using bpw::analysis::TreeModel;
 
-bool IsSourceFile(const std::filesystem::path& path) {
-  const std::string ext = path.extension().string();
-  return ext == ".h" || ext == ".cc" || ext == ".cpp";
-}
-
-bool ReadFile(const std::string& path, std::string* out) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return false;
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  *out = buf.str();
-  return true;
-}
-
-int CollectFiles(const std::vector<std::string>& paths,
-                 std::vector<std::string>* files) {
-  for (const std::string& p : paths) {
-    std::error_code ec;
-    if (std::filesystem::is_directory(p, ec)) {
-      for (const auto& entry :
-           std::filesystem::recursive_directory_iterator(p, ec)) {
-        if (entry.is_regular_file() && IsSourceFile(entry.path())) {
-          files->push_back(entry.path().string());
-        }
-      }
-    } else if (std::filesystem::is_regular_file(p, ec)) {
-      files->push_back(p);
-    } else {
-      std::fprintf(stderr, "bpw_atomiclint: cannot read %s\n", p.c_str());
-      return 2;
-    }
-  }
-  std::sort(files->begin(), files->end());
-  return 0;
-}
+/// Rule ids this tool owns (SARIF metadata + the allow audit's known set).
+const char* const kAtomiclintRules[] = {
+    "lock-order-cycle",           "leaf-lock-acquires",
+    "relaxed-unannotated",        "relaxed-publication-store",
+    "unordered-publication-read", "torn-seqlock-read",
+    "mc-access-unannotated",      "bad-annotation",
+};
 
 void PrintFinding(const Finding& f) {
   std::fprintf(stderr, "%s:%d: [%s] %s\n", f.file.c_str(), f.line,
@@ -112,19 +92,6 @@ double MsSince(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
-int BuildTree(const std::vector<std::string>& files, TreeModel* tree) {
-  for (const std::string& file : files) {
-    std::string source;
-    if (!ReadFile(file, &source)) {
-      std::fprintf(stderr, "bpw_atomiclint: cannot read %s\n", file.c_str());
-      return 2;
-    }
-    tree->files.push_back(BuildFileModel(file, source));
-  }
-  tree->Reindex();
-  return 0;
-}
-
 // --------------------------------------------------------------------------
 // Corpus mode: every file is its own tree; findings must match the
 // bpw-atomiclint-expect(rule) markers exactly.
@@ -135,7 +102,7 @@ int CheckExpectations(const std::vector<std::string>& files) {
   int failures = 0;
   for (const std::string& file : files) {
     std::string source;
-    if (!ReadFile(file, &source)) {
+    if (!bpw::analysis::ReadSource(file, &source)) {
       std::fprintf(stderr, "bpw_atomiclint: cannot read %s\n", file.c_str());
       return 2;
     }
@@ -209,12 +176,12 @@ int CheckExpectations(const std::vector<std::string>& files) {
 // --------------------------------------------------------------------------
 
 int AuditAllows(const std::vector<std::string>& files, bool all_lib) {
-  // Unsuppressed findings, whole tree, from both tools.
+  // Unsuppressed findings, whole tree, from all three analyzer layers.
   TreeModel tree;
   std::map<std::string, std::string> sources;
   for (const std::string& file : files) {
     std::string source;
-    if (!ReadFile(file, &source)) {
+    if (!bpw::analysis::ReadSource(file, &source)) {
       std::fprintf(stderr, "bpw_atomiclint: cannot read %s\n", file.c_str());
       return 2;
     }
@@ -231,12 +198,24 @@ int AuditAllows(const std::vector<std::string>& files, bool all_lib) {
     unsuppressed.insert(unsuppressed.end(), graph.findings.begin(),
                         graph.findings.end());
   }
-  std::set<std::string> atomiclint_rules = {
-      "lock-order-cycle",       "leaf-lock-acquires",
-      "relaxed-unannotated",    "relaxed-publication-store",
-      "unordered-publication-read", "torn-seqlock-read",
-      "mc-access-unannotated",  "bad-annotation",
-  };
+  {
+    // Layer 3: an allow naming a holdlint rule is live iff the hold-cost
+    // prover still fires there with suppressions ignored.
+    const bpw::analysis::CallGraph cg = bpw::analysis::BuildCallGraph(tree);
+    const bpw::analysis::EffectMap effects =
+        bpw::analysis::ComputeEffects(tree, cg);
+    bpw::analysis::HoldOptions hopts;
+    hopts.all_files_lib = all_lib;
+    hopts.ignore_allows = true;
+    const bpw::analysis::HoldReport holds =
+        bpw::analysis::CheckHolds(tree, cg, effects, hopts);
+    unsuppressed.insert(unsuppressed.end(), holds.findings.begin(),
+                        holds.findings.end());
+  }
+  std::set<std::string> atomiclint_rules(std::begin(kAtomiclintRules),
+                                         std::end(kAtomiclintRules));
+  atomiclint_rules.insert(bpw::analysis::kHoldRules,
+                          bpw::analysis::kHoldRules + 9);
   std::set<std::string> lint_rules(bpw::lint::LintRuleIds().begin(),
                                    bpw::lint::LintRuleIds().end());
 
@@ -262,8 +241,8 @@ int AuditAllows(const std::vector<std::string>& files, bool all_lib) {
                          lint_rules.count(site.rule) > 0;
       if (!known) {
         std::fprintf(stderr,
-                     "%s:%d: stale allow (%s): no such rule in bpw_lint or "
-                     "bpw_atomiclint\n",
+                     "%s:%d: stale allow (%s): no such rule in bpw_lint, "
+                     "bpw_atomiclint, or bpw_holdlint\n",
                      fm.path.c_str(), site.line + 1, site.rule.c_str());
         ++stale;
         continue;
@@ -304,6 +283,8 @@ int AuditAllows(const std::vector<std::string>& files, bool all_lib) {
 int main(int argc, char** argv) {
   std::vector<std::string> paths;
   std::string dot_path;
+  std::string sarif_path;
+  std::string files_from;
   bool audit_allows = false;
   bool check_expectations = false;
   bool timings = false;
@@ -312,6 +293,10 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--dot" && i + 1 < argc) {
       dot_path = argv[++i];
+    } else if (arg == "--sarif" && i + 1 < argc) {
+      sarif_path = argv[++i];
+    } else if (arg == "--files-from" && i + 1 < argc) {
+      files_from = argv[++i];
     } else if (arg == "--audit-allows") {
       audit_allows = true;
     } else if (arg == "--check-expectations") {
@@ -322,9 +307,9 @@ int main(int argc, char** argv) {
       all_lib = true;
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
-          "usage: bpw_atomiclint [--dot FILE] [--audit-allows] "
-          "[--check-expectations] [--timings] [--all-lib] "
-          "<file-or-dir>...\n");
+          "usage: bpw_atomiclint [--dot FILE] [--sarif FILE] "
+          "[--files-from FILE] [--audit-allows] [--check-expectations] "
+          "[--timings] [--all-lib] <file-or-dir>...\n");
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "bpw_atomiclint: unknown option %s\n", arg.c_str());
@@ -333,12 +318,18 @@ int main(int argc, char** argv) {
       paths.push_back(arg);
     }
   }
-  if (paths.empty()) {
+  std::vector<std::string> files;
+  if (!files_from.empty()) {
+    if (!bpw::analysis::ReadFileList("bpw_atomiclint", files_from, &files)) {
+      return 2;
+    }
+  } else if (paths.empty()) {
     std::fprintf(stderr, "usage: bpw_atomiclint [options] <file-or-dir>...\n");
     return 2;
+  } else if (!bpw::analysis::CollectSourceFiles("bpw_atomiclint", paths,
+                                                &files)) {
+    return 2;
   }
-  std::vector<std::string> files;
-  if (int rc = CollectFiles(paths, &files); rc != 0) return rc;
   if (files.empty()) {
     std::fprintf(stderr, "bpw_atomiclint: no source files found\n");
     return 2;
@@ -350,7 +341,7 @@ int main(int argc, char** argv) {
   Timings t;
   auto t0 = std::chrono::steady_clock::now();
   TreeModel tree;
-  if (int rc = BuildTree(files, &tree); rc != 0) return rc;
+  if (!bpw::analysis::BuildTreeModel("bpw_atomiclint", files, &tree)) return 2;
   t.parse_ms = MsSince(t0);
 
   t0 = std::chrono::steady_clock::now();
@@ -374,6 +365,19 @@ int main(int argc, char** argv) {
       return 2;
     }
     out << LockGraphToDot(graph);
+  }
+  if (!sarif_path.empty()) {
+    std::ofstream out(sarif_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "bpw_atomiclint: cannot write %s\n",
+                   sarif_path.c_str());
+      return 2;
+    }
+    out << bpw::analysis::FindingsToSarif(
+        "bpw_atomiclint",
+        std::vector<std::string>(std::begin(kAtomiclintRules),
+                                 std::end(kAtomiclintRules)),
+        findings);
   }
 
   for (const Finding& f : findings) PrintFinding(f);

@@ -1,0 +1,262 @@
+// bpw_holdlint CLI: interprocedural critical-section cost prover.
+//
+//   bpw_holdlint [options] <file-or-dir>...
+//
+//   --costs FILE          write per-hold-site static cost ranks as JSON
+//                         (the input to `bpw_profile --reconcile`)
+//   --sarif FILE          write findings as SARIF 2.1.0
+//   --check-expectations  corpus mode: analyze each file standalone as
+//                         library code and require its findings to match
+//                         its // bpw-holdlint-expect(rule) markers exactly
+//                         (tests/static/ runs under this)
+//   --all-lib             treat every input as library code (the tree run
+//                         scopes hold rules to src/ minus src/sync/ and
+//                         src/analysis/)
+//   --files-from FILE     read the file list from FILE (newline separated)
+//                         instead of walking the path arguments
+//   --timings             print per-phase wall time
+//
+// Exit status: 0 clean, 1 findings (or corpus mismatch), 2 usage/IO.
+//
+// What it proves, on top of bpw_lint's line-local critical-section rules:
+// every ContentionLock/SpinLock hold region — lexical guards, manual
+// Lock/Unlock spans, TryLock branches, BPW_REQUIRES'd and Locked()-suffix
+// bodies — is TRANSITIVELY free of allocation, blocking, IO, logging,
+// clock reads, unbounded loops, and statically-unresolvable (indirect)
+// calls, through any chain of helpers and through virtual dispatch on the
+// ReplacementPolicy/Coordinator interfaces. CAS retry loops must be
+// bounded (BPW_BOUNDED_BY or structure) and lock-free. See DESIGN.md
+// "Static analysis, layer 3".
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/call_graph.h"
+#include "analysis/effects.h"
+#include "analysis/hold_cost.h"
+#include "analysis/sarif.h"
+#include "analysis/tree_walk.h"
+
+namespace {
+
+using bpw::analysis::BuildCallGraph;
+using bpw::analysis::BuildFileModel;
+using bpw::analysis::CallGraph;
+using bpw::analysis::CheckHolds;
+using bpw::analysis::ComputeEffects;
+using bpw::analysis::EffectMap;
+using bpw::analysis::Finding;
+using bpw::analysis::HoldOptions;
+using bpw::analysis::HoldReport;
+using bpw::analysis::kHoldRules;
+using bpw::analysis::TreeModel;
+
+void PrintFinding(const Finding& f) {
+  std::fprintf(stderr, "%s:%d: [%s] %s\n", f.file.c_str(), f.line,
+               f.rule.c_str(), f.message.c_str());
+}
+
+std::vector<std::string> HoldRuleIds() {
+  return std::vector<std::string>(kHoldRules, kHoldRules + 9);
+}
+
+double MsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "bpw_holdlint: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << content;
+  return true;
+}
+
+HoldReport Analyze(const TreeModel& tree, const HoldOptions& opts) {
+  const CallGraph cg = BuildCallGraph(tree);
+  const EffectMap effects = ComputeEffects(tree, cg);
+  return CheckHolds(tree, cg, effects, opts);
+}
+
+// Corpus mode: every file is its own tree; findings must match the
+// bpw-holdlint-expect(rule) markers exactly, in both directions.
+int CheckExpectations(const std::vector<std::string>& files) {
+  static const std::regex kExpect(R"(bpw-holdlint-expect\(([a-z0-9\-]+)\))");
+  int failures = 0;
+  for (const std::string& file : files) {
+    std::string source;
+    if (!bpw::analysis::ReadSource(file, &source)) {
+      std::fprintf(stderr, "bpw_holdlint: cannot read %s\n", file.c_str());
+      return 2;
+    }
+    // Expected (rule, line) pairs; a marker covers its own line and the
+    // next, so it can sit above the violating statement.
+    std::vector<std::pair<std::string, int>> expected;
+    {
+      std::istringstream lines(source);
+      std::string line;
+      int lineno = 0;
+      while (std::getline(lines, line)) {
+        ++lineno;
+        for (auto it = std::sregex_iterator(line.begin(), line.end(), kExpect);
+             it != std::sregex_iterator(); ++it) {
+          expected.emplace_back((*it)[1].str(), lineno);
+        }
+      }
+    }
+    TreeModel tree;
+    tree.files.push_back(BuildFileModel(file, source));
+    tree.Reindex();
+    HoldOptions opts;
+    opts.all_files_lib = true;
+    const HoldReport report = Analyze(tree, opts);
+
+    std::vector<bool> matched(report.findings.size(), false);
+    for (const auto& exp : expected) {
+      bool hit = false;
+      for (size_t i = 0; i < report.findings.size(); ++i) {
+        if (report.findings[i].rule == exp.first &&
+            (report.findings[i].line == exp.second ||
+             report.findings[i].line == exp.second + 1)) {
+          matched[i] = true;
+          hit = true;
+        }
+      }
+      if (!hit) {
+        std::fprintf(stderr,
+                     "%s:%d: expected [%s] to fire here but it did not\n",
+                     file.c_str(), exp.second, exp.first.c_str());
+        ++failures;
+      }
+    }
+    for (size_t i = 0; i < report.findings.size(); ++i) {
+      if (!matched[i]) {
+        PrintFinding(report.findings[i]);
+        std::fprintf(stderr,
+                     "%s:%d: ^ finding has no matching bpw-holdlint-expect "
+                     "marker\n",
+                     report.findings[i].file.c_str(), report.findings[i].line);
+        ++failures;
+      }
+    }
+  }
+  if (failures == 0) {
+    std::printf("bpw_holdlint: corpus expectations all matched (%zu files)\n",
+                files.size());
+    return 0;
+  }
+  std::fprintf(stderr, "bpw_holdlint: %d corpus expectation failure(s)\n",
+               failures);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  std::string costs_path, sarif_path, files_from;
+  bool check_expectations = false;
+  bool all_lib = false;
+  bool timings = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--costs" && i + 1 < argc) {
+      costs_path = argv[++i];
+    } else if (arg == "--sarif" && i + 1 < argc) {
+      sarif_path = argv[++i];
+    } else if (arg == "--files-from" && i + 1 < argc) {
+      files_from = argv[++i];
+    } else if (arg == "--check-expectations") {
+      check_expectations = true;
+    } else if (arg == "--all-lib") {
+      all_lib = true;
+    } else if (arg == "--timings") {
+      timings = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: bpw_holdlint [--costs FILE] [--sarif FILE] "
+          "[--check-expectations] [--all-lib] [--files-from FILE] "
+          "[--timings] <file-or-dir>...\n");
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "bpw_holdlint: unknown option %s\n", arg.c_str());
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  std::vector<std::string> files;
+  if (!files_from.empty()) {
+    if (!bpw::analysis::ReadFileList("bpw_holdlint", files_from, &files)) {
+      return 2;
+    }
+  } else if (paths.empty()) {
+    std::fprintf(stderr, "usage: bpw_holdlint [options] <file-or-dir>...\n");
+    return 2;
+  } else if (!bpw::analysis::CollectSourceFiles("bpw_holdlint", paths,
+                                                &files)) {
+    return 2;
+  }
+  if (files.empty()) {
+    std::fprintf(stderr, "bpw_holdlint: no source files found\n");
+    return 2;
+  }
+
+  if (check_expectations) return CheckExpectations(files);
+
+  auto t0 = std::chrono::steady_clock::now();
+  TreeModel tree;
+  if (!bpw::analysis::BuildTreeModel("bpw_holdlint", files, &tree)) return 2;
+  const double parse_ms = MsSince(t0);
+
+  t0 = std::chrono::steady_clock::now();
+  const CallGraph cg = BuildCallGraph(tree);
+  const double graph_ms = MsSince(t0);
+
+  t0 = std::chrono::steady_clock::now();
+  const EffectMap effects = ComputeEffects(tree, cg);
+  HoldOptions opts;
+  opts.all_files_lib = all_lib;
+  const HoldReport report = CheckHolds(tree, cg, effects, opts);
+  const double check_ms = MsSince(t0);
+
+  if (!costs_path.empty() &&
+      !WriteFile(costs_path, bpw::analysis::HoldCostsToJson(report))) {
+    return 2;
+  }
+  if (!sarif_path.empty() &&
+      !WriteFile(sarif_path,
+                 bpw::analysis::FindingsToSarif("bpw_holdlint", HoldRuleIds(),
+                                                report.findings))) {
+    return 2;
+  }
+
+  for (const Finding& f : report.findings) PrintFinding(f);
+  if (timings) {
+    std::printf(
+        "bpw_holdlint timings: parse %.1f ms, call-graph %.1f ms, "
+        "effects+holds %.1f ms\n",
+        parse_ms, graph_ms, check_ms);
+  }
+  if (!report.findings.empty()) {
+    std::fprintf(stderr,
+                 "bpw_holdlint: %zu finding(s) in %zu file(s); %zu hold "
+                 "site(s), %zu call-graph node(s)\n",
+                 report.findings.size(), files.size(), report.sites.size(),
+                 cg.nodes.size());
+    return 1;
+  }
+  std::printf(
+      "bpw_holdlint: clean (%zu files; %zu hold sites proven "
+      "transitively effect-free and loop-bounded; call graph: %zu nodes)\n",
+      files.size(), report.sites.size(), cg.nodes.size());
+  return 0;
+}

@@ -1,9 +1,13 @@
 // bpw_lint CLI: lock-discipline lint over the source tree.
 //
-//   bpw_lint [--self-test] <file-or-dir>...
+//   bpw_lint [--self-test] [--sarif FILE] [--files-from FILE]
+//            <file-or-dir>...
 //
-// Directories are walked recursively for *.h / *.cc / *.cpp. Exit status:
-// 0 when clean, 1 when findings were reported, 2 on usage/IO errors.
+// Directories are walked recursively for *.h / *.cc / *.cpp; --files-from
+// reads a newline-separated list instead (CI walks the tree once and feeds
+// the same list to every linter). --sarif additionally writes the findings
+// as SARIF 2.1.0 for code-scanning ingestion. Exit status: 0 when clean,
+// 1 when findings were reported, 2 on usage/IO errors.
 //
 // --self-test runs the linter against embedded snippets seeded with the
 // two canonical violations (prefetch after Lock(), allocation inside the
@@ -12,18 +16,16 @@
 // tool still detects what it exists to detect — a lint that silently
 // stopped matching would otherwise look like a clean tree.
 #include <cstdio>
-#include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
+#include "analysis/finding.h"
+#include "analysis/sarif.h"
+#include "analysis/tree_walk.h"
 #include "lint/lint.h"
 
 namespace {
-
-bool IsSourceFile(const std::filesystem::path& path) {
-  const std::string ext = path.extension().string();
-  return ext == ".h" || ext == ".cc" || ext == ".cpp";
-}
 
 int RunSelfTest() {
   using bpw::lint::Finding;
@@ -154,13 +156,21 @@ void Coordinator::Drain(AccessQueue& queue) {
 
 int main(int argc, char** argv) {
   std::vector<std::string> paths;
+  std::string sarif_path;
+  std::string files_from;
   bool self_test = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--self-test") {
       self_test = true;
+    } else if (arg == "--sarif" && i + 1 < argc) {
+      sarif_path = argv[++i];
+    } else if (arg == "--files-from" && i + 1 < argc) {
+      files_from = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
-      std::printf("usage: bpw_lint [--self-test] <file-or-dir>...\n");
+      std::printf(
+          "usage: bpw_lint [--self-test] [--sarif FILE] [--files-from FILE] "
+          "<file-or-dir>...\n");
       return 0;
     } else {
       paths.push_back(arg);
@@ -168,29 +178,21 @@ int main(int argc, char** argv) {
   }
   if (self_test) {
     const int rc = RunSelfTest();
-    if (rc != 0 || paths.empty()) return rc;
-  }
-  if (paths.empty()) {
-    std::fprintf(stderr, "usage: bpw_lint [--self-test] <file-or-dir>...\n");
-    return 2;
+    if (rc != 0 || (paths.empty() && files_from.empty())) return rc;
   }
 
   std::vector<std::string> files;
-  for (const std::string& p : paths) {
-    std::error_code ec;
-    if (std::filesystem::is_directory(p, ec)) {
-      for (const auto& entry :
-           std::filesystem::recursive_directory_iterator(p, ec)) {
-        if (entry.is_regular_file() && IsSourceFile(entry.path())) {
-          files.push_back(entry.path().string());
-        }
-      }
-    } else if (std::filesystem::is_regular_file(p, ec)) {
-      files.push_back(p);
-    } else {
-      std::fprintf(stderr, "bpw_lint: cannot read %s\n", p.c_str());
+  if (!files_from.empty()) {
+    if (!bpw::analysis::ReadFileList("bpw_lint", files_from, &files)) {
       return 2;
     }
+  } else if (paths.empty()) {
+    std::fprintf(stderr,
+                 "usage: bpw_lint [--self-test] [--sarif FILE] "
+                 "[--files-from FILE] <file-or-dir>...\n");
+    return 2;
+  } else if (!bpw::analysis::CollectSourceFiles("bpw_lint", paths, &files)) {
+    return 2;
   }
 
   std::vector<bpw::lint::Finding> findings;
@@ -202,6 +204,20 @@ int main(int argc, char** argv) {
   }
   for (const auto& finding : findings) {
     std::fprintf(stderr, "%s\n", bpw::lint::FormatFinding(finding).c_str());
+  }
+  if (!sarif_path.empty()) {
+    std::vector<bpw::analysis::Finding> converted;
+    converted.reserve(findings.size());
+    for (const auto& f : findings) {
+      converted.push_back({f.file, f.line, f.rule, f.message});
+    }
+    std::ofstream out(sarif_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "bpw_lint: cannot write %s\n", sarif_path.c_str());
+      return 2;
+    }
+    out << bpw::analysis::FindingsToSarif("bpw_lint", bpw::lint::LintRuleIds(),
+                                          converted);
   }
   if (!findings.empty()) {
     std::fprintf(stderr, "bpw_lint: %zu finding(s) in %zu file(s) scanned\n",

@@ -28,12 +28,19 @@ using namespace bpw;
 void Usage() {
   std::printf(
       "bpw_profile — render a saved contention report\n\n"
-      "  bpw_profile [--fold|--table|--json] [--out=FILE] REPORT.json\n\n"
-      "  --fold       folded flamegraph stacks (default); pipe into\n"
-      "               flamegraph.pl / inferno / speedscope\n"
-      "  --table      aligned per-site table\n"
-      "  --json       normalized report JSON (round-tripped)\n"
-      "  --out=FILE   write to FILE instead of stdout\n\n"
+      "  bpw_profile [--fold|--table|--json] [--out=FILE] REPORT.json\n"
+      "  bpw_profile --reconcile --costs=COSTS.json [--out=FILE] "
+      "REPORT.json\n\n"
+      "  --fold        folded flamegraph stacks (default); pipe into\n"
+      "                flamegraph.pl / inferno / speedscope\n"
+      "  --table       aligned per-site table\n"
+      "  --json        normalized report JSON (round-tripped)\n"
+      "  --reconcile   static-vs-measured hold-time table: joins the\n"
+      "                static hold costs from `bpw_holdlint --costs` with\n"
+      "                the report's measured hold distributions, ranks\n"
+      "                both, and flags sites whose ranks diverge\n"
+      "  --costs=FILE  the bpw_holdlint --costs JSON (--reconcile only)\n"
+      "  --out=FILE    write to FILE instead of stdout\n\n"
       "REPORT.json is the output of bpw_run --contention-report=FILE or a\n"
       "full bpw_run --json document (\"-\" reads stdin).\n");
 }
@@ -52,10 +59,11 @@ bool ReadAll(const std::string& path, std::string* out) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  enum class Mode { kFold, kTable, kJson };
+  enum class Mode { kFold, kTable, kJson, kReconcile };
   Mode mode = Mode::kFold;
   std::string out_path = "-";
   std::string in_path;
+  std::string costs_path;
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -65,6 +73,10 @@ int main(int argc, char** argv) {
       mode = Mode::kTable;
     } else if (std::strcmp(arg, "--json") == 0) {
       mode = Mode::kJson;
+    } else if (std::strcmp(arg, "--reconcile") == 0) {
+      mode = Mode::kReconcile;
+    } else if (std::strncmp(arg, "--costs=", 8) == 0) {
+      costs_path = arg + 8;
     } else if (std::strncmp(arg, "--out=", 6) == 0) {
       out_path = arg + 6;
     } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
@@ -108,6 +120,28 @@ int main(int argc, char** argv) {
     case Mode::kJson:
       rendered = obs::ProfSnapshotToJson(snapshot.value()) + "\n";
       break;
+    case Mode::kReconcile: {
+      if (costs_path.empty()) {
+        std::fprintf(stderr,
+                     "--reconcile needs --costs=FILE (the JSON written by "
+                     "bpw_holdlint --costs)\n");
+        return 2;
+      }
+      std::string costs;
+      if (!ReadAll(costs_path, &costs)) {
+        std::fprintf(stderr, "failed to read %s\n", costs_path.c_str());
+        return 1;
+      }
+      StatusOr<std::string> table =
+          obs::ReconcileHoldCosts(costs, snapshot.value());
+      if (!table.ok()) {
+        std::fprintf(stderr, "%s: %s\n", costs_path.c_str(),
+                     table.status().ToString().c_str());
+        return 1;
+      }
+      rendered = std::move(table).value();
+      break;
+    }
   }
   if (!obs::WriteTextFile(out_path, rendered)) {
     std::fprintf(stderr, "failed to write %s\n", out_path.c_str());
